@@ -1,0 +1,146 @@
+//! Data growth model (Fig. 6-10).
+//!
+//! "The impact and effectiveness of the SR and IB processes is directly
+//! related to the volume of new data generated in different data centers
+//! at different times of the day" (§6.4.3). Growth follows the same
+//! business-hour bump shape as the client workload — data is created
+//! where and when engineers are working — so the model reuses the
+//! diurnal trapezoid with MB/hour as its unit.
+
+use gdisim_types::{SimDuration, SimTime};
+use gdisim_workload::PopulationCurve;
+use serde::{Deserialize, Serialize};
+
+/// One site's data-growth curve, in MB/hour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowthCurve {
+    /// Site name, matching the topology spec.
+    pub site: String,
+    /// MB/hour curve ("population" is MB/h here) — parametric trapezoid
+    /// or a measured hourly table.
+    pub curve: PopulationCurve,
+}
+
+/// The global data-growth input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataGrowth {
+    /// Per-site curves.
+    pub sites: Vec<GrowthCurve>,
+    /// Average file size in bytes (50 MB in the case study, §6.4.3) —
+    /// converts volumes to file counts.
+    pub avg_file_bytes: f64,
+}
+
+impl DataGrowth {
+    /// Instantaneous growth rate at `t`, in bytes/hour.
+    pub fn rate_bytes_per_hour(&self, site: usize, t: SimTime) -> f64 {
+        self.sites[site].curve.population(t) * 1e6
+    }
+
+    /// Bytes generated at `site` during `[from, to)`, by trapezoidal
+    /// integration at one-minute resolution (the curves are piecewise
+    /// linear with multi-hour pieces, so this is effectively exact).
+    pub fn generated_bytes(&self, site: usize, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let step = SimDuration::from_mins(1).min(to - from);
+        let mut total = 0.0;
+        let mut t = from;
+        while t < to {
+            let next = (t + step).min(to);
+            let dt_hours = (next - t).as_secs_f64() / 3600.0;
+            let mid_rate = (self.rate_bytes_per_hour(site, t)
+                + self.rate_bytes_per_hour(site, next))
+                / 2.0;
+            total += mid_rate * dt_hours;
+            t = next;
+        }
+        total
+    }
+
+    /// Files generated at `site` during `[from, to)`.
+    pub fn generated_files(&self, site: usize, from: SimTime, to: SimTime) -> f64 {
+        self.generated_bytes(site, from, to) / self.avg_file_bytes
+    }
+
+    /// Site index by name.
+    pub fn site_index(&self, name: &str) -> Option<usize> {
+        self.sites.iter().position(|s| s.site == name)
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdisim_types::units::mb;
+    use gdisim_workload::DiurnalCurve;
+
+    fn growth() -> DataGrowth {
+        DataGrowth {
+            sites: vec![
+                GrowthCurve {
+                    site: "NA".into(),
+                    // 9 GB/h at the plateau, 500 MB/h off-hours, NA zone.
+                    curve: DiurnalCurve::business_day(-5.0, 500.0, 9000.0).into(),
+                },
+                GrowthCurve {
+                    site: "EU".into(),
+                    curve: DiurnalCurve::business_day(1.0, 300.0, 6000.0).into(),
+                },
+            ],
+            avg_file_bytes: mb(50.0),
+        }
+    }
+
+    #[test]
+    fn off_hours_rate_is_base() {
+        let g = growth();
+        // 03:00 GMT = 22:00 NA local: base.
+        let r = g.rate_bytes_per_hour(0, SimTime::from_hours(3));
+        assert!((r - 500.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn plateau_integration_matches_rate_times_time() {
+        let g = growth();
+        // NA plateau: 10:00–15:00 local = 15:00–20:00 GMT. Integrate one
+        // plateau hour: exactly 9 GB.
+        let bytes = g.generated_bytes(0, SimTime::from_hours(16), SimTime::from_hours(17));
+        assert!((bytes - 9000.0e6).abs() / 9000.0e6 < 1e-9, "got {bytes}");
+        // 50 MB average files -> 180 files.
+        let files = g.generated_files(0, SimTime::from_hours(16), SimTime::from_hours(17));
+        assert!((files - 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ramp_integration_is_half_plateau() {
+        let g = growth();
+        // NA ramp-up 8:00–10:00 local = 13:00–15:00 GMT: averages
+        // (base+peak)/2 per hour.
+        let bytes = g.generated_bytes(0, SimTime::from_hours(13), SimTime::from_hours(15));
+        let expected = 2.0 * (500.0e6 + 9000.0e6) / 2.0;
+        assert!((bytes - expected).abs() / expected < 1e-3, "got {bytes}");
+    }
+
+    #[test]
+    fn empty_and_inverted_windows() {
+        let g = growth();
+        let t = SimTime::from_hours(5);
+        assert_eq!(g.generated_bytes(0, t, t), 0.0);
+        assert_eq!(g.generated_bytes(0, SimTime::from_hours(6), t), 0.0);
+    }
+
+    #[test]
+    fn site_lookup() {
+        let g = growth();
+        assert_eq!(g.site_index("EU"), Some(1));
+        assert_eq!(g.site_index("MARS"), None);
+        assert_eq!(g.site_count(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! The INDEXBUILD operation (Fig. 6-9).
+//!
+//! A daemon `I` at the master collects the files flagged during SYNCHREP
+//! pulls, streams them from the file tier to the index tier, computes the
+//! text index and spatial snapshots — the step that is "not
+//! parallelizable" because it must analyze relationships between
+//! interrelated files (§6.3.3) — and registers the fresh index in the
+//! database.
+
+use gdisim_types::{RVec, TierKind};
+use gdisim_workload::{CascadeStep, Endpoint, Holon, OperationTemplate, Site};
+use serde::{Deserialize, Serialize};
+
+/// Cost coefficients for the index build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexCosts {
+    /// Cycles for each daemon↔app control message.
+    pub control_cycles: f64,
+    /// Cycles per flagged-file-list database query.
+    pub query_cycles: f64,
+    /// Index-computation cycles per byte analyzed (dominates the
+    /// operation: parsing, geometry tessellation, relationship analysis,
+    /// snapshot generation — the paper's hour-scale builds over a few GB
+    /// imply on the order of a thousand cycles per byte).
+    pub cycles_per_byte: f64,
+    /// Fraction of the analyzed volume written back as index data.
+    pub index_size_fraction: f64,
+    /// Control message size in bytes.
+    pub control_bytes: f64,
+}
+
+impl Default for IndexCosts {
+    fn default() -> Self {
+        IndexCosts {
+            control_cycles: 50e6,
+            query_cycles: 400e6,
+            cycles_per_byte: 700.0,
+            index_size_fraction: 0.05,
+            control_bytes: 256e3,
+        }
+    }
+}
+
+/// Builds one INDEXBUILD instance over `volume_bytes` of flagged files.
+pub fn build_indexbuild(volume_bytes: f64, costs: &IndexCosts) -> OperationTemplate {
+    assert!(volume_bytes >= 0.0, "volume must be non-negative");
+    let daemon = Endpoint { holon: Holon::Client, site: Site::Master };
+    let app = Endpoint::tier(TierKind::App, Site::Master);
+    let db = Endpoint::tier(TierKind::Db, Site::Master);
+    let fs = Endpoint::tier(TierKind::Fs, Site::Master);
+    let idx = Endpoint::tier(TierKind::Idx, Site::Master);
+    let index_bytes = volume_bytes * costs.index_size_fraction;
+    OperationTemplate::new(
+        "INDEXBUILD",
+        vec![
+            // Collect the flagged file list.
+            CascadeStep::seq(daemon, app, RVec::new(costs.control_cycles, costs.control_bytes, 0.0, 0.0)),
+            CascadeStep::seq(app, db, RVec::new(costs.query_cycles, costs.control_bytes, 0.0, 0.0)),
+            CascadeStep::seq(db, app, RVec::net(costs.control_bytes)),
+            // Stream the flagged files from the file tier into the index
+            // tier: the destination reads, stages and *analyzes* them —
+            // the cycles term is the index computation itself.
+            CascadeStep::seq(
+                fs,
+                idx,
+                RVec::new(costs.cycles_per_byte * volume_bytes, volume_bytes, 0.0, volume_bytes),
+            ),
+            // Write the fresh index back to the index tier's storage and
+            // register it in the database.
+            CascadeStep::seq(idx, db, RVec::new(costs.query_cycles, index_bytes, 0.0, index_bytes)),
+            CascadeStep::seq(app, daemon, RVec::net(costs.control_bytes)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_cost_scales_with_volume() {
+        let costs = IndexCosts::default();
+        let control = build_indexbuild(0.0, &costs).total_r().cycles;
+        let small = build_indexbuild(1e9, &costs);
+        let large = build_indexbuild(10e9, &costs);
+        // Above the fixed control-plane cost, compute scales linearly.
+        let small_var = small.total_r().cycles - control;
+        let large_var = large.total_r().cycles - control;
+        assert!((large_var - 10.0 * small_var).abs() / large_var < 1e-9);
+        assert!(large.total_r().disk_bytes > 9.0 * small.total_r().disk_bytes);
+    }
+
+    #[test]
+    fn indexbuild_is_fully_sequential() {
+        let op = build_indexbuild(5e9, &IndexCosts::default());
+        // One stage per step: "indexing … might not be parallelizable".
+        assert_eq!(op.stages().len(), op.steps.len());
+    }
+
+    #[test]
+    fn all_traffic_stays_at_the_master() {
+        let op = build_indexbuild(5e9, &IndexCosts::default());
+        assert_eq!(op.wan_bytes(), 0.0);
+    }
+
+    #[test]
+    fn zero_volume_build_is_control_plane_only() {
+        let op = build_indexbuild(0.0, &IndexCosts::default());
+        assert!(op.total_r().disk_bytes < 1.0);
+        assert!(op.total_r().cycles > 0.0, "control messages still cost cycles");
+    }
+}

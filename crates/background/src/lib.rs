@@ -1,0 +1,26 @@
+//! Background processes (§6.3.2, §6.4.3, Ch. 7).
+//!
+//! Distributed data infrastructures run daemon-initiated jobs alongside
+//! client workloads: **Synchronization & Replication** (SR) propagates
+//! file changes between data centers in Pull/Push phases, and **Index
+//! Build** (IB) makes new data searchable. Both are modeled exactly like
+//! client operations — message cascades with `R` arrays — but their
+//! volumes derive from the data-growth curves, and their scheduling
+//! policies differ: SR fires every `ΔT_SR` regardless of overlap, IB
+//! fires `ΔT_IB` after the previous build *completes* (at most one at a
+//! time), which is what produces IB's cumulative backlog effect in
+//! Fig. 6-14.
+
+#![warn(missing_docs)]
+
+pub mod growth;
+pub mod indexbuild;
+pub mod scheduler;
+pub mod synchrep;
+
+pub use growth::{DataGrowth, GrowthCurve};
+pub use indexbuild::{build_indexbuild, IndexCosts};
+pub use scheduler::{
+    BackgroundKind, BackgroundLaunch, BackgroundScheduler, OwnershipSplit, SchedulerConfig,
+};
+pub use synchrep::{build_synchrep, SyncCosts};

@@ -1,0 +1,163 @@
+//! The SYNCHREP operation (Fig. 6-8).
+//!
+//! A daemon `R` at the master queries `Tdb` (via `Tapp`) for the list of
+//! modified files, then runs two phases: **Pull** — every slave's new
+//! files are copied to the master's file tier, all slaves concurrently —
+//! and **Push** — the master scatters each new file to every data center
+//! except its creator, again concurrently. A final database pass records
+//! the new replica locations.
+
+use gdisim_types::RVec;
+use gdisim_workload::{CascadeStep, Endpoint, Holon, OperationTemplate, Site};
+use gdisim_types::TierKind;
+use serde::{Deserialize, Serialize};
+
+/// Cost coefficients for SYNCHREP's control-plane messages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncCosts {
+    /// Cycles for each daemon↔app control message.
+    pub control_cycles: f64,
+    /// Cycles per modified-file-list database query.
+    pub query_cycles: f64,
+    /// Database cycles per byte synchronized (bookkeeping; tiny).
+    pub db_cycles_per_byte: f64,
+    /// Control message size in bytes.
+    pub control_bytes: f64,
+}
+
+impl Default for SyncCosts {
+    fn default() -> Self {
+        SyncCosts {
+            control_cycles: 50e6,
+            query_cycles: 400e6,
+            db_cycles_per_byte: 0.002,
+            control_bytes: 256e3,
+        }
+    }
+}
+
+fn daemon() -> Endpoint {
+    // The daemon process runs inside the master data center; it behaves
+    // like a (lightweight) client holon located there.
+    Endpoint { holon: Holon::Client, site: Site::Master }
+}
+
+fn app() -> Endpoint {
+    Endpoint::tier(TierKind::App, Site::Master)
+}
+
+fn db() -> Endpoint {
+    Endpoint::tier(TierKind::Db, Site::Master)
+}
+
+fn master_fs() -> Endpoint {
+    Endpoint::tier(TierKind::Fs, Site::Master)
+}
+
+fn slave_fs(i: usize) -> Endpoint {
+    Endpoint::tier(TierKind::Fs, Site::Extra(i as u8))
+}
+
+/// Builds one SYNCHREP instance.
+///
+/// `pull_bytes[i]` is the volume to pull from slave `i` (bound to
+/// `Site::Extra(i)`), `push_bytes[i]` the volume to push to it. Zero
+/// volumes skip their transfer message. The total synchronized volume
+/// drives the database bookkeeping cost.
+pub fn build_synchrep(
+    pull_bytes: &[f64],
+    push_bytes: &[f64],
+    costs: &SyncCosts,
+) -> OperationTemplate {
+    assert_eq!(pull_bytes.len(), push_bytes.len(), "one pull and push volume per slave");
+    let total: f64 = pull_bytes.iter().sum();
+    let mut steps = vec![
+        // Daemon asks for the modified-file list.
+        CascadeStep::seq(daemon(), app(), RVec::new(costs.control_cycles, costs.control_bytes, 0.0, 0.0)),
+        CascadeStep::seq(app(), db(), RVec::new(costs.query_cycles, costs.control_bytes, 0.0, 0.0)),
+        CascadeStep::seq(db(), app(), RVec::net(costs.control_bytes)),
+        CascadeStep::seq(app(), daemon(), RVec::net(costs.control_bytes)),
+    ];
+    // Pull phase: all slaves concurrently. The destination (master Tfs)
+    // receives and writes the bytes.
+    let mut first_in_stage = true;
+    for (i, &bytes) in pull_bytes.iter().enumerate() {
+        if bytes <= 0.0 {
+            continue;
+        }
+        let r = RVec::new(0.0, bytes, 0.0, bytes);
+        steps.push(if first_in_stage {
+            CascadeStep::seq(slave_fs(i), master_fs(), r)
+        } else {
+            CascadeStep::par(slave_fs(i), master_fs(), r)
+        });
+        first_in_stage = false;
+    }
+    // Version bookkeeping between phases.
+    steps.push(CascadeStep::seq(
+        app(),
+        db(),
+        RVec::new(costs.query_cycles + costs.db_cycles_per_byte * total, costs.control_bytes, 0.0, 0.0),
+    ));
+    // Push phase: scatter to all slaves concurrently.
+    first_in_stage = true;
+    for (i, &bytes) in push_bytes.iter().enumerate() {
+        if bytes <= 0.0 {
+            continue;
+        }
+        let r = RVec::new(0.0, bytes, 0.0, bytes);
+        steps.push(if first_in_stage {
+            CascadeStep::seq(master_fs(), slave_fs(i), r)
+        } else {
+            CascadeStep::par(master_fs(), slave_fs(i), r)
+        });
+        first_in_stage = false;
+    }
+    // Completion: record replica locations, notify the daemon.
+    steps.push(CascadeStep::seq(app(), db(), RVec::cycles(costs.query_cycles)));
+    steps.push(CascadeStep::seq(app(), daemon(), RVec::net(costs.control_bytes)));
+    OperationTemplate::new("SYNCHREP", steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulls_and_pushes_form_parallel_stages() {
+        let op = build_synchrep(&[1e9, 2e9, 3e9], &[4e9, 5e9, 6e9], &SyncCosts::default());
+        let stages = op.stages();
+        // 4 control + pull-stage + bookkeeping + push-stage + 2 tail = 9.
+        assert_eq!(stages.len(), 9);
+        let pull_stage = &stages[4];
+        assert_eq!(pull_stage.len(), 3, "three concurrent pulls");
+        let push_stage = &stages[6];
+        assert_eq!(push_stage.len(), 3, "three concurrent pushes");
+    }
+
+    #[test]
+    fn zero_volumes_are_skipped() {
+        let op = build_synchrep(&[0.0, 2e9], &[1e9, 0.0], &SyncCosts::default());
+        // Only one pull and one push message.
+        let transfers: Vec<_> = op
+            .steps
+            .iter()
+            .filter(|s| s.r.net_bytes > 1e8)
+            .collect();
+        assert_eq!(transfers.len(), 2);
+    }
+
+    #[test]
+    fn wan_volume_matches_inputs() {
+        let op = build_synchrep(&[1e9], &[2e9], &SyncCosts::default());
+        // WAN bytes = transfers crossing sites: pull 1 GB + push 2 GB
+        // (control messages stay inside the master site).
+        assert!((op.wan_bytes() - 3e9).abs() < 1e6, "got {}", op.wan_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "one pull and push volume per slave")]
+    fn mismatched_volumes_panic() {
+        build_synchrep(&[1.0], &[1.0, 2.0], &SyncCosts::default());
+    }
+}

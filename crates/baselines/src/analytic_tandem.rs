@@ -1,0 +1,118 @@
+//! Urgaonkar-style analytic multi-tier model (Fig. 2-6).
+//!
+//! Each tier is a single `M/M/1` queue; a request entering tier `i`
+//! proceeds to tier `i+1` with probability `q_i` (caching and early
+//! returns make `q_i < 1`) and otherwise turns around. Expected visits
+//! follow by chain multiplication and the mean response time is the
+//! visit-weighted sum of per-tier `M/M/1` sojourns — a closed form, with
+//! the rigidity the paper contrasts against simulation (§2.5.2).
+
+use gdisim_queueing::analytic::mm1_response_time;
+use serde::{Deserialize, Serialize};
+
+/// The analytic tandem model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TandemModel {
+    /// Service rate of each tier's queue (requests/second).
+    pub mu: Vec<f64>,
+    /// `q[i]`: probability a request at tier `i` continues to `i+1`
+    /// (length `mu.len() - 1`).
+    pub forward: Vec<f64>,
+}
+
+impl TandemModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch, non-positive rates, or
+    /// probabilities outside `[0, 1]`.
+    pub fn new(mu: Vec<f64>, forward: Vec<f64>) -> Self {
+        assert!(!mu.is_empty(), "tandem needs at least one tier");
+        assert_eq!(forward.len(), mu.len() - 1, "one forward probability per hop");
+        assert!(mu.iter().all(|m| *m > 0.0), "service rates must be positive");
+        assert!(forward.iter().all(|q| (0.0..=1.0).contains(q)), "probabilities in [0,1]");
+        TandemModel { mu, forward }
+    }
+
+    /// Expected visits per tier for one request.
+    pub fn visits(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.mu.len());
+        let mut cur = 1.0;
+        v.push(cur);
+        for q in &self.forward {
+            cur *= q;
+            v.push(cur);
+        }
+        v
+    }
+
+    /// Mean response time at arrival rate `lambda`; infinite past any
+    /// tier's saturation.
+    pub fn predict_response(&self, lambda: f64) -> f64 {
+        self.visits()
+            .iter()
+            .zip(&self.mu)
+            .map(|(v, mu)| v * mm1_response_time(lambda * v, *mu))
+            .sum()
+    }
+
+    /// Highest sustainable arrival rate.
+    pub fn capacity(&self) -> f64 {
+        self.visits()
+            .iter()
+            .zip(&self.mu)
+            .map(|(v, mu)| mu / v)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TandemModel {
+        // Web -> app -> db with caching between tiers.
+        TandemModel::new(vec![500.0, 300.0, 200.0], vec![0.8, 0.5])
+    }
+
+    #[test]
+    fn visits_decay_with_forward_probability() {
+        let v = model().visits();
+        assert_eq!(v.len(), 3);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[1] - 0.8).abs() < 1e-12);
+        assert!((v[2] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_tier_reduces_to_mm1() {
+        let m = TandemModel::new(vec![10.0], vec![]);
+        assert!((m.predict_response(8.0) - 0.5).abs() < 1e-12);
+        assert!((m.capacity() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caching_raises_capacity() {
+        let hot = TandemModel::new(vec![500.0, 300.0, 200.0], vec![0.8, 0.5]);
+        let cold = TandemModel::new(vec![500.0, 300.0, 200.0], vec![1.0, 1.0]);
+        assert!(hot.capacity() > cold.capacity(), "cache hits offload the database");
+    }
+
+    #[test]
+    fn response_monotone_in_load() {
+        let m = model();
+        let mut prev = 0.0;
+        for l in [10.0, 100.0, 200.0, 300.0] {
+            let r = m.predict_response(l);
+            assert!(r > prev);
+            prev = r;
+        }
+        assert!(m.predict_response(m.capacity() + 1.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "one forward probability per hop")]
+    fn dimension_mismatch_panics() {
+        TandemModel::new(vec![1.0, 2.0], vec![]);
+    }
+}

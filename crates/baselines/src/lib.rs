@@ -1,0 +1,24 @@
+//! Comparison baselines from the related work of Ch. 2.
+//!
+//! * [`mdcsim`] — an MDCSim-style model (Lim et al., §2.4.1): every
+//!   server component (NIC, CPU, I/O) is an `M/M/1 – FCFS` queue, tiers
+//!   are arrays of such servers, and a request visits the tiers in
+//!   order. It predicts latency and throughput but, as the paper notes
+//!   in §2.5.1, has no utilization/capacity-planning outputs beyond `ρ`.
+//! * [`analytic_tandem`] — an Urgaonkar-style analytic multi-tier model
+//!   (§2.2.3, Fig. 2-6): each tier is one `M/M/1` queue and a request
+//!   proceeds tier-to-tier with configurable forward probabilities,
+//!   giving closed-form mean response times.
+//!
+//! The `baseline_compare` bench pits both against the GDISim engine on
+//! the same three-tier workload.
+
+#![warn(missing_docs)]
+
+pub mod analytic_tandem;
+pub mod mdcsim;
+pub mod mdcsim_des;
+
+pub use analytic_tandem::TandemModel;
+pub use mdcsim::{MdcSimModel, MdcTier};
+pub use mdcsim_des::{MdcSimResult, MdcSimulator};

@@ -1,0 +1,146 @@
+//! MDCSim-style multi-tier data center model.
+//!
+//! "MDCSim models all the components of a server as `M/M/1 – FCFS`
+//! queues. Even though it can produce satisfactory estimations of the
+//! overall latency and throughput of a data center, MDCSim does not
+//! include models to predict CPU or bandwidth utilization" (§2.5.1).
+//!
+//! A request flows NIC → CPU → I/O inside each server of each tier it
+//! visits; arrivals are balanced evenly over a tier's servers. Mean
+//! response time is the sum of the per-component `M/M/1` sojourns.
+
+use gdisim_queueing::analytic::{mm1_response_time, utilization};
+use serde::{Deserialize, Serialize};
+
+/// One tier of the MDCSim model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MdcTier {
+    /// Identical servers in the tier.
+    pub servers: u32,
+    /// NIC service rate, requests/second.
+    pub nic_mu: f64,
+    /// CPU service rate, requests/second.
+    pub cpu_mu: f64,
+    /// I/O (disk) service rate, requests/second. `f64::INFINITY` skips
+    /// the component (diskless tier).
+    pub io_mu: f64,
+    /// Mean visits a request makes to this tier.
+    pub visits: f64,
+}
+
+impl MdcTier {
+    fn per_server_lambda(&self, lambda: f64) -> f64 {
+        lambda * self.visits / self.servers as f64
+    }
+
+    fn response(&self, lambda: f64) -> f64 {
+        let l = self.per_server_lambda(lambda);
+        let mut r = mm1_response_time(l, self.nic_mu) + mm1_response_time(l, self.cpu_mu);
+        if self.io_mu.is_finite() {
+            r += mm1_response_time(l, self.io_mu);
+        }
+        self.visits * r
+    }
+
+    /// The saturation arrival rate of this tier (the slowest component
+    /// caps it).
+    fn saturation(&self) -> f64 {
+        let min_mu = self.nic_mu.min(self.cpu_mu).min(self.io_mu);
+        min_mu * self.servers as f64 / self.visits
+    }
+}
+
+/// The full MDCSim-style model: tiers visited in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MdcSimModel {
+    /// Web/app/db tiers, in visit order.
+    pub tiers: Vec<MdcTier>,
+}
+
+impl MdcSimModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics on an empty tier list or non-positive rates.
+    pub fn new(tiers: Vec<MdcTier>) -> Self {
+        assert!(!tiers.is_empty(), "MDCSim model needs at least one tier");
+        for t in &tiers {
+            assert!(t.servers > 0 && t.nic_mu > 0.0 && t.cpu_mu > 0.0 && t.io_mu > 0.0);
+            assert!(t.visits > 0.0);
+        }
+        MdcSimModel { tiers }
+    }
+
+    /// Mean end-to-end response time at arrival rate `lambda`
+    /// (requests/second); infinite at or beyond saturation.
+    pub fn predict_response(&self, lambda: f64) -> f64 {
+        self.tiers.iter().map(|t| t.response(lambda)).sum()
+    }
+
+    /// The highest sustainable arrival rate.
+    pub fn capacity(&self) -> f64 {
+        self.tiers.iter().map(MdcTier::saturation).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Per-tier CPU `ρ` — the only utilization statement an M/M/1 chain
+    /// can make (contrast with GDISim's per-core busy accounting).
+    pub fn cpu_rho(&self, lambda: f64) -> Vec<f64> {
+        self.tiers
+            .iter()
+            .map(|t| utilization(t.per_server_lambda(lambda), t.cpu_mu, 1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_tier() -> MdcSimModel {
+        MdcSimModel::new(vec![
+            MdcTier { servers: 4, nic_mu: 2000.0, cpu_mu: 400.0, io_mu: 800.0, visits: 1.0 },
+            MdcTier { servers: 8, nic_mu: 2000.0, cpu_mu: 150.0, io_mu: 600.0, visits: 1.5 },
+            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 250.0, io_mu: 120.0, visits: 0.8 },
+        ])
+    }
+
+    #[test]
+    fn response_grows_with_load() {
+        let m = three_tier();
+        let light = m.predict_response(50.0);
+        let heavy = m.predict_response(200.0);
+        assert!(light > 0.0);
+        assert!(heavy > light, "more load, more latency: {light} vs {heavy}");
+    }
+
+    #[test]
+    fn saturation_is_infinite_latency() {
+        let m = three_tier();
+        let cap = m.capacity();
+        assert!(m.predict_response(cap * 1.01).is_infinite());
+        assert!(m.predict_response(cap * 0.9).is_finite());
+    }
+
+    #[test]
+    fn capacity_is_limited_by_bottleneck() {
+        let m = three_tier();
+        // Tier 3 disk: 120/s × 2 servers / 0.8 visits = 300/s.
+        assert!((m.capacity() - 300.0).abs() < 1e-9, "got {}", m.capacity());
+    }
+
+    #[test]
+    fn rho_scales_linearly() {
+        let m = three_tier();
+        let r1 = m.cpu_rho(100.0);
+        let r2 = m.cpu_rho(200.0);
+        for (a, b) in r1.iter().zip(&r2) {
+            assert!((b / a - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_model_panics() {
+        MdcSimModel::new(vec![]);
+    }
+}

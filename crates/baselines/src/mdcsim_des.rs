@@ -1,0 +1,303 @@
+//! An event-driven MDCSim: the discrete-event counterpart of the
+//! analytic chain in [`crate::mdcsim`].
+//!
+//! MDCSim (Lim et al., §2.4.1) *simulates* a multi-tier data center with
+//! every server component — NIC, CPU, I/O — as its own `M/M/1 – FCFS`
+//! queue. This module reproduces that design as a small DES: Poisson
+//! request arrivals, requests assigned uniformly at random over a tier's
+//! servers (so each component sees a split Poisson stream, matching the
+//! per-component `M/M/1` assumption exactly), exponential service at
+//! each component, tiers visited in order with fractional mean visits
+//! realized by Bernoulli extra trips.
+//!
+//! Because the simulator and the analytic model share assumptions, their
+//! predictions must agree below saturation — one of this crate's tests —
+//! while the simulator additionally produces throughput and transient
+//! behavior the formulas cannot.
+
+use crate::mdcsim::MdcSimModel;
+use gdisim_queueing::SplitMix64;
+use gdisim_testbed::{EventQueue, MachinePool};
+use gdisim_types::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Result of one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdcSimResult {
+    /// Mean end-to-end response time of completed requests, seconds.
+    pub mean_response: f64,
+    /// Completed requests per second over the measured window.
+    pub throughput: f64,
+    /// Requests completed inside the horizon.
+    pub completed: u64,
+}
+
+/// Components inside one server, visited in order.
+const COMPONENTS_PER_SERVER: usize = 3; // NIC, CPU, IO
+
+struct Job {
+    arrived: SimTime,
+    tier: usize,
+    /// Remaining visits of the current tier (including the current one).
+    visits_left: u32,
+    component: usize,
+    server: usize,
+}
+
+enum Ev {
+    Arrive,
+    Done { pool: usize, job: u64 },
+}
+
+/// The event-driven MDCSim baseline.
+#[derive(Debug, Clone)]
+pub struct MdcSimulator {
+    model: MdcSimModel,
+    seed: u64,
+}
+
+impl MdcSimulator {
+    /// Wraps an MDCSim parameterization for simulation.
+    pub fn new(model: MdcSimModel, seed: u64) -> Self {
+        MdcSimulator { model, seed }
+    }
+
+    fn pool_index(&self, tier: usize, server: usize, component: usize) -> usize {
+        let mut base = 0;
+        for t in self.model.tiers.iter().take(tier) {
+            base += t.servers as usize * COMPONENTS_PER_SERVER;
+        }
+        base + server * COMPONENTS_PER_SERVER + component
+    }
+
+    fn component_mu(&self, tier: usize, component: usize) -> f64 {
+        let t = &self.model.tiers[tier];
+        match component {
+            0 => t.nic_mu,
+            1 => t.cpu_mu,
+            _ => t.io_mu,
+        }
+    }
+
+    /// Samples visit counts: `E[visits] = v` realized as `⌊v⌋` plus a
+    /// Bernoulli extra trip with probability `frac(v)`.
+    fn sample_visits(&self, rng: &mut SplitMix64, tier: usize) -> u32 {
+        let v = self.model.tiers[tier].visits;
+        let base = v.floor() as u32;
+        base + u32::from(rng.bernoulli(v.fract()))
+    }
+
+    /// Runs the DES for `horizon_secs` at arrival rate `lambda`
+    /// (requests/second). The first 20 % warms up and is excluded from
+    /// statistics.
+    pub fn simulate(&self, lambda: f64, horizon_secs: f64) -> MdcSimResult {
+        assert!(lambda > 0.0 && horizon_secs > 0.0);
+        let mut rng = SplitMix64::new(self.seed);
+        let n_pools: usize = self
+            .model
+            .tiers
+            .iter()
+            .map(|t| t.servers as usize * COMPONENTS_PER_SERVER)
+            .sum();
+        // Every component is its own M/M/1 queue: one-server pools.
+        let mut pools: Vec<MachinePool> = (0..n_pools).map(|_| MachinePool::new(1)).collect();
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut jobs: HashMap<u64, Job> = HashMap::new();
+        let mut next_job = 0u64;
+        let horizon = SimTime::from_secs_f64_total(horizon_secs);
+        let warmup = SimTime::from_secs_f64_total(horizon_secs * 0.2);
+
+        let mut completed = 0u64;
+        let mut response_sum = 0.0f64;
+
+        q.schedule(
+            SimTime::ZERO + SimDuration::from_secs_f64(rng.exponential(lambda)),
+            Ev::Arrive,
+        );
+        while let Some(ev) = q.pop() {
+            let now = ev.at;
+            if now > horizon {
+                break;
+            }
+            match ev.payload {
+                Ev::Arrive => {
+                    // Admit the request to tier 0 and schedule the next
+                    // arrival.
+                    let id = next_job;
+                    next_job += 1;
+                    let visits = self.sample_visits(&mut rng, 0).max(1);
+                    let server = rng.below(self.model.tiers[0].servers as u64) as usize;
+                    jobs.insert(
+                        id,
+                        Job { arrived: now, tier: 0, visits_left: visits, component: 0, server },
+                    );
+                    self.enter_component(&mut pools, &mut q, &mut rng, &jobs, id, now);
+                    q.schedule(
+                        now + SimDuration::from_secs_f64(rng.exponential(lambda)),
+                        Ev::Arrive,
+                    );
+                }
+                Ev::Done { pool, job } => {
+                    if let Some((next_j, finish)) = pools[pool].complete(now) {
+                        q.schedule(finish, Ev::Done { pool, job: next_j });
+                    }
+                    let (advance_tier, finished) = {
+                        let j = jobs.get_mut(&job).expect("job live");
+                        j.component += 1;
+                        if j.component < COMPONENTS_PER_SERVER {
+                            (false, false)
+                        } else {
+                            j.component = 0;
+                            j.visits_left -= 1;
+                            if j.visits_left > 0 {
+                                (false, false) // revisit the same tier
+                            } else if j.tier + 1 < self.model.tiers.len() {
+                                (true, false)
+                            } else {
+                                (false, true)
+                            }
+                        }
+                    };
+                    if finished {
+                        let j = jobs.remove(&job).expect("job live");
+                        if j.arrived >= warmup {
+                            completed += 1;
+                            response_sum += (now - j.arrived).as_secs_f64();
+                        }
+                        continue;
+                    }
+                    if advance_tier {
+                        let j = jobs.get_mut(&job).expect("job live");
+                        j.tier += 1;
+                        let visits = self.sample_visits(&mut rng, j.tier);
+                        if visits == 0 {
+                            // Tier skipped entirely; finish or continue.
+                            // Simplification: a zero-visit draw completes
+                            // the request (downstream tiers see fewer
+                            // visits on average, matching E[v] < 1).
+                            let j = jobs.remove(&job).expect("job live");
+                            if j.arrived >= warmup {
+                                completed += 1;
+                                response_sum += (now - j.arrived).as_secs_f64();
+                            }
+                            continue;
+                        }
+                        j.visits_left = visits;
+                        let servers = self.model.tiers[j.tier].servers as u64;
+                        j.server = rng.below(servers) as usize;
+                    }
+                    self.enter_component(&mut pools, &mut q, &mut rng, &jobs, job, now);
+                }
+            }
+        }
+
+        let measured_secs = horizon_secs * 0.8;
+        MdcSimResult {
+            mean_response: if completed > 0 { response_sum / completed as f64 } else { 0.0 },
+            throughput: completed as f64 / measured_secs,
+            completed,
+        }
+    }
+
+    fn enter_component(
+        &self,
+        pools: &mut [MachinePool],
+        q: &mut EventQueue<Ev>,
+        rng: &mut SplitMix64,
+        jobs: &HashMap<u64, Job>,
+        job: u64,
+        now: SimTime,
+    ) {
+        let j = &jobs[&job];
+        let pool = self.pool_index(j.tier, j.server, j.component);
+        let mu = self.component_mu(j.tier, j.component);
+        let service = SimDuration::from_secs_f64(rng.exponential(mu));
+        if let Some((jj, finish)) = pools[pool].offer(now, job, service) {
+            q.schedule(finish, Ev::Done { pool, job: jj });
+        }
+    }
+}
+
+trait FromSecsTotal {
+    fn from_secs_f64_total(s: f64) -> SimTime;
+}
+impl FromSecsTotal for SimTime {
+    fn from_secs_f64_total(s: f64) -> SimTime {
+        SimTime((s * 1e6) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdcsim::MdcTier;
+
+    fn model() -> MdcSimModel {
+        MdcSimModel::new(vec![
+            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 60.0, io_mu: 400.0, visits: 1.0 },
+            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 80.0, io_mu: 300.0, visits: 1.0 },
+        ])
+    }
+
+    #[test]
+    fn simulator_agrees_with_analytic_chain_below_saturation() {
+        // Same assumptions, so the DES must land on the formula.
+        let m = model();
+        let sim = MdcSimulator::new(m.clone(), 11);
+        let lambda = 40.0; // per-server CPU rho = 40/2/60 = 0.33
+        let result = sim.simulate(lambda, 2000.0);
+        let analytic = m.predict_response(lambda);
+        let rel = (result.mean_response - analytic).abs() / analytic;
+        assert!(
+            rel < 0.12,
+            "DES {:.4}s vs analytic {analytic:.4}s ({rel:.2})",
+            result.mean_response
+        );
+        // Throughput matches the offered load below saturation.
+        assert!((result.throughput - lambda).abs() / lambda < 0.1, "{}", result.throughput);
+    }
+
+    #[test]
+    fn response_time_grows_with_load() {
+        let sim = MdcSimulator::new(model(), 7);
+        let light = sim.simulate(20.0, 800.0);
+        let heavy = sim.simulate(90.0, 800.0);
+        assert!(heavy.mean_response > light.mean_response);
+    }
+
+    #[test]
+    fn overload_caps_throughput() {
+        let m = model();
+        let sim = MdcSimulator::new(m.clone(), 7);
+        let capacity = m.capacity(); // 2 servers * 60/s = 120/s at tier-0 CPU
+        let result = sim.simulate(capacity * 2.0, 400.0);
+        assert!(
+            result.throughput < capacity * 1.1,
+            "throughput {} cannot exceed capacity {capacity}",
+            result.throughput
+        );
+    }
+
+    #[test]
+    fn fractional_visits_shorten_the_path() {
+        // visits = 0.5 on tier 2: about half the requests skip it.
+        let partial = MdcSimModel::new(vec![
+            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 100.0, io_mu: 400.0, visits: 1.0 },
+            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 100.0, io_mu: 400.0, visits: 0.5 },
+        ]);
+        let full = MdcSimModel::new(vec![
+            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 100.0, io_mu: 400.0, visits: 1.0 },
+            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 100.0, io_mu: 400.0, visits: 1.0 },
+        ]);
+        let p = MdcSimulator::new(partial, 3).simulate(30.0, 800.0);
+        let f = MdcSimulator::new(full, 3).simulate(30.0, 800.0);
+        assert!(p.mean_response < f.mean_response, "{} vs {}", p.mean_response, f.mean_response);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = MdcSimulator::new(model(), 5).simulate(30.0, 300.0);
+        let b = MdcSimulator::new(model(), 5).simulate(30.0, 300.0);
+        assert_eq!(a, b);
+    }
+}

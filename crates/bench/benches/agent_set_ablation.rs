@@ -1,0 +1,35 @@
+//! A1 — design-choice ablation: H-Dispatch agent-set size.
+//!
+//! The paper fixes the agent set at 64 ("an Agent Set of size 64
+//! delivered the best results", §4.3.5). This ablation sweeps the size:
+//! tiny sets degenerate into the classic per-item Scatter-Gather
+//! (overhead-bound), huge sets degenerate into serial execution
+//! (no load balancing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdisim_ports::Executor;
+
+struct FakeAgent {
+    acc: u64,
+}
+
+fn tick(agent: &mut FakeAgent) {
+    agent.acc = (0..50u64).fold(agent.acc, |a, i| a.wrapping_mul(31).wrapping_add(i));
+}
+
+fn bench_agent_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_set_size");
+    group.sample_size(30);
+    let n_agents = 8192;
+    for set in [1usize, 8, 64, 256, 2048] {
+        let hd = Executor::hdispatch(4, set);
+        group.bench_with_input(BenchmarkId::from_parameter(set), &hd, |b, ex| {
+            let mut agents: Vec<FakeAgent> = (0..n_agents).map(|i| FakeAgent { acc: i }).collect();
+            b.iter(|| ex.run_phase(&mut agents, tick));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench_agent_sets);
+criterion_main!(ablation);

@@ -1,0 +1,30 @@
+//! A2 — design-choice ablation: time-step size.
+//!
+//! §4.3.1 requires dt "at least one order of magnitude smaller than the
+//! time values measured in the canonical operation set". This ablation
+//! measures the wall-time cost of refining dt on a fixed validation
+//! slice (accuracy versus dt is reported by the `exp_canonical` binary,
+//! whose per-op error scales with the per-message quantization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdisim_core::scenarios::validation::{self, EXPERIMENTS};
+use gdisim_types::{SimDuration, SimTime};
+
+fn bench_dt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_step");
+    group.sample_size(10);
+    for dt_ms in [5u64, 10, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(dt_ms), &dt_ms, |b, &dt_ms| {
+            b.iter(|| {
+                let mut sim = validation::build(EXPERIMENTS[0], 7);
+                sim.set_dt(SimDuration::from_millis(dt_ms));
+                sim.run_until(SimTime::from_secs(60));
+                sim.active_operations()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench_dt);
+criterion_main!(ablation);

@@ -1,0 +1,45 @@
+//! Criterion companion to E1/E2: one tick-phase of a large agent
+//! population under serial, Scatter-Gather and H-Dispatch execution —
+//! the steady-state cost the `exp_scaling` binary integrates over a
+//! whole run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdisim_ports::Executor;
+
+/// A synthetic "agent": enough state to make per-agent work non-trivial
+/// (comparable to ticking a small idle queue).
+struct FakeAgent {
+    acc: u64,
+}
+
+fn tick(agent: &mut FakeAgent) {
+    // ~50 cheap ops: the cost scale of an idle component tick.
+    agent.acc = (0..50u64).fold(agent.acc, |a, i| a.wrapping_mul(31).wrapping_add(i));
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_execution");
+    group.sample_size(30);
+    let n_agents = 4096;
+    for threads in [2usize, 4] {
+        let sg = Executor::scatter_gather(threads);
+        group.bench_with_input(BenchmarkId::new("scatter_gather", threads), &sg, |b, ex| {
+            let mut agents: Vec<FakeAgent> = (0..n_agents).map(|i| FakeAgent { acc: i }).collect();
+            b.iter(|| ex.run_phase(&mut agents, tick));
+        });
+        let hd = Executor::hdispatch(threads, 64);
+        group.bench_with_input(BenchmarkId::new("h_dispatch", threads), &hd, |b, ex| {
+            let mut agents: Vec<FakeAgent> = (0..n_agents).map(|i| FakeAgent { acc: i }).collect();
+            b.iter(|| ex.run_phase(&mut agents, tick));
+        });
+    }
+    let serial = Executor::serial();
+    group.bench_function("serial", |b| {
+        let mut agents: Vec<FakeAgent> = (0..n_agents).map(|i| FakeAgent { acc: i }).collect();
+        b.iter(|| serial.run_phase(&mut agents, tick));
+    });
+    group.finish();
+}
+
+criterion_group!(scaling, bench_phases);
+criterion_main!(scaling);

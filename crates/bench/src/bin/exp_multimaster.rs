@@ -1,0 +1,174 @@
+//! E18–E22 — the Ch. 7 background-process optimization: 24 hours on the
+//! multiple-master infrastructure.
+//!
+//! Regenerates Tables 7.1/7.2 (access patterns), Figs. 7-4/7-5 (SR
+//! volumes for DNA and DEU), Table 7.3 (WAN utilization), Fig. 7-6
+//! (SR/IB response times in DNA) and the §7.4.1 computational results
+//! (DNA at half capacity, DEU upgraded).
+
+use gdisim_background::{BackgroundKind, BackgroundScheduler, OwnershipSplit, SchedulerConfig};
+use gdisim_bench::{pct, print_table, sparkline, write_csv};
+use gdisim_core::scenarios::multimaster;
+use gdisim_metrics::TimeSeries;
+use gdisim_types::{SimDuration, SimTime, TierKind};
+use gdisim_workload::AccessPatternMatrix;
+
+const DAY: SimTime = SimTime::from_hours(24);
+
+fn main() {
+    println!("E18–E22 — background process optimization (Ch. 7)");
+
+    // ---- Tables 7.1 / 7.2: access-pattern inputs ----
+    let apm = AccessPatternMatrix::multimaster_table_7_2();
+    let single = AccessPatternMatrix::single_master(apm.sites().to_vec(), "NA");
+    for (name, m, file) in [
+        ("Table 7.1 — consolidated (single master)", &single, "table_7_1_apm.csv"),
+        ("Table 7.2 — multiple master", &apm, "table_7_2_apm.csv"),
+    ] {
+        let mut headers = vec!["access\\owner".to_string()];
+        headers.extend(m.sites().iter().cloned());
+        let rows: Vec<Vec<String>> = (0..m.sites().len())
+            .map(|a| {
+                let mut row = vec![m.sites()[a].clone()];
+                row.extend((0..m.sites().len()).map(|o| format!("{:.2}", m.fraction(a, o) * 100.0)));
+                row
+            })
+            .collect();
+        print_table(name, &headers, &rows);
+        write_csv(file, &headers, &rows);
+    }
+    println!(
+        "  mean locality: single master {} -> multiple master {}",
+        pct(single.mean_locality()),
+        pct(apm.mean_locality())
+    );
+
+    // ---- Figs. 7-4 / 7-5: SR volumes per master (scheduler replay) ----
+    let mut sched = BackgroundScheduler::new(
+        multimaster::data_growth(),
+        OwnershipSplit::from_access_pattern(&apm),
+        SchedulerConfig::default(),
+    );
+    let mut per_master_pull: Vec<Vec<f64>> = vec![Vec::new(); multimaster::SITES.len()];
+    let mut per_master_push: Vec<Vec<f64>> = vec![Vec::new(); multimaster::SITES.len()];
+    let mut t = SimTime::ZERO;
+    while t < DAY {
+        for l in sched.poll(t) {
+            match l.kind {
+                BackgroundKind::SyncRep => {
+                    per_master_pull[l.master_site].push(l.pull_bytes.iter().sum::<f64>() / 1e6);
+                    per_master_push[l.master_site].push(l.push_bytes.iter().sum::<f64>() / 1e6);
+                }
+                BackgroundKind::IndexBuild => sched.on_indexbuild_complete(l.master_site, t),
+            }
+        }
+        t += SimDuration::from_mins(15);
+    }
+    for (site, fig, paper_peak_gb) in [("NA", "7-4", 8.0), ("EU", "7-5", 5.5)] {
+        let idx = multimaster::SITES.iter().position(|s| *s == site).unwrap();
+        let peak: f64 = per_master_pull[idx]
+            .iter()
+            .zip(&per_master_push[idx])
+            .map(|(a, b)| a + b)
+            .fold(0.0, f64::max);
+        println!("\n== Fig. {fig} — SR volumes to/from D{site}");
+        println!("  pull: {}", sparkline(&per_master_pull[idx]));
+        println!("  push: {}", sparkline(&per_master_push[idx]));
+        println!("  peak per-run total {:.2} GB (paper ≈{paper_peak_gb} GB)", peak / 1e3);
+        let rows: Vec<Vec<String>> = per_master_pull[idx]
+            .iter()
+            .zip(&per_master_push[idx])
+            .enumerate()
+            .map(|(i, (pull, push))| {
+                vec![format!("{}", i * 15), format!("{pull:.0}"), format!("{push:.0}")]
+            })
+            .collect();
+        write_csv(
+            &format!("fig_{}_sr_volumes_{site}.csv", fig.replace('-', "_")),
+            &["minute", "pull (MB)", "push (MB)"],
+            &rows,
+        );
+    }
+
+    // ---- Run the day ----
+    let wall = std::time::Instant::now();
+    let mut sim = multimaster::build(7);
+    sim.run_until(DAY);
+    let report = sim.into_report();
+    println!("\n  24 simulated hours in {:?}", wall.elapsed());
+
+    // ---- Table 7.3: WAN utilization 12:00–16:00 GMT ----
+    let w_start = SimTime::from_hours(12);
+    let w_end = SimTime::from_hours(16);
+    let paper: &[(&str, u32)] = &[
+        ("L NA->SA", 53),
+        ("L NA->EU", 51),
+        ("L NA->AS1", 76),
+        ("L EU->AFR (backup)", 0),
+        ("L EU->AS1 (backup)", 0),
+        ("L AS1->AFR", 67),
+        ("L AS1->AS", 56),
+        ("L AS1->AUS", 66),
+    ];
+    let rows: Vec<Vec<String>> = paper
+        .iter()
+        .map(|(label, p)| {
+            let measured = report
+                .wan_util
+                .get(*label)
+                .map(|s| s.window_mean(w_start, w_end))
+                .unwrap_or(0.0);
+            vec![label.to_string(), format!("{p}%"), pct(measured)]
+        })
+        .collect();
+    let headers = vec!["link", "paper", "simulated"];
+    print_table("Table 7.3 — WAN utilization of allocated capacity, 12:00-16:00 GMT", &headers, &rows);
+    write_csv("table_7_3_wan_util.csv", &headers, &rows);
+
+    // ---- Fig. 7-6: SR/IB response times in DNA ----
+    println!("\n== Fig. 7-6 — background response times in DNA");
+    let na_idx = multimaster::SITES.iter().position(|s| *s == "NA").unwrap();
+    for (kind, name, paper_max_min) in [
+        (BackgroundKind::SyncRep, "SYNCHREP", 19.0),
+        (BackgroundKind::IndexBuild, "INDEXBUILD", 37.0),
+    ] {
+        let recs: Vec<_> = report
+            .background_of(kind)
+            .into_iter()
+            .filter(|r| r.master_site == na_idx)
+            .collect();
+        let series: Vec<f64> = recs.iter().map(|r| r.response_secs() / 60.0).collect();
+        let max = series.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "  {name}@NA: {} runs, {} | max {max:.1} min (paper ≈{paper_max_min} min; \
+             consolidated was {} min)",
+            recs.len(),
+            sparkline(&series),
+            if kind == BackgroundKind::SyncRep { 31 } else { 63 },
+        );
+    }
+
+    // ---- §7.4.1: computational results ----
+    println!("\n== §7.4.1 — peak CPU utilization 12:00-16:00 GMT");
+    let window_mean = |s: Option<&TimeSeries>| s.map(|s| s.window_mean(w_start, w_end)).unwrap_or(0.0);
+    let window_max = |s: Option<&TimeSeries>| {
+        s.map(|s| s.window(w_start, w_end).iter().cloned().fold(0.0, f64::max)).unwrap_or(0.0)
+    };
+    for (dc, tier, paper_pct) in [
+        ("NA", TierKind::App, 78.0),
+        ("NA", TierKind::Db, 39.0),
+        ("EU", TierKind::App, 57.0),
+        ("EU", TierKind::Db, 48.0),
+    ] {
+        let s = report.cpu(dc, tier);
+        println!(
+            "  {tier}@{dc}: mean {} / max {} (paper ≈{paper_pct}%)",
+            pct(window_mean(s)),
+            pct(window_max(s)),
+        );
+    }
+    println!(
+        "  note: DNA runs at half its consolidated capacity (4 app servers, 32 DB cores)\n  \
+         yet stays in the same utilization band — the global workload offload at work."
+    );
+}

@@ -1,0 +1,59 @@
+//! E9/E10 — the case-study inputs: application workloads per data
+//! center (Figs. 6-5/6-6/6-7) and data growth (Fig. 6-10).
+//!
+//! These are simulator *inputs*; the binary renders them hour by hour so
+//! the curves can be compared with the paper's figures (peak magnitudes,
+//! timezone offsets, 12:00–16:00 GMT overlap).
+
+use gdisim_bench::{print_table, sparkline, write_csv};
+use gdisim_core::scenarios::consolidated;
+use gdisim_types::SimTime;
+
+fn main() {
+    println!("E9/E10 — workload and data-growth inputs (Figs. 6-5..6-7, 6-10)");
+    let workloads = consolidated::workloads();
+    let growth = consolidated::data_growth();
+
+    for (wl, fig) in workloads.iter().zip(["6-5", "6-6", "6-7"]) {
+        println!("\n== Fig. {fig} — {} workload (active clients by hour, GMT)", wl.app);
+        let mut rows = Vec::new();
+        for (si, site) in wl.sites.iter().enumerate() {
+            let series: Vec<f64> = (0..24)
+                .map(|h| site.curve.population(SimTime::from_hours(h)))
+                .collect();
+            let peak = series.iter().cloned().fold(0.0, f64::max);
+            println!("  {:>4}: {} (peak {:.0})", site.site, sparkline(&series), peak);
+            let mut row = vec![site.site.clone()];
+            row.extend(series.iter().map(|v| format!("{v:.0}")));
+            rows.push(row);
+            let _ = si;
+        }
+        let global: Vec<f64> =
+            (0..24).map(|h| wl.global_population(SimTime::from_hours(h))).collect();
+        let gpeak = global.iter().cloned().fold(0.0, f64::max);
+        println!("  GLOB: {} (peak {:.0})", sparkline(&global), gpeak);
+        let mut grow = vec!["GLOBAL".to_string()];
+        grow.extend(global.iter().map(|v| format!("{v:.0}")));
+        rows.push(grow);
+        let mut headers = vec!["site".to_string()];
+        headers.extend((0..24).map(|h| format!("{h:02}h")));
+        write_csv(&format!("fig_{}_workload_{}.csv", fig.replace('-', "_"), wl.app), &headers, &rows);
+    }
+
+    println!("\n== Fig. 6-10 — data growth (MB/hour by data center, GMT)");
+    let mut rows = Vec::new();
+    for (si, site) in growth.sites.iter().enumerate() {
+        let series: Vec<f64> = (0..24)
+            .map(|h| growth.rate_bytes_per_hour(si, SimTime::from_hours(h)) / 1e6)
+            .collect();
+        let peak = series.iter().cloned().fold(0.0, f64::max);
+        println!("  {:>4}: {} (peak {:.0} MB/h)", site.site, sparkline(&series), peak);
+        let mut row = vec![site.site.clone()];
+        row.extend(series.iter().map(|v| format!("{v:.0}")));
+        rows.push(row);
+    }
+    let mut headers = vec!["site".to_string()];
+    headers.extend((0..24).map(|h| format!("{h:02}h")));
+    print_table("Fig. 6-10 — data growth (MB/h)", &headers, &rows);
+    write_csv("fig_6_10_data_growth.csv", &headers, &rows);
+}

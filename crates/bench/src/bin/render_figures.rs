@@ -1,0 +1,138 @@
+//! Renders the CSV artifacts under `results/` into standalone SVG line
+//! charts (`results/svg/*.svg`) — the visualization direction Ch. 9.3.2
+//! sketches, with no plotting dependencies.
+//!
+//! Each CSV's first column is treated as the x-axis label; every numeric
+//! column becomes one polyline. Non-numeric columns (e.g. "48%") are
+//! parsed leniently by stripping `%`/`s` suffixes.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+const W: f64 = 860.0;
+const H: f64 = 340.0;
+const MARGIN_L: f64 = 60.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 30.0;
+const MARGIN_B: f64 = 40.0;
+const PALETTE: [&str; 8] =
+    ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"];
+
+fn parse_cell(cell: &str) -> Option<f64> {
+    let trimmed = cell.trim().trim_end_matches('%').trim_end_matches('s').trim();
+    trimmed.parse::<f64>().ok()
+}
+
+fn render_csv(path: &Path, out_dir: &Path) -> Option<()> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let headers: Vec<String> = lines.next()?.split(',').map(|h| h.trim().to_string()).collect();
+    let rows: Vec<Vec<String>> = lines
+        .map(|l| l.split(',').map(|c| c.trim().to_string()).collect())
+        .filter(|r: &Vec<String>| r.len() == headers.len())
+        .collect();
+    if rows.is_empty() || headers.len() < 2 {
+        return None;
+    }
+
+    // Numeric columns become series; the first column is the x label.
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for (ci, header) in headers.iter().enumerate().skip(1) {
+        let values: Vec<Option<f64>> = rows.iter().map(|r| parse_cell(&r[ci])).collect();
+        if values.iter().all(Option::is_some) {
+            series.push((header.clone(), values.into_iter().map(Option::unwrap).collect()));
+        }
+    }
+    if series.is_empty() {
+        return None;
+    }
+
+    let n = rows.len();
+    let y_max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .cloned()
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let y_min = series.iter().flat_map(|(_, v)| v.iter()).cloned().fold(f64::MAX, f64::min).min(0.0);
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let x_of = |i: usize| MARGIN_L + plot_w * i as f64 / (n.max(2) - 1) as f64;
+    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - (v - y_min) / (y_max - y_min));
+
+    let mut svg = String::new();
+    let title = path.file_stem().unwrap_or_default().to_string_lossy();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">
+<rect width="{W}" height="{H}" fill="white"/>
+<text x="{MARGIN_L}" y="20" font-family="monospace" font-size="13" fill="#333">{title}</text>
+"##
+    );
+    // Axes + gridlines.
+    for g in 0..=4 {
+        let v = y_min + (y_max - y_min) * g as f64 / 4.0;
+        let y = y_of(v);
+        let _ = write!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>
+<text x="{:.1}" y="{:.1}" font-family="monospace" font-size="10" fill="#666" text-anchor="end">{v:.1}</text>
+"##,
+            W - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 3.0
+        );
+    }
+    // Series polylines + legend.
+    for (si, (name, values)) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let points: Vec<String> =
+            values.iter().enumerate().map(|(i, v)| format!("{:.1},{:.1}", x_of(i), y_of(*v))).collect();
+        let _ = writeln!(
+            svg,
+            r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"##,
+            points.join(" ")
+        );
+        let ly = MARGIN_T + 14.0 * si as f64;
+        let _ = write!(
+            svg,
+            r##"<rect x="{:.1}" y="{ly:.1}" width="10" height="3" fill="{color}"/>
+<text x="{:.1}" y="{:.1}" font-family="monospace" font-size="10" fill="#333">{name}</text>
+"##,
+            W - MARGIN_R + 10.0,
+            W - MARGIN_R + 24.0,
+            ly + 5.0
+        );
+    }
+    let _ = writeln!(svg, "</svg>");
+
+    let out = out_dir.join(format!("{title}.svg"));
+    fs::write(&out, svg).ok()?;
+    println!("  rendered {}", out.display());
+    Some(())
+}
+
+fn main() {
+    let results = Path::new("results");
+    if !results.is_dir() {
+        eprintln!("no results/ directory — run the exp_* binaries first");
+        std::process::exit(1);
+    }
+    let out_dir = results.join("svg");
+    fs::create_dir_all(&out_dir).expect("create results/svg");
+    let mut rendered = 0;
+    let mut entries: Vec<_> = fs::read_dir(results)
+        .expect("read results/")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if render_csv(&path, &out_dir).is_some() {
+            rendered += 1;
+        }
+    }
+    println!("rendered {rendered} figure(s) into results/svg/");
+}

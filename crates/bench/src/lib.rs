@@ -1,0 +1,107 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` (see DESIGN.md's experiment index). The binaries print the
+//! same rows/series the paper reports and drop machine-readable CSV next
+//! to their stdout output under `results/`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Prints an aligned text table.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n== {title}");
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let rows: Vec<Vec<String>> =
+        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&headers);
+    for row in &rows {
+        line(row);
+    }
+}
+
+/// The output directory for CSV artifacts (`results/`, created on use).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("results").to_path_buf();
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file under `results/`.
+pub fn write_csv<H: Display, C: Display>(name: &str, headers: &[H], rows: &[Vec<C>]) {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    writeln!(f, "{}", head.join(",")).expect("write header");
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        writeln!(f, "{}", cells.join(",")).expect("write row");
+    }
+    println!("  -> wrote {}", path.display());
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats seconds with two decimals.
+pub fn secs(v: f64) -> String {
+    format!("{v:.2}s")
+}
+
+/// Renders a crude ASCII sparkline for a series (for figure-shaped
+/// output in the terminal).
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| GLYPHS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_spans_glyphs() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.435), "43.5%");
+        assert_eq!(secs(12.345), "12.35s");
+    }
+}

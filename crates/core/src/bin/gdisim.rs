@@ -1,0 +1,237 @@
+//! `gdisim` — command-line front end for the simulator.
+//!
+//! ```text
+//! gdisim validation [--experiment 1|2|3] [--seed N]
+//! gdisim consolidated [--hours H] [--seed N]
+//! gdisim multimaster  [--hours H] [--seed N]
+//! gdisim topology <spec.json>
+//! gdisim export <validation|consolidated|multimaster>
+//! ```
+//!
+//! `validation` runs a Ch. 5 experiment and prints the steady-state
+//! tier statistics; `consolidated`/`multimaster` run the case studies
+//! for the requested number of simulated hours and print the operator
+//! dashboard (tier CPU, WAN occupancy, background windows);
+//! `topology` validates a JSON topology file and describes what it
+//! would build; `export` prints a built-in scenario's topology as JSON —
+//! the natural starting point for editing a custom infrastructure.
+
+use gdisim_background::BackgroundKind;
+use gdisim_core::scenarios::{consolidated, multimaster, validation};
+use gdisim_core::{Report, Simulation};
+use gdisim_infra::{Infrastructure, TopologySpec};
+use gdisim_metrics::mean_stddev;
+use gdisim_types::{SimTime, TierKind};
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    experiment: usize,
+    hours: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { positional: Vec::new(), experiment: 1, hours: 24, seed: 42 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--experiment" => {
+                args.experiment = it
+                    .next()
+                    .ok_or("--experiment needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--experiment: {e}"))?;
+                if !(1..=3).contains(&args.experiment) {
+                    return Err("--experiment must be 1, 2 or 3".into());
+                }
+            }
+            "--hours" => {
+                args.hours = it
+                    .next()
+                    .ok_or("--hours needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--hours: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn print_usage() {
+    println!(
+        "gdisim — global data infrastructure simulator\n\n\
+         USAGE:\n  gdisim validation   [--experiment 1|2|3] [--seed N]\n  \
+         gdisim consolidated [--hours H] [--seed N]\n  \
+         gdisim multimaster  [--hours H] [--seed N]\n  \
+         gdisim topology <spec.json>\n  \
+         gdisim export <validation|consolidated|multimaster>"
+    );
+}
+
+fn dashboard(report: &Report, sites: &[&str]) {
+    println!("\ntier CPU (whole-run mean / max):");
+    for site in sites {
+        for tier in TierKind::ALL {
+            if let Some(s) = report.cpu(site, tier) {
+                let mean = gdisim_metrics::mean(s.values());
+                let max = s.values().iter().cloned().fold(0.0, f64::max);
+                println!("  {tier}@{site}: {:5.1}% / {:5.1}%", mean * 100.0, max * 100.0);
+            }
+        }
+    }
+    if !report.wan_util.is_empty() {
+        println!("\nWAN links (mean / max):");
+        for (label, s) in &report.wan_util {
+            let mean = gdisim_metrics::mean(s.values());
+            let max = s.values().iter().cloned().fold(0.0, f64::max);
+            println!("  {label}: {:5.1}% / {:5.1}%", mean * 100.0, max * 100.0);
+        }
+    }
+    for (kind, name) in
+        [(BackgroundKind::SyncRep, "SYNCHREP"), (BackgroundKind::IndexBuild, "INDEXBUILD")]
+    {
+        if let Some((at, secs)) = report.max_background_response(kind) {
+            println!(
+                "{name}: {} runs, worst response {:.1} min (launched {at})",
+                report.background_of(kind).len(),
+                secs / 60.0
+            );
+        }
+    }
+    if let Some((t, peak)) = report.concurrent_clients.max() {
+        println!("peak concurrent client operations: {peak:.0} at {t}");
+    }
+}
+
+fn run_case_study(mut sim: Simulation, hours: u64, sites: &[&str]) {
+    let wall = std::time::Instant::now();
+    sim.run_until(SimTime::from_hours(hours));
+    println!("simulated {hours} h in {:?}", wall.elapsed());
+    dashboard(sim.report(), sites);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(cmd) = args.positional.first() else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "validation" => {
+            let periods = validation::EXPERIMENTS[args.experiment - 1];
+            println!(
+                "validation experiment {} ({}-{}-{} s), seed {}",
+                args.experiment, periods.light, periods.average, periods.heavy, args.seed
+            );
+            let mut sim = validation::build(periods, args.seed);
+            let wall = std::time::Instant::now();
+            sim.run_until(SimTime::ZERO + validation::HORIZON);
+            println!("simulated 38 min in {:?}", wall.elapsed());
+            let report = sim.report();
+            println!("\nsteady-state CPU (mean ± sigma):");
+            for tier in TierKind::ALL {
+                let s = report.cpu("NA", tier).expect("tier series");
+                let (mu, sd) =
+                    mean_stddev(&s.window(validation::STEADY_START, validation::STEADY_END));
+                println!("  {tier}: {:5.1}% ± {:4.1}%", mu * 100.0, sd * 100.0);
+            }
+            let (clients, _) = mean_stddev(
+                &report
+                    .concurrent_clients
+                    .window(validation::STEADY_START, validation::STEADY_END),
+            );
+            println!("  concurrent clients: {clients:.1}");
+        }
+        "consolidated" => {
+            println!("consolidated case study (Ch. 6), seed {}", args.seed);
+            run_case_study(consolidated::build(args.seed), args.hours, &consolidated::SITES);
+        }
+        "multimaster" => {
+            println!("multiple-master case study (Ch. 7), seed {}", args.seed);
+            run_case_study(multimaster::build(args.seed), args.hours, &multimaster::SITES);
+        }
+        "export" => {
+            let Some(which) = args.positional.get(1) else {
+                eprintln!("error: export needs a scenario name");
+                return ExitCode::FAILURE;
+            };
+            let spec = match which.as_str() {
+                "validation" => validation::downscaled_topology(),
+                "consolidated" => consolidated::topology(),
+                "multimaster" => multimaster::topology(),
+                other => {
+                    eprintln!("error: unknown scenario '{other}'");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", serde_json::to_string_pretty(&spec).expect("serializable spec"));
+        }
+        "topology" => {
+            let Some(path) = args.positional.get(1) else {
+                eprintln!("error: topology needs a JSON file path");
+                return ExitCode::FAILURE;
+            };
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let spec: TopologySpec = match serde_json::from_str(&json) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {path} is not a valid topology spec: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Infrastructure::build(&spec, args.seed) {
+                Ok(infra) => {
+                    println!("{path}: OK");
+                    println!("  data centers: {}", infra.data_centers().len());
+                    println!("  hardware agents: {}", infra.agent_count());
+                    println!("  WAN links: {}", infra.wan_links().len());
+                    for dc in infra.data_centers() {
+                        let tiers: Vec<String> = dc
+                            .tiers
+                            .iter()
+                            .map(|t| format!("{}x{}", t.servers.len(), t.kind))
+                            .collect();
+                        println!("  {}: {}", dc.name, tiers.join(", "));
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: invalid topology: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'\n");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,944 @@
+//! The discrete time loop (§4.3).
+//!
+//! Each step runs three phases:
+//!
+//! 1. **Arrival & daemon phase** — client populations and background
+//!    schedulers launch new operation instances;
+//! 2. **Time-increment phase** — every hardware agent advances its
+//!    queues by `dt`, leaving completed tokens in its outbox. This phase
+//!    runs under the configured [`gdisim_ports::Executor`] (serial, Scatter-Gather or
+//!    H-Dispatch);
+//! 3. **Interaction phase** — completed tokens are routed to the next
+//!    agent of their message, finished messages advance their cascade
+//!    stage, and finished cascades record response times. Interactions
+//!    are enqueued with the *next* tick's timestamp, enforcing the
+//!    timestamp-consistency guard of §4.3.3 (an interaction created
+//!    during the `t → t+dt` transition is never serviced before `t+dt`).
+//!
+//! Periodically the **measurement-collection phase** (§4.3.2) snapshots
+//! every meter into the [`Report`].
+
+use crate::config::{MasterPolicy, SimulationConfig};
+use crate::flight::{Chain, FlightTable, Instance, InstanceKind};
+use crate::report::{BackgroundRecord, Report};
+use crate::router::compile_with;
+use gdisim_background::{BackgroundKind, BackgroundLaunch, BackgroundScheduler};
+use gdisim_infra::{ComponentKind, Infrastructure};
+use gdisim_metrics::ResponseKey;
+use gdisim_queueing::{JobToken, SplitMix64, Station};
+use gdisim_types::{AppId, DcId, OpTypeId, SimTime};
+use gdisim_workload::{
+    AppWorkload, Application, ArrivalSampler, OperationTemplate, SiteBinding,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A scheduled infrastructure-health change.
+#[derive(Clone)]
+enum HealthEvent {
+    Link { label: String, fail: bool },
+    Server { site: usize, tier: gdisim_types::TierKind, server: usize, fail: bool },
+}
+
+/// Pseudo-application id under which background operations report.
+pub const BG_APP: AppId = AppId(999);
+/// SYNCHREP's operation id under [`BG_APP`].
+pub const BG_OP_SYNCHREP: OpTypeId = OpTypeId(0);
+/// INDEXBUILD's operation id under [`BG_APP`].
+pub const BG_OP_INDEXBUILD: OpTypeId = OpTypeId(1);
+
+#[derive(Clone)]
+struct AppEntry {
+    id: AppId,
+    name: String,
+    ops: Vec<Arc<OperationTemplate>>,
+    mix: Vec<f64>,
+}
+
+/// A source of client operation launches.
+#[derive(Clone)]
+pub enum TrafficSource {
+    /// Diurnal Poisson arrivals from per-site population curves.
+    Diurnal {
+        /// Index into the engine's application registry.
+        app_idx: usize,
+        /// The workload curves.
+        workload: AppWorkload,
+        /// Engine site index per workload site (resolved at add time).
+        site_map: Vec<usize>,
+    },
+    /// Closed-loop *sessions* (Ch. 9.2.1's client-behavior extension):
+    /// the curves give the **logged-in** population; each session
+    /// alternates thinking and launching operations, so the offered load
+    /// adapts to the system's own response times — the closed-workload
+    /// counterpart of `Diurnal`'s open Poisson arrivals.
+    Sessions {
+        /// Index into the engine's application registry.
+        app_idx: usize,
+        /// Logged-in population curves.
+        workload: AppWorkload,
+        /// Engine site index per workload site.
+        site_map: Vec<usize>,
+        /// Mean think time between a completion and the next launch, in
+        /// seconds (exponentially distributed).
+        mean_think_secs: f64,
+        /// Live session count per workload site.
+        live: Vec<u32>,
+        /// Sessions marked for retirement per workload site.
+        retiring: Vec<u32>,
+    },
+    /// Deterministic periodic series launches (the validation driver of
+    /// §5.2.4: "one light series is launched every 15 seconds…"). Each
+    /// launch starts a chained run of the given templates.
+    PeriodicSeries {
+        /// Application id for response keys.
+        app: AppId,
+        /// The series' operation templates, in order.
+        templates: Vec<Arc<OperationTemplate>>,
+        /// Launch period.
+        interval: gdisim_types::SimDuration,
+        /// Engine site index clients launch from.
+        site: usize,
+        /// Next launch time.
+        next: SimTime,
+        /// Stop launching at this time (the experiment horizon), if set.
+        stop_at: Option<SimTime>,
+    },
+}
+
+/// The simulator.
+#[derive(Clone)]
+pub struct Simulation {
+    infra: Infrastructure,
+    sites: Vec<String>,
+    site_dc: Vec<DcId>,
+    config: SimulationConfig,
+    apps: Vec<AppEntry>,
+    traffic: Vec<TrafficSource>,
+    master_policy: MasterPolicy,
+    background: Option<BackgroundScheduler>,
+    sampler: ArrivalSampler,
+    cache_rng: SplitMix64,
+    flight: FlightTable,
+    report: Report,
+    now: SimTime,
+    next_collect: SimTime,
+    /// Scheduled health events `(when, what)`.
+    link_events: Vec<(SimTime, HealthEvent)>,
+    /// Session wake calendar: (wake time µs, session id).
+    session_wakes: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    /// Live sessions: id -> (traffic-source index, workload site index).
+    sessions: HashMap<u64, (usize, usize)>,
+    next_session: u64,
+    /// Optional message-level trace (see [`crate::trace`]).
+    trace: Option<crate::trace::TraceLog>,
+}
+
+impl Simulation {
+    /// Creates a simulation over an infrastructure. `sites` fixes the
+    /// canonical site order shared with workloads, growth curves and
+    /// access-pattern matrices; every site must name a data center.
+    pub fn new(infra: Infrastructure, sites: Vec<String>, config: SimulationConfig) -> Self {
+        let site_dc = sites
+            .iter()
+            .map(|s| {
+                infra
+                    .dc_by_name(s)
+                    .unwrap_or_else(|| panic!("site '{s}' is not a data center in the topology"))
+            })
+            .collect();
+        let next_collect = SimTime::ZERO + config.collect_interval;
+        Simulation {
+            infra,
+            sites,
+            site_dc,
+            sampler: ArrivalSampler::new(config.seed),
+            cache_rng: SplitMix64::new(config.seed ^ 0xC0FFEE),
+            config,
+            apps: Vec::new(),
+            traffic: Vec::new(),
+            master_policy: MasterPolicy::Local,
+            background: None,
+            flight: FlightTable::new(),
+            report: Report::new(),
+            now: SimTime::ZERO,
+            next_collect,
+            link_events: Vec::new(),
+            session_wakes: std::collections::BinaryHeap::new(),
+            sessions: HashMap::new(),
+            next_session: 0,
+            trace: None,
+        }
+    }
+
+    /// Registers a calibrated application and returns its registry index.
+    pub fn add_application(&mut self, app: Application) -> usize {
+        self.apps.push(AppEntry {
+            id: app.id,
+            name: app.name,
+            ops: app.ops.into_iter().map(Arc::new).collect(),
+            mix: app.mix,
+        });
+        self.apps.len() - 1
+    }
+
+    /// Adds a diurnal workload for a previously registered application
+    /// (matched by name).
+    pub fn add_diurnal(&mut self, workload: AppWorkload) {
+        let app_idx = self
+            .apps
+            .iter()
+            .position(|a| a.name == workload.app)
+            .unwrap_or_else(|| panic!("no application named '{}' registered", workload.app));
+        let site_map = workload
+            .sites
+            .iter()
+            .map(|s| {
+                self.sites
+                    .iter()
+                    .position(|n| *n == s.site)
+                    .unwrap_or_else(|| panic!("workload site '{}' unknown", s.site))
+            })
+            .collect();
+        self.traffic.push(TrafficSource::Diurnal { app_idx, workload, site_map });
+    }
+
+    /// Adds a closed-loop session workload for a registered application:
+    /// the curves give the logged-in population, and each session thinks
+    /// for `mean_think_secs` (exponential) between operations.
+    pub fn add_sessions(&mut self, workload: AppWorkload, mean_think_secs: f64) {
+        assert!(mean_think_secs > 0.0, "think time must be positive");
+        let app_idx = self
+            .apps
+            .iter()
+            .position(|a| a.name == workload.app)
+            .unwrap_or_else(|| panic!("no application named '{}' registered", workload.app));
+        let site_map: Vec<usize> = workload
+            .sites
+            .iter()
+            .map(|s| {
+                self.sites
+                    .iter()
+                    .position(|n| *n == s.site)
+                    .unwrap_or_else(|| panic!("workload site '{}' unknown", s.site))
+            })
+            .collect();
+        let n = site_map.len();
+        self.traffic.push(TrafficSource::Sessions {
+            app_idx,
+            workload,
+            site_map,
+            mean_think_secs,
+            live: vec![0; n],
+            retiring: vec![0; n],
+        });
+    }
+
+    /// Schedules a WAN link failure (by `L from->to` label) at `at`.
+    /// Routing shifts to the surviving links and any backups; frames
+    /// already in flight on the link complete their transfer.
+    pub fn schedule_link_failure(&mut self, label: &str, at: SimTime) {
+        self.link_events.push((at, HealthEvent::Link { label: label.to_string(), fail: true }));
+    }
+
+    /// Schedules the restoration of a previously failed WAN link.
+    pub fn schedule_link_restore(&mut self, label: &str, at: SimTime) {
+        self.link_events.push((at, HealthEvent::Link { label: label.to_string(), fail: false }));
+    }
+
+    /// Schedules a server failure: from `at` on, the server admits no new
+    /// work (its queued jobs drain). The last healthy server of a tier
+    /// cannot be failed.
+    pub fn schedule_server_failure(
+        &mut self,
+        site: &str,
+        tier: gdisim_types::TierKind,
+        server: usize,
+        at: SimTime,
+    ) {
+        let site = self.site_index(site);
+        self.link_events.push((at, HealthEvent::Server { site, tier, server, fail: true }));
+    }
+
+    /// Schedules the restoration of a failed server.
+    pub fn schedule_server_restore(
+        &mut self,
+        site: &str,
+        tier: gdisim_types::TierKind,
+        server: usize,
+        at: SimTime,
+    ) {
+        let site = self.site_index(site);
+        self.link_events.push((at, HealthEvent::Server { site, tier, server, fail: false }));
+    }
+
+    fn site_index(&self, site: &str) -> usize {
+        self.sites
+            .iter()
+            .position(|n| n == site)
+            .unwrap_or_else(|| panic!("unknown site '{site}'"))
+    }
+
+    /// Sessions currently logged in (closed-workload sources only).
+    pub fn logged_in_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Creates a *restoration point* (Ch. 9.3.2's "restoration points &
+    /// branches"): a deep copy of the entire simulation state — every
+    /// queue's backlog, every in-flight cascade, every meter and RNG
+    /// stream. Run the original and the branch forward under different
+    /// what-if inputs and compare; absent divergent inputs, both produce
+    /// bit-identical futures.
+    pub fn branch(&self) -> Simulation {
+        self.clone()
+    }
+
+    /// Enables message-level tracing with the given event cap — the
+    /// microscope the abstract promises ("navigate down to the detail of
+    /// individual elements").
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::TraceLog::new(capacity));
+    }
+
+    /// The trace recorded so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&crate::trace::TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Adds a periodic series source (validation driver).
+    pub fn add_series_source(
+        &mut self,
+        app: AppId,
+        templates: Vec<OperationTemplate>,
+        interval: gdisim_types::SimDuration,
+        site: &str,
+        first_launch: SimTime,
+        stop_at: Option<SimTime>,
+    ) {
+        let site = self
+            .sites
+            .iter()
+            .position(|n| n == site)
+            .unwrap_or_else(|| panic!("series site '{site}' unknown"));
+        self.traffic.push(TrafficSource::PeriodicSeries {
+            app,
+            templates: templates.into_iter().map(Arc::new).collect(),
+            interval,
+            site,
+            next: first_launch,
+            stop_at,
+        });
+    }
+
+    /// Sets the master-binding policy.
+    pub fn set_master_policy(&mut self, policy: MasterPolicy) {
+        if let MasterPolicy::ByOwnership(apm) = &policy {
+            assert_eq!(
+                apm.sites(),
+                self.sites.as_slice(),
+                "access-pattern matrix must use the engine's site order"
+            );
+        }
+        if let MasterPolicy::Fixed(site) = policy {
+            assert!(site < self.sites.len(), "master site index out of range");
+        }
+        self.master_policy = policy;
+    }
+
+    /// Installs the background-process scheduler.
+    pub fn set_background(&mut self, scheduler: BackgroundScheduler) {
+        self.background = Some(scheduler);
+    }
+
+    /// Switches the phase-execution strategy (serial / Scatter-Gather /
+    /// H-Dispatch). Results are identical across strategies; only wall
+    /// time changes (Tables 4.1/4.2).
+    pub fn set_executor(&mut self, executor: gdisim_ports::Executor) {
+        self.config.executor = executor;
+    }
+
+    /// Switches the tier load-balancing policy (§3.5.2).
+    pub fn set_load_balancing(&mut self, policy: gdisim_infra::LoadBalancing) {
+        self.config.load_balancing = policy;
+    }
+
+    /// Changes the discrete time step (the dt-sensitivity ablation).
+    /// Must be called before the simulation starts.
+    pub fn set_dt(&mut self, dt: gdisim_types::SimDuration) {
+        assert_eq!(self.now, SimTime::ZERO, "cannot change dt mid-run");
+        assert!(!dt.is_zero(), "time step must be positive");
+        self.config.dt = dt;
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Live operation instances (all kinds).
+    pub fn active_operations(&self) -> usize {
+        self.flight.live_instances()
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Consumes the simulation, returning the report.
+    pub fn into_report(self) -> Report {
+        self.report
+    }
+
+    /// Runs the discrete time loop until `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while self.now < until {
+            self.step();
+        }
+    }
+
+    /// Advances one time step.
+    pub fn step(&mut self) {
+        let now = self.now;
+        let dt = self.config.dt;
+
+        // Phase 1: scheduled events, arrivals and daemons.
+        self.apply_link_events(now);
+        self.wake_sessions(now);
+        self.generate_arrivals(now);
+        self.poll_background(now);
+
+        // Phase 2: time increment over all agents (§4.3.4/4.3.5).
+        let executor = self.config.executor.clone();
+        executor.run_phase(self.infra.components_mut(), move |slot| {
+            slot.tick_into_outbox(now, dt);
+        });
+        for m in self.infra.memories_mut() {
+            m.advance(dt);
+        }
+
+        // Phase 3: interactions — route completions, stamped at the next
+        // tick boundary (the §4.3.3 consistency guard).
+        let t_next = now + dt;
+        let mut completed: Vec<(u32, u64)> = Vec::new();
+        for (agent, slot) in self.infra.components_mut().iter_mut().enumerate() {
+            completed.extend(slot.outbox.drain(..).map(|t| (agent as u32, t.0)));
+        }
+        for (agent, token) in completed {
+            if self.trace.is_some() {
+                let at = t_next;
+                if let Some(t) = &mut self.trace {
+                    t.record(
+                        at,
+                        crate::trace::TraceEvent::Hop {
+                            token,
+                            agent: gdisim_types::AgentId(agent),
+                        },
+                    );
+                }
+            }
+            self.on_token_complete(token, t_next);
+        }
+
+        // Phase 4: periodic measurement collection.
+        if t_next >= self.next_collect {
+            self.collect(t_next);
+            self.next_collect += self.config.collect_interval;
+        }
+
+        self.now = t_next;
+    }
+
+    // ----- launches ------------------------------------------------------
+
+    fn generate_arrivals(&mut self, now: SimTime) {
+        let dt_secs = self.config.dt.as_secs_f64();
+        let mut traffic = std::mem::take(&mut self.traffic);
+        for (source_idx, source) in traffic.iter_mut().enumerate() {
+            match source {
+                TrafficSource::Diurnal { app_idx, workload, site_map } => {
+                    for (w_site, &site) in site_map.iter().enumerate() {
+                        let lambda = workload.arrival_rate(w_site, now) * dt_secs;
+                        let n = self.sampler.poisson(lambda);
+                        for _ in 0..n {
+                            let (op_idx, key, template) = {
+                                let app = &self.apps[*app_idx];
+                                let op_idx = self.sampler.pick(&app.mix);
+                                let key = ResponseKey {
+                                    app: app.id,
+                                    op: OpTypeId::from_index(op_idx),
+                                    dc: self.site_dc[site],
+                                };
+                                (op_idx, key, Arc::clone(&app.ops[op_idx]))
+                            };
+                            let _ = op_idx;
+                            let binding = self.client_binding(site);
+                            self.launch(
+                                template,
+                                key,
+                                InstanceKind::Client,
+                                binding,
+                                None,
+                                None,
+                                0.0,
+                                now,
+                            );
+                        }
+                    }
+                }
+                TrafficSource::Sessions {
+                    app_idx: _,
+                    workload,
+                    site_map,
+                    mean_think_secs,
+                    live,
+                    retiring,
+                } => {
+                    for w_site in 0..site_map.len() {
+                        let target = workload.sites[w_site].curve.population(now).round() as i64;
+                        let current = live[w_site] as i64 - retiring[w_site] as i64;
+                        if current < target {
+                            // Log new sessions in; their first operation
+                            // fires after a staggered initial think.
+                            for _ in 0..(target - current) {
+                                let id = self.next_session;
+                                self.next_session += 1;
+                                self.sessions.insert(id, (source_idx, w_site));
+                                live[w_site] += 1;
+                                let delay =
+                                    self.sampler.exponential(*mean_think_secs).min(3600.0);
+                                let wake = now + gdisim_types::SimDuration::from_secs_f64(delay);
+                                self.session_wakes
+                                    .push(std::cmp::Reverse((wake.as_micros(), id)));
+                            }
+                        } else if current > target {
+                            retiring[w_site] += (current - target) as u32;
+                        }
+                    }
+                }
+                TrafficSource::PeriodicSeries { app, templates, interval, site, next, stop_at } => {
+                    while *next <= now && stop_at.is_none_or(|s| *next < s) {
+                        let binding = self.client_binding(*site);
+                        let dc = self.site_dc[*site];
+                        let keys: Vec<ResponseKey> = (0..templates.len())
+                            .map(|i| ResponseKey { app: *app, op: OpTypeId::from_index(i), dc })
+                            .collect();
+                        let chain = Chain {
+                            remaining: templates[1..].to_vec(),
+                            keys: keys[1..].to_vec(),
+                        };
+                        self.launch(
+                            Arc::clone(&templates[0]),
+                            keys[0],
+                            InstanceKind::Client,
+                            binding,
+                            Some(chain),
+                            None,
+                            0.0,
+                            now,
+                        );
+                        *next += *interval;
+                    }
+                }
+            }
+        }
+        self.traffic = traffic;
+    }
+
+    fn client_binding(&mut self, site: usize) -> SiteBinding {
+        let client = self.site_dc[site];
+        let master = match &self.master_policy {
+            MasterPolicy::Local => client,
+            MasterPolicy::Fixed(m) => self.site_dc[*m],
+            MasterPolicy::ByOwnership(apm) => {
+                let owner = apm.sample_owner(site, self.sampler.uniform());
+                self.site_dc[owner]
+            }
+        };
+        // Files are always served from the client's local file tier: the
+        // SR process keeps replicas everywhere (§6.2's low-latency goal).
+        SiteBinding { client, master, file_host: client, extras: Vec::new() }
+    }
+
+    fn poll_background(&mut self, now: SimTime) {
+        let Some(scheduler) = &mut self.background else { return };
+        let launches = scheduler.poll(now);
+        for launch in launches {
+            self.launch_background(launch, now);
+        }
+    }
+
+    /// Applies scheduled WAN failures/restores due at or before `now`.
+    fn apply_link_events(&mut self, now: SimTime) {
+        if self.link_events.is_empty() {
+            return;
+        }
+        let due: Vec<(SimTime, HealthEvent)> = {
+            let (due, rest): (Vec<_>, Vec<_>) =
+                std::mem::take(&mut self.link_events).into_iter().partition(|(t, _)| *t <= now);
+            self.link_events = rest;
+            due
+        };
+        for (_, event) in due {
+            let result = match event {
+                HealthEvent::Link { label, fail: true } => self.infra.fail_wan_link(&label),
+                HealthEvent::Link { label, fail: false } => self.infra.restore_wan_link(&label),
+                HealthEvent::Server { site, tier, server, fail: true } => {
+                    self.infra.fail_server(self.site_dc[site], tier, server)
+                }
+                HealthEvent::Server { site, tier, server, fail: false } => {
+                    self.infra.restore_server(self.site_dc[site], tier, server)
+                }
+            };
+            result.unwrap_or_else(|e| panic!("scheduled health event failed: {e}"));
+        }
+    }
+
+    /// Wakes sessions whose think time has elapsed: retiring sessions log
+    /// out, the rest launch their next operation.
+    fn wake_sessions(&mut self, now: SimTime) {
+        let now_us = now.as_micros();
+        let mut launches: Vec<(u64, usize, usize)> = Vec::new(); // (session, source, w_site)
+        while let Some(std::cmp::Reverse((t, id))) = self.session_wakes.peek().copied() {
+            if t > now_us {
+                break;
+            }
+            self.session_wakes.pop();
+            let Some(&(source, w_site)) = self.sessions.get(&id) else { continue };
+            // Retire if the population curve shrank.
+            let retired = match &mut self.traffic[source] {
+                TrafficSource::Sessions { live, retiring, .. } => {
+                    if retiring[w_site] > 0 {
+                        retiring[w_site] -= 1;
+                        live[w_site] -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => unreachable!("session bound to a non-session source"),
+            };
+            if retired {
+                self.sessions.remove(&id);
+            } else {
+                launches.push((id, source, w_site));
+            }
+        }
+        for (id, source, w_site) in launches {
+            let (app_idx, site) = match &self.traffic[source] {
+                TrafficSource::Sessions { app_idx, site_map, .. } => (*app_idx, site_map[w_site]),
+                _ => unreachable!(),
+            };
+            let (key, template) = {
+                let app = &self.apps[app_idx];
+                let op_idx = self.sampler.pick(&app.mix);
+                (
+                    ResponseKey {
+                        app: app.id,
+                        op: OpTypeId::from_index(op_idx),
+                        dc: self.site_dc[site],
+                    },
+                    Arc::clone(&app.ops[op_idx]),
+                )
+            };
+            let binding = self.client_binding(site);
+            self.launch(template, key, InstanceKind::Client, binding, None, Some(id), 0.0, now);
+        }
+    }
+
+    /// Puts a session back to sleep after its operation completed.
+    fn schedule_session_think(&mut self, session: u64, now: SimTime) {
+        let Some(&(source, _)) = self.sessions.get(&session) else { return };
+        let mean = match &self.traffic[source] {
+            TrafficSource::Sessions { mean_think_secs, .. } => *mean_think_secs,
+            _ => unreachable!("session bound to a non-session source"),
+        };
+        let delay = self.sampler.exponential(mean).min(3600.0);
+        let wake = now + gdisim_types::SimDuration::from_secs_f64(delay);
+        self.session_wakes.push(std::cmp::Reverse((wake.as_micros(), session)));
+    }
+
+    fn launch_background(&mut self, launch: BackgroundLaunch, now: SimTime) {
+        let master_dc = self.site_dc[launch.master_site];
+        let binding = SiteBinding {
+            client: master_dc,
+            master: master_dc,
+            file_host: master_dc,
+            extras: launch.extra_sites.iter().map(|s| self.site_dc[*s]).collect(),
+        };
+        let op = match launch.kind {
+            BackgroundKind::SyncRep => BG_OP_SYNCHREP,
+            BackgroundKind::IndexBuild => BG_OP_INDEXBUILD,
+        };
+        let key = ResponseKey { app: BG_APP, op, dc: master_dc };
+        self.launch(
+            Arc::new(launch.template),
+            key,
+            InstanceKind::Background(launch.kind, launch.master_site),
+            binding,
+            None,
+            None,
+            launch.volume_bytes,
+            now,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        &mut self,
+        template: Arc<OperationTemplate>,
+        key: ResponseKey,
+        kind: InstanceKind,
+        binding: SiteBinding,
+        chain: Option<Chain>,
+        session: Option<u64>,
+        volume_bytes: f64,
+        now: SimTime,
+    ) {
+        let stages = template.stages();
+        if let Some(t) = &mut self.trace {
+            t.record(now, crate::trace::TraceEvent::Launch { instance: self.flight.peek_next_instance(), key });
+        }
+        let id = self.flight.add_instance(Instance {
+            key,
+            kind,
+            template,
+            binding,
+            stages,
+            stage_idx: 0,
+            outstanding: 0,
+            launched_at: now,
+            chain,
+            session,
+            volume_bytes,
+        });
+        self.start_stage(id, now);
+    }
+
+    /// Launches every message of the instance's current stage. Messages
+    /// whose compiled plan is empty (all-zero demands) complete
+    /// immediately, which may cascade into further stages.
+    fn start_stage(&mut self, inst_id: u64, now: SimTime) {
+        let (range, template, binding) = {
+            let inst = &self.flight.instances[&inst_id];
+            (
+                inst.stages[inst.stage_idx].clone(),
+                Arc::clone(&inst.template),
+                inst.binding.clone(),
+            )
+        };
+        let mut instant = Vec::new();
+        let mut launched = 0u32;
+        for si in range {
+            let step = template.steps[si];
+            let mut plan = compile_with(
+                &mut self.infra,
+                &step,
+                &binding,
+                &mut self.cache_rng,
+                self.config.load_balancing,
+            );
+            let first = plan.hops.pop_front();
+            let token = self.flight.add_token(inst_id, plan);
+            match first {
+                Some(hop) => {
+                    self.infra
+                        .component_mut(hop.agent)
+                        .enqueue(JobToken(token), hop.demand, now);
+                }
+                None => instant.push(token),
+            }
+            launched += 1;
+        }
+        self.flight.instances.get_mut(&inst_id).expect("instance live").outstanding = launched;
+        for token in instant {
+            self.on_token_complete(token, now);
+        }
+    }
+
+    // ----- completions ---------------------------------------------------
+
+    fn on_token_complete(&mut self, token: u64, now: SimTime) {
+        // Advance the message along its remaining hops.
+        if let Some(state) = self.flight.tokens.get_mut(&token) {
+            if let Some(hop) = state.plan.hops.pop_front() {
+                self.infra.component_mut(hop.agent).enqueue(JobToken(token), hop.demand, now);
+                return;
+            }
+        } else {
+            debug_assert!(false, "completion for unknown token {token}");
+            return;
+        }
+        // Message finished: release memory, advance the cascade.
+        let state = self.flight.tokens.remove(&token).expect("token checked above");
+        if let Some((mem_idx, bytes)) = state.plan.mem_hold {
+            self.infra.memories_mut()[mem_idx].release(bytes);
+        }
+        let inst_id = state.instance;
+        if let Some(t) = &mut self.trace {
+            t.record(now, crate::trace::TraceEvent::MessageDone { token, instance: inst_id });
+        }
+        let advance = {
+            let inst = self.flight.instances.get_mut(&inst_id).expect("instance live");
+            inst.outstanding -= 1;
+            if inst.outstanding == 0 {
+                inst.stage_idx += 1;
+                if inst.stage_idx < inst.stages.len() {
+                    Some(true)
+                } else {
+                    Some(false)
+                }
+            } else {
+                None
+            }
+        };
+        match advance {
+            Some(true) => self.start_stage(inst_id, now),
+            Some(false) => self.complete_instance(inst_id, now),
+            None => {}
+        }
+    }
+
+    fn complete_instance(&mut self, inst_id: u64, now: SimTime) {
+        let inst = self.flight.instances.remove(&inst_id).expect("instance live");
+        let duration = now - inst.launched_at;
+        if let Some(t) = &mut self.trace {
+            t.record(
+                now,
+                crate::trace::TraceEvent::OperationDone {
+                    instance: inst_id,
+                    response_secs: duration.as_secs_f64(),
+                },
+            );
+        }
+        self.report.responses.record(inst.key, now, duration);
+        match inst.kind {
+            InstanceKind::Client => {
+                let mut continued = false;
+                if let Some(mut chain) = inst.chain {
+                    if !chain.remaining.is_empty() {
+                        let template = chain.remaining.remove(0);
+                        let key = chain.keys.remove(0);
+                        self.launch(
+                            template,
+                            key,
+                            InstanceKind::Client,
+                            inst.binding,
+                            Some(chain),
+                            inst.session,
+                            0.0,
+                            now,
+                        );
+                        continued = true;
+                    }
+                }
+                if !continued {
+                    if let Some(sid) = inst.session {
+                        self.schedule_session_think(sid, now);
+                    }
+                }
+            }
+            InstanceKind::Background(kind, master_site) => {
+                self.report.background.push(BackgroundRecord {
+                    kind,
+                    master_site,
+                    launched_at: inst.launched_at,
+                    finished_at: now,
+                    volume_bytes: inst.volume_bytes,
+                });
+                if kind == BackgroundKind::IndexBuild {
+                    if let Some(s) = &mut self.background {
+                        s.on_indexbuild_complete(master_site, now);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- collection ------------------------------------------------------
+
+    fn collect(&mut self, t: SimTime) {
+        // Group utilizations by (dc, tier, kind). Every agent is collected
+        // exactly once so the meters reset cleanly.
+        let mut cpu: HashMap<(String, &'static str), (f64, u32)> = HashMap::new();
+        let mut disk: HashMap<(String, &'static str), (f64, u32)> = HashMap::new();
+        let mut wan: Vec<(String, f64)> = Vec::new();
+        let mut client_links: Vec<(String, f64)> = Vec::new();
+
+        let n = self.infra.agent_count();
+        for i in 0..n {
+            let id = gdisim_types::AgentId::from_index(i);
+            let u = self.infra.component_mut(id).collect_utilization();
+            let meta = self.infra.meta(id);
+            let dc_name = self.infra.dc(meta.dc).name.clone();
+            match meta.kind {
+                ComponentKind::Cpu => {
+                    if let Some(tier) = meta.tier {
+                        let e = cpu.entry((dc_name, tier.label())).or_insert((0.0, 0));
+                        e.0 += u;
+                        e.1 += 1;
+                    }
+                }
+                ComponentKind::Raid | ComponentKind::San => {
+                    if let Some(tier) = meta.tier {
+                        let e = disk.entry((dc_name, tier.label())).or_insert((0.0, 0));
+                        e.0 += u;
+                        e.1 += 1;
+                    }
+                }
+                ComponentKind::Link => {
+                    if meta.label.starts_with("L ") {
+                        wan.push((meta.label.clone(), u));
+                    } else if meta.label.starts_with("client-link") {
+                        client_links.push((dc_name, u));
+                    }
+                }
+                _ => {} // NIC/switch/client pools: collected (reset) but unreported
+            }
+        }
+        for (key, (sum, count)) in cpu {
+            self.report.tier_cpu.entry(key).or_default().push(t, sum / count as f64);
+        }
+        for (key, (sum, count)) in disk {
+            self.report.tier_disk.entry(key).or_default().push(t, sum / count as f64);
+        }
+        for (label, u) in wan {
+            self.report.wan_util.entry(label).or_default().push(t, u);
+        }
+        for (dc, u) in client_links {
+            self.report.client_link_util.entry(dc).or_default().push(t, u);
+        }
+
+        // Memory occupancy per tier (average bytes per server).
+        let holarchy: Vec<(String, &'static str, Vec<usize>)> = self
+            .infra
+            .data_centers()
+            .iter()
+            .flat_map(|dc| {
+                dc.tiers.iter().map(|tier| {
+                    (
+                        dc.name.clone(),
+                        tier.kind.label(),
+                        tier.servers.iter().map(|s| s.memory).collect(),
+                    )
+                })
+            })
+            .collect();
+        for (dc, tier, mems) in holarchy {
+            let n = mems.len().max(1) as f64;
+            let total: f64 = mems
+                .iter()
+                .map(|&m| self.infra.memories_mut()[m].collect_avg_occupancy())
+                .sum();
+            self.report.tier_memory.entry((dc, tier)).or_default().push(t, total / n);
+        }
+
+        self.report.concurrent_clients.push(t, self.flight.live_client_instances() as f64);
+        self.report.logged_in_clients.push(t, self.sessions.len() as f64);
+        self.report.active_operations.push(t, self.flight.live_instances() as f64);
+        // Interval aggregates are derivable from history; drain to keep
+        // the current-interval map empty.
+        let _ = self.report.responses.collect();
+    }
+}

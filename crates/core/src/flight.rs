@@ -1,0 +1,168 @@
+//! In-flight operation bookkeeping.
+//!
+//! Launching an operation instantiates its cascade: every stage of the
+//! template is compiled into *message plans* (ordered agent hops with
+//! demands) when the stage begins, and each hop in flight is identified
+//! by a dense token the queueing layer hands back on completion.
+
+use crate::router::MessagePlan;
+use gdisim_background::BackgroundKind;
+use gdisim_metrics::ResponseKey;
+use gdisim_types::SimTime;
+use gdisim_workload::{OperationTemplate, SiteBinding};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// What kind of initiator an instance has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceKind {
+    /// A client launched it.
+    Client,
+    /// A background daemon launched it at `master_site` (site index).
+    Background(BackgroundKind, usize),
+}
+
+/// Pending operations chained after this one (validation *series*: the
+/// next operation launches when the current one completes, same client).
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// Remaining templates, front first.
+    pub remaining: Vec<Arc<OperationTemplate>>,
+    /// Response-key ops for the remaining templates (parallel vector).
+    pub keys: Vec<ResponseKey>,
+}
+
+/// One live operation instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Reporting key (app, op, client DC).
+    pub key: ResponseKey,
+    /// Initiator.
+    pub kind: InstanceKind,
+    /// The cascade being executed.
+    pub template: Arc<OperationTemplate>,
+    /// Site bindings for this instance.
+    pub binding: SiteBinding,
+    /// Parallel stages (step-index ranges) of the template.
+    pub stages: Vec<Range<usize>>,
+    /// Index of the stage currently executing.
+    pub stage_idx: usize,
+    /// Messages of the current stage still in flight.
+    pub outstanding: u32,
+    /// Launch timestamp.
+    pub launched_at: SimTime,
+    /// Chained follow-up operations, if any.
+    pub chain: Option<Chain>,
+    /// The closed-loop session this operation belongs to, if any; on
+    /// completion the session thinks and then launches its next
+    /// operation.
+    pub session: Option<u64>,
+    /// Background volume (bytes) for reporting, zero for client ops.
+    pub volume_bytes: f64,
+}
+
+/// Per-token state: which instance a completed hop belongs to and what
+/// remains of its message.
+#[derive(Debug, Clone)]
+pub struct TokenState {
+    /// Owning instance id.
+    pub instance: u64,
+    /// Remaining hops of this message (front = next).
+    pub plan: MessagePlan,
+}
+
+/// Dense token and instance tables.
+#[derive(Debug, Clone, Default)]
+pub struct FlightTable {
+    next_token: u64,
+    next_instance: u64,
+    pub(crate) tokens: HashMap<u64, TokenState>,
+    pub(crate) instances: HashMap<u64, Instance>,
+}
+
+impl FlightTable {
+    /// Creates empty tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id the next [`Self::add_instance`] call will assign — lets the
+    /// tracer stamp a launch before the instance is stored.
+    pub fn peek_next_instance(&self) -> u64 {
+        self.next_instance
+    }
+
+    /// Registers a new instance, returning its id.
+    pub fn add_instance(&mut self, instance: Instance) -> u64 {
+        let id = self.next_instance;
+        self.next_instance += 1;
+        self.instances.insert(id, instance);
+        id
+    }
+
+    /// Registers a token for a message of `instance`.
+    pub fn add_token(&mut self, instance: u64, plan: MessagePlan) -> u64 {
+        let id = self.next_token;
+        self.next_token += 1;
+        self.tokens.insert(id, TokenState { instance, plan });
+        id
+    }
+
+    /// Number of live instances.
+    pub fn live_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of live client instances (excludes background).
+    pub fn live_client_instances(&self) -> usize {
+        self.instances.values().filter(|i| i.kind == InstanceKind::Client).count()
+    }
+
+    /// Number of in-flight messages.
+    pub fn live_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdisim_types::{AppId, DcId, OpTypeId, RVec};
+    use gdisim_workload::{CascadeStep, Endpoint, Site};
+
+    fn template() -> Arc<OperationTemplate> {
+        let c = Endpoint::client();
+        let app = Endpoint::tier(gdisim_types::TierKind::App, Site::Master);
+        Arc::new(OperationTemplate::new(
+            "T",
+            vec![CascadeStep::seq(c, app, RVec::cycles(1.0))],
+        ))
+    }
+
+    #[test]
+    fn tables_hand_out_dense_ids() {
+        let mut ft = FlightTable::new();
+        let t = template();
+        let key = ResponseKey { app: AppId(0), op: OpTypeId(0), dc: DcId(0) };
+        let inst = Instance {
+            key,
+            kind: InstanceKind::Client,
+            stages: t.stages(),
+            template: t,
+            binding: SiteBinding::local(DcId(0)),
+            stage_idx: 0,
+            outstanding: 0,
+            launched_at: SimTime::ZERO,
+            chain: None,
+            session: None,
+            volume_bytes: 0.0,
+        };
+        let a = ft.add_instance(inst);
+        let tok = ft.add_token(a, MessagePlan::default());
+        assert_eq!(ft.live_instances(), 1);
+        assert_eq!(ft.live_client_instances(), 1);
+        assert_eq!(ft.live_tokens(), 1);
+        assert_eq!(ft.tokens[&tok].instance, a);
+    }
+}

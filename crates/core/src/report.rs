@@ -1,0 +1,174 @@
+//! Simulation outputs (Fig. 3-1, right side).
+//!
+//! The collector component aggregates per-agent samples into the report
+//! the paper's figures are drawn from: CPU utilization per tier and data
+//! center, WAN link occupancy, memory occupancy, response times per
+//! operation/application/site, concurrent client counts and background
+//! process records.
+
+use gdisim_background::BackgroundKind;
+use gdisim_metrics::{ResponseTimeRegistry, TimeSeries};
+use gdisim_types::{SimTime, TierKind};
+use std::collections::BTreeMap;
+
+/// Key for per-tier series: `(data center name, tier kind label)`.
+pub type TierKey = (String, &'static str);
+
+/// One completed background operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackgroundRecord {
+    /// SR or IB.
+    pub kind: BackgroundKind,
+    /// Master site index.
+    pub master_site: usize,
+    /// Launch time.
+    pub launched_at: SimTime,
+    /// Completion time.
+    pub finished_at: SimTime,
+    /// Synchronized / indexed volume in bytes.
+    pub volume_bytes: f64,
+}
+
+impl BackgroundRecord {
+    /// Response time in seconds.
+    pub fn response_secs(&self) -> f64 {
+        (self.finished_at - self.launched_at).as_secs_f64()
+    }
+}
+
+/// The full simulation report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Average CPU utilization per (DC, tier), one sample per collection.
+    pub tier_cpu: BTreeMap<TierKey, TimeSeries>,
+    /// Average storage front-end utilization per (DC, tier).
+    pub tier_disk: BTreeMap<TierKey, TimeSeries>,
+    /// Average memory occupancy (bytes per server) per (DC, tier).
+    pub tier_memory: BTreeMap<TierKey, TimeSeries>,
+    /// WAN link bandwidth utilization, by `L from->to` label.
+    pub wan_util: BTreeMap<String, TimeSeries>,
+    /// Client access link utilization per DC name.
+    pub client_link_util: BTreeMap<String, TimeSeries>,
+    /// Response times per (app, op, client DC), full history.
+    pub responses: ResponseTimeRegistry,
+    /// Concurrent client operations (validation: series under execution).
+    pub concurrent_clients: TimeSeries,
+    /// Logged-in sessions over time (closed-workload sources; Fig. 6-12's
+    /// "Logged in" curves as opposed to "Active").
+    pub logged_in_clients: TimeSeries,
+    /// All in-flight operations including background.
+    pub active_operations: TimeSeries,
+    /// Completed background operations.
+    pub background: Vec<BackgroundRecord>,
+}
+
+impl Report {
+    /// Creates an empty report with response history retained.
+    pub fn new() -> Self {
+        Report { responses: ResponseTimeRegistry::with_history(), ..Default::default() }
+    }
+
+    /// CPU utilization series for a tier.
+    pub fn cpu(&self, dc: &str, tier: TierKind) -> Option<&TimeSeries> {
+        self.tier_cpu.get(&(dc.to_string(), tier.label()))
+    }
+
+    /// The maximum SR response time in seconds (`R^max_SR`, §6.3.3).
+    pub fn max_background_response(&self, kind: BackgroundKind) -> Option<(SimTime, f64)> {
+        self.background
+            .iter()
+            .filter(|b| b.kind == kind)
+            .map(|b| (b.launched_at, b.response_secs()))
+            .fold(None, |best: Option<(SimTime, f64)>, (t, r)| match best {
+                Some((_, br)) if br >= r => best,
+                _ => Some((t, r)),
+            })
+    }
+
+    /// Background records of one kind, in completion order.
+    pub fn background_of(&self, kind: BackgroundKind) -> Vec<&BackgroundRecord> {
+        self.background.iter().filter(|b| b.kind == kind).collect()
+    }
+
+    /// The response-time *series* of one operation key: completions
+    /// bucketed by completion time and averaged per `bucket` — the form
+    /// Figs. 6-15..6-20 plot (response time over the day).
+    pub fn response_series(
+        &self,
+        key: gdisim_metrics::ResponseKey,
+        bucket: gdisim_types::SimDuration,
+    ) -> TimeSeries {
+        self.responses
+            .history(key)
+            .iter()
+            .map(|(t, secs)| (*t, *secs))
+            .collect::<TimeSeries>()
+            .resample(bucket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdisim_types::SimDuration;
+
+    #[test]
+    fn max_background_response_picks_longest() {
+        let mut r = Report::new();
+        for (start, len, kind) in [
+            (0u64, 600u64, BackgroundKind::SyncRep),
+            (900, 1860, BackgroundKind::SyncRep),
+            (1800, 900, BackgroundKind::SyncRep),
+            (0, 3780, BackgroundKind::IndexBuild),
+        ] {
+            let launched_at = SimTime::from_secs(start);
+            r.background.push(BackgroundRecord {
+                kind,
+                master_site: 0,
+                launched_at,
+                finished_at: launched_at + SimDuration::from_secs(len),
+                volume_bytes: 1e9,
+            });
+        }
+        let (t, secs) = r.max_background_response(BackgroundKind::SyncRep).unwrap();
+        assert_eq!(t, SimTime::from_secs(900));
+        assert!((secs - 1860.0).abs() < 1e-9);
+        let (_, ib) = r.max_background_response(BackgroundKind::IndexBuild).unwrap();
+        assert!((ib - 3780.0).abs() < 1e-9);
+        assert_eq!(r.background_of(BackgroundKind::SyncRep).len(), 3);
+    }
+
+    #[test]
+    fn empty_report_has_no_background_max() {
+        let r = Report::new();
+        assert!(r.max_background_response(BackgroundKind::SyncRep).is_none());
+        assert!(r.cpu("NA", TierKind::App).is_none());
+    }
+
+    #[test]
+    fn response_series_buckets_completions() {
+        let mut r = Report::new();
+        let key = gdisim_metrics::ResponseKey {
+            app: gdisim_types::AppId(0),
+            op: gdisim_types::OpTypeId(0),
+            dc: gdisim_types::DcId(0),
+        };
+        for (t, secs) in [(10u64, 2.0), (20, 4.0), (3700, 6.0)] {
+            r.responses.record(key, SimTime::from_secs(t), SimDuration::from_secs_f64(secs));
+        }
+        let series = r.response_series(key, SimDuration::from_secs(3600));
+        assert_eq!(series.len(), 2, "two hourly buckets");
+        assert_eq!(series.values()[0], 3.0, "first hour averages 2s and 4s");
+        assert_eq!(series.values()[1], 6.0);
+        // Unknown key yields an empty series.
+        let none = r.response_series(
+            gdisim_metrics::ResponseKey {
+                app: gdisim_types::AppId(9),
+                op: gdisim_types::OpTypeId(9),
+                dc: gdisim_types::DcId(9),
+            },
+            SimDuration::from_secs(3600),
+        );
+        assert!(none.is_empty());
+    }
+}

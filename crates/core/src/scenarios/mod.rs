@@ -1,0 +1,16 @@
+//! Ready-made builders for the paper's three evaluation set-ups.
+//!
+//! * [`validation`] — the downscaled single-data-center lab of Ch. 5,
+//!   driven by periodic Light/Average/Heavy series;
+//! * [`consolidated`] — the six-data-center, single-master Data Serving
+//!   Platform of Ch. 6, running CAD + VIS + PDM plus SR/IB daemons;
+//! * [`multimaster`] — the six-master variant of Ch. 7 with ownership
+//!   split by the access-pattern matrix of Table 7.2.
+//!
+//! Every builder returns a fully wired [`crate::Simulation`]; the
+//! experiment binaries in `gdisim-bench` only run them and print tables.
+
+pub mod consolidated;
+pub mod multimaster;
+pub mod rates;
+pub mod validation;

@@ -1,0 +1,146 @@
+//! Message-level tracing.
+//!
+//! The abstract promises a simulator that "not only reproduces the
+//! behavior of data centers at a macroscopic scale, but allows operators
+//! to navigate down to the detail of individual elements, such as
+//! processors or network links". The aggregate report covers the
+//! macroscopic scale; the trace log covers the microscope: when enabled,
+//! every operation launch, agent-hop completion, message completion and
+//! operation completion is recorded with its timestamp.
+//!
+//! Tracing a day-long six-continent run would produce hundreds of
+//! millions of events, so the log is capacity-bounded: recording stops
+//! (and is counted) once the cap is reached — point the microscope at a
+//! short window.
+
+use gdisim_metrics::ResponseKey;
+use gdisim_types::{AgentId, SimTime};
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An operation instance was launched.
+    Launch {
+        /// Instance id.
+        instance: u64,
+        /// Reporting key (app, op, client DC).
+        key: ResponseKey,
+    },
+    /// A message finished service at one agent and moved on.
+    Hop {
+        /// Message token.
+        token: u64,
+        /// The agent that completed the work.
+        agent: AgentId,
+    },
+    /// A message completed its final hop.
+    MessageDone {
+        /// Message token.
+        token: u64,
+        /// Owning instance.
+        instance: u64,
+    },
+    /// An operation instance completed.
+    OperationDone {
+        /// Instance id.
+        instance: u64,
+        /// End-to-end response time in seconds.
+        response_secs: f64,
+    },
+}
+
+/// A capacity-bounded event log.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    events: Vec<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a log holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog { events: Vec::with_capacity(capacity.min(1 << 20)), capacity, dropped: 0 }
+    }
+
+    /// Records an event (drops and counts once full).
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push((at, event));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Events dropped after the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All events of one instance, in order (launch → hops via its
+    /// messages → completion).
+    pub fn instance_events(&self, instance: u64) -> Vec<(SimTime, TraceEvent)> {
+        self.events
+            .iter()
+            .filter(|(_, e)| match e {
+                TraceEvent::Launch { instance: i, .. }
+                | TraceEvent::MessageDone { instance: i, .. }
+                | TraceEvent::OperationDone { instance: i, .. } => *i == instance,
+                TraceEvent::Hop { .. } => false,
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Number of hop events served by one agent — per-element drill-down.
+    pub fn hops_at(&self, agent: AgentId) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Hop { agent: a, .. } if *a == agent))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdisim_types::{AppId, DcId, OpTypeId};
+
+    fn key() -> ResponseKey {
+        ResponseKey { app: AppId(0), op: OpTypeId(0), dc: DcId(0) }
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced() {
+        let mut log = TraceLog::new(2);
+        for i in 0..5 {
+            log.record(SimTime::from_secs(i), TraceEvent::Launch { instance: i, key: key() });
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn instance_filter_and_agent_drilldown() {
+        let mut log = TraceLog::new(100);
+        log.record(SimTime::ZERO, TraceEvent::Launch { instance: 7, key: key() });
+        log.record(SimTime::from_secs(1), TraceEvent::Hop { token: 1, agent: AgentId(3) });
+        log.record(SimTime::from_secs(1), TraceEvent::Hop { token: 1, agent: AgentId(4) });
+        log.record(SimTime::from_secs(2), TraceEvent::MessageDone { token: 1, instance: 7 });
+        log.record(
+            SimTime::from_secs(2),
+            TraceEvent::OperationDone { instance: 7, response_secs: 2.0 },
+        );
+        log.record(SimTime::from_secs(3), TraceEvent::Launch { instance: 8, key: key() });
+
+        let seven = log.instance_events(7);
+        assert_eq!(seven.len(), 3, "launch, message done, operation done");
+        assert_eq!(log.hops_at(AgentId(3)), 1);
+        assert_eq!(log.hops_at(AgentId(9)), 0);
+    }
+}

@@ -1,0 +1,3 @@
+//! Host crate for the cross-crate integration tests in the repository's
+//! top-level `tests/` directory (each `[[test]]` target in this crate's
+//! manifest points there). The library itself is intentionally empty.

@@ -1,0 +1,169 @@
+//! WAN route computation.
+//!
+//! Inter-continental messages traverse one or more WAN links, possibly
+//! through relay hub sites (the paper routes Australia through the AS1
+//! Asian hub). Routes are precomputed at build time as shortest paths by
+//! total latency over the non-backup links; backup links exist in the
+//! graph but carry no traffic unless explicitly activated — exactly the
+//! paper's treatment of `L^{EU→AFR}` and `L^{EU→AS1}` ("redundant network
+//! links that are used only in case of failure").
+
+use crate::spec::WanLinkSpec;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A computed route: the indices (into the WAN-link list) of the links a
+/// message crosses, in order.
+pub type Route = Vec<usize>;
+
+/// Computes shortest-latency routes between every pair of sites.
+///
+/// `sites` is the full site list; `links` the WAN links (bidirectional).
+/// When `use_backups` is false, backup links are excluded — the normal
+/// operating mode. Returns a map from `(from_site_index, to_site_index)`
+/// to the route; unreachable pairs are absent.
+pub fn compute_routes(
+    sites: &[&str],
+    links: &[WanLinkSpec],
+    use_backups: bool,
+) -> HashMap<(usize, usize), Route> {
+    compute_routes_excluding(sites, links, use_backups, &[])
+}
+
+/// Like [`compute_routes`], but treating the links whose indices appear
+/// in `failed` as down. Used to re-route after a link failure — backup
+/// links (if `use_backups`) take over exactly the paper's "secondary
+/// links in case of failure" role.
+pub fn compute_routes_excluding(
+    sites: &[&str],
+    links: &[WanLinkSpec],
+    use_backups: bool,
+    failed: &[usize],
+) -> HashMap<(usize, usize), Route> {
+    let index_of: HashMap<&str, usize> =
+        sites.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+
+    // adjacency: site -> [(neighbor, link index, latency µs)]
+    let mut adj: Vec<Vec<(usize, usize, u64)>> = vec![Vec::new(); sites.len()];
+    for (li, l) in links.iter().enumerate() {
+        if (l.backup && !use_backups) || failed.contains(&li) {
+            continue;
+        }
+        let (Some(&a), Some(&b)) = (index_of.get(l.from.as_str()), index_of.get(l.to.as_str()))
+        else {
+            continue;
+        };
+        // Cost: latency, with a 1 µs floor so hop count breaks ties.
+        let cost = l.link.latency.as_micros().max(1);
+        adj[a].push((b, li, cost));
+        adj[b].push((a, li, cost));
+    }
+
+    let mut routes = HashMap::new();
+    for src in 0..sites.len() {
+        // Dijkstra from src.
+        let mut dist: Vec<u64> = vec![u64::MAX; sites.len()];
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; sites.len()]; // (prev site, link idx)
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0;
+        heap.push(std::cmp::Reverse((0u64, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, li, w) in &adj[u] {
+                let nd = d.saturating_add(w);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = Some((u, li));
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // dst is an index into three arrays
+        for dst in 0..sites.len() {
+            if dst == src || dist[dst] == u64::MAX {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = dst;
+            while cur != src {
+                let (p, li) = prev[cur].expect("reachable node has a predecessor");
+                path.push(li);
+                cur = p;
+            }
+            path.reverse();
+            routes.insert((src, dst), path);
+        }
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdisim_queueing::LinkSpec;
+    use gdisim_types::units::mbps;
+    use gdisim_types::SimDuration;
+
+    fn wan(from: &str, to: &str, latency_ms: u64, backup: bool) -> WanLinkSpec {
+        WanLinkSpec {
+            from: from.into(),
+            to: to.into(),
+            link: LinkSpec::new(mbps(155.0), SimDuration::from_millis(latency_ms), 256),
+            backup,
+        }
+    }
+
+    #[test]
+    fn direct_route_is_single_hop() {
+        let sites = ["NA", "EU"];
+        let links = [wan("NA", "EU", 40, false)];
+        let routes = compute_routes(&sites, &links, false);
+        assert_eq!(routes[&(0, 1)], vec![0]);
+        assert_eq!(routes[&(1, 0)], vec![0]);
+    }
+
+    #[test]
+    fn relayed_route_goes_through_hub() {
+        // NA -- AS1 -- AUS: AUS reachable from NA only through the hub.
+        let sites = ["NA", "AUS", "AS1"];
+        let links = [wan("NA", "AS1", 80, false), wan("AS1", "AUS", 60, false)];
+        let routes = compute_routes(&sites, &links, false);
+        assert_eq!(routes[&(0, 1)], vec![0, 1]);
+        assert_eq!(routes[&(1, 0)], vec![1, 0]);
+    }
+
+    #[test]
+    fn lower_latency_path_wins() {
+        // Two NA->EU paths: direct 100 ms, via hub 40 + 40 ms. Hub wins.
+        let sites = ["NA", "EU", "HUB"];
+        let links = [
+            wan("NA", "EU", 100, false),
+            wan("NA", "HUB", 40, false),
+            wan("HUB", "EU", 40, false),
+        ];
+        let routes = compute_routes(&sites, &links, false);
+        assert_eq!(routes[&(0, 1)], vec![1, 2]);
+    }
+
+    #[test]
+    fn backup_links_excluded_by_default() {
+        let sites = ["EU", "AFR", "AS1"];
+        let links = [
+            wan("EU", "AFR", 30, true),            // backup: unused
+            wan("EU", "AS1", 90, false),
+            wan("AS1", "AFR", 50, false),
+        ];
+        let routes = compute_routes(&sites, &links, false);
+        assert_eq!(routes[&(0, 1)], vec![1, 2], "must route around the backup link");
+        let with_backup = compute_routes(&sites, &links, true);
+        assert_eq!(with_backup[&(0, 1)], vec![0], "backup used when activated");
+    }
+
+    #[test]
+    fn unreachable_pairs_are_absent() {
+        let sites = ["NA", "ISLAND"];
+        let routes = compute_routes(&sites, &[], false);
+        assert!(routes.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Response-time bookkeeping.
+//!
+//! The platform "registers the duration of the operations finalized during
+//! the measurement interval … and averages the samples to provide a
+//! snapshot of the response times by operation and data center" (§4.3.1).
+//! [`ResponseTimeRegistry`] implements exactly that: completions are
+//! recorded under an `(application, operation, data center)` key and
+//! drained into per-key statistics at each collection.
+
+use gdisim_types::{AppId, DcId, OpTypeId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Key identifying one reported response-time stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResponseKey {
+    /// Application the operation belongs to.
+    pub app: AppId,
+    /// Operation type.
+    pub op: OpTypeId,
+    /// Data center the client launched from.
+    pub dc: DcId,
+}
+
+/// Aggregated completions for one key over one measurement interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    /// Number of operations completed in the interval.
+    pub completed: u64,
+    /// Mean response time in seconds.
+    pub mean_secs: f64,
+    /// Maximum response time in seconds.
+    pub max_secs: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Accum {
+    count: u64,
+    total_secs: f64,
+    max_secs: f64,
+}
+
+/// Records operation completions and drains them into interval snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct ResponseTimeRegistry {
+    current: BTreeMap<ResponseKey, Accum>,
+    /// Full-run history: every completion, kept for RMSE comparisons in
+    /// the validation experiments.
+    history: BTreeMap<ResponseKey, Vec<(SimTime, f64)>>,
+    keep_history: bool,
+}
+
+impl ResponseTimeRegistry {
+    /// Creates a registry that only keeps interval aggregates.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry that additionally retains every completion for
+    /// post-hoc accuracy analysis (validation experiments).
+    pub fn with_history() -> Self {
+        ResponseTimeRegistry { keep_history: true, ..Self::default() }
+    }
+
+    /// Records one completed operation.
+    pub fn record(&mut self, key: ResponseKey, finished_at: SimTime, duration: SimDuration) {
+        let secs = duration.as_secs_f64();
+        let acc = self.current.entry(key).or_default();
+        acc.count += 1;
+        acc.total_secs += secs;
+        acc.max_secs = acc.max_secs.max(secs);
+        if self.keep_history {
+            self.history.entry(key).or_default().push((finished_at, secs));
+        }
+    }
+
+    /// Drains the current interval into per-key statistics.
+    pub fn collect(&mut self) -> BTreeMap<ResponseKey, ResponseStats> {
+        let drained = std::mem::take(&mut self.current);
+        drained
+            .into_iter()
+            .map(|(k, a)| {
+                (
+                    k,
+                    ResponseStats {
+                        completed: a.count,
+                        mean_secs: a.total_secs / a.count as f64,
+                        max_secs: a.max_secs,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Completions recorded for `key` over the whole run (history mode).
+    pub fn history(&self, key: ResponseKey) -> &[(SimTime, f64)] {
+        self.history.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All keys seen in history mode.
+    pub fn history_keys(&self) -> impl Iterator<Item = ResponseKey> + '_ {
+        self.history.keys().copied()
+    }
+
+    /// Mean response time across the whole retained history for `key`.
+    pub fn history_mean(&self, key: ResponseKey) -> Option<f64> {
+        let h = self.history.get(&key)?;
+        if h.is_empty() {
+            return None;
+        }
+        Some(h.iter().map(|(_, s)| s).sum::<f64>() / h.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(op: u32) -> ResponseKey {
+        ResponseKey { app: AppId(0), op: OpTypeId(op), dc: DcId(0) }
+    }
+
+    #[test]
+    fn collect_aggregates_and_resets() {
+        let mut r = ResponseTimeRegistry::new();
+        r.record(key(0), SimTime::from_secs(1), SimDuration::from_secs(2));
+        r.record(key(0), SimTime::from_secs(2), SimDuration::from_secs(4));
+        r.record(key(1), SimTime::from_secs(2), SimDuration::from_secs(1));
+
+        let snap = r.collect();
+        assert_eq!(snap.len(), 2);
+        let s0 = snap[&key(0)];
+        assert_eq!(s0.completed, 2);
+        assert!((s0.mean_secs - 3.0).abs() < 1e-12);
+        assert!((s0.max_secs - 4.0).abs() < 1e-12);
+
+        // Second collection is empty.
+        assert!(r.collect().is_empty());
+    }
+
+    #[test]
+    fn history_mode_retains_everything() {
+        let mut r = ResponseTimeRegistry::with_history();
+        r.record(key(0), SimTime::from_secs(1), SimDuration::from_secs(2));
+        r.collect();
+        r.record(key(0), SimTime::from_secs(9), SimDuration::from_secs(6));
+        assert_eq!(r.history(key(0)).len(), 2);
+        assert_eq!(r.history_mean(key(0)), Some(4.0));
+        assert_eq!(r.history(key(7)), &[]);
+        assert_eq!(r.history_mean(key(7)), None);
+    }
+
+    #[test]
+    fn plain_mode_keeps_no_history() {
+        let mut r = ResponseTimeRegistry::new();
+        r.record(key(0), SimTime::ZERO, SimDuration::from_secs(1));
+        assert!(r.history(key(0)).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-agent measurement instruments.
+//!
+//! Agents expose two kinds of state to the collector (§4.3.2):
+//!
+//! * **Utilization** — the fraction of the measurement interval a queue's
+//!   servers were busy. [`UtilizationMeter`] accumulates busy capacity-time
+//!   between collections and converts it to a `[0, 1]` fraction.
+//! * **Gauges** — instantaneous levels (queue depth, allocated memory,
+//!   concurrent connections). [`GaugeMeter`] tracks the current level and a
+//!   time-weighted average since the last collection.
+
+use gdisim_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates busy time for a multi-server resource and reports average
+/// utilization per measurement interval.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UtilizationMeter {
+    /// Busy capacity-time accumulated since the last collection, in
+    /// server-microseconds (e.g. 2 servers busy for 5 µs = 10).
+    busy: f64,
+    /// Elapsed capacity-time since the last collection.
+    elapsed: f64,
+}
+
+impl UtilizationMeter {
+    /// Creates an idle meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one tick: `busy_servers` of `total_servers` were busy for
+    /// `dt`. Fractional busy servers are allowed — fluid queue models use
+    /// the exact capacity consumed during the tick.
+    pub fn record(&mut self, busy_servers: f64, total_servers: f64, dt: SimDuration) {
+        debug_assert!(busy_servers >= -1e-9 && busy_servers <= total_servers + 1e-9);
+        let dt = dt.as_micros() as f64;
+        self.busy += busy_servers.max(0.0) * dt;
+        self.elapsed += total_servers * dt;
+    }
+
+    /// Returns the utilization in `[0, 1]` since the last collection and
+    /// resets the meter. An interval with no recorded time reports `0`.
+    pub fn collect(&mut self) -> f64 {
+        let u = if self.elapsed > 0.0 { (self.busy / self.elapsed).clamp(0.0, 1.0) } else { 0.0 };
+        self.busy = 0.0;
+        self.elapsed = 0.0;
+        u
+    }
+
+    /// Peeks at the utilization without resetting.
+    pub fn peek(&self) -> f64 {
+        if self.elapsed > 0.0 {
+            (self.busy / self.elapsed).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Tracks an instantaneous level and its time-weighted average.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GaugeMeter {
+    level: f64,
+    weighted: f64,
+    elapsed: f64,
+}
+
+impl GaugeMeter {
+    /// Creates a gauge at level zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Sets the current level (absolute).
+    pub fn set(&mut self, level: f64) {
+        self.level = level;
+    }
+
+    /// Adjusts the current level by `delta` (may be negative).
+    pub fn add(&mut self, delta: f64) {
+        self.level += delta;
+    }
+
+    /// Advances time: the current level held for `dt`.
+    pub fn advance(&mut self, dt: SimDuration) {
+        let dt = dt.as_micros() as f64;
+        self.weighted += self.level * dt;
+        self.elapsed += dt;
+    }
+
+    /// Returns the time-weighted average level since the last collection
+    /// and resets the accumulator (the level itself persists).
+    pub fn collect(&mut self) -> f64 {
+        let avg = if self.elapsed > 0.0 { self.weighted / self.elapsed } else { self.level };
+        self.weighted = 0.0;
+        self.elapsed = 0.0;
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    #[test]
+    fn utilization_half_busy() {
+        let mut m = UtilizationMeter::new();
+        m.record(1.0, 2.0, MS);
+        m.record(1.0, 2.0, MS);
+        assert!((m.peek() - 0.5).abs() < 1e-12);
+        assert!((m.collect() - 0.5).abs() < 1e-12);
+        // Reset after collection.
+        assert_eq!(m.collect(), 0.0);
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        let mut m = UtilizationMeter::new();
+        // Floating point slop above capacity must not report > 1.
+        m.record(2.0 + 1e-10, 2.0, MS);
+        assert!(m.collect() <= 1.0);
+    }
+
+    #[test]
+    fn utilization_varying_load() {
+        let mut m = UtilizationMeter::new();
+        m.record(0.0, 4.0, MS);
+        m.record(4.0, 4.0, MS);
+        m.record(2.0, 4.0, MS * 2);
+        // (0 + 4 + 2*2) / (4 * 4) = 8/16
+        assert!((m.collect() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_time_weighted_average() {
+        let mut g = GaugeMeter::new();
+        g.set(10.0);
+        g.advance(MS);
+        g.set(20.0);
+        g.advance(MS * 3);
+        // (10*1 + 20*3) / 4 = 17.5
+        assert!((g.collect() - 17.5).abs() < 1e-12);
+        // Level persists across collection.
+        assert_eq!(g.level(), 20.0);
+        // Collection with no elapsed time reports the instantaneous level.
+        assert_eq!(g.collect(), 20.0);
+    }
+
+    #[test]
+    fn gauge_add_is_relative() {
+        let mut g = GaugeMeter::new();
+        g.add(5.0);
+        g.add(-2.0);
+        assert_eq!(g.level(), 3.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Timestamped sample series.
+//!
+//! Every reported quantity in Chapters 5–7 is a trace: a value sampled at
+//! a fixed cadence (every 6 s in validation, every minute in the case
+//! studies). `TimeSeries` stores those `(time, value)` pairs and provides
+//! the window operations the experiment harnesses need: steady-state
+//! extraction, windowed averages and alignment for RMSE comparison.
+
+use gdisim_types::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A series of `(time, value)` samples, ordered by insertion time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty series with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        TimeSeries { times: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+    }
+
+    /// Appends a sample. Samples must be pushed in non-decreasing time
+    /// order; the collector always satisfies this.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.times.last().is_none_or(|last| *last <= t),
+            "samples must be pushed in time order"
+        );
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values, in time order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The raw timestamps, in time order.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// Values of the samples with `start <= t < end` — e.g. the paper's
+    /// 12:00–16:00 GMT network-utilization window (Table 6.1) or the
+    /// 31-minute steady-state phase of the validation runs.
+    pub fn window(&self, start: SimTime, end: SimTime) -> Vec<f64> {
+        self.iter()
+            .filter(|(t, _)| *t >= start && *t < end)
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// Mean over a time window; `0.0` if the window holds no samples.
+    pub fn window_mean(&self, start: SimTime, end: SimTime) -> f64 {
+        crate::summary::mean(&self.window(start, end))
+    }
+
+    /// Maximum over the whole series, if non-empty.
+    pub fn max(&self) -> Option<(SimTime, f64)> {
+        self.iter()
+            .fold(None, |best: Option<(SimTime, f64)>, (t, v)| match best {
+                Some((_, bv)) if bv >= v => best,
+                _ => Some((t, v)),
+            })
+    }
+
+    /// Downsamples to one averaged value per `bucket` of time, returning a
+    /// new series stamped at each bucket's start. This is the snapshot
+    /// operation of §4.3.1 (average a window of samples, discard the rest).
+    pub fn resample(&self, bucket: SimDuration) -> TimeSeries {
+        assert!(!bucket.is_zero(), "bucket must be positive");
+        let mut out = TimeSeries::new();
+        if self.is_empty() {
+            return out;
+        }
+        let mut bucket_start = SimTime(self.times[0].0 / bucket.0 * bucket.0);
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        for (t, v) in self.iter() {
+            let this_bucket = SimTime(t.0 / bucket.0 * bucket.0);
+            if this_bucket != bucket_start && n > 0 {
+                out.push(bucket_start, acc / n as f64);
+                acc = 0.0;
+                n = 0;
+                bucket_start = this_bucket;
+            }
+            acc += v;
+            n += 1;
+        }
+        if n > 0 {
+            out.push(bucket_start, acc / n as f64);
+        }
+        out
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (SimTime, f64)>>(iter: I) -> Self {
+        let mut s = TimeSeries::new();
+        for (t, v) in iter {
+            s.push(t, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pairs: &[(u64, f64)]) -> TimeSeries {
+        pairs.iter().map(|(s, v)| (SimTime::from_secs(*s), *v)).collect()
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let s = series(&[(0, 1.0), (6, 2.0), (12, 3.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.last(), Some((SimTime::from_secs(12), 3.0)));
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let s = series(&[(0, 1.0), (6, 2.0), (12, 3.0), (18, 4.0)]);
+        let w = s.window(SimTime::from_secs(6), SimTime::from_secs(18));
+        assert_eq!(w, vec![2.0, 3.0]);
+        assert_eq!(s.window_mean(SimTime::from_secs(6), SimTime::from_secs(18)), 2.5);
+        assert_eq!(s.window_mean(SimTime::from_secs(100), SimTime::from_secs(200)), 0.0);
+    }
+
+    #[test]
+    fn max_finds_first_peak() {
+        let s = series(&[(0, 1.0), (6, 5.0), (12, 5.0), (18, 2.0)]);
+        assert_eq!(s.max(), Some((SimTime::from_secs(6), 5.0)));
+        assert_eq!(TimeSeries::new().max(), None);
+    }
+
+    #[test]
+    fn resample_averages_buckets() {
+        let s = series(&[(0, 1.0), (1, 3.0), (10, 5.0), (11, 7.0)]);
+        let r = s.resample(SimDuration::from_secs(10));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.values(), &[2.0, 6.0]);
+        assert_eq!(r.times()[0], SimTime::ZERO);
+        assert_eq!(r.times()[1], SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn resample_empty() {
+        assert!(TimeSeries::new().resample(SimDuration::from_secs(1)).is_empty());
+    }
+}

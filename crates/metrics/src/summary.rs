@@ -1,0 +1,165 @@
+//! Summary statistics: steady-state means, deviations and RMSE.
+//!
+//! Equations 5.1–5.5 of the thesis define the statistics used to assess
+//! simulator accuracy. They are reproduced here verbatim: population
+//! standard deviation (the paper divides by `N`, not `N−1`) and the root
+//! mean square error between a physical and a simulated trace.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a sample set; `0.0` for an empty set.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Mean and population standard deviation (Eqs. 5.1–5.4).
+pub fn mean_stddev(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mu = mean(values);
+    let var = values.iter().map(|v| (v - mu).powi(2)).sum::<f64>() / values.len() as f64;
+    (mu, var.sqrt())
+}
+
+/// Root Mean Square Error between two aligned traces (Eq. 5.5).
+///
+/// # Panics
+/// Panics if the traces have different lengths — comparing misaligned
+/// sample sets is always a harness bug, never a recoverable condition.
+pub fn rmse(physical: &[f64], simulated: &[f64]) -> f64 {
+    assert_eq!(
+        physical.len(),
+        simulated.len(),
+        "RMSE requires aligned traces ({} vs {} samples)",
+        physical.len(),
+        simulated.len()
+    );
+    if physical.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = physical
+        .iter()
+        .zip(simulated)
+        .map(|(p, s)| (p - s).powi(2))
+        .sum();
+    (sum_sq / physical.len() as f64).sqrt()
+}
+
+/// RMSE between traces that may differ in length by trimming both to the
+/// shorter one. Useful when the physical and simulated runs end a sample
+/// apart due to rounding of the experiment horizon.
+pub fn rmse_between(physical: &[f64], simulated: &[f64]) -> f64 {
+    let n = physical.len().min(simulated.len());
+    rmse(&physical[..n], &simulated[..n])
+}
+
+/// A compact distribution summary used in experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample set. Empty input yields the zero summary.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary { count: 0, mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let (mean, stddev) = mean_stddev(values);
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Summary { count: values.len(), mean, stddev, min, max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_stddev_known_values() {
+        let (mu, sigma) = mean_stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((mu - 5.0).abs() < 1e-12);
+        assert!((sigma - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean_stddev(&[]), (0.0, 0.0));
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(Summary::of(&[]).count, 0);
+    }
+
+    #[test]
+    fn rmse_identical_traces_is_zero() {
+        let t = [0.1, 0.5, 0.9];
+        assert_eq!(rmse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn rmse_constant_offset() {
+        let p = [1.0, 2.0, 3.0];
+        let s = [1.5, 2.5, 3.5];
+        assert!((rmse(&p, &s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned traces")]
+    fn rmse_misaligned_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rmse_between_trims() {
+        assert!((rmse_between(&[1.0, 2.0, 99.0], &[1.0, 2.0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_extremes() {
+        let s = Summary::of(&[3.0, -1.0, 7.0]);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.count, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn stddev_is_nonnegative(v in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let (_, sigma) = mean_stddev(&v);
+            prop_assert!(sigma >= 0.0);
+        }
+
+        #[test]
+        fn rmse_symmetric(v in proptest::collection::vec(0.0f64..1e3, 1..100)) {
+            let shifted: Vec<f64> = v.iter().map(|x| x + 1.0).collect();
+            let a = rmse(&v, &shifted);
+            let b = rmse(&shifted, &v);
+            prop_assert!((a - b).abs() < 1e-9);
+            prop_assert!((a - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn mean_bounded_by_extremes(v in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let s = Summary::of(&v);
+            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Coordination primitives (§4.2.3), after Chrysanthakopoulos & Singh's
+//! CCR: multiple-item receivers, join receivers, choice and interleave.
+//!
+//! The single-item receiver is [`crate::port::Port::register`]; the
+//! primitives here compose ports into the higher-level orchestration
+//! patterns the Scatter-Gather mechanism is built from.
+
+use crate::dispatch::Dispatcher;
+use crate::port::Port;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// A *multiple-item receiver*: fires its handler once, after `n` messages
+/// (successes of type `M` or failures of type `E`, with `p + q = n`) have
+/// arrived on its port.
+pub struct MultipleItemReceiver<M, E> {
+    port: Port<Result<M, E>>,
+}
+
+impl<M: Send + 'static, E: Send + 'static> MultipleItemReceiver<M, E> {
+    /// Registers `handler` to run once `expected` messages have been
+    /// received; the handler gets all payloads, successes and failures.
+    /// Returns the port to post results to.
+    pub fn new(
+        dispatcher: Arc<Dispatcher>,
+        expected: usize,
+        handler: impl FnOnce(Vec<Result<M, E>>) + Send + 'static,
+    ) -> Self {
+        assert!(expected > 0, "multiple-item receiver needs a positive count");
+        let port = Port::new(dispatcher);
+        let state = Mutex::new((Vec::with_capacity(expected), Some(handler)));
+        port.register(move |msg: Result<M, E>| {
+            let mut guard = state.lock();
+            guard.0.push(msg);
+            if guard.0.len() == expected {
+                let items = std::mem::take(&mut guard.0);
+                let h = guard.1.take().expect("multiple-item handler fired twice");
+                drop(guard);
+                h(items);
+            }
+        });
+        MultipleItemReceiver { port }
+    }
+
+    /// The port results are posted to.
+    pub fn port(&self) -> Port<Result<M, E>> {
+        self.port.clone()
+    }
+}
+
+/// A *join receiver*: fires once a message has arrived on **both** ports,
+/// passing both payloads to the handler.
+pub struct JoinReceiver<A, B> {
+    port_a: Port<A>,
+    port_b: Port<B>,
+}
+
+impl<A: Send + 'static, B: Send + 'static> JoinReceiver<A, B> {
+    /// Creates the pair of joined ports. The handler runs each time an
+    /// `(A, B)` pair completes; unmatched messages wait for their partner.
+    pub fn new(
+        dispatcher: Arc<Dispatcher>,
+        handler: impl Fn(A, B) + Send + Sync + 'static,
+    ) -> Self {
+        let port_a = Port::new(Arc::clone(&dispatcher));
+        let port_b = Port::new(dispatcher);
+        let handler = Arc::new(handler);
+        let pending: Arc<Mutex<(Vec<A>, Vec<B>)>> = Arc::new(Mutex::new((Vec::new(), Vec::new())));
+
+        let p = Arc::clone(&pending);
+        let h = Arc::clone(&handler);
+        port_a.register(move |a: A| {
+            let mut guard = p.lock();
+            if guard.1.is_empty() {
+                guard.0.push(a);
+            } else {
+                let b = guard.1.remove(0);
+                drop(guard);
+                h(a, b);
+            }
+        });
+
+        let p = Arc::clone(&pending);
+        let h = Arc::clone(&handler);
+        port_b.register(move |b: B| {
+            let mut guard = p.lock();
+            if guard.0.is_empty() {
+                guard.1.push(b);
+            } else {
+                let a = guard.0.remove(0);
+                drop(guard);
+                h(a, b);
+            }
+        });
+
+        JoinReceiver { port_a, port_b }
+    }
+
+    /// The `A`-side port.
+    pub fn port_a(&self) -> Port<A> {
+        self.port_a.clone()
+    }
+
+    /// The `B`-side port.
+    pub fn port_b(&self) -> Port<B> {
+        self.port_b.clone()
+    }
+}
+
+/// A two-variant message for [`Choice`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Either<M, N> {
+    /// First alternative.
+    Left(M),
+    /// Second alternative.
+    Right(N),
+}
+
+/// A *choice*: one port, two message types, two handlers — handler X runs
+/// for `Left` payloads, handler Y for `Right` payloads.
+pub struct Choice<M, N> {
+    port: Port<Either<M, N>>,
+}
+
+impl<M: Send + 'static, N: Send + 'static> Choice<M, N> {
+    /// Registers the two handlers and returns the shared port.
+    pub fn new(
+        dispatcher: Arc<Dispatcher>,
+        on_left: impl Fn(M) + Send + Sync + 'static,
+        on_right: impl Fn(N) + Send + Sync + 'static,
+    ) -> Self {
+        let port = Port::new(dispatcher);
+        port.register(move |msg: Either<M, N>| match msg {
+            Either::Left(m) => on_left(m),
+            Either::Right(n) => on_right(n),
+        });
+        Choice { port }
+    }
+
+    /// The shared port.
+    pub fn port(&self) -> Port<Either<M, N>> {
+        self.port.clone()
+    }
+}
+
+/// An *interleave*: schedules handler executions relative to each other.
+///
+/// Handlers belong to three groups (§4.2.3): **teardown** (run once,
+/// atomically), **exclusive** (never run concurrently with any other
+/// handler) and **concurrent** (run in parallel with other invocations of
+/// themselves). The groups map onto a readers-writer lock: concurrent
+/// handlers take the read side, exclusive and teardown handlers the write
+/// side.
+pub struct Interleave {
+    lock: Arc<RwLock<()>>,
+    torn_down: Arc<Mutex<bool>>,
+}
+
+impl Default for Interleave {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interleave {
+    /// Creates an interleave scope.
+    pub fn new() -> Self {
+        Interleave { lock: Arc::new(RwLock::new(())), torn_down: Arc::new(Mutex::new(false)) }
+    }
+
+    /// Runs `f` in the concurrent group: parallel with other concurrent
+    /// work, never overlapping exclusive work.
+    pub fn concurrent<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.lock.read();
+        f()
+    }
+
+    /// Runs `f` in the exclusive group: no other interleaved handler runs
+    /// at the same time.
+    pub fn exclusive<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.lock.write();
+        f()
+    }
+
+    /// Runs `f` as teardown: exclusive, and at most once per interleave —
+    /// later calls are ignored and return `None`.
+    pub fn teardown<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        let _guard = self.lock.write();
+        let mut done = self.torn_down.lock();
+        if *done {
+            return None;
+        }
+        *done = true;
+        Some(f())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+    #[test]
+    fn multiple_item_receiver_fires_after_n() {
+        let d = Arc::new(Dispatcher::new(2));
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        let recv = MultipleItemReceiver::<u32, String>::new(Arc::clone(&d), 4, move |items| {
+            let successes = items.iter().filter(|r| r.is_ok()).count();
+            let failures = items.len() - successes;
+            assert_eq!(successes, 3);
+            assert_eq!(failures, 1);
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        let port = recv.port();
+        port.post(Ok(1));
+        port.post(Ok(2));
+        port.post(Err("boom".into()));
+        d.wait_idle();
+        assert_eq!(fired.load(Ordering::Relaxed), 0, "three of four: not yet");
+        port.post(Ok(3));
+        d.wait_idle();
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_receiver_pairs_messages() {
+        let d = Arc::new(Dispatcher::new(2));
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&sum);
+        let join = JoinReceiver::<u64, u64>::new(Arc::clone(&d), move |a, b| {
+            s.fetch_add(a * 100 + b, Ordering::Relaxed);
+        });
+        join.port_a().post(7);
+        d.wait_idle();
+        assert_eq!(sum.load(Ordering::Relaxed), 0, "waits for the partner");
+        join.port_b().post(9);
+        d.wait_idle();
+        assert_eq!(sum.load(Ordering::Relaxed), 709);
+    }
+
+    #[test]
+    fn choice_routes_by_variant() {
+        let d = Arc::new(Dispatcher::new(2));
+        let left = Arc::new(AtomicU64::new(0));
+        let right = Arc::new(AtomicU64::new(0));
+        let (l, r) = (Arc::clone(&left), Arc::clone(&right));
+        let choice = Choice::<u64, u64>::new(
+            Arc::clone(&d),
+            move |m| {
+                l.fetch_add(m, Ordering::Relaxed);
+            },
+            move |n| {
+                r.fetch_add(n, Ordering::Relaxed);
+            },
+        );
+        let port = choice.port();
+        port.post(Either::Left(5));
+        port.post(Either::Right(11));
+        port.post(Either::Left(1));
+        d.wait_idle();
+        assert_eq!(left.load(Ordering::Relaxed), 6);
+        assert_eq!(right.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn interleave_exclusive_never_overlaps_concurrent() {
+        let d = Dispatcher::new(4);
+        let inter = Arc::new(Interleave::new());
+        // A signed "in concurrent section" counter; exclusive sections
+        // assert it is zero.
+        let active = Arc::new(AtomicI64::new(0));
+        for i in 0..200 {
+            let inter = Arc::clone(&inter);
+            let active = Arc::clone(&active);
+            if i % 10 == 0 {
+                d.submit(Box::new(move || {
+                    inter.exclusive(|| {
+                        assert_eq!(active.load(Ordering::SeqCst), 0);
+                    });
+                }));
+            } else {
+                d.submit(Box::new(move || {
+                    inter.concurrent(|| {
+                        active.fetch_add(1, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }));
+            }
+        }
+        d.wait_idle();
+    }
+
+    #[test]
+    fn teardown_runs_once() {
+        let i = Interleave::new();
+        assert_eq!(i.teardown(|| 42), Some(42));
+        assert_eq!(i.teardown(|| 43), None);
+    }
+}

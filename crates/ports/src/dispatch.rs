@@ -1,0 +1,146 @@
+//! The dispatcher: a persistent pool of worker threads draining a queue of
+//! active-message work items (Fig. 4-1).
+//!
+//! A *work item* is the pairing of a message payload with the handler
+//! registered on the receiving port — by the time it reaches the
+//! dispatcher queue it is an opaque closure. Handlers "do not have their
+//! own execution context and are executed on the stack of the thread that
+//! pulled the active message from the dispatcher queue" (§4.2.1), which is
+//! exactly what executing a boxed `FnOnce` on a pool thread does.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// An active-message work item: handler + payload, ready to run.
+pub type WorkItem = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// Work items submitted but not yet finished executing.
+    outstanding: AtomicUsize,
+}
+
+/// A fixed-size worker-thread pool executing [`WorkItem`]s in submission
+/// order (modulo concurrency).
+pub struct Dispatcher {
+    tx: Option<Sender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Dispatcher {
+    /// Spawns a dispatcher with `threads` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "dispatcher needs at least one thread");
+        let (tx, rx): (Sender<WorkItem>, Receiver<WorkItem>) = unbounded();
+        let shared = Arc::new(Shared { outstanding: AtomicUsize::new(0) });
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gdisim-dispatch-{i}"))
+                    .spawn(move || {
+                        while let Ok(item) = rx.recv() {
+                            item();
+                            shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    })
+                    .expect("failed to spawn dispatcher worker")
+            })
+            .collect();
+        Dispatcher { tx: Some(tx), workers, shared }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a work item for execution on any available worker.
+    pub fn submit(&self, item: WorkItem) {
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.tx
+            .as_ref()
+            .expect("dispatcher already shut down")
+            .send(item)
+            .expect("dispatcher workers exited early");
+    }
+
+    /// Work items submitted and not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.shared.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Spin-waits until every submitted item has executed. Intended for
+    /// tests and teardown paths; the engine coordinates through the
+    /// gather/synchronization ports instead.
+    pub fn wait_idle(&self) {
+        while self.outstanding() > 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain remaining items and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_items() {
+        let d = Dispatcher::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            d.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        d.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let d = Dispatcher::new(2);
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                d.submit(Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        } // drop joins the workers
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn outstanding_reaches_zero() {
+        let d = Dispatcher::new(1);
+        d.submit(Box::new(|| {}));
+        d.wait_idle();
+        assert_eq!(d.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        Dispatcher::new(0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Engine-facing execution strategy.
+//!
+//! The simulation engine drives three phases per time step (time
+//! increment, agent interaction, measurement collection; §4.3.5) and is
+//! agnostic to how each phase's per-agent work is spread over cores.
+//! [`Executor`] selects the strategy: serial (the fast default for small
+//! models and tests), classic Scatter-Gather, or H-Dispatch.
+
+use crate::hdispatch::HDispatchPool;
+use crate::scatter_gather::ScatterGatherPool;
+
+/// How per-agent phase work is executed.
+#[derive(Debug, Clone, Default)]
+pub enum Executor {
+    /// Single-threaded in-place iteration.
+    #[default]
+    Serial,
+    /// One work item per agent through a shared queue (Table 4.1).
+    ScatterGather(ScatterGatherPool),
+    /// Agent sets pulled from a global queue (Table 4.2).
+    HDispatch(HDispatchPool),
+}
+
+impl Executor {
+    /// The serial executor.
+    pub fn serial() -> Self {
+        Executor::Serial
+    }
+
+    /// Classic Scatter-Gather over `threads` workers.
+    pub fn scatter_gather(threads: usize) -> Self {
+        Executor::ScatterGather(ScatterGatherPool::new(threads))
+    }
+
+    /// H-Dispatch over `threads` workers with the given agent-set size.
+    pub fn hdispatch(threads: usize, agent_set: usize) -> Self {
+        Executor::HDispatch(HDispatchPool::new(threads, agent_set))
+    }
+
+    /// A short name for reports ("serial", "scatter-gather", "h-dispatch").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Executor::Serial => "serial",
+            Executor::ScatterGather(_) => "scatter-gather",
+            Executor::HDispatch(_) => "h-dispatch",
+        }
+    }
+
+    /// Worker-thread count (1 for serial).
+    pub fn threads(&self) -> usize {
+        match self {
+            Executor::Serial => 1,
+            Executor::ScatterGather(p) => p.threads(),
+            Executor::HDispatch(p) => p.threads(),
+        }
+    }
+
+    /// Applies `f` to every agent under this strategy. The phase returns
+    /// only when all agents have been processed (the gather barrier /
+    /// time-synchronization port of Fig. 4-3 and 4-5).
+    pub fn run_phase<A, F>(&self, agents: &mut [A], f: F)
+    where
+        A: Send,
+        F: Fn(&mut A) + Sync,
+    {
+        match self {
+            Executor::Serial => {
+                for a in agents.iter_mut() {
+                    f(a);
+                }
+            }
+            Executor::ScatterGather(pool) => pool.run_phase(agents, &f),
+            Executor::HDispatch(pool) => pool.run_phase(agents, &f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_strategies_produce_identical_results() {
+        let work = |a: &mut u64| *a = a.wrapping_mul(2654435761).rotate_left(7);
+        let make = || (0..500u64).collect::<Vec<_>>();
+
+        let mut serial = make();
+        Executor::serial().run_phase(&mut serial, work);
+
+        let mut sg = make();
+        Executor::scatter_gather(4).run_phase(&mut sg, work);
+
+        let mut hd = make();
+        Executor::hdispatch(4, 16).run_phase(&mut hd, work);
+
+        assert_eq!(serial, sg);
+        assert_eq!(serial, hd);
+    }
+
+    #[test]
+    fn names_and_threads() {
+        assert_eq!(Executor::serial().name(), "serial");
+        assert_eq!(Executor::serial().threads(), 1);
+        assert_eq!(Executor::scatter_gather(3).name(), "scatter-gather");
+        assert_eq!(Executor::scatter_gather(3).threads(), 3);
+        assert_eq!(Executor::hdispatch(5, 64).name(), "h-dispatch");
+        assert_eq!(Executor::hdispatch(5, 64).threads(), 5);
+    }
+}

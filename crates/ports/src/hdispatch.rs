@@ -1,0 +1,141 @@
+//! The H-Dispatch mechanism (§4.3.5, after Holmes et al.; evaluated in
+//! Table 4.2 / Fig. 4-6).
+//!
+//! H-Dispatch fixes two pathologies of the classic Scatter-Gather:
+//!
+//! * **Per-item overhead** — instead of one work item per agent, agents
+//!   are grouped into *agent sets* (default 64) processed sequentially by
+//!   a worker, amortizing global-queue traffic over the whole set;
+//! * **Push → Pull** — persistent workers ("as many worker threads as
+//!   cores are available … always active") *pull* agent sets from a
+//!   global H-Dispatch queue until it is empty, which load-balances
+//!   without a scheduler and reuses each worker's stack and locals
+//!   across items (in the original C# implementation this also starved
+//!   the garbage collector of work).
+
+use crate::pool::PhasePool;
+use std::sync::Arc;
+
+/// Default agent-set size; 64 "delivered the best results" in the paper.
+pub const DEFAULT_AGENT_SET: usize = 64;
+
+/// H-Dispatch phase executor: persistent workers pulling agent sets of
+/// `agent_set` agents from a global queue.
+#[derive(Clone)]
+pub struct HDispatchPool {
+    pool: Arc<PhasePool>,
+    agent_set: usize,
+}
+
+impl std::fmt::Debug for HDispatchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HDispatchPool")
+            .field("threads", &self.threads())
+            .field("agent_set", &self.agent_set)
+            .finish()
+    }
+}
+
+impl HDispatchPool {
+    /// Creates a pool configuration.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or `agent_set == 0`.
+    pub fn new(threads: usize, agent_set: usize) -> Self {
+        assert!(threads > 0, "H-Dispatch needs at least one thread");
+        assert!(agent_set > 0, "agent set must be non-empty");
+        HDispatchPool { pool: Arc::new(PhasePool::new(threads)), agent_set }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Agents per pulled set.
+    pub fn agent_set(&self) -> usize {
+        self.agent_set
+    }
+
+    /// Applies `f` to every agent: the agent slice is cut into sets and
+    /// workers pull sets from the global cursor until it is empty.
+    pub fn run_phase<A, F>(&self, agents: &mut [A], f: &F)
+    where
+        A: Send,
+        F: Fn(&mut A) + Sync,
+    {
+        if self.threads() == 1 || agents.len() <= self.agent_set {
+            for a in agents.iter_mut() {
+                f(a);
+            }
+            return;
+        }
+        let base = agents.as_mut_ptr() as usize;
+        let len = agents.len();
+        let set = self.agent_set;
+        let units = len.div_ceil(set);
+        self.pool.run(units, &|u| {
+            let start = u * set;
+            let end = (start + set).min(len);
+            for i in start..end {
+                // SAFETY: agent sets are disjoint index ranges, and the
+                // phase call blocks until all sets are processed.
+                let agent = unsafe { &mut *(base as *mut A).add(i) };
+                f(agent);
+            }
+        });
+    }
+}
+
+impl Default for HDispatchPool {
+    fn default() -> Self {
+        HDispatchPool::new(
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+            DEFAULT_AGENT_SET,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_agent_processed_exactly_once() {
+        let pool = HDispatchPool::new(4, 16);
+        let mut agents: Vec<u64> = vec![0; 1003]; // deliberately not a multiple of 16
+        pool.run_phase(&mut agents, &|a| *a += 1);
+        assert!(agents.iter().all(|a| *a == 1));
+    }
+
+    #[test]
+    fn small_input_runs_serially() {
+        let pool = HDispatchPool::new(8, 64);
+        let mut agents: Vec<u64> = (0..10).collect();
+        pool.run_phase(&mut agents, &|a| *a *= 3);
+        assert_eq!(agents, (0..10).map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_ticks() {
+        let pool = HDispatchPool::new(4, 8);
+        let mut agents: Vec<u64> = vec![0; 512];
+        for _ in 0..100 {
+            pool.run_phase(&mut agents, &|a| *a += 1);
+        }
+        assert!(agents.iter().all(|a| *a == 100));
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        let pool = HDispatchPool::default();
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.agent_set(), DEFAULT_AGENT_SET);
+    }
+
+    #[test]
+    #[should_panic(expected = "agent set must be non-empty")]
+    fn zero_agent_set_panics() {
+        HDispatchPool::new(1, 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! A persistent worker pool for per-tick phases.
+//!
+//! Both orchestration mechanisms of Ch. 4 keep their worker threads
+//! alive across time steps — H-Dispatch explicitly selects "as many
+//! worker threads as cores … always active" (§4.3.5), and the CCR
+//! dispatcher underneath the classic Scatter-Gather likewise persists.
+//! Spawning OS threads per tick would swamp both mechanisms with setup
+//! cost, so [`PhasePool`] parks a fixed set of workers between phases
+//! and wakes them with a generation counter.
+//!
+//! A *phase* is a bag of `units` independent work items; workers (and
+//! the calling thread) pull unit indices from a shared atomic cursor —
+//! the paper's "Pull mechanism that makes worker threads request work
+//! from a global queue" — and the call returns when every unit is done.
+//!
+//! # Safety
+//! The phase closure is type-erased to a raw pointer so parked workers
+//! can call it without a `'static` bound. This is sound because
+//! [`PhasePool::run`] does not return until every worker has finished
+//! the phase (the same blocking-scope argument `std::thread::scope`
+//! relies on).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` and `run` keeps it alive while any
+// worker can observe it.
+unsafe impl Send for TaskPtr {}
+
+struct State {
+    generation: u64,
+    units: usize,
+    task: Option<TaskPtr>,
+    done_workers: usize,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    cursor: AtomicUsize,
+    shutdown: AtomicBool,
+    n_workers: usize,
+}
+
+/// A persistent pool executing phases of independent work units.
+pub struct PhasePool {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PhasePool {
+    /// Creates a pool contributing `threads` total execution streams:
+    /// the calling thread plus `threads - 1` parked workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "phase pool needs at least one thread");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { generation: 0, units: 0, task: None, done_workers: 0 }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            n_workers: threads - 1,
+        });
+        let workers = (0..threads - 1)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("gdisim-phase-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn phase worker")
+            })
+            .collect();
+        PhasePool { inner, workers }
+    }
+
+    /// Total execution streams (workers + caller).
+    pub fn threads(&self) -> usize {
+        self.inner.n_workers + 1
+    }
+
+    /// Runs one phase of `units` work items; `f(i)` is called exactly
+    /// once for every `i < units`, from the caller or a worker. Returns
+    /// when all units are complete.
+    pub fn run(&self, units: usize, f: &(dyn Fn(usize) + Sync)) {
+        if units == 0 {
+            return;
+        }
+        if self.inner.n_workers == 0 {
+            for i in 0..units {
+                f(i);
+            }
+            return;
+        }
+        // Publish the phase.
+        {
+            let mut st = self.inner.state.lock();
+            // SAFETY: see module docs — `f` outlives the phase because we
+            // block below until every worker reports done.
+            let erased: TaskPtr =
+                TaskPtr(unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f) });
+            st.task = Some(erased);
+            st.units = units;
+            st.generation += 1;
+            st.done_workers = 0;
+            self.inner.cursor.store(0, Ordering::Release);
+            self.inner.work_cv.notify_all();
+        }
+        // The caller pulls units alongside the workers.
+        loop {
+            let i = self.inner.cursor.fetch_add(1, Ordering::AcqRel);
+            if i >= units {
+                break;
+            }
+            f(i);
+        }
+        // Wait for every worker to leave the phase.
+        let mut st = self.inner.state.lock();
+        while st.done_workers < self.inner.n_workers {
+            self.inner.done_cv.wait(&mut st);
+        }
+        st.task = None;
+    }
+}
+
+impl Drop for PhasePool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut last_gen = 0u64;
+    loop {
+        let (task, units) = {
+            let mut st = inner.state.lock();
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if st.generation > last_gen {
+                    if let Some(task) = st.task {
+                        last_gen = st.generation;
+                        break (task, st.units);
+                    }
+                }
+                inner.work_cv.wait(&mut st);
+            }
+        };
+        // Pull work units until the global cursor is exhausted.
+        loop {
+            let i = inner.cursor.fetch_add(1, Ordering::AcqRel);
+            if i >= units {
+                break;
+            }
+            // SAFETY: `run` keeps the closure alive until we report done.
+            let f = unsafe { &*task.0 };
+            f(i);
+        }
+        let mut st = inner.state.lock();
+        st.done_workers += 1;
+        if st.done_workers == inner.n_workers {
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_unit_runs_exactly_once() {
+        let pool = PhasePool::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_phases() {
+        let pool = PhasePool::new(3);
+        let counter = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(17, &|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1700);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = PhasePool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let counter = AtomicU64::new(0);
+        pool.run(5, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn empty_phase_is_a_noop() {
+        let pool = PhasePool::new(2);
+        pool.run(0, &|_| panic!("no units to run"));
+    }
+
+    #[test]
+    fn mutating_disjoint_slices_is_sound() {
+        let pool = PhasePool::new(4);
+        let mut data = vec![0u64; 4096];
+        let base = data.as_mut_ptr() as usize;
+        let len = data.len();
+        let chunk = 64;
+        let units = len.div_ceil(chunk);
+        pool.run(units, &move |u| {
+            let start = u * chunk;
+            let end = (start + chunk).min(len);
+            for i in start..end {
+                // SAFETY: units own disjoint ranges.
+                unsafe {
+                    *(base as *mut u64).add(i) = i as u64;
+                }
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, v)| *v == i as u64));
+    }
+}

@@ -1,0 +1,159 @@
+//! Typed ports — the only points of entry to agent state (§4.2.2).
+//!
+//! A port is registered with a handler; posting a message pairs the two
+//! into an active-message work item (the arbiter's job in Fig. 4-1) and
+//! submits it to the dispatcher. Messages posted before a handler is
+//! registered are buffered and delivered on registration, mirroring the
+//! CCR's persistent-receiver semantics.
+
+use crate::dispatch::Dispatcher;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+type Handler<T> = Arc<dyn Fn(T) + Send + Sync + 'static>;
+
+struct PortInner<T> {
+    dispatcher: Arc<Dispatcher>,
+    handler: RwLock<Option<Handler<T>>>,
+    backlog: Mutex<VecDeque<T>>,
+}
+
+/// A typed, cloneable message endpoint bound to a dispatcher.
+pub struct Port<T> {
+    inner: Arc<PortInner<T>>,
+}
+
+impl<T> Clone for Port<T> {
+    fn clone(&self) -> Self {
+        Port { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Send + 'static> Port<T> {
+    /// Creates a port on the given dispatcher with no handler yet.
+    pub fn new(dispatcher: Arc<Dispatcher>) -> Self {
+        Port {
+            inner: Arc::new(PortInner {
+                dispatcher,
+                handler: RwLock::new(None),
+                backlog: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Registers the port's *single-item receiver*: `handler` runs on a
+    /// dispatcher thread for every message posted, concurrently with other
+    /// invocations of itself (the CCR "concurrent" interleave group).
+    /// Buffered messages are delivered immediately.
+    ///
+    /// # Panics
+    /// Panics if a handler is already registered — re-arbitrating a live
+    /// port is a coordination bug.
+    pub fn register(&self, handler: impl Fn(T) + Send + Sync + 'static) {
+        let handler: Handler<T> = Arc::new(handler);
+        {
+            let mut slot = self.inner.handler.write();
+            assert!(slot.is_none(), "port already has a registered receiver");
+            *slot = Some(Arc::clone(&handler));
+        }
+        // Drain anything posted before registration.
+        let pending: Vec<T> = self.inner.backlog.lock().drain(..).collect();
+        for msg in pending {
+            self.dispatch(msg);
+        }
+    }
+
+    /// Posts a message; if a handler is registered the pairing is
+    /// submitted to the dispatcher, otherwise the message is buffered.
+    pub fn post(&self, msg: T) {
+        if self.inner.handler.read().is_some() {
+            self.dispatch(msg);
+        } else {
+            // Re-check under the lock to avoid dropping a message racing
+            // with registration.
+            let mut backlog = self.inner.backlog.lock();
+            if self.inner.handler.read().is_some() {
+                drop(backlog);
+                self.dispatch(msg);
+            } else {
+                backlog.push_back(msg);
+            }
+        }
+    }
+
+    fn dispatch(&self, msg: T) {
+        let handler =
+            Arc::clone(self.inner.handler.read().as_ref().expect("dispatch without handler"));
+        self.inner.dispatcher.submit(Box::new(move || handler(msg)));
+    }
+
+    /// Messages buffered while no handler was registered.
+    pub fn pending(&self) -> usize {
+        self.inner.backlog.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn handler_receives_posted_messages() {
+        let d = Arc::new(Dispatcher::new(2));
+        let port = Port::new(Arc::clone(&d));
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&sum);
+        port.register(move |v: u64| {
+            s.fetch_add(v, Ordering::Relaxed);
+        });
+        for v in 1..=100 {
+            port.post(v);
+        }
+        d.wait_idle();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn messages_buffer_until_registration() {
+        let d = Arc::new(Dispatcher::new(1));
+        let port = Port::new(Arc::clone(&d));
+        port.post(1u64);
+        port.post(2u64);
+        assert_eq!(port.pending(), 2);
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&sum);
+        port.register(move |v| {
+            s.fetch_add(v, Ordering::Relaxed);
+        });
+        d.wait_idle();
+        assert_eq!(sum.load(Ordering::Relaxed), 3);
+        assert_eq!(port.pending(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_endpoint() {
+        let d = Arc::new(Dispatcher::new(1));
+        let port = Port::new(Arc::clone(&d));
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        port.register(move |_: ()| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        let clone = port.clone();
+        clone.post(());
+        port.post(());
+        d.wait_idle();
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a registered receiver")]
+    fn double_registration_panics() {
+        let d = Arc::new(Dispatcher::new(1));
+        let port: Port<()> = Port::new(d);
+        port.register(|_| {});
+        port.register(|_| {});
+    }
+}

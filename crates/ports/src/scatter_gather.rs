@@ -1,0 +1,167 @@
+//! The classic Scatter-Gather mechanism (§4.2.3, Fig. 4-2; evaluated in
+//! Table 4.1 / Fig. 4-4).
+//!
+//! Scatter: a message is posted to each agent's port; every pairing of
+//! message and handler becomes its own work item. Gather: handlers post
+//! results to a port registered with a multiple-item receiver, which fires
+//! the master-thread continuation once everything has arrived.
+//!
+//! Two forms are provided:
+//!
+//! * [`scatter_gather_ports`] — the literal port-based construction over
+//!   owned inputs, built from [`Port`] and [`MultipleItemReceiver`];
+//! * [`ScatterGatherPool`] — the engine-facing per-phase executor backed
+//!   by a persistent worker pool, **one work item per agent per
+//!   signal**. The per-item dispatch overhead (a shared-cursor round
+//!   trip and an indirect call for every agent) is exactly why Table 4.1
+//!   shows no speedup: the work inside each item is too small to
+//!   amortize it (§4.3.4).
+
+use crate::coordination::MultipleItemReceiver;
+use crate::dispatch::Dispatcher;
+use crate::pool::PhasePool;
+use crate::port::Port;
+use crossbeam::channel;
+use std::sync::Arc;
+
+/// Runs `work` over `inputs` via the port-based Scatter-Gather of
+/// Fig. 4-2 and returns the results (in arbitrary completion order).
+pub fn scatter_gather_ports<T, R>(
+    dispatcher: Arc<Dispatcher>,
+    inputs: Vec<T>,
+    work: impl Fn(T) -> R + Send + Sync + 'static,
+) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let n = inputs.len();
+    let (result_tx, result_rx) = channel::bounded(1);
+    // Gather: port B with a multiple-item receiver invoking the master
+    // continuation.
+    let gather = MultipleItemReceiver::<R, ()>::new(Arc::clone(&dispatcher), n, move |items| {
+        let results: Vec<R> = items.into_iter().filter_map(Result::ok).collect();
+        let _ = result_tx.send(results);
+    });
+    let gather_port = gather.port();
+    let work = Arc::new(work);
+
+    // Scatter: one port per agent, each registered with handler X, each
+    // receiving one message that carries a reference to port B.
+    for input in inputs {
+        let port: Port<(T, Port<Result<R, ()>>)> = Port::new(Arc::clone(&dispatcher));
+        let w = Arc::clone(&work);
+        port.register(move |(payload, reply): (T, Port<Result<R, ()>>)| {
+            reply.post(Ok(w(payload)));
+        });
+        port.post((input, gather_port.clone()));
+    }
+
+    result_rx.recv().expect("gather receiver dropped without firing")
+}
+
+/// Engine-facing Scatter-Gather phase executor: one work item per agent
+/// per signal, pulled by `threads` persistent workers.
+#[derive(Clone)]
+pub struct ScatterGatherPool {
+    pool: Arc<PhasePool>,
+}
+
+impl std::fmt::Debug for ScatterGatherPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScatterGatherPool").field("threads", &self.threads()).finish()
+    }
+}
+
+impl ScatterGatherPool {
+    /// Creates a pool with `threads` persistent workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "scatter-gather needs at least one thread");
+        ScatterGatherPool { pool: Arc::new(PhasePool::new(threads)) }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Applies `f` to every agent, each agent being its own work item.
+    pub fn run_phase<A, F>(&self, agents: &mut [A], f: &F)
+    where
+        A: Send,
+        F: Fn(&mut A) + Sync,
+    {
+        if self.threads() == 1 || agents.len() <= 1 {
+            for a in agents.iter_mut() {
+                f(a);
+            }
+            return;
+        }
+        let base = agents.as_mut_ptr() as usize;
+        let len = agents.len();
+        self.pool.run(len, &|i| {
+            debug_assert!(i < len);
+            // SAFETY: each unit index addresses a distinct agent, and the
+            // phase call blocks until all units are done.
+            let agent = unsafe { &mut *(base as *mut A).add(i) };
+            f(agent);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_based_scatter_gather_collects_all_results() {
+        let d = Arc::new(Dispatcher::new(4));
+        let inputs: Vec<u64> = (0..64).collect();
+        let mut results = scatter_gather_ports(d, inputs, |v| v * v);
+        results.sort_unstable();
+        let expected: Vec<u64> = (0..64).map(|v| v * v).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn port_based_empty_input() {
+        let d = Arc::new(Dispatcher::new(1));
+        let results: Vec<u64> = scatter_gather_ports(d, Vec::<u64>::new(), |v| v);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn pool_applies_to_every_agent() {
+        let pool = ScatterGatherPool::new(4);
+        let mut agents: Vec<u64> = vec![0; 1000];
+        pool.run_phase(&mut agents, &|a| *a += 1);
+        assert!(agents.iter().all(|a| *a == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable() {
+        let pool = ScatterGatherPool::new(3);
+        let mut agents: Vec<u64> = vec![0; 100];
+        for _ in 0..50 {
+            pool.run_phase(&mut agents, &|a| *a += 1);
+        }
+        assert!(agents.iter().all(|a| *a == 50));
+    }
+
+    #[test]
+    fn pool_single_thread_is_serial() {
+        let pool = ScatterGatherPool::new(1);
+        let mut agents: Vec<u64> = (0..10).collect();
+        pool.run_phase(&mut agents, &|a| *a *= 2);
+        assert_eq!(agents, (0..10).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        ScatterGatherPool::new(0);
+    }
+}

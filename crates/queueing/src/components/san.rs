@@ -1,0 +1,282 @@
+//! Storage Area Network (Fig. 3-8).
+//!
+//! Like the RAID, a SAN is an `n`-way fork-join of `Qdcc → Qhdd` disk
+//! pipelines, but the fork is preceded by three queues: the fibre-channel
+//! switch `Qfcsw`, the disk-array controller cache `Qdacc`, and the
+//! fibre-channel arbitrated loop `Qfcal`. A cache hit in `Qdacc` bypasses
+//! the loop and the fork-join structure.
+
+use crate::discipline::{FcfsMulti, Station};
+use crate::job::JobToken;
+use crate::rng::SplitMix64;
+use gdisim_types::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Datasheet specification of a SAN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SanSpec {
+    /// Number of disks `n`.
+    pub disks: u32,
+    /// Fibre-channel switch (`Qfcsw`) rate in bytes/second.
+    pub fc_switch_rate: f64,
+    /// Disk-array controller (`Qdacc`) rate in bytes/second.
+    pub array_ctrl_rate: f64,
+    /// `Qdacc` cache hit rate.
+    pub array_cache_hit: f64,
+    /// Fibre-channel arbitrated loop (`Qfcal`) rate in bytes/second.
+    pub fc_loop_rate: f64,
+    /// Per-disk controller (`Qdcc`) rate in bytes/second.
+    pub disk_ctrl_rate: f64,
+    /// `Qdcc` cache hit rate.
+    pub disk_cache_hit: f64,
+    /// Drive (`Qhdd`) sustained rate in bytes/second.
+    pub disk_rate: f64,
+}
+
+impl SanSpec {
+    /// Creates a spec, clamping hit rates to `[0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        disks: u32,
+        fc_switch_rate: f64,
+        array_ctrl_rate: f64,
+        array_cache_hit: f64,
+        fc_loop_rate: f64,
+        disk_ctrl_rate: f64,
+        disk_cache_hit: f64,
+        disk_rate: f64,
+    ) -> Self {
+        assert!(disks > 0, "SAN needs at least one disk");
+        assert!(
+            fc_switch_rate > 0.0
+                && array_ctrl_rate > 0.0
+                && fc_loop_rate > 0.0
+                && disk_ctrl_rate > 0.0
+                && disk_rate > 0.0,
+            "SAN rates must be positive"
+        );
+        SanSpec {
+            disks,
+            fc_switch_rate,
+            array_ctrl_rate,
+            array_cache_hit: array_cache_hit.clamp(0.0, 1.0),
+            fc_loop_rate,
+            disk_ctrl_rate,
+            disk_cache_hit: disk_cache_hit.clamp(0.0, 1.0),
+            disk_rate,
+        }
+    }
+}
+
+/// Progress of a job through the SAN front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FrontStage {
+    Switch,
+    ArrayCtrl,
+    Loop,
+}
+
+/// Runtime SAN model.
+#[derive(Clone)]
+pub struct SanModel {
+    spec: SanSpec,
+    fcsw: FcfsMulti,
+    dacc: FcfsMulti,
+    fcal: FcfsMulti,
+    disk_ctrl: Vec<FcfsMulti>,
+    disk_drive: Vec<FcfsMulti>,
+    front_stage: HashMap<JobToken, FrontStage>,
+    demand_of: HashMap<JobToken, f64>,
+    outstanding: HashMap<JobToken, u32>,
+    rng: SplitMix64,
+    scratch: Vec<JobToken>,
+}
+
+impl SanModel {
+    /// Builds the model from its spec with a deterministic seed.
+    pub fn new(spec: SanSpec, seed: u64) -> Self {
+        SanModel {
+            fcsw: FcfsMulti::new(1, spec.fc_switch_rate),
+            dacc: FcfsMulti::new(1, spec.array_ctrl_rate),
+            fcal: FcfsMulti::new(1, spec.fc_loop_rate),
+            disk_ctrl: (0..spec.disks).map(|_| FcfsMulti::new(1, spec.disk_ctrl_rate)).collect(),
+            disk_drive: (0..spec.disks).map(|_| FcfsMulti::new(1, spec.disk_rate)).collect(),
+            front_stage: HashMap::new(),
+            demand_of: HashMap::new(),
+            outstanding: HashMap::new(),
+            rng: SplitMix64::new(seed),
+            spec,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The spec this model was built from.
+    pub fn spec(&self) -> &SanSpec {
+        &self.spec
+    }
+
+    /// Average drive utilization since the last collection (resets).
+    pub fn collect_drive_utilization(&mut self) -> f64 {
+        let n = self.disk_drive.len() as f64;
+        self.disk_drive.iter_mut().map(|d| d.collect_utilization()).sum::<f64>() / n
+    }
+
+    fn join_stripe(&mut self, token: JobToken, completed: &mut Vec<JobToken>) {
+        let remaining = self.outstanding.get_mut(&token).expect("stripe without join entry");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.outstanding.remove(&token);
+            self.demand_of.remove(&token);
+            completed.push(token);
+        }
+    }
+}
+
+impl Station for SanModel {
+    fn enqueue(&mut self, token: JobToken, bytes: f64, now: SimTime) {
+        self.front_stage.insert(token, FrontStage::Switch);
+        self.demand_of.insert(token, bytes);
+        self.fcsw.enqueue(token, bytes, now);
+    }
+
+    fn tick(&mut self, now: SimTime, dt: SimDuration, completed: &mut Vec<JobToken>) {
+        // Back to front: drives, disk controllers, loop, array controller,
+        // FC switch.
+        for i in 0..self.spec.disks as usize {
+            self.scratch.clear();
+            self.disk_drive[i].tick(now, dt, &mut self.scratch);
+            let done = std::mem::take(&mut self.scratch);
+            for token in done {
+                self.join_stripe(token, completed);
+            }
+        }
+        for i in 0..self.spec.disks as usize {
+            self.scratch.clear();
+            self.disk_ctrl[i].tick(now, dt, &mut self.scratch);
+            let done = std::mem::take(&mut self.scratch);
+            for token in done {
+                if self.rng.bernoulli(self.spec.disk_cache_hit) {
+                    self.join_stripe(token, completed);
+                } else {
+                    let stripe = self.demand_of[&token] / self.spec.disks as f64;
+                    self.disk_drive[i].enqueue(token, stripe, now);
+                }
+            }
+        }
+        self.scratch.clear();
+        self.fcal.tick(now, dt, &mut self.scratch);
+        let through_loop = std::mem::take(&mut self.scratch);
+        for token in through_loop {
+            self.front_stage.remove(&token);
+            self.outstanding.insert(token, self.spec.disks);
+            let stripe = self.demand_of[&token] / self.spec.disks as f64;
+            for ctrl in &mut self.disk_ctrl {
+                ctrl.enqueue(token, stripe, now);
+            }
+        }
+        self.scratch.clear();
+        self.dacc.tick(now, dt, &mut self.scratch);
+        let through_ctrl = std::mem::take(&mut self.scratch);
+        for token in through_ctrl {
+            if self.rng.bernoulli(self.spec.array_cache_hit) {
+                self.front_stage.remove(&token);
+                self.demand_of.remove(&token);
+                completed.push(token);
+            } else {
+                self.front_stage.insert(token, FrontStage::Loop);
+                let bytes = self.demand_of[&token];
+                self.fcal.enqueue(token, bytes, now);
+            }
+        }
+        self.scratch.clear();
+        self.fcsw.tick(now, dt, &mut self.scratch);
+        let through_switch = std::mem::take(&mut self.scratch);
+        for token in through_switch {
+            self.front_stage.insert(token, FrontStage::ArrayCtrl);
+            let bytes = self.demand_of[&token];
+            self.dacc.enqueue(token, bytes, now);
+        }
+    }
+
+    fn collect_utilization(&mut self) -> f64 {
+        // Report the fibre-channel switch, the SAN's entry bottleneck;
+        // drives are exposed separately.
+        let u = self.fcsw.collect_utilization();
+        let _ = self.dacc.collect_utilization();
+        let _ = self.fcal.collect_utilization();
+        u
+    }
+
+    fn in_system(&self) -> usize {
+        self.demand_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdisim_types::units::{gbps, mb_per_s};
+
+    const DT: SimDuration = SimDuration::from_millis(10);
+
+    fn run(s: &mut SanModel, ticks: u64) -> Vec<JobToken> {
+        let mut done = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..ticks {
+            s.tick(now, DT, &mut done);
+            now += DT;
+        }
+        done
+    }
+
+    fn spec_no_cache(disks: u32) -> SanSpec {
+        SanSpec::new(disks, gbps(8.0), gbps(4.0), 0.0, gbps(4.0), gbps(2.0), 0.0, mb_per_s(120.0))
+    }
+
+    #[test]
+    fn full_path_is_five_stages() {
+        // 1.2 MB request, 2 disks: every front queue serves < 10 ms, the
+        // 0.6 MB stripes take 5 ms at the drive. Path length = 5 ticks
+        // (switch, ctrl, loop, disk ctrl, drive).
+        let mut s = SanModel::new(spec_no_cache(2), 3);
+        s.enqueue(JobToken(1), 1.2e6, SimTime::ZERO);
+        assert!(run(&mut s, 4).is_empty());
+        assert_eq!(run(&mut s, 1), vec![JobToken(1)]);
+    }
+
+    #[test]
+    fn array_cache_hit_skips_loop_and_disks() {
+        let spec = SanSpec { array_cache_hit: 1.0, ..spec_no_cache(2) };
+        let mut s = SanModel::new(spec, 3);
+        s.enqueue(JobToken(1), 1.2e6, SimTime::ZERO);
+        // switch (tick 1) + array ctrl (tick 2) only.
+        assert!(run(&mut s, 1).is_empty());
+        assert_eq!(run(&mut s, 1), vec![JobToken(1)]);
+    }
+
+    #[test]
+    fn many_jobs_complete_exactly_once() {
+        let mut s = SanModel::new(spec_no_cache(4), 3);
+        for i in 0..10 {
+            s.enqueue(JobToken(i), 1.2e6, SimTime::ZERO);
+        }
+        let done = run(&mut s, 200);
+        assert_eq!(done.len(), 10);
+        let mut sorted: Vec<u64> = done.iter().map(|t| t.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        assert_eq!(s.in_system(), 0);
+    }
+
+    #[test]
+    fn partial_cache_mixes_paths() {
+        let spec = SanSpec { array_cache_hit: 0.5, ..spec_no_cache(2) };
+        let mut s = SanModel::new(spec, 42);
+        for i in 0..100 {
+            s.enqueue(JobToken(i), 1.2e6, SimTime::ZERO);
+        }
+        let done = run(&mut s, 5000);
+        assert_eq!(done.len(), 100);
+    }
+}

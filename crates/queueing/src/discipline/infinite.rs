@@ -1,0 +1,105 @@
+//! Infinite-server station (`M/G/∞`).
+//!
+//! Client holons do not contend with each other: every client runs on its
+//! own machine, so client-side `Rp` cycles translate into a pure service
+//! time with no queueing. An infinite-server station serves every job in
+//! parallel at the configured rate — the natural model for a population
+//! of client machines aggregated into one agent.
+
+use super::{Station, EPS};
+use crate::job::{JobEntry, JobToken};
+use gdisim_metrics::GaugeMeter;
+use gdisim_types::{SimDuration, SimTime};
+
+/// Serves all jobs simultaneously, each at `rate` units/second.
+#[derive(Debug, Clone)]
+pub struct InfiniteServer {
+    jobs: Vec<JobEntry>,
+    rate: f64,
+    gauge: GaugeMeter,
+}
+
+impl InfiniteServer {
+    /// Creates an infinite-server station with per-job service `rate`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "service rate must be positive");
+        InfiniteServer { jobs: Vec::new(), rate, gauge: GaugeMeter::new() }
+    }
+
+    /// Per-job service rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Station for InfiniteServer {
+    fn enqueue(&mut self, token: JobToken, demand: f64, now: SimTime) {
+        self.jobs.push(JobEntry::new(token, demand, now));
+    }
+
+    fn tick(&mut self, _now: SimTime, dt: SimDuration, completed: &mut Vec<JobToken>) {
+        let budget = self.rate * dt.as_secs_f64();
+        self.jobs.retain_mut(|j| {
+            j.remaining -= budget;
+            if j.remaining <= EPS {
+                completed.push(j.token);
+                false
+            } else {
+                true
+            }
+        });
+        self.gauge.set(self.jobs.len() as f64);
+        self.gauge.advance(dt);
+    }
+
+    fn collect_utilization(&mut self) -> f64 {
+        // No finite capacity: report the average number of jobs in service.
+        self.gauge.collect()
+    }
+
+    fn in_system(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: SimDuration = SimDuration::from_millis(10);
+
+    #[test]
+    fn all_jobs_progress_in_parallel() {
+        let mut s = InfiniteServer::new(100.0);
+        for i in 0..50 {
+            s.enqueue(JobToken(i), 1.0, SimTime::ZERO);
+        }
+        let mut done = Vec::new();
+        s.tick(SimTime::ZERO, DT, &mut done);
+        assert_eq!(done.len(), 50, "no contention: everyone finishes together");
+    }
+
+    #[test]
+    fn service_time_is_demand_over_rate() {
+        let mut s = InfiniteServer::new(100.0);
+        s.enqueue(JobToken(1), 2.5, SimTime::ZERO);
+        let mut done = Vec::new();
+        for _ in 0..2 {
+            s.tick(SimTime::ZERO, DT, &mut done);
+        }
+        assert!(done.is_empty());
+        s.tick(SimTime::ZERO, DT, &mut done);
+        assert_eq!(done, vec![JobToken(1)]);
+    }
+
+    #[test]
+    fn gauge_tracks_population() {
+        let mut s = InfiniteServer::new(1.0);
+        s.enqueue(JobToken(1), 100.0, SimTime::ZERO);
+        s.enqueue(JobToken(2), 100.0, SimTime::ZERO);
+        let mut done = Vec::new();
+        s.tick(SimTime::ZERO, DT, &mut done);
+        assert_eq!(s.in_system(), 2);
+        assert!((s.collect_utilization() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! Work items flowing through queues.
+//!
+//! A queue does not know what a cascade message is; it only sees *jobs*: a
+//! caller-supplied token plus a scalar service demand in the queue's own
+//! unit (cycles for CPUs, bytes for everything else). When a job's demand
+//! has been fully served the token is handed back, and the engine resumes
+//! the cascade.
+
+use gdisim_types::SimTime;
+
+/// Opaque token identifying a job to its submitter.
+///
+/// The engine packs an interaction id in here; the queueing layer never
+/// inspects it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobToken(pub u64);
+
+/// A job with its remaining demand, tracked inside a queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobEntry {
+    pub token: JobToken,
+    /// Remaining service demand in the queue's unit.
+    pub remaining: f64,
+    /// When the job entered the queue. Retained for debugging dumps and
+    /// future per-queue latency statistics; not read on the hot path.
+    #[allow(dead_code)]
+    pub enqueued_at: SimTime,
+}
+
+impl JobEntry {
+    pub(crate) fn new(token: JobToken, demand: f64, now: SimTime) -> Self {
+        debug_assert!(demand.is_finite() && demand >= 0.0, "job demand must be non-negative");
+        JobEntry { token, remaining: demand.max(0.0), enqueued_at: now }
+    }
+}

@@ -1,0 +1,126 @@
+//! A small, deterministic pseudo-random generator.
+//!
+//! Component models need occasional random draws (cache hit decisions).
+//! Embedding a SplitMix64 keeps every model reproducible from its seed and
+//! keeps `rand` out of the hot simulation path; the heavier distribution
+//! machinery in `rand`/`rand_distr` stays confined to the workload
+//! generators and the testbed.
+
+/// SplitMix64 generator (Steele, Lea & Flood 2014). Passes BigCrush when
+/// used as a 64-bit stream; more than adequate for Bernoulli cache draws.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`. `p` outside `[0,1]`
+    /// clamps.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Exponential draw with the given rate (mean `1/rate`).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        // Avoid ln(0): next_f64 is in [0,1), so 1 - u is in (0,1].
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "range must be non-empty");
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // small ranges used here (server selection).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let v = g.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes_and_frequency() {
+        let mut g = SplitMix64::new(3);
+        assert!(!g.bernoulli(0.0));
+        assert!(g.bernoulli(1.0));
+        assert!(!g.bernoulli(-0.5));
+        assert!(g.bernoulli(1.5));
+        let hits = (0..100_000).filter(|_| g.bernoulli(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "frequency {freq} too far from 0.3");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut g = SplitMix64::new(11);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| g.exponential(2.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut g = SplitMix64::new(13);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = g.below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets should be hit");
+    }
+}

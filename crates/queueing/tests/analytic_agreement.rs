@@ -1,0 +1,134 @@
+//! Cross-validation of the discrete-time fluid queues against classical
+//! queueing theory: driven with Poisson arrivals and exponential demands,
+//! the fluid FCFS and PS queues must reproduce the M/M/1 and M/M/c
+//! steady-state formulas within sampling tolerance. This pins the
+//! simulator's building blocks to theory, exactly the role the analytic
+//! models of Ch. 2 play for the paper.
+
+use gdisim_queueing::analytic::{mm1_response_time, mmc_response_time};
+use gdisim_queueing::{FcfsMulti, JobToken, PsQueue, SplitMix64, Station};
+use gdisim_types::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+const DT: SimDuration = SimDuration::from_millis(1);
+
+/// Drives a station with Poisson(λ) arrivals of exp(μ) demands for
+/// `horizon_secs`, returning the mean response time of completed jobs.
+fn measure_mean_response(
+    station: &mut dyn Station,
+    lambda: f64,
+    mu: f64,
+    horizon_secs: f64,
+    seed: u64,
+) -> f64 {
+    let mut rng = SplitMix64::new(seed);
+    let mut arrivals: HashMap<u64, SimTime> = HashMap::new();
+    let mut responses: Vec<f64> = Vec::new();
+    let mut next_id = 0u64;
+    let mut now = SimTime::ZERO;
+    let mut done = Vec::new();
+    let steps = (horizon_secs / DT.as_secs_f64()) as u64;
+    // Warm-up fraction discarded from statistics.
+    let warmup = SimTime::from_secs_f64_approx(horizon_secs * 0.2);
+
+    for _ in 0..steps {
+        // Poisson arrivals within the tick (Bernoulli thinning is exact
+        // enough at λ·dt ≪ 1).
+        if rng.next_f64() < lambda * DT.as_secs_f64() {
+            // Demand in "work units" with service rate 1 unit/s per
+            // server: exp(μ) service time = exp with mean 1/μ units.
+            let demand = rng.exponential(mu);
+            station.enqueue(JobToken(next_id), demand, now);
+            arrivals.insert(next_id, now);
+            next_id += 1;
+        }
+        done.clear();
+        station.tick(now, DT, &mut done);
+        now += DT;
+        for t in &done {
+            let started = arrivals.remove(&t.0).expect("arrival recorded");
+            if started >= warmup {
+                responses.push((now - started).as_secs_f64());
+            }
+        }
+    }
+    responses.iter().sum::<f64>() / responses.len().max(1) as f64
+}
+
+trait FromSecsApprox {
+    fn from_secs_f64_approx(s: f64) -> SimTime;
+}
+impl FromSecsApprox for SimTime {
+    fn from_secs_f64_approx(s: f64) -> SimTime {
+        SimTime((s * 1e6) as u64)
+    }
+}
+
+#[test]
+fn fluid_fcfs_matches_mm1() {
+    // λ = 4/s, μ = 10/s -> ρ = 0.4, W = 1/6 s.
+    let (lambda, mu) = (4.0, 10.0);
+    let mut q = FcfsMulti::new(1, 1.0); // rate 1 unit/s; demands are in seconds
+    let measured = measure_mean_response(&mut q, lambda, mu, 4000.0, 7);
+    let theory = mm1_response_time(lambda, mu);
+    let rel = (measured - theory).abs() / theory;
+    assert!(rel < 0.10, "M/M/1: measured {measured:.4}s vs theory {theory:.4}s");
+}
+
+#[test]
+fn fluid_fcfs_matches_mm1_under_heavier_load() {
+    // ρ = 0.7: queueing dominates, W = 1/3 s.
+    let (lambda, mu) = (7.0, 10.0);
+    let mut q = FcfsMulti::new(1, 1.0);
+    let measured = measure_mean_response(&mut q, lambda, mu, 8000.0, 11);
+    let theory = mm1_response_time(lambda, mu);
+    let rel = (measured - theory).abs() / theory;
+    assert!(rel < 0.15, "M/M/1 ρ=0.7: measured {measured:.4}s vs theory {theory:.4}s");
+}
+
+#[test]
+fn fluid_multi_server_matches_mmc() {
+    // c = 4, λ = 12/s, μ = 5/s per server -> ρ = 0.6.
+    let (lambda, mu, c) = (12.0, 5.0, 4u32);
+    let mut q = FcfsMulti::new(c, 1.0);
+    let measured = measure_mean_response(&mut q, lambda, mu, 6000.0, 13);
+    let theory = mmc_response_time(lambda, mu, c);
+    let rel = (measured - theory).abs() / theory;
+    assert!(rel < 0.12, "M/M/{c}: measured {measured:.4}s vs theory {theory:.4}s");
+}
+
+#[test]
+fn fluid_ps_matches_mm1_mean() {
+    // Processor sharing with exponential service has the same *mean*
+    // sojourn as FCFS: W = 1/(μ − λ).
+    let (lambda, mu) = (5.0, 10.0);
+    let mut q = PsQueue::new(1.0, 4096);
+    let measured = measure_mean_response(&mut q, lambda, mu, 6000.0, 17);
+    let theory = mm1_response_time(lambda, mu);
+    let rel = (measured - theory).abs() / theory;
+    assert!(rel < 0.12, "M/M/1-PS: measured {measured:.4}s vs theory {theory:.4}s");
+}
+
+#[test]
+fn utilization_matches_rho() {
+    // Long-run busy fraction equals ρ = λ/μ.
+    let (lambda, mu) = (6.0, 10.0);
+    let mut q = FcfsMulti::new(1, 1.0);
+    let mut rng = SplitMix64::new(23);
+    let mut now = SimTime::ZERO;
+    let mut done = Vec::new();
+    let mut id = 0u64;
+    let steps = 2_000_000u64; // 2000 s at 1 ms
+    for _ in 0..steps {
+        if rng.next_f64() < lambda * DT.as_secs_f64() {
+            q.enqueue(JobToken(id), rng.exponential(mu), now);
+            id += 1;
+        }
+        done.clear();
+        q.tick(now, DT, &mut done);
+        now += DT;
+    }
+    let util = q.collect_utilization();
+    let rho = lambda / mu;
+    assert!((util - rho).abs() < 0.03, "utilization {util:.3} vs ρ {rho:.3}");
+}

@@ -1,0 +1,107 @@
+//! A minimal discrete-event calendar.
+//!
+//! Events are `(time, sequence, payload)` triples in a binary heap; the
+//! sequence number makes simultaneous events FIFO-stable so runs are
+//! exactly reproducible.
+
+use gdisim_types::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event: a payload due at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event<P> {
+    /// Due time.
+    pub at: SimTime,
+    /// Payload.
+    pub payload: P,
+}
+
+/// A time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    payloads: Vec<Option<P>>,
+    seq: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), seq: 0 }
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a payload at `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: P) {
+        let idx = self.payloads.len() as u64;
+        self.payloads.push(Some(payload));
+        self.heap.push(Reverse((at.as_micros(), self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        let Reverse((t, _, idx)) = self.heap.pop()?;
+        let payload = self.payloads[idx as usize].take().expect("event fired twice");
+        Some(Event { at: SimTime(t), payload })
+    }
+
+    /// Earliest scheduled time without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| SimTime(*t))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

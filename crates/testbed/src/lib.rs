@@ -1,0 +1,29 @@
+//! An independent event-driven emulator standing in for the *physical*
+//! validation infrastructure of Ch. 5.
+//!
+//! The paper validates GDISim against a real downscaled Fortune-500
+//! system. We do not have that system, so this crate provides the
+//! closest faithful substitute: a **separate instrument** observing the
+//! same workload through entirely different machinery —
+//!
+//! * **continuous time, event-driven** (a calendar of service
+//!   completions), not the engine's discrete fluid ticks;
+//! * **stochastic service times** (log-normal around each demand's mean,
+//!   like real hardware jitter), not deterministic fluid service;
+//! * **its own queue implementation** (straight `c`-server FCFS pools),
+//!   sharing no code with `gdisim-queueing`'s disciplines.
+//!
+//! Both instruments consume identical scenario inputs (cascade templates
+//! and launch schedules), so comparing their traces — exactly what
+//! Ch. 5 does between the physical and simulated infrastructures — is a
+//! meaningful accuracy statement for the queueing-network models.
+
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod machine;
+pub mod runner;
+
+pub use des::{EventQueue, Event};
+pub use machine::{MachinePool, PoolStats};
+pub use runner::{run_validation, PhysicalRun, TestbedConfig};

@@ -1,0 +1,126 @@
+//! Identifiers for the holarchy.
+//!
+//! The holonic decomposition of §3.3.2 maps naturally onto typed indices:
+//! a *data center* holon contains *tier* holons, which contain *server*
+//! holons, which contain hardware *agents*. WAN links interconnect data
+//! centers (and, in the paper's case studies, relay hub sites such as the
+//! Asian AS1/AS2 switches).
+//!
+//! All ids are small dense integers assigned by the infrastructure builder;
+//! they index flat vectors inside the engine, which keeps the hot
+//! tick/interaction loops allocation-free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw dense index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            pub const fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// A data center (or relay hub site) in the global topology.
+    DcId, "dc"
+);
+dense_id!(
+    /// A tier holon inside a data center.
+    TierId, "tier"
+);
+dense_id!(
+    /// A server holon inside a tier.
+    ServerId, "srv"
+);
+dense_id!(
+    /// A hardware component agent (CPU, NIC, RAID, link, switch, …).
+    AgentId, "agent"
+);
+dense_id!(
+    /// A WAN or LAN link in the topology.
+    LinkId, "link"
+);
+dense_id!(
+    /// A software application (CAD, VIS, PDM, …).
+    AppId, "app"
+);
+dense_id!(
+    /// An operation type within an application (LOGIN, OPEN, …).
+    OpTypeId, "op"
+);
+
+/// The functional role of a tier, mirroring the paper's `Tapp`, `Tdb`,
+/// `Tfs` and `Tidx` notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Application server tier (`Tapp`): authentication, authorization,
+    /// query brokering.
+    App,
+    /// Database server tier (`Tdb`): metadata and versioning.
+    Db,
+    /// File server tier (`Tfs`): bulk file serving.
+    Fs,
+    /// Index server tier (`Tidx`): text and spatial index builds/queries.
+    Idx,
+}
+
+impl TierKind {
+    /// All tier kinds in the paper's reporting order.
+    pub const ALL: [TierKind; 4] = [TierKind::App, TierKind::Db, TierKind::Fs, TierKind::Idx];
+
+    /// The paper's subscript label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TierKind::App => "Tapp",
+            TierKind::Db => "Tdb",
+            TierKind::Fs => "Tfs",
+            TierKind::Idx => "Tidx",
+        }
+    }
+}
+
+impl fmt::Display for TierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let id = DcId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "dc7");
+        assert_eq!(ServerId::from_index(3).to_string(), "srv3");
+    }
+
+    #[test]
+    fn tier_labels() {
+        assert_eq!(TierKind::App.label(), "Tapp");
+        assert_eq!(TierKind::Idx.to_string(), "Tidx");
+        assert_eq!(TierKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Kendall's notation (Appendix A of the thesis).
+//!
+//! Queueing models are classified by `A/B/c/K – D`: arrival process,
+//! service process, number of servers, system capacity and discipline.
+//! The simulator's component models each declare their Kendall descriptor
+//! so documentation, logging and the analytic cross-checks in
+//! `gdisim-queueing::analytic` agree on what is being modeled.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Arrival process (`A` factor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arrival {
+    /// Markovian (Poisson) arrivals — `M`.
+    Markov,
+    /// General independent arrivals — `GI`.
+    GeneralIndependent,
+    /// General arrivals — `G`.
+    General,
+    /// Deterministic arrivals — `D`.
+    Deterministic,
+}
+
+/// Service process (`B` factor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Service {
+    /// Exponential service times — `M`.
+    Markov,
+    /// General service times — `G`.
+    General,
+    /// Deterministic service times — `D`.
+    Deterministic,
+}
+
+/// Queueing discipline (`D` factor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Discipline {
+    /// First come, first served.
+    Fcfs,
+    /// Processor sharing over at most `k` simultaneous jobs; `None` means
+    /// unbounded sharing (classic PS).
+    ProcessorSharing,
+    /// Last come, first served.
+    Lcfs,
+}
+
+/// A full Kendall descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Kendall {
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Service process.
+    pub service: Service,
+    /// Number of servers `c`.
+    pub servers: u32,
+    /// System capacity `K` (`None` = infinite).
+    pub capacity: Option<u32>,
+    /// Discipline.
+    pub discipline: Discipline,
+}
+
+impl Kendall {
+    /// `M/M/1 – FCFS`, the NIC/switch model of Fig. 3-6.
+    pub const fn mm1_fcfs() -> Self {
+        Kendall {
+            arrival: Arrival::Markov,
+            service: Service::Markov,
+            servers: 1,
+            capacity: None,
+            discipline: Discipline::Fcfs,
+        }
+    }
+
+    /// `M/M/c – FCFS`, the per-socket CPU model of Fig. 3-4.
+    pub const fn mmc_fcfs(c: u32) -> Self {
+        Kendall {
+            arrival: Arrival::Markov,
+            service: Service::Markov,
+            servers: c,
+            capacity: None,
+            discipline: Discipline::Fcfs,
+        }
+    }
+
+    /// `M/M/1/k – PS`, the network-link model of Fig. 3-6 (right).
+    pub const fn mm1k_ps(k: u32) -> Self {
+        Kendall {
+            arrival: Arrival::Markov,
+            service: Service::Markov,
+            servers: 1,
+            capacity: Some(k),
+            discipline: Discipline::ProcessorSharing,
+        }
+    }
+}
+
+impl fmt::Display for Kendall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = match self.arrival {
+            Arrival::Markov => "M",
+            Arrival::GeneralIndependent => "GI",
+            Arrival::General => "G",
+            Arrival::Deterministic => "D",
+        };
+        let b = match self.service {
+            Service::Markov => "M",
+            Service::General => "G",
+            Service::Deterministic => "D",
+        };
+        write!(f, "{a}/{b}/{}", self.servers)?;
+        if let Some(k) = self.capacity {
+            write!(f, "/{k}")?;
+        }
+        let d = match self.discipline {
+            Discipline::Fcfs => "FCFS",
+            Discipline::ProcessorSharing => "PS",
+            Discipline::Lcfs => "LCFS",
+        };
+        write!(f, " - {d}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Kendall::mm1_fcfs().to_string(), "M/M/1 - FCFS");
+        assert_eq!(Kendall::mmc_fcfs(4).to_string(), "M/M/4 - FCFS");
+        assert_eq!(Kendall::mm1k_ps(128).to_string(), "M/M/1/128 - PS");
+    }
+}

@@ -1,0 +1,69 @@
+//! Unit helpers for hardware specifications.
+//!
+//! The paper specifies CPUs in GHz, links in Mbps/Gbps, disks in MB/s and
+//! rpm, and memory in GB. These helpers convert everything to the
+//! simulator's base units: cycles/second, bytes/second and bytes.
+
+/// Cycles per second for a clock frequency in GHz.
+pub const fn ghz(f: f64) -> f64 {
+    f * 1e9
+}
+
+/// Bytes per second for a line rate in megabits per second.
+pub const fn mbps(r: f64) -> f64 {
+    r * 1e6 / 8.0
+}
+
+/// Bytes per second for a line rate in gigabits per second.
+pub const fn gbps(r: f64) -> f64 {
+    r * 1e9 / 8.0
+}
+
+/// Bytes per second for a disk throughput in MB/s.
+pub const fn mb_per_s(r: f64) -> f64 {
+    r * 1e6
+}
+
+/// Bytes for a size in kilobytes.
+pub const fn kb(s: f64) -> f64 {
+    s * 1e3
+}
+
+/// Bytes for a size in megabytes.
+pub const fn mb(s: f64) -> f64 {
+    s * 1e6
+}
+
+/// Bytes for a size in gigabytes.
+pub const fn gb(s: f64) -> f64 {
+    s * 1e9
+}
+
+/// Approximate sustained transfer rate (bytes/second) of a disk drive from
+/// its rotational speed, following the rule of thumb the paper's RAID model
+/// uses: a 15 K rpm enterprise drive sustains roughly 120 MB/s, scaling
+/// linearly with rpm.
+pub fn disk_rate_from_rpm(rpm: f64) -> f64 {
+    mb_per_s(120.0 * rpm / 15_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ghz(2.5), 2.5e9);
+        assert_eq!(mbps(8.0), 1e6);
+        assert_eq!(gbps(1.0), 1.25e8);
+        assert_eq!(kb(2.0), 2000.0);
+        assert_eq!(mb(1.5), 1.5e6);
+        assert_eq!(gb(0.5), 5e8);
+    }
+
+    #[test]
+    fn disk_rate_scales_with_rpm() {
+        assert_eq!(disk_rate_from_rpm(15_000.0), mb_per_s(120.0));
+        assert_eq!(disk_rate_from_rpm(7_500.0), mb_per_s(60.0));
+    }
+}

@@ -1,0 +1,327 @@
+//! Message cascades (§3.5.2, Figs. 3-11/3-12).
+//!
+//! An operation is a collection of sequences of messages originated and
+//! finalized at the client (*segments*). Each message relates two holons
+//! (`A → B`) located at sites (`X → Y`) and carries the resource vector
+//! `R`. Templates use *site placeholders* — the concrete data center,
+//! server and hardware instances "are decided at runtime by the
+//! simulator" — which an instance resolves through a [`SiteBinding`].
+
+use gdisim_types::{DcId, RVec, TierKind};
+use serde::{Deserialize, Serialize};
+
+/// The holon at one end of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Holon {
+    /// A client (or a lightweight daemon process, which the paper also
+    /// models as an operation initiator).
+    Client,
+    /// A server picked from the named tier by the load balancer.
+    Tier(TierKind),
+}
+
+/// A site placeholder, bound to a concrete data center at launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Site {
+    /// The data center serving the launching client.
+    Client,
+    /// The data center with file-management responsibility for the
+    /// operation's data (the MDC in Ch. 6, the owner DC in Ch. 7).
+    Master,
+    /// The data center the file's bytes are served from.
+    FileHost,
+    /// An explicitly indexed extra site (used by background processes
+    /// that touch every data center).
+    Extra(u8),
+}
+
+/// One endpoint of a message: holon + site placeholder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Which holon.
+    pub holon: Holon,
+    /// Where it lives.
+    pub site: Site,
+}
+
+impl Endpoint {
+    /// Client endpoint at the client's site.
+    pub const fn client() -> Self {
+        Endpoint { holon: Holon::Client, site: Site::Client }
+    }
+
+    /// Tier endpoint at a given site.
+    pub const fn tier(kind: TierKind, site: Site) -> Self {
+        Endpoint { holon: Holon::Tier(kind), site }
+    }
+}
+
+/// One message of a cascade: `m^{X→Y}_{A→B}` with its `R` array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CascadeStep {
+    /// Origin holon/site.
+    pub from: Endpoint,
+    /// Destination holon/site.
+    pub to: Endpoint,
+    /// Resource vector applied at the destination (and across the
+    /// network path between the sites).
+    pub r: RVec,
+    /// When true, this step runs concurrently with the previous one
+    /// instead of after it. Consecutive concurrent steps form a parallel
+    /// *stage*: the cascade advances once every step of the stage has
+    /// completed. SYNCHREP uses this — "Pull steps corresponding to
+    /// different data centers are executed simultaneously" (§6.4.3).
+    #[serde(default)]
+    pub concurrent_with_prev: bool,
+}
+
+impl CascadeStep {
+    /// A sequential step (runs after the previous one completes).
+    pub const fn seq(from: Endpoint, to: Endpoint, r: RVec) -> Self {
+        CascadeStep { from, to, r, concurrent_with_prev: false }
+    }
+
+    /// A step concurrent with the previous one (same parallel stage).
+    pub const fn par(from: Endpoint, to: Endpoint, r: RVec) -> Self {
+        CascadeStep { from, to, r, concurrent_with_prev: true }
+    }
+}
+
+/// A complete operation template: named cascade of messages, executed
+/// sequentially (segments are concatenated in launch order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperationTemplate {
+    /// Operation name ("LOGIN", "OPEN", "SYNCHREP", …).
+    pub name: String,
+    /// Messages in execution order.
+    pub steps: Vec<CascadeStep>,
+}
+
+impl OperationTemplate {
+    /// Creates a template.
+    pub fn new(name: impl Into<String>, steps: Vec<CascadeStep>) -> Self {
+        let t = OperationTemplate { name: name.into(), steps };
+        debug_assert!(t.validate().is_ok(), "invalid cascade: {:?}", t.validate());
+        t
+    }
+
+    /// Structural validation: non-empty, every `R` valid, no message from
+    /// a holon to itself at the same site.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.steps.is_empty() {
+            return Err(format!("operation '{}' has no messages", self.name));
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if !s.r.is_valid() {
+                return Err(format!("operation '{}' step {i} has an invalid R vector", self.name));
+            }
+            if s.from == s.to {
+                return Err(format!("operation '{}' step {i} is a self-message", self.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total `R` over all steps — the canonical aggregate cost.
+    pub fn total_r(&self) -> RVec {
+        self.steps.iter().fold(RVec::ZERO, |acc, s| acc + s.r)
+    }
+
+    /// The parallel stages of the cascade: ranges of step indices that
+    /// execute concurrently, in stage order. A cascade with no
+    /// `concurrent_with_prev` markers yields one single-step stage per
+    /// message.
+    pub fn stages(&self) -> Vec<std::ops::Range<usize>> {
+        let mut stages = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=self.steps.len() {
+            let breaks = i == self.steps.len() || !self.steps[i].concurrent_with_prev;
+            if breaks {
+                stages.push(start..i);
+                start = i;
+            }
+        }
+        stages
+    }
+
+    /// Number of WAN round trips between the client site and the master
+    /// site (Table 6.2's `S`): counted as the number of messages crossing
+    /// from `Site::Client` to `Site::Master` (each has a matching return).
+    pub fn master_round_trips(&self) -> u32 {
+        self.steps
+            .iter()
+            .filter(|s| s.from.site == Site::Client && s.to.site == Site::Master)
+            .count() as u32
+    }
+
+    /// Scales every step's `R` by `k` (used to derive the Heavy series
+    /// from the Average one, and VIS from CAD).
+    pub fn scaled(&self, k: f64) -> OperationTemplate {
+        OperationTemplate {
+            name: self.name.clone(),
+            steps: self.steps.iter().map(|s| CascadeStep { r: s.r * k, ..*s }).collect(),
+        }
+    }
+
+    /// Total bytes the cascade moves across site boundaries (WAN bytes) —
+    /// pull/push volume accounting for the background processes.
+    pub fn wan_bytes(&self) -> f64 {
+        self.steps
+            .iter()
+            .filter(|s| s.from.site != s.to.site)
+            .map(|s| s.r.net_bytes)
+            .sum()
+    }
+}
+
+/// Binding of site placeholders to concrete data centers for one
+/// operation instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteBinding {
+    /// `Site::Client` resolution.
+    pub client: DcId,
+    /// `Site::Master` resolution.
+    pub master: DcId,
+    /// `Site::FileHost` resolution.
+    pub file_host: DcId,
+    /// `Site::Extra(i)` resolutions.
+    pub extras: Vec<DcId>,
+}
+
+impl SiteBinding {
+    /// A binding where everything happens in one data center.
+    pub fn local(dc: DcId) -> Self {
+        SiteBinding { client: dc, master: dc, file_host: dc, extras: Vec::new() }
+    }
+
+    /// Resolves a placeholder.
+    ///
+    /// # Panics
+    /// Panics if an `Extra` index is out of range — templates and
+    /// bindings are built together, so a mismatch is a harness bug.
+    pub fn resolve(&self, site: Site) -> DcId {
+        match site {
+            Site::Client => self.client,
+            Site::Master => self.master,
+            Site::FileHost => self.file_host,
+            Site::Extra(i) => self.extras[i as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(from: Endpoint, to: Endpoint, cycles: f64) -> CascadeStep {
+        CascadeStep::seq(from, to, RVec::cycles(cycles))
+    }
+
+    fn c() -> Endpoint {
+        Endpoint::client()
+    }
+
+    fn app(site: Site) -> Endpoint {
+        Endpoint::tier(TierKind::App, site)
+    }
+
+    #[test]
+    fn round_trip_counting_matches_structure() {
+        // Two C->Sapp(master) queries with returns: S = 2.
+        let op = OperationTemplate::new(
+            "PING2",
+            vec![
+                step(c(), app(Site::Master), 1.0),
+                step(app(Site::Master), c(), 1.0),
+                step(c(), app(Site::Master), 1.0),
+                step(app(Site::Master), c(), 1.0),
+            ],
+        );
+        assert_eq!(op.master_round_trips(), 2);
+        // A local file download adds no master round trips.
+        let open = OperationTemplate::new(
+            "OPEN",
+            vec![
+                step(c(), app(Site::Master), 1.0),
+                step(app(Site::Master), c(), 1.0),
+                step(c(), Endpoint::tier(TierKind::Fs, Site::FileHost), 1.0),
+                step(Endpoint::tier(TierKind::Fs, Site::FileHost), c(), 1.0),
+            ],
+        );
+        assert_eq!(open.master_round_trips(), 1);
+    }
+
+    #[test]
+    fn totals_and_scaling() {
+        let op = OperationTemplate::new(
+            "X",
+            vec![step(c(), app(Site::Master), 10.0), step(app(Site::Master), c(), 30.0)],
+        );
+        assert_eq!(op.total_r().cycles, 40.0);
+        let heavy = op.scaled(2.5);
+        assert_eq!(heavy.total_r().cycles, 100.0);
+        assert_eq!(heavy.steps.len(), op.steps.len());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_cascades() {
+        let empty = OperationTemplate { name: "E".into(), steps: vec![] };
+        assert!(empty.validate().is_err());
+
+        let self_msg = OperationTemplate {
+            name: "S".into(),
+            steps: vec![step(c(), c(), 1.0)],
+        };
+        assert!(self_msg.validate().is_err());
+
+        let bad_r = OperationTemplate {
+            name: "B".into(),
+            steps: vec![step(c(), app(Site::Master), -1.0)],
+        };
+        assert!(bad_r.validate().is_err());
+    }
+
+    #[test]
+    fn stages_group_concurrent_steps() {
+        let app = app(Site::Master);
+        let fs0 = Endpoint::tier(TierKind::Fs, Site::Extra(0));
+        let fs1 = Endpoint::tier(TierKind::Fs, Site::Extra(1));
+        let master_fs = Endpoint::tier(TierKind::Fs, Site::Master);
+        let op = OperationTemplate::new(
+            "PULL",
+            vec![
+                CascadeStep::seq(c(), app, RVec::cycles(1.0)),
+                CascadeStep::seq(fs0, master_fs, RVec::net(10.0)),
+                CascadeStep::par(fs1, master_fs, RVec::net(20.0)),
+                CascadeStep::seq(app, c(), RVec::cycles(1.0)),
+            ],
+        );
+        assert_eq!(op.stages(), vec![0..1, 1..3, 3..4]);
+        assert_eq!(op.wan_bytes(), 30.0);
+        // A fully sequential cascade has one stage per step.
+        let seq = OperationTemplate::new(
+            "SEQ",
+            vec![
+                CascadeStep::seq(c(), app, RVec::cycles(1.0)),
+                CascadeStep::seq(app, c(), RVec::cycles(1.0)),
+            ],
+        );
+        assert_eq!(seq.stages(), vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn binding_resolution() {
+        let b = SiteBinding {
+            client: DcId(5),
+            master: DcId(0),
+            file_host: DcId(5),
+            extras: vec![DcId(1), DcId(2)],
+        };
+        assert_eq!(b.resolve(Site::Client), DcId(5));
+        assert_eq!(b.resolve(Site::Master), DcId(0));
+        assert_eq!(b.resolve(Site::FileHost), DcId(5));
+        assert_eq!(b.resolve(Site::Extra(1)), DcId(2));
+        let l = SiteBinding::local(DcId(3));
+        assert_eq!(l.resolve(Site::Master), DcId(3));
+    }
+}

@@ -1,0 +1,395 @@
+//! Application catalogs: CAD, VIS and PDM (§5.2.2, §6.3.2).
+//!
+//! The cascade structures follow Figs. 5-2..5-5 and the round-trip counts
+//! of Table 6.2 (`S`: LOGIN 4, TEXT-SEARCH 2, FILTER 2, EXPLORE 13,
+//! SPATIAL-SEARCH 14, SELECT 7, OPEN 1, SAVE 1 master round trips). The
+//! per-step resource *shares* are our decomposition — the paper profiled
+//! them from the real software — chosen so each tier carries the load the
+//! case-study figures attribute to it, and documented per operation.
+//! Calibration against the canonical durations of Table 5.1 then fixes
+//! the absolute `R` arrays.
+
+use crate::cascade::{Endpoint, OperationTemplate, Site};
+use crate::series::{canonical_duration, SeriesKind};
+use crate::shape::{OperationShape, RateCard, StepShape};
+use gdisim_types::{AppId, OpTypeId, TierKind};
+use serde::{Deserialize, Serialize};
+
+fn c() -> Endpoint {
+    Endpoint::client()
+}
+
+fn t(kind: TierKind) -> Endpoint {
+    Endpoint::tier(kind, Site::Master)
+}
+
+fn fs_host() -> Endpoint {
+    Endpoint::tier(TierKind::Fs, Site::FileHost)
+}
+
+/// `n` repetitions of the four-message metadata pattern
+/// `C → Sapp → Sinner → Sapp → C` (Figs. 5-3/5-4). Shares are totals
+/// over the whole operation and must sum to 1.
+fn quad_trips(
+    n: u32,
+    inner: TierKind,
+    app_cpu: f64,
+    inner_cpu: f64,
+    inner_disk: f64,
+    client_cpu: f64,
+    net: f64,
+) -> Vec<StepShape> {
+    let nf = n as f64;
+    let mut steps = Vec::with_capacity(4 * n as usize);
+    for _ in 0..n {
+        steps.push(StepShape::new(c(), t(TierKind::App), app_cpu / nf, net / (4.0 * nf), 0.0));
+        steps.push(StepShape::new(
+            t(TierKind::App),
+            t(inner),
+            inner_cpu / nf,
+            net / (4.0 * nf),
+            inner_disk / nf,
+        ));
+        steps.push(StepShape::new(t(inner), t(TierKind::App), 0.0, net / (4.0 * nf), 0.0));
+        steps.push(StepShape::new(t(TierKind::App), c(), client_cpu / nf, net / (4.0 * nf), 0.0));
+    }
+    steps
+}
+
+/// `n` repetitions of the two-message pattern `C → Sapp → C` (Fig. 5-2's
+/// TEXT-SEARCH, which queries the index file hosted by `Tapp`).
+fn pair_trips(n: u32, srv_cpu: f64, srv_disk: f64, client_cpu: f64, net: f64) -> Vec<StepShape> {
+    let nf = n as f64;
+    let mut steps = Vec::with_capacity(2 * n as usize);
+    for _ in 0..n {
+        steps.push(StepShape::new(
+            c(),
+            t(TierKind::App),
+            srv_cpu / nf,
+            net / (2.0 * nf),
+            srv_disk / nf,
+        ));
+        steps.push(StepShape::new(t(TierKind::App), c(), client_cpu / nf, net / (2.0 * nf), 0.0));
+    }
+    steps
+}
+
+/// The eight CAD operation shapes, in Table 5.1 order.
+pub fn cad_shapes() -> Vec<OperationShape> {
+    vec![
+        // LOGIN — credentials, session, profile and ACL exchanges: 4
+        // master round trips, each checking against the database.
+        // Shares favour server/client CPU: metadata payloads are small
+        // (the calibrated Rt works out to ~0.5 MB per message).
+        OperationShape::new("LOGIN", quad_trips(4, TierKind::Db, 0.45, 0.15, 0.01, 0.385, 0.005)),
+        // TEXT-SEARCH — queries the Tidx-built index hosted by Tapp.
+        OperationShape::new("TEXT-SEARCH", pair_trips(2, 0.55, 0.02, 0.425, 0.005)),
+        // FILTER — re-runs the search with extra predicates; CPU-shifted.
+        OperationShape::new("FILTER", pair_trips(2, 0.60, 0.01, 0.385, 0.005)),
+        // EXPLORE — tree navigation: 13 metadata queries against Tdb.
+        OperationShape::new("EXPLORE", quad_trips(13, TierKind::Db, 0.40, 0.25, 0.02, 0.325, 0.005)),
+        // SPATIAL-SEARCH — 3D snapshot navigation against Tidx.
+        OperationShape::new(
+            "SPATIAL-SEARCH",
+            quad_trips(14, TierKind::Idx, 0.30, 0.35, 0.02, 0.325, 0.005),
+        ),
+        // SELECT — spatial volume query resolved through Tdb.
+        OperationShape::new("SELECT", quad_trips(7, TierKind::Db, 0.40, 0.25, 0.01, 0.335, 0.005)),
+        // OPEN — one token round trip via Tdb, then the bulk download
+        // from the hosting file server (Fig. 3-12's two segments). The
+        // wall time is dominated by client-side model construction; the
+        // transfer itself calibrates to a ~75 MB file.
+        OperationShape::new(
+            "OPEN",
+            vec![
+                StepShape::new(c(), t(TierKind::App), 0.02, 0.001, 0.0),
+                StepShape::new(t(TierKind::App), t(TierKind::Db), 0.015, 0.001, 0.005),
+                StepShape::new(t(TierKind::Db), t(TierKind::App), 0.0, 0.001, 0.0),
+                StepShape::new(t(TierKind::App), c(), 0.01, 0.001, 0.0),
+                StepShape::new(c(), fs_host(), 0.04, 0.001, 0.01), // disk read at Tfs
+                StepShape::new(fs_host(), c(), 0.865, 0.03, 0.0),  // transfer + client load
+            ],
+        ),
+        // SAVE — same skeleton, upload direction, ~20 % dearer overall
+        // (the duration gap comes from Table 5.1's targets).
+        OperationShape::new(
+            "SAVE",
+            vec![
+                StepShape::new(c(), t(TierKind::App), 0.02, 0.001, 0.0),
+                StepShape::new(t(TierKind::App), t(TierKind::Db), 0.02, 0.001, 0.01),
+                StepShape::new(t(TierKind::Db), t(TierKind::App), 0.0, 0.001, 0.0),
+                StepShape::new(t(TierKind::App), c(), 0.01, 0.001, 0.0),
+                StepShape::new(c(), fs_host(), 0.06, 0.02, 0.015), // bulk upload + disk write
+                StepShape::new(fs_host(), c(), 0.839, 0.002, 0.0),
+            ],
+        ),
+    ]
+}
+
+/// VIS operation names: CAD's eight plus VALIDATE (§6.3.2 lists VALIDATE
+/// among the VIS operations in Fig. 6-16).
+pub const VIS_OP_NAMES: [&str; 9] = [
+    "LOGIN",
+    "TEXT-SEARCH",
+    "FILTER",
+    "EXPLORE",
+    "SPATIAL-SEARCH",
+    "SELECT",
+    "VALIDATE",
+    "OPEN",
+    "SAVE",
+];
+
+/// VIS canonical durations in seconds. Metadata operations match CAD
+/// (identical cascades, §6.4.2: "VIS operation definitions are identical
+/// to the CAD operations; they only differ on the R parameter arrays");
+/// OPEN/SAVE move far less data (lightweight visualization meshes).
+pub const VIS_DURATIONS: [f64; 9] = [2.2, 5.11, 2.6, 6.43, 12.15, 6.2, 4.5, 9.5, 11.2];
+
+/// VIS shapes: CAD structure plus VALIDATE (a 3-round-trip consistency
+/// check against Tdb).
+pub fn vis_shapes() -> Vec<OperationShape> {
+    let cad = cad_shapes();
+    let mut shapes: Vec<OperationShape> = cad[..6].to_vec();
+    shapes.push(OperationShape::new(
+        "VALIDATE",
+        quad_trips(3, TierKind::Db, 0.30, 0.30, 0.01, 0.385, 0.005),
+    ));
+    shapes.push(cad[6].clone()); // OPEN
+    shapes.push(cad[7].clone()); // SAVE
+    shapes
+}
+
+/// PDM operation names (§6.3.2).
+pub const PDM_OP_NAMES: [&str; 7] =
+    ["BILL-OF-MATERIALS", "EXPAND", "PROMOTE", "UPDATE", "EDIT", "DOWNLOAD", "EXPORT"];
+
+/// PDM canonical durations in seconds. The paper omits the exact values
+/// ("the operation definition for PDM operations is omitted for
+/// simplicity"); these are chosen to match the response-time bands of
+/// Fig. 6-17 (long multi-transaction database operations, the largest
+/// around a couple of hundred seconds).
+pub const PDM_DURATIONS: [f64; 7] = [95.0, 35.0, 28.0, 18.0, 12.0, 55.0, 70.0];
+
+/// PDM shapes: "long sequences of interactions between clients C and Tdb
+/// via Tapp. No other tiers are involved" (§6.4.2) — except DOWNLOAD and
+/// EXPORT which also move document payloads.
+pub fn pdm_shapes() -> Vec<OperationShape> {
+    vec![
+        OperationShape::new(
+            "BILL-OF-MATERIALS",
+            quad_trips(20, TierKind::Db, 0.25, 0.35, 0.10, 0.295, 0.005),
+        ),
+        OperationShape::new("EXPAND", quad_trips(10, TierKind::Db, 0.25, 0.35, 0.05, 0.345, 0.005)),
+        OperationShape::new("PROMOTE", quad_trips(8, TierKind::Db, 0.25, 0.40, 0.05, 0.295, 0.005)),
+        OperationShape::new("UPDATE", quad_trips(6, TierKind::Db, 0.25, 0.35, 0.10, 0.295, 0.005)),
+        OperationShape::new("EDIT", quad_trips(5, TierKind::Db, 0.30, 0.35, 0.05, 0.295, 0.005)),
+        OperationShape::new(
+            "DOWNLOAD",
+            vec![
+                StepShape::new(c(), t(TierKind::App), 0.05, 0.002, 0.0),
+                StepShape::new(t(TierKind::App), t(TierKind::Db), 0.05, 0.002, 0.02),
+                StepShape::new(t(TierKind::Db), t(TierKind::App), 0.0, 0.002, 0.0),
+                StepShape::new(t(TierKind::App), c(), 0.02, 0.002, 0.0),
+                StepShape::new(c(), fs_host(), 0.02, 0.002, 0.02),
+                StepShape::new(fs_host(), c(), 0.79, 0.02, 0.0),
+            ],
+        ),
+        OperationShape::new(
+            "EXPORT",
+            quad_trips(12, TierKind::Db, 0.20, 0.40, 0.05, 0.345, 0.005),
+        ),
+    ]
+}
+
+/// A calibrated application: ordered operation templates plus the mix
+/// with which clients launch them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    /// Dense application id.
+    pub id: AppId,
+    /// Application name ("CAD", "VIS", "PDM").
+    pub name: String,
+    /// Calibrated operation templates.
+    pub ops: Vec<OperationTemplate>,
+    /// Launch mix over `ops` (sums to 1; uniform in the case studies —
+    /// §6.4.2 "the distribution of operation types is assumed to be
+    /// uniform").
+    pub mix: Vec<f64>,
+}
+
+impl Application {
+    fn uniform(id: AppId, name: &str, ops: Vec<OperationTemplate>) -> Self {
+        let n = ops.len();
+        Application { id, name: name.into(), ops, mix: vec![1.0 / n as f64; n] }
+    }
+
+    /// Looks up an operation template by name.
+    pub fn op(&self, name: &str) -> Option<(OpTypeId, &OperationTemplate)> {
+        self.ops
+            .iter()
+            .position(|o| o.name == name)
+            .map(|i| (OpTypeId::from_index(i), &self.ops[i]))
+    }
+}
+
+/// The full calibrated catalog used by the case studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Applications: CAD, VIS, PDM (ids 0, 1, 2).
+    pub apps: Vec<Application>,
+}
+
+/// Application ids in [`Catalog::standard`] order.
+pub const APP_CAD: AppId = AppId(0);
+/// VIS application id.
+pub const APP_VIS: AppId = AppId(1);
+/// PDM application id.
+pub const APP_PDM: AppId = AppId(2);
+
+impl Catalog {
+    /// Builds the standard case-study catalog, calibrating CAD against
+    /// the Average series (Table 6.2's baseline), VIS against
+    /// [`VIS_DURATIONS`] and PDM against [`PDM_DURATIONS`].
+    pub fn standard(rates: &RateCard) -> Catalog {
+        let cad_ops = cad_shapes()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.calibrate(
+                    gdisim_types::SimDuration::from_secs_f64(canonical_duration(
+                        i,
+                        SeriesKind::Average,
+                    )),
+                    rates,
+                )
+            })
+            .collect();
+        let vis_ops = vis_shapes()
+            .iter()
+            .zip(VIS_DURATIONS)
+            .map(|(s, d)| s.calibrate(gdisim_types::SimDuration::from_secs_f64(d), rates))
+            .collect();
+        let pdm_ops = pdm_shapes()
+            .iter()
+            .zip(PDM_DURATIONS)
+            .map(|(s, d)| s.calibrate(gdisim_types::SimDuration::from_secs_f64(d), rates))
+            .collect();
+        Catalog {
+            apps: vec![
+                Application::uniform(APP_CAD, "CAD", cad_ops),
+                Application::uniform(APP_VIS, "VIS", vis_ops),
+                Application::uniform(APP_PDM, "PDM", pdm_ops),
+            ],
+        }
+    }
+
+    /// Calibrates only the CAD operations against one validation series.
+    pub fn cad_series(kind: SeriesKind, rates: &RateCard) -> Vec<OperationTemplate> {
+        cad_shapes()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.calibrate(
+                    gdisim_types::SimDuration::from_secs_f64(canonical_duration(i, kind)),
+                    rates,
+                )
+            })
+            .collect()
+    }
+
+    /// Looks an application up by name.
+    pub fn app(&self, name: &str) -> Option<&Application> {
+        self.apps.iter().find(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdisim_types::units::ghz;
+    use gdisim_types::SimDuration;
+
+    fn rates() -> RateCard {
+        RateCard {
+            client_clock_hz: ghz(2.0),
+            server_clock_hz: ghz(2.5),
+            net_secs_per_byte: 1.0 / 50e6,
+            disk_bytes_per_sec: 100e6,
+            per_message_overhead: SimDuration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn cad_round_trips_match_table_6_2() {
+        let expected_s = [4u32, 2, 2, 13, 14, 7, 1, 1];
+        for (shape, s) in Catalog::cad_series(SeriesKind::Average, &rates()).iter().zip(expected_s)
+        {
+            assert_eq!(shape.master_round_trips(), s, "op {}", shape.name);
+        }
+    }
+
+    #[test]
+    fn every_shape_sums_to_one() {
+        // Construction asserts internally; touching all builders proves it.
+        assert_eq!(cad_shapes().len(), 8);
+        assert_eq!(vis_shapes().len(), 9);
+        assert_eq!(pdm_shapes().len(), 7);
+    }
+
+    #[test]
+    fn calibrated_cad_hits_canonical_durations() {
+        let r = rates();
+        for kind in SeriesKind::ALL {
+            for (i, template) in Catalog::cad_series(kind, &r).iter().enumerate() {
+                let forward = OperationShape::unloaded_duration(template, &r).as_secs_f64();
+                let target = canonical_duration(i, kind);
+                assert!(
+                    (forward - target).abs() < 1e-6,
+                    "{} {kind:?}: forward {forward} target {target}",
+                    template.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn standard_catalog_structure() {
+        let cat = Catalog::standard(&rates());
+        assert_eq!(cat.apps.len(), 3);
+        let cad = cat.app("CAD").unwrap();
+        assert_eq!(cad.ops.len(), 8);
+        assert_eq!(cad.id, APP_CAD);
+        assert!((cad.mix.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let vis = cat.app("VIS").unwrap();
+        assert_eq!(vis.ops.len(), 9);
+        assert!(vis.op("VALIDATE").is_some());
+        let pdm = cat.app("PDM").unwrap();
+        assert_eq!(pdm.ops.len(), 7);
+        assert!(pdm.op("BILL-OF-MATERIALS").is_some());
+        assert!(cat.app("ERP").is_none());
+    }
+
+    #[test]
+    fn vis_open_is_much_lighter_than_cad_open() {
+        let cat = Catalog::standard(&rates());
+        let cad_open = cat.app("CAD").unwrap().op("OPEN").unwrap().1.total_r();
+        let vis_open = cat.app("VIS").unwrap().op("OPEN").unwrap().1.total_r();
+        assert!(
+            cad_open.net_bytes > 4.0 * vis_open.net_bytes,
+            "CAD moves full models, VIS moves meshes"
+        );
+    }
+
+    #[test]
+    fn pdm_is_database_bound() {
+        let cat = Catalog::standard(&rates());
+        let bom = cat.app("PDM").unwrap().op("BILL-OF-MATERIALS").unwrap().1;
+        // All metadata steps target Tapp/Tdb at the master; no Tfs.
+        let touches_fs = bom.steps.iter().any(|s| {
+            matches!(s.to.holon, crate::cascade::Holon::Tier(TierKind::Fs))
+                || matches!(s.from.holon, crate::cascade::Holon::Tier(TierKind::Fs))
+        });
+        assert!(!touches_fs);
+    }
+}

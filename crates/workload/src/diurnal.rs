@@ -1,0 +1,394 @@
+//! Diurnal client-population curves and arrival sampling.
+//!
+//! The workloads of Figs. 6-5..6-7 are business-hour bumps, one per data
+//! center, offset by time zone: the population ramps up through the local
+//! morning, holds through the working day and ramps down in the evening.
+//! The global peak occurs 12:00–16:00 GMT when the NA, SA and EU bumps
+//! overlap. [`DiurnalCurve`] is that trapezoid; [`AppWorkload`] scales it
+//! to each application's published peak populations and converts active
+//! clients into Poisson operation arrivals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use gdisim_types::SimTime;
+
+/// A trapezoidal daily population curve, defined in local time.
+///
+/// ```
+/// use gdisim_workload::DiurnalCurve;
+/// use gdisim_types::SimTime;
+/// // Frankfurt engineers: 50 on call overnight, 800 at the plateau.
+/// let eu = DiurnalCurve::business_day(1.0, 50.0, 800.0);
+/// assert_eq!(eu.population(SimTime::from_hours(12)), 800.0); // 13:00 local
+/// assert_eq!(eu.population(SimTime::from_hours(2)), 50.0);   // 03:00 local
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCurve {
+    /// Hours ahead of GMT (NA ≈ -5, EU ≈ +1, AUS ≈ +10, …).
+    pub tz_offset_hours: f64,
+    /// Population outside business hours.
+    pub base: f64,
+    /// Population at the plateau.
+    pub peak: f64,
+    /// Local hour the ramp-up starts (e.g. 8.0).
+    pub ramp_up_start: f64,
+    /// Local hour the plateau is reached (e.g. 10.0).
+    pub ramp_up_end: f64,
+    /// Local hour the ramp-down starts (e.g. 15.0).
+    pub ramp_down_start: f64,
+    /// Local hour the base is reached again (e.g. 17.0).
+    pub ramp_down_end: f64,
+}
+
+impl DiurnalCurve {
+    /// A standard 8→10 ramp-up, 15→17 ramp-down business-day curve —
+    /// the shape §3.5.1 describes for Application X ("ramps up from 8 am
+    /// to 10 am … reduced from 3 pm to 5 pm" local time).
+    pub fn business_day(tz_offset_hours: f64, base: f64, peak: f64) -> Self {
+        DiurnalCurve {
+            tz_offset_hours,
+            base,
+            peak,
+            ramp_up_start: 8.0,
+            ramp_up_end: 10.0,
+            ramp_down_start: 15.0,
+            ramp_down_end: 17.0,
+        }
+    }
+
+    /// Active clients at GMT time `t`.
+    pub fn population(&self, t: SimTime) -> f64 {
+        let local = (t.hour_of_day() + self.tz_offset_hours).rem_euclid(24.0);
+        self.population_at_local_hour(local)
+    }
+
+    /// Active clients at a local hour in `[0, 24)`.
+    pub fn population_at_local_hour(&self, local: f64) -> f64 {
+        let span = self.peak - self.base;
+        if local < self.ramp_up_start || local >= self.ramp_down_end {
+            self.base
+        } else if local < self.ramp_up_end {
+            let f = (local - self.ramp_up_start) / (self.ramp_up_end - self.ramp_up_start);
+            self.base + span * f
+        } else if local < self.ramp_down_start {
+            self.peak
+        } else {
+            let f = (local - self.ramp_down_start) / (self.ramp_down_end - self.ramp_down_start);
+            self.peak - span * f
+        }
+    }
+}
+
+/// A measured hourly population table — the raw form of the paper's
+/// workload inputs (Fig. 3-10 plots "the number of clients that launch
+/// an operation by location and time of the day" hour by hour).
+/// Population is interpolated linearly between hour marks and wraps at
+/// midnight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlyTable {
+    /// Hours ahead of GMT.
+    pub tz_offset_hours: f64,
+    /// 24 samples, one per local hour starting at 00:00.
+    pub values: Vec<f64>,
+}
+
+impl HourlyTable {
+    /// Creates a table from 24 hourly samples.
+    ///
+    /// # Panics
+    /// Panics unless exactly 24 non-negative values are given.
+    pub fn new(tz_offset_hours: f64, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), 24, "hourly table needs 24 samples");
+        assert!(values.iter().all(|v| *v >= 0.0), "populations are non-negative");
+        HourlyTable { tz_offset_hours, values }
+    }
+
+    /// Population at a local hour in `[0, 24)`, linearly interpolated.
+    pub fn population_at_local_hour(&self, local: f64) -> f64 {
+        let local = local.rem_euclid(24.0);
+        let lo = local.floor() as usize % 24;
+        let hi = (lo + 1) % 24;
+        let frac = local - local.floor();
+        self.values[lo] * (1.0 - frac) + self.values[hi] * frac
+    }
+
+    /// Population at GMT time `t`.
+    pub fn population(&self, t: SimTime) -> f64 {
+        self.population_at_local_hour(t.hour_of_day() + self.tz_offset_hours)
+    }
+}
+
+/// Either form of population input: the parametric trapezoid or a
+/// measured hourly table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum PopulationCurve {
+    /// Parametric business-day trapezoid.
+    Trapezoid(DiurnalCurve),
+    /// Measured 24-entry table.
+    Hourly(HourlyTable),
+}
+
+impl PopulationCurve {
+    /// Population at GMT time `t`.
+    pub fn population(&self, t: SimTime) -> f64 {
+        match self {
+            PopulationCurve::Trapezoid(c) => c.population(t),
+            PopulationCurve::Hourly(h) => h.population(t),
+        }
+    }
+}
+
+impl From<DiurnalCurve> for PopulationCurve {
+    fn from(c: DiurnalCurve) -> Self {
+        PopulationCurve::Trapezoid(c)
+    }
+}
+
+impl From<HourlyTable> for PopulationCurve {
+    fn from(h: HourlyTable) -> Self {
+        PopulationCurve::Hourly(h)
+    }
+}
+
+/// One data center's share of an application's workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteLoad {
+    /// Site name, matching the topology spec.
+    pub site: String,
+    /// Population curve for this site.
+    pub curve: PopulationCurve,
+}
+
+/// An application's complete workload input (Fig. 3-1: hourly client
+/// workload per data center plus the operation distribution).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppWorkload {
+    /// Application name, matching the catalog.
+    pub app: String,
+    /// Per-site curves.
+    pub sites: Vec<SiteLoad>,
+    /// Operations each *active* client launches per hour (think time:
+    /// an engineer iterating on parts fires a few operations per hour).
+    pub ops_per_client_per_hour: f64,
+}
+
+impl AppWorkload {
+    /// Arrival rate (operations/second) from one site at time `t`.
+    pub fn arrival_rate(&self, site_idx: usize, t: SimTime) -> f64 {
+        self.sites[site_idx].curve.population(t) * self.ops_per_client_per_hour / 3600.0
+    }
+
+    /// Total active population across sites at `t`.
+    pub fn global_population(&self, t: SimTime) -> f64 {
+        self.sites.iter().map(|s| s.curve.population(t)).sum()
+    }
+}
+
+/// Deterministic Poisson sampler for operation arrivals.
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    rng: StdRng,
+}
+
+impl ArrivalSampler {
+    /// Creates a sampler from a seed.
+    pub fn new(seed: u64) -> Self {
+        ArrivalSampler { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draws the number of arrivals in an interval with expectation
+    /// `lambda`. Uses Knuth's product method for small `lambda` and a
+    /// rounded normal approximation beyond 30 (per-tick expectations in
+    /// the simulator are far below that; the approximation only guards
+    /// degenerate configurations).
+    pub fn poisson(&mut self, lambda: f64) -> u32 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            // Normal approximation with continuity correction.
+            let (u1, u2): (f64, f64) = (self.rng.gen(), self.rng.gen());
+            let z = (-2.0 * u1.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            return (lambda + lambda.sqrt() * z).round().max(0.0) as u32;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u32;
+        let mut p = 1.0;
+        loop {
+            p *= self.rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` — used to sample mixes and ownership.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Exponential draw with the given mean — session think times.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.rng.gen();
+        -(1.0 - u).max(1e-15).ln() * mean
+    }
+
+    /// Samples an index from a discrete distribution (weights sum ≈ 1).
+    pub fn pick(&mut self, weights: &[f64]) -> usize {
+        let u: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for (i, w) in weights.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> DiurnalCurve {
+        DiurnalCurve::business_day(0.0, 100.0, 1000.0)
+    }
+
+    #[test]
+    fn trapezoid_shape() {
+        let c = curve();
+        assert_eq!(c.population_at_local_hour(3.0), 100.0);
+        assert_eq!(c.population_at_local_hour(9.0), 550.0, "mid ramp-up");
+        assert_eq!(c.population_at_local_hour(12.0), 1000.0, "plateau");
+        assert_eq!(c.population_at_local_hour(16.0), 550.0, "mid ramp-down");
+        assert_eq!(c.population_at_local_hour(22.0), 100.0);
+    }
+
+    #[test]
+    fn timezone_offset_shifts_curve() {
+        // EU (GMT+1) peaks when NA (GMT-5) is still ramping up.
+        let eu = DiurnalCurve::business_day(1.0, 0.0, 100.0);
+        let na = DiurnalCurve::business_day(-5.0, 0.0, 100.0);
+        let noon_gmt = SimTime::from_hours(12);
+        assert_eq!(eu.population(noon_gmt), 100.0, "13:00 local EU: plateau");
+        assert_eq!(na.population(noon_gmt), 0.0, "07:00 local NA: before ramp");
+        let t16 = SimTime::from_hours(16);
+        assert_eq!(na.population(t16), 100.0, "11:00 local NA: plateau");
+    }
+
+    #[test]
+    fn overlap_peak_is_12_to_16_gmt() {
+        // NA + EU populations overlap mid-day GMT — the phenomenon behind
+        // the case studies' 12:00–16:00 GMT peak window.
+        let wl = AppWorkload {
+            app: "CAD".into(),
+            sites: vec![
+                SiteLoad { site: "NA".into(), curve: DiurnalCurve::business_day(-5.0, 0.0, 600.0).into() },
+                SiteLoad { site: "EU".into(), curve: DiurnalCurve::business_day(1.0, 0.0, 500.0).into() },
+                SiteLoad { site: "SA".into(), curve: DiurnalCurve::business_day(-3.0, 0.0, 400.0).into() },
+            ],
+            ops_per_client_per_hour: 12.0,
+        };
+        // 14:00 GMT: NA mid ramp-up (300), EU end of plateau (500), SA
+        // plateau (400) — the three-continent overlap.
+        let peak = wl.global_population(SimTime::from_hours(14));
+        let off_peak = wl.global_population(SimTime::from_hours(2));
+        assert!(peak > 1000.0, "three continents active: {peak}");
+        assert_eq!(off_peak, 0.0);
+        // Arrival rate follows the population.
+        let rate = wl.arrival_rate(0, SimTime::from_hours(14));
+        assert!((rate - 300.0 * 12.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hourly_table_interpolates_and_wraps() {
+        let mut values = vec![0.0; 24];
+        values[9] = 100.0;
+        values[10] = 300.0;
+        values[23] = 60.0;
+        let h = HourlyTable::new(0.0, values);
+        assert_eq!(h.population_at_local_hour(9.0), 100.0);
+        assert_eq!(h.population_at_local_hour(9.5), 200.0, "linear midpoint");
+        assert_eq!(h.population_at_local_hour(23.5), 30.0, "wraps into hour 0");
+        // Timezone shifting through the GMT entry point.
+        let mut values = vec![0.0; 24];
+        values[12] = 500.0;
+        let shifted = HourlyTable::new(2.0, values);
+        assert_eq!(shifted.population(SimTime::from_hours(10)), 500.0, "12:00 local");
+    }
+
+    #[test]
+    fn population_curve_forms_are_interchangeable() {
+        let trap: PopulationCurve = DiurnalCurve::business_day(0.0, 0.0, 100.0).into();
+        let table: PopulationCurve =
+            HourlyTable::new(0.0, (0..24).map(|h| if (10..15).contains(&h) { 100.0 } else { 0.0 }).collect())
+                .into();
+        let noon = SimTime::from_hours(12);
+        assert_eq!(trap.population(noon), 100.0);
+        assert_eq!(table.population(noon), 100.0);
+        // Serde untagged round trip distinguishes the variants.
+        for c in [&trap, &table] {
+            let json = serde_json::to_string(c).unwrap();
+            let back: PopulationCurve = serde_json::from_str(&json).unwrap();
+            assert_eq!(*c, back);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "24 samples")]
+    fn short_hourly_table_panics() {
+        HourlyTable::new(0.0, vec![1.0; 23]);
+    }
+
+    #[test]
+    fn poisson_mean_and_determinism() {
+        let mut a = ArrivalSampler::new(7);
+        let mut b = ArrivalSampler::new(7);
+        let n = 20_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let x = a.poisson(2.5);
+            assert_eq!(x, b.poisson(2.5), "same seed, same stream");
+            total += x as u64;
+        }
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+        assert_eq!(a.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_tail() {
+        let mut s = ArrivalSampler::new(11);
+        let n = 5000;
+        let total: u64 = (0..n).map(|_| s.poisson(100.0) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_is_right() {
+        let mut s = ArrivalSampler::new(5);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| s.exponential(120.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 120.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn pick_respects_weights() {
+        let mut s = ArrivalSampler::new(3);
+        let weights = [0.1, 0.6, 0.3];
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[s.pick(&weights)] += 1;
+        }
+        let f1 = counts[1] as f64 / 30_000.0;
+        assert!((f1 - 0.6).abs() < 0.02, "got {f1}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Data ownership and access-pattern matrices (§7.2.1, Tables 7.1/7.2).
+//!
+//! The Access Pattern Matrix (APM) gives, for each *accessing* data
+//! center, the fraction of its requests that land on files *owned* by
+//! each data center. In the consolidated infrastructure of Ch. 6 a single
+//! master owns everything (Table 7.1); the multiple-master infrastructure
+//! of Ch. 7 assigns each file to the data center geographically closest
+//! to the largest volume of its requests (Table 7.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Row-stochastic matrix of access fractions: `rows[accessor][owner]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessPatternMatrix {
+    sites: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl AccessPatternMatrix {
+    /// Builds a matrix from fractions. Rows must sum to 1 within 1e-3 —
+    /// the paper's printed percentage tables carry rounding slop of up to
+    /// ±0.02 % — and are renormalized to sum exactly to 1.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or rows outside tolerance — APM
+    /// inputs come from static tables, so violations are data-entry bugs.
+    pub fn new(sites: Vec<String>, mut rows: Vec<Vec<f64>>) -> Self {
+        assert_eq!(sites.len(), rows.len(), "one row per site");
+        for (i, row) in rows.iter_mut().enumerate() {
+            assert_eq!(row.len(), sites.len(), "row {i} has wrong width");
+            assert!(row.iter().all(|f| *f >= 0.0), "row {i} has negative fractions");
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-3,
+                "row {i} ({}) sums to {sum}, expected 1.0",
+                sites[i]
+            );
+            for f in row.iter_mut() {
+                *f /= sum;
+            }
+        }
+        AccessPatternMatrix { sites, rows }
+    }
+
+    /// Builds a matrix from percentage tables (rows summing to 100), the
+    /// way the paper prints them.
+    pub fn from_percentages(sites: Vec<String>, percent_rows: Vec<Vec<f64>>) -> Self {
+        let rows = percent_rows
+            .into_iter()
+            .map(|r| r.into_iter().map(|p| p / 100.0).collect())
+            .collect();
+        Self::new(sites, rows)
+    }
+
+    /// The single-master pattern of Table 7.1: every access from every
+    /// site goes to files owned by `master`.
+    pub fn single_master(sites: Vec<String>, master: &str) -> Self {
+        let m = sites
+            .iter()
+            .position(|s| s == master)
+            .unwrap_or_else(|| panic!("master site '{master}' not in site list"));
+        let n = sites.len();
+        let rows = (0..n)
+            .map(|_| {
+                let mut row = vec![0.0; n];
+                row[m] = 1.0;
+                row
+            })
+            .collect();
+        AccessPatternMatrix { sites, rows }
+    }
+
+    /// Table 7.2 — the access pattern the Fortune 500 company measured
+    /// for the multiple-master infrastructure. Site order: EU, NA, AUS,
+    /// SA, AFR, AS.
+    pub fn multimaster_table_7_2() -> Self {
+        let sites = ["EU", "NA", "AUS", "SA", "AFR", "AS"].map(String::from).to_vec();
+        Self::from_percentages(
+            sites,
+            vec![
+                vec![83.65, 12.71, 1.67, 1.04, 0.13, 0.81],  // accesses from EU
+                vec![15.47, 81.87, 1.56, 0.91, 0.01, 0.18],  // NA
+                vec![31.24, 13.72, 50.28, 0.18, 4.35, 0.23], // AUS
+                vec![38.99, 17.55, 3.42, 39.87, 0.08, 0.09], // SA
+                vec![36.49, 31.38, 13.45, 0.26, 17.66, 0.78],// AFR
+                vec![61.00, 30.45, 2.39, 0.85, 0.04, 5.27],  // AS
+            ],
+        )
+    }
+
+    /// Site names in matrix order.
+    pub fn sites(&self) -> &[String] {
+        &self.sites
+    }
+
+    /// Index of a site by name.
+    pub fn site_index(&self, name: &str) -> Option<usize> {
+        self.sites.iter().position(|s| s == name)
+    }
+
+    /// The fraction of requests from `accessor` against files owned by
+    /// `owner`.
+    pub fn fraction(&self, accessor: usize, owner: usize) -> f64 {
+        self.rows[accessor][owner]
+    }
+
+    /// Samples an owner site for one access from `accessor`, given a
+    /// uniform draw `u ∈ [0, 1)`.
+    pub fn sample_owner(&self, accessor: usize, u: f64) -> usize {
+        let row = &self.rows[accessor];
+        let mut acc = 0.0;
+        for (i, f) in row.iter().enumerate() {
+            acc += f;
+            if u < acc {
+                return i;
+            }
+        }
+        row.len() - 1
+    }
+
+    /// The fraction of *all* requests that stay local, weighting every
+    /// accessor equally — a headline locality statistic for Ch. 7.
+    pub fn mean_locality(&self) -> f64 {
+        let n = self.sites.len() as f64;
+        self.rows.iter().enumerate().map(|(i, r)| r[i]).sum::<f64>() / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_master_routes_everything_to_master() {
+        let sites = ["EU", "NA", "AUS"].map(String::from).to_vec();
+        let apm = AccessPatternMatrix::single_master(sites, "NA");
+        for accessor in 0..3 {
+            assert_eq!(apm.fraction(accessor, 1), 1.0);
+            assert_eq!(apm.sample_owner(accessor, 0.99), 1);
+        }
+    }
+
+    #[test]
+    fn table_7_2_rows_are_stochastic() {
+        let apm = AccessPatternMatrix::multimaster_table_7_2();
+        assert_eq!(apm.sites().len(), 6);
+        // The dominant owner for each accessor matches the paper's
+        // narrative: EU and NA mostly self-serve; AS mostly hits EU.
+        let eu = apm.site_index("EU").unwrap();
+        let na = apm.site_index("NA").unwrap();
+        let as_ = apm.site_index("AS").unwrap();
+        assert!(apm.fraction(eu, eu) > 0.8);
+        assert!(apm.fraction(na, na) > 0.8);
+        assert!(apm.fraction(as_, eu) > apm.fraction(as_, as_));
+    }
+
+    #[test]
+    fn sampling_matches_fractions() {
+        let apm = AccessPatternMatrix::multimaster_table_7_2();
+        let aus = apm.site_index("AUS").unwrap();
+        let n = 100_000;
+        let mut self_hits = 0;
+        for k in 0..n {
+            let u = (k as f64 + 0.5) / n as f64; // deterministic stratified draws
+            if apm.sample_owner(aus, u) == aus {
+                self_hits += 1;
+            }
+        }
+        let f = self_hits as f64 / n as f64;
+        assert!((f - 0.5028).abs() < 0.005, "got {f}");
+    }
+
+    #[test]
+    fn locality_improves_with_multiple_masters() {
+        let sites = AccessPatternMatrix::multimaster_table_7_2().sites().to_vec();
+        let single = AccessPatternMatrix::single_master(sites, "NA");
+        let multi = AccessPatternMatrix::multimaster_table_7_2();
+        assert!(multi.mean_locality() > single.mean_locality());
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn non_stochastic_row_panics() {
+        AccessPatternMatrix::new(
+            vec!["A".into(), "B".into()],
+            vec![vec![0.5, 0.4], vec![0.5, 0.5]],
+        );
+    }
+
+    #[test]
+    fn rounding_slop_is_renormalized() {
+        let apm = AccessPatternMatrix::new(
+            vec!["A".into(), "B".into()],
+            vec![vec![0.5002, 0.5], vec![0.5, 0.4999]],
+        );
+        for r in 0..2 {
+            let sum: f64 = (0..2).map(|c| apm.fraction(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in site list")]
+    fn unknown_master_panics() {
+        AccessPatternMatrix::single_master(vec!["A".into()], "Z");
+    }
+}

@@ -1,0 +1,124 @@
+//! The validation series (§5.2.2, Table 5.1).
+//!
+//! A *series* is a sequential concatenation of the eight CAD operations.
+//! Three series types — Light, Average, Heavy — differ in the volume of
+//! data manipulated: metadata operations keep near-identical durations
+//! across series, while OPEN and SAVE scale with file size. Table 5.1's
+//! measured canonical durations are reproduced verbatim and drive the
+//! `R`-array calibration.
+
+use serde::{Deserialize, Serialize};
+
+/// The series types of §5.2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeriesKind {
+    /// Small file sizes.
+    Light,
+    /// Medium file sizes (also the case studies' canonical CAD costs —
+    /// Table 6.2's `R^{NA}_{op}` column equals this series).
+    Average,
+    /// Large file sizes.
+    Heavy,
+}
+
+impl SeriesKind {
+    /// All kinds, in Table 5.1 column order.
+    pub const ALL: [SeriesKind; 3] = [SeriesKind::Light, SeriesKind::Average, SeriesKind::Heavy];
+
+    /// Column index into [`CANONICAL_DURATIONS`].
+    pub const fn column(self) -> usize {
+        match self {
+            SeriesKind::Light => 0,
+            SeriesKind::Average => 1,
+            SeriesKind::Heavy => 2,
+        }
+    }
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SeriesKind::Light => "Light",
+            SeriesKind::Average => "Average",
+            SeriesKind::Heavy => "Heavy",
+        }
+    }
+}
+
+/// The eight CAD operations in series order (§5.2.2).
+pub const CAD_OP_NAMES: [&str; 8] = [
+    "LOGIN",
+    "TEXT-SEARCH",
+    "FILTER",
+    "EXPLORE",
+    "SPATIAL-SEARCH",
+    "SELECT",
+    "OPEN",
+    "SAVE",
+];
+
+/// Table 5.1 — duration of the operations by type and series, in seconds:
+/// `[op][light, average, heavy]`.
+pub const CANONICAL_DURATIONS: [[f64; 3]; 8] = [
+    [1.94, 2.2, 2.35],    // LOGIN
+    [4.9, 5.11, 4.99],    // TEXT-SEARCH
+    [2.89, 2.6, 3.0],     // FILTER
+    [6.6, 6.43, 5.92],    // EXPLORE
+    [12.18, 12.15, 12.38],// SPATIAL-SEARCH
+    [5.7, 6.2, 5.34],     // SELECT
+    [30.67, 64.68, 96.48],// OPEN
+    [36.8, 78.21, 113.01],// SAVE
+];
+
+/// The canonical duration (seconds) of one operation in one series.
+pub fn canonical_duration(op_index: usize, kind: SeriesKind) -> f64 {
+    CANONICAL_DURATIONS[op_index][kind.column()]
+}
+
+/// Total duration of a full series (Table 5.1's TOTAL row).
+pub fn series_total(kind: SeriesKind) -> f64 {
+    CANONICAL_DURATIONS.iter().map(|row| row[kind.column()]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table_5_1() {
+        assert!((series_total(SeriesKind::Light) - 101.68).abs() < 1e-9);
+        assert!((series_total(SeriesKind::Average) - 177.58).abs() < 1e-9);
+        assert!((series_total(SeriesKind::Heavy) - 243.47).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metadata_ops_stable_across_series() {
+        // First six operations vary little; OPEN/SAVE vary a lot.
+        for (op, row) in CANONICAL_DURATIONS.iter().enumerate().take(6) {
+            let row = *row;
+            let spread = row.iter().cloned().fold(f64::MIN, f64::max)
+                - row.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(spread < 1.0, "op {op} spread {spread}");
+        }
+        let open = CANONICAL_DURATIONS[6];
+        assert!(open[2] / open[0] > 3.0, "OPEN scales with file size");
+    }
+
+    #[test]
+    fn save_is_about_20_percent_dearer_than_open() {
+        // §5.2.3: "variations in the parameter array R of each message
+        // make SAVE approximately 20 % more expensive".
+        for kind in SeriesKind::ALL {
+            let open = canonical_duration(6, kind);
+            let save = canonical_duration(7, kind);
+            let ratio = save / open;
+            assert!((1.1..1.3).contains(&ratio), "{kind:?}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn columns_and_names_align() {
+        assert_eq!(CAD_OP_NAMES.len(), CANONICAL_DURATIONS.len());
+        assert_eq!(SeriesKind::Light.column(), 0);
+        assert_eq!(SeriesKind::Heavy.name(), "Heavy");
+    }
+}

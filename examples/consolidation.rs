@@ -1,0 +1,75 @@
+//! Consolidation what-if: the Ch. 6 question — "can six data centers
+//! absorb the workload of eleven?" — answered on a compressed horizon.
+//!
+//! Runs the consolidated scenario through the global peak window
+//! (12:00–16:00 GMT, when NA, SA and EU business hours overlap) and
+//! reports the master data center's headroom, the WAN links at risk and
+//! the client experience, i.e. the decision inputs §6.6 derives.
+//!
+//! ```sh
+//! cargo run --release -p gdisim-core --example consolidation
+//! ```
+
+use gdisim_background::BackgroundKind;
+use gdisim_core::scenarios::consolidated;
+use gdisim_types::{SimTime, TierKind};
+
+fn main() {
+    println!("consolidation what-if (Ch. 6), peak window only\n");
+    let mut sim = consolidated::build(42);
+
+    // Simulate 10:00 -> 17:00 GMT: ramp into and out of the overlap.
+    let start = SimTime::from_hours(10);
+    let end = SimTime::from_hours(17);
+    let wall = std::time::Instant::now();
+    sim.run_until(start);
+    println!("(warm-up to {start} done in {:?})", wall.elapsed());
+    sim.run_until(end);
+    println!("simulated through the peak window in {:?} total\n", wall.elapsed());
+
+    let report = sim.report();
+    let (w0, w1) = (SimTime::from_hours(12), SimTime::from_hours(16));
+
+    println!("master data center (NA) peak-window CPU:");
+    for tier in TierKind::ALL {
+        if let Some(s) = report.cpu("NA", tier) {
+            let mean = s.window_mean(w0, w1);
+            let verdict = if mean > 0.85 {
+                "SATURATION RISK"
+            } else if mean > 0.6 {
+                "watch closely"
+            } else {
+                "headroom"
+            };
+            println!("  {tier}: {:5.1}%  [{verdict}]", mean * 100.0);
+        }
+    }
+
+    println!("\nWAN links, utilization of allocated capacity 12:00-16:00 GMT:");
+    let mut links: Vec<_> = report
+        .wan_util
+        .iter()
+        .map(|(label, s)| (label.clone(), s.window_mean(w0, w1)))
+        .collect();
+    links.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (label, u) in links {
+        println!("  {label}: {:5.1}%", u * 100.0);
+    }
+
+    println!("\nbackground processes completed so far:");
+    for kind in [BackgroundKind::SyncRep, BackgroundKind::IndexBuild] {
+        let recs = report.background_of(kind);
+        if let Some((at, secs)) = report.max_background_response(kind) {
+            println!(
+                "  {kind:?}: {} runs, worst response {:.1} min (launched {at})",
+                recs.len(),
+                secs / 60.0
+            );
+        }
+    }
+
+    println!("\nclient population served:");
+    if let Some((t, peak)) = report.concurrent_clients.max() {
+        println!("  peak {peak:.0} concurrent operations at {t}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Multiple-master what-if: the Ch. 7 question — "does distributing
+//! data ownership shrink the background-process windows without
+//! overloading the upgraded slaves?"
+//!
+//! Runs the multimaster scenario through the peak window and compares
+//! the staleness/searchability windows (`R^max_SR`, `R^max_IB`) of the
+//! NA master against the consolidated baseline's published values.
+//!
+//! ```sh
+//! cargo run --release -p gdisim-core --example multimaster
+//! ```
+
+use gdisim_background::BackgroundKind;
+use gdisim_core::scenarios::multimaster;
+use gdisim_types::{SimTime, TierKind};
+use gdisim_workload::AccessPatternMatrix;
+
+fn main() {
+    println!("multiple-master what-if (Ch. 7), peak window only\n");
+
+    let apm = AccessPatternMatrix::multimaster_table_7_2();
+    println!(
+        "ownership input: mean locality {:.1}% (single-master baseline: 16.7%)",
+        apm.mean_locality() * 100.0
+    );
+
+    let mut sim = multimaster::build(42);
+    let start = SimTime::from_hours(10);
+    let end = SimTime::from_hours(17);
+    let wall = std::time::Instant::now();
+    sim.run_until(end);
+    println!("simulated 00:00-17:00 GMT in {:?}\n", wall.elapsed());
+    let _ = start;
+
+    let report = sim.report();
+    let (w0, w1) = (SimTime::from_hours(12), SimTime::from_hours(16));
+
+    println!("per-master peak-window CPU (every site now holds the full stack):");
+    for site in multimaster::SITES {
+        let app = report.cpu(site, TierKind::App).map(|s| s.window_mean(w0, w1)).unwrap_or(0.0);
+        let db = report.cpu(site, TierKind::Db).map(|s| s.window_mean(w0, w1)).unwrap_or(0.0);
+        println!("  {site:>4}: Tapp {:5.1}%  Tdb {:5.1}%", app * 100.0, db * 100.0);
+    }
+
+    println!("\nbackground windows per master (worst response so far):");
+    for (pos, site) in multimaster::SITES.iter().enumerate() {
+        for kind in [BackgroundKind::SyncRep, BackgroundKind::IndexBuild] {
+            let worst = report
+                .background_of(kind)
+                .into_iter()
+                .filter(|r| r.master_site == pos)
+                .map(|r| r.response_secs())
+                .fold(0.0f64, f64::max);
+            if worst > 0.0 {
+                print!("  {site:>4} {kind:?}: {:.1} min", worst / 60.0);
+                if *site == "NA" {
+                    let paper_consolidated = match kind {
+                        BackgroundKind::SyncRep => 31.0,
+                        BackgroundKind::IndexBuild => 63.0,
+                    };
+                    print!("  (consolidated baseline ≈{paper_consolidated:.0} min)");
+                }
+                println!();
+            }
+        }
+    }
+
+    println!(
+        "\nverdict: each master synchronizes and indexes only the subset it owns,\n\
+         so staleness and searchability windows shrink while the per-site\n\
+         hardware stays modest — the paper's Ch. 7 conclusion."
+    );
+}

@@ -1,0 +1,118 @@
+//! The full consolidation pipeline on a compressed horizon: workloads,
+//! background daemons, WAN routing and reporting all working together.
+
+use gdisim_background::BackgroundKind;
+use gdisim_core::scenarios::consolidated;
+use gdisim_types::{SimDuration, SimTime, TierKind};
+
+/// Two hours of the simulated day — enough for 8 SYNCHREP launches and
+/// several INDEXBUILDs, without test-runtime pain.
+const HORIZON: SimTime = SimTime::from_hours(2);
+
+fn run() -> &'static gdisim_core::Report {
+    static REPORT: std::sync::OnceLock<gdisim_core::Report> = std::sync::OnceLock::new();
+    REPORT.get_or_init(|| {
+        let mut sim = consolidated::build(11);
+        sim.run_until(HORIZON);
+        sim.into_report()
+    })
+}
+
+#[test]
+fn background_processes_run_and_complete() {
+    let report = run();
+    let srs = report.background_of(BackgroundKind::SyncRep);
+    // ΔT_SR = 15 min: 8 launches in 2 h; at least the early ones finish.
+    assert!(srs.len() >= 5, "only {} SYNCHREPs completed", srs.len());
+    for sr in &srs {
+        assert!(sr.volume_bytes > 0.0, "SR with no volume");
+        assert!(sr.response_secs() > 1.0, "implausibly fast SR");
+        assert!(sr.response_secs() < 3600.0, "SR never converged");
+    }
+    let ibs = report.background_of(BackgroundKind::IndexBuild);
+    assert!(!ibs.is_empty(), "no INDEXBUILD completed");
+    // Night-time volumes are small; builds finish well under the gap+run
+    // cadence and strictly serialize (one at a time per master).
+    for w in ibs.windows(2) {
+        assert!(
+            w[1].launched_at >= w[0].finished_at,
+            "INDEXBUILDs overlapped: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn master_serves_remote_metadata_and_slaves_serve_files() {
+    let report = run();
+    // The master has all four tiers active.
+    for tier in TierKind::ALL {
+        let s = report.cpu("NA", tier).expect("NA tier series");
+        assert!(
+            gdisim_metrics::mean(s.values()) > 0.0,
+            "tier {tier} at the master never worked"
+        );
+    }
+    // Slaves have only Tfs, and during 00:00-02:00 GMT the AS/AUS
+    // populations are in business hours, so their file tiers are active.
+    for slave in ["AS", "AUS"] {
+        let fs = report.cpu(slave, TierKind::Fs).expect("slave Tfs series");
+        assert!(gdisim_metrics::mean(fs.values()) > 0.0, "{slave} file tier idle");
+        assert!(report.cpu(slave, TierKind::App).is_none(), "{slave} must not have Tapp");
+    }
+}
+
+#[test]
+fn wan_links_carry_traffic_within_capacity() {
+    let report = run();
+    assert_eq!(report.wan_util.len(), 8, "eight WAN links reported");
+    let mut any_active = false;
+    for (label, series) in &report.wan_util {
+        for v in series.values() {
+            assert!((0.0..=1.0).contains(v), "{label} utilization {v} out of range");
+        }
+        let mean = gdisim_metrics::mean(series.values());
+        if mean > 0.01 {
+            any_active = true;
+        }
+        // Backup links carry nothing.
+        if label.contains("EU->AFR") || label.contains("EU->AS1") {
+            assert!(mean < 1e-6, "backup link {label} carried traffic: {mean}");
+        }
+    }
+    assert!(any_active, "no WAN link ever carried traffic");
+}
+
+#[test]
+fn remote_clients_pay_latency_on_chatty_operations() {
+    // Run a bit longer so AUS (deep business hours at 00:00 GMT) piles up
+    // completions of the chatty ops.
+    let mut sim = consolidated::build(11);
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(5400));
+    let report = sim.into_report();
+
+    let na = gdisim_types::DcId(0);
+    let aus = gdisim_types::DcId(5);
+    let cad = gdisim_types::AppId(0);
+    // EXPLORE = op 3 (13 master round trips), OPEN = op 6 (1 round trip).
+    let key = |op: u32, dc| gdisim_metrics::ResponseKey {
+        app: cad,
+        op: gdisim_types::OpTypeId(op),
+        dc,
+    };
+    let explore_na = report.responses.history_mean(key(3, na));
+    let explore_aus = report.responses.history_mean(key(3, aus));
+    let open_na = report.responses.history_mean(key(6, na));
+    let open_aus = report.responses.history_mean(key(6, aus));
+    if let (Some(ena), Some(eaus)) = (explore_na, explore_aus) {
+        assert!(
+            eaus > ena * 1.2,
+            "EXPLORE from AUS should pay many WAN round trips: NA {ena:.2}s vs AUS {eaus:.2}s"
+        );
+    }
+    if let (Some(ona), Some(oaus)) = (open_na, open_aus) {
+        let rel = (oaus - ona).abs() / ona;
+        assert!(rel < 0.15, "OPEN is served locally; relative gap {rel:.2} too large");
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end validation pipeline: the downscaled infrastructure under
+//! the Ch. 5 series schedule, checked for physical plausibility and
+//! clean drainage.
+
+use gdisim_core::scenarios::validation::{self, APP_SERIES, EXPERIMENTS};
+use gdisim_metrics::ResponseKey;
+use gdisim_types::{DcId, OpTypeId, SimTime, TierKind};
+
+#[test]
+fn operations_complete_with_canonical_scale_durations() {
+    let mut sim = validation::build(EXPERIMENTS[0], 7);
+    sim.run_until(SimTime::from_secs(10 * 60));
+    let report = sim.report();
+
+    // The light series launches every 15 s; LOGIN (canonical 1.94 s) must
+    // have completed many times with a plausible mean.
+    let login = ResponseKey { app: APP_SERIES[0], op: OpTypeId(0), dc: DcId(0) };
+    let history = report.responses.history(login);
+    assert!(history.len() > 20, "only {} LOGINs in 10 minutes", history.len());
+    let mean = report.responses.history_mean(login).unwrap();
+    assert!((1.0..5.0).contains(&mean), "LOGIN mean {mean}s is out of band");
+
+    // OPEN of the heavy series is the long pole (canonical 96.5 s).
+    let open = ResponseKey { app: APP_SERIES[2], op: OpTypeId(6), dc: DcId(0) };
+    if let Some(mean) = report.responses.history_mean(open) {
+        assert!((80.0..140.0).contains(&mean), "heavy OPEN mean {mean}s");
+    }
+}
+
+#[test]
+fn utilization_is_physical_and_ordered_by_pressure() {
+    let horizon = SimTime::from_secs(12 * 60);
+    let window_start = SimTime::from_secs(4 * 60);
+    let mut means = Vec::new();
+    for exp in EXPERIMENTS {
+        let mut sim = validation::build(exp, 7);
+        sim.run_until(horizon);
+        let report = sim.report();
+        let mut tier_means = Vec::new();
+        for tier in TierKind::ALL {
+            let s = report.cpu("NA", tier).expect("tier series");
+            for v in s.values() {
+                assert!((0.0..=1.0).contains(v), "utilization out of range: {v}");
+            }
+            tier_means.push(s.window_mean(window_start, horizon));
+        }
+        means.push(tier_means);
+    }
+    // Shorter launch periods load every tier harder (Table 5.2's trend).
+    for t in 0..4 {
+        assert!(
+            means[0][t] < means[1][t] && means[1][t] < means[2][t],
+            "tier {t} not monotone: {:?}",
+            means.iter().map(|m| m[t]).collect::<Vec<_>>()
+        );
+        assert!(means[2][t] > 0.05, "tier {t} suspiciously idle under the heaviest schedule");
+    }
+    // Tapp is the busiest tier throughout, as in the paper.
+    for m in &means {
+        assert!(m[0] >= m[1] && m[0] >= m[3], "Tapp should dominate: {m:?}");
+    }
+}
+
+#[test]
+fn system_drains_after_launch_window() {
+    // Custom short-lived source: stop launching after two minutes, then
+    // verify every cascade drains — no leaked in-flight work.
+    let mut sim = validation::build(EXPERIMENTS[0], 7);
+    sim.run_until(SimTime::from_secs(120));
+    assert!(sim.active_operations() > 0, "series should be in flight");
+    // Nothing new launches after LAUNCH_WINDOW; run far beyond the
+    // longest series duration (~244 s) past the stop.
+    sim.run_until(SimTime::ZERO + validation::LAUNCH_WINDOW + gdisim_types::SimDuration::from_secs(400));
+    assert_eq!(sim.active_operations(), 0, "operations leaked after drain");
+}
+
+#[test]
+fn trace_drills_down_to_individual_agents() {
+    let mut sim = validation::build(EXPERIMENTS[0], 7);
+    sim.enable_trace(200_000);
+    sim.run_until(SimTime::from_secs(120));
+    let trace = sim.trace().expect("tracing enabled");
+    let events = trace.events();
+    assert!(!events.is_empty());
+    // Every completed operation has a matching launch, and its events
+    // are time-ordered.
+    let mut launches = std::collections::HashSet::new();
+    let mut completions = 0;
+    for (_, e) in events {
+        match e {
+            gdisim_core::TraceEvent::Launch { instance, .. } => {
+                launches.insert(*instance);
+            }
+            gdisim_core::TraceEvent::OperationDone { instance, response_secs } => {
+                assert!(launches.contains(instance), "completion without launch");
+                assert!(*response_secs > 0.0);
+                completions += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(completions > 5, "operations completed under trace: {completions}");
+    // Per-element drill-down: some agent (a CPU) served hops.
+    let total_hops: usize =
+        (0..40).map(|i| trace.hops_at(gdisim_types::AgentId(i))).sum();
+    assert!(total_hops > 100, "hop events recorded: {total_hops}");
+    // Timestamps are monotone.
+    assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+}
+
+#[test]
+fn concurrent_clients_match_littles_law_scale() {
+    let mut sim = validation::build(EXPERIMENTS[0], 7);
+    sim.run_until(SimTime::from_secs(15 * 60));
+    let report = sim.report();
+    // Little's law with canonical series durations predicts ~16 clients
+    // for the 15-36-60 schedule; queueing inflation can only raise it.
+    let steady = report
+        .concurrent_clients
+        .window_mean(SimTime::from_secs(6 * 60), SimTime::from_secs(15 * 60));
+    assert!((10.0..30.0).contains(&steady), "steady concurrent clients {steady}");
+}

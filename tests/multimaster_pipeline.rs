@@ -1,0 +1,100 @@
+//! The multiple-master pipeline (Ch. 7) on a compressed horizon: every
+//! site acts as a master, ownership follows Table 7.2, and each master
+//! runs its own SR/IB pair.
+
+use gdisim_background::BackgroundKind;
+use gdisim_core::scenarios::multimaster;
+use gdisim_types::{SimTime, TierKind};
+
+const HORIZON: SimTime = SimTime::from_hours(2);
+
+fn run() -> &'static gdisim_core::Report {
+    static REPORT: std::sync::OnceLock<gdisim_core::Report> = std::sync::OnceLock::new();
+    REPORT.get_or_init(|| {
+        let mut sim = multimaster::build(13);
+        sim.run_until(HORIZON);
+        sim.into_report()
+    })
+}
+
+#[test]
+fn every_master_runs_its_own_synchrep() {
+    let report = run();
+    let mut masters_seen: Vec<usize> = report
+        .background_of(BackgroundKind::SyncRep)
+        .iter()
+        .map(|r| r.master_site)
+        .collect();
+    masters_seen.sort_unstable();
+    masters_seen.dedup();
+    assert!(
+        masters_seen.len() >= 5,
+        "expected SYNCHREPs from nearly all six masters, saw sites {masters_seen:?}"
+    );
+}
+
+#[test]
+fn per_master_volumes_are_smaller_than_single_master() {
+    // Ownership partitions the data: each master's per-run volume must
+    // be below the global per-run volume a single master would move.
+    let report = run();
+    let mut per_master_max = vec![0.0f64; multimaster::SITES.len()];
+    let mut total_per_window = 0.0;
+    for sr in report.background_of(BackgroundKind::SyncRep) {
+        per_master_max[sr.master_site] = per_master_max[sr.master_site].max(sr.volume_bytes);
+        total_per_window += sr.volume_bytes;
+    }
+    let n_windows = report
+        .background_of(BackgroundKind::SyncRep)
+        .iter()
+        .map(|r| r.launched_at)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        .max(1);
+    let global_avg = total_per_window / n_windows as f64;
+    for (site, max) in multimaster::SITES.iter().zip(&per_master_max) {
+        assert!(
+            *max < global_avg,
+            "{site}'s worst SR volume {max} should undercut the global per-window volume {global_avg}"
+        );
+    }
+}
+
+#[test]
+fn all_sites_have_full_management_stacks() {
+    let report = run();
+    for site in multimaster::SITES {
+        for tier in TierKind::ALL {
+            assert!(
+                report.cpu(site, tier).is_some(),
+                "{site} lacks a {tier} series — masters must hold the full stack"
+            );
+        }
+    }
+    // During 00:00-02:00 GMT, AS and AUS are in business hours and their
+    // *own* app tiers now do management work (ownership is local-heavy).
+    for site in ["AS", "AUS"] {
+        let app = report.cpu(site, TierKind::App).unwrap();
+        assert!(
+            gdisim_metrics::mean(app.values()) > 0.0,
+            "{site} app tier idle despite local ownership"
+        );
+    }
+}
+
+#[test]
+fn indexbuilds_serialize_per_master_but_overlap_across_masters() {
+    let report = run();
+    let ibs = report.background_of(BackgroundKind::IndexBuild);
+    assert!(!ibs.is_empty(), "no INDEXBUILD completed in two hours");
+    // Per master: strictly serialized.
+    for site in 0..multimaster::SITES.len() {
+        let mine: Vec<_> = ibs.iter().filter(|r| r.master_site == site).collect();
+        for w in mine.windows(2) {
+            assert!(
+                w[1].launched_at >= w[0].finished_at,
+                "master {site} overlapped its own INDEXBUILDs"
+            );
+        }
+    }
+}

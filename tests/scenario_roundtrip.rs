@@ -1,0 +1,76 @@
+//! Scenario inputs are plain serde data: every topology, catalog and
+//! workload must survive a JSON round trip unchanged (operators edit
+//! these files), and a deserialized spec must build the same
+//! infrastructure.
+
+use gdisim_core::scenarios::{consolidated, multimaster, rates, validation};
+use gdisim_infra::{Infrastructure, TopologySpec};
+use gdisim_workload::{AccessPatternMatrix, Catalog};
+
+fn roundtrip_topology(spec: &TopologySpec) {
+    let json = serde_json::to_string_pretty(spec).expect("serialize");
+    let back: TopologySpec = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(*spec, back, "topology changed across JSON round trip");
+    let a = Infrastructure::build(spec, 5).expect("build original");
+    let mut b = Infrastructure::build(&back, 5).expect("build deserialized");
+    assert_eq!(a.agent_count(), b.agent_count());
+    assert_eq!(a.data_centers().len(), b.data_centers().len());
+    assert_eq!(b.total_in_flight(), 0);
+}
+
+#[test]
+fn all_three_scenario_topologies_roundtrip() {
+    roundtrip_topology(&validation::downscaled_topology());
+    roundtrip_topology(&consolidated::topology());
+    roundtrip_topology(&multimaster::topology());
+}
+
+#[test]
+fn calibrated_catalog_roundtrips() {
+    let catalog = Catalog::standard(&rates::lab_rate_card());
+    let json = serde_json::to_string(&catalog).expect("serialize catalog");
+    let back: Catalog = serde_json::from_str(&json).expect("deserialize catalog");
+    assert_eq!(catalog, back);
+    // Spot-check an R vector survived with full precision.
+    let open = catalog.app("CAD").unwrap().op("OPEN").unwrap().1;
+    let open_back = back.app("CAD").unwrap().op("OPEN").unwrap().1;
+    assert_eq!(open.total_r(), open_back.total_r());
+}
+
+#[test]
+fn workloads_and_growth_roundtrip() {
+    for wl in consolidated::workloads() {
+        let json = serde_json::to_string(&wl).expect("serialize workload");
+        let back: gdisim_workload::AppWorkload = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(wl, back);
+    }
+    let growth = consolidated::data_growth();
+    let json = serde_json::to_string(&growth).expect("serialize growth");
+    let back: gdisim_background::DataGrowth = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(growth, back);
+}
+
+#[test]
+fn access_pattern_matrix_roundtrips() {
+    let apm = AccessPatternMatrix::multimaster_table_7_2();
+    let json = serde_json::to_string(&apm).expect("serialize APM");
+    let back: AccessPatternMatrix = serde_json::from_str(&json).expect("deserialize APM");
+    assert_eq!(apm, back);
+}
+
+#[test]
+fn legacy_cascades_without_stage_markers_deserialize() {
+    // `concurrent_with_prev` has a serde default: templates written
+    // before the field existed must still load (and be fully sequential).
+    let json = r#"{
+        "name": "PING",
+        "steps": [{
+            "from": {"holon": "Client", "site": "Client"},
+            "to": {"holon": {"Tier": "App"}, "site": "Master"},
+            "r": {"cycles": 1.0, "net_bytes": 0.0, "mem_bytes": 0.0, "disk_bytes": 0.0}
+        }]
+    }"#;
+    let t: gdisim_workload::OperationTemplate = serde_json::from_str(json).expect("parse legacy");
+    assert_eq!(t.stages().len(), 1);
+    assert!(!t.steps[0].concurrent_with_prev);
+}
