@@ -50,9 +50,8 @@ impl DataGrowth {
         while t < to {
             let next = (t + step).min(to);
             let dt_hours = (next - t).as_secs_f64() / 3600.0;
-            let mid_rate = (self.rate_bytes_per_hour(site, t)
-                + self.rate_bytes_per_hour(site, next))
-                / 2.0;
+            let mid_rate =
+                (self.rate_bytes_per_hour(site, t) + self.rate_bytes_per_hour(site, next)) / 2.0;
             total += mid_rate * dt_hours;
             t = next;
         }

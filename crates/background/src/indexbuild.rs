@@ -44,7 +44,10 @@ impl Default for IndexCosts {
 /// Builds one INDEXBUILD instance over `volume_bytes` of flagged files.
 pub fn build_indexbuild(volume_bytes: f64, costs: &IndexCosts) -> OperationTemplate {
     assert!(volume_bytes >= 0.0, "volume must be non-negative");
-    let daemon = Endpoint { holon: Holon::Client, site: Site::Master };
+    let daemon = Endpoint {
+        holon: Holon::Client,
+        site: Site::Master,
+    };
     let app = Endpoint::tier(TierKind::App, Site::Master);
     let db = Endpoint::tier(TierKind::Db, Site::Master);
     let fs = Endpoint::tier(TierKind::Fs, Site::Master);
@@ -54,8 +57,16 @@ pub fn build_indexbuild(volume_bytes: f64, costs: &IndexCosts) -> OperationTempl
         "INDEXBUILD",
         vec![
             // Collect the flagged file list.
-            CascadeStep::seq(daemon, app, RVec::new(costs.control_cycles, costs.control_bytes, 0.0, 0.0)),
-            CascadeStep::seq(app, db, RVec::new(costs.query_cycles, costs.control_bytes, 0.0, 0.0)),
+            CascadeStep::seq(
+                daemon,
+                app,
+                RVec::new(costs.control_cycles, costs.control_bytes, 0.0, 0.0),
+            ),
+            CascadeStep::seq(
+                app,
+                db,
+                RVec::new(costs.query_cycles, costs.control_bytes, 0.0, 0.0),
+            ),
             CascadeStep::seq(db, app, RVec::net(costs.control_bytes)),
             // Stream the flagged files from the file tier into the index
             // tier: the destination reads, stages and *analyzes* them —
@@ -63,11 +74,20 @@ pub fn build_indexbuild(volume_bytes: f64, costs: &IndexCosts) -> OperationTempl
             CascadeStep::seq(
                 fs,
                 idx,
-                RVec::new(costs.cycles_per_byte * volume_bytes, volume_bytes, 0.0, volume_bytes),
+                RVec::new(
+                    costs.cycles_per_byte * volume_bytes,
+                    volume_bytes,
+                    0.0,
+                    volume_bytes,
+                ),
             ),
             // Write the fresh index back to the index tier's storage and
             // register it in the database.
-            CascadeStep::seq(idx, db, RVec::new(costs.query_cycles, index_bytes, 0.0, index_bytes)),
+            CascadeStep::seq(
+                idx,
+                db,
+                RVec::new(costs.query_cycles, index_bytes, 0.0, index_bytes),
+            ),
             CascadeStep::seq(app, daemon, RVec::net(costs.control_bytes)),
         ],
     )
@@ -107,6 +127,9 @@ mod tests {
     fn zero_volume_build_is_control_plane_only() {
         let op = build_indexbuild(0.0, &IndexCosts::default());
         assert!(op.total_r().disk_bytes < 1.0);
-        assert!(op.total_r().cycles > 0.0, "control messages still cost cycles");
+        assert!(
+            op.total_r().cycles > 0.0,
+            "control messages still cost cycles"
+        );
     }
 }

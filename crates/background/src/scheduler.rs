@@ -61,7 +61,9 @@ impl OwnershipSplit {
         let n = apm.sites().len();
         OwnershipSplit {
             masters: (0..n).collect(),
-            rows: (0..n).map(|s| (0..n).map(|m| apm.fraction(s, m)).collect()).collect(),
+            rows: (0..n)
+                .map(|s| (0..n).map(|m| apm.fraction(s, m)).collect())
+                .collect(),
         }
     }
 
@@ -157,7 +159,12 @@ impl BackgroundScheduler {
                 ib_next_allowed: SimTime::ZERO + config.ib_gap,
             })
             .collect();
-        BackgroundScheduler { growth, split, config, masters }
+        BackgroundScheduler {
+            growth,
+            split,
+            config,
+            masters,
+        }
     }
 
     /// The growth model (for reporting).
@@ -171,8 +178,7 @@ impl BackgroundScheduler {
         for pos in 0..self.masters.len() {
             // SYNCHREP: catch up on every elapsed interval.
             while self.masters[pos].next_sync <= now {
-                let (from, to) =
-                    (self.masters[pos].last_sync, self.masters[pos].next_sync);
+                let (from, to) = (self.masters[pos].last_sync, self.masters[pos].next_sync);
                 launches.push(self.launch_sync(pos, from, to));
                 let m = &mut self.masters[pos];
                 m.last_sync = m.next_sync;
@@ -200,8 +206,9 @@ impl BackgroundScheduler {
 
     fn launch_sync(&mut self, pos: usize, from: SimTime, to: SimTime) -> BackgroundLaunch {
         let master_site = self.masters[pos].site;
-        let slaves: Vec<usize> =
-            (0..self.growth.site_count()).filter(|s| *s != master_site).collect();
+        let slaves: Vec<usize> = (0..self.growth.site_count())
+            .filter(|s| *s != master_site)
+            .collect();
 
         // Pull: new data created at each slave that this master owns.
         let pull_bytes: Vec<f64> = slaves
@@ -209,8 +216,8 @@ impl BackgroundScheduler {
             .map(|&s| self.growth.generated_bytes(s, from, to) * self.split.fraction(s, pos))
             .collect();
         // The master's own new (owned) data needs no pull but is pushed.
-        let master_new =
-            self.growth.generated_bytes(master_site, from, to) * self.split.fraction(master_site, pos);
+        let master_new = self.growth.generated_bytes(master_site, from, to)
+            * self.split.fraction(master_site, pos);
         let total_owned: f64 = pull_bytes.iter().sum::<f64>() + master_new;
 
         // Push: each slave receives everything new except what it created
@@ -300,8 +307,10 @@ mod tests {
         let launches = sched.poll(mins(15));
         // The SR fires, and its backlog immediately admits the first IB
         // (the 5-minute gate opened at t = 5 min).
-        let srs: Vec<_> =
-            launches.iter().filter(|l| l.kind == BackgroundKind::SyncRep).collect();
+        let srs: Vec<_> = launches
+            .iter()
+            .filter(|l| l.kind == BackgroundKind::SyncRep)
+            .collect();
         assert_eq!(srs.len(), 1);
         // Pull volumes: 15 min of EU (300 MB/h) and AUS (100 MB/h).
         let pulls = &srs[0].pull_bytes;
@@ -318,7 +327,10 @@ mod tests {
         // Poll only at t = 45 min: three SYNCHREPs are due (plus one IB
         // for the backlog accumulated by the first SR).
         let launches = sched.poll(mins(45));
-        let srs = launches.iter().filter(|l| l.kind == BackgroundKind::SyncRep).count();
+        let srs = launches
+            .iter()
+            .filter(|l| l.kind == BackgroundKind::SyncRep)
+            .count();
         assert_eq!(srs, 3);
     }
 
@@ -329,12 +341,18 @@ mod tests {
         // SR at 15 min accrues backlog; IB launches in the same poll
         // (ib_next_allowed = 5 min < 15 min).
         let launches = sched.poll(mins(15));
-        let ib: Vec<_> =
-            launches.iter().filter(|l| l.kind == BackgroundKind::IndexBuild).collect();
+        let ib: Vec<_> = launches
+            .iter()
+            .filter(|l| l.kind == BackgroundKind::IndexBuild)
+            .collect();
         assert_eq!(ib.len(), 1);
         // Volume = full 15-minute global growth (single master owns all):
         // 1000 MB/h * 0.25 h.
-        assert!((ib[0].volume_bytes - 250.0e6).abs() < 1e4, "{}", ib[0].volume_bytes);
+        assert!(
+            (ib[0].volume_bytes - 250.0e6).abs() < 1e4,
+            "{}",
+            ib[0].volume_bytes
+        );
 
         // While running, no further IB launches even with backlog.
         sched.poll(mins(30));
@@ -365,8 +383,10 @@ mod tests {
         assert_eq!(split.masters().len(), 3);
         let mut sched = BackgroundScheduler::new(growth3(), split, config());
         let launches = sched.poll(mins(15));
-        let srs: Vec<_> =
-            launches.iter().filter(|l| l.kind == BackgroundKind::SyncRep).collect();
+        let srs: Vec<_> = launches
+            .iter()
+            .filter(|l| l.kind == BackgroundKind::SyncRep)
+            .collect();
         assert_eq!(srs.len(), 3, "every master runs its own SR");
         // NA's master pulls only its owned share of EU and AUS data:
         // EU 75 MB * 0.2 + AUS 25 MB * 0.3.
@@ -378,5 +398,4 @@ mod tests {
         let total: f64 = srs.iter().map(|l| l.volume_bytes).sum();
         assert!((total - 250.0e6).abs() < 1e4, "{total}");
     }
-
 }

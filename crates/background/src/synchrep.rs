@@ -8,8 +8,8 @@
 //! the new replica locations.
 
 use gdisim_types::RVec;
-use gdisim_workload::{CascadeStep, Endpoint, Holon, OperationTemplate, Site};
 use gdisim_types::TierKind;
+use gdisim_workload::{CascadeStep, Endpoint, Holon, OperationTemplate, Site};
 use serde::{Deserialize, Serialize};
 
 /// Cost coefficients for SYNCHREP's control-plane messages.
@@ -39,7 +39,10 @@ impl Default for SyncCosts {
 fn daemon() -> Endpoint {
     // The daemon process runs inside the master data center; it behaves
     // like a (lightweight) client holon located there.
-    Endpoint { holon: Holon::Client, site: Site::Master }
+    Endpoint {
+        holon: Holon::Client,
+        site: Site::Master,
+    }
 }
 
 fn app() -> Endpoint {
@@ -69,12 +72,24 @@ pub fn build_synchrep(
     push_bytes: &[f64],
     costs: &SyncCosts,
 ) -> OperationTemplate {
-    assert_eq!(pull_bytes.len(), push_bytes.len(), "one pull and push volume per slave");
+    assert_eq!(
+        pull_bytes.len(),
+        push_bytes.len(),
+        "one pull and push volume per slave"
+    );
     let total: f64 = pull_bytes.iter().sum();
     let mut steps = vec![
         // Daemon asks for the modified-file list.
-        CascadeStep::seq(daemon(), app(), RVec::new(costs.control_cycles, costs.control_bytes, 0.0, 0.0)),
-        CascadeStep::seq(app(), db(), RVec::new(costs.query_cycles, costs.control_bytes, 0.0, 0.0)),
+        CascadeStep::seq(
+            daemon(),
+            app(),
+            RVec::new(costs.control_cycles, costs.control_bytes, 0.0, 0.0),
+        ),
+        CascadeStep::seq(
+            app(),
+            db(),
+            RVec::new(costs.query_cycles, costs.control_bytes, 0.0, 0.0),
+        ),
         CascadeStep::seq(db(), app(), RVec::net(costs.control_bytes)),
         CascadeStep::seq(app(), daemon(), RVec::net(costs.control_bytes)),
     ];
@@ -97,7 +112,12 @@ pub fn build_synchrep(
     steps.push(CascadeStep::seq(
         app(),
         db(),
-        RVec::new(costs.query_cycles + costs.db_cycles_per_byte * total, costs.control_bytes, 0.0, 0.0),
+        RVec::new(
+            costs.query_cycles + costs.db_cycles_per_byte * total,
+            costs.control_bytes,
+            0.0,
+            0.0,
+        ),
     ));
     // Push phase: scatter to all slaves concurrently.
     first_in_stage = true;
@@ -114,8 +134,16 @@ pub fn build_synchrep(
         first_in_stage = false;
     }
     // Completion: record replica locations, notify the daemon.
-    steps.push(CascadeStep::seq(app(), db(), RVec::cycles(costs.query_cycles)));
-    steps.push(CascadeStep::seq(app(), daemon(), RVec::net(costs.control_bytes)));
+    steps.push(CascadeStep::seq(
+        app(),
+        db(),
+        RVec::cycles(costs.query_cycles),
+    ));
+    steps.push(CascadeStep::seq(
+        app(),
+        daemon(),
+        RVec::net(costs.control_bytes),
+    ));
     OperationTemplate::new("SYNCHREP", steps)
 }
 
@@ -139,11 +167,7 @@ mod tests {
     fn zero_volumes_are_skipped() {
         let op = build_synchrep(&[0.0, 2e9], &[1e9, 0.0], &SyncCosts::default());
         // Only one pull and one push message.
-        let transfers: Vec<_> = op
-            .steps
-            .iter()
-            .filter(|s| s.r.net_bytes > 1e8)
-            .collect();
+        let transfers: Vec<_> = op.steps.iter().filter(|s| s.r.net_bytes > 1e8).collect();
         assert_eq!(transfers.len(), 2);
     }
 

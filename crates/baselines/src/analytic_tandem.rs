@@ -28,9 +28,19 @@ impl TandemModel {
     /// probabilities outside `[0, 1]`.
     pub fn new(mu: Vec<f64>, forward: Vec<f64>) -> Self {
         assert!(!mu.is_empty(), "tandem needs at least one tier");
-        assert_eq!(forward.len(), mu.len() - 1, "one forward probability per hop");
-        assert!(mu.iter().all(|m| *m > 0.0), "service rates must be positive");
-        assert!(forward.iter().all(|q| (0.0..=1.0).contains(q)), "probabilities in [0,1]");
+        assert_eq!(
+            forward.len(),
+            mu.len() - 1,
+            "one forward probability per hop"
+        );
+        assert!(
+            mu.iter().all(|m| *m > 0.0),
+            "service rates must be positive"
+        );
+        assert!(
+            forward.iter().all(|q| (0.0..=1.0).contains(q)),
+            "probabilities in [0,1]"
+        );
         TandemModel { mu, forward }
     }
 
@@ -95,7 +105,10 @@ mod tests {
     fn caching_raises_capacity() {
         let hot = TandemModel::new(vec![500.0, 300.0, 200.0], vec![0.8, 0.5]);
         let cold = TandemModel::new(vec![500.0, 300.0, 200.0], vec![1.0, 1.0]);
-        assert!(hot.capacity() > cold.capacity(), "cache hits offload the database");
+        assert!(
+            hot.capacity() > cold.capacity(),
+            "cache hits offload the database"
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl MdcSimModel {
 
     /// The highest sustainable arrival rate.
     pub fn capacity(&self) -> f64 {
-        self.tiers.iter().map(MdcTier::saturation).fold(f64::INFINITY, f64::min)
+        self.tiers
+            .iter()
+            .map(MdcTier::saturation)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Per-tier CPU `ρ` — the only utilization statement an M/M/1 chain
@@ -98,9 +101,27 @@ mod tests {
 
     fn three_tier() -> MdcSimModel {
         MdcSimModel::new(vec![
-            MdcTier { servers: 4, nic_mu: 2000.0, cpu_mu: 400.0, io_mu: 800.0, visits: 1.0 },
-            MdcTier { servers: 8, nic_mu: 2000.0, cpu_mu: 150.0, io_mu: 600.0, visits: 1.5 },
-            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 250.0, io_mu: 120.0, visits: 0.8 },
+            MdcTier {
+                servers: 4,
+                nic_mu: 2000.0,
+                cpu_mu: 400.0,
+                io_mu: 800.0,
+                visits: 1.0,
+            },
+            MdcTier {
+                servers: 8,
+                nic_mu: 2000.0,
+                cpu_mu: 150.0,
+                io_mu: 600.0,
+                visits: 1.5,
+            },
+            MdcTier {
+                servers: 2,
+                nic_mu: 2000.0,
+                cpu_mu: 250.0,
+                io_mu: 120.0,
+                visits: 0.8,
+            },
         ])
     }
 

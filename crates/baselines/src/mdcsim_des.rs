@@ -129,7 +129,13 @@ impl MdcSimulator {
                     let server = rng.below(self.model.tiers[0].servers as u64) as usize;
                     jobs.insert(
                         id,
-                        Job { arrived: now, tier: 0, visits_left: visits, component: 0, server },
+                        Job {
+                            arrived: now,
+                            tier: 0,
+                            visits_left: visits,
+                            component: 0,
+                            server,
+                        },
                     );
                     self.enter_component(&mut pools, &mut q, &mut rng, &jobs, id, now);
                     q.schedule(
@@ -193,7 +199,11 @@ impl MdcSimulator {
 
         let measured_secs = horizon_secs * 0.8;
         MdcSimResult {
-            mean_response: if completed > 0 { response_sum / completed as f64 } else { 0.0 },
+            mean_response: if completed > 0 {
+                response_sum / completed as f64
+            } else {
+                0.0
+            },
             throughput: completed as f64 / measured_secs,
             completed,
         }
@@ -234,8 +244,20 @@ mod tests {
 
     fn model() -> MdcSimModel {
         MdcSimModel::new(vec![
-            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 60.0, io_mu: 400.0, visits: 1.0 },
-            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 80.0, io_mu: 300.0, visits: 1.0 },
+            MdcTier {
+                servers: 2,
+                nic_mu: 2000.0,
+                cpu_mu: 60.0,
+                io_mu: 400.0,
+                visits: 1.0,
+            },
+            MdcTier {
+                servers: 2,
+                nic_mu: 2000.0,
+                cpu_mu: 80.0,
+                io_mu: 300.0,
+                visits: 1.0,
+            },
         ])
     }
 
@@ -254,7 +276,11 @@ mod tests {
             result.mean_response
         );
         // Throughput matches the offered load below saturation.
-        assert!((result.throughput - lambda).abs() / lambda < 0.1, "{}", result.throughput);
+        assert!(
+            (result.throughput - lambda).abs() / lambda < 0.1,
+            "{}",
+            result.throughput
+        );
     }
 
     #[test]
@@ -282,16 +308,45 @@ mod tests {
     fn fractional_visits_shorten_the_path() {
         // visits = 0.5 on tier 2: about half the requests skip it.
         let partial = MdcSimModel::new(vec![
-            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 100.0, io_mu: 400.0, visits: 1.0 },
-            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 100.0, io_mu: 400.0, visits: 0.5 },
+            MdcTier {
+                servers: 2,
+                nic_mu: 2000.0,
+                cpu_mu: 100.0,
+                io_mu: 400.0,
+                visits: 1.0,
+            },
+            MdcTier {
+                servers: 2,
+                nic_mu: 2000.0,
+                cpu_mu: 100.0,
+                io_mu: 400.0,
+                visits: 0.5,
+            },
         ]);
         let full = MdcSimModel::new(vec![
-            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 100.0, io_mu: 400.0, visits: 1.0 },
-            MdcTier { servers: 2, nic_mu: 2000.0, cpu_mu: 100.0, io_mu: 400.0, visits: 1.0 },
+            MdcTier {
+                servers: 2,
+                nic_mu: 2000.0,
+                cpu_mu: 100.0,
+                io_mu: 400.0,
+                visits: 1.0,
+            },
+            MdcTier {
+                servers: 2,
+                nic_mu: 2000.0,
+                cpu_mu: 100.0,
+                io_mu: 400.0,
+                visits: 1.0,
+            },
         ]);
         let p = MdcSimulator::new(partial, 3).simulate(30.0, 800.0);
         let f = MdcSimulator::new(full, 3).simulate(30.0, 800.0);
-        assert!(p.mean_response < f.mean_response, "{} vs {}", p.mean_response, f.mean_response);
+        assert!(
+            p.mean_response < f.mean_response,
+            "{} vs {}",
+            p.mean_response,
+            f.mean_response
+        );
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Active-agent-set fast path vs. always-tick step loop.
+//!
+//! The consolidated six-continent scenario is the motivating case: a few
+//! thousand hardware agents of which only a handful carry work in any
+//! given 10 ms step. The always-tick loop pays a full sweep per step;
+//! the active-set loop touches only agents with work in system (plus
+//! lazy idle-meter crediting at collection boundaries). Both variants
+//! are bit-for-bit identical simulations (see
+//! tests/cross_engine_agreement.rs), so this is a pure cost comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdisim_core::scenarios::consolidated;
+use gdisim_types::SimTime;
+
+fn bench_step_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_loop");
+    group.sample_size(10);
+    let horizon = SimTime::from_secs(30);
+    for (label, always_tick) in [("active_set", false), ("always_tick", true)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &always_tick,
+            |b, &tick_all| {
+                b.iter(|| {
+                    let mut sim = consolidated::build(42);
+                    sim.set_always_tick(tick_all);
+                    sim.run_until(horizon);
+                    sim.active_operations()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(active_set, bench_step_loop);
+criterion_main!(active_set);

@@ -21,9 +21,27 @@ use gdisim_workload::{AppWorkload, Catalog, DiurnalCurve, SiteLoad};
 
 fn mdcsim() -> MdcSimModel {
     MdcSimModel::new(vec![
-        MdcTier { servers: 2, nic_mu: 5000.0, cpu_mu: 60.0, io_mu: 400.0, visits: 1.0 },
-        MdcTier { servers: 1, nic_mu: 5000.0, cpu_mu: 80.0, io_mu: 300.0, visits: 1.4 },
-        MdcTier { servers: 1, nic_mu: 5000.0, cpu_mu: 50.0, io_mu: 120.0, visits: 0.6 },
+        MdcTier {
+            servers: 2,
+            nic_mu: 5000.0,
+            cpu_mu: 60.0,
+            io_mu: 400.0,
+            visits: 1.0,
+        },
+        MdcTier {
+            servers: 1,
+            nic_mu: 5000.0,
+            cpu_mu: 80.0,
+            io_mu: 300.0,
+            visits: 1.4,
+        },
+        MdcTier {
+            servers: 1,
+            nic_mu: 5000.0,
+            cpu_mu: 50.0,
+            io_mu: 120.0,
+            visits: 0.6,
+        },
     ])
 }
 
@@ -86,21 +104,37 @@ fn bench_compare(c: &mut Criterion) {
     let mut group = c.benchmark_group("predictor");
     group.sample_size(10);
     for load in [50.0f64, 100.0] {
-        group.bench_with_input(BenchmarkId::new("mdcsim_analytic", load as u64), &load, |b, &l| {
-            let m = mdcsim();
-            b.iter(|| m.predict_response(l));
-        });
-        group.bench_with_input(BenchmarkId::new("tandem_analytic", load as u64), &load, |b, &l| {
-            let m = tandem();
-            b.iter(|| m.predict_response(l));
-        });
-        group.bench_with_input(BenchmarkId::new("mdcsim_des", load as u64), &load, |b, &l| {
-            let sim = MdcSimulator::new(mdcsim(), 7);
-            b.iter(|| sim.simulate(l, 60.0));
-        });
-        group.bench_with_input(BenchmarkId::new("gdisim_simulation", load as u64), &load, |b, &l| {
-            b.iter(|| sim_three_tier(l * 2.0));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mdcsim_analytic", load as u64),
+            &load,
+            |b, &l| {
+                let m = mdcsim();
+                b.iter(|| m.predict_response(l));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tandem_analytic", load as u64),
+            &load,
+            |b, &l| {
+                let m = tandem();
+                b.iter(|| m.predict_response(l));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mdcsim_des", load as u64),
+            &load,
+            |b, &l| {
+                let sim = MdcSimulator::new(mdcsim(), 7);
+                b.iter(|| sim.simulate(l, 60.0));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gdisim_simulation", load as u64),
+            &load,
+            |b, &l| {
+                b.iter(|| sim_three_tier(l * 2.0));
+            },
+        );
     }
     group.finish();
 }

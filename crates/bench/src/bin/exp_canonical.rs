@@ -38,15 +38,25 @@ fn isolated_series_dt(kind: SeriesKind, dt: SimDuration) -> Vec<f64> {
     let report = sim.report();
     (0..8)
         .map(|op| {
-            let key = ResponseKey { app: AppId(0), op: OpTypeId(op), dc: DcId(0) };
-            report.responses.history_mean(key).expect("operation completed")
+            let key = ResponseKey {
+                app: AppId(0),
+                op: OpTypeId(op),
+                dc: DcId(0),
+            };
+            report
+                .responses
+                .history_mean(key)
+                .expect("operation completed")
         })
         .collect()
 }
 
 fn main() {
     println!("E3 — canonical operation durations (Table 5.1)");
-    let measured: Vec<Vec<f64>> = SeriesKind::ALL.iter().map(|k| isolated_series(*k)).collect();
+    let measured: Vec<Vec<f64>> = SeriesKind::ALL
+        .iter()
+        .map(|k| isolated_series(*k))
+        .collect();
     let mut rows = Vec::new();
     for (op, name) in CAD_OP_NAMES.iter().enumerate() {
         let mut row = vec![name.to_string()];
@@ -87,9 +97,13 @@ fn main() {
     // A2 (accuracy side): per-message tick quantization grows with dt.
     // §4.3.1 demands dt an order of magnitude below the canonical costs —
     // per *message*, as this sweep shows.
-    println!("
-A2 — dt sensitivity of canonical accuracy (Average series)");
-    let paper_total: f64 = (0..8).map(|op| canonical_duration(op, SeriesKind::Average)).sum();
+    println!(
+        "
+A2 — dt sensitivity of canonical accuracy (Average series)"
+    );
+    let paper_total: f64 = (0..8)
+        .map(|op| canonical_duration(op, SeriesKind::Average))
+        .sum();
     let mut rows = Vec::new();
     for dt_ms in [5u64, 10, 20, 50, 100] {
         let measured = isolated_series_dt(SeriesKind::Average, SimDuration::from_millis(dt_ms));
@@ -97,9 +111,11 @@ A2 — dt sensitivity of canonical accuracy (Average series)");
         let worst = measured
             .iter()
             .enumerate()
-            .map(|(op, v)| ((v - canonical_duration(op, SeriesKind::Average))
-                / canonical_duration(op, SeriesKind::Average))
-                .abs())
+            .map(|(op, v)| {
+                ((v - canonical_duration(op, SeriesKind::Average))
+                    / canonical_duration(op, SeriesKind::Average))
+                .abs()
+            })
             .fold(0.0f64, f64::max);
         rows.push(vec![
             format!("{dt_ms} ms"),
@@ -109,6 +125,10 @@ A2 — dt sensitivity of canonical accuracy (Average series)");
         ]);
     }
     let headers = vec!["dt", "series total (s)", "total err", "worst op err"];
-    print_table("A2 — canonical-duration error vs time step", &headers, &rows);
+    print_table(
+        "A2 — canonical-duration error vs time step",
+        &headers,
+        &rows,
+    );
     write_csv("ablation_a2_dt_accuracy.csv", &headers, &rows);
 }

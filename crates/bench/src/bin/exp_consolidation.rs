@@ -16,7 +16,10 @@ use gdisim_workload::Catalog;
 const DAY: SimTime = SimTime::from_hours(24);
 
 fn hourly_means(series: &gdisim_metrics::TimeSeries) -> Vec<f64> {
-    series.resample(SimDuration::from_secs(3600)).values().to_vec()
+    series
+        .resample(SimDuration::from_secs(3600))
+        .values()
+        .to_vec()
 }
 
 fn main() {
@@ -71,11 +74,17 @@ fn main() {
     for tier in TierKind::ALL {
         let s = report.cpu("NA", tier).expect("NA tier series");
         let hourly = hourly_means(s);
-        let (peak_h, peak) = hourly
-            .iter()
-            .enumerate()
-            .fold((0, 0.0f64), |acc, (h, v)| if *v > acc.1 { (h, *v) } else { acc });
-        println!("  {tier}: {} peak {} at {:02}:00 GMT", sparkline(&hourly), pct(peak), peak_h);
+        let (peak_h, peak) =
+            hourly.iter().enumerate().fold(
+                (0, 0.0f64),
+                |acc, (h, v)| if *v > acc.1 { (h, *v) } else { acc },
+            );
+        println!(
+            "  {tier}: {} peak {} at {:02}:00 GMT",
+            sparkline(&hourly),
+            pct(peak),
+            peak_h
+        );
         let mut row = vec![tier.label().to_string()];
         row.extend(hourly.iter().map(|v| format!("{:.3}", v)));
         rows.push(row);
@@ -89,7 +98,11 @@ fn main() {
     let aus_fs = report.cpu("AUS", TierKind::Fs).expect("AUS Tfs");
     let hourly = hourly_means(aus_fs);
     let peak = hourly.iter().cloned().fold(0.0, f64::max);
-    println!("\n== Fig. 6-13 — Tfs CPU in DAUS: {} peak {}", sparkline(&hourly), pct(peak));
+    println!(
+        "\n== Fig. 6-13 — Tfs CPU in DAUS: {} peak {}",
+        sparkline(&hourly),
+        pct(peak)
+    );
     println!("  paper: ≈3.5% peak — very low saturation risk");
 
     // ---- Table 6.1: WAN utilization 12:00–16:00 GMT ----
@@ -112,10 +125,18 @@ fn main() {
             .get(*label)
             .map(|s| s.window_mean(w_start, w_end))
             .unwrap_or(0.0);
-        rows.push(vec![label.to_string(), format!("{paper_pct}%"), pct(measured)]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{paper_pct}%"),
+            pct(measured),
+        ]);
     }
     let headers = vec!["link", "paper", "simulated"];
-    print_table("Table 6.1 — WAN utilization of allocated capacity, 12:00-16:00 GMT", &headers, &rows);
+    print_table(
+        "Table 6.1 — WAN utilization of allocated capacity, 12:00-16:00 GMT",
+        &headers,
+        &rows,
+    );
     write_csv("table_6_1_wan_util.csv", &headers, &rows);
 
     // ---- Fig. 6-14: background process response times ----
@@ -153,16 +174,19 @@ fn main() {
 
     // ---- Figs. 6-15..6-20: client response times in DNA and DAUS ----
     let catalog = Catalog::standard(&rates::lab_rate_card());
-    let dc_of = |name: &str| {
-        DcId(consolidated::SITES.iter().position(|s| *s == name).unwrap() as u32)
-    };
+    let dc_of =
+        |name: &str| DcId(consolidated::SITES.iter().position(|s| *s == name).unwrap() as u32);
     for (dc_name, figs) in [("NA", "6-15/6-16/6-17"), ("AUS", "6-18/6-19/6-20")] {
         println!("\n== Figs. {figs} — operation response times in D{dc_name} (hourly series)");
         let dc = dc_of(dc_name);
         for app in &catalog.apps {
             println!("  {}:", app.name);
             for (oi, op) in app.ops.iter().enumerate() {
-                let key = ResponseKey { app: app.id, op: OpTypeId::from_index(oi), dc };
+                let key = ResponseKey {
+                    app: app.id,
+                    op: OpTypeId::from_index(oi),
+                    dc,
+                };
                 let series = report.response_series(key, SimDuration::from_secs(3600));
                 if series.is_empty() {
                     continue;
@@ -185,8 +209,16 @@ fn main() {
     let aus = dc_of("AUS");
     let mut rows = Vec::new();
     for (oi, op) in cad.ops.iter().enumerate() {
-        let k_na = ResponseKey { app: cad.id, op: OpTypeId::from_index(oi), dc: na };
-        let k_aus = ResponseKey { app: cad.id, op: OpTypeId::from_index(oi), dc: aus };
+        let k_na = ResponseKey {
+            app: cad.id,
+            op: OpTypeId::from_index(oi),
+            dc: na,
+        };
+        let k_aus = ResponseKey {
+            app: cad.id,
+            op: OpTypeId::from_index(oi),
+            dc: aus,
+        };
         let (Some(r_na), Some(r_aus)) = (
             report.responses.history_mean(k_na),
             report.responses.history_mean(k_aus),
@@ -204,9 +236,14 @@ fn main() {
         ]);
     }
     let headers = vec!["Operation", "R_NA", "R_AUS", "S", "dR", "dR/R_NA"];
-    print_table("Table 6.2 — latency impact on CAD operations in DAUS", &headers, &rows);
+    print_table(
+        "Table 6.2 — latency impact on CAD operations in DAUS",
+        &headers,
+        &rows,
+    );
     write_csv("table_6_2_latency_impact.csv", &headers, &rows);
     println!(
         "  paper: EXPLORE/SPATIAL-SEARCH/SELECT degrade strongly (many round trips),\n  \
          OPEN/SAVE barely (~1%): files are served locally."
-    );}
+    );
+}

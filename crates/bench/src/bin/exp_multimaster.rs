@@ -22,7 +22,11 @@ fn main() {
     let apm = AccessPatternMatrix::multimaster_table_7_2();
     let single = AccessPatternMatrix::single_master(apm.sites().to_vec(), "NA");
     for (name, m, file) in [
-        ("Table 7.1 — consolidated (single master)", &single, "table_7_1_apm.csv"),
+        (
+            "Table 7.1 — consolidated (single master)",
+            &single,
+            "table_7_1_apm.csv",
+        ),
         ("Table 7.2 — multiple master", &apm, "table_7_2_apm.csv"),
     ] {
         let mut headers = vec!["access\\owner".to_string()];
@@ -30,7 +34,9 @@ fn main() {
         let rows: Vec<Vec<String>> = (0..m.sites().len())
             .map(|a| {
                 let mut row = vec![m.sites()[a].clone()];
-                row.extend((0..m.sites().len()).map(|o| format!("{:.2}", m.fraction(a, o) * 100.0)));
+                row.extend(
+                    (0..m.sites().len()).map(|o| format!("{:.2}", m.fraction(a, o) * 100.0)),
+                );
                 row
             })
             .collect();
@@ -74,13 +80,20 @@ fn main() {
         println!("\n== Fig. {fig} — SR volumes to/from D{site}");
         println!("  pull: {}", sparkline(&per_master_pull[idx]));
         println!("  push: {}", sparkline(&per_master_push[idx]));
-        println!("  peak per-run total {:.2} GB (paper ≈{paper_peak_gb} GB)", peak / 1e3);
+        println!(
+            "  peak per-run total {:.2} GB (paper ≈{paper_peak_gb} GB)",
+            peak / 1e3
+        );
         let rows: Vec<Vec<String>> = per_master_pull[idx]
             .iter()
             .zip(&per_master_push[idx])
             .enumerate()
             .map(|(i, (pull, push))| {
-                vec![format!("{}", i * 15), format!("{pull:.0}"), format!("{push:.0}")]
+                vec![
+                    format!("{}", i * 15),
+                    format!("{pull:.0}"),
+                    format!("{push:.0}"),
+                ]
             })
             .collect();
         write_csv(
@@ -122,7 +135,11 @@ fn main() {
         })
         .collect();
     let headers = vec!["link", "paper", "simulated"];
-    print_table("Table 7.3 — WAN utilization of allocated capacity, 12:00-16:00 GMT", &headers, &rows);
+    print_table(
+        "Table 7.3 — WAN utilization of allocated capacity, 12:00-16:00 GMT",
+        &headers,
+        &rows,
+    );
     write_csv("table_7_3_wan_util.csv", &headers, &rows);
 
     // ---- Fig. 7-6: SR/IB response times in DNA ----
@@ -144,15 +161,21 @@ fn main() {
              consolidated was {} min)",
             recs.len(),
             sparkline(&series),
-            if kind == BackgroundKind::SyncRep { 31 } else { 63 },
+            if kind == BackgroundKind::SyncRep {
+                31
+            } else {
+                63
+            },
         );
     }
 
     // ---- §7.4.1: computational results ----
     println!("\n== §7.4.1 — peak CPU utilization 12:00-16:00 GMT");
-    let window_mean = |s: Option<&TimeSeries>| s.map(|s| s.window_mean(w_start, w_end)).unwrap_or(0.0);
+    let window_mean =
+        |s: Option<&TimeSeries>| s.map(|s| s.window_mean(w_start, w_end)).unwrap_or(0.0);
     let window_max = |s: Option<&TimeSeries>| {
-        s.map(|s| s.window(w_start, w_end).iter().cloned().fold(0.0, f64::max)).unwrap_or(0.0)
+        s.map(|s| s.window(w_start, w_end).iter().cloned().fold(0.0, f64::max))
+            .unwrap_or(0.0)
     };
     for (dc, tier, paper_pct) in [
         ("NA", TierKind::App, 78.0),

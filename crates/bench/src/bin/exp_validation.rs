@@ -17,13 +17,13 @@ use gdisim_workload::{Catalog, SeriesKind};
 
 struct ExperimentResult {
     label: String,
-    sim_cpu: Vec<TimeSeries>,       // per tier
-    phys_cpu: Vec<TimeSeries>,      // per tier
+    sim_cpu: Vec<TimeSeries>,  // per tier
+    phys_cpu: Vec<TimeSeries>, // per tier
     sim_clients: TimeSeries,
     phys_clients: TimeSeries,
-    sim_responses: Vec<f64>,        // mean per (series, op)
+    sim_responses: Vec<f64>, // mean per (series, op)
     phys_responses: Vec<f64>,
-    sim_memory_gb: f64,             // avg Tapp occupancy from Rm model
+    sim_memory_gb: f64, // avg Tapp occupancy from Rm model
 }
 
 fn run_experiment(idx: usize) -> ExperimentResult {
@@ -53,7 +53,11 @@ fn run_experiment(idx: usize) -> ExperimentResult {
     let mut phys_responses = Vec::new();
     for app in APP_SERIES {
         for op in 0..8 {
-            let key = ResponseKey { app, op: OpTypeId(op), dc: DcId(0) };
+            let key = ResponseKey {
+                app,
+                op: OpTypeId(op),
+                dc: DcId(0),
+            };
             sim_responses.push(report.responses.history_mean(key).unwrap_or(0.0));
             phys_responses.push(phys.responses.history_mean(key).unwrap_or(0.0));
         }
@@ -123,7 +127,11 @@ fn main() {
     for (ti, tier) in TierKind::ALL.iter().enumerate() {
         println!("\n== Fig. 5-{} — CPU utilization in {tier}", 7 + ti);
         for r in &results {
-            println!("  exp {}: phys {}", r.label, sparkline(r.phys_cpu[ti].values()));
+            println!(
+                "  exp {}: phys {}",
+                r.label,
+                sparkline(r.phys_cpu[ti].values())
+            );
             println!("           sim {}", sparkline(r.sim_cpu[ti].values()));
             let n = r.phys_cpu[ti].len().min(r.sim_cpu[ti].len());
             let rows: Vec<Vec<String>> = (0..n)
@@ -156,9 +164,19 @@ fn main() {
             ]);
         }
     }
-    let t52_headers =
-        vec!["Tier", "Experiment", "mu(phys)", "mu(sim)", "sigma(phys)", "sigma(sim)"];
-    print_table("Table 5.2 — steady-state CPU statistics", &t52_headers, &t52_rows);
+    let t52_headers = vec![
+        "Tier",
+        "Experiment",
+        "mu(phys)",
+        "mu(sim)",
+        "sigma(phys)",
+        "sigma(sim)",
+    ];
+    print_table(
+        "Table 5.2 — steady-state CPU statistics",
+        &t52_headers,
+        &t52_rows,
+    );
     write_csv("table_5_2_steady_state.csv", &t52_headers, &t52_rows);
 
     // Table 5.3: RMSE.
@@ -166,7 +184,10 @@ fn main() {
     for r in &results {
         let mut row = vec![r.label.clone()];
         for ti in 0..4 {
-            row.push(pct(rmse_between(r.phys_cpu[ti].values(), r.sim_cpu[ti].values())));
+            row.push(pct(rmse_between(
+                r.phys_cpu[ti].values(),
+                r.sim_cpu[ti].values(),
+            )));
         }
         // Concurrent clients RMSE, normalized by the mean physical count.
         let (mu_c, _) = mean_stddev(r.phys_clients.values());
@@ -183,9 +204,20 @@ fn main() {
         row.push(pct(resp_rmse));
         t53_rows.push(row);
     }
-    let t53_headers =
-        vec!["Experiment", "CPU Tapp", "CPU Tdb", "CPU Tfs", "CPU Tidx", "#Clients", "Resp.time"];
-    print_table("Table 5.3 — RMSE physical vs simulated", &t53_headers, &t53_rows);
+    let t53_headers = vec![
+        "Experiment",
+        "CPU Tapp",
+        "CPU Tdb",
+        "CPU Tfs",
+        "CPU Tidx",
+        "#Clients",
+        "Resp.time",
+    ];
+    print_table(
+        "Table 5.3 — RMSE physical vs simulated",
+        &t53_headers,
+        &t53_rows,
+    );
     write_csv("table_5_3_rmse.csv", &t53_headers, &t53_rows);
 
     // §5.3.3 memory finding.

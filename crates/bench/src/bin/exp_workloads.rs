@@ -15,21 +15,30 @@ fn main() {
     let growth = consolidated::data_growth();
 
     for (wl, fig) in workloads.iter().zip(["6-5", "6-6", "6-7"]) {
-        println!("\n== Fig. {fig} — {} workload (active clients by hour, GMT)", wl.app);
+        println!(
+            "\n== Fig. {fig} — {} workload (active clients by hour, GMT)",
+            wl.app
+        );
         let mut rows = Vec::new();
         for (si, site) in wl.sites.iter().enumerate() {
             let series: Vec<f64> = (0..24)
                 .map(|h| site.curve.population(SimTime::from_hours(h)))
                 .collect();
             let peak = series.iter().cloned().fold(0.0, f64::max);
-            println!("  {:>4}: {} (peak {:.0})", site.site, sparkline(&series), peak);
+            println!(
+                "  {:>4}: {} (peak {:.0})",
+                site.site,
+                sparkline(&series),
+                peak
+            );
             let mut row = vec![site.site.clone()];
             row.extend(series.iter().map(|v| format!("{v:.0}")));
             rows.push(row);
             let _ = si;
         }
-        let global: Vec<f64> =
-            (0..24).map(|h| wl.global_population(SimTime::from_hours(h))).collect();
+        let global: Vec<f64> = (0..24)
+            .map(|h| wl.global_population(SimTime::from_hours(h)))
+            .collect();
         let gpeak = global.iter().cloned().fold(0.0, f64::max);
         println!("  GLOB: {} (peak {:.0})", sparkline(&global), gpeak);
         let mut grow = vec!["GLOBAL".to_string()];
@@ -37,7 +46,11 @@ fn main() {
         rows.push(grow);
         let mut headers = vec!["site".to_string()];
         headers.extend((0..24).map(|h| format!("{h:02}h")));
-        write_csv(&format!("fig_{}_workload_{}.csv", fig.replace('-', "_"), wl.app), &headers, &rows);
+        write_csv(
+            &format!("fig_{}_workload_{}.csv", fig.replace('-', "_"), wl.app),
+            &headers,
+            &rows,
+        );
     }
 
     println!("\n== Fig. 6-10 — data growth (MB/hour by data center, GMT)");
@@ -47,7 +60,12 @@ fn main() {
             .map(|h| growth.rate_bytes_per_hour(si, SimTime::from_hours(h)) / 1e6)
             .collect();
         let peak = series.iter().cloned().fold(0.0, f64::max);
-        println!("  {:>4}: {} (peak {:.0} MB/h)", site.site, sparkline(&series), peak);
+        println!(
+            "  {:>4}: {} (peak {:.0} MB/h)",
+            site.site,
+            sparkline(&series),
+            peak
+        );
         let mut row = vec![site.site.clone()];
         row.extend(series.iter().map(|v| format!("{v:.0}")));
         rows.push(row);

@@ -16,18 +16,27 @@ const MARGIN_L: f64 = 60.0;
 const MARGIN_R: f64 = 160.0;
 const MARGIN_T: f64 = 30.0;
 const MARGIN_B: f64 = 40.0;
-const PALETTE: [&str; 8] =
-    ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"];
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+];
 
 fn parse_cell(cell: &str) -> Option<f64> {
-    let trimmed = cell.trim().trim_end_matches('%').trim_end_matches('s').trim();
+    let trimmed = cell
+        .trim()
+        .trim_end_matches('%')
+        .trim_end_matches('s')
+        .trim();
     trimmed.parse::<f64>().ok()
 }
 
 fn render_csv(path: &Path, out_dir: &Path) -> Option<()> {
     let text = fs::read_to_string(path).ok()?;
     let mut lines = text.lines();
-    let headers: Vec<String> = lines.next()?.split(',').map(|h| h.trim().to_string()).collect();
+    let headers: Vec<String> = lines
+        .next()?
+        .split(',')
+        .map(|h| h.trim().to_string())
+        .collect();
     let rows: Vec<Vec<String>> = lines
         .map(|l| l.split(',').map(|c| c.trim().to_string()).collect())
         .filter(|r: &Vec<String>| r.len() == headers.len())
@@ -41,7 +50,10 @@ fn render_csv(path: &Path, out_dir: &Path) -> Option<()> {
     for (ci, header) in headers.iter().enumerate().skip(1) {
         let values: Vec<Option<f64>> = rows.iter().map(|r| parse_cell(&r[ci])).collect();
         if values.iter().all(Option::is_some) {
-            series.push((header.clone(), values.into_iter().map(Option::unwrap).collect()));
+            series.push((
+                header.clone(),
+                values.into_iter().map(Option::unwrap).collect(),
+            ));
         }
     }
     if series.is_empty() {
@@ -55,7 +67,12 @@ fn render_csv(path: &Path, out_dir: &Path) -> Option<()> {
         .cloned()
         .fold(f64::MIN, f64::max)
         .max(1e-9);
-    let y_min = series.iter().flat_map(|(_, v)| v.iter()).cloned().fold(f64::MAX, f64::min).min(0.0);
+    let y_min = series
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .cloned()
+        .fold(f64::MAX, f64::min)
+        .min(0.0);
     let plot_w = W - MARGIN_L - MARGIN_R;
     let plot_h = H - MARGIN_T - MARGIN_B;
     let x_of = |i: usize| MARGIN_L + plot_w * i as f64 / (n.max(2) - 1) as f64;
@@ -87,8 +104,11 @@ fn render_csv(path: &Path, out_dir: &Path) -> Option<()> {
     // Series polylines + legend.
     for (si, (name, values)) in series.iter().enumerate() {
         let color = PALETTE[si % PALETTE.len()];
-        let points: Vec<String> =
-            values.iter().enumerate().map(|(i, v)| format!("{:.1},{:.1}", x_of(i), y_of(*v))).collect();
+        let points: Vec<String> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("{:.1},{:.1}", x_of(i), y_of(*v)))
+            .collect();
         let _ = writeln!(
             svg,
             r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"##,

@@ -16,8 +16,10 @@ use std::path::{Path, PathBuf};
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
     println!("\n== {title}");
     let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    let rows: Vec<Vec<String>> =
-        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
     let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
     for row in &rows {
         for (i, cell) in row.iter().enumerate() {

@@ -32,7 +32,12 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { positional: Vec::new(), experiment: 1, hours: 24, seed: 42 };
+    let mut args = Args {
+        positional: Vec::new(),
+        experiment: 1,
+        hours: 24,
+        seed: 42,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -89,7 +94,11 @@ fn dashboard(report: &Report, sites: &[&str]) {
             if let Some(s) = report.cpu(site, tier) {
                 let mean = gdisim_metrics::mean(s.values());
                 let max = s.values().iter().cloned().fold(0.0, f64::max);
-                println!("  {tier}@{site}: {:5.1}% / {:5.1}%", mean * 100.0, max * 100.0);
+                println!(
+                    "  {tier}@{site}: {:5.1}% / {:5.1}%",
+                    mean * 100.0,
+                    max * 100.0
+                );
             }
         }
     }
@@ -101,9 +110,10 @@ fn dashboard(report: &Report, sites: &[&str]) {
             println!("  {label}: {:5.1}% / {:5.1}%", mean * 100.0, max * 100.0);
         }
     }
-    for (kind, name) in
-        [(BackgroundKind::SyncRep, "SYNCHREP"), (BackgroundKind::IndexBuild, "INDEXBUILD")]
-    {
+    for (kind, name) in [
+        (BackgroundKind::SyncRep, "SYNCHREP"),
+        (BackgroundKind::IndexBuild, "INDEXBUILD"),
+    ] {
         if let Some((at, secs)) = report.max_background_response(kind) {
             println!(
                 "{name}: {} runs, worst response {:.1} min (launched {at})",
@@ -165,11 +175,19 @@ fn main() -> ExitCode {
         }
         "consolidated" => {
             println!("consolidated case study (Ch. 6), seed {}", args.seed);
-            run_case_study(consolidated::build(args.seed), args.hours, &consolidated::SITES);
+            run_case_study(
+                consolidated::build(args.seed),
+                args.hours,
+                &consolidated::SITES,
+            );
         }
         "multimaster" => {
             println!("multiple-master case study (Ch. 7), seed {}", args.seed);
-            run_case_study(multimaster::build(args.seed), args.hours, &multimaster::SITES);
+            run_case_study(
+                multimaster::build(args.seed),
+                args.hours,
+                &multimaster::SITES,
+            );
         }
         "export" => {
             let Some(which) = args.positional.get(1) else {
@@ -185,7 +203,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            println!("{}", serde_json::to_string_pretty(&spec).expect("serializable spec"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&spec).expect("serializable spec")
+            );
         }
         "topology" => {
             let Some(path) = args.positional.get(1) else {

@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn presets_have_sane_ratios() {
         let v = SimulationConfig::validation();
-        assert!(v.collect_interval.as_micros().is_multiple_of(v.dt.as_micros()));
+        assert!(v
+            .collect_interval
+            .as_micros()
+            .is_multiple_of(v.dt.as_micros()));
         let c = SimulationConfig::case_study();
         assert!(c.collect_interval > c.dt);
         assert_eq!(SimulationConfig::default().dt, c.dt);

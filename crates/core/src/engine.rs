@@ -27,17 +27,23 @@ use gdisim_infra::{ComponentKind, Infrastructure};
 use gdisim_metrics::ResponseKey;
 use gdisim_queueing::{JobToken, SplitMix64, Station};
 use gdisim_types::{AppId, DcId, OpTypeId, SimTime};
-use gdisim_workload::{
-    AppWorkload, Application, ArrivalSampler, OperationTemplate, SiteBinding,
-};
+use gdisim_workload::{AppWorkload, Application, ArrivalSampler, OperationTemplate, SiteBinding};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A scheduled infrastructure-health change.
 #[derive(Clone)]
 enum HealthEvent {
-    Link { label: String, fail: bool },
-    Server { site: usize, tier: gdisim_types::TierKind, server: usize, fail: bool },
+    Link {
+        label: String,
+        fail: bool,
+    },
+    Server {
+        site: usize,
+        tier: gdisim_types::TierKind,
+        server: usize,
+        fail: bool,
+    },
 }
 
 /// Pseudo-application id under which background operations report.
@@ -132,6 +138,15 @@ pub struct Simulation {
     next_session: u64,
     /// Optional message-level trace (see [`crate::trace`]).
     trace: Option<crate::trace::TraceLog>,
+    /// Last collection boundary — idle time before it is already in the
+    /// report, so lazy idle crediting never reaches further back.
+    meter_epoch: SimTime,
+    /// When set, every agent is ticked every step (the always-tick loop);
+    /// otherwise only the active set is ticked and idle agents' meters
+    /// are credited lazily. Results are bit-for-bit identical either way.
+    tick_all: bool,
+    /// Reusable buffer for the per-step active-agent snapshot.
+    active_scratch: Vec<u32>,
 }
 
 impl Simulation {
@@ -168,6 +183,9 @@ impl Simulation {
             sessions: HashMap::new(),
             next_session: 0,
             trace: None,
+            meter_epoch: SimTime::ZERO,
+            tick_all: false,
+            active_scratch: Vec::new(),
         }
     }
 
@@ -200,7 +218,11 @@ impl Simulation {
                     .unwrap_or_else(|| panic!("workload site '{}' unknown", s.site))
             })
             .collect();
-        self.traffic.push(TrafficSource::Diurnal { app_idx, workload, site_map });
+        self.traffic.push(TrafficSource::Diurnal {
+            app_idx,
+            workload,
+            site_map,
+        });
     }
 
     /// Adds a closed-loop session workload for a registered application:
@@ -238,12 +260,24 @@ impl Simulation {
     /// Routing shifts to the surviving links and any backups; frames
     /// already in flight on the link complete their transfer.
     pub fn schedule_link_failure(&mut self, label: &str, at: SimTime) {
-        self.link_events.push((at, HealthEvent::Link { label: label.to_string(), fail: true }));
+        self.link_events.push((
+            at,
+            HealthEvent::Link {
+                label: label.to_string(),
+                fail: true,
+            },
+        ));
     }
 
     /// Schedules the restoration of a previously failed WAN link.
     pub fn schedule_link_restore(&mut self, label: &str, at: SimTime) {
-        self.link_events.push((at, HealthEvent::Link { label: label.to_string(), fail: false }));
+        self.link_events.push((
+            at,
+            HealthEvent::Link {
+                label: label.to_string(),
+                fail: false,
+            },
+        ));
     }
 
     /// Schedules a server failure: from `at` on, the server admits no new
@@ -257,7 +291,15 @@ impl Simulation {
         at: SimTime,
     ) {
         let site = self.site_index(site);
-        self.link_events.push((at, HealthEvent::Server { site, tier, server, fail: true }));
+        self.link_events.push((
+            at,
+            HealthEvent::Server {
+                site,
+                tier,
+                server,
+                fail: true,
+            },
+        ));
     }
 
     /// Schedules the restoration of a failed server.
@@ -269,7 +311,15 @@ impl Simulation {
         at: SimTime,
     ) {
         let site = self.site_index(site);
-        self.link_events.push((at, HealthEvent::Server { site, tier, server, fail: false }));
+        self.link_events.push((
+            at,
+            HealthEvent::Server {
+                site,
+                tier,
+                server,
+                fail: false,
+            },
+        ));
     }
 
     fn site_index(&self, site: &str) -> usize {
@@ -371,6 +421,16 @@ impl Simulation {
         self.config.dt = dt;
     }
 
+    /// Forces the always-tick loop: every agent is ticked every step,
+    /// idle or not, disabling the active-set fast path. Results are
+    /// bit-for-bit identical either way (the equivalence tests rely on
+    /// this switch); only wall time changes. Must be set before the run
+    /// starts — switching mid-run would corrupt the lazy idle crediting.
+    pub fn set_always_tick(&mut self, on: bool) {
+        assert_eq!(self.now, SimTime::ZERO, "cannot switch tick policy mid-run");
+        self.tick_all = on;
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -392,8 +452,13 @@ impl Simulation {
     }
 
     /// Runs the discrete time loop until `until`.
+    ///
+    /// The loop advances in whole `dt` steps and never overshoots: it
+    /// stops at the largest step boundary `<= until` (which is `until`
+    /// itself whenever `until` is a multiple of `dt`). Keeping `now` on a
+    /// step boundary is what the active-set idle accounting relies on.
     pub fn run_until(&mut self, until: SimTime) {
-        while self.now < until {
+        while self.now + self.config.dt <= until {
             self.step();
         }
     }
@@ -409,22 +474,44 @@ impl Simulation {
         self.generate_arrivals(now);
         self.poll_background(now);
 
-        // Phase 2: time increment over all agents (§4.3.4/4.3.5).
+        // Phase 2: time increment (§4.3.4/4.3.5). The fast path ticks only
+        // the agents currently holding work (in ascending index order);
+        // everyone else is provably idle and gets its meter time credited
+        // lazily on re-activation or at the next collection.
         let executor = self.config.executor.clone();
-        executor.run_phase(self.infra.components_mut(), move |slot| {
-            slot.tick_into_outbox(now, dt);
-        });
+        let mut active = std::mem::take(&mut self.active_scratch);
+        if self.tick_all {
+            executor.run_phase(self.infra.components_mut(), move |slot| {
+                slot.tick_into_outbox(now, dt);
+            });
+        } else {
+            self.infra.active_snapshot_into(&mut active);
+            executor.run_phase_indexed(self.infra.components_mut(), &active, move |slot| {
+                slot.tick_into_outbox(now, dt);
+            });
+        }
         for m in self.infra.memories_mut() {
             m.advance(dt);
         }
 
         // Phase 3: interactions — route completions, stamped at the next
-        // tick boundary (the §4.3.3 consistency guard).
+        // tick boundary (the §4.3.3 consistency guard). Only ticked agents
+        // can hold completions (inactive outboxes are always empty), and
+        // the snapshot is ascending, so the drain order matches the
+        // always-tick loop's full sweep exactly.
         let t_next = now + dt;
         let mut completed: Vec<(u32, u64)> = Vec::new();
-        for (agent, slot) in self.infra.components_mut().iter_mut().enumerate() {
-            completed.extend(slot.outbox.drain(..).map(|t| (agent as u32, t.0)));
+        if self.tick_all {
+            for (agent, slot) in self.infra.components_mut().iter_mut().enumerate() {
+                completed.extend(slot.outbox.drain(..).map(|t| (agent as u32, t.0)));
+            }
+        } else {
+            let slots = self.infra.components_mut();
+            for &agent in &active {
+                completed.extend(slots[agent as usize].outbox.drain(..).map(|t| (agent, t.0)));
+            }
         }
+        self.active_scratch = active;
         for (agent, token) in completed {
             if self.trace.is_some() {
                 let at = t_next;
@@ -441,9 +528,23 @@ impl Simulation {
             self.on_token_complete(token, t_next);
         }
 
-        // Phase 4: periodic measurement collection.
+        // Retire sweep: agents that went (and stayed) empty leave the
+        // active set with their idle clock starting at the upcoming tick
+        // boundary. Runs after routing so re-fed agents stay members.
+        if !self.tick_all {
+            self.infra.retire_idle(t_next);
+        }
+
+        // Phase 4: periodic measurement collection. Skipped agents get
+        // their idle span credited first so every meter covers the full
+        // interval before it resets.
         if t_next >= self.next_collect {
+            if !self.tick_all {
+                self.infra
+                    .account_idle_inactive(self.meter_epoch, t_next, dt);
+            }
             self.collect(t_next);
+            self.meter_epoch = t_next;
             self.next_collect += self.config.collect_interval;
         }
 
@@ -457,7 +558,11 @@ impl Simulation {
         let mut traffic = std::mem::take(&mut self.traffic);
         for (source_idx, source) in traffic.iter_mut().enumerate() {
             match source {
-                TrafficSource::Diurnal { app_idx, workload, site_map } => {
+                TrafficSource::Diurnal {
+                    app_idx,
+                    workload,
+                    site_map,
+                } => {
                     for (w_site, &site) in site_map.iter().enumerate() {
                         let lambda = workload.arrival_rate(w_site, now) * dt_secs;
                         let n = self.sampler.poisson(lambda);
@@ -506,8 +611,7 @@ impl Simulation {
                                 self.next_session += 1;
                                 self.sessions.insert(id, (source_idx, w_site));
                                 live[w_site] += 1;
-                                let delay =
-                                    self.sampler.exponential(*mean_think_secs).min(3600.0);
+                                let delay = self.sampler.exponential(*mean_think_secs).min(3600.0);
                                 let wake = now + gdisim_types::SimDuration::from_secs_f64(delay);
                                 self.session_wakes
                                     .push(std::cmp::Reverse((wake.as_micros(), id)));
@@ -517,12 +621,23 @@ impl Simulation {
                         }
                     }
                 }
-                TrafficSource::PeriodicSeries { app, templates, interval, site, next, stop_at } => {
+                TrafficSource::PeriodicSeries {
+                    app,
+                    templates,
+                    interval,
+                    site,
+                    next,
+                    stop_at,
+                } => {
                     while *next <= now && stop_at.is_none_or(|s| *next < s) {
                         let binding = self.client_binding(*site);
                         let dc = self.site_dc[*site];
                         let keys: Vec<ResponseKey> = (0..templates.len())
-                            .map(|i| ResponseKey { app: *app, op: OpTypeId::from_index(i), dc })
+                            .map(|i| ResponseKey {
+                                app: *app,
+                                op: OpTypeId::from_index(i),
+                                dc,
+                            })
                             .collect();
                         let chain = Chain {
                             remaining: templates[1..].to_vec(),
@@ -558,11 +673,18 @@ impl Simulation {
         };
         // Files are always served from the client's local file tier: the
         // SR process keeps replicas everywhere (§6.2's low-latency goal).
-        SiteBinding { client, master, file_host: client, extras: Vec::new() }
+        SiteBinding {
+            client,
+            master,
+            file_host: client,
+            extras: Vec::new(),
+        }
     }
 
     fn poll_background(&mut self, now: SimTime) {
-        let Some(scheduler) = &mut self.background else { return };
+        let Some(scheduler) = &mut self.background else {
+            return;
+        };
         let launches = scheduler.poll(now);
         for launch in launches {
             self.launch_background(launch, now);
@@ -575,8 +697,9 @@ impl Simulation {
             return;
         }
         let due: Vec<(SimTime, HealthEvent)> = {
-            let (due, rest): (Vec<_>, Vec<_>) =
-                std::mem::take(&mut self.link_events).into_iter().partition(|(t, _)| *t <= now);
+            let (due, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.link_events)
+                .into_iter()
+                .partition(|(t, _)| *t <= now);
             self.link_events = rest;
             due
         };
@@ -584,12 +707,18 @@ impl Simulation {
             let result = match event {
                 HealthEvent::Link { label, fail: true } => self.infra.fail_wan_link(&label),
                 HealthEvent::Link { label, fail: false } => self.infra.restore_wan_link(&label),
-                HealthEvent::Server { site, tier, server, fail: true } => {
-                    self.infra.fail_server(self.site_dc[site], tier, server)
-                }
-                HealthEvent::Server { site, tier, server, fail: false } => {
-                    self.infra.restore_server(self.site_dc[site], tier, server)
-                }
+                HealthEvent::Server {
+                    site,
+                    tier,
+                    server,
+                    fail: true,
+                } => self.infra.fail_server(self.site_dc[site], tier, server),
+                HealthEvent::Server {
+                    site,
+                    tier,
+                    server,
+                    fail: false,
+                } => self.infra.restore_server(self.site_dc[site], tier, server),
             };
             result.unwrap_or_else(|e| panic!("scheduled health event failed: {e}"));
         }
@@ -605,7 +734,9 @@ impl Simulation {
                 break;
             }
             self.session_wakes.pop();
-            let Some(&(source, w_site)) = self.sessions.get(&id) else { continue };
+            let Some(&(source, w_site)) = self.sessions.get(&id) else {
+                continue;
+            };
             // Retire if the population curve shrank.
             let retired = match &mut self.traffic[source] {
                 TrafficSource::Sessions { live, retiring, .. } => {
@@ -627,7 +758,9 @@ impl Simulation {
         }
         for (id, source, w_site) in launches {
             let (app_idx, site) = match &self.traffic[source] {
-                TrafficSource::Sessions { app_idx, site_map, .. } => (*app_idx, site_map[w_site]),
+                TrafficSource::Sessions {
+                    app_idx, site_map, ..
+                } => (*app_idx, site_map[w_site]),
                 _ => unreachable!(),
             };
             let (key, template) = {
@@ -643,20 +776,34 @@ impl Simulation {
                 )
             };
             let binding = self.client_binding(site);
-            self.launch(template, key, InstanceKind::Client, binding, None, Some(id), 0.0, now);
+            self.launch(
+                template,
+                key,
+                InstanceKind::Client,
+                binding,
+                None,
+                Some(id),
+                0.0,
+                now,
+            );
         }
     }
 
     /// Puts a session back to sleep after its operation completed.
     fn schedule_session_think(&mut self, session: u64, now: SimTime) {
-        let Some(&(source, _)) = self.sessions.get(&session) else { return };
+        let Some(&(source, _)) = self.sessions.get(&session) else {
+            return;
+        };
         let mean = match &self.traffic[source] {
-            TrafficSource::Sessions { mean_think_secs, .. } => *mean_think_secs,
+            TrafficSource::Sessions {
+                mean_think_secs, ..
+            } => *mean_think_secs,
             _ => unreachable!("session bound to a non-session source"),
         };
         let delay = self.sampler.exponential(mean).min(3600.0);
         let wake = now + gdisim_types::SimDuration::from_secs_f64(delay);
-        self.session_wakes.push(std::cmp::Reverse((wake.as_micros(), session)));
+        self.session_wakes
+            .push(std::cmp::Reverse((wake.as_micros(), session)));
     }
 
     fn launch_background(&mut self, launch: BackgroundLaunch, now: SimTime) {
@@ -665,13 +812,21 @@ impl Simulation {
             client: master_dc,
             master: master_dc,
             file_host: master_dc,
-            extras: launch.extra_sites.iter().map(|s| self.site_dc[*s]).collect(),
+            extras: launch
+                .extra_sites
+                .iter()
+                .map(|s| self.site_dc[*s])
+                .collect(),
         };
         let op = match launch.kind {
             BackgroundKind::SyncRep => BG_OP_SYNCHREP,
             BackgroundKind::IndexBuild => BG_OP_INDEXBUILD,
         };
-        let key = ResponseKey { app: BG_APP, op, dc: master_dc };
+        let key = ResponseKey {
+            app: BG_APP,
+            op,
+            dc: master_dc,
+        };
         self.launch(
             Arc::new(launch.template),
             key,
@@ -698,7 +853,13 @@ impl Simulation {
     ) {
         let stages = template.stages();
         if let Some(t) = &mut self.trace {
-            t.record(now, crate::trace::TraceEvent::Launch { instance: self.flight.peek_next_instance(), key });
+            t.record(
+                now,
+                crate::trace::TraceEvent::Launch {
+                    instance: self.flight.peek_next_instance(),
+                    key,
+                },
+            );
         }
         let id = self.flight.add_instance(Instance {
             key,
@@ -742,16 +903,16 @@ impl Simulation {
             let first = plan.hops.pop_front();
             let token = self.flight.add_token(inst_id, plan);
             match first {
-                Some(hop) => {
-                    self.infra
-                        .component_mut(hop.agent)
-                        .enqueue(JobToken(token), hop.demand, now);
-                }
+                Some(hop) => self.enqueue_agent(hop.agent, JobToken(token), hop.demand, now),
                 None => instant.push(token),
             }
             launched += 1;
         }
-        self.flight.instances.get_mut(&inst_id).expect("instance live").outstanding = launched;
+        self.flight
+            .instances
+            .get_mut(&inst_id)
+            .expect("instance live")
+            .outstanding = launched;
         for token in instant {
             self.on_token_complete(token, now);
         }
@@ -759,11 +920,30 @@ impl Simulation {
 
     // ----- completions ---------------------------------------------------
 
+    /// Hands a job to an agent. On the fast path this also pulls the
+    /// agent into the active set, crediting the idle span it was skipped
+    /// for; on the always-tick path the meters are already current.
+    fn enqueue_agent(
+        &mut self,
+        agent: gdisim_types::AgentId,
+        token: JobToken,
+        demand: f64,
+        now: SimTime,
+    ) {
+        if self.tick_all {
+            self.infra.component_mut(agent).enqueue(token, demand, now);
+        } else {
+            self.infra
+                .enqueue_job(agent, token, demand, now, self.meter_epoch, self.config.dt);
+        }
+    }
+
     fn on_token_complete(&mut self, token: u64, now: SimTime) {
         // Advance the message along its remaining hops.
         if let Some(state) = self.flight.tokens.get_mut(&token) {
             if let Some(hop) = state.plan.hops.pop_front() {
-                self.infra.component_mut(hop.agent).enqueue(JobToken(token), hop.demand, now);
+                let (agent, demand) = (hop.agent, hop.demand);
+                self.enqueue_agent(agent, JobToken(token), demand, now);
                 return;
             }
         } else {
@@ -771,16 +951,30 @@ impl Simulation {
             return;
         }
         // Message finished: release memory, advance the cascade.
-        let state = self.flight.tokens.remove(&token).expect("token checked above");
+        let state = self
+            .flight
+            .tokens
+            .remove(&token)
+            .expect("token checked above");
         if let Some((mem_idx, bytes)) = state.plan.mem_hold {
             self.infra.memories_mut()[mem_idx].release(bytes);
         }
         let inst_id = state.instance;
         if let Some(t) = &mut self.trace {
-            t.record(now, crate::trace::TraceEvent::MessageDone { token, instance: inst_id });
+            t.record(
+                now,
+                crate::trace::TraceEvent::MessageDone {
+                    token,
+                    instance: inst_id,
+                },
+            );
         }
         let advance = {
-            let inst = self.flight.instances.get_mut(&inst_id).expect("instance live");
+            let inst = self
+                .flight
+                .instances
+                .get_mut(&inst_id)
+                .expect("instance live");
             inst.outstanding -= 1;
             if inst.outstanding == 0 {
                 inst.stage_idx += 1;
@@ -801,7 +995,11 @@ impl Simulation {
     }
 
     fn complete_instance(&mut self, inst_id: u64, now: SimTime) {
-        let inst = self.flight.instances.remove(&inst_id).expect("instance live");
+        let inst = self
+            .flight
+            .instances
+            .remove(&inst_id)
+            .expect("instance live");
         let duration = now - inst.launched_at;
         if let Some(t) = &mut self.trace {
             t.record(
@@ -898,16 +1096,28 @@ impl Simulation {
             }
         }
         for (key, (sum, count)) in cpu {
-            self.report.tier_cpu.entry(key).or_default().push(t, sum / count as f64);
+            self.report
+                .tier_cpu
+                .entry(key)
+                .or_default()
+                .push(t, sum / count as f64);
         }
         for (key, (sum, count)) in disk {
-            self.report.tier_disk.entry(key).or_default().push(t, sum / count as f64);
+            self.report
+                .tier_disk
+                .entry(key)
+                .or_default()
+                .push(t, sum / count as f64);
         }
         for (label, u) in wan {
             self.report.wan_util.entry(label).or_default().push(t, u);
         }
         for (dc, u) in client_links {
-            self.report.client_link_util.entry(dc).or_default().push(t, u);
+            self.report
+                .client_link_util
+                .entry(dc)
+                .or_default()
+                .push(t, u);
         }
 
         // Memory occupancy per tier (average bytes per server).
@@ -931,12 +1141,22 @@ impl Simulation {
                 .iter()
                 .map(|&m| self.infra.memories_mut()[m].collect_avg_occupancy())
                 .sum();
-            self.report.tier_memory.entry((dc, tier)).or_default().push(t, total / n);
+            self.report
+                .tier_memory
+                .entry((dc, tier))
+                .or_default()
+                .push(t, total / n);
         }
 
-        self.report.concurrent_clients.push(t, self.flight.live_client_instances() as f64);
-        self.report.logged_in_clients.push(t, self.sessions.len() as f64);
-        self.report.active_operations.push(t, self.flight.live_instances() as f64);
+        self.report
+            .concurrent_clients
+            .push(t, self.flight.live_client_instances() as f64);
+        self.report
+            .logged_in_clients
+            .push(t, self.sessions.len() as f64);
+        self.report
+            .active_operations
+            .push(t, self.flight.live_instances() as f64);
         // Interval aggregates are derivable from history; drain to keep
         // the current-interval map empty.
         let _ = self.report.responses.collect();

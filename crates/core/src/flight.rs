@@ -116,7 +116,10 @@ impl FlightTable {
 
     /// Number of live client instances (excludes background).
     pub fn live_client_instances(&self) -> usize {
-        self.instances.values().filter(|i| i.kind == InstanceKind::Client).count()
+        self.instances
+            .values()
+            .filter(|i| i.kind == InstanceKind::Client)
+            .count()
     }
 
     /// Number of in-flight messages.
@@ -144,7 +147,11 @@ mod tests {
     fn tables_hand_out_dense_ids() {
         let mut ft = FlightTable::new();
         let t = template();
-        let key = ResponseKey { app: AppId(0), op: OpTypeId(0), dc: DcId(0) };
+        let key = ResponseKey {
+            app: AppId(0),
+            op: OpTypeId(0),
+            dc: DcId(0),
+        };
         let inst = Instance {
             key,
             kind: InstanceKind::Client,

@@ -26,4 +26,4 @@ pub mod trace;
 pub use config::{MasterPolicy, SimulationConfig};
 pub use engine::{Simulation, TrafficSource};
 pub use report::{BackgroundRecord, Report, TierKey};
-pub use trace::{TraceEvent, TraceLog};
+pub use trace::{DroppedCounts, TraceEvent, TraceLog};

@@ -65,7 +65,10 @@ pub struct Report {
 impl Report {
     /// Creates an empty report with response history retained.
     pub fn new() -> Self {
-        Report { responses: ResponseTimeRegistry::with_history(), ..Default::default() }
+        Report {
+            responses: ResponseTimeRegistry::with_history(),
+            ..Default::default()
+        }
     }
 
     /// CPU utilization series for a tier.
@@ -133,7 +136,9 @@ mod tests {
         let (t, secs) = r.max_background_response(BackgroundKind::SyncRep).unwrap();
         assert_eq!(t, SimTime::from_secs(900));
         assert!((secs - 1860.0).abs() < 1e-9);
-        let (_, ib) = r.max_background_response(BackgroundKind::IndexBuild).unwrap();
+        let (_, ib) = r
+            .max_background_response(BackgroundKind::IndexBuild)
+            .unwrap();
         assert!((ib - 3780.0).abs() < 1e-9);
         assert_eq!(r.background_of(BackgroundKind::SyncRep).len(), 3);
     }
@@ -154,7 +159,8 @@ mod tests {
             dc: gdisim_types::DcId(0),
         };
         for (t, secs) in [(10u64, 2.0), (20, 4.0), (3700, 6.0)] {
-            r.responses.record(key, SimTime::from_secs(t), SimDuration::from_secs_f64(secs));
+            r.responses
+                .record(key, SimTime::from_secs(t), SimDuration::from_secs_f64(secs));
         }
         let series = r.response_series(key, SimDuration::from_secs(3600));
         assert_eq!(series.len(), 2, "two hourly buckets");

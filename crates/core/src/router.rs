@@ -59,7 +59,10 @@ fn push(hops: &mut VecDeque<Hop>, agent: AgentId, demand: f64) {
 
 fn push_local_net(hops: &mut VecDeque<Hop>, agent: AgentId, bytes: f64) {
     if bytes >= LOCAL_NET_THRESHOLD_BYTES {
-        hops.push_back(Hop { agent, demand: bytes });
+        hops.push_back(Hop {
+            agent,
+            demand: bytes,
+        });
     }
 }
 
@@ -74,7 +77,13 @@ pub fn compile(
     binding: &SiteBinding,
     rng: &mut SplitMix64,
 ) -> MessagePlan {
-    compile_with(infra, step, binding, rng, gdisim_infra::LoadBalancing::RoundRobin)
+    compile_with(
+        infra,
+        step,
+        binding,
+        rng,
+        gdisim_infra::LoadBalancing::RoundRobin,
+    )
 }
 
 /// [`compile`] with an explicit load-balancing policy.
@@ -108,9 +117,7 @@ pub fn compile_with(
     if from_dc != to_dc {
         let route: Vec<AgentId> = infra
             .route(from_dc, to_dc)
-            .unwrap_or_else(|| {
-                panic!("no WAN route between {from_dc} and {to_dc}")
-            })
+            .unwrap_or_else(|| panic!("no WAN route between {from_dc} and {to_dc}"))
             .to_vec();
         for link in route {
             // WAN hops are always traversed: their latency and shared
@@ -128,11 +135,13 @@ pub fn compile_with(
             push(&mut hops, infra.dc(to_dc).client_pool, step.r.cycles);
         }
         Holon::Tier(kind) => {
-            let sref = infra.pick_server_with(to_dc, kind, policy).unwrap_or_else(|| {
-                panic!(
+            let sref = infra
+                .pick_server_with(to_dc, kind, policy)
+                .unwrap_or_else(|| {
+                    panic!(
                     "message targets tier {kind} at {to_dc}, but that data center has no such tier"
                 )
-            });
+                });
             let server = infra.server(sref).clone();
             push_local_net(&mut hops, server.lan, bytes);
             push_local_net(&mut hops, server.nic, bytes);
@@ -245,7 +254,12 @@ mod tests {
             Endpoint::tier(TierKind::App, Site::Master),
             full_r(),
         );
-        let binding = SiteBinding { client: eu, master: na, file_host: eu, extras: vec![] };
+        let binding = SiteBinding {
+            client: eu,
+            master: na,
+            file_host: eu,
+            extras: vec![],
+        };
         let mut rng = SplitMix64::new(1);
         let plan = compile(&mut infra, &step, &binding, &mut rng);
         // client link(EU), switch(EU), wan, switch(NA), lan, nic, cpu,

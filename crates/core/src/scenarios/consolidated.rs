@@ -55,7 +55,14 @@ pub const GROWTH_PEAKS_MB_H: [f64; 6] = [9000.0, 6000.0, 1500.0, 2000.0, 800.0, 
 /// Modest warm-cache hit rate for the production platform.
 pub const CACHE_HIT: f64 = 0.2;
 
-fn tier(kind: TierKind, servers: u32, sockets: u32, cores: u32, mem_gb: f64, storage: TierStorageSpec) -> TierSpec {
+fn tier(
+    kind: TierKind,
+    servers: u32,
+    sockets: u32,
+    cores: u32,
+    mem_gb: f64,
+    storage: TierStorageSpec,
+) -> TierSpec {
     TierSpec {
         kind,
         servers,
@@ -93,13 +100,41 @@ pub fn topology() -> TopologySpec {
         switch: SwitchSpec::new(gbps(10.0)),
         tiers: vec![
             // 8 application servers, 6 cores each = 48 cores.
-            tier(TierKind::App, 8, 2, 3, 32.0, TierStorageSpec::PerServerRaid(rates::raid(CACHE_HIT))),
+            tier(
+                TierKind::App,
+                8,
+                2,
+                3,
+                32.0,
+                TierStorageSpec::PerServerRaid(rates::raid(CACHE_HIT)),
+            ),
             // One 64-core database server (halved to 32 in Ch. 7).
-            tier(TierKind::Db, 1, 4, 16, 64.0, TierStorageSpec::SharedSan(rates::san(CACHE_HIT))),
+            tier(
+                TierKind::Db,
+                1,
+                4,
+                16,
+                64.0,
+                TierStorageSpec::SharedSan(rates::san(CACHE_HIT)),
+            ),
             // Two 16-core index servers.
-            tier(TierKind::Idx, 2, 2, 8, 64.0, TierStorageSpec::PerServerRaid(rates::raid(CACHE_HIT))),
+            tier(
+                TierKind::Idx,
+                2,
+                2,
+                8,
+                64.0,
+                TierStorageSpec::PerServerRaid(rates::raid(CACHE_HIT)),
+            ),
             // Two 8-core file servers on the SAN.
-            tier(TierKind::Fs, 2, 2, 4, 32.0, TierStorageSpec::SharedSan(rates::san(CACHE_HIT))),
+            tier(
+                TierKind::Fs,
+                2,
+                2,
+                4,
+                32.0,
+                TierStorageSpec::SharedSan(rates::san(CACHE_HIT)),
+            ),
         ],
         clients: ClientAccessSpec {
             link: rates::client_access(),
@@ -117,14 +152,54 @@ pub fn topology() -> TopologySpec {
         ],
         relay_sites: vec!["AS1".into()],
         wan_links: vec![
-            WanLinkSpec { from: "NA".into(), to: "SA".into(), link: rates::wan(155.0, 60), backup: false },
-            WanLinkSpec { from: "NA".into(), to: "EU".into(), link: rates::wan(155.0, 40), backup: false },
-            WanLinkSpec { from: "NA".into(), to: "AS1".into(), link: rates::wan(155.0, 90), backup: false },
-            WanLinkSpec { from: "EU".into(), to: "AFR".into(), link: rates::wan(45.0, 60), backup: true },
-            WanLinkSpec { from: "EU".into(), to: "AS1".into(), link: rates::wan(45.0, 80), backup: true },
-            WanLinkSpec { from: "AS1".into(), to: "AFR".into(), link: rates::wan(45.0, 70), backup: false },
-            WanLinkSpec { from: "AS1".into(), to: "AS".into(), link: rates::wan(45.0, 30), backup: false },
-            WanLinkSpec { from: "AS1".into(), to: "AUS".into(), link: rates::wan(45.0, 88), backup: false },
+            WanLinkSpec {
+                from: "NA".into(),
+                to: "SA".into(),
+                link: rates::wan(155.0, 60),
+                backup: false,
+            },
+            WanLinkSpec {
+                from: "NA".into(),
+                to: "EU".into(),
+                link: rates::wan(155.0, 40),
+                backup: false,
+            },
+            WanLinkSpec {
+                from: "NA".into(),
+                to: "AS1".into(),
+                link: rates::wan(155.0, 90),
+                backup: false,
+            },
+            WanLinkSpec {
+                from: "EU".into(),
+                to: "AFR".into(),
+                link: rates::wan(45.0, 60),
+                backup: true,
+            },
+            WanLinkSpec {
+                from: "EU".into(),
+                to: "AS1".into(),
+                link: rates::wan(45.0, 80),
+                backup: true,
+            },
+            WanLinkSpec {
+                from: "AS1".into(),
+                to: "AFR".into(),
+                link: rates::wan(45.0, 70),
+                backup: false,
+            },
+            WanLinkSpec {
+                from: "AS1".into(),
+                to: "AS".into(),
+                link: rates::wan(45.0, 30),
+                backup: false,
+            },
+            WanLinkSpec {
+                from: "AS1".into(),
+                to: "AUS".into(),
+                link: rates::wan(45.0, 88),
+                backup: false,
+            },
         ],
     }
 }

@@ -11,8 +11,8 @@
 
 use crate::config::{MasterPolicy, SimulationConfig};
 use crate::engine::Simulation;
-use crate::scenarios::rates;
 use crate::scenarios::consolidated;
+use crate::scenarios::rates;
 use gdisim_background::{BackgroundScheduler, OwnershipSplit, SchedulerConfig};
 use gdisim_infra::{
     ClientAccessSpec, DataCenterSpec, Infrastructure, TierSpec, TierStorageSpec, TopologySpec,
@@ -26,7 +26,14 @@ use gdisim_workload::{AccessPatternMatrix, AppWorkload, Catalog, SiteLoad};
 /// access-pattern matrix and the site list to agree.
 pub const SITES: [&str; 6] = ["EU", "NA", "AUS", "SA", "AFR", "AS"];
 
-fn tier(kind: TierKind, servers: u32, sockets: u32, cores: u32, mem_gb: f64, storage: TierStorageSpec) -> TierSpec {
+fn tier(
+    kind: TierKind,
+    servers: u32,
+    sockets: u32,
+    cores: u32,
+    mem_gb: f64,
+    storage: TierStorageSpec,
+) -> TierSpec {
     TierSpec {
         kind,
         servers,
@@ -58,10 +65,38 @@ fn master_dc(
         name: name.into(),
         switch: SwitchSpec::new(gbps(10.0)),
         tiers: vec![
-            tier(TierKind::App, app_servers, 2, app_cores_per_socket, 32.0, TierStorageSpec::PerServerRaid(rates::raid(hit))),
-            tier(TierKind::Db, 1, db_sockets, db_cores_per, 64.0, TierStorageSpec::SharedSan(rates::san(hit))),
-            tier(TierKind::Idx, idx_servers, 2, 8, 64.0, TierStorageSpec::PerServerRaid(rates::raid(hit))),
-            tier(TierKind::Fs, fs_servers, 2, 4, 32.0, TierStorageSpec::SharedSan(rates::san(hit))),
+            tier(
+                TierKind::App,
+                app_servers,
+                2,
+                app_cores_per_socket,
+                32.0,
+                TierStorageSpec::PerServerRaid(rates::raid(hit)),
+            ),
+            tier(
+                TierKind::Db,
+                1,
+                db_sockets,
+                db_cores_per,
+                64.0,
+                TierStorageSpec::SharedSan(rates::san(hit)),
+            ),
+            tier(
+                TierKind::Idx,
+                idx_servers,
+                2,
+                8,
+                64.0,
+                TierStorageSpec::PerServerRaid(rates::raid(hit)),
+            ),
+            tier(
+                TierKind::Fs,
+                fs_servers,
+                2,
+                4,
+                32.0,
+                TierStorageSpec::SharedSan(rates::san(hit)),
+            ),
         ],
         clients: ClientAccessSpec {
             link: rates::client_access(),

@@ -71,7 +71,14 @@ pub fn memory(gb_capacity: f64, hit_rate: f64) -> MemorySpec {
 
 /// The per-server RAID of compute tiers (4 × 15 K rpm disks).
 pub fn raid(cache_hit: f64) -> RaidSpec {
-    RaidSpec::new(4, gbps(4.0), cache_hit, gbps(2.0), cache_hit, mb_per_s(120.0))
+    RaidSpec::new(
+        4,
+        gbps(4.0),
+        cache_hit,
+        gbps(2.0),
+        cache_hit,
+        mb_per_s(120.0),
+    )
 }
 
 /// The shared 20-disk SAN of storage tiers (`san^(1,20,15K)`, §5.2.1).

@@ -33,9 +33,21 @@ pub struct ExperimentPeriods {
 
 /// The paper's three experiments: 15-36-60, 12-29-48, 10-24-40.
 pub const EXPERIMENTS: [ExperimentPeriods; 3] = [
-    ExperimentPeriods { light: 15, average: 36, heavy: 60 },
-    ExperimentPeriods { light: 12, average: 29, heavy: 48 },
-    ExperimentPeriods { light: 10, average: 24, heavy: 40 },
+    ExperimentPeriods {
+        light: 15,
+        average: 36,
+        heavy: 60,
+    },
+    ExperimentPeriods {
+        light: 12,
+        average: 29,
+        heavy: 48,
+    },
+    ExperimentPeriods {
+        light: 10,
+        average: 24,
+        heavy: 40,
+    },
 ];
 
 /// Application ids for the three series types (each series type reports
@@ -75,10 +87,38 @@ pub fn downscaled_topology() -> TopologySpec {
             name: "NA".into(),
             switch: SwitchSpec::new(gbps(10.0)),
             tiers: vec![
-                tier(TierKind::App, 2, 1, 2, 32.0, TierStorageSpec::PerServerRaid(rates::raid(0.0))),
-                tier(TierKind::Db, 1, 1, 2, 64.0, TierStorageSpec::SharedSan(rates::san(0.0))),
-                tier(TierKind::Fs, 1, 1, 2, 12.0, TierStorageSpec::SharedSan(rates::san(0.0))),
-                tier(TierKind::Idx, 1, 1, 2, 64.0, TierStorageSpec::PerServerRaid(rates::raid(0.0))),
+                tier(
+                    TierKind::App,
+                    2,
+                    1,
+                    2,
+                    32.0,
+                    TierStorageSpec::PerServerRaid(rates::raid(0.0)),
+                ),
+                tier(
+                    TierKind::Db,
+                    1,
+                    1,
+                    2,
+                    64.0,
+                    TierStorageSpec::SharedSan(rates::san(0.0)),
+                ),
+                tier(
+                    TierKind::Fs,
+                    1,
+                    1,
+                    2,
+                    12.0,
+                    TierStorageSpec::SharedSan(rates::san(0.0)),
+                ),
+                tier(
+                    TierKind::Idx,
+                    1,
+                    1,
+                    2,
+                    64.0,
+                    TierStorageSpec::PerServerRaid(rates::raid(0.0)),
+                ),
             ],
             clients: ClientAccessSpec {
                 link: rates::client_access(),
@@ -156,7 +196,11 @@ mod tests {
         // 0,36; heavy at 0,60 — several chains alive, none finished (the
         // shortest series takes ~102 s).
         sim.run_until(SimTime::from_secs(60));
-        assert!(sim.active_operations() >= 5, "got {}", sim.active_operations());
+        assert!(
+            sim.active_operations() >= 5,
+            "got {}",
+            sim.active_operations()
+        );
         // Operations *within* the chains complete, however: LOGIN takes
         // ~2 s, so responses must already be recorded.
         let report = sim.report();

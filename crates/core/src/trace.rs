@@ -49,18 +49,57 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// Index into the per-kind drop counters.
+    fn kind_index(&self) -> usize {
+        match self {
+            TraceEvent::Launch { .. } => 0,
+            TraceEvent::Hop { .. } => 1,
+            TraceEvent::MessageDone { .. } => 2,
+            TraceEvent::OperationDone { .. } => 3,
+        }
+    }
+}
+
+/// Events dropped after the capacity was reached, broken down by kind —
+/// hops dominate real traces by orders of magnitude, so an aggregate
+/// count alone can hide that every launch/completion also got lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DroppedCounts {
+    /// Dropped [`TraceEvent::Launch`] events.
+    pub launches: u64,
+    /// Dropped [`TraceEvent::Hop`] events.
+    pub hops: u64,
+    /// Dropped [`TraceEvent::MessageDone`] events.
+    pub messages_done: u64,
+    /// Dropped [`TraceEvent::OperationDone`] events.
+    pub operations_done: u64,
+}
+
+impl DroppedCounts {
+    /// Total events dropped across all kinds.
+    pub fn total(&self) -> u64 {
+        self.launches + self.hops + self.messages_done + self.operations_done
+    }
+}
+
 /// A capacity-bounded event log.
 #[derive(Debug, Clone)]
 pub struct TraceLog {
     events: Vec<(SimTime, TraceEvent)>,
     capacity: usize,
-    dropped: u64,
+    /// Drop counters indexed by [`TraceEvent::kind_index`].
+    dropped: [u64; 4],
 }
 
 impl TraceLog {
     /// Creates a log holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        TraceLog { events: Vec::with_capacity(capacity.min(1 << 20)), capacity, dropped: 0 }
+        TraceLog {
+            events: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: [0; 4],
+        }
     }
 
     /// Records an event (drops and counts once full).
@@ -68,7 +107,7 @@ impl TraceLog {
         if self.events.len() < self.capacity {
             self.events.push((at, event));
         } else {
-            self.dropped += 1;
+            self.dropped[event.kind_index()] += 1;
         }
     }
 
@@ -77,9 +116,19 @@ impl TraceLog {
         &self.events
     }
 
-    /// Events dropped after the cap was reached.
+    /// Total events dropped after the cap was reached.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.dropped.iter().sum()
+    }
+
+    /// Dropped events broken down by event kind.
+    pub fn dropped_by_kind(&self) -> DroppedCounts {
+        DroppedCounts {
+            launches: self.dropped[0],
+            hops: self.dropped[1],
+            messages_done: self.dropped[2],
+            operations_done: self.dropped[3],
+        }
     }
 
     /// All events of one instance, in order (launch → hops via its
@@ -112,31 +161,125 @@ mod tests {
     use gdisim_types::{AppId, DcId, OpTypeId};
 
     fn key() -> ResponseKey {
-        ResponseKey { app: AppId(0), op: OpTypeId(0), dc: DcId(0) }
+        ResponseKey {
+            app: AppId(0),
+            op: OpTypeId(0),
+            dc: DcId(0),
+        }
     }
 
     #[test]
     fn capacity_bound_is_enforced() {
         let mut log = TraceLog::new(2);
         for i in 0..5 {
-            log.record(SimTime::from_secs(i), TraceEvent::Launch { instance: i, key: key() });
+            log.record(
+                SimTime::from_secs(i),
+                TraceEvent::Launch {
+                    instance: i,
+                    key: key(),
+                },
+            );
         }
         assert_eq!(log.events().len(), 2);
         assert_eq!(log.dropped(), 3);
     }
 
     #[test]
+    fn dropped_events_are_counted_per_kind() {
+        let mut log = TraceLog::new(1);
+        log.record(
+            SimTime::ZERO,
+            TraceEvent::Launch {
+                instance: 0,
+                key: key(),
+            },
+        );
+        // Everything below overflows the cap.
+        log.record(
+            SimTime::from_secs(1),
+            TraceEvent::Launch {
+                instance: 1,
+                key: key(),
+            },
+        );
+        for t in 0..3 {
+            log.record(
+                SimTime::from_secs(2),
+                TraceEvent::Hop {
+                    token: t,
+                    agent: AgentId(0),
+                },
+            );
+        }
+        log.record(
+            SimTime::from_secs(3),
+            TraceEvent::MessageDone {
+                token: 0,
+                instance: 0,
+            },
+        );
+        log.record(
+            SimTime::from_secs(3),
+            TraceEvent::OperationDone {
+                instance: 0,
+                response_secs: 3.0,
+            },
+        );
+
+        let by_kind = log.dropped_by_kind();
+        assert_eq!(by_kind.launches, 1);
+        assert_eq!(by_kind.hops, 3);
+        assert_eq!(by_kind.messages_done, 1);
+        assert_eq!(by_kind.operations_done, 1);
+        assert_eq!(by_kind.total(), 6);
+        assert_eq!(log.dropped(), by_kind.total());
+    }
+
+    #[test]
     fn instance_filter_and_agent_drilldown() {
         let mut log = TraceLog::new(100);
-        log.record(SimTime::ZERO, TraceEvent::Launch { instance: 7, key: key() });
-        log.record(SimTime::from_secs(1), TraceEvent::Hop { token: 1, agent: AgentId(3) });
-        log.record(SimTime::from_secs(1), TraceEvent::Hop { token: 1, agent: AgentId(4) });
-        log.record(SimTime::from_secs(2), TraceEvent::MessageDone { token: 1, instance: 7 });
+        log.record(
+            SimTime::ZERO,
+            TraceEvent::Launch {
+                instance: 7,
+                key: key(),
+            },
+        );
+        log.record(
+            SimTime::from_secs(1),
+            TraceEvent::Hop {
+                token: 1,
+                agent: AgentId(3),
+            },
+        );
+        log.record(
+            SimTime::from_secs(1),
+            TraceEvent::Hop {
+                token: 1,
+                agent: AgentId(4),
+            },
+        );
         log.record(
             SimTime::from_secs(2),
-            TraceEvent::OperationDone { instance: 7, response_secs: 2.0 },
+            TraceEvent::MessageDone {
+                token: 1,
+                instance: 7,
+            },
         );
-        log.record(SimTime::from_secs(3), TraceEvent::Launch { instance: 8, key: key() });
+        log.record(
+            SimTime::from_secs(2),
+            TraceEvent::OperationDone {
+                instance: 7,
+                response_secs: 2.0,
+            },
+        );
+        log.record(
+            SimTime::from_secs(3),
+            TraceEvent::Launch {
+                instance: 8,
+                key: key(),
+            },
+        );
 
         let seven = log.instance_events(7);
         assert_eq!(seven.len(), 3, "launch, message done, operation done");

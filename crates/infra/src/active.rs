@@ -1,0 +1,229 @@
+//! Active-agent-set bookkeeping for the engine's fast path.
+//!
+//! Most agents in a large topology are idle at any instant: a mostly-idle
+//! mid-size deployment keeps thousands of component queues empty for long
+//! stretches. Ticking an empty queue only records idle time on its
+//! meters, so the engine can skip it entirely and credit the idle span in
+//! one bulk, bit-for-bit-identical addition later (see
+//! `Station::account_idle`). [`ActiveSet`] tracks which agents currently
+//! hold work and since when the idle ones have been empty.
+//!
+//! Invariants maintained together with the engine:
+//!
+//! * an agent is a member iff its `in_system() > 0` *or* it received a
+//!   token since the last retire sweep;
+//! * `idle_from[i]` is meaningful only for non-members and records the
+//!   tick boundary at which agent `i` last went (or started) empty;
+//! * non-members always have empty outboxes — an active agent's outbox is
+//!   drained every step, and membership is only dropped right after a
+//!   drain.
+
+use gdisim_types::{SimDuration, SimTime};
+
+/// Dense membership bookkeeping: a flag per agent plus a member list.
+#[derive(Clone)]
+pub struct ActiveSet {
+    flags: Vec<bool>,
+    members: Vec<u32>,
+    idle_from: Vec<SimTime>,
+    sorted: bool,
+}
+
+impl ActiveSet {
+    /// Creates a set over `n` agents, all idle since time zero.
+    pub fn new(n: usize) -> Self {
+        ActiveSet {
+            flags: vec![false; n],
+            members: Vec::new(),
+            idle_from: vec![SimTime::ZERO; n],
+            sorted: true,
+        }
+    }
+
+    /// Whether the agent is currently a member.
+    pub fn contains(&self, agent: usize) -> bool {
+        self.flags[agent]
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no agent is active.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Marks the agent active, returning `Some(idle_since)` when this
+    /// call changed the membership (the caller must then credit the idle
+    /// span ending now) and `None` when the agent was already a member.
+    pub fn activate(&mut self, agent: usize) -> Option<SimTime> {
+        if self.flags[agent] {
+            return None;
+        }
+        self.flags[agent] = true;
+        self.members.push(agent as u32);
+        self.sorted = false;
+        Some(self.idle_from[agent])
+    }
+
+    /// Marks the agent idle as of `t` (a tick boundary). Used by the
+    /// retire sweep after completions are routed.
+    fn deactivate(&mut self, agent: usize, t: SimTime) {
+        self.flags[agent] = false;
+        self.idle_from[agent] = t;
+    }
+
+    /// The members in strictly ascending agent order, copied into `buf`.
+    /// Ascending order is what keeps phase-2 iteration and the phase-3
+    /// outbox drain deterministic regardless of activation order.
+    pub fn snapshot_into(&mut self, buf: &mut Vec<u32>) {
+        if !self.sorted {
+            self.members.sort_unstable();
+            self.sorted = true;
+        }
+        buf.clear();
+        buf.extend_from_slice(&self.members);
+    }
+
+    /// Drops every member for which `is_idle` returns true, stamping its
+    /// idle start at `t`. `is_idle` receives the agent index.
+    pub fn retire<F: FnMut(usize) -> bool>(&mut self, t: SimTime, mut is_idle: F) {
+        let mut i = 0;
+        while i < self.members.len() {
+            let agent = self.members[i] as usize;
+            if is_idle(agent) {
+                self.members.swap_remove(i);
+                self.deactivate(agent, t);
+                self.sorted = false;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Calls `credit(agent, ticks)` for every non-member whose idle span
+    /// `[max(idle_from, epoch), t)` is non-empty, where `ticks` is that
+    /// span divided by `dt`. Used at collection time so skipped agents
+    /// still account the full interval; `epoch` is the previous
+    /// collection boundary (idle time before it was already credited).
+    pub fn credit_idle<F: FnMut(usize, u64)>(
+        &self,
+        epoch: SimTime,
+        t: SimTime,
+        dt: SimDuration,
+        mut credit: F,
+    ) {
+        for agent in 0..self.flags.len() {
+            if self.flags[agent] {
+                continue;
+            }
+            let from = self.idle_from[agent].max(epoch);
+            if let Some(ticks) = ticks_between(from, t, dt) {
+                credit(agent, ticks);
+            }
+        }
+    }
+}
+
+/// Whole ticks between two tick boundaries; `None` when the span is empty.
+///
+/// # Panics
+/// Debug-asserts that the span divides evenly: every activation,
+/// retirement and collection happens on a tick boundary, so a remainder
+/// means the engine lost alignment (which would break the bit-for-bit
+/// idle-accounting argument).
+pub fn ticks_between(from: SimTime, to: SimTime, dt: SimDuration) -> Option<u64> {
+    if to <= from {
+        return None;
+    }
+    let span = to.as_micros() - from.as_micros();
+    let dt = dt.as_micros();
+    debug_assert_eq!(span % dt, 0, "idle span must be whole ticks");
+    Some(span / dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: SimDuration = SimDuration::from_millis(10);
+
+    #[test]
+    fn activate_is_idempotent_and_reports_idle_start() {
+        let mut s = ActiveSet::new(4);
+        assert_eq!(s.activate(2), Some(SimTime::ZERO));
+        assert_eq!(s.activate(2), None);
+        assert!(s.contains(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_ascending_regardless_of_activation_order() {
+        let mut s = ActiveSet::new(8);
+        for agent in [5, 1, 7, 0, 3] {
+            s.activate(agent);
+        }
+        let mut buf = Vec::new();
+        s.snapshot_into(&mut buf);
+        assert_eq!(buf, vec![0, 1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn retire_drops_idle_members_and_stamps_time() {
+        let mut s = ActiveSet::new(4);
+        s.activate(0);
+        s.activate(1);
+        s.activate(3);
+        let t = SimTime::from_millis(30);
+        s.retire(t, |agent| agent != 1);
+        let mut buf = Vec::new();
+        s.snapshot_into(&mut buf);
+        assert_eq!(buf, vec![1]);
+        // Re-activating a retired agent reports the retire boundary.
+        assert_eq!(s.activate(0), Some(t));
+    }
+
+    #[test]
+    fn credit_idle_spans_whole_ticks_since_epoch() {
+        let mut s = ActiveSet::new(3);
+        s.activate(1); // members are never credited
+        s.retire(SimTime::from_millis(20), |agent| agent == 1); // 1 idle from 20 ms
+        let mut credited = Vec::new();
+        s.credit_idle(
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+            DT,
+            |agent, ticks| {
+                credited.push((agent, ticks));
+            },
+        );
+        // Agents 0 and 2 idle the full 5 ticks; agent 1 only the last 3.
+        assert_eq!(credited, vec![(0, 5), (1, 3), (2, 5)]);
+        // After a collection the epoch advances; earlier idle time is not
+        // re-credited.
+        let mut credited = Vec::new();
+        s.credit_idle(
+            SimTime::from_millis(50),
+            SimTime::from_millis(70),
+            DT,
+            |agent, ticks| {
+                credited.push((agent, ticks));
+            },
+        );
+        assert_eq!(credited, vec![(0, 2), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn ticks_between_handles_empty_and_whole_spans() {
+        assert_eq!(
+            ticks_between(SimTime::from_millis(10), SimTime::from_millis(10), DT),
+            None
+        );
+        assert_eq!(
+            ticks_between(SimTime::from_millis(10), SimTime::from_millis(40), DT),
+            Some(3)
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //! centers → tiers → servers → agent ids) alongside, and precomputing the
 //! WAN routes between every pair of data centers.
 
+use crate::active::{ticks_between, ActiveSet};
 use crate::component::{AgentSlot, Component, ComponentKind, ComponentMeta};
 use crate::routing::{compute_routes_excluding, Route};
 use crate::spec::{TierStorageSpec, TopologySpec, WanLinkSpec};
@@ -12,7 +13,7 @@ use gdisim_queueing::discipline::InfiniteServer;
 use gdisim_queueing::{
     CpuModel, LinkModel, MemoryModel, NicModel, RaidModel, SanModel, Station, SwitchModel,
 };
-use gdisim_types::{AgentId, DcId, TierKind};
+use gdisim_types::{AgentId, DcId, SimDuration, SimTime, TierKind};
 use std::collections::HashMap;
 
 /// One server holon: the agent ids of its encapsulated hardware.
@@ -139,6 +140,8 @@ pub struct Infrastructure {
     wan_specs: Vec<WanLinkSpec>,
     /// Indices (into `wan_specs`) of links currently down.
     failed_links: Vec<usize>,
+    /// Which agents currently hold work (the engine's fast-path set).
+    active: ActiveSet,
 }
 
 impl Infrastructure {
@@ -148,7 +151,12 @@ impl Infrastructure {
     /// Returns the validation error message if the spec is malformed.
     pub fn build(spec: &TopologySpec, seed: u64) -> Result<Self, String> {
         spec.validate()?;
-        let mut b = Builder { components: Vec::new(), metas: Vec::new(), memories: Vec::new(), seed };
+        let mut b = Builder {
+            components: Vec::new(),
+            metas: Vec::new(),
+            memories: Vec::new(),
+            seed,
+        };
 
         let mut dcs = Vec::new();
         let mut dc_by_name = HashMap::new();
@@ -194,9 +202,8 @@ impl Infrastructure {
                 };
                 let mut servers = Vec::new();
                 for s in 0..tier_spec.servers {
-                    let label = |part: &str| {
-                        format!("{part} srv{s} {}@{}", tier_spec.kind, dc_spec.name)
-                    };
+                    let label =
+                        |part: &str| format!("{part} srv{s} {}@{}", tier_spec.kind, dc_spec.name);
                     let cpu = b.push(
                         Component::Cpu(CpuModel::new(tier_spec.cpu)),
                         ComponentKind::Cpu,
@@ -234,11 +241,23 @@ impl Infrastructure {
                     };
                     let memory = b.memories.len();
                     let mem_seed = b.next_seed();
-                    b.memories.push(MemoryModel::new(tier_spec.memory, mem_seed));
-                    servers.push(Server { cpu, nic, lan, storage, memory });
+                    b.memories
+                        .push(MemoryModel::new(tier_spec.memory, mem_seed));
+                    servers.push(Server {
+                        cpu,
+                        nic,
+                        lan,
+                        storage,
+                        memory,
+                    });
                 }
                 let down = vec![false; servers.len()];
-                tiers.push(Tier { kind: tier_spec.kind, servers, down, next: 0 });
+                tiers.push(Tier {
+                    kind: tier_spec.kind,
+                    servers,
+                    down,
+                    next: 0,
+                });
             }
             dcs.push(DataCenter {
                 id,
@@ -271,6 +290,7 @@ impl Infrastructure {
             wan_links.push((label, agent));
         }
 
+        let active = ActiveSet::new(b.components.len());
         let mut infra = Infrastructure {
             components: b.components,
             metas: b.metas,
@@ -282,6 +302,7 @@ impl Infrastructure {
             site_names: spec.site_names().iter().map(|s| s.to_string()).collect(),
             wan_specs: spec.wan_links.clone(),
             failed_links: Vec::new(),
+            active,
         };
         infra.recompute_routes();
         Ok(infra)
@@ -306,7 +327,8 @@ impl Infrastructure {
                     let path: &Route = path;
                     let agents: Vec<AgentId> =
                         path.iter().map(|li| self.wan_links[*li].1).collect();
-                    self.routes.insert((DcId::from_index(i), DcId::from_index(j)), agents);
+                    self.routes
+                        .insert((DcId::from_index(i), DcId::from_index(j)), agents);
                 }
             }
         }
@@ -349,7 +371,10 @@ impl Infrastructure {
 
     /// Labels of the links currently failed.
     pub fn failed_wan_links(&self) -> Vec<&str> {
-        self.failed_links.iter().map(|i| self.wan_links[*i].0.as_str()).collect()
+        self.failed_links
+            .iter()
+            .map(|i| self.wan_links[*i].0.as_str())
+            .collect()
     }
 
     /// Marks a server as failed: it receives no new work (its in-flight
@@ -470,7 +495,10 @@ impl Infrastructure {
         kind: TierKind,
         policy: LoadBalancing,
     ) -> Option<ServerRef> {
-        let tier_idx = self.dcs[dc.index()].tiers.iter().position(|t| t.kind == kind)?;
+        let tier_idx = self.dcs[dc.index()]
+            .tiers
+            .iter()
+            .position(|t| t.kind == kind)?;
         let server = match policy {
             LoadBalancing::RoundRobin => self.dcs[dc.index()].tiers[tier_idx].pick_server(),
             LoadBalancing::LeastOutstanding => {
@@ -497,7 +525,11 @@ impl Infrastructure {
                 best
             }
         };
-        Some(ServerRef { dc, tier: tier_idx, server })
+        Some(ServerRef {
+            dc,
+            tier: tier_idx,
+            server,
+        })
     }
 
     /// Resolves a [`ServerRef`].
@@ -508,7 +540,65 @@ impl Infrastructure {
     /// Total jobs currently inside any component — used by drain logic and
     /// leak assertions in tests.
     pub fn total_in_flight(&mut self) -> usize {
-        self.components.iter_mut().map(|c| c.component.in_system()).sum()
+        self.components
+            .iter_mut()
+            .map(|c| c.component.in_system())
+            .sum()
+    }
+
+    // ----- active-agent set (the engine's fast-path bookkeeping) ---------
+
+    /// Enqueues a job on an agent, activating it in the active set first.
+    /// A newly activated agent has been skipped by the time-increment
+    /// phase since `max(idle_from, epoch)`; that idle span is credited to
+    /// its meters here in one bulk addition (bit-for-bit identical to the
+    /// empty ticks the always-tick loop would have run), where `epoch` is
+    /// the last collection boundary and `dt` the engine time step.
+    pub fn enqueue_job(
+        &mut self,
+        agent: AgentId,
+        token: gdisim_queueing::JobToken,
+        demand: f64,
+        now: SimTime,
+        epoch: SimTime,
+        dt: SimDuration,
+    ) {
+        let slot = &mut self.components[agent.index()];
+        if let Some(idle_from) = self.active.activate(agent.index()) {
+            if let Some(ticks) = ticks_between(idle_from.max(epoch), now, dt) {
+                slot.component.account_idle(ticks, dt);
+            }
+        }
+        slot.component.enqueue(token, demand, now);
+    }
+
+    /// Copies the active agents, in strictly ascending order, into `buf`.
+    pub fn active_snapshot_into(&mut self, buf: &mut Vec<u32>) {
+        self.active.snapshot_into(buf);
+    }
+
+    /// Number of currently active agents.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Drops every active agent that went empty, stamping its idle start
+    /// at tick boundary `t`. Run after the interaction phase has routed
+    /// all completions (and therefore drained every active outbox).
+    pub fn retire_idle(&mut self, t: SimTime) {
+        let components = &self.components;
+        self.active
+            .retire(t, |agent| components[agent].component.in_system() == 0);
+    }
+
+    /// Credits the idle span `[max(idle_from, epoch), t)` to every
+    /// inactive agent's meters. Run right before a collection so skipped
+    /// agents still account the full measurement interval.
+    pub fn account_idle_inactive(&mut self, epoch: SimTime, t: SimTime, dt: SimDuration) {
+        let components = &mut self.components;
+        self.active.credit_idle(epoch, t, dt, |agent, ticks| {
+            components[agent].component.account_idle(ticks, dt);
+        });
     }
 }
 
@@ -529,13 +619,24 @@ impl Builder {
         label: String,
     ) -> AgentId {
         let id = AgentId::from_index(self.components.len());
-        self.components.push(AgentSlot { component, outbox: Vec::new() });
-        self.metas.push(ComponentMeta { kind, dc, tier, label });
+        self.components.push(AgentSlot {
+            component,
+            outbox: Vec::new(),
+        });
+        self.metas.push(ComponentMeta {
+            kind,
+            dc,
+            tier,
+            label,
+        });
         id
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.seed
     }
 }
@@ -596,7 +697,11 @@ mod tests {
         TopologySpec {
             data_centers: vec![dc("NA"), dc("EU"), dc("AUS")],
             relay_sites: vec!["AS1".into()],
-            wan_links: vec![wan("NA", "EU", false), wan("NA", "AS1", false), wan("AS1", "AUS", false)],
+            wan_links: vec![
+                wan("NA", "EU", false),
+                wan("NA", "AS1", false),
+                wan("AS1", "AUS", false),
+            ],
         }
     }
 
@@ -619,8 +724,16 @@ mod tests {
         let eu = infra.dc_by_name("EU").unwrap();
         let aus = infra.dc_by_name("AUS").unwrap();
         assert_eq!(infra.route(na, eu).unwrap().len(), 1);
-        assert_eq!(infra.route(na, aus).unwrap().len(), 2, "NA->AUS goes through AS1");
-        assert_eq!(infra.route(eu, aus).unwrap().len(), 3, "EU->AUS goes EU-NA-AS1-AUS");
+        assert_eq!(
+            infra.route(na, aus).unwrap().len(),
+            2,
+            "NA->AUS goes through AS1"
+        );
+        assert_eq!(
+            infra.route(eu, aus).unwrap().len(),
+            3,
+            "EU->AUS goes EU-NA-AS1-AUS"
+        );
         assert_eq!(infra.route(na, na).unwrap().len(), 0);
     }
 
@@ -633,7 +746,10 @@ mod tests {
         let c = infra.pick_server(na, TierKind::App).unwrap();
         assert_ne!(a.server, b.server);
         assert_eq!(a.server, c.server, "two app servers cycle with period 2");
-        assert!(infra.pick_server(na, TierKind::Db).is_none(), "no Db tier in this spec");
+        assert!(
+            infra.pick_server(na, TierKind::Db).is_none(),
+            "no Db tier in this spec"
+        );
     }
 
     #[test]
@@ -705,7 +821,9 @@ mod tests {
         // Round robin would give server 0 then 1; load server 0's CPU so
         // least-outstanding must pick server 1 twice in a row.
         let s0 = {
-            let r = infra.pick_server_with(na, TierKind::App, LoadBalancing::RoundRobin).unwrap();
+            let r = infra
+                .pick_server_with(na, TierKind::App, LoadBalancing::RoundRobin)
+                .unwrap();
             assert_eq!(r.server, 0);
             infra.server(r).clone()
         };
@@ -731,7 +849,9 @@ mod tests {
         let mut infra = Infrastructure::build(&three_site_spec(), 42).expect("build");
         let na = infra.dc_by_name("NA").unwrap();
         // Two app servers: fail server 0, all picks go to 1.
-        infra.fail_server(na, TierKind::App, 0).expect("redundancy available");
+        infra
+            .fail_server(na, TierKind::App, 0)
+            .expect("redundancy available");
         for _ in 0..4 {
             let r = infra.pick_server(na, TierKind::App).unwrap();
             assert_eq!(r.server, 1);
@@ -744,12 +864,18 @@ mod tests {
         // The last healthy server is protected.
         assert!(infra.fail_server(na, TierKind::App, 1).is_err());
         // Restoration brings server 0 back into rotation.
-        infra.restore_server(na, TierKind::App, 0).expect("known server");
-        let picks: Vec<usize> =
-            (0..4).map(|_| infra.pick_server(na, TierKind::App).unwrap().server).collect();
+        infra
+            .restore_server(na, TierKind::App, 0)
+            .expect("known server");
+        let picks: Vec<usize> = (0..4)
+            .map(|_| infra.pick_server(na, TierKind::App).unwrap().server)
+            .collect();
         assert!(picks.contains(&0), "restored server rejoins: {picks:?}");
         // Unknown tier/server indices error cleanly.
-        assert!(infra.fail_server(na, TierKind::Db, 0).is_err(), "no Db tier in this spec");
+        assert!(
+            infra.fail_server(na, TierKind::Db, 0).is_err(),
+            "no Db tier in this spec"
+        );
         assert!(infra.fail_server(na, TierKind::App, 9).is_err());
     }
 
@@ -759,6 +885,9 @@ mod tests {
         let na = infra.dc_by_name("NA").unwrap();
         let aus = infra.dc_by_name("AUS").unwrap();
         infra.fail_wan_link("L AS1->AUS").expect("known link");
-        assert!(infra.route(na, aus).is_none(), "AUS is unreachable without its only link");
+        assert!(
+            infra.route(na, aus).is_none(),
+            "AUS is unreachable without its only link"
+        );
     }
 }

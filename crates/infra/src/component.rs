@@ -7,10 +7,10 @@
 //! carries the reporting labels (which data center, which tier, what name)
 //! so collectors can group samples the way the paper's figures do.
 
+use gdisim_queueing::discipline::InfiniteServer;
 use gdisim_queueing::{
     CpuModel, JobToken, LinkModel, NicModel, RaidModel, SanModel, Station, SwitchModel,
 };
-use gdisim_queueing::discipline::InfiniteServer;
 use gdisim_types::{DcId, SimDuration, SimTime, TierKind};
 
 /// What kind of hardware an agent models.
@@ -104,6 +104,10 @@ impl Station for Component {
 
     fn tick(&mut self, now: SimTime, dt: SimDuration, completed: &mut Vec<JobToken>) {
         self.station().tick(now, dt, completed)
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        self.station().account_idle(ticks, dt)
     }
 
     fn collect_utilization(&mut self) -> f64 {

@@ -20,11 +20,13 @@
 
 #![warn(missing_docs)]
 
+pub mod active;
 pub mod build;
 pub mod component;
 pub mod routing;
 pub mod spec;
 
+pub use active::ActiveSet;
 pub use build::{DataCenter, Infrastructure, LoadBalancing, Server, ServerRef, Tier};
 pub use component::{AgentSlot, Component, ComponentKind, ComponentMeta};
 pub use spec::{

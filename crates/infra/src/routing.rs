@@ -39,8 +39,7 @@ pub fn compute_routes_excluding(
     use_backups: bool,
     failed: &[usize],
 ) -> HashMap<(usize, usize), Route> {
-    let index_of: HashMap<&str, usize> =
-        sites.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let index_of: HashMap<&str, usize> = sites.iter().enumerate().map(|(i, s)| (*s, i)).collect();
 
     // adjacency: site -> [(neighbor, link index, latency µs)]
     let mut adj: Vec<Vec<(usize, usize, u64)>> = vec![Vec::new(); sites.len()];
@@ -150,12 +149,16 @@ mod tests {
     fn backup_links_excluded_by_default() {
         let sites = ["EU", "AFR", "AS1"];
         let links = [
-            wan("EU", "AFR", 30, true),            // backup: unused
+            wan("EU", "AFR", 30, true), // backup: unused
             wan("EU", "AS1", 90, false),
             wan("AS1", "AFR", 50, false),
         ];
         let routes = compute_routes(&sites, &links, false);
-        assert_eq!(routes[&(0, 1)], vec![1, 2], "must route around the backup link");
+        assert_eq!(
+            routes[&(0, 1)],
+            vec![1, 2],
+            "must route around the backup link"
+        );
         let with_backup = compute_routes(&sites, &links, true);
         assert_eq!(with_backup[&(0, 1)], vec![0], "backup used when activated");
     }

@@ -71,7 +71,10 @@ impl DataCenterSpec {
 
     /// Total core count across tiers.
     pub fn total_cores(&self) -> u32 {
-        self.tiers.iter().map(|t| t.servers * t.cpu.total_cores()).sum()
+        self.tiers
+            .iter()
+            .map(|t| t.servers * t.cpu.total_cores())
+            .sum()
     }
 
     /// The tier of the given kind, if present.
@@ -230,7 +233,11 @@ mod tests {
         };
         assert!(self_loop.validate().unwrap_err().contains("loops"));
 
-        let empty = TopologySpec { data_centers: vec![], relay_sites: vec![], wan_links: vec![] };
+        let empty = TopologySpec {
+            data_centers: vec![],
+            relay_sites: vec![],
+            wan_links: vec![],
+        };
         assert!(empty.validate().is_err());
     }
 

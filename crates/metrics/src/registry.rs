@@ -59,7 +59,10 @@ impl ResponseTimeRegistry {
     /// Creates a registry that additionally retains every completion for
     /// post-hoc accuracy analysis (validation experiments).
     pub fn with_history() -> Self {
-        ResponseTimeRegistry { keep_history: true, ..Self::default() }
+        ResponseTimeRegistry {
+            keep_history: true,
+            ..Self::default()
+        }
     }
 
     /// Records one completed operation.
@@ -70,7 +73,10 @@ impl ResponseTimeRegistry {
         acc.total_secs += secs;
         acc.max_secs = acc.max_secs.max(secs);
         if self.keep_history {
-            self.history.entry(key).or_default().push((finished_at, secs));
+            self.history
+                .entry(key)
+                .or_default()
+                .push((finished_at, secs));
         }
     }
 
@@ -117,7 +123,11 @@ mod tests {
     use super::*;
 
     fn key(op: u32) -> ResponseKey {
-        ResponseKey { app: AppId(0), op: OpTypeId(op), dc: DcId(0) }
+        ResponseKey {
+            app: AppId(0),
+            op: OpTypeId(op),
+            dc: DcId(0),
+        }
     }
 
     #[test]

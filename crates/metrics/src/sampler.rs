@@ -39,10 +39,27 @@ impl UtilizationMeter {
         self.elapsed += total_servers * dt;
     }
 
+    /// Records `ticks` consecutive fully-idle ticks in one addition.
+    ///
+    /// Bit-for-bit equivalent to calling `record(0.0, total_servers, dt)`
+    /// `ticks` times: with integer server counts and integer-microsecond
+    /// ticks every product below 2^53 is exact in f64, so one bulk
+    /// addition accumulates the same value as the per-tick loop. This is
+    /// what keeps the engine's active-agent fast path (which skips empty
+    /// agents and credits their idle time lazily) identical to the
+    /// always-tick loop.
+    pub fn record_idle(&mut self, total_servers: f64, dt: SimDuration, ticks: u64) {
+        self.elapsed += total_servers * dt.as_micros() as f64 * ticks as f64;
+    }
+
     /// Returns the utilization in `[0, 1]` since the last collection and
     /// resets the meter. An interval with no recorded time reports `0`.
     pub fn collect(&mut self) -> f64 {
-        let u = if self.elapsed > 0.0 { (self.busy / self.elapsed).clamp(0.0, 1.0) } else { 0.0 };
+        let u = if self.elapsed > 0.0 {
+            (self.busy / self.elapsed).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         self.busy = 0.0;
         self.elapsed = 0.0;
         u
@@ -94,10 +111,24 @@ impl GaugeMeter {
         self.elapsed += dt;
     }
 
+    /// Advances `ticks` ticks in one addition — bit-for-bit equivalent to
+    /// `ticks` calls of [`advance`](Self::advance) when the level is an
+    /// integer (job counts always are) and ticks are whole microseconds,
+    /// since every product stays exactly representable.
+    pub fn advance_by(&mut self, dt: SimDuration, ticks: u64) {
+        let span = dt.as_micros() as f64 * ticks as f64;
+        self.weighted += self.level * span;
+        self.elapsed += span;
+    }
+
     /// Returns the time-weighted average level since the last collection
     /// and resets the accumulator (the level itself persists).
     pub fn collect(&mut self) -> f64 {
-        let avg = if self.elapsed > 0.0 { self.weighted / self.elapsed } else { self.level };
+        let avg = if self.elapsed > 0.0 {
+            self.weighted / self.elapsed
+        } else {
+            self.level
+        };
         self.weighted = 0.0;
         self.elapsed = 0.0;
         avg
@@ -160,5 +191,36 @@ mod tests {
         g.add(5.0);
         g.add(-2.0);
         assert_eq!(g.level(), 3.0);
+    }
+
+    #[test]
+    fn bulk_idle_matches_per_tick_exactly() {
+        let dt = SimDuration::from_millis(10);
+        let mut per_tick = UtilizationMeter::new();
+        let mut bulk = UtilizationMeter::new();
+        for _ in 0..12_345 {
+            per_tick.record(0.0, 3.0, dt);
+        }
+        bulk.record_idle(3.0, dt, 12_345);
+        // Same accumulator state -> identical bits after mixed traffic.
+        per_tick.record(1.5, 3.0, dt);
+        bulk.record(1.5, 3.0, dt);
+        assert_eq!(per_tick.collect().to_bits(), bulk.collect().to_bits());
+    }
+
+    #[test]
+    fn gauge_bulk_advance_matches_per_tick_exactly() {
+        let dt = SimDuration::from_millis(10);
+        let mut per_tick = GaugeMeter::new();
+        let mut bulk = GaugeMeter::new();
+        for _ in 0..9_999 {
+            per_tick.advance(dt);
+        }
+        bulk.advance_by(dt, 9_999);
+        per_tick.set(4.0);
+        bulk.set(4.0);
+        per_tick.advance(dt);
+        bulk.advance(dt);
+        assert_eq!(per_tick.collect().to_bits(), bulk.collect().to_bits());
     }
 }

@@ -24,7 +24,10 @@ impl TimeSeries {
 
     /// Creates an empty series with capacity for `n` samples.
     pub fn with_capacity(n: usize) -> Self {
-        TimeSeries { times: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+        TimeSeries {
+            times: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+        }
     }
 
     /// Appends a sample. Samples must be pushed in non-decreasing time
@@ -137,7 +140,10 @@ mod tests {
     use super::*;
 
     fn series(pairs: &[(u64, f64)]) -> TimeSeries {
-        pairs.iter().map(|(s, v)| (SimTime::from_secs(*s), *v)).collect()
+        pairs
+            .iter()
+            .map(|(s, v)| (SimTime::from_secs(*s), *v))
+            .collect()
     }
 
     #[test]
@@ -153,8 +159,14 @@ mod tests {
         let s = series(&[(0, 1.0), (6, 2.0), (12, 3.0), (18, 4.0)]);
         let w = s.window(SimTime::from_secs(6), SimTime::from_secs(18));
         assert_eq!(w, vec![2.0, 3.0]);
-        assert_eq!(s.window_mean(SimTime::from_secs(6), SimTime::from_secs(18)), 2.5);
-        assert_eq!(s.window_mean(SimTime::from_secs(100), SimTime::from_secs(200)), 0.0);
+        assert_eq!(
+            s.window_mean(SimTime::from_secs(6), SimTime::from_secs(18)),
+            2.5
+        );
+        assert_eq!(
+            s.window_mean(SimTime::from_secs(100), SimTime::from_secs(200)),
+            0.0
+        );
     }
 
     #[test]
@@ -176,6 +188,8 @@ mod tests {
 
     #[test]
     fn resample_empty() {
-        assert!(TimeSeries::new().resample(SimDuration::from_secs(1)).is_empty());
+        assert!(TimeSeries::new()
+            .resample(SimDuration::from_secs(1))
+            .is_empty());
     }
 }

@@ -76,7 +76,13 @@ impl Summary {
     /// Summarizes a sample set. Empty input yields the zero summary.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Summary { count: 0, mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let (mean, stddev) = mean_stddev(values);
         let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -84,7 +90,13 @@ impl Summary {
             min = min.min(v);
             max = max.max(v);
         }
-        Summary { count: values.len(), mean, stddev, min, max }
+        Summary {
+            count: values.len(),
+            mean,
+            stddev,
+            min,
+            max,
+        }
     }
 }
 

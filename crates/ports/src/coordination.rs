@@ -26,7 +26,10 @@ impl<M: Send + 'static, E: Send + 'static> MultipleItemReceiver<M, E> {
         expected: usize,
         handler: impl FnOnce(Vec<Result<M, E>>) + Send + 'static,
     ) -> Self {
-        assert!(expected > 0, "multiple-item receiver needs a positive count");
+        assert!(
+            expected > 0,
+            "multiple-item receiver needs a positive count"
+        );
         let port = Port::new(dispatcher);
         let state = Mutex::new((Vec::with_capacity(expected), Some(handler)));
         port.register(move |msg: Result<M, E>| {
@@ -165,7 +168,10 @@ impl Default for Interleave {
 impl Interleave {
     /// Creates an interleave scope.
     pub fn new() -> Self {
-        Interleave { lock: Arc::new(RwLock::new(())), torn_down: Arc::new(Mutex::new(false)) }
+        Interleave {
+            lock: Arc::new(RwLock::new(())),
+            torn_down: Arc::new(Mutex::new(false)),
+        }
     }
 
     /// Runs `f` in the concurrent group: parallel with other concurrent

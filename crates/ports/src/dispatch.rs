@@ -37,7 +37,9 @@ impl Dispatcher {
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "dispatcher needs at least one thread");
         let (tx, rx): (Sender<WorkItem>, Receiver<WorkItem>) = unbounded();
-        let shared = Arc::new(Shared { outstanding: AtomicUsize::new(0) });
+        let shared = Arc::new(Shared {
+            outstanding: AtomicUsize::new(0),
+        });
         let workers = (0..threads)
             .map(|i| {
                 let rx = rx.clone();
@@ -53,7 +55,11 @@ impl Dispatcher {
                     .expect("failed to spawn dispatcher worker")
             })
             .collect();
-        Dispatcher { tx: Some(tx), workers, shared }
+        Dispatcher {
+            tx: Some(tx),
+            workers,
+            shared,
+        }
     }
 
     /// Number of worker threads.

@@ -73,6 +73,36 @@ impl Executor {
             Executor::HDispatch(pool) => pool.run_phase(agents, &f),
         }
     }
+
+    /// Applies `f` to the agents selected by `indices` (strictly
+    /// ascending) under this strategy — the engine's active-agent fast
+    /// path, which ticks only agents that hold work. A dense view of
+    /// mutable references is carved out of `agents` with repeated
+    /// `split_at_mut`, so the existing pools run unchanged over the view.
+    ///
+    /// # Panics
+    /// Panics if `indices` is not strictly ascending or out of range.
+    pub fn run_phase_indexed<A, F>(&self, agents: &mut [A], indices: &[u32], f: F)
+    where
+        A: Send,
+        F: Fn(&mut A) + Sync,
+    {
+        let mut view: Vec<&mut A> = Vec::with_capacity(indices.len());
+        let mut rest = agents;
+        let mut offset = 0usize;
+        for &i in indices {
+            let i = i as usize;
+            assert!(i >= offset, "active-set indices must be strictly ascending");
+            let tail = rest.split_at_mut(i - offset).1;
+            let (item, tail) = tail
+                .split_first_mut()
+                .expect("active-set index out of range");
+            view.push(item);
+            rest = tail;
+            offset = i + 1;
+        }
+        self.run_phase(&mut view, |a: &mut &mut A| f(a));
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +125,31 @@ mod tests {
 
         assert_eq!(serial, sg);
         assert_eq!(serial, hd);
+    }
+
+    #[test]
+    fn indexed_phase_touches_only_selected_agents() {
+        let work = |a: &mut u64| *a += 1;
+        let indices = [0u32, 3, 4, 499];
+        for ex in [
+            Executor::serial(),
+            Executor::scatter_gather(4),
+            Executor::hdispatch(4, 2),
+        ] {
+            let mut agents = vec![0u64; 500];
+            ex.run_phase_indexed(&mut agents, &indices, work);
+            for (i, v) in agents.iter().enumerate() {
+                let expected = u64::from(indices.contains(&(i as u32)));
+                assert_eq!(*v, expected, "agent {i} under {}", ex.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn indexed_phase_rejects_unsorted_indices() {
+        let mut agents = vec![0u64; 8];
+        Executor::serial().run_phase_indexed(&mut agents, &[3, 1], |_| {});
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl HDispatchPool {
     pub fn new(threads: usize, agent_set: usize) -> Self {
         assert!(threads > 0, "H-Dispatch needs at least one thread");
         assert!(agent_set > 0, "agent set must be non-empty");
-        HDispatchPool { pool: Arc::new(PhasePool::new(threads)), agent_set }
+        HDispatchPool {
+            pool: Arc::new(PhasePool::new(threads)),
+            agent_set,
+        }
     }
 
     /// Number of worker threads.

@@ -63,7 +63,12 @@ impl PhasePool {
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "phase pool needs at least one thread");
         let inner = Arc::new(Inner {
-            state: Mutex::new(State { generation: 0, units: 0, task: None, done_workers: 0 }),
+            state: Mutex::new(State {
+                generation: 0,
+                units: 0,
+                task: None,
+                done_workers: 0,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cursor: AtomicUsize::new(0),
@@ -105,8 +110,9 @@ impl PhasePool {
             let mut st = self.inner.state.lock();
             // SAFETY: see module docs — `f` outlives the phase because we
             // block below until every worker reports done.
-            let erased: TaskPtr =
-                TaskPtr(unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f) });
+            let erased: TaskPtr = TaskPtr(unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+            });
             st.task = Some(erased);
             st.units = units;
             st.generation += 1;

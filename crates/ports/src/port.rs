@@ -26,7 +26,9 @@ pub struct Port<T> {
 
 impl<T> Clone for Port<T> {
     fn clone(&self) -> Self {
-        Port { inner: Arc::clone(&self.inner) }
+        Port {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -83,8 +85,13 @@ impl<T: Send + 'static> Port<T> {
     }
 
     fn dispatch(&self, msg: T) {
-        let handler =
-            Arc::clone(self.inner.handler.read().as_ref().expect("dispatch without handler"));
+        let handler = Arc::clone(
+            self.inner
+                .handler
+                .read()
+                .as_ref()
+                .expect("dispatch without handler"),
+        );
         self.inner.dispatcher.submit(Box::new(move || handler(msg)));
     }
 

@@ -60,7 +60,9 @@ where
         port.post((input, gather_port.clone()));
     }
 
-    result_rx.recv().expect("gather receiver dropped without firing")
+    result_rx
+        .recv()
+        .expect("gather receiver dropped without firing")
 }
 
 /// Engine-facing Scatter-Gather phase executor: one work item per agent
@@ -72,7 +74,9 @@ pub struct ScatterGatherPool {
 
 impl std::fmt::Debug for ScatterGatherPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ScatterGatherPool").field("threads", &self.threads()).finish()
+        f.debug_struct("ScatterGatherPool")
+            .field("threads", &self.threads())
+            .finish()
     }
 }
 
@@ -80,7 +84,9 @@ impl ScatterGatherPool {
     /// Creates a pool with `threads` persistent workers.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "scatter-gather needs at least one thread");
-        ScatterGatherPool { pool: Arc::new(PhasePool::new(threads)) }
+        ScatterGatherPool {
+            pool: Arc::new(PhasePool::new(threads)),
+        }
     }
 
     /// Number of worker threads.

@@ -25,7 +25,10 @@ pub fn utilization(lambda: f64, mu: f64, servers: u32) -> f64 {
 /// assert!(mm1_response_time(10.0, 10.0).is_infinite());
 /// ```
 pub fn mm1_response_time(lambda: f64, mu: f64) -> f64 {
-    assert!(lambda >= 0.0 && mu > 0.0, "rates must be non-negative, μ positive");
+    assert!(
+        lambda >= 0.0 && mu > 0.0,
+        "rates must be non-negative, μ positive"
+    );
     if lambda >= mu {
         return f64::INFINITY;
     }

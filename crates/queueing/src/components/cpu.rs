@@ -29,7 +29,12 @@ pub struct CpuSpec {
 impl CpuSpec {
     /// A spec without hyper-threading.
     pub fn new(sockets: u32, cores_per_socket: u32, clock_hz: f64) -> Self {
-        CpuSpec { sockets, cores_per_socket, clock_hz, hyperthreading: 1.0 }
+        CpuSpec {
+            sockets,
+            cores_per_socket,
+            clock_hz,
+            hyperthreading: 1.0,
+        }
     }
 
     /// Total physical cores.
@@ -65,12 +70,19 @@ pub struct CpuModel {
 impl CpuModel {
     /// Builds the model from its spec.
     pub fn new(spec: CpuSpec) -> Self {
-        assert!(spec.sockets > 0 && spec.cores_per_socket > 0, "CPU needs sockets and cores");
+        assert!(
+            spec.sockets > 0 && spec.cores_per_socket > 0,
+            "CPU needs sockets and cores"
+        );
         assert!(spec.clock_hz > 0.0, "CPU clock must be positive");
         let sockets = (0..spec.sockets)
             .map(|_| FcfsMulti::new(spec.effective_cores_per_socket(), spec.clock_hz))
             .collect();
-        CpuModel { spec, sockets, next_socket: 0 }
+        CpuModel {
+            spec,
+            sockets,
+            next_socket: 0,
+        }
     }
 
     /// The spec this model was built from.
@@ -91,9 +103,19 @@ impl Station for CpuModel {
         }
     }
 
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        for s in &mut self.sockets {
+            s.account_idle(ticks, dt);
+        }
+    }
+
     fn collect_utilization(&mut self) -> f64 {
         let n = self.sockets.len() as f64;
-        self.sockets.iter_mut().map(|s| s.collect_utilization()).sum::<f64>() / n
+        self.sockets
+            .iter_mut()
+            .map(|s| s.collect_utilization())
+            .sum::<f64>()
+            / n
     }
 
     fn in_system(&self) -> usize {
@@ -118,7 +140,10 @@ mod tests {
 
     #[test]
     fn hyperthreading_scales_effective_cores() {
-        let spec = CpuSpec { hyperthreading: 1.25, ..CpuSpec::new(1, 4, ghz(2.0)) };
+        let spec = CpuSpec {
+            hyperthreading: 1.25,
+            ..CpuSpec::new(1, 4, ghz(2.0))
+        };
         assert_eq!(spec.effective_cores_per_socket(), 5);
         assert_eq!(spec.total_rate(), 5.0 * 2e9);
     }

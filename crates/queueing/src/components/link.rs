@@ -23,9 +23,19 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// Creates a spec.
     pub fn new(bandwidth_bytes_per_sec: f64, latency: SimDuration, max_connections: u32) -> Self {
-        assert!(bandwidth_bytes_per_sec > 0.0, "link bandwidth must be positive");
-        assert!(max_connections > 0, "link must admit at least one connection");
-        LinkSpec { bandwidth_bytes_per_sec, latency, max_connections }
+        assert!(
+            bandwidth_bytes_per_sec > 0.0,
+            "link bandwidth must be positive"
+        );
+        assert!(
+            max_connections > 0,
+            "link must admit at least one connection"
+        );
+        LinkSpec {
+            bandwidth_bytes_per_sec,
+            latency,
+            max_connections,
+        }
     }
 
     /// The Kendall descriptor of this model.
@@ -78,6 +88,11 @@ impl Station for LinkModel {
             self.propagation.enqueue(token, 0.0, now + dt);
         }
         self.propagation.tick(now, dt, completed);
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        self.service.account_idle(ticks, dt);
+        self.propagation.account_idle(ticks, dt);
     }
 
     fn collect_utilization(&mut self) -> f64 {

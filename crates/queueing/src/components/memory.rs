@@ -39,7 +39,11 @@ impl MemorySpec {
     /// Creates a spec with no OS pool, clamping the hit rate to `[0, 1]`.
     pub fn new(capacity_bytes: f64, hit_rate: f64) -> Self {
         assert!(capacity_bytes > 0.0, "memory capacity must be positive");
-        MemorySpec { capacity_bytes, hit_rate: hit_rate.clamp(0.0, 1.0), pool_bytes: 0.0 }
+        MemorySpec {
+            capacity_bytes,
+            hit_rate: hit_rate.clamp(0.0, 1.0),
+            pool_bytes: 0.0,
+        }
     }
 
     /// Adds an OS/runtime pool floor, builder-style.
@@ -68,7 +72,12 @@ pub struct MemoryModel {
 impl MemoryModel {
     /// Builds the model from its spec with a deterministic seed.
     pub fn new(spec: MemorySpec, seed: u64) -> Self {
-        MemoryModel { spec, occupancy: GaugeMeter::new(), rng: SplitMix64::new(seed), overcommit_events: 0 }
+        MemoryModel {
+            spec,
+            occupancy: GaugeMeter::new(),
+            rng: SplitMix64::new(seed),
+            overcommit_events: 0,
+        }
     }
 
     /// The spec this model was built from.
@@ -97,7 +106,10 @@ impl MemoryModel {
     /// Releases `bytes` previously allocated.
     pub fn release(&mut self, bytes: f64) {
         self.occupancy.add(-bytes);
-        debug_assert!(self.occupancy.level() >= -1e-3, "released more memory than allocated");
+        debug_assert!(
+            self.occupancy.level() >= -1e-3,
+            "released more memory than allocated"
+        );
     }
 
     /// Advances the occupancy clock by one tick.
@@ -189,7 +201,10 @@ mod tests {
         let avg = m.collect_avg_occupancy();
         assert!((avg - gb(30.5)).abs() < 1.0, "avg {avg}");
         // Headroom accounting includes the pool.
-        assert!(!m.allocate(gb(2.0)), "0.5 + 2.0 over the 2 GB of free headroom");
+        assert!(
+            !m.allocate(gb(2.0)),
+            "0.5 + 2.0 over the 2 GB of free headroom"
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub struct NicModel {
 impl NicModel {
     /// Builds the model from its spec.
     pub fn new(spec: NicSpec) -> Self {
-        NicModel { queue: FcfsMulti::new(1, spec.rate_bytes_per_sec), spec }
+        NicModel {
+            queue: FcfsMulti::new(1, spec.rate_bytes_per_sec),
+            spec,
+        }
     }
 
     /// The spec this model was built from.
@@ -52,6 +55,10 @@ impl Station for NicModel {
 
     fn tick(&mut self, now: SimTime, dt: SimDuration, completed: &mut Vec<JobToken>) {
         self.queue.tick(now, dt, completed);
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        self.queue.account_idle(ticks, dt);
     }
 
     fn collect_utilization(&mut self) -> f64 {

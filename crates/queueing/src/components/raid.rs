@@ -78,8 +78,12 @@ impl RaidModel {
     pub fn new(spec: RaidSpec, seed: u64) -> Self {
         RaidModel {
             dacc: FcfsMulti::new(1, spec.array_ctrl_rate),
-            disk_ctrl: (0..spec.disks).map(|_| FcfsMulti::new(1, spec.disk_ctrl_rate)).collect(),
-            disk_drive: (0..spec.disks).map(|_| FcfsMulti::new(1, spec.disk_rate)).collect(),
+            disk_ctrl: (0..spec.disks)
+                .map(|_| FcfsMulti::new(1, spec.disk_ctrl_rate))
+                .collect(),
+            disk_drive: (0..spec.disks)
+                .map(|_| FcfsMulti::new(1, spec.disk_rate))
+                .collect(),
             stripe_of: HashMap::new(),
             outstanding: HashMap::new(),
             rng: SplitMix64::new(seed),
@@ -96,7 +100,11 @@ impl RaidModel {
     /// Average drive utilization since the last collection (resets).
     pub fn collect_drive_utilization(&mut self) -> f64 {
         let n = self.disk_drive.len() as f64;
-        self.disk_drive.iter_mut().map(|d| d.collect_utilization()).sum::<f64>() / n
+        self.disk_drive
+            .iter_mut()
+            .map(|d| d.collect_utilization())
+            .sum::<f64>()
+            / n
     }
 
     fn join_stripe(
@@ -105,7 +113,9 @@ impl RaidModel {
         token: JobToken,
         completed: &mut Vec<JobToken>,
     ) {
-        let remaining = outstanding.get_mut(&token).expect("stripe completed without a join entry");
+        let remaining = outstanding
+            .get_mut(&token)
+            .expect("stripe completed without a join entry");
         *remaining -= 1;
         if *remaining == 0 {
             outstanding.remove(&token);
@@ -157,6 +167,13 @@ impl Station for RaidModel {
                     ctrl.enqueue(token, stripe, now);
                 }
             }
+        }
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        self.dacc.account_idle(ticks, dt);
+        for q in self.disk_ctrl.iter_mut().chain(self.disk_drive.iter_mut()) {
+            q.account_idle(ticks, dt);
         }
     }
 

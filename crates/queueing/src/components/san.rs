@@ -100,8 +100,12 @@ impl SanModel {
             fcsw: FcfsMulti::new(1, spec.fc_switch_rate),
             dacc: FcfsMulti::new(1, spec.array_ctrl_rate),
             fcal: FcfsMulti::new(1, spec.fc_loop_rate),
-            disk_ctrl: (0..spec.disks).map(|_| FcfsMulti::new(1, spec.disk_ctrl_rate)).collect(),
-            disk_drive: (0..spec.disks).map(|_| FcfsMulti::new(1, spec.disk_rate)).collect(),
+            disk_ctrl: (0..spec.disks)
+                .map(|_| FcfsMulti::new(1, spec.disk_ctrl_rate))
+                .collect(),
+            disk_drive: (0..spec.disks)
+                .map(|_| FcfsMulti::new(1, spec.disk_rate))
+                .collect(),
             front_stage: HashMap::new(),
             demand_of: HashMap::new(),
             outstanding: HashMap::new(),
@@ -119,11 +123,18 @@ impl SanModel {
     /// Average drive utilization since the last collection (resets).
     pub fn collect_drive_utilization(&mut self) -> f64 {
         let n = self.disk_drive.len() as f64;
-        self.disk_drive.iter_mut().map(|d| d.collect_utilization()).sum::<f64>() / n
+        self.disk_drive
+            .iter_mut()
+            .map(|d| d.collect_utilization())
+            .sum::<f64>()
+            / n
     }
 
     fn join_stripe(&mut self, token: JobToken, completed: &mut Vec<JobToken>) {
-        let remaining = self.outstanding.get_mut(&token).expect("stripe without join entry");
+        let remaining = self
+            .outstanding
+            .get_mut(&token)
+            .expect("stripe without join entry");
         *remaining -= 1;
         if *remaining == 0 {
             self.outstanding.remove(&token);
@@ -199,6 +210,15 @@ impl Station for SanModel {
         }
     }
 
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        self.fcsw.account_idle(ticks, dt);
+        self.dacc.account_idle(ticks, dt);
+        self.fcal.account_idle(ticks, dt);
+        for q in self.disk_ctrl.iter_mut().chain(self.disk_drive.iter_mut()) {
+            q.account_idle(ticks, dt);
+        }
+    }
+
     fn collect_utilization(&mut self) -> f64 {
         // Report the fibre-channel switch, the SAN's entry bottleneck;
         // drives are exposed separately.
@@ -231,7 +251,16 @@ mod tests {
     }
 
     fn spec_no_cache(disks: u32) -> SanSpec {
-        SanSpec::new(disks, gbps(8.0), gbps(4.0), 0.0, gbps(4.0), gbps(2.0), 0.0, mb_per_s(120.0))
+        SanSpec::new(
+            disks,
+            gbps(8.0),
+            gbps(4.0),
+            0.0,
+            gbps(4.0),
+            gbps(2.0),
+            0.0,
+            mb_per_s(120.0),
+        )
     }
 
     #[test]
@@ -247,7 +276,10 @@ mod tests {
 
     #[test]
     fn array_cache_hit_skips_loop_and_disks() {
-        let spec = SanSpec { array_cache_hit: 1.0, ..spec_no_cache(2) };
+        let spec = SanSpec {
+            array_cache_hit: 1.0,
+            ..spec_no_cache(2)
+        };
         let mut s = SanModel::new(spec, 3);
         s.enqueue(JobToken(1), 1.2e6, SimTime::ZERO);
         // switch (tick 1) + array ctrl (tick 2) only.
@@ -271,7 +303,10 @@ mod tests {
 
     #[test]
     fn partial_cache_mixes_paths() {
-        let spec = SanSpec { array_cache_hit: 0.5, ..spec_no_cache(2) };
+        let spec = SanSpec {
+            array_cache_hit: 0.5,
+            ..spec_no_cache(2)
+        };
         let mut s = SanModel::new(spec, 42);
         for i in 0..100 {
             s.enqueue(JobToken(i), 1.2e6, SimTime::ZERO);

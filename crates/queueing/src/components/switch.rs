@@ -35,7 +35,10 @@ pub struct SwitchModel {
 impl SwitchModel {
     /// Builds the model from its spec.
     pub fn new(spec: SwitchSpec) -> Self {
-        SwitchModel { queue: FcfsMulti::new(1, spec.rate_bytes_per_sec), spec }
+        SwitchModel {
+            queue: FcfsMulti::new(1, spec.rate_bytes_per_sec),
+            spec,
+        }
     }
 
     /// The spec this model was built from.
@@ -51,6 +54,10 @@ impl Station for SwitchModel {
 
     fn tick(&mut self, now: SimTime, dt: SimDuration, completed: &mut Vec<JobToken>) {
         self.queue.tick(now, dt, completed);
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        self.queue.account_idle(ticks, dt);
     }
 
     fn collect_utilization(&mut self) -> f64 {

@@ -25,7 +25,11 @@ impl DelayLine {
     /// Creates a delay line with the given constant delay. A zero delay is
     /// permitted and releases jobs on the next tick.
     pub fn new(delay: SimDuration) -> Self {
-        DelayLine { delay, in_flight: VecDeque::new(), gauge: GaugeMeter::new() }
+        DelayLine {
+            delay,
+            in_flight: VecDeque::new(),
+            gauge: GaugeMeter::new(),
+        }
     }
 
     /// The configured delay.
@@ -51,6 +55,11 @@ impl Station for DelayLine {
         }
         self.gauge.set(self.in_flight.len() as f64);
         self.gauge.advance(dt);
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        // Empty line: the gauge already sits at zero, so only time advances.
+        self.gauge.advance_by(dt, ticks);
     }
 
     fn collect_utilization(&mut self) -> f64 {

@@ -25,7 +25,10 @@ impl FcfsMulti {
     /// is always a configuration bug.
     pub fn new(servers: u32, rate: f64) -> Self {
         assert!(servers > 0, "FCFS queue needs at least one server");
-        assert!(rate > 0.0 && rate.is_finite(), "FCFS service rate must be positive");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "FCFS service rate must be positive"
+        );
         FcfsMulti {
             servers: vec![None; servers as usize],
             waiting: VecDeque::new(),
@@ -83,7 +86,12 @@ impl Station for FcfsMulti {
             }
         }
         let busy_servers = used_units / per_server_budget;
-        self.meter.record(busy_servers, self.servers.len() as f64, dt);
+        self.meter
+            .record(busy_servers, self.servers.len() as f64, dt);
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        self.meter.record_idle(self.servers.len() as f64, dt, ticks);
     }
 
     fn collect_utilization(&mut self) -> f64 {
@@ -150,7 +158,11 @@ mod tests {
         q.enqueue(JobToken(2), 1.0, SimTime::ZERO);
         let mut done = Vec::new();
         q.tick(SimTime::ZERO, DT, &mut done);
-        assert_eq!(done.len(), 2, "both servers should finish their job in one tick");
+        assert_eq!(
+            done.len(),
+            2,
+            "both servers should finish their job in one tick"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ impl Tandem {
     /// Creates a tandem over the given stages (at least one).
     pub fn new(stages: Vec<Box<dyn Station>>) -> Self {
         assert!(!stages.is_empty(), "tandem needs at least one stage");
-        Tandem { stages, state: HashMap::new(), scratch: Vec::new() }
+        Tandem {
+            stages,
+            state: HashMap::new(),
+            scratch: Vec::new(),
+        }
     }
 }
 
@@ -62,6 +66,12 @@ impl Station for Tandem {
         }
     }
 
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        for s in &mut self.stages {
+            s.account_idle(ticks, dt);
+        }
+    }
+
     fn collect_utilization(&mut self) -> f64 {
         // Report the bottleneck (maximum) stage utilization.
         self.stages
@@ -89,7 +99,12 @@ impl Bypass {
     /// Wraps `inner` with a cache of the given hit rate (clamped to
     /// `[0, 1]`), seeded deterministically.
     pub fn new(inner: Box<dyn Station>, hit_rate: f64, seed: u64) -> Self {
-        Bypass { inner, hit_rate: hit_rate.clamp(0.0, 1.0), rng: SplitMix64::new(seed), hits_pending: Vec::new() }
+        Bypass {
+            inner,
+            hit_rate: hit_rate.clamp(0.0, 1.0),
+            rng: SplitMix64::new(seed),
+            hits_pending: Vec::new(),
+        }
     }
 }
 
@@ -105,6 +120,10 @@ impl Station for Bypass {
     fn tick(&mut self, now: SimTime, dt: SimDuration, completed: &mut Vec<JobToken>) {
         completed.append(&mut self.hits_pending);
         self.inner.tick(now, dt, completed);
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        self.inner.account_idle(ticks, dt);
     }
 
     fn collect_utilization(&mut self) -> f64 {
@@ -129,7 +148,11 @@ impl ForkJoin {
     /// Creates a fork-join over the given branches (at least one).
     pub fn new(branches: Vec<Box<dyn Station>>) -> Self {
         assert!(!branches.is_empty(), "fork-join needs at least one branch");
-        ForkJoin { branches, outstanding: HashMap::new(), scratch: Vec::new() }
+        ForkJoin {
+            branches,
+            outstanding: HashMap::new(),
+            scratch: Vec::new(),
+        }
     }
 
     /// Number of parallel branches.
@@ -166,9 +189,19 @@ impl Station for ForkJoin {
         }
     }
 
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        for b in &mut self.branches {
+            b.account_idle(ticks, dt);
+        }
+    }
+
     fn collect_utilization(&mut self) -> f64 {
         let n = self.branches.len() as f64;
-        self.branches.iter_mut().map(|b| b.collect_utilization()).sum::<f64>() / n
+        self.branches
+            .iter_mut()
+            .map(|b| b.collect_utilization())
+            .sum::<f64>()
+            / n
     }
 
     fn in_system(&self) -> usize {

@@ -22,8 +22,15 @@ pub struct InfiniteServer {
 impl InfiniteServer {
     /// Creates an infinite-server station with per-job service `rate`.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "service rate must be positive");
-        InfiniteServer { jobs: Vec::new(), rate, gauge: GaugeMeter::new() }
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "service rate must be positive"
+        );
+        InfiniteServer {
+            jobs: Vec::new(),
+            rate,
+            gauge: GaugeMeter::new(),
+        }
     }
 
     /// Per-job service rate.
@@ -50,6 +57,11 @@ impl Station for InfiniteServer {
         });
         self.gauge.set(self.jobs.len() as f64);
         self.gauge.advance(dt);
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        // Empty station: the gauge already sits at zero, so only time advances.
+        self.gauge.advance_by(dt, ticks);
     }
 
     fn collect_utilization(&mut self) -> f64 {

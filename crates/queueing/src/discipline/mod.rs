@@ -36,6 +36,17 @@ pub trait Station {
     /// jobs onto `completed` (in completion order).
     fn tick(&mut self, now: SimTime, dt: SimDuration, completed: &mut Vec<JobToken>);
 
+    /// Accounts `ticks` consecutive empty ticks to the station's meters in
+    /// one bulk addition — bit-for-bit equivalent to calling
+    /// [`tick`](Self::tick) that many times with an empty system. The
+    /// engine's active-agent fast path skips idle stations entirely and
+    /// credits the elapsed idle time through this method just before a
+    /// collection or re-activation, so utilization and gauge averages stay
+    /// identical to the always-tick loop.
+    ///
+    /// Callers must only invoke this while `in_system() == 0`.
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration);
+
     /// Returns the utilization since the previous collection and resets
     /// the meter. For delay lines (which model no contention) this is the
     /// average number of in-flight jobs instead.

@@ -32,7 +32,10 @@ impl PsQueue {
     /// # Panics
     /// Panics on a non-positive rate or `max_sharing == 0`.
     pub fn new(rate: f64, max_sharing: u32) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "PS service rate must be positive");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "PS service rate must be positive"
+        );
         assert!(max_sharing > 0, "PS queue needs at least one service slot");
         PsQueue {
             active: Vec::new(),
@@ -110,8 +113,16 @@ impl Station for PsQueue {
         }
 
         let used = total_budget - budget;
-        let busy = if total_budget > 0.0 { used / total_budget } else { 0.0 };
+        let busy = if total_budget > 0.0 {
+            used / total_budget
+        } else {
+            0.0
+        };
         self.meter.record(busy, 1.0, dt);
+    }
+
+    fn account_idle(&mut self, ticks: u64, dt: SimDuration) {
+        self.meter.record_idle(1.0, dt, ticks);
     }
 
     fn collect_utilization(&mut self) -> f64 {

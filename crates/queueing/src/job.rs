@@ -29,7 +29,14 @@ pub(crate) struct JobEntry {
 
 impl JobEntry {
     pub(crate) fn new(token: JobToken, demand: f64, now: SimTime) -> Self {
-        debug_assert!(demand.is_finite() && demand >= 0.0, "job demand must be non-negative");
-        JobEntry { token, remaining: demand.max(0.0), enqueued_at: now }
+        debug_assert!(
+            demand.is_finite() && demand >= 0.0,
+            "job demand must be non-negative"
+        );
+        JobEntry {
+            token,
+            remaining: demand.max(0.0),
+            enqueued_at: now,
+        }
     }
 }

@@ -31,6 +31,8 @@ pub use components::{
     CpuModel, CpuSpec, LinkModel, LinkSpec, MemoryModel, MemorySpec, NicModel, NicSpec, RaidModel,
     RaidSpec, SanModel, SanSpec, SwitchModel, SwitchSpec,
 };
-pub use discipline::{Bypass, DelayLine, FcfsMulti, ForkJoin, InfiniteServer, PsQueue, Station, Tandem};
+pub use discipline::{
+    Bypass, DelayLine, FcfsMulti, ForkJoin, InfiniteServer, PsQueue, Station, Tandem,
+};
 pub use job::JobToken;
 pub use rng::SplitMix64;

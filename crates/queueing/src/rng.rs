@@ -100,7 +100,10 @@ mod tests {
         assert!(g.bernoulli(1.5));
         let hits = (0..100_000).filter(|_| g.bernoulli(0.3)).count();
         let freq = hits as f64 / 100_000.0;
-        assert!((freq - 0.3).abs() < 0.01, "frequency {freq} too far from 0.3");
+        assert!(
+            (freq - 0.3).abs() < 0.01,
+            "frequency {freq} too far from 0.3"
+        );
     }
 
     #[test]

@@ -72,7 +72,10 @@ fn fluid_fcfs_matches_mm1() {
     let measured = measure_mean_response(&mut q, lambda, mu, 4000.0, 7);
     let theory = mm1_response_time(lambda, mu);
     let rel = (measured - theory).abs() / theory;
-    assert!(rel < 0.10, "M/M/1: measured {measured:.4}s vs theory {theory:.4}s");
+    assert!(
+        rel < 0.10,
+        "M/M/1: measured {measured:.4}s vs theory {theory:.4}s"
+    );
 }
 
 #[test]
@@ -83,7 +86,10 @@ fn fluid_fcfs_matches_mm1_under_heavier_load() {
     let measured = measure_mean_response(&mut q, lambda, mu, 8000.0, 11);
     let theory = mm1_response_time(lambda, mu);
     let rel = (measured - theory).abs() / theory;
-    assert!(rel < 0.15, "M/M/1 ρ=0.7: measured {measured:.4}s vs theory {theory:.4}s");
+    assert!(
+        rel < 0.15,
+        "M/M/1 ρ=0.7: measured {measured:.4}s vs theory {theory:.4}s"
+    );
 }
 
 #[test]
@@ -94,7 +100,10 @@ fn fluid_multi_server_matches_mmc() {
     let measured = measure_mean_response(&mut q, lambda, mu, 6000.0, 13);
     let theory = mmc_response_time(lambda, mu, c);
     let rel = (measured - theory).abs() / theory;
-    assert!(rel < 0.12, "M/M/{c}: measured {measured:.4}s vs theory {theory:.4}s");
+    assert!(
+        rel < 0.12,
+        "M/M/{c}: measured {measured:.4}s vs theory {theory:.4}s"
+    );
 }
 
 #[test]
@@ -106,7 +115,10 @@ fn fluid_ps_matches_mm1_mean() {
     let measured = measure_mean_response(&mut q, lambda, mu, 6000.0, 17);
     let theory = mm1_response_time(lambda, mu);
     let rel = (measured - theory).abs() / theory;
-    assert!(rel < 0.12, "M/M/1-PS: measured {measured:.4}s vs theory {theory:.4}s");
+    assert!(
+        rel < 0.12,
+        "M/M/1-PS: measured {measured:.4}s vs theory {theory:.4}s"
+    );
 }
 
 #[test]
@@ -130,5 +142,8 @@ fn utilization_matches_rho() {
     }
     let util = q.collect_utilization();
     let rho = lambda / mu;
-    assert!((util - rho).abs() < 0.03, "utilization {util:.3} vs ρ {rho:.3}");
+    assert!(
+        (util - rho).abs() < 0.03,
+        "utilization {util:.3} vs ρ {rho:.3}"
+    );
 }

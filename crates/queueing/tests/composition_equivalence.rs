@@ -19,7 +19,11 @@ fn generic_raid(disks: u32) -> Tandem {
         .map(|_| {
             Box::new(Tandem::new(vec![
                 Box::new(FcfsMulti::new(1, gbps(2.0))) as Box<dyn Station>,
-                Box::new(Bypass::new(Box::new(FcfsMulti::new(1, mb_per_s(120.0))), 0.0, 1)),
+                Box::new(Bypass::new(
+                    Box::new(FcfsMulti::new(1, mb_per_s(120.0))),
+                    0.0,
+                    1,
+                )),
             ])) as Box<dyn Station>
         })
         .collect();
@@ -30,11 +34,18 @@ fn generic_raid(disks: u32) -> Tandem {
 }
 
 fn hand_rolled_raid(disks: u32) -> RaidModel {
-    RaidModel::new(RaidSpec::new(disks, gbps(4.0), 0.0, gbps(2.0), 0.0, mb_per_s(120.0)), 3)
+    RaidModel::new(
+        RaidSpec::new(disks, gbps(4.0), 0.0, gbps(2.0), 0.0, mb_per_s(120.0)),
+        3,
+    )
 }
 
 /// Runs a station and records `(tick index, token)` completions.
-fn completion_schedule(station: &mut dyn Station, jobs: &[(u64, f64)], ticks: u64) -> Vec<(u64, u64)> {
+fn completion_schedule(
+    station: &mut dyn Station,
+    jobs: &[(u64, f64)],
+    ticks: u64,
+) -> Vec<(u64, u64)> {
     for (id, demand) in jobs {
         station.enqueue(JobToken(*id), *demand, SimTime::ZERO);
     }
@@ -54,7 +65,9 @@ fn completion_schedule(station: &mut dyn Station, jobs: &[(u64, f64)], ticks: u6
 
 #[test]
 fn assembled_pipeline_matches_raid_model_exactly() {
-    let jobs: Vec<(u64, f64)> = (0..12).map(|i| (i, 1.2e6 * (1.0 + (i % 4) as f64))).collect();
+    let jobs: Vec<(u64, f64)> = (0..12)
+        .map(|i| (i, 1.2e6 * (1.0 + (i % 4) as f64)))
+        .collect();
     for disks in [1u32, 2, 4] {
         let mut generic = generic_raid(disks);
         let mut specialized = hand_rolled_raid(disks);

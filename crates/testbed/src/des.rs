@@ -27,7 +27,11 @@ pub struct EventQueue<P> {
 
 impl<P> Default for EventQueue<P> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -48,8 +52,13 @@ impl<P> EventQueue<P> {
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<P>> {
         let Reverse((t, _, idx)) = self.heap.pop()?;
-        let payload = self.payloads[idx as usize].take().expect("event fired twice");
-        Some(Event { at: SimTime(t), payload })
+        let payload = self.payloads[idx as usize]
+            .take()
+            .expect("event fired twice");
+        Some(Event {
+            at: SimTime(t),
+            payload,
+        })
     }
 
     /// Earliest scheduled time without popping.

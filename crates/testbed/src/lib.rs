@@ -24,6 +24,6 @@ pub mod des;
 pub mod machine;
 pub mod runner;
 
-pub use des::{EventQueue, Event};
+pub use des::{Event, EventQueue};
 pub use machine::{MachinePool, PoolStats};
 pub use runner::{run_validation, PhysicalRun, TestbedConfig};

@@ -46,7 +46,12 @@ impl MachinePool {
     /// Offers a job with the given service time. Returns `Some(finish)`
     /// if a server was free and service starts immediately; otherwise the
     /// job is queued and `None` is returned.
-    pub fn offer(&mut self, now: SimTime, job: u64, service: SimDuration) -> Option<(u64, SimTime)> {
+    pub fn offer(
+        &mut self,
+        now: SimTime,
+        job: u64,
+        service: SimDuration,
+    ) -> Option<(u64, SimTime)> {
         self.advance(now);
         if self.busy < self.servers {
             self.busy += 1;
@@ -80,7 +85,11 @@ impl MachinePool {
     pub fn stats(&mut self, now: SimTime, interval: SimDuration) -> PoolStats {
         self.advance(now);
         let denom = interval.as_micros() as f64 * self.servers as f64;
-        let u = if denom > 0.0 { (self.busy_acc / denom).clamp(0.0, 1.0) } else { 0.0 };
+        let u = if denom > 0.0 {
+            (self.busy_acc / denom).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         self.busy_acc = 0.0;
         PoolStats { utilization: u }
     }

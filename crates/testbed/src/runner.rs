@@ -134,7 +134,10 @@ pub fn run_validation(
     let mut job_series: HashMap<u64, usize> = HashMap::new();
     let mut next_job: u64 = 0;
     let mut run = PhysicalRun {
-        tier_cpu: TIERS.iter().map(|t| (t.label(), TimeSeries::new())).collect(),
+        tier_cpu: TIERS
+            .iter()
+            .map(|t| (t.label(), TimeSeries::new()))
+            .collect(),
         concurrent: TimeSeries::new(),
         responses: ResponseTimeRegistry::with_history(),
     };
@@ -149,15 +152,30 @@ pub fn run_validation(
             let overhead = rates.per_message_overhead;
             match step.to.holon {
                 Holon::Client => {
-                    let svc = sample($rng, step.r.cycles / rates.client_clock_hz, config.service_cv);
+                    let svc = sample(
+                        $rng,
+                        step.r.cycles / rates.client_clock_hz,
+                        config.service_cv,
+                    );
                     $q.schedule($now + overhead + svc, Ev::ClientDone { job: $job_id });
                 }
                 Holon::Tier(kind) => {
                     let pool = tier_index(kind);
-                    let svc = sample($rng, step.r.cycles / rates.server_clock_hz, config.service_cv);
+                    let svc = sample(
+                        $rng,
+                        step.r.cycles / rates.server_clock_hz,
+                        config.service_cv,
+                    );
                     let arrive = $now + overhead;
                     if let Some((j, finish)) = pools[pool].offer(arrive, $job_id, svc) {
-                        $q.schedule(finish, Ev::PoolDone { pool, job: j, phase: Phase::Cpu });
+                        $q.schedule(
+                            finish,
+                            Ev::PoolDone {
+                                pool,
+                                job: j,
+                                phase: Phase::Cpu,
+                            },
+                        );
                     }
                 }
             }
@@ -176,7 +194,12 @@ pub fn run_validation(
                 next_job += 1;
                 jobs.insert(
                     job_id,
-                    SeriesJob { app: apps[series], op_idx: 0, step_idx: 0, op_started: now },
+                    SeriesJob {
+                        app: apps[series],
+                        op_idx: 0,
+                        step_idx: 0,
+                        op_started: now,
+                    },
                 );
                 job_series.insert(job_id, series);
                 begin_step!(q, job_id, now, jobs, job_series, &mut rng);
@@ -192,7 +215,14 @@ pub fn run_validation(
             Ev::PoolDone { pool, job, phase } => {
                 // Free the server; a queued job may start.
                 if let Some((next_j, finish)) = pools[pool].complete(now) {
-                    q.schedule(finish, Ev::PoolDone { pool, job: next_j, phase });
+                    q.schedule(
+                        finish,
+                        Ev::PoolDone {
+                            pool,
+                            job: next_j,
+                            phase,
+                        },
+                    );
                 }
                 let series = job_series[&job];
                 let (step, kind) = {
@@ -214,21 +244,47 @@ pub fn run_validation(
                         config.service_cv,
                     );
                     if let Some((j, finish)) = pools[disk_pool].offer(now, job, svc) {
-                        q.schedule(finish, Ev::PoolDone { pool: disk_pool, job: j, phase: Phase::Disk });
+                        q.schedule(
+                            finish,
+                            Ev::PoolDone {
+                                pool: disk_pool,
+                                job: j,
+                                phase: Phase::Disk,
+                            },
+                        );
                     }
                 } else {
                     advance_job(
-                        &mut q, &mut jobs, &mut job_series, &templates, &mut run, job, now, dc,
+                        &mut q,
+                        &mut jobs,
+                        &mut job_series,
+                        &templates,
+                        &mut run,
+                        job,
+                        now,
+                        dc,
                     );
                 }
             }
             Ev::ClientDone { job } => {
-                advance_job(&mut q, &mut jobs, &mut job_series, &templates, &mut run, job, now, dc);
+                advance_job(
+                    &mut q,
+                    &mut jobs,
+                    &mut job_series,
+                    &templates,
+                    &mut run,
+                    job,
+                    now,
+                    dc,
+                );
             }
             Ev::Sample => {
                 for (i, tier) in TIERS.iter().enumerate() {
                     let stats = pools[i].stats(now, config.sample_every);
-                    run.tier_cpu.get_mut(tier.label()).expect("tier series").push(now, stats.utilization);
+                    run.tier_cpu
+                        .get_mut(tier.label())
+                        .expect("tier series")
+                        .push(now, stats.utilization);
                 }
                 // Also reset disk meters so their windows stay aligned.
                 for pool in pools.iter_mut().skip(4) {
@@ -265,7 +321,11 @@ fn advance_job(
         return;
     }
     // Operation complete.
-    let key = ResponseKey { app: job.app, op: OpTypeId::from_index(job.op_idx), dc };
+    let key = ResponseKey {
+        app: job.app,
+        op: OpTypeId::from_index(job.op_idx),
+        dc,
+    };
     run.responses.record(key, now, now - job.op_started);
     job.op_idx += 1;
     job.step_idx = 0;
@@ -321,9 +381,17 @@ mod tests {
         );
         // LOGIN of the light series completes within the horizon, many
         // times.
-        let key = ResponseKey { app: AppId(10), op: OpTypeId(0), dc: gdisim_types::DcId(0) };
+        let key = ResponseKey {
+            app: AppId(10),
+            op: OpTypeId(0),
+            dc: gdisim_types::DcId(0),
+        };
         let history = run.responses.history(key);
-        assert!(history.len() >= 10, "got {} LOGIN completions", history.len());
+        assert!(
+            history.len() >= 10,
+            "got {} LOGIN completions",
+            history.len()
+        );
         // Mean near the canonical 1.94 s (jitter and queueing allowed).
         let mean = run.responses.history_mean(key).unwrap();
         assert!((mean - 1.94).abs() < 0.8, "LOGIN mean {mean}");
@@ -348,8 +416,18 @@ mod tests {
     #[test]
     fn deterministic_for_a_seed() {
         let rc = rates();
-        let a = run_validation(series3(&rc), [AppId(10), AppId(11), AppId(12)], &rc, &quick_config());
-        let b = run_validation(series3(&rc), [AppId(10), AppId(11), AppId(12)], &rc, &quick_config());
+        let a = run_validation(
+            series3(&rc),
+            [AppId(10), AppId(11), AppId(12)],
+            &rc,
+            &quick_config(),
+        );
+        let b = run_validation(
+            series3(&rc),
+            [AppId(10), AppId(11), AppId(12)],
+            &rc,
+            &quick_config(),
+        );
         assert_eq!(a.tier_cpu["Tapp"].values(), b.tier_cpu["Tapp"].values());
         assert_eq!(a.concurrent.values(), b.concurrent.values());
     }
@@ -363,7 +441,10 @@ mod tests {
             &rc,
             &quick_config(),
         );
-        let heavy_cfg = TestbedConfig { periods: (8, 18, 30), ..quick_config() };
+        let heavy_cfg = TestbedConfig {
+            periods: (8, 18, 30),
+            ..quick_config()
+        };
         let heavy = run_validation(
             series3(&rc),
             [AppId(10), AppId(11), AppId(12)],
@@ -372,6 +453,9 @@ mod tests {
         );
         let lu = gdisim_metrics::mean(light.tier_cpu["Tapp"].values());
         let hu = gdisim_metrics::mean(heavy.tier_cpu["Tapp"].values());
-        assert!(hu > lu, "heavier schedule must load Tapp more: {lu} vs {hu}");
+        assert!(
+            hu > lu,
+            "heavier schedule must load Tapp more: {lu} vs {hu}"
+        );
     }
 }

@@ -46,26 +46,51 @@ pub struct RVec {
 
 impl RVec {
     /// The zero-cost vector.
-    pub const ZERO: RVec = RVec { cycles: 0.0, net_bytes: 0.0, mem_bytes: 0.0, disk_bytes: 0.0 };
+    pub const ZERO: RVec = RVec {
+        cycles: 0.0,
+        net_bytes: 0.0,
+        mem_bytes: 0.0,
+        disk_bytes: 0.0,
+    };
 
     /// Builds a vector from its four components `(Rp, Rt, Rm, Rd)`.
     pub const fn new(cycles: f64, net_bytes: f64, mem_bytes: f64, disk_bytes: f64) -> Self {
-        RVec { cycles, net_bytes, mem_bytes, disk_bytes }
+        RVec {
+            cycles,
+            net_bytes,
+            mem_bytes,
+            disk_bytes,
+        }
     }
 
     /// A pure-computation cost.
     pub const fn cycles(c: f64) -> Self {
-        RVec { cycles: c, net_bytes: 0.0, mem_bytes: 0.0, disk_bytes: 0.0 }
+        RVec {
+            cycles: c,
+            net_bytes: 0.0,
+            mem_bytes: 0.0,
+            disk_bytes: 0.0,
+        }
     }
 
     /// A pure-network cost.
     pub const fn net(b: f64) -> Self {
-        RVec { cycles: 0.0, net_bytes: b, mem_bytes: 0.0, disk_bytes: 0.0 }
+        RVec {
+            cycles: 0.0,
+            net_bytes: b,
+            mem_bytes: 0.0,
+            disk_bytes: 0.0,
+        }
     }
 
     /// A pure-disk cost.
     pub const fn disk(b: f64) -> Self {
-        RVec { cycles: 0.0, net_bytes: 0.0, mem_bytes: 0.0, disk_bytes: b }
+        RVec {
+            cycles: 0.0,
+            net_bytes: 0.0,
+            mem_bytes: 0.0,
+            disk_bytes: b,
+        }
     }
 
     /// Returns the named scalar.
@@ -91,7 +116,10 @@ impl RVec {
 
     /// Whether every component is zero.
     pub fn is_zero(&self) -> bool {
-        self.cycles == 0.0 && self.net_bytes == 0.0 && self.mem_bytes == 0.0 && self.disk_bytes == 0.0
+        self.cycles == 0.0
+            && self.net_bytes == 0.0
+            && self.mem_bytes == 0.0
+            && self.disk_bytes == 0.0
     }
 
     /// Whether every component is finite and non-negative — the invariant

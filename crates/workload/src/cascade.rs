@@ -47,12 +47,18 @@ pub struct Endpoint {
 impl Endpoint {
     /// Client endpoint at the client's site.
     pub const fn client() -> Self {
-        Endpoint { holon: Holon::Client, site: Site::Client }
+        Endpoint {
+            holon: Holon::Client,
+            site: Site::Client,
+        }
     }
 
     /// Tier endpoint at a given site.
     pub const fn tier(kind: TierKind, site: Site) -> Self {
-        Endpoint { holon: Holon::Tier(kind), site }
+        Endpoint {
+            holon: Holon::Tier(kind),
+            site,
+        }
     }
 }
 
@@ -78,12 +84,22 @@ pub struct CascadeStep {
 impl CascadeStep {
     /// A sequential step (runs after the previous one completes).
     pub const fn seq(from: Endpoint, to: Endpoint, r: RVec) -> Self {
-        CascadeStep { from, to, r, concurrent_with_prev: false }
+        CascadeStep {
+            from,
+            to,
+            r,
+            concurrent_with_prev: false,
+        }
     }
 
     /// A step concurrent with the previous one (same parallel stage).
     pub const fn par(from: Endpoint, to: Endpoint, r: RVec) -> Self {
-        CascadeStep { from, to, r, concurrent_with_prev: true }
+        CascadeStep {
+            from,
+            to,
+            r,
+            concurrent_with_prev: true,
+        }
     }
 }
 
@@ -100,7 +116,10 @@ pub struct OperationTemplate {
 impl OperationTemplate {
     /// Creates a template.
     pub fn new(name: impl Into<String>, steps: Vec<CascadeStep>) -> Self {
-        let t = OperationTemplate { name: name.into(), steps };
+        let t = OperationTemplate {
+            name: name.into(),
+            steps,
+        };
         debug_assert!(t.validate().is_ok(), "invalid cascade: {:?}", t.validate());
         t
     }
@@ -113,10 +132,16 @@ impl OperationTemplate {
         }
         for (i, s) in self.steps.iter().enumerate() {
             if !s.r.is_valid() {
-                return Err(format!("operation '{}' step {i} has an invalid R vector", self.name));
+                return Err(format!(
+                    "operation '{}' step {i} has an invalid R vector",
+                    self.name
+                ));
             }
             if s.from == s.to {
-                return Err(format!("operation '{}' step {i} is a self-message", self.name));
+                return Err(format!(
+                    "operation '{}' step {i} is a self-message",
+                    self.name
+                ));
             }
         }
         Ok(())
@@ -159,7 +184,11 @@ impl OperationTemplate {
     pub fn scaled(&self, k: f64) -> OperationTemplate {
         OperationTemplate {
             name: self.name.clone(),
-            steps: self.steps.iter().map(|s| CascadeStep { r: s.r * k, ..*s }).collect(),
+            steps: self
+                .steps
+                .iter()
+                .map(|s| CascadeStep { r: s.r * k, ..*s })
+                .collect(),
         }
     }
 
@@ -191,7 +220,12 @@ pub struct SiteBinding {
 impl SiteBinding {
     /// A binding where everything happens in one data center.
     pub fn local(dc: DcId) -> Self {
-        SiteBinding { client: dc, master: dc, file_host: dc, extras: Vec::new() }
+        SiteBinding {
+            client: dc,
+            master: dc,
+            file_host: dc,
+            extras: Vec::new(),
+        }
     }
 
     /// Resolves a placeholder.
@@ -255,7 +289,10 @@ mod tests {
     fn totals_and_scaling() {
         let op = OperationTemplate::new(
             "X",
-            vec![step(c(), app(Site::Master), 10.0), step(app(Site::Master), c(), 30.0)],
+            vec![
+                step(c(), app(Site::Master), 10.0),
+                step(app(Site::Master), c(), 30.0),
+            ],
         );
         assert_eq!(op.total_r().cycles, 40.0);
         let heavy = op.scaled(2.5);
@@ -265,7 +302,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_cascades() {
-        let empty = OperationTemplate { name: "E".into(), steps: vec![] };
+        let empty = OperationTemplate {
+            name: "E".into(),
+            steps: vec![],
+        };
         assert!(empty.validate().is_err());
 
         let self_msg = OperationTemplate {

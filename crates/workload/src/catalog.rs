@@ -42,7 +42,13 @@ fn quad_trips(
     let nf = n as f64;
     let mut steps = Vec::with_capacity(4 * n as usize);
     for _ in 0..n {
-        steps.push(StepShape::new(c(), t(TierKind::App), app_cpu / nf, net / (4.0 * nf), 0.0));
+        steps.push(StepShape::new(
+            c(),
+            t(TierKind::App),
+            app_cpu / nf,
+            net / (4.0 * nf),
+            0.0,
+        ));
         steps.push(StepShape::new(
             t(TierKind::App),
             t(inner),
@@ -50,8 +56,20 @@ fn quad_trips(
             net / (4.0 * nf),
             inner_disk / nf,
         ));
-        steps.push(StepShape::new(t(inner), t(TierKind::App), 0.0, net / (4.0 * nf), 0.0));
-        steps.push(StepShape::new(t(TierKind::App), c(), client_cpu / nf, net / (4.0 * nf), 0.0));
+        steps.push(StepShape::new(
+            t(inner),
+            t(TierKind::App),
+            0.0,
+            net / (4.0 * nf),
+            0.0,
+        ));
+        steps.push(StepShape::new(
+            t(TierKind::App),
+            c(),
+            client_cpu / nf,
+            net / (4.0 * nf),
+            0.0,
+        ));
     }
     steps
 }
@@ -69,7 +87,13 @@ fn pair_trips(n: u32, srv_cpu: f64, srv_disk: f64, client_cpu: f64, net: f64) ->
             net / (2.0 * nf),
             srv_disk / nf,
         ));
-        steps.push(StepShape::new(t(TierKind::App), c(), client_cpu / nf, net / (2.0 * nf), 0.0));
+        steps.push(StepShape::new(
+            t(TierKind::App),
+            c(),
+            client_cpu / nf,
+            net / (2.0 * nf),
+            0.0,
+        ));
     }
     steps
 }
@@ -81,20 +105,29 @@ pub fn cad_shapes() -> Vec<OperationShape> {
         // master round trips, each checking against the database.
         // Shares favour server/client CPU: metadata payloads are small
         // (the calibrated Rt works out to ~0.5 MB per message).
-        OperationShape::new("LOGIN", quad_trips(4, TierKind::Db, 0.45, 0.15, 0.01, 0.385, 0.005)),
+        OperationShape::new(
+            "LOGIN",
+            quad_trips(4, TierKind::Db, 0.45, 0.15, 0.01, 0.385, 0.005),
+        ),
         // TEXT-SEARCH — queries the Tidx-built index hosted by Tapp.
         OperationShape::new("TEXT-SEARCH", pair_trips(2, 0.55, 0.02, 0.425, 0.005)),
         // FILTER — re-runs the search with extra predicates; CPU-shifted.
         OperationShape::new("FILTER", pair_trips(2, 0.60, 0.01, 0.385, 0.005)),
         // EXPLORE — tree navigation: 13 metadata queries against Tdb.
-        OperationShape::new("EXPLORE", quad_trips(13, TierKind::Db, 0.40, 0.25, 0.02, 0.325, 0.005)),
+        OperationShape::new(
+            "EXPLORE",
+            quad_trips(13, TierKind::Db, 0.40, 0.25, 0.02, 0.325, 0.005),
+        ),
         // SPATIAL-SEARCH — 3D snapshot navigation against Tidx.
         OperationShape::new(
             "SPATIAL-SEARCH",
             quad_trips(14, TierKind::Idx, 0.30, 0.35, 0.02, 0.325, 0.005),
         ),
         // SELECT — spatial volume query resolved through Tdb.
-        OperationShape::new("SELECT", quad_trips(7, TierKind::Db, 0.40, 0.25, 0.01, 0.335, 0.005)),
+        OperationShape::new(
+            "SELECT",
+            quad_trips(7, TierKind::Db, 0.40, 0.25, 0.01, 0.335, 0.005),
+        ),
         // OPEN — one token round trip via Tdb, then the bulk download
         // from the hosting file server (Fig. 3-12's two segments). The
         // wall time is dominated by client-side model construction; the
@@ -161,8 +194,15 @@ pub fn vis_shapes() -> Vec<OperationShape> {
 }
 
 /// PDM operation names (§6.3.2).
-pub const PDM_OP_NAMES: [&str; 7] =
-    ["BILL-OF-MATERIALS", "EXPAND", "PROMOTE", "UPDATE", "EDIT", "DOWNLOAD", "EXPORT"];
+pub const PDM_OP_NAMES: [&str; 7] = [
+    "BILL-OF-MATERIALS",
+    "EXPAND",
+    "PROMOTE",
+    "UPDATE",
+    "EDIT",
+    "DOWNLOAD",
+    "EXPORT",
+];
 
 /// PDM canonical durations in seconds. The paper omits the exact values
 /// ("the operation definition for PDM operations is omitted for
@@ -180,10 +220,22 @@ pub fn pdm_shapes() -> Vec<OperationShape> {
             "BILL-OF-MATERIALS",
             quad_trips(20, TierKind::Db, 0.25, 0.35, 0.10, 0.295, 0.005),
         ),
-        OperationShape::new("EXPAND", quad_trips(10, TierKind::Db, 0.25, 0.35, 0.05, 0.345, 0.005)),
-        OperationShape::new("PROMOTE", quad_trips(8, TierKind::Db, 0.25, 0.40, 0.05, 0.295, 0.005)),
-        OperationShape::new("UPDATE", quad_trips(6, TierKind::Db, 0.25, 0.35, 0.10, 0.295, 0.005)),
-        OperationShape::new("EDIT", quad_trips(5, TierKind::Db, 0.30, 0.35, 0.05, 0.295, 0.005)),
+        OperationShape::new(
+            "EXPAND",
+            quad_trips(10, TierKind::Db, 0.25, 0.35, 0.05, 0.345, 0.005),
+        ),
+        OperationShape::new(
+            "PROMOTE",
+            quad_trips(8, TierKind::Db, 0.25, 0.40, 0.05, 0.295, 0.005),
+        ),
+        OperationShape::new(
+            "UPDATE",
+            quad_trips(6, TierKind::Db, 0.25, 0.35, 0.10, 0.295, 0.005),
+        ),
+        OperationShape::new(
+            "EDIT",
+            quad_trips(5, TierKind::Db, 0.30, 0.35, 0.05, 0.295, 0.005),
+        ),
         OperationShape::new(
             "DOWNLOAD",
             vec![
@@ -221,7 +273,12 @@ pub struct Application {
 impl Application {
     fn uniform(id: AppId, name: &str, ops: Vec<OperationTemplate>) -> Self {
         let n = ops.len();
-        Application { id, name: name.into(), ops, mix: vec![1.0 / n as f64; n] }
+        Application {
+            id,
+            name: name.into(),
+            ops,
+            mix: vec![1.0 / n as f64; n],
+        }
     }
 
     /// Looks up an operation template by name.
@@ -323,7 +380,9 @@ mod tests {
     #[test]
     fn cad_round_trips_match_table_6_2() {
         let expected_s = [4u32, 2, 2, 13, 14, 7, 1, 1];
-        for (shape, s) in Catalog::cad_series(SeriesKind::Average, &rates()).iter().zip(expected_s)
+        for (shape, s) in Catalog::cad_series(SeriesKind::Average, &rates())
+            .iter()
+            .zip(expected_s)
         {
             assert_eq!(shape.master_round_trips(), s, "op {}", shape.name);
         }

@@ -101,8 +101,14 @@ impl HourlyTable {
     /// Panics unless exactly 24 non-negative values are given.
     pub fn new(tz_offset_hours: f64, values: Vec<f64>) -> Self {
         assert_eq!(values.len(), 24, "hourly table needs 24 samples");
-        assert!(values.iter().all(|v| *v >= 0.0), "populations are non-negative");
-        HourlyTable { tz_offset_hours, values }
+        assert!(
+            values.iter().all(|v| *v >= 0.0),
+            "populations are non-negative"
+        );
+        HourlyTable {
+            tz_offset_hours,
+            values,
+        }
     }
 
     /// Population at a local hour in `[0, 24)`, linearly interpolated.
@@ -196,7 +202,9 @@ pub struct ArrivalSampler {
 impl ArrivalSampler {
     /// Creates a sampler from a seed.
     pub fn new(seed: u64) -> Self {
-        ArrivalSampler { rng: StdRng::seed_from_u64(seed) }
+        ArrivalSampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws the number of arrivals in an interval with expectation
@@ -289,9 +297,18 @@ mod tests {
         let wl = AppWorkload {
             app: "CAD".into(),
             sites: vec![
-                SiteLoad { site: "NA".into(), curve: DiurnalCurve::business_day(-5.0, 0.0, 600.0).into() },
-                SiteLoad { site: "EU".into(), curve: DiurnalCurve::business_day(1.0, 0.0, 500.0).into() },
-                SiteLoad { site: "SA".into(), curve: DiurnalCurve::business_day(-3.0, 0.0, 400.0).into() },
+                SiteLoad {
+                    site: "NA".into(),
+                    curve: DiurnalCurve::business_day(-5.0, 0.0, 600.0).into(),
+                },
+                SiteLoad {
+                    site: "EU".into(),
+                    curve: DiurnalCurve::business_day(1.0, 0.0, 500.0).into(),
+                },
+                SiteLoad {
+                    site: "SA".into(),
+                    curve: DiurnalCurve::business_day(-3.0, 0.0, 400.0).into(),
+                },
             ],
             ops_per_client_per_hour: 12.0,
         };
@@ -320,15 +337,23 @@ mod tests {
         let mut values = vec![0.0; 24];
         values[12] = 500.0;
         let shifted = HourlyTable::new(2.0, values);
-        assert_eq!(shifted.population(SimTime::from_hours(10)), 500.0, "12:00 local");
+        assert_eq!(
+            shifted.population(SimTime::from_hours(10)),
+            500.0,
+            "12:00 local"
+        );
     }
 
     #[test]
     fn population_curve_forms_are_interchangeable() {
         let trap: PopulationCurve = DiurnalCurve::business_day(0.0, 0.0, 100.0).into();
-        let table: PopulationCurve =
-            HourlyTable::new(0.0, (0..24).map(|h| if (10..15).contains(&h) { 100.0 } else { 0.0 }).collect())
-                .into();
+        let table: PopulationCurve = HourlyTable::new(
+            0.0,
+            (0..24)
+                .map(|h| if (10..15).contains(&h) { 100.0 } else { 0.0 })
+                .collect(),
+        )
+        .into();
         let noon = SimTime::from_hours(12);
         assert_eq!(trap.population(noon), 100.0);
         assert_eq!(table.population(noon), 100.0);

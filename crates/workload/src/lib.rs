@@ -31,7 +31,9 @@ pub mod shape;
 
 pub use cascade::{CascadeStep, Endpoint, Holon, OperationTemplate, Site, SiteBinding};
 pub use catalog::{Application, Catalog};
-pub use diurnal::{AppWorkload, ArrivalSampler, DiurnalCurve, HourlyTable, PopulationCurve, SiteLoad};
+pub use diurnal::{
+    AppWorkload, ArrivalSampler, DiurnalCurve, HourlyTable, PopulationCurve, SiteLoad,
+};
 pub use ownership::AccessPatternMatrix;
 pub use series::{SeriesKind, CANONICAL_DURATIONS};
 pub use shape::{OperationShape, RateCard, StepShape};

@@ -28,7 +28,10 @@ impl AccessPatternMatrix {
         assert_eq!(sites.len(), rows.len(), "one row per site");
         for (i, row) in rows.iter_mut().enumerate() {
             assert_eq!(row.len(), sites.len(), "row {i} has wrong width");
-            assert!(row.iter().all(|f| *f >= 0.0), "row {i} has negative fractions");
+            assert!(
+                row.iter().all(|f| *f >= 0.0),
+                "row {i} has negative fractions"
+            );
             let sum: f64 = row.iter().sum();
             assert!(
                 (sum - 1.0).abs() < 1e-3,
@@ -74,16 +77,18 @@ impl AccessPatternMatrix {
     /// for the multiple-master infrastructure. Site order: EU, NA, AUS,
     /// SA, AFR, AS.
     pub fn multimaster_table_7_2() -> Self {
-        let sites = ["EU", "NA", "AUS", "SA", "AFR", "AS"].map(String::from).to_vec();
+        let sites = ["EU", "NA", "AUS", "SA", "AFR", "AS"]
+            .map(String::from)
+            .to_vec();
         Self::from_percentages(
             sites,
             vec![
-                vec![83.65, 12.71, 1.67, 1.04, 0.13, 0.81],  // accesses from EU
-                vec![15.47, 81.87, 1.56, 0.91, 0.01, 0.18],  // NA
+                vec![83.65, 12.71, 1.67, 1.04, 0.13, 0.81], // accesses from EU
+                vec![15.47, 81.87, 1.56, 0.91, 0.01, 0.18], // NA
                 vec![31.24, 13.72, 50.28, 0.18, 4.35, 0.23], // AUS
                 vec![38.99, 17.55, 3.42, 39.87, 0.08, 0.09], // SA
-                vec![36.49, 31.38, 13.45, 0.26, 17.66, 0.78],// AFR
-                vec![61.00, 30.45, 2.39, 0.85, 0.04, 5.27],  // AS
+                vec![36.49, 31.38, 13.45, 0.26, 17.66, 0.78], // AFR
+                vec![61.00, 30.45, 2.39, 0.85, 0.04, 5.27], // AS
             ],
         )
     }
@@ -172,7 +177,9 @@ mod tests {
 
     #[test]
     fn locality_improves_with_multiple_masters() {
-        let sites = AccessPatternMatrix::multimaster_table_7_2().sites().to_vec();
+        let sites = AccessPatternMatrix::multimaster_table_7_2()
+            .sites()
+            .to_vec();
         let single = AccessPatternMatrix::single_master(sites, "NA");
         let multi = AccessPatternMatrix::multimaster_table_7_2();
         assert!(multi.mean_locality() > single.mean_locality());

@@ -59,14 +59,14 @@ pub const CAD_OP_NAMES: [&str; 8] = [
 /// Table 5.1 — duration of the operations by type and series, in seconds:
 /// `[op][light, average, heavy]`.
 pub const CANONICAL_DURATIONS: [[f64; 3]; 8] = [
-    [1.94, 2.2, 2.35],    // LOGIN
-    [4.9, 5.11, 4.99],    // TEXT-SEARCH
-    [2.89, 2.6, 3.0],     // FILTER
-    [6.6, 6.43, 5.92],    // EXPLORE
-    [12.18, 12.15, 12.38],// SPATIAL-SEARCH
-    [5.7, 6.2, 5.34],     // SELECT
-    [30.67, 64.68, 96.48],// OPEN
-    [36.8, 78.21, 113.01],// SAVE
+    [1.94, 2.2, 2.35],     // LOGIN
+    [4.9, 5.11, 4.99],     // TEXT-SEARCH
+    [2.89, 2.6, 3.0],      // FILTER
+    [6.6, 6.43, 5.92],     // EXPLORE
+    [12.18, 12.15, 12.38], // SPATIAL-SEARCH
+    [5.7, 6.2, 5.34],      // SELECT
+    [30.67, 64.68, 96.48], // OPEN
+    [36.8, 78.21, 113.01], // SAVE
 ];
 
 /// The canonical duration (seconds) of one operation in one series.
@@ -76,7 +76,10 @@ pub fn canonical_duration(op_index: usize, kind: SeriesKind) -> f64 {
 
 /// Total duration of a full series (Table 5.1's TOTAL row).
 pub fn series_total(kind: SeriesKind) -> f64 {
-    CANONICAL_DURATIONS.iter().map(|row| row[kind.column()]).sum()
+    CANONICAL_DURATIONS
+        .iter()
+        .map(|row| row[kind.column()])
+        .sum()
 }
 
 #[cfg(test)]

@@ -69,7 +69,14 @@ pub struct StepShape {
 impl StepShape {
     /// A step with the given shares and no memory footprint.
     pub const fn new(from: Endpoint, to: Endpoint, cpu: f64, net: f64, disk: f64) -> Self {
-        StepShape { from, to, cpu_share: cpu, net_share: net, disk_share: disk, mem_bytes: 0.0 }
+        StepShape {
+            from,
+            to,
+            cpu_share: cpu,
+            net_share: net,
+            disk_share: disk,
+            mem_bytes: 0.0,
+        }
     }
 }
 
@@ -91,7 +98,10 @@ impl OperationShape {
     /// doesn't is a catalog bug, and calibration would silently miss its
     /// canonical duration.
     pub fn new(name: impl Into<String>, steps: Vec<StepShape>) -> Self {
-        let shape = OperationShape { name: name.into(), steps };
+        let shape = OperationShape {
+            name: name.into(),
+            steps,
+        };
         let total = shape.total_share();
         assert!(
             (total - 1.0).abs() < 1e-6,
@@ -103,7 +113,10 @@ impl OperationShape {
 
     /// Sum of all shares across steps and dimensions.
     pub fn total_share(&self) -> f64 {
-        self.steps.iter().map(|s| s.cpu_share + s.net_share + s.disk_share).sum()
+        self.steps
+            .iter()
+            .map(|s| s.cpu_share + s.net_share + s.disk_share)
+            .sum()
     }
 
     /// Calibrates the shape against a canonical duration: returns the
@@ -256,7 +269,10 @@ mod tests {
         let app = Endpoint::tier(TierKind::App, crate::cascade::Site::Master);
         let shape = OperationShape::new(
             "SPLIT",
-            vec![StepShape::new(c, app, 0.5, 0.0, 0.0), StepShape::new(app, c, 0.5, 0.0, 0.0)],
+            vec![
+                StepShape::new(c, app, 0.5, 0.0, 0.0),
+                StepShape::new(app, c, 0.5, 0.0, 0.0),
+            ],
         );
         let t = shape.calibrate(SimDuration::from_secs(2), &rates());
         // Step 0 lands on a server (2.5 GHz), step 1 on a client (2 GHz):

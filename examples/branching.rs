@@ -40,7 +40,11 @@ fn main() {
     // Compare EU clients' CAD EXPLORE (chatty, master-bound) across the
     // two futures, hour by hour.
     let eu = DcId(consolidated::SITES.iter().position(|s| *s == "EU").unwrap() as u32);
-    let key = ResponseKey { app: AppId(0), op: OpTypeId(3), dc: eu };
+    let key = ResponseKey {
+        app: AppId(0),
+        op: OpTypeId(3),
+        dc: eu,
+    };
     let hour = SimDuration::from_secs(3600);
     let base_series = baseline.report().response_series(key, hour);
     let out_series = outage.report().response_series(key, hour);
@@ -48,8 +52,15 @@ fn main() {
     println!("  {:>5}  {:>9}  {:>9}", "hour", "baseline", "outage");
     for (i, (t, b)) in base_series.iter().enumerate() {
         let o = out_series.values().get(i).copied().unwrap_or(f64::NAN);
-        let marker = if (12..13).contains(&(t.hour_of_day() as u32)) { "  <- trunk down" } else { "" };
-        println!("  {:>5}  {b:>9.2}  {o:>9.2}{marker}", format!("{:02}:00", t.hour_of_day() as u32));
+        let marker = if (12..13).contains(&(t.hour_of_day() as u32)) {
+            "  <- trunk down"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>5}  {b:>9.2}  {o:>9.2}{marker}",
+            format!("{:02}:00", t.hour_of_day() as u32)
+        );
     }
 
     // The pre-fork hours must be identical (shared history).

@@ -82,17 +82,26 @@ fn trial(app_servers: u32) -> (f64, f64) {
     // inflates first under app-tier contention.
     let explore = report
         .responses
-        .history_mean(ResponseKey { app: gdisim_types::AppId(0), op: OpTypeId(3), dc: DcId(0) })
+        .history_mean(ResponseKey {
+            app: gdisim_types::AppId(0),
+            op: OpTypeId(3),
+            dc: DcId(0),
+        })
         .unwrap_or(f64::INFINITY);
     (app_util, explore)
 }
 
 fn main() {
-    println!("capacity planning: {CLIENTS:.0} peak CAD clients, EXPLORE SLA = baseline x{SLA_FACTOR}");
+    println!(
+        "capacity planning: {CLIENTS:.0} peak CAD clients, EXPLORE SLA = baseline x{SLA_FACTOR}"
+    );
     let baseline = 6.43; // canonical EXPLORE duration (Table 5.1, Average)
     let sla = baseline * SLA_FACTOR;
     println!("  EXPLORE baseline {baseline:.2}s -> SLA {sla:.2}s\n");
-    println!("  {:>11}  {:>9}  {:>12}  verdict", "app servers", "Tapp CPU", "EXPLORE mean");
+    println!(
+        "  {:>11}  {:>9}  {:>12}  verdict",
+        "app servers", "Tapp CPU", "EXPLORE mean"
+    );
     let mut chosen = None;
     for app_servers in [1u32, 2, 3, 4, 6, 8] {
         let (util, explore) = trial(app_servers);

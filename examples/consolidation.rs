@@ -25,7 +25,10 @@ fn main() {
     sim.run_until(start);
     println!("(warm-up to {start} done in {:?})", wall.elapsed());
     sim.run_until(end);
-    println!("simulated through the peak window in {:?} total\n", wall.elapsed());
+    println!(
+        "simulated through the peak window in {:?} total\n",
+        wall.elapsed()
+    );
 
     let report = sim.report();
     let (w0, w1) = (SimTime::from_hours(12), SimTime::from_hours(16));

@@ -84,8 +84,11 @@ fn main() {
          {ATTACK_CLIENTS:.0}-bot LOGIN storm at hour 1\n"
     );
     let infra = Infrastructure::build(&topology(), 42).expect("topology");
-    let mut sim =
-        Simulation::new(infra, vec!["NA".into(), "EU".into()], SimulationConfig::case_study());
+    let mut sim = Simulation::new(
+        infra,
+        vec!["NA".into(), "EU".into()],
+        SimulationConfig::case_study(),
+    );
     sim.set_master_policy(MasterPolicy::Fixed(0));
 
     let catalog = Catalog::standard(&rates::lab_rate_card());
@@ -121,7 +124,10 @@ fn main() {
     // upstream filtering shedding the bot population.
     sim.add_diurnal(AppWorkload {
         app: "HOSTILE".into(),
-        sites: vec![SiteLoad { site: "EU".into(), curve: attack_curve(1.0, 2.0, ATTACK_CLIENTS).into() }],
+        sites: vec![SiteLoad {
+            site: "EU".into(),
+            curve: attack_curve(1.0, 2.0, ATTACK_CLIENTS).into(),
+        }],
         ops_per_client_per_hour: 60.0, // bots hammer
     });
 
@@ -132,13 +138,27 @@ fn main() {
 
     let hour = SimDuration::from_secs(3600);
     let na = DcId(0);
-    println!("legitimate CAD from NA, hourly mean response times (h0=before, h1=attack, h2=after):");
-    for (oi, name) in
-        ["LOGIN", "TEXT-SEARCH", "FILTER", "EXPLORE", "SPATIAL-SEARCH", "SELECT", "OPEN", "SAVE"]
-            .iter()
-            .enumerate()
+    println!(
+        "legitimate CAD from NA, hourly mean response times (h0=before, h1=attack, h2=after):"
+    );
+    for (oi, name) in [
+        "LOGIN",
+        "TEXT-SEARCH",
+        "FILTER",
+        "EXPLORE",
+        "SPATIAL-SEARCH",
+        "SELECT",
+        "OPEN",
+        "SAVE",
+    ]
+    .iter()
+    .enumerate()
     {
-        let key = ResponseKey { app: AppId(0), op: OpTypeId::from_index(oi), dc: na };
+        let key = ResponseKey {
+            app: AppId(0),
+            op: OpTypeId::from_index(oi),
+            dc: na,
+        };
         let series = report.response_series(key, hour);
         let v = series.values();
         if v.len() >= 3 {

@@ -37,9 +37,19 @@ fn main() {
 
     println!("per-master peak-window CPU (every site now holds the full stack):");
     for site in multimaster::SITES {
-        let app = report.cpu(site, TierKind::App).map(|s| s.window_mean(w0, w1)).unwrap_or(0.0);
-        let db = report.cpu(site, TierKind::Db).map(|s| s.window_mean(w0, w1)).unwrap_or(0.0);
-        println!("  {site:>4}: Tapp {:5.1}%  Tdb {:5.1}%", app * 100.0, db * 100.0);
+        let app = report
+            .cpu(site, TierKind::App)
+            .map(|s| s.window_mean(w0, w1))
+            .unwrap_or(0.0);
+        let db = report
+            .cpu(site, TierKind::Db)
+            .map(|s| s.window_mean(w0, w1))
+            .unwrap_or(0.0);
+        println!(
+            "  {site:>4}: Tapp {:5.1}%  Tdb {:5.1}%",
+            app * 100.0,
+            db * 100.0
+        );
     }
 
     println!("\nbackground windows per master (worst response so far):");

@@ -56,13 +56,15 @@ fn main() {
 
     // 2. Build the runtime infrastructure and the simulator.
     let infra = Infrastructure::build(&topology, 42).expect("valid topology");
-    println!("built {} hardware agents across 2 data centers", infra.agent_count());
-    let mut sim =
-        Simulation::new(infra, vec!["NA".into(), "EU".into()], {
-            let mut c = SimulationConfig::case_study();
-            c.dt = gdisim_types::SimDuration::from_millis(10);
-            c
-        });
+    println!(
+        "built {} hardware agents across 2 data centers",
+        infra.agent_count()
+    );
+    let mut sim = Simulation::new(infra, vec!["NA".into(), "EU".into()], {
+        let mut c = SimulationConfig::case_study();
+        c.dt = gdisim_types::SimDuration::from_millis(10);
+        c
+    });
     sim.set_master_policy(MasterPolicy::Fixed(0)); // NA manages all files
 
     // 3. Load the calibrated CAD application and a flat busy workload:
@@ -72,8 +74,14 @@ fn main() {
     sim.add_diurnal(AppWorkload {
         app: "CAD".into(),
         sites: vec![
-            SiteLoad { site: "NA".into(), curve: DiurnalCurve::business_day(-5.0, 300.0, 300.0).into() },
-            SiteLoad { site: "EU".into(), curve: DiurnalCurve::business_day(1.0, 300.0, 300.0).into() },
+            SiteLoad {
+                site: "NA".into(),
+                curve: DiurnalCurve::business_day(-5.0, 300.0, 300.0).into(),
+            },
+            SiteLoad {
+                site: "EU".into(),
+                curve: DiurnalCurve::business_day(1.0, 300.0, 300.0).into(),
+            },
         ],
         ops_per_client_per_hour: 12.0,
     });

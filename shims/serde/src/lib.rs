@@ -1,0 +1,381 @@
+//! Minimal `serde` shim.
+//!
+//! The workspace builds without network access, so the real serde is
+//! unavailable. This shim replaces serde's visitor architecture with a
+//! small self-describing [`Value`] tree: `Serialize` renders a value
+//! into the tree, `Deserialize` reads it back, and `serde_json` (the
+//! sibling shim) converts trees to and from JSON text. The derive
+//! macros re-exported here generate the same external representations
+//! real serde would for the shapes this workspace uses: structs as
+//! objects, newtype structs as their inner value, unit enum variants as
+//! strings, data variants as single-key objects, plus the
+//! `#[serde(transparent)]`, `#[serde(untagged)]` and `#[serde(default)]`
+//! attributes.
+
+// Vendored stand-in for the crates.io package of the same name;
+// kept lint-clean only at the correctness level.
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer.
+    I64(i64),
+    /// Non-negative integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (accepts any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::U64(u) => Some(u as f64),
+            Value::I64(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer payload as `u64` (accepts integral floats).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(u) => Some(u),
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Integer payload as `i64` (accepts integral floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(i) => Some(i),
+            Value::U64(u) if u <= i64::MAX as u64 => Some(u as i64),
+            Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| field(o, key))
+    }
+}
+
+/// Deserialization error with a breadcrumb of field context.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Prefixes the error with the field it occurred in.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError(format!("{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders a value into the [`Value`] tree.
+pub trait Serialize {
+    /// The serialized form.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses from a value.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called for absent struct fields; `Option` treats absence as
+    /// `None`, everything else errors (matching serde's behavior).
+    fn from_missing() -> Result<Self, DeError> {
+        Err(DeError::new("missing field"))
+    }
+}
+
+/// Looks up `name` in an object's pairs (used by derived code).
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Resolves an absent field (used by derived code).
+pub fn missing_field<T: Deserialize>(name: &str) -> Result<T, DeError> {
+    T::from_missing().map_err(|e| e.in_field(name))
+}
+
+// ----- primitive impls ---------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| {
+                    DeError::new(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(u).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::U64(i as u64) } else { Value::I64(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| {
+                    DeError::new(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(i).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::new("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::new("expected number"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::new("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::new("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(DeError::new("tuple length mismatch"));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn float_accepts_integer_tokens() {
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(u64::from_value(&Value::F64(3.0)).unwrap(), 3);
+        assert!(u64::from_value(&Value::F64(3.5)).is_err());
+    }
+
+    #[test]
+    fn option_handles_null_and_missing() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(5)).unwrap(), Some(5));
+        assert_eq!(Option::<u32>::from_missing().unwrap(), None);
+        assert!(u32::from_missing().is_err());
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u32, 2.5f64);
+        assert_eq!(<(u32, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+}

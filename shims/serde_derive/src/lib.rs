@@ -1,0 +1,583 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no access to crates.io, so `syn`/`quote`
+//! are unavailable; this macro parses the derive input directly from
+//! the `proc_macro` token trees (the same approach `nanoserde` takes)
+//! and emits impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits as source text.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! * named structs (with `#[serde(default)]` fields, `#[serde(transparent)]`)
+//! * tuple structs (newtype = inner value, wider = array)
+//! * unit structs (null)
+//! * enums with unit / newtype / tuple / struct variants, externally
+//!   tagged by default, `#[serde(untagged)]` honored for newtype variants
+//!
+//! Generics are not supported; deriving on a generic type is a compile
+//! error naming this shim.
+
+// Vendored stand-in for the crates.io package of the same name;
+// kept lint-clean only at the correctness level.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ----- input model -------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    transparent: bool,
+    untagged: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String, // empty for tuple fields
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        attrs: SerdeAttrs,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        attrs: SerdeAttrs,
+        variants: Vec<Variant>,
+    },
+}
+
+// ----- parsing -----------------------------------------------------------
+
+fn parse_serde_attr(group: &TokenStream, into: &mut SerdeAttrs) {
+    // group is the content of `#[serde(...)]`'s parens.
+    for tt in group.clone() {
+        if let TokenTree::Ident(id) = tt {
+            match id.to_string().as_str() {
+                "transparent" => into.transparent = true,
+                "untagged" => into.untagged = true,
+                "default" => into.default = true,
+                _ => {} // rename/skip/etc.: unused in this workspace
+            }
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attributes starting at `i`, folding any
+/// `#[serde(...)]` contents into `attrs`. Returns the next index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut SerdeAttrs) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            parse_serde_attr(&args.stream(), attrs);
+                        }
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advances past one type, tracking `<...>` nesting so commas inside
+/// generics don't terminate the field. Returns the index of the token
+/// after the type (a top-level `,` or the end).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        i = skip_attrs(&tokens, i, &mut attrs);
+        i = skip_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_type(&tokens, i);
+        i += 1; // ','
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        i = skip_attrs(&tokens, i, &mut attrs);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_type(&tokens, i);
+        i += 1; // ','
+        fields.push(Field {
+            name: String::new(),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        i = skip_attrs(&tokens, i, &mut attrs);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = SerdeAttrs::default();
+    let mut i = 0;
+    loop {
+        i = skip_attrs(&tokens, i, &mut attrs);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                match kw.as_str() {
+                    "pub" => i = skip_vis(&tokens, i),
+                    "struct" | "enum" => {
+                        let is_struct = kw == "struct";
+                        let Some(TokenTree::Ident(name)) = tokens.get(i + 1) else {
+                            panic!("serde shim derive: expected a name after `{kw}`");
+                        };
+                        let name = name.to_string();
+                        if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+                            if p.as_char() == '<' {
+                                panic!("serde shim derive: generic type `{name}` is unsupported");
+                            }
+                        }
+                        let body = tokens.get(i + 2);
+                        if is_struct {
+                            let shape = match body {
+                                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                    Shape::Named(parse_named_fields(g.stream()))
+                                }
+                                Some(TokenTree::Group(g))
+                                    if g.delimiter() == Delimiter::Parenthesis =>
+                                {
+                                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                                }
+                                _ => Shape::Unit,
+                            };
+                            return Item::Struct { name, attrs, shape };
+                        }
+                        let variants = match body {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                parse_variants(g.stream())
+                            }
+                            _ => panic!("serde shim derive: malformed enum `{name}`"),
+                        };
+                        return Item::Enum {
+                            name,
+                            attrs,
+                            variants,
+                        };
+                    }
+                    _ => i += 1, // `union` unsupported; other idents skipped
+                }
+            }
+            Some(_) => i += 1,
+            None => panic!("serde shim derive: no struct or enum found in input"),
+        }
+    }
+}
+
+// ----- codegen: Serialize ------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, attrs, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(fields) if fields.len() == 1 || attrs.transparent => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Shape::Tuple(fields) => {
+                    let elems: Vec<String> = (0..fields.len())
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Shape::Named(fields) if attrs.transparent => {
+                    let f = &fields[0].name;
+                    format!("::serde::Serialize::to_value(&self.{f})")
+                }
+                Shape::Named(fields) => {
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({:?}.to_string(), ::serde::Serialize::to_value(&self.{}))",
+                                f.name, f.name
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            if attrs.untagged {
+                                format!("{name}::{vn} => ::serde::Value::Null,")
+                            } else {
+                                format!(
+                                    "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                                )
+                            }
+                        }
+                        Shape::Tuple(fields) if fields.len() == 1 => {
+                            let inner = "::serde::Serialize::to_value(__f0)";
+                            if attrs.untagged {
+                                format!("{name}::{vn}(__f0) => {inner},")
+                            } else {
+                                format!(
+                                    "{name}::{vn}(__f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), {inner})]),"
+                                )
+                            }
+                        }
+                        Shape::Tuple(fields) => {
+                            let binds: Vec<String> =
+                                (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let arr =
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "));
+                            let rhs = if attrs.untagged {
+                                arr
+                            } else {
+                                format!(
+                                    "::serde::Value::Object(vec![({vn:?}.to_string(), {arr})])"
+                                )
+                            };
+                            format!("{name}::{vn}({}) => {rhs},", binds.join(", "))
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            let obj =
+                                format!("::serde::Value::Object(vec![{}])", pairs.join(", "));
+                            let rhs = if attrs.untagged {
+                                obj
+                            } else {
+                                format!(
+                                    "::serde::Value::Object(vec![({vn:?}.to_string(), {obj})])"
+                                )
+                            };
+                            format!("{name}::{vn} {{ {} }} => {rhs},", binds.join(", "))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+                 }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+// ----- codegen: Deserialize ----------------------------------------------
+
+fn gen_named_constructor(path: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            let fallback = if f.attrs.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("::serde::missing_field({fname:?})?")
+            };
+            format!(
+                "{fname}: match ::serde::field({src}, {fname:?}) {{\n\
+                 Some(__v) => ::serde::Deserialize::from_value(__v).map_err(|e| e.in_field({fname:?}))?,\n\
+                 None => {fallback},\n\
+                 }}"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(",\n"))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, attrs, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(fields) if fields.len() == 1 || attrs.transparent => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Shape::Tuple(fields) => {
+                    let n = fields.len();
+                    let elems: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                         if __arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong tuple length for {name}\")); }}\n\
+                         Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) if attrs.transparent => {
+                    let f = &fields[0].name;
+                    format!("Ok({name} {{ {f}: ::serde::Deserialize::from_value(__v)? }})")
+                }
+                Shape::Named(fields) => {
+                    let ctor = gen_named_constructor(name, fields, "__obj");
+                    format!(
+                        "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                         Ok({ctor})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            attrs,
+            variants,
+        } => {
+            let body = if attrs.untagged {
+                // Try variants in declaration order; first success wins.
+                let tries: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        match &v.shape {
+                            Shape::Tuple(fields) if fields.len() == 1 => format!(
+                                "if let Ok(__x) = ::serde::Deserialize::from_value(__v) {{ return Ok({name}::{vn}(__x)); }}"
+                            ),
+                            Shape::Unit => format!(
+                                "if matches!(__v, ::serde::Value::Null) {{ return Ok({name}::{vn}); }}"
+                            ),
+                            _ => panic!(
+                                "serde shim derive: untagged variant `{vn}` must be a newtype"
+                            ),
+                        }
+                    })
+                    .collect();
+                format!(
+                    "{}\nErr(::serde::DeError::new(\"no untagged variant of {name} matched\"))",
+                    tries.join("\n")
+                )
+            } else {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.shape, Shape::Unit))
+                    .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+                    .collect();
+                let tagged_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let vn = &v.name;
+                        match &v.shape {
+                            Shape::Unit => None,
+                            Shape::Tuple(fields) if fields.len() == 1 => Some(format!(
+                                "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner).map_err(|e| e.in_field({vn:?}))?)),"
+                            )),
+                            Shape::Tuple(fields) => {
+                                let n = fields.len();
+                                let elems: Vec<String> = (0..n)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&__arr[{i}])?")
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "{vn:?} => {{\n\
+                                     let __arr = __inner.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{vn}\"))?;\n\
+                                     if __arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong tuple length for {name}::{vn}\")); }}\n\
+                                     Ok({name}::{vn}({}))\n\
+                                     }}",
+                                    elems.join(", ")
+                                ))
+                            }
+                            Shape::Named(fields) => {
+                                let ctor =
+                                    gen_named_constructor(&format!("{name}::{vn}"), fields, "__obj");
+                                Some(format!(
+                                    "{vn:?} => {{\n\
+                                     let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}::{vn}\"))?;\n\
+                                     Ok({ctor})\n\
+                                     }}"
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "if let Some(__s) = __v.as_str() {{\n\
+                     match __s {{ {unit}\n_ => return Err(::serde::DeError::new(\"unknown variant of {name}\")), }}\n\
+                     }}\n\
+                     let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected variant object for {name}\"))?;\n\
+                     if __obj.len() != 1 {{ return Err(::serde::DeError::new(\"expected single-key variant object for {name}\")); }}\n\
+                     let (__tag, __inner) = &__obj[0];\n\
+                     match __tag.as_str() {{\n\
+                     {tagged}\n\
+                     _ => Err(::serde::DeError::new(\"unknown variant of {name}\")),\n\
+                     }}",
+                    unit = unit_arms.join("\n"),
+                    tagged = tagged_arms.join("\n"),
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ----- entry points ------------------------------------------------------
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

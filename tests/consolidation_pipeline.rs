@@ -58,8 +58,14 @@ fn master_serves_remote_metadata_and_slaves_serve_files() {
     // populations are in business hours, so their file tiers are active.
     for slave in ["AS", "AUS"] {
         let fs = report.cpu(slave, TierKind::Fs).expect("slave Tfs series");
-        assert!(gdisim_metrics::mean(fs.values()) > 0.0, "{slave} file tier idle");
-        assert!(report.cpu(slave, TierKind::App).is_none(), "{slave} must not have Tapp");
+        assert!(
+            gdisim_metrics::mean(fs.values()) > 0.0,
+            "{slave} file tier idle"
+        );
+        assert!(
+            report.cpu(slave, TierKind::App).is_none(),
+            "{slave} must not have Tapp"
+        );
     }
 }
 
@@ -70,7 +76,10 @@ fn wan_links_carry_traffic_within_capacity() {
     let mut any_active = false;
     for (label, series) in &report.wan_util {
         for v in series.values() {
-            assert!((0.0..=1.0).contains(v), "{label} utilization {v} out of range");
+            assert!(
+                (0.0..=1.0).contains(v),
+                "{label} utilization {v} out of range"
+            );
         }
         let mean = gdisim_metrics::mean(series.values());
         if mean > 0.01 {
@@ -113,6 +122,9 @@ fn remote_clients_pay_latency_on_chatty_operations() {
     }
     if let (Some(ona), Some(oaus)) = (open_na, open_aus) {
         let rel = (oaus - ona).abs() / ona;
-        assert!(rel < 0.15, "OPEN is served locally; relative gap {rel:.2} too large");
+        assert!(
+            rel < 0.15,
+            "OPEN is served locally; relative gap {rel:.2} too large"
+        );
     }
 }

@@ -19,7 +19,11 @@ fn trace_with(executor: Executor) -> (Vec<(ResponseKey, usize)>, Vec<f64>, f64) 
         .history_keys()
         .map(|k| (k, report.responses.history(k).len()))
         .collect();
-    let tapp = report.cpu("NA", gdisim_types::TierKind::App).unwrap().values().to_vec();
+    let tapp = report
+        .cpu("NA", gdisim_types::TierKind::App)
+        .unwrap()
+        .values()
+        .to_vec();
     let clients = gdisim_metrics::mean(report.concurrent_clients.values());
     (responses, tapp, clients)
 }
@@ -32,10 +36,87 @@ fn serial_scatter_gather_and_hdispatch_agree_exactly() {
 
     assert_eq!(serial.0, sg.0, "scatter-gather changed completion counts");
     assert_eq!(serial.0, hd.0, "h-dispatch changed completion counts");
-    assert_eq!(serial.1, sg.1, "scatter-gather changed the Tapp utilization trace");
-    assert_eq!(serial.1, hd.1, "h-dispatch changed the Tapp utilization trace");
+    assert_eq!(
+        serial.1, sg.1,
+        "scatter-gather changed the Tapp utilization trace"
+    );
+    assert_eq!(
+        serial.1, hd.1,
+        "h-dispatch changed the Tapp utilization trace"
+    );
     assert_eq!(serial.2, sg.2);
     assert_eq!(serial.2, hd.2);
+}
+
+/// Full-fidelity run signature: per-key response histories (exact
+/// durations, not just counts), the complete hop-level trace, every
+/// labeled utilization/occupancy series in the report, and the
+/// concurrent-client series.
+type RunSignature = (
+    Vec<(ResponseKey, Vec<(SimTime, f64)>)>,
+    Vec<(SimTime, gdisim_core::TraceEvent)>,
+    Vec<(String, Vec<f64>)>,
+    Vec<f64>,
+);
+
+fn full_signature(executor: Executor, always_tick: bool) -> RunSignature {
+    let mut sim = validation::build(EXPERIMENTS[1], 99);
+    sim.set_executor(executor);
+    sim.set_always_tick(always_tick);
+    sim.enable_trace(200_000);
+    sim.run_until(SimTime::from_secs(300));
+    let trace = sim.trace().expect("trace enabled").events().to_vec();
+    let report = sim.report();
+    let responses = report
+        .responses
+        .history_keys()
+        .map(|k| (k, report.responses.history(k).to_vec()))
+        .collect();
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for ((dc, tier), s) in &report.tier_cpu {
+        series.push((format!("cpu {dc}/{tier}"), s.values().to_vec()));
+    }
+    for ((dc, tier), s) in &report.tier_disk {
+        series.push((format!("disk {dc}/{tier}"), s.values().to_vec()));
+    }
+    for ((dc, tier), s) in &report.tier_memory {
+        series.push((format!("mem {dc}/{tier}"), s.values().to_vec()));
+    }
+    for (label, s) in &report.wan_util {
+        series.push((format!("wan {label}"), s.values().to_vec()));
+    }
+    for (dc, s) in &report.client_link_util {
+        series.push((format!("client-link {dc}"), s.values().to_vec()));
+    }
+    let clients = report.concurrent_clients.values().to_vec();
+    (responses, trace, series, clients)
+}
+
+#[test]
+fn active_set_is_bit_identical_to_always_tick_under_every_executor() {
+    // The active-agent fast path skips idle agents in the time-increment
+    // phase and credits their meters lazily; the always-tick loop ticks
+    // everyone. Both must produce the same simulation bit for bit — the
+    // hop trace in particular pins the phase-3 drain order.
+    for make in [
+        || Executor::serial(),
+        || Executor::scatter_gather(4),
+        || Executor::hdispatch(4, 16),
+    ] {
+        let active = full_signature(make(), false);
+        let full = full_signature(make(), true);
+        let name = make().name();
+        assert_eq!(active.0, full.0, "{name}: response histories diverged");
+        assert_eq!(active.1, full.1, "{name}: hop traces diverged");
+        assert_eq!(
+            active.2, full.2,
+            "{name}: utilization/occupancy series diverged"
+        );
+        assert_eq!(
+            active.3, full.3,
+            "{name}: concurrent-client series diverged"
+        );
+    }
 }
 
 #[test]
@@ -62,7 +143,10 @@ fn load_balancing_policies_both_serve_the_workload() {
             .map(|k| report.responses.history(k).len())
             .sum();
         let tapp = gdisim_metrics::mean(
-            report.cpu("NA", gdisim_types::TierKind::App).unwrap().values(),
+            report
+                .cpu("NA", gdisim_types::TierKind::App)
+                .unwrap()
+                .values(),
         );
         (completions, tapp)
     };
@@ -70,9 +154,15 @@ fn load_balancing_policies_both_serve_the_workload() {
     let (jsq_done, jsq_util) = run(gdisim_infra::LoadBalancing::LeastOutstanding);
     assert!(rr_done > 50);
     let done_gap = (rr_done as f64 - jsq_done as f64).abs() / rr_done as f64;
-    assert!(done_gap < 0.05, "policies should complete similar totals: {rr_done} vs {jsq_done}");
+    assert!(
+        done_gap < 0.05,
+        "policies should complete similar totals: {rr_done} vs {jsq_done}"
+    );
     let util_gap = (rr_util - jsq_util).abs();
-    assert!(util_gap < 0.05, "aggregate utilization should match: {rr_util} vs {jsq_util}");
+    assert!(
+        util_gap < 0.05,
+        "aggregate utilization should match: {rr_util} vs {jsq_util}"
+    );
 }
 
 #[test]
@@ -83,8 +173,18 @@ fn different_seeds_differ() {
     sim_b.run_until(SimTime::from_secs(240));
     // The schedule is deterministic, but RAID cache seeds and the
     // service composition differ — some utilization sample must differ.
-    let a = sim_a.report().cpu("NA", gdisim_types::TierKind::App).unwrap().values().to_vec();
-    let b = sim_b.report().cpu("NA", gdisim_types::TierKind::App).unwrap().values().to_vec();
+    let a = sim_a
+        .report()
+        .cpu("NA", gdisim_types::TierKind::App)
+        .unwrap()
+        .values()
+        .to_vec();
+    let b = sim_b
+        .report()
+        .cpu("NA", gdisim_types::TierKind::App)
+        .unwrap()
+        .values()
+        .to_vec();
     // Note: with cold caches (hit rate 0) the validation scenario is
     // almost seed-free; equality here is acceptable, so only check the
     // traces are well-formed rather than forcing divergence.

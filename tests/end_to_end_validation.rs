@@ -14,14 +14,29 @@ fn operations_complete_with_canonical_scale_durations() {
 
     // The light series launches every 15 s; LOGIN (canonical 1.94 s) must
     // have completed many times with a plausible mean.
-    let login = ResponseKey { app: APP_SERIES[0], op: OpTypeId(0), dc: DcId(0) };
+    let login = ResponseKey {
+        app: APP_SERIES[0],
+        op: OpTypeId(0),
+        dc: DcId(0),
+    };
     let history = report.responses.history(login);
-    assert!(history.len() > 20, "only {} LOGINs in 10 minutes", history.len());
+    assert!(
+        history.len() > 20,
+        "only {} LOGINs in 10 minutes",
+        history.len()
+    );
     let mean = report.responses.history_mean(login).unwrap();
-    assert!((1.0..5.0).contains(&mean), "LOGIN mean {mean}s is out of band");
+    assert!(
+        (1.0..5.0).contains(&mean),
+        "LOGIN mean {mean}s is out of band"
+    );
 
     // OPEN of the heavy series is the long pole (canonical 96.5 s).
-    let open = ResponseKey { app: APP_SERIES[2], op: OpTypeId(6), dc: DcId(0) };
+    let open = ResponseKey {
+        app: APP_SERIES[2],
+        op: OpTypeId(6),
+        dc: DcId(0),
+    };
     if let Some(mean) = report.responses.history_mean(open) {
         assert!((80.0..140.0).contains(&mean), "heavy OPEN mean {mean}s");
     }
@@ -53,7 +68,10 @@ fn utilization_is_physical_and_ordered_by_pressure() {
             "tier {t} not monotone: {:?}",
             means.iter().map(|m| m[t]).collect::<Vec<_>>()
         );
-        assert!(means[2][t] > 0.05, "tier {t} suspiciously idle under the heaviest schedule");
+        assert!(
+            means[2][t] > 0.05,
+            "tier {t} suspiciously idle under the heaviest schedule"
+        );
     }
     // Tapp is the busiest tier throughout, as in the paper.
     for m in &means {
@@ -70,7 +88,9 @@ fn system_drains_after_launch_window() {
     assert!(sim.active_operations() > 0, "series should be in flight");
     // Nothing new launches after LAUNCH_WINDOW; run far beyond the
     // longest series duration (~244 s) past the stop.
-    sim.run_until(SimTime::ZERO + validation::LAUNCH_WINDOW + gdisim_types::SimDuration::from_secs(400));
+    sim.run_until(
+        SimTime::ZERO + validation::LAUNCH_WINDOW + gdisim_types::SimDuration::from_secs(400),
+    );
     assert_eq!(sim.active_operations(), 0, "operations leaked after drain");
 }
 
@@ -91,7 +111,10 @@ fn trace_drills_down_to_individual_agents() {
             gdisim_core::TraceEvent::Launch { instance, .. } => {
                 launches.insert(*instance);
             }
-            gdisim_core::TraceEvent::OperationDone { instance, response_secs } => {
+            gdisim_core::TraceEvent::OperationDone {
+                instance,
+                response_secs,
+            } => {
                 assert!(launches.contains(instance), "completion without launch");
                 assert!(*response_secs > 0.0);
                 completions += 1;
@@ -99,10 +122,14 @@ fn trace_drills_down_to_individual_agents() {
             _ => {}
         }
     }
-    assert!(completions > 5, "operations completed under trace: {completions}");
+    assert!(
+        completions > 5,
+        "operations completed under trace: {completions}"
+    );
     // Per-element drill-down: some agent (a CPU) served hops.
-    let total_hops: usize =
-        (0..40).map(|i| trace.hops_at(gdisim_types::AgentId(i))).sum();
+    let total_hops: usize = (0..40)
+        .map(|i| trace.hops_at(gdisim_types::AgentId(i)))
+        .sum();
     assert!(total_hops > 100, "hop events recorded: {total_hops}");
     // Timestamps are monotone.
     assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
@@ -118,5 +145,8 @@ fn concurrent_clients_match_littles_law_scale() {
     let steady = report
         .concurrent_clients
         .window_mean(SimTime::from_secs(6 * 60), SimTime::from_secs(15 * 60));
-    assert!((10.0..30.0).contains(&steady), "steady concurrent clients {steady}");
+    assert!(
+        (10.0..30.0).contains(&steady),
+        "steady concurrent clients {steady}"
+    );
 }

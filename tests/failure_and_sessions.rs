@@ -53,7 +53,11 @@ fn two_dc_topology(with_backup: bool) -> TopologySpec {
             backup: true,
         });
     }
-    TopologySpec { data_centers: vec![dc("NA"), dc("EU")], relay_sites: vec![], wan_links: links }
+    TopologySpec {
+        data_centers: vec![dc("NA"), dc("EU")],
+        relay_sites: vec![],
+        wan_links: links,
+    }
 }
 
 fn sim_with(topology: &TopologySpec, seed: u64) -> Simulation {
@@ -85,23 +89,41 @@ fn link_failure_shifts_traffic_to_backup() {
     sim.run_until(SimTime::from_secs(1800));
     let report = sim.into_report();
 
-    assert_eq!(report.wan_util.len(), 2, "primary + backup reported: {:?}", report.wan_util.keys());
+    assert_eq!(
+        report.wan_util.len(),
+        2,
+        "primary + backup reported: {:?}",
+        report.wan_util.keys()
+    );
     let backup = &report.wan_util["L NA->EU (backup)"];
     // Before the failure the backup is dark; during the failure it
     // carries the metadata traffic.
     let before = backup.window_mean(SimTime::ZERO, SimTime::from_secs(600));
     let during = backup.window_mean(SimTime::from_secs(700), SimTime::from_secs(1200));
-    assert!(before < 1e-9, "backup must be idle before the failure, got {before}");
-    assert!(during > before, "backup must light up during the failure, got {during}");
+    assert!(
+        before < 1e-9,
+        "backup must be idle before the failure, got {before}"
+    );
+    assert!(
+        during > before,
+        "backup must light up during the failure, got {during}"
+    );
     // And the system keeps serving: operations complete throughout.
     let eu = DcId(1);
-    let login = ResponseKey { app: AppId(0), op: OpTypeId(0), dc: eu };
+    let login = ResponseKey {
+        app: AppId(0),
+        op: OpTypeId(0),
+        dc: eu,
+    };
     let history = report.responses.history(login);
     let during_failure = history
         .iter()
         .filter(|(t, _)| *t > SimTime::from_secs(660) && *t < SimTime::from_secs(1200))
         .count();
-    assert!(during_failure > 5, "operations must keep completing over the backup link");
+    assert!(
+        during_failure > 5,
+        "operations must keep completing over the backup link"
+    );
 }
 
 #[test]
@@ -113,7 +135,10 @@ fn failure_without_backup_strands_cross_dc_work() {
     let na = infra.dc_by_name("NA").unwrap();
     let eu = infra.dc_by_name("EU").unwrap();
     infra.fail_wan_link("L NA->EU").expect("primary exists");
-    assert!(infra.route(na, eu).is_some(), "backup keeps the DCs connected");
+    assert!(
+        infra.route(na, eu).is_some(),
+        "backup keeps the DCs connected"
+    );
 
     // Without any backup, failing the only link partitions the graph.
     let topology = two_dc_topology(false);
@@ -148,14 +173,21 @@ fn server_failure_concentrates_load_then_recovers() {
     assert!(during > 0.0 && during < 1.0);
     assert!(before > 0.0);
     // Work keeps completing through the failure window.
-    let login = ResponseKey { app: AppId(0), op: OpTypeId(0), dc: DcId(0) };
+    let login = ResponseKey {
+        app: AppId(0),
+        op: OpTypeId(0),
+        dc: DcId(0),
+    };
     let completions_during = report
         .responses
         .history(login)
         .iter()
         .filter(|(t, _)| *t > SimTime::from_secs(660) && *t < SimTime::from_secs(1200))
         .count();
-    assert!(completions_during > 10, "service must survive a single-server failure");
+    assert!(
+        completions_during > 10,
+        "service must survive a single-server failure"
+    );
 }
 
 #[test]
@@ -175,19 +207,37 @@ fn sessions_track_the_population_curve() {
         300.0,
     );
     sim.run_until(SimTime::from_secs(1200));
-    assert_eq!(sim.logged_in_sessions(), 200, "flat curve: all sessions stay logged in");
+    assert_eq!(
+        sim.logged_in_sessions(),
+        200,
+        "flat curve: all sessions stay logged in"
+    );
     let report = sim.report();
     // Logged-in is reported and far exceeds in-flight operations (most
     // sessions are thinking at any instant).
-    let logged = report.logged_in_clients.last().map(|(_, v)| v).unwrap_or(0.0);
+    let logged = report
+        .logged_in_clients
+        .last()
+        .map(|(_, v)| v)
+        .unwrap_or(0.0);
     assert_eq!(logged, 200.0);
     let active = report
         .concurrent_clients
         .window_mean(SimTime::from_secs(600), SimTime::from_secs(1200));
-    assert!(active > 1.0, "sessions must be launching work, active={active}");
-    assert!(active < 100.0, "think time keeps most sessions idle, active={active}");
+    assert!(
+        active > 1.0,
+        "sessions must be launching work, active={active}"
+    );
+    assert!(
+        active < 100.0,
+        "think time keeps most sessions idle, active={active}"
+    );
     // Operations actually completed with plausible durations.
-    let login = ResponseKey { app: AppId(0), op: OpTypeId(0), dc: DcId(0) };
+    let login = ResponseKey {
+        app: AppId(0),
+        op: OpTypeId(0),
+        dc: DcId(0),
+    };
     assert!(report.responses.history(login).len() > 3);
 }
 
@@ -221,5 +271,9 @@ fn session_population_shrinks_on_ramp_down() {
     // Well past ramp-down (sessions retire at their next wake, so give
     // several think times of slack).
     sim.run_until(SimTime::from_secs(110 * 60));
-    assert_eq!(sim.logged_in_sessions(), 0, "everyone logged out after ramp-down");
+    assert_eq!(
+        sim.logged_in_sessions(),
+        0,
+        "everyone logged out after ramp-down"
+    );
 }

@@ -4,9 +4,9 @@
 
 use gdisim_background::{DataGrowth, GrowthCurve};
 use gdisim_queueing::{FcfsMulti, JobToken, PsQueue, Station};
+use gdisim_types::TierKind;
 use gdisim_types::{SimDuration, SimTime};
 use gdisim_workload::{DiurnalCurve, Endpoint, OperationShape, RateCard, Site, StepShape};
-use gdisim_types::TierKind;
 use proptest::prelude::*;
 
 const DT: SimDuration = SimDuration::from_millis(10);
@@ -163,6 +163,73 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The active-set fast path and the always-tick loop are the same
+    /// simulation: for random scenarios, seeds and horizons, response
+    /// histories and every utilization series must match bit for bit.
+    #[test]
+    fn active_set_matches_always_tick_for_random_scenarios(
+        experiment in 0usize..3,
+        seed in 0u64..1_000,
+        horizon_secs in 30u64..120,
+    ) {
+        use gdisim_core::scenarios::validation::{self, EXPERIMENTS};
+
+        let run = |always_tick: bool| {
+            let mut sim = validation::build(EXPERIMENTS[experiment], seed);
+            sim.set_always_tick(always_tick);
+            sim.run_until(SimTime::from_secs(horizon_secs));
+            let report = sim.report();
+            let responses: Vec<_> = report
+                .responses
+                .history_keys()
+                .map(|k| (k, report.responses.history(k).to_vec()))
+                .collect();
+            let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+            for ((dc, tier), s) in &report.tier_cpu {
+                series.push((format!("cpu {dc}/{tier}"), s.values().to_vec()));
+            }
+            for ((dc, tier), s) in &report.tier_disk {
+                series.push((format!("disk {dc}/{tier}"), s.values().to_vec()));
+            }
+            for (label, s) in &report.wan_util {
+                series.push((format!("wan {label}"), s.values().to_vec()));
+            }
+            (responses, series, report.concurrent_clients.values().to_vec())
+        };
+
+        let fast = run(false);
+        let full = run(true);
+        prop_assert_eq!(fast.0, full.0, "response histories diverged");
+        prop_assert_eq!(fast.1, full.1, "utilization series diverged");
+        prop_assert_eq!(fast.2, full.2, "client series diverged");
+    }
+}
+
+/// `run_until` must stop exactly on the last step boundary not past
+/// `until` — never overshoot, even when `until` is not a multiple of dt.
+#[test]
+fn run_until_never_overshoots() {
+    use gdisim_core::scenarios::validation::{self, EXPERIMENTS};
+
+    // 10 ms steps: a multiple lands exactly...
+    let mut sim = validation::build(EXPERIMENTS[0], 7);
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(sim.now(), SimTime::from_secs(5));
+
+    // ...a non-multiple stops at the boundary below it (time is integer
+    // microseconds)...
+    let mut sim = validation::build(EXPERIMENTS[0], 7);
+    sim.run_until(SimTime(5_004_999));
+    assert_eq!(sim.now(), SimTime::from_millis(5_000));
+
+    // ...and a second call with the same target is a no-op.
+    sim.run_until(SimTime(5_004_999));
+    assert_eq!(sim.now(), SimTime::from_millis(5_000));
+}
+
 /// Deterministic conservation check at the whole-engine level: launch a
 /// short burst, drain, and verify the infrastructure is empty.
 #[test]
@@ -174,12 +241,18 @@ fn engine_conserves_operations_end_to_end() {
     assert!(in_flight > 0);
     // Count completions + live instances: every launch is accounted for.
     let report = sim.report();
-    let completed: usize =
-        report.responses.history_keys().map(|k| report.responses.history(k).len()).sum();
+    let completed: usize = report
+        .responses
+        .history_keys()
+        .map(|k| report.responses.history(k).len())
+        .sum();
     // Launches: series every 10/24/40 s from t=0, ops per series chain
     // counted as individual operations as they start sequentially. We
     // can't observe raw launches directly, but conservation demands
     // completed + in-flight >= number of chains started (10 light + 4
     // average + 3 heavy = 17 at t=90).
-    assert!(completed + in_flight >= 17, "completed {completed} + live {in_flight}");
+    assert!(
+        completed + in_flight >= 17,
+        "completed {completed} + live {in_flight}"
+    );
 }

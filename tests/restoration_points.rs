@@ -50,7 +50,10 @@ fn branches_share_the_past_and_diverge_after_the_fork() {
     // Pre-fork samples are common history.
     let pre_a = a.window(SimTime::ZERO, fork_at);
     let pre_b = b.window(SimTime::ZERO, fork_at);
-    assert_eq!(pre_a, pre_b, "history before the restoration point is shared");
+    assert_eq!(
+        pre_a, pre_b,
+        "history before the restoration point is shared"
+    );
     assert!(!pre_a.is_empty());
     // Post-fork traces exist for both (policies may or may not visibly
     // diverge at this load; what matters is both futures are complete).
