@@ -4,72 +4,151 @@
 //! gdisim validation [--experiment 1|2|3] [--seed N]
 //! gdisim consolidated [--hours H] [--seed N]
 //! gdisim multimaster  [--hours H] [--seed N]
+//! gdisim run --scenario <validation|faulted|consolidated|multimaster>
+//!            [--faults plan.json] [--minutes M] [--seed N]
 //! gdisim topology <spec.json>
-//! gdisim export <validation|consolidated|multimaster>
+//! gdisim export <validation|faulted|consolidated|multimaster>
 //! ```
 //!
 //! `validation` runs a Ch. 5 experiment and prints the steady-state
 //! tier statistics; `consolidated`/`multimaster` run the case studies
 //! for the requested number of simulated hours and print the operator
-//! dashboard (tier CPU, WAN occupancy, background windows);
-//! `topology` validates a JSON topology file and describes what it
-//! would build; `export` prints a built-in scenario's topology as JSON —
-//! the natural starting point for editing a custom infrastructure.
+//! dashboard (tier CPU, WAN occupancy, background windows); `run`
+//! executes any built-in scenario with an optional fault plan and prints
+//! the degradation summary (availability, failed/retried/abandoned
+//! operations, healthy vs. degraded response times) plus the trace drop
+//! counters; `topology` validates a JSON topology file and describes
+//! what it would build; `export` prints a built-in scenario's topology
+//! as JSON — the natural starting point for editing a custom
+//! infrastructure.
 
 use gdisim_background::BackgroundKind;
-use gdisim_core::scenarios::{consolidated, multimaster, validation};
-use gdisim_core::{Report, Simulation};
+use gdisim_core::scenarios::{consolidated, faulted, multimaster, validation};
+use gdisim_core::{FaultPlan, FaultPlanError, Report, Simulation};
 use gdisim_infra::{Infrastructure, TopologySpec};
 use gdisim_metrics::mean_stddev;
 use gdisim_types::{SimTime, TierKind};
 use std::process::ExitCode;
 
+/// Everything that can go wrong on the CLI paths — each variant renders
+/// as one readable line and exits non-zero; nothing panics on bad input.
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags or arguments; usage is printed alongside.
+    Usage(String),
+    /// A file could not be read.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// The named scenario does not exist.
+    UnknownScenario(String),
+    /// A topology spec failed to parse or build.
+    BadTopology { path: String, reason: String },
+    /// A fault plan failed to parse or validate.
+    BadFaultPlan(FaultPlanError),
+    /// A report series the command relies on is missing — an internal
+    /// inconsistency, reported instead of unwrapped on.
+    Internal(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+            CliError::UnknownScenario(s) => write!(
+                f,
+                "unknown scenario '{s}' (try validation, faulted, consolidated or multimaster)"
+            ),
+            CliError::BadTopology { path, reason } => {
+                write!(f, "{path} is not a valid topology: {reason}")
+            }
+            CliError::BadFaultPlan(e) => write!(f, "{e}"),
+            CliError::Internal(e) => write!(f, "internal inconsistency: {e}"),
+        }
+    }
+}
+
+impl From<FaultPlanError> for CliError {
+    fn from(e: FaultPlanError) -> Self {
+        CliError::BadFaultPlan(e)
+    }
+}
+
 struct Args {
     positional: Vec<String>,
     experiment: usize,
     hours: u64,
+    minutes: Option<u64>,
     seed: u64,
+    scenario: Option<String>,
+    faults: Option<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
         positional: Vec::new(),
         experiment: 1,
         hours: 24,
+        minutes: None,
         seed: 42,
+        scenario: None,
+        faults: None,
     };
     let mut it = std::env::args().skip(1);
+    let usage = |e: String| CliError::Usage(e);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--experiment" => {
                 args.experiment = it
                     .next()
-                    .ok_or("--experiment needs a value")?
+                    .ok_or_else(|| usage("--experiment needs a value".into()))?
                     .parse()
-                    .map_err(|e| format!("--experiment: {e}"))?;
+                    .map_err(|e| usage(format!("--experiment: {e}")))?;
                 if !(1..=3).contains(&args.experiment) {
-                    return Err("--experiment must be 1, 2 or 3".into());
+                    return Err(usage("--experiment must be 1, 2 or 3".into()));
                 }
             }
             "--hours" => {
                 args.hours = it
                     .next()
-                    .ok_or("--hours needs a value")?
+                    .ok_or_else(|| usage("--hours needs a value".into()))?
                     .parse()
-                    .map_err(|e| format!("--hours: {e}"))?;
+                    .map_err(|e| usage(format!("--hours: {e}")))?;
+            }
+            "--minutes" => {
+                args.minutes = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--minutes needs a value".into()))?
+                        .parse()
+                        .map_err(|e| usage(format!("--minutes: {e}")))?,
+                );
             }
             "--seed" => {
                 args.seed = it
                     .next()
-                    .ok_or("--seed needs a value")?
+                    .ok_or_else(|| usage("--seed needs a value".into()))?
                     .parse()
-                    .map_err(|e| format!("--seed: {e}"))?;
+                    .map_err(|e| usage(format!("--seed: {e}")))?;
+            }
+            "--scenario" => {
+                args.scenario = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--scenario needs a value".into()))?,
+                );
+            }
+            "--faults" => {
+                args.faults = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--faults needs a file path".into()))?,
+                );
             }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
             }
-            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other if other.starts_with("--") => return Err(usage(format!("unknown flag {other}"))),
             other => args.positional.push(other.to_string()),
         }
     }
@@ -82,8 +161,10 @@ fn print_usage() {
          USAGE:\n  gdisim validation   [--experiment 1|2|3] [--seed N]\n  \
          gdisim consolidated [--hours H] [--seed N]\n  \
          gdisim multimaster  [--hours H] [--seed N]\n  \
+         gdisim run --scenario <validation|faulted|consolidated|multimaster>\n              \
+         [--faults plan.json|demo] [--minutes M] [--seed N]\n  \
          gdisim topology <spec.json>\n  \
-         gdisim export <validation|consolidated|multimaster>"
+         gdisim export <validation|faulted|consolidated|multimaster>"
     );
 }
 
@@ -134,18 +215,150 @@ fn run_case_study(mut sim: Simulation, hours: u64, sites: &[&str]) {
     dashboard(sim.report(), sites);
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n");
-            print_usage();
-            return ExitCode::FAILURE;
+/// Prints the degradation summary of a (possibly fault-injected) run:
+/// fault counters, availability, degraded windows, healthy vs. degraded
+/// response times and the trace drop breakdown.
+fn degradation_summary(report: &Report, sim: &Simulation) {
+    let f = report.faults;
+    println!("\nfault layer:");
+    println!(
+        "  operations: {} failed, {} retried, {} abandoned",
+        f.failed_operations, f.retried_operations, f.abandoned_operations
+    );
+    println!(
+        "  messages dropped: {}, fault events skipped: {}",
+        f.dropped_messages, f.skipped_events
+    );
+    if !report.availability.is_empty() {
+        let mean = gdisim_metrics::mean(report.availability.values());
+        let min = report
+            .availability
+            .values()
+            .iter()
+            .cloned()
+            .fold(1.0, f64::min);
+        println!("  availability: mean {mean:.4}, worst interval {min:.4}");
+    }
+    if !report.degraded_windows.is_empty() || report.degraded_since.is_some() {
+        println!("  degraded windows:");
+        for &(from, until) in &report.degraded_windows {
+            println!("    {from} .. {until}");
         }
+        if let Some(from) = report.degraded_since {
+            println!("    {from} .. (run end)");
+        }
+        // Healthy vs. degraded response times, pooled over every
+        // operation key — the outage shows up as a higher degraded mean.
+        let (mut healthy, mut degraded) = (Vec::new(), Vec::new());
+        for key in report.responses.history_keys() {
+            for &(t, secs) in report.responses.history(key) {
+                if report.is_degraded_at(t) {
+                    degraded.push(secs);
+                } else {
+                    healthy.push(secs);
+                }
+            }
+        }
+        println!(
+            "  response time: healthy {:.3} s over {} ops, degraded {:.3} s over {} ops",
+            gdisim_metrics::mean(&healthy),
+            healthy.len(),
+            gdisim_metrics::mean(&degraded),
+            degraded.len()
+        );
+    }
+    if let Some(trace) = sim.trace() {
+        let dropped = trace.dropped_by_kind();
+        println!(
+            "\ntrace: {} events recorded, {} dropped past capacity",
+            trace.events().len(),
+            dropped.total()
+        );
+        if dropped.total() > 0 {
+            for (label, n) in dropped.by_kind() {
+                if n > 0 {
+                    println!("  dropped {label}: {n}");
+                }
+            }
+        }
+    }
+}
+
+/// The `run` subcommand: any built-in scenario, optionally under a
+/// fault plan loaded from JSON.
+fn cmd_run(args: &Args) -> Result<(), CliError> {
+    let scenario = args
+        .scenario
+        .clone()
+        .or_else(|| args.positional.get(1).cloned())
+        .ok_or_else(|| CliError::Usage("run needs --scenario <name>".into()))?;
+    let plan = match args.faults.as_deref() {
+        // `--faults demo` runs the built-in staged WAN outage.
+        Some("demo") => Some(faulted::demo_fault_plan()),
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+                path: path.to_string(),
+                source,
+            })?;
+            Some(FaultPlan::from_json(&json)?)
+        }
+        None => None,
     };
+    let (mut sim, default_horizon, sites): (Simulation, SimTime, Vec<&str>) =
+        match scenario.as_str() {
+            "validation" => {
+                let periods = validation::EXPERIMENTS[args.experiment - 1];
+                (
+                    validation::build(periods, args.seed),
+                    SimTime::ZERO + validation::HORIZON,
+                    vec!["NA"],
+                )
+            }
+            "faulted" => (
+                faulted::build(args.seed),
+                SimTime::ZERO + faulted::HORIZON,
+                faulted::SITES.to_vec(),
+            ),
+            "consolidated" => (
+                consolidated::build(args.seed),
+                SimTime::from_hours(args.hours),
+                consolidated::SITES.to_vec(),
+            ),
+            "multimaster" => (
+                multimaster::build(args.seed),
+                SimTime::from_hours(args.hours),
+                multimaster::SITES.to_vec(),
+            ),
+            other => return Err(CliError::UnknownScenario(other.into())),
+        };
+    sim.enable_trace(100_000);
+    if let Some(plan) = plan {
+        sim.set_fault_plan(plan)?;
+    }
+    let horizon = match args.minutes {
+        Some(m) => SimTime::from_secs(m * 60),
+        None => default_horizon,
+    };
+    println!(
+        "run: scenario {scenario}, seed {}, horizon {horizon}{}",
+        args.seed,
+        if args.faults.is_some() {
+            " (fault plan installed)"
+        } else {
+            ""
+        }
+    );
+    let wall = std::time::Instant::now();
+    sim.run_until(horizon);
+    println!("simulated {horizon} in {:?}", wall.elapsed());
+    dashboard(sim.report(), &sites);
+    degradation_summary(sim.report(), &sim);
+    Ok(())
+}
+
+fn run_cli(args: &Args) -> Result<(), CliError> {
     let Some(cmd) = args.positional.first() else {
-        print_usage();
-        return ExitCode::FAILURE;
+        return Err(CliError::Usage("a command is required".into()));
     };
     match cmd.as_str() {
         "validation" => {
@@ -161,7 +374,9 @@ fn main() -> ExitCode {
             let report = sim.report();
             println!("\nsteady-state CPU (mean ± sigma):");
             for tier in TierKind::ALL {
-                let s = report.cpu("NA", tier).expect("tier series");
+                let s = report.cpu("NA", tier).ok_or_else(|| {
+                    CliError::Internal(format!("validation report lacks the {tier} CPU series"))
+                })?;
                 let (mu, sd) =
                     mean_stddev(&s.window(validation::STEADY_START, validation::STEADY_END));
                 println!("  {tier}: {:5.1}% ± {:4.1}%", mu * 100.0, sd * 100.0);
@@ -189,70 +404,80 @@ fn main() -> ExitCode {
                 &multimaster::SITES,
             );
         }
+        "run" => cmd_run(args)?,
         "export" => {
-            let Some(which) = args.positional.get(1) else {
-                eprintln!("error: export needs a scenario name");
-                return ExitCode::FAILURE;
-            };
+            let which = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("export needs a scenario name".into()))?;
             let spec = match which.as_str() {
                 "validation" => validation::downscaled_topology(),
+                "faulted" => faulted::topology(),
                 "consolidated" => consolidated::topology(),
                 "multimaster" => multimaster::topology(),
-                other => {
-                    eprintln!("error: unknown scenario '{other}'");
-                    return ExitCode::FAILURE;
-                }
+                other => return Err(CliError::UnknownScenario(other.into())),
             };
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&spec).expect("serializable spec")
-            );
+            let json = serde_json::to_string_pretty(&spec)
+                .map_err(|e| CliError::Internal(format!("topology not serializable: {e}")))?;
+            println!("{json}");
         }
         "topology" => {
-            let Some(path) = args.positional.get(1) else {
-                eprintln!("error: topology needs a JSON file path");
-                return ExitCode::FAILURE;
-            };
-            let json = match std::fs::read_to_string(path) {
-                Ok(j) => j,
-                Err(e) => {
-                    eprintln!("error: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let spec: TopologySpec = match serde_json::from_str(&json) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: {path} is not a valid topology spec: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match Infrastructure::build(&spec, args.seed) {
-                Ok(infra) => {
-                    println!("{path}: OK");
-                    println!("  data centers: {}", infra.data_centers().len());
-                    println!("  hardware agents: {}", infra.agent_count());
-                    println!("  WAN links: {}", infra.wan_links().len());
-                    for dc in infra.data_centers() {
-                        let tiers: Vec<String> = dc
-                            .tiers
-                            .iter()
-                            .map(|t| format!("{}x{}", t.servers.len(), t.kind))
-                            .collect();
-                        println!("  {}: {}", dc.name, tiers.join(", "));
-                    }
-                }
-                Err(e) => {
-                    eprintln!("error: invalid topology: {e}");
-                    return ExitCode::FAILURE;
-                }
+            let path = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("topology needs a JSON file path".into()))?;
+            let json = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            let spec: TopologySpec =
+                serde_json::from_str(&json).map_err(|e| CliError::BadTopology {
+                    path: path.clone(),
+                    reason: e.to_string(),
+                })?;
+            let infra =
+                Infrastructure::build(&spec, args.seed).map_err(|e| CliError::BadTopology {
+                    path: path.clone(),
+                    reason: e.to_string(),
+                })?;
+            println!("{path}: OK");
+            println!("  data centers: {}", infra.data_centers().len());
+            println!("  hardware agents: {}", infra.agent_count());
+            println!("  WAN links: {}", infra.wan_links().len());
+            for dc in infra.data_centers() {
+                let tiers: Vec<String> = dc
+                    .tiers
+                    .iter()
+                    .map(|t| format!("{}x{}", t.servers.len(), t.kind))
+                    .collect();
+                println!("  {}: {}", dc.name, tiers.join(", "));
             }
         }
         other => {
-            eprintln!("error: unknown command '{other}'\n");
+            return Err(CliError::Usage(format!("unknown command '{other}'")));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
             print_usage();
             return ExitCode::FAILURE;
         }
+    };
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!();
+                print_usage();
+            }
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }

@@ -19,6 +19,7 @@
 //! every meter into the [`Report`].
 
 use crate::config::{MasterPolicy, SimulationConfig};
+use crate::fault::{FaultAction, FaultPlan, FaultPlanError, FaultTarget, InFlightPolicy};
 use crate::flight::{Chain, FlightTable, Instance, InstanceKind};
 use crate::report::{BackgroundRecord, Report};
 use crate::router::compile_with;
@@ -27,8 +28,10 @@ use gdisim_infra::{ComponentKind, Infrastructure};
 use gdisim_metrics::ResponseKey;
 use gdisim_queueing::{JobToken, SplitMix64, Station};
 use gdisim_types::{AppId, DcId, OpTypeId, SimTime};
-use gdisim_workload::{AppWorkload, Application, ArrivalSampler, OperationTemplate, SiteBinding};
-use std::collections::HashMap;
+use gdisim_workload::{
+    AppWorkload, Application, ArrivalSampler, OperationTemplate, RetryPolicy, SiteBinding,
+};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A scheduled infrastructure-health change.
@@ -44,6 +47,51 @@ enum HealthEvent {
         server: usize,
         fail: bool,
     },
+}
+
+/// Runtime state of an installed [`FaultPlan`].
+///
+/// Only present when a non-empty plan was installed — every fault-layer
+/// hook checks `faults.is_some()` first, so a run without a plan (or
+/// with an empty one) executes exactly the seed code path.
+#[derive(Clone)]
+struct FaultRuntime {
+    /// Schedule sorted by `(time, declaration order)`, applied from
+    /// `cursor` on. The `u32` is the event's index in the plan, stamped
+    /// into [`crate::trace::TraceEvent::Fault`].
+    events: Vec<(SimTime, u32, FaultTarget, FaultAction)>,
+    cursor: usize,
+    in_flight: InFlightPolicy,
+    retry: Option<RetryPolicy>,
+    /// Targets currently down — deduplicates double-fails and drives the
+    /// degraded-window bookkeeping.
+    down: Vec<FaultTarget>,
+    /// Armed per-attempt timeouts `(deadline µs, instance id)`, lazily
+    /// invalidated: entries whose instance already completed are skipped
+    /// when popped.
+    timeouts: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    /// Failed operations waiting out their backoff before re-launch.
+    pending_retries: Vec<PendingRetry>,
+    /// Tokens of failed operations whose jobs may still surface from a
+    /// station outbox; their completions are swallowed.
+    orphans: HashSet<u64>,
+    /// Operations completed / failed in the current collection interval
+    /// (the availability numerator and denominator).
+    interval_ok: u64,
+    interval_failed: u64,
+}
+
+/// A failed client operation scheduled for re-issue after its backoff.
+#[derive(Clone)]
+struct PendingRetry {
+    at: SimTime,
+    template: Arc<OperationTemplate>,
+    key: ResponseKey,
+    binding: SiteBinding,
+    chain: Option<Chain>,
+    session: Option<u64>,
+    attempt: u32,
+    first_launched_at: SimTime,
 }
 
 /// Pseudo-application id under which background operations report.
@@ -131,6 +179,8 @@ pub struct Simulation {
     next_collect: SimTime,
     /// Scheduled health events `(when, what)`.
     link_events: Vec<(SimTime, HealthEvent)>,
+    /// Fault-injection runtime, when a non-empty plan is installed.
+    faults: Option<FaultRuntime>,
     /// Session wake calendar: (wake time µs, session id).
     session_wakes: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
     /// Live sessions: id -> (traffic-source index, workload site index).
@@ -179,6 +229,7 @@ impl Simulation {
             now: SimTime::ZERO,
             next_collect,
             link_events: Vec::new(),
+            faults: None,
             session_wakes: std::collections::BinaryHeap::new(),
             sessions: HashMap::new(),
             next_session: 0,
@@ -320,6 +371,74 @@ impl Simulation {
                 fail: false,
             },
         ));
+    }
+
+    /// Installs a fault plan: a deterministic failure/recovery schedule
+    /// plus the in-flight and client-retry policies (see
+    /// [`crate::fault`]). Every target is validated against the topology
+    /// up front, so a plan naming a link or site that does not exist is
+    /// rejected with a readable error instead of failing mid-run.
+    ///
+    /// Installing an **empty** plan (no events, no retry policy) is a
+    /// no-op: the run stays bit-identical to one with no plan at all.
+    ///
+    /// # Errors
+    /// Returns a [`FaultPlanError`] when an event time is invalid, the
+    /// retry policy is inconsistent, or a target is not in the topology.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        plan.validate()?;
+        for (i, e) in plan.events.iter().enumerate() {
+            let reason = match &e.target {
+                FaultTarget::WanLink { label } => self
+                    .infra
+                    .wan_link_agent(label)
+                    .is_none()
+                    .then(|| format!("no WAN link labelled '{label}'")),
+                FaultTarget::Server { site, tier, server } => match self.infra.dc_by_name(site) {
+                    None => Some(format!("no data center named '{site}'")),
+                    Some(dc) => match self.infra.dc(dc).tier_index(*tier) {
+                        None => Some(format!("no {tier} tier at data center '{site}'")),
+                        Some(ti) => {
+                            let n = self.infra.dc(dc).tiers[ti].servers.len();
+                            (*server >= n).then(|| {
+                                format!("{tier} tier at '{site}' has {n} servers, no #{server}")
+                            })
+                        }
+                    },
+                },
+                FaultTarget::DataCenter { site } => self
+                    .infra
+                    .dc_by_name(site)
+                    .is_none()
+                    .then(|| format!("no data center named '{site}'")),
+            };
+            if let Some(reason) = reason {
+                return Err(FaultPlanError::UnknownTarget { event: i, reason });
+            }
+        }
+        if plan.is_empty() {
+            return Ok(());
+        }
+        let mut events: Vec<(SimTime, u32, FaultTarget, FaultAction)> = plan
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.at(), i as u32, e.target.clone(), e.action))
+            .collect();
+        events.sort_by_key(|(t, i, _, _)| (*t, *i));
+        self.faults = Some(FaultRuntime {
+            events,
+            cursor: 0,
+            in_flight: plan.in_flight,
+            retry: plan.retry,
+            down: Vec::new(),
+            timeouts: std::collections::BinaryHeap::new(),
+            pending_retries: Vec::new(),
+            orphans: HashSet::new(),
+            interval_ok: 0,
+            interval_failed: 0,
+        });
+        Ok(())
     }
 
     fn site_index(&self, site: &str) -> usize {
@@ -468,7 +587,15 @@ impl Simulation {
         let now = self.now;
         let dt = self.config.dt;
 
-        // Phase 1: scheduled events, arrivals and daemons.
+        // Phase 1: scheduled events, arrivals and daemons. Fault events
+        // apply first so retries and fresh launches compile against the
+        // post-fault routing tables; retries launch before timeouts are
+        // reaped so a zero-backoff retry still waits one full tick.
+        if self.faults.is_some() {
+            self.apply_fault_events(now);
+            self.launch_due_retries(now);
+            self.reap_timeouts(now);
+        }
         self.apply_link_events(now);
         self.wake_sessions(now);
         self.generate_arrivals(now);
@@ -724,6 +851,280 @@ impl Simulation {
         }
     }
 
+    // ----- fault injection ------------------------------------------------
+
+    /// Applies fault-plan events due at or before `now`, in `(time,
+    /// declaration order)` order.
+    fn apply_fault_events(&mut self, now: SimTime) {
+        let due: Vec<(u32, FaultTarget, FaultAction)> = {
+            let f = self.faults.as_mut().expect("fault runtime installed");
+            let mut due = Vec::new();
+            while f.cursor < f.events.len() && f.events[f.cursor].0 <= now {
+                let (_, idx, target, action) = f.events[f.cursor].clone();
+                due.push((idx, target, action));
+                f.cursor += 1;
+            }
+            due
+        };
+        for (idx, target, action) in due {
+            self.apply_fault(idx, target, action, now);
+        }
+    }
+
+    /// Applies one fault event: flips the target's health, re-routes
+    /// around it, maintains the degraded-window bookkeeping and (for
+    /// failures under [`InFlightPolicy::Drop`]/[`InFlightPolicy::Bounce`])
+    /// evicts the target's queued messages. Events that cannot be
+    /// applied — double-fails, recoveries of healthy targets, or
+    /// failures the infrastructure refuses (the last healthy server of a
+    /// tier) — are counted as skipped, never panicked on.
+    fn apply_fault(
+        &mut self,
+        event_idx: u32,
+        target: FaultTarget,
+        action: FaultAction,
+        now: SimTime,
+    ) {
+        let fail = action == FaultAction::Fail;
+        let already_down = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.down.contains(&target));
+        if fail == already_down {
+            self.report.faults.skipped_events += 1;
+            return;
+        }
+        let result = match (&target, fail) {
+            (FaultTarget::WanLink { label }, true) => self.infra.fail_wan_link(label),
+            (FaultTarget::WanLink { label }, false) => self.infra.restore_wan_link(label),
+            (FaultTarget::Server { site, tier, server }, fail) => {
+                match self.infra.dc_by_name(site) {
+                    Some(dc) if fail => self.infra.fail_server(dc, *tier, *server),
+                    Some(dc) => self.infra.restore_server(dc, *tier, *server),
+                    None => Err(format!("no data center named '{site}'")),
+                }
+            }
+            (FaultTarget::DataCenter { site }, true) => self.infra.fail_data_center(site),
+            (FaultTarget::DataCenter { site }, false) => self.infra.restore_data_center(site),
+        };
+        if result.is_err() {
+            self.report.faults.skipped_events += 1;
+            return;
+        }
+        if let Some(t) = &mut self.trace {
+            t.record(
+                now,
+                crate::trace::TraceEvent::Fault {
+                    event: event_idx,
+                    fail,
+                },
+            );
+        }
+        let f = self.faults.as_mut().expect("fault runtime installed");
+        if fail {
+            if f.down.is_empty() {
+                self.report.degraded_since = Some(now);
+            }
+            f.down.push(target.clone());
+            let policy = f.in_flight;
+            if policy != InFlightPolicy::Drain {
+                self.evict_target(&target, policy, now);
+            }
+        } else {
+            f.down.retain(|d| *d != target);
+            if f.down.is_empty() {
+                if let Some(from) = self.report.degraded_since.take() {
+                    self.report.degraded_windows.push((from, now));
+                }
+            }
+        }
+    }
+
+    /// Drains every queued message out of the failed target's agents and
+    /// settles the owning operations per the in-flight policy: `Bounce`
+    /// fails them immediately (a failure response made it back), `Drop`
+    /// leaves client operations hanging until their timeout when a retry
+    /// policy is armed, and fails them on the spot otherwise.
+    fn evict_target(&mut self, target: &FaultTarget, policy: InFlightPolicy, now: SimTime) {
+        let mut evicted: Vec<JobToken> = Vec::new();
+        match target {
+            FaultTarget::WanLink { label } => {
+                if let Some(agent) = self.infra.wan_link_agent(label) {
+                    self.infra.evict_agent(agent, &mut evicted);
+                }
+            }
+            FaultTarget::Server { site, tier, server } => {
+                let agents = self.infra.dc_by_name(site).and_then(|dc| {
+                    let dc = self.infra.dc(dc);
+                    let ti = dc.tier_index(*tier)?;
+                    let s = dc.tiers[ti].servers.get(*server)?;
+                    Some([Some(s.cpu), Some(s.nic), Some(s.lan), s.storage])
+                });
+                for agent in agents.into_iter().flatten().flatten() {
+                    self.infra.evict_agent(agent, &mut evicted);
+                }
+            }
+            FaultTarget::DataCenter { site } => {
+                if let Some(dc) = self.infra.dc_by_name(site) {
+                    for i in 0..self.infra.agent_count() {
+                        let id = gdisim_types::AgentId::from_index(i);
+                        if self.infra.meta(id).dc == dc {
+                            self.infra.evict_agent(id, &mut evicted);
+                        }
+                    }
+                }
+            }
+        }
+        if evicted.is_empty() {
+            return;
+        }
+        // Map evicted messages back to their owning operations. The
+        // eviction order is canonical per agent and agents are visited in
+        // a fixed order, so this whole path is deterministic.
+        let mut affected: Vec<u64> = Vec::new();
+        for JobToken(token) in evicted {
+            if let Some(state) = self.flight.tokens.remove(&token) {
+                if let Some((mem_idx, bytes)) = state.plan.mem_hold {
+                    self.infra.memories_mut()[mem_idx].release(bytes);
+                }
+                self.report.faults.dropped_messages += 1;
+                affected.push(state.instance);
+            } else if let Some(f) = &mut self.faults {
+                // A job of an operation that already failed: the eviction
+                // itself settles its orphan entry.
+                f.orphans.remove(&token);
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let retry_armed = self.faults.as_ref().is_some_and(|f| f.retry.is_some());
+        for inst_id in affected {
+            let Some(inst) = self.flight.instances.get(&inst_id) else {
+                continue;
+            };
+            if policy == InFlightPolicy::Drop && retry_armed && inst.kind == InstanceKind::Client {
+                // Silently lost: the client notices at its timeout.
+                continue;
+            }
+            self.fail_instance(inst_id, now);
+        }
+    }
+
+    /// Launches pending retries whose backoff has elapsed.
+    fn launch_due_retries(&mut self, now: SimTime) {
+        let due: Vec<PendingRetry> = {
+            let f = self.faults.as_mut().expect("fault runtime installed");
+            if f.pending_retries.is_empty() {
+                return;
+            }
+            let (due, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut f.pending_retries)
+                .into_iter()
+                .partition(|r| r.at <= now);
+            f.pending_retries = rest;
+            due
+        };
+        for r in due {
+            self.launch_attempt(
+                r.template,
+                r.key,
+                InstanceKind::Client,
+                r.binding,
+                r.chain,
+                r.session,
+                0.0,
+                now,
+                r.attempt,
+                r.first_launched_at,
+            );
+        }
+    }
+
+    /// Fails operations whose per-attempt timeout has expired. Entries
+    /// for operations that already completed (or already failed) are
+    /// stale and skipped — instance ids are never reused, so liveness in
+    /// the flight table is a sufficient check.
+    fn reap_timeouts(&mut self, now: SimTime) {
+        let now_us = now.as_micros();
+        let mut due: Vec<u64> = Vec::new();
+        {
+            let f = self.faults.as_mut().expect("fault runtime installed");
+            while let Some(&std::cmp::Reverse((t, id))) = f.timeouts.peek() {
+                if t > now_us {
+                    break;
+                }
+                f.timeouts.pop();
+                if self.flight.instances.contains_key(&id) {
+                    due.push(id);
+                }
+            }
+        }
+        for id in due {
+            self.fail_instance(id, now);
+        }
+    }
+
+    /// Fails a live operation: severs its in-flight messages (their jobs
+    /// become orphans, swallowed when their stations finish them),
+    /// counts the failure, and either schedules a backed-off retry or
+    /// abandons the operation. An abandoned session operation releases
+    /// its client back to thinking; a chained series aborts; background
+    /// operations never retry (their schedulers own the re-issue cycle).
+    fn fail_instance(&mut self, inst_id: u64, now: SimTime) {
+        let Some(inst) = self.flight.instances.remove(&inst_id) else {
+            return;
+        };
+        for token in self.flight.tokens_of(inst_id) {
+            let state = self.flight.tokens.remove(&token).expect("token listed");
+            if let Some((mem_idx, bytes)) = state.plan.mem_hold {
+                self.infra.memories_mut()[mem_idx].release(bytes);
+            }
+            self.report.faults.dropped_messages += 1;
+            if let Some(f) = &mut self.faults {
+                f.orphans.insert(token);
+            }
+        }
+        self.report.faults.failed_operations += 1;
+        let mut will_retry = false;
+        if let Some(f) = &mut self.faults {
+            f.interval_failed += 1;
+            if inst.kind == InstanceKind::Client {
+                if let Some(policy) = f.retry {
+                    if inst.attempt < policy.max_retries {
+                        let delay = policy.backoff_secs(inst.attempt + 1);
+                        f.pending_retries.push(PendingRetry {
+                            at: now + gdisim_types::SimDuration::from_secs_f64(delay),
+                            template: Arc::clone(&inst.template),
+                            key: inst.key,
+                            binding: inst.binding.clone(),
+                            chain: inst.chain.clone(),
+                            session: inst.session,
+                            attempt: inst.attempt + 1,
+                            first_launched_at: inst.first_launched_at,
+                        });
+                        will_retry = true;
+                    }
+                }
+            }
+        }
+        if will_retry {
+            self.report.faults.retried_operations += 1;
+        } else {
+            self.report.faults.abandoned_operations += 1;
+            if let Some(sid) = inst.session {
+                self.schedule_session_think(sid, now);
+            }
+        }
+        if let Some(t) = &mut self.trace {
+            t.record(
+                now,
+                crate::trace::TraceEvent::OperationFailed {
+                    instance: inst_id,
+                    will_retry,
+                },
+            );
+        }
+    }
+
     /// Wakes sessions whose think time has elapsed: retiring sessions log
     /// out, the rest launch their next operation.
     fn wake_sessions(&mut self, now: SimTime) {
@@ -851,6 +1252,37 @@ impl Simulation {
         volume_bytes: f64,
         now: SimTime,
     ) {
+        self.launch_attempt(
+            template,
+            key,
+            kind,
+            binding,
+            chain,
+            session,
+            volume_bytes,
+            now,
+            0,
+            now,
+        );
+    }
+
+    /// Launches one attempt of an operation. `attempt` is 0 for a fresh
+    /// launch; fault-layer retries pass the attempt counter and the
+    /// original launch time so response times cover the full client wait.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_attempt(
+        &mut self,
+        template: Arc<OperationTemplate>,
+        key: ResponseKey,
+        kind: InstanceKind,
+        binding: SiteBinding,
+        chain: Option<Chain>,
+        session: Option<u64>,
+        volume_bytes: f64,
+        now: SimTime,
+        attempt: u32,
+        first_launched_at: SimTime,
+    ) {
         let stages = template.stages();
         if let Some(t) = &mut self.trace {
             t.record(
@@ -870,10 +1302,23 @@ impl Simulation {
             stage_idx: 0,
             outstanding: 0,
             launched_at: now,
+            first_launched_at,
+            attempt,
             chain,
             session,
             volume_bytes,
         });
+        // Arm the per-attempt client timeout when a retry policy is set.
+        if kind == InstanceKind::Client {
+            if let Some(f) = &mut self.faults {
+                if let Some(policy) = f.retry {
+                    let deadline =
+                        now + gdisim_types::SimDuration::from_secs_f64(policy.timeout_secs);
+                    f.timeouts
+                        .push(std::cmp::Reverse((deadline.as_micros(), id)));
+                }
+            }
+        }
         self.start_stage(id, now);
     }
 
@@ -889,7 +1334,7 @@ impl Simulation {
                 inst.binding.clone(),
             )
         };
-        let mut instant = Vec::new();
+        let mut instant: Vec<u64> = Vec::new();
         let mut launched = 0u32;
         for si in range {
             let step = template.steps[si];
@@ -900,6 +1345,22 @@ impl Simulation {
                 &mut self.cache_rng,
                 self.config.load_balancing,
             );
+            if plan.broken.is_some() {
+                // Undeliverable stage (no route or no reachable server):
+                // the operation fails. Instant siblings never reached a
+                // station, so settle them here; enqueued siblings become
+                // orphans via `fail_instance`.
+                for token in instant.drain(..) {
+                    if let Some(state) = self.flight.tokens.remove(&token) {
+                        if let Some((mem_idx, bytes)) = state.plan.mem_hold {
+                            self.infra.memories_mut()[mem_idx].release(bytes);
+                        }
+                        self.report.faults.dropped_messages += 1;
+                    }
+                }
+                self.fail_instance(inst_id, now);
+                return;
+            }
             let first = plan.hops.pop_front();
             let token = self.flight.add_token(inst_id, plan);
             match first {
@@ -947,6 +1408,15 @@ impl Simulation {
                 return;
             }
         } else {
+            // A job of a failed operation finishing service: its result
+            // is discarded (the work was wasted, which is the point).
+            if self
+                .faults
+                .as_mut()
+                .is_some_and(|f| f.orphans.remove(&token))
+            {
+                return;
+            }
             debug_assert!(false, "completion for unknown token {token}");
             return;
         }
@@ -1000,7 +1470,10 @@ impl Simulation {
             .instances
             .remove(&inst_id)
             .expect("instance live");
-        let duration = now - inst.launched_at;
+        // Response times are measured from the *first* attempt, so a
+        // retried operation reports the full wait the client experienced
+        // (identical to `launched_at` when no retry happened).
+        let duration = now - inst.first_launched_at;
         if let Some(t) = &mut self.trace {
             t.record(
                 now,
@@ -1011,6 +1484,9 @@ impl Simulation {
             );
         }
         self.report.responses.record(inst.key, now, duration);
+        if let Some(f) = &mut self.faults {
+            f.interval_ok += 1;
+        }
         match inst.kind {
             InstanceKind::Client => {
                 let mut continued = false;
@@ -1157,6 +1633,19 @@ impl Simulation {
         self.report
             .active_operations
             .push(t, self.flight.live_instances() as f64);
+        // Availability over the elapsed interval: completed / (completed
+        // + failed) operations, 1.0 when nothing finished either way.
+        if let Some(f) = &mut self.faults {
+            let total = f.interval_ok + f.interval_failed;
+            let avail = if total == 0 {
+                1.0
+            } else {
+                f.interval_ok as f64 / total as f64
+            };
+            self.report.availability.push(t, avail);
+            f.interval_ok = 0;
+            f.interval_failed = 0;
+        }
         // Interval aggregates are derivable from history; drain to keep
         // the current-interval map empty.
         let _ = self.report.responses.collect();

@@ -50,8 +50,15 @@ pub struct Instance {
     pub stage_idx: usize,
     /// Messages of the current stage still in flight.
     pub outstanding: u32,
-    /// Launch timestamp.
+    /// Launch timestamp of this attempt.
     pub launched_at: SimTime,
+    /// Launch timestamp of the *first* attempt — equals `launched_at`
+    /// unless this instance is a fault-layer retry. Response times are
+    /// recorded from here, so a client that retried twice reports the
+    /// full wait it actually experienced.
+    pub first_launched_at: SimTime,
+    /// How many times this operation has been re-issued (0 = first try).
+    pub attempt: u32,
     /// Chained follow-up operations, if any.
     pub chain: Option<Chain>,
     /// The closed-loop session this operation belongs to, if any; on
@@ -126,6 +133,20 @@ impl FlightTable {
     pub fn live_tokens(&self) -> usize {
         self.tokens.len()
     }
+
+    /// Token ids belonging to `instance`, ascending. The token map is
+    /// hash-ordered, so fault handling sorts before touching anything
+    /// order-sensitive.
+    pub fn tokens_of(&self, instance: u64) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .tokens
+            .iter()
+            .filter(|(_, s)| s.instance == instance)
+            .map(|(t, _)| *t)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +182,8 @@ mod tests {
             stage_idx: 0,
             outstanding: 0,
             launched_at: SimTime::ZERO,
+            first_launched_at: SimTime::ZERO,
+            attempt: 0,
             chain: None,
             session: None,
             volume_bytes: 0.0,

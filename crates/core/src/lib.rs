@@ -17,6 +17,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod flight;
 pub mod report;
 pub mod router;
@@ -25,5 +26,6 @@ pub mod trace;
 
 pub use config::{MasterPolicy, SimulationConfig};
 pub use engine::{Simulation, TrafficSource};
-pub use report::{BackgroundRecord, Report, TierKey};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanError, FaultTarget, InFlightPolicy};
+pub use report::{BackgroundRecord, FaultStats, Report, TierKey};
 pub use trace::{DroppedCounts, TraceEvent, TraceLog};

@@ -36,6 +36,24 @@ impl BackgroundRecord {
     }
 }
 
+/// Degradation counters accumulated by the fault layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Operations that failed at least once (timeout, severed by a
+    /// fault, or undeliverable).
+    pub failed_operations: u64,
+    /// Failures answered with a scheduled retry.
+    pub retried_operations: u64,
+    /// Failures that exhausted (or had no) retry budget.
+    pub abandoned_operations: u64,
+    /// Messages evicted from failing components or orphaned by a failed
+    /// operation.
+    pub dropped_messages: u64,
+    /// Scheduled fault events that could not be applied (e.g. failing
+    /// the last healthy server of a tier) and were skipped.
+    pub skipped_events: u64,
+}
+
 /// The full simulation report.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -60,6 +78,18 @@ pub struct Report {
     pub active_operations: TimeSeries,
     /// Completed background operations.
     pub background: Vec<BackgroundRecord>,
+    /// Fault-layer degradation counters. All-zero unless a fault plan
+    /// was installed.
+    pub faults: FaultStats,
+    /// Per-collection-interval availability: completed / (completed +
+    /// failed) operations over the interval, 1.0 when nothing finished.
+    /// Only populated when a fault plan is installed.
+    pub availability: TimeSeries,
+    /// Closed degraded windows `(from, until)`: spans during which at
+    /// least one fault-plan target was down.
+    pub degraded_windows: Vec<(SimTime, SimTime)>,
+    /// Start of a degraded window still open when the run ended.
+    pub degraded_since: Option<SimTime>,
 }
 
 impl Report {
@@ -91,6 +121,32 @@ impl Report {
     /// Background records of one kind, in completion order.
     pub fn background_of(&self, kind: BackgroundKind) -> Vec<&BackgroundRecord> {
         self.background.iter().filter(|b| b.kind == kind).collect()
+    }
+
+    /// Whether `t` falls inside a degraded window (including one still
+    /// open at the end of the run).
+    pub fn is_degraded_at(&self, t: SimTime) -> bool {
+        self.degraded_windows
+            .iter()
+            .any(|&(from, until)| t >= from && t < until)
+            || self.degraded_since.is_some_and(|from| t >= from)
+    }
+
+    /// Splits one operation's response history into `(healthy,
+    /// degraded)` series by whether each completion fell inside a
+    /// degraded window — the paper's "response time over the day" plots,
+    /// cut along the outage boundaries.
+    pub fn response_split(&self, key: gdisim_metrics::ResponseKey) -> (TimeSeries, TimeSeries) {
+        let mut healthy = TimeSeries::new();
+        let mut degraded = TimeSeries::new();
+        for &(t, secs) in self.responses.history(key) {
+            if self.is_degraded_at(t) {
+                degraded.push(t, secs);
+            } else {
+                healthy.push(t, secs);
+            }
+        }
+        (healthy, degraded)
     }
 
     /// The response-time *series* of one operation key: completions
@@ -148,6 +204,33 @@ mod tests {
         let r = Report::new();
         assert!(r.max_background_response(BackgroundKind::SyncRep).is_none());
         assert!(r.cpu("NA", TierKind::App).is_none());
+    }
+
+    #[test]
+    fn response_split_honors_degraded_windows() {
+        let mut r = Report::new();
+        let key = gdisim_metrics::ResponseKey {
+            app: gdisim_types::AppId(0),
+            op: gdisim_types::OpTypeId(0),
+            dc: gdisim_types::DcId(0),
+        };
+        for (t, secs) in [(10u64, 2.0), (700, 9.0), (1500, 3.0)] {
+            r.responses
+                .record(key, SimTime::from_secs(t), SimDuration::from_secs_f64(secs));
+        }
+        r.degraded_windows
+            .push((SimTime::from_secs(600), SimTime::from_secs(1200)));
+        let (healthy, degraded) = r.response_split(key);
+        assert_eq!(healthy.len(), 2);
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded.values()[0], 9.0);
+        assert!(r.is_degraded_at(SimTime::from_secs(700)));
+        assert!(!r.is_degraded_at(SimTime::from_secs(1200)), "end exclusive");
+        // A window still open at the end of the run also counts.
+        r.degraded_since = Some(SimTime::from_secs(1400));
+        let (healthy, degraded) = r.response_split(key);
+        assert_eq!(healthy.len(), 1);
+        assert_eq!(degraded.len(), 2);
     }
 
     #[test]

@@ -33,12 +33,36 @@ pub struct MessagePlan {
     pub hops: VecDeque<Hop>,
     /// `(memory model index, bytes)` to release when the message ends.
     pub mem_hold: Option<(usize, f64)>,
+    /// Set when the message cannot be delivered at all — no WAN route to
+    /// the destination, or the destination has no server able to take it
+    /// (e.g. its data center is down). A broken plan carries no hops and
+    /// holds no memory; the engine fails the owning operation instead of
+    /// enqueuing anything.
+    pub broken: Option<BrokenPlan>,
+}
+
+/// Why a message plan could not be compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrokenPlan {
+    /// The WAN graph has no surviving route between the two sites.
+    NoRoute,
+    /// The destination data center has no reachable server of the
+    /// required tier (down, absent, or the whole site is down).
+    NoServer,
 }
 
 impl MessagePlan {
     /// Whether any hops remain.
     pub fn is_done(&self) -> bool {
         self.hops.is_empty()
+    }
+
+    /// An undeliverable plan.
+    fn broken(reason: BrokenPlan) -> Self {
+        MessagePlan {
+            broken: Some(reason),
+            ..MessagePlan::default()
+        }
     }
 }
 
@@ -115,10 +139,11 @@ pub fn compile_with(
     // Origin switch, WAN route, destination switch.
     push_local_net(&mut hops, infra.dc(from_dc).switch, bytes);
     if from_dc != to_dc {
-        let route: Vec<AgentId> = infra
-            .route(from_dc, to_dc)
-            .unwrap_or_else(|| panic!("no WAN route between {from_dc} and {to_dc}"))
-            .to_vec();
+        let Some(route) = infra.route(from_dc, to_dc).map(<[AgentId]>::to_vec) else {
+            // The sites are partitioned (failed links, downed data
+            // center): the message is undeliverable.
+            return MessagePlan::broken(BrokenPlan::NoRoute);
+        };
         for link in route {
             // WAN hops are always traversed: their latency and shared
             // bandwidth are first-order effects (Table 6.2).
@@ -135,13 +160,11 @@ pub fn compile_with(
             push(&mut hops, infra.dc(to_dc).client_pool, step.r.cycles);
         }
         Holon::Tier(kind) => {
-            let sref = infra
-                .pick_server_with(to_dc, kind, policy)
-                .unwrap_or_else(|| {
-                    panic!(
-                    "message targets tier {kind} at {to_dc}, but that data center has no such tier"
-                )
-                });
+            let Some(sref) = infra.pick_server_with(to_dc, kind, policy) else {
+                // No such tier, every server down, or the whole data
+                // center is down: the message has nowhere to land.
+                return MessagePlan::broken(BrokenPlan::NoServer);
+            };
             let server = infra.server(sref).clone();
             push_local_net(&mut hops, server.lan, bytes);
             push_local_net(&mut hops, server.nic, bytes);
@@ -166,7 +189,11 @@ pub fn compile_with(
         }
     }
 
-    MessagePlan { hops, mem_hold }
+    MessagePlan {
+        hops,
+        mem_hold,
+        broken: None,
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +334,40 @@ mod tests {
         let plan = compile(&mut infra, &step, &binding, &mut rng);
         // Storage hop elided: client link, switch, lan, nic, cpu.
         assert_eq!(plan.hops.len(), 5);
+    }
+
+    #[test]
+    fn undeliverable_messages_compile_to_broken_plans() {
+        let mut infra = Infrastructure::build(&spec(), 1).unwrap();
+        let na = infra.dc_by_name("NA").unwrap();
+        let eu = infra.dc_by_name("EU").unwrap();
+        let mut rng = SplitMix64::new(1);
+        // Partition the WAN: the cross-DC message has no route.
+        infra.fail_wan_link("L NA->EU").unwrap();
+        let step = CascadeStep::seq(
+            Endpoint::client(),
+            Endpoint::tier(TierKind::App, Site::Master),
+            full_r(),
+        );
+        let binding = SiteBinding {
+            client: eu,
+            master: na,
+            file_host: eu,
+            extras: vec![],
+        };
+        let plan = compile(&mut infra, &step, &binding, &mut rng);
+        assert_eq!(plan.broken, Some(BrokenPlan::NoRoute));
+        assert!(plan.hops.is_empty() && plan.mem_hold.is_none());
+        // A tier the data center does not have: no server to land on.
+        infra.restore_wan_link("L NA->EU").unwrap();
+        let step = CascadeStep::seq(
+            Endpoint::client(),
+            Endpoint::tier(TierKind::Db, Site::Master),
+            full_r(),
+        );
+        let binding = SiteBinding::local(na);
+        let plan = compile(&mut infra, &step, &binding, &mut rng);
+        assert_eq!(plan.broken, Some(BrokenPlan::NoServer));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! experiment binaries in `gdisim-bench` only run them and print tables.
 
 pub mod consolidated;
+pub mod faulted;
 pub mod multimaster;
 pub mod rates;
 pub mod validation;

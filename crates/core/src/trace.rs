@@ -47,6 +47,22 @@ pub enum TraceEvent {
         /// End-to-end response time in seconds.
         response_secs: f64,
     },
+    /// A scheduled fault event was applied to the infrastructure.
+    Fault {
+        /// Index of the event in the fault plan, in declaration order.
+        event: u32,
+        /// True for a failure, false for a recovery.
+        fail: bool,
+    },
+    /// An operation instance failed (timed out, was severed by a fault,
+    /// or compiled to an undeliverable message).
+    OperationFailed {
+        /// Instance id.
+        instance: u64,
+        /// True when the fault layer scheduled a backed-off retry; false
+        /// when the operation was abandoned.
+        will_retry: bool,
+    },
 }
 
 impl TraceEvent {
@@ -57,6 +73,8 @@ impl TraceEvent {
             TraceEvent::Hop { .. } => 1,
             TraceEvent::MessageDone { .. } => 2,
             TraceEvent::OperationDone { .. } => 3,
+            TraceEvent::Fault { .. } => 4,
+            TraceEvent::OperationFailed { .. } => 5,
         }
     }
 }
@@ -74,12 +92,34 @@ pub struct DroppedCounts {
     pub messages_done: u64,
     /// Dropped [`TraceEvent::OperationDone`] events.
     pub operations_done: u64,
+    /// Dropped [`TraceEvent::Fault`] events.
+    pub faults: u64,
+    /// Dropped [`TraceEvent::OperationFailed`] events.
+    pub operations_failed: u64,
 }
 
 impl DroppedCounts {
     /// Total events dropped across all kinds.
     pub fn total(&self) -> u64 {
-        self.launches + self.hops + self.messages_done + self.operations_done
+        self.launches
+            + self.hops
+            + self.messages_done
+            + self.operations_done
+            + self.faults
+            + self.operations_failed
+    }
+
+    /// `(label, count)` pairs for every kind, in declaration order —
+    /// what the CLI summary prints.
+    pub fn by_kind(&self) -> [(&'static str, u64); 6] {
+        [
+            ("launches", self.launches),
+            ("hops", self.hops),
+            ("messages done", self.messages_done),
+            ("operations done", self.operations_done),
+            ("faults", self.faults),
+            ("operations failed", self.operations_failed),
+        ]
     }
 }
 
@@ -89,7 +129,7 @@ pub struct TraceLog {
     events: Vec<(SimTime, TraceEvent)>,
     capacity: usize,
     /// Drop counters indexed by [`TraceEvent::kind_index`].
-    dropped: [u64; 4],
+    dropped: [u64; 6],
 }
 
 impl TraceLog {
@@ -98,7 +138,7 @@ impl TraceLog {
         TraceLog {
             events: Vec::with_capacity(capacity.min(1 << 20)),
             capacity,
-            dropped: [0; 4],
+            dropped: [0; 6],
         }
     }
 
@@ -128,6 +168,8 @@ impl TraceLog {
             hops: self.dropped[1],
             messages_done: self.dropped[2],
             operations_done: self.dropped[3],
+            faults: self.dropped[4],
+            operations_failed: self.dropped[5],
         }
     }
 
@@ -139,8 +181,9 @@ impl TraceLog {
             .filter(|(_, e)| match e {
                 TraceEvent::Launch { instance: i, .. }
                 | TraceEvent::MessageDone { instance: i, .. }
-                | TraceEvent::OperationDone { instance: i, .. } => *i == instance,
-                TraceEvent::Hop { .. } => false,
+                | TraceEvent::OperationDone { instance: i, .. }
+                | TraceEvent::OperationFailed { instance: i, .. } => *i == instance,
+                TraceEvent::Hop { .. } | TraceEvent::Fault { .. } => false,
             })
             .copied()
             .collect()
@@ -225,14 +268,32 @@ mod tests {
                 response_secs: 3.0,
             },
         );
+        log.record(
+            SimTime::from_secs(4),
+            TraceEvent::Fault {
+                event: 0,
+                fail: true,
+            },
+        );
+        log.record(
+            SimTime::from_secs(4),
+            TraceEvent::OperationFailed {
+                instance: 1,
+                will_retry: true,
+            },
+        );
 
         let by_kind = log.dropped_by_kind();
         assert_eq!(by_kind.launches, 1);
         assert_eq!(by_kind.hops, 3);
         assert_eq!(by_kind.messages_done, 1);
         assert_eq!(by_kind.operations_done, 1);
-        assert_eq!(by_kind.total(), 6);
+        assert_eq!(by_kind.faults, 1);
+        assert_eq!(by_kind.operations_failed, 1);
+        assert_eq!(by_kind.total(), 8);
         assert_eq!(log.dropped(), by_kind.total());
+        let printed: u64 = by_kind.by_kind().iter().map(|(_, n)| n).sum();
+        assert_eq!(printed, by_kind.total());
     }
 
     #[test]

@@ -140,6 +140,9 @@ pub struct Infrastructure {
     wan_specs: Vec<WanLinkSpec>,
     /// Indices (into `wan_specs`) of links currently down.
     failed_links: Vec<usize>,
+    /// Per-data-center health: a downed site admits no work and its
+    /// adjacent WAN links leave the routing graph.
+    dc_down: Vec<bool>,
     /// Which agents currently hold work (the engine's fast-path set).
     active: ActiveSet,
 }
@@ -291,6 +294,7 @@ impl Infrastructure {
         }
 
         let active = ActiveSet::new(b.components.len());
+        let dc_down = vec![false; dcs.len()];
         let mut infra = Infrastructure {
             components: b.components,
             metas: b.metas,
@@ -302,20 +306,32 @@ impl Infrastructure {
             site_names: spec.site_names().iter().map(|s| s.to_string()).collect(),
             wan_specs: spec.wan_links.clone(),
             failed_links: Vec::new(),
+            dc_down,
             active,
         };
         infra.recompute_routes();
         Ok(infra)
     }
 
-    /// Recomputes the WAN routes from the current link health. Backup
-    /// links join the graph as soon as any primary has failed — the
-    /// paper's "secondary links in case of failure".
+    /// Recomputes the WAN routes from the current link and site health.
+    /// Backup links join the graph as soon as any primary has failed — the
+    /// paper's "secondary links in case of failure". Links adjacent to a
+    /// downed data center are excluded as if they had failed themselves.
     fn recompute_routes(&mut self) {
         let sites: Vec<&str> = self.site_names.iter().map(String::as_str).collect();
-        let use_backups = !self.failed_links.is_empty();
-        let site_routes =
-            compute_routes_excluding(&sites, &self.wan_specs, use_backups, &self.failed_links);
+        let mut excluded = self.failed_links.clone();
+        for (i, l) in self.wan_specs.iter().enumerate() {
+            let touches_down_dc = [&l.from, &l.to].into_iter().any(|site| {
+                self.dc_by_name
+                    .get(site)
+                    .is_some_and(|dc| self.dc_down[dc.index()])
+            });
+            if touches_down_dc && !excluded.contains(&i) {
+                excluded.push(i);
+            }
+        }
+        let use_backups = !excluded.is_empty();
+        let site_routes = compute_routes_excluding(&sites, &self.wan_specs, use_backups, &excluded);
         self.routes.clear();
         let n_dcs = self.dcs.len();
         for i in 0..n_dcs {
@@ -424,6 +440,61 @@ impl Infrastructure {
         Ok(())
     }
 
+    /// Takes a whole data center out of service: it admits no new work
+    /// ([`pick_server_with`](Self::pick_server_with) and
+    /// [`route`](Self::route) report it unavailable) and every WAN link
+    /// touching the site leaves the routing graph.
+    ///
+    /// # Errors
+    /// Errors if no data center carries that site name.
+    pub fn fail_data_center(&mut self, site: &str) -> Result<(), String> {
+        let id = self
+            .dc_by_name(site)
+            .ok_or_else(|| format!("no data center named '{site}'"))?;
+        if !self.dc_down[id.index()] {
+            self.dc_down[id.index()] = true;
+            self.recompute_routes();
+        }
+        Ok(())
+    }
+
+    /// Returns a failed data center to service and re-routes.
+    ///
+    /// # Errors
+    /// Errors if no data center carries that site name.
+    pub fn restore_data_center(&mut self, site: &str) -> Result<(), String> {
+        let id = self
+            .dc_by_name(site)
+            .ok_or_else(|| format!("no data center named '{site}'"))?;
+        if self.dc_down[id.index()] {
+            self.dc_down[id.index()] = false;
+            self.recompute_routes();
+        }
+        Ok(())
+    }
+
+    /// Whether the data center is currently down.
+    pub fn dc_is_down(&self, id: DcId) -> bool {
+        self.dc_down[id.index()]
+    }
+
+    /// Resolves a WAN link label (`L from->to`) to its link agent.
+    pub fn wan_link_agent(&self, label: &str) -> Option<AgentId> {
+        self.wan_links
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, a)| *a)
+    }
+
+    /// Drains every in-flight job out of one agent, pushing the evicted
+    /// tokens onto `into` in the component's deterministic eviction order.
+    /// The agent stays in the active set until the next retire sweep
+    /// notices it went empty, so the active-set invariant (members cover
+    /// every agent holding work) is preserved.
+    pub fn evict_agent(&mut self, agent: AgentId, into: &mut Vec<gdisim_queueing::JobToken>) {
+        self.components[agent.index()].component.evict_all(into);
+    }
+
     /// Number of agents in the registry.
     pub fn agent_count(&self) -> usize {
         self.components.len()
@@ -475,8 +546,12 @@ impl Infrastructure {
     }
 
     /// The precomputed route between two data centers (empty when they are
-    /// the same site). `None` means unreachable.
+    /// the same site). `None` means unreachable — no surviving path, or a
+    /// downed endpoint.
     pub fn route(&self, from: DcId, to: DcId) -> Option<&[AgentId]> {
+        if self.dc_down[from.index()] || self.dc_down[to.index()] {
+            return None;
+        }
         if from == to {
             return Some(&[]);
         }
@@ -495,6 +570,9 @@ impl Infrastructure {
         kind: TierKind,
         policy: LoadBalancing,
     ) -> Option<ServerRef> {
+        if self.dc_down[dc.index()] {
+            return None;
+        }
         let tier_idx = self.dcs[dc.index()]
             .tiers
             .iter()

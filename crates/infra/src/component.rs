@@ -125,6 +125,10 @@ impl Station for Component {
             Component::ClientPool(m) => m.in_system(),
         }
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        self.station().evict_all(into)
+    }
 }
 
 /// A component plus its per-tick completion outbox.

@@ -169,4 +169,34 @@ mod tests {
         let routes = compute_routes(&sites, &[], false);
         assert!(routes.is_empty());
     }
+
+    #[test]
+    fn excluding_a_cut_vertex_link_partitions_the_topology() {
+        // A -- R -- B is a line: R is a cut vertex, and every A<->B path
+        // crosses both links. Excluding either one must partition the
+        // graph into {A, R} / {B} (or {A} / {R, B}) — reported as absent
+        // pairs, never panicked on.
+        let sites = ["A", "R", "B"];
+        let links = [wan("A", "R", 40, false), wan("R", "B", 40, false)];
+
+        let full = compute_routes_excluding(&sites, &links, false, &[]);
+        assert_eq!(full.len(), 6, "all ordered pairs reachable");
+        assert_eq!(full[&(0, 2)], vec![0, 1]);
+
+        let cut_right = compute_routes_excluding(&sites, &links, false, &[1]);
+        assert_eq!(cut_right[&(0, 1)], vec![0], "A-R survives");
+        assert!(!cut_right.contains_key(&(0, 2)), "A cannot reach B");
+        assert!(!cut_right.contains_key(&(2, 0)), "B cannot reach A");
+        assert!(!cut_right.contains_key(&(1, 2)), "R cannot reach B");
+        assert_eq!(cut_right.len(), 2, "only A<->R remains");
+
+        let cut_left = compute_routes_excluding(&sites, &links, false, &[0]);
+        assert_eq!(cut_left[&(1, 2)], vec![1], "R-B survives");
+        assert!(!cut_left.contains_key(&(0, 1)), "A is isolated");
+        assert_eq!(cut_left.len(), 2);
+
+        // Excluding both links strands everyone.
+        let none = compute_routes_excluding(&sites, &links, false, &[0, 1]);
+        assert!(none.is_empty());
+    }
 }

@@ -121,6 +121,12 @@ impl Station for CpuModel {
     fn in_system(&self) -> usize {
         self.sockets.iter().map(|s| s.in_system()).sum()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        for s in &mut self.sockets {
+            s.evict_all(into);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -105,6 +105,11 @@ impl Station for LinkModel {
     fn in_system(&self) -> usize {
         self.service.in_system() + self.propagation.in_system()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        self.service.evict_all(into);
+        self.propagation.evict_all(into);
+    }
 }
 
 #[cfg(test)]

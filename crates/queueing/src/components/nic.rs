@@ -68,6 +68,10 @@ impl Station for NicModel {
     fn in_system(&self) -> usize {
         self.queue.in_system()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        self.queue.evict_all(into);
+    }
 }
 
 #[cfg(test)]

@@ -186,6 +186,20 @@ impl Station for RaidModel {
     fn in_system(&self) -> usize {
         self.stripe_of.len()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        let mut discard = Vec::new();
+        self.dacc.evict_all(&mut discard);
+        for q in self.disk_ctrl.iter_mut().chain(self.disk_drive.iter_mut()) {
+            q.evict_all(&mut discard);
+        }
+        // `stripe_of` holds every in-flight job exactly once; sort for
+        // determinism (it is hash-ordered).
+        let mut jobs: Vec<JobToken> = self.stripe_of.drain().map(|(t, _)| t).collect();
+        jobs.sort_unstable();
+        into.append(&mut jobs);
+        self.outstanding.clear();
+    }
 }
 
 #[cfg(test)]

@@ -231,6 +231,23 @@ impl Station for SanModel {
     fn in_system(&self) -> usize {
         self.demand_of.len()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        let mut discard = Vec::new();
+        self.fcsw.evict_all(&mut discard);
+        self.dacc.evict_all(&mut discard);
+        self.fcal.evict_all(&mut discard);
+        for q in self.disk_ctrl.iter_mut().chain(self.disk_drive.iter_mut()) {
+            q.evict_all(&mut discard);
+        }
+        // `demand_of` holds every in-flight job exactly once; sort for
+        // determinism (it is hash-ordered).
+        let mut jobs: Vec<JobToken> = self.demand_of.drain().map(|(t, _)| t).collect();
+        jobs.sort_unstable();
+        into.append(&mut jobs);
+        self.front_stage.clear();
+        self.outstanding.clear();
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,10 @@ impl Station for SwitchModel {
     fn in_system(&self) -> usize {
         self.queue.in_system()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        self.queue.evict_all(into);
+    }
 }
 
 #[cfg(test)]

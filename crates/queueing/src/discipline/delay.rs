@@ -70,6 +70,11 @@ impl Station for DelayLine {
     fn in_system(&self) -> usize {
         self.in_flight.len()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        into.extend(self.in_flight.drain(..).map(|(t, _)| t));
+        self.gauge.set(0.0);
+    }
 }
 
 #[cfg(test)]

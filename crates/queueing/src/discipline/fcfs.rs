@@ -101,6 +101,15 @@ impl Station for FcfsMulti {
     fn in_system(&self) -> usize {
         self.waiting.len() + self.servers.iter().filter(|s| s.is_some()).count()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        for slot in &mut self.servers {
+            if let Some(j) = slot.take() {
+                into.push(j.token);
+            }
+        }
+        into.extend(self.waiting.drain(..).map(|j| j.token));
+    }
 }
 
 #[cfg(test)]

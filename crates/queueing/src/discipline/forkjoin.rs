@@ -83,6 +83,18 @@ impl Station for Tandem {
     fn in_system(&self) -> usize {
         self.state.len()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        // Drain the stages but report the canonical job set (sorted for
+        // determinism: `state` is hash-ordered).
+        let mut discard = Vec::new();
+        for s in &mut self.stages {
+            s.evict_all(&mut discard);
+        }
+        let mut jobs: Vec<JobToken> = self.state.drain().map(|(t, _)| t).collect();
+        jobs.sort_unstable();
+        into.append(&mut jobs);
+    }
 }
 
 /// Probabilistic bypass: with probability `hit_rate` a job skips the inner
@@ -132,6 +144,11 @@ impl Station for Bypass {
 
     fn in_system(&self) -> usize {
         self.inner.in_system() + self.hits_pending.len()
+    }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        into.append(&mut self.hits_pending);
+        self.inner.evict_all(into);
     }
 }
 
@@ -206,6 +223,16 @@ impl Station for ForkJoin {
 
     fn in_system(&self) -> usize {
         self.outstanding.len()
+    }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        let mut discard = Vec::new();
+        for b in &mut self.branches {
+            b.evict_all(&mut discard);
+        }
+        let mut jobs: Vec<JobToken> = self.outstanding.drain().map(|(t, _)| t).collect();
+        jobs.sort_unstable();
+        into.append(&mut jobs);
     }
 }
 

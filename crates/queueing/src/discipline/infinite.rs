@@ -72,6 +72,11 @@ impl Station for InfiniteServer {
     fn in_system(&self) -> usize {
         self.jobs.len()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        into.extend(self.jobs.drain(..).map(|j| j.token));
+        self.gauge.set(0.0);
+    }
 }
 
 #[cfg(test)]

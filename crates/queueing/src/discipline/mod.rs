@@ -54,4 +54,13 @@ pub trait Station {
 
     /// Number of jobs currently in the system (waiting + in service).
     fn in_system(&self) -> usize;
+
+    /// Removes every job from the station, pushing the evicted tokens onto
+    /// `into` in a deterministic order (service slots first, then waiters
+    /// in FIFO order; composite stations emit their canonical job set in
+    /// ascending token order). Afterwards `in_system() == 0`, so the
+    /// active-set fast path may resume bulk idle accounting via
+    /// [`account_idle`](Self::account_idle). Used by fault injection to
+    /// drain a component that just went down.
+    fn evict_all(&mut self, into: &mut Vec<JobToken>);
 }

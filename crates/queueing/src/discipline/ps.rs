@@ -132,6 +132,11 @@ impl Station for PsQueue {
     fn in_system(&self) -> usize {
         self.active.len() + self.waiting.len()
     }
+
+    fn evict_all(&mut self, into: &mut Vec<JobToken>) {
+        into.extend(self.active.drain(..).map(|j| j.token));
+        into.extend(self.waiting.drain(..).map(|j| j.token));
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@
 //! * [`diurnal`] — per-site diurnal client-population curves and Poisson
 //!   arrival sampling (Figs. 6-5..6-7);
 //! * [`ownership`] — access-pattern matrices and data ownership
-//!   (Tables 7.1/7.2, §7.2.1).
+//!   (Tables 7.1/7.2, §7.2.1);
+//! * [`retry`] — client-side timeouts and exponential-backoff retry
+//!   policies for fault-injection runs.
 
 #![warn(missing_docs)]
 
@@ -26,6 +28,7 @@ pub mod cascade;
 pub mod catalog;
 pub mod diurnal;
 pub mod ownership;
+pub mod retry;
 pub mod series;
 pub mod shape;
 
@@ -35,5 +38,6 @@ pub use diurnal::{
     AppWorkload, ArrivalSampler, DiurnalCurve, HourlyTable, PopulationCurve, SiteLoad,
 };
 pub use ownership::AccessPatternMatrix;
+pub use retry::RetryPolicy;
 pub use series::{SeriesKind, CANONICAL_DURATIONS};
 pub use shape::{OperationShape, RateCard, StepShape};

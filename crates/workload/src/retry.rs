@@ -1,0 +1,137 @@
+//! Client-side resilience: per-operation timeouts and retry backoff.
+//!
+//! Real clients do not wait forever on a dead data center — they time
+//! out, back off exponentially and re-issue the request a bounded number
+//! of times. A [`RetryPolicy`] attached to the client cascades makes the
+//! simulated offered load respond to failures the same way, so a fault
+//! window produces a realistic retry storm and a bounded set of
+//! abandoned operations instead of a flight table that leaks forever.
+
+use serde::{Deserialize, Serialize};
+
+/// Timeout/retry parameters for client operations.
+///
+/// All backoff arithmetic is deterministic (no jitter): the k-th retry
+/// of an operation waits `min(backoff_base_secs * backoff_factor^k,
+/// backoff_cap_secs)` after its failure was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Per-attempt timeout in seconds: an operation still in flight this
+    /// long after its (re-)launch is declared failed.
+    pub timeout_secs: f64,
+    /// Maximum number of re-issues after the initial attempt; an
+    /// operation failing on its last allowed attempt is abandoned.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in seconds.
+    pub backoff_base_secs: f64,
+    /// Multiplier applied per additional retry (exponential backoff).
+    pub backoff_factor: f64,
+    /// Upper bound on any single backoff delay, in seconds.
+    pub backoff_cap_secs: f64,
+}
+
+impl RetryPolicy {
+    /// A conservative default: 60 s timeout, 3 retries, 1 s base backoff
+    /// doubling up to 30 s.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            timeout_secs: 60.0,
+            max_retries: 3,
+            backoff_base_secs: 1.0,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 30.0,
+        }
+    }
+
+    /// The backoff delay in seconds before retry number `attempt`
+    /// (1-based: the first retry is attempt 1).
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(63);
+        (self.backoff_base_secs * self.backoff_factor.powi(exp as i32)).min(self.backoff_cap_secs)
+    }
+
+    /// Validates the policy, returning a readable description of the
+    /// first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        // Finiteness first: it lets the range checks below use plain
+        // comparisons without silently accepting NaN.
+        for (name, v) in [
+            ("retry timeout", self.timeout_secs),
+            ("backoff base", self.backoff_base_secs),
+            ("backoff factor", self.backoff_factor),
+            ("backoff cap", self.backoff_cap_secs),
+        ] {
+            if !v.is_finite() {
+                return Err(format!("{name} must be finite, got {v}"));
+            }
+        }
+        if self.timeout_secs <= 0.0 {
+            return Err(format!(
+                "retry timeout must be positive, got {}",
+                self.timeout_secs
+            ));
+        }
+        if self.backoff_base_secs < 0.0 {
+            return Err(format!(
+                "backoff base must be non-negative, got {}",
+                self.backoff_base_secs
+            ));
+        }
+        if self.backoff_factor < 1.0 {
+            return Err(format!(
+                "backoff factor must be >= 1, got {}",
+                self.backoff_factor
+            ));
+        }
+        if self.backoff_cap_secs < self.backoff_base_secs {
+            return Err(format!(
+                "backoff cap {} is below the base {}",
+                self.backoff_cap_secs, self.backoff_base_secs
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let p = RetryPolicy {
+            timeout_secs: 10.0,
+            max_retries: 6,
+            backoff_base_secs: 1.0,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 5.0,
+        };
+        assert_eq!(p.backoff_secs(1), 1.0);
+        assert_eq!(p.backoff_secs(2), 2.0);
+        assert_eq!(p.backoff_secs(3), 4.0);
+        assert_eq!(p.backoff_secs(4), 5.0, "capped");
+        assert_eq!(p.backoff_secs(60), 5.0, "huge attempts stay capped");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(RetryPolicy::standard().validate().is_ok());
+        let mut p = RetryPolicy::standard();
+        p.timeout_secs = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::standard();
+        p.backoff_factor = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::standard();
+        p.backoff_cap_secs = 0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = RetryPolicy::standard();
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: RetryPolicy = serde_json::from_str(&json).expect("parse");
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,191 @@
+//! Fault-injection subsystem tests: the staged WAN outage of the
+//! `faulted` scenario end to end (failover, partition, retry, recovery),
+//! plan validation against the built infrastructure, and the no-op
+//! guarantee — installing an *empty* fault plan must leave every run
+//! bit-identical under all three executors.
+
+use gdisim_core::scenarios::faulted::{self, OUTAGE_END, OUTAGE_START, PARTITION_START};
+use gdisim_core::{FaultAction, FaultEvent, FaultPlan, FaultPlanError, FaultTarget};
+use gdisim_ports::Executor;
+use gdisim_types::SimTime;
+use proptest::prelude::*;
+
+/// The demo arc: primary link fails (failover to backup), backup fails
+/// (partition), both recover. Clients must notice (failures, retries),
+/// availability must dip during the partition and not before, the
+/// degraded window must open and close on the outage boundaries, and
+/// completions must keep flowing after recovery.
+#[test]
+fn staged_wan_outage_degrades_then_recovers() {
+    let mut sim = faulted::build(42);
+    sim.set_fault_plan(faulted::demo_fault_plan())
+        .expect("demo plan matches the faulted topology");
+    sim.run_until(SimTime::ZERO + faulted::HORIZON);
+    let report = sim.report();
+
+    // Clients noticed the partition: operations failed, most re-issued.
+    assert!(report.faults.failed_operations > 0, "no failures recorded");
+    assert!(report.faults.retried_operations > 0, "no retries recorded");
+    assert!(
+        report.faults.retried_operations + report.faults.abandoned_operations
+            == report.faults.failed_operations,
+        "every failure either retries or abandons: {:?}",
+        report.faults
+    );
+    assert_eq!(report.faults.skipped_events, 0, "all plan events applied");
+
+    // Availability: perfect before the outage, below 1.0 at the worst of
+    // the partition.
+    let avail = &report.availability;
+    assert!(!avail.values().is_empty(), "availability series collected");
+    let worst = avail.values().iter().copied().fold(1.0f64, f64::min);
+    assert!(worst < 1.0, "availability never dipped: worst {worst}");
+    for (t, v) in avail.times().iter().zip(avail.values()) {
+        if *t <= OUTAGE_START {
+            assert_eq!(*v, 1.0, "unavailable before the outage at {t}");
+        }
+    }
+
+    // The degraded window spans exactly the staged outage and is closed
+    // by the end of the run.
+    assert_eq!(report.degraded_windows, vec![(OUTAGE_START, OUTAGE_END)]);
+    assert_eq!(report.degraded_since, None, "window left open");
+    assert!(report.is_degraded_at(PARTITION_START));
+    assert!(!report.is_degraded_at(OUTAGE_END));
+
+    // Degradation then recovery, on the pooled response history: work
+    // completes inside the degraded window (slower on average than in
+    // healthy time) and keeps completing after recovery.
+    let mut healthy = Vec::new();
+    let mut degraded = Vec::new();
+    for key in report.responses.history_keys() {
+        let (h, d) = report.response_split(key);
+        healthy.extend(h.times().iter().zip(h.values()).map(|(t, v)| (*t, *v)));
+        degraded.extend(d.times().iter().zip(d.values()).map(|(t, v)| (*t, *v)));
+    }
+    assert!(!degraded.is_empty(), "no completions during the outage");
+    assert!(!healthy.is_empty(), "no completions in healthy time");
+    let mean = |xs: &[(SimTime, f64)]| xs.iter().map(|(_, v)| v).sum::<f64>() / xs.len() as f64;
+    assert!(
+        mean(&degraded) > mean(&healthy),
+        "degraded mean {:.2}s not above healthy mean {:.2}s",
+        mean(&degraded),
+        mean(&healthy)
+    );
+    assert!(
+        healthy.iter().any(|(t, _)| *t > OUTAGE_END),
+        "no completions after recovery"
+    );
+}
+
+/// A plan naming a link the topology doesn't have is rejected up front
+/// with a readable error, before the run starts.
+#[test]
+fn unknown_targets_are_rejected_at_install_time() {
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at_secs: 1.0,
+            target: FaultTarget::WanLink {
+                label: "L NA->MARS".into(),
+            },
+            action: FaultAction::Fail,
+        }],
+        ..FaultPlan::default()
+    };
+    let mut sim = faulted::build(7);
+    match sim.set_fault_plan(plan) {
+        Err(FaultPlanError::UnknownTarget { event, reason }) => {
+            assert_eq!(event, 0);
+            assert!(reason.contains("L NA->MARS"), "reason: {reason}");
+        }
+        other => panic!("expected UnknownTarget, got {other:?}"),
+    }
+}
+
+/// Redundant events — failing a component twice, recovering a healthy
+/// one — are counted as skipped, never applied and never panicked on.
+#[test]
+fn redundant_events_are_skipped_not_applied() {
+    let link = || FaultTarget::WanLink {
+        label: faulted::PRIMARY_LINK.into(),
+    };
+    let event = |at_secs: f64, action| FaultEvent {
+        at_secs,
+        target: link(),
+        action,
+    };
+    let plan = FaultPlan {
+        events: vec![
+            event(1.0, FaultAction::Recover), // recover a healthy link
+            event(2.0, FaultAction::Fail),
+            event(3.0, FaultAction::Fail), // double fail
+            event(4.0, FaultAction::Recover),
+        ],
+        ..FaultPlan::default()
+    };
+    let mut sim = faulted::build(7);
+    sim.set_fault_plan(plan).expect("targets are valid");
+    sim.run_until(SimTime::from_secs(6));
+    let report = sim.report();
+    assert_eq!(report.faults.skipped_events, 2);
+    assert_eq!(
+        report.degraded_windows,
+        vec![(SimTime::from_secs(2), SimTime::from_secs(4))]
+    );
+}
+
+fn executor_for(choice: usize) -> Executor {
+    match choice {
+        0 => Executor::serial(),
+        1 => Executor::scatter_gather(4),
+        _ => Executor::hdispatch(4, 16),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Installing an empty fault plan must be a pure no-op: for random
+    /// seeds, horizons and executors, every response history, every
+    /// utilization series and the client series match a plan-less run
+    /// bit for bit.
+    #[test]
+    fn empty_fault_plan_runs_are_bit_identical(
+        seed in 0u64..1_000,
+        horizon_secs in 60u64..180,
+        executor in 0usize..3,
+    ) {
+        let run = |install_empty_plan: bool| {
+            let mut sim = faulted::build(seed);
+            sim.set_executor(executor_for(executor));
+            if install_empty_plan {
+                sim.set_fault_plan(FaultPlan::default())
+                    .expect("empty plan always installs");
+            }
+            sim.run_until(SimTime::from_secs(horizon_secs));
+            let report = sim.report();
+            let responses: Vec<_> = report
+                .responses
+                .history_keys()
+                .map(|k| (k, report.responses.history(k).to_vec()))
+                .collect();
+            let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+            for ((dc, tier), s) in &report.tier_cpu {
+                series.push((format!("cpu {dc}/{tier}"), s.values().to_vec()));
+            }
+            for ((dc, tier), s) in &report.tier_disk {
+                series.push((format!("disk {dc}/{tier}"), s.values().to_vec()));
+            }
+            for (label, s) in &report.wan_util {
+                series.push((format!("wan {label}"), s.values().to_vec()));
+            }
+            (responses, series, report.concurrent_clients.values().to_vec())
+        };
+
+        let with_plan = run(true);
+        let without = run(false);
+        prop_assert_eq!(with_plan.0, without.0, "response histories diverged");
+        prop_assert_eq!(with_plan.1, without.1, "utilization series diverged");
+        prop_assert_eq!(with_plan.2, without.2, "client series diverged");
+    }
+}
