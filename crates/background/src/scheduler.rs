@@ -242,6 +242,24 @@ impl BackgroundScheduler {
         }
     }
 
+    /// The earliest time any master has work due: the next SYNCHREP
+    /// launch, or — when a build is allowed and backlog is pending — the
+    /// next INDEXBUILD gate. `None` only for a scheduler with no
+    /// masters. A poll before this time returns nothing, which is what
+    /// lets the engine's timer wheel skip the per-step scan; an
+    /// INDEXBUILD completion can pull the horizon closer, so callers
+    /// must re-ask after [`Self::poll`] and
+    /// [`Self::on_indexbuild_complete`].
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.masters
+            .iter()
+            .flat_map(|m| {
+                let ib = (!m.ib_running && m.ib_pending_bytes > 0.0).then_some(m.ib_next_allowed);
+                std::iter::once(m.next_sync).chain(ib)
+            })
+            .min()
+    }
+
     /// Notifies the scheduler that a master's INDEXBUILD completed.
     pub fn on_indexbuild_complete(&mut self, master_site: usize, now: SimTime) {
         let m = self
@@ -367,6 +385,28 @@ mod tests {
         assert_eq!(after.len(), 1);
         assert_eq!(after[0].kind, BackgroundKind::IndexBuild);
         assert!((after[0].volume_bytes - 250.0e6).abs() < 1e4);
+    }
+
+    #[test]
+    fn next_due_tracks_sync_and_indexbuild_gates() {
+        let split = OwnershipSplit::single_master(3, 0);
+        let mut sched = BackgroundScheduler::new(growth3(), split, config());
+        // Fresh scheduler: nothing pending, the first SR is the horizon.
+        assert_eq!(sched.next_due(), Some(mins(15)));
+        // Polls before the horizon launch nothing and do not move it.
+        assert!(sched.poll(mins(10)).is_empty());
+        assert_eq!(sched.next_due(), Some(mins(15)));
+        // The first poll at 15 min launches SR + IB; the IB is now
+        // running, so only the next SR remains due.
+        let launches = sched.poll(mins(15));
+        assert_eq!(launches.len(), 2);
+        assert_eq!(sched.next_due(), Some(mins(30)));
+        // SR at 30 min accrues backlog but the build still runs: the
+        // horizon stays at the next SR until the completion gap opens.
+        sched.poll(mins(30));
+        assert_eq!(sched.next_due(), Some(mins(45)));
+        sched.on_indexbuild_complete(0, mins(32));
+        assert_eq!(sched.next_due(), Some(mins(37)), "IB gate pulled in");
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Event-indexed step loop: timer-wheel gating vs. per-step polling.
+//!
+//! Two workload shapes bracket the wheel's effect:
+//!
+//! * **sparse-series** — an idle-heavy lab: hundreds of periodic series
+//!   sources with multi-second intervals on the downscaled validation
+//!   topology. Almost every 10 ms step has *nothing* due, so the
+//!   polling loop's per-step sweep over all sources (plus the empty
+//!   retry/timeout/fault checks) dominates; the wheel skips all of it.
+//! * **consolidated** — the saturated six-continent case study: diurnal
+//!   Poisson samplers must draw every step regardless (their RNG stream
+//!   is part of the result), so the wheel can only gate the remaining
+//!   classes and must at worst break even.
+//!
+//! Both modes are bit-for-bit identical simulations (pinned by
+//! tests/wheel_equivalence.rs), so this is a pure cost comparison.
+//! Alongside the table and CSV, a machine-readable
+//! `results/BENCH_step_loop.json` records wall-ms per simulated second
+//! before (polling) and after (wheel) for each scenario × executor.
+
+use gdisim_bench::{json_escape, print_table, write_csv, write_json};
+use gdisim_core::scenarios::{consolidated, rates, validation};
+use gdisim_core::{MasterPolicy, Simulation, SimulationConfig};
+use gdisim_infra::Infrastructure;
+use gdisim_ports::Executor;
+use gdisim_types::{AppId, SimDuration, SimTime};
+use gdisim_workload::{Catalog, SeriesKind};
+use std::time::Instant;
+
+/// Periodic sources in the idle-heavy scenario. Enough that the polling
+/// loop's per-step source sweep is the dominant phase-1 cost.
+const SPARSE_SOURCES: u64 = 1024;
+
+/// An idle-heavy lab: many long-interval series on the small validation
+/// topology. With 30–90 s intervals against a 10 ms step, far fewer
+/// than 1% of steps launch anything — but the polling loop still sweeps
+/// every source every step, while the wheel visits only due ones.
+fn build_sparse(seed: u64) -> Simulation {
+    let spec = validation::downscaled_topology();
+    let infra = Infrastructure::build(&spec, seed).expect("valid downscaled topology");
+    let mut config = SimulationConfig::validation();
+    config.seed = seed;
+    let mut sim = Simulation::new(infra, vec!["NA".into()], config);
+    sim.set_master_policy(MasterPolicy::Local);
+    let rc = rates::lab_rate_card();
+    for i in 0..SPARSE_SOURCES {
+        sim.add_series_source(
+            AppId(1000 + i as u32),
+            Catalog::cad_series(SeriesKind::Light, &rc),
+            SimDuration::from_secs(30 + i % 61),
+            "NA",
+            SimTime::ZERO + SimDuration::from_millis(50 * i),
+            None,
+        );
+    }
+    sim
+}
+
+struct Case {
+    scenario: &'static str,
+    build: fn(u64) -> Simulation,
+    horizon_secs: u64,
+}
+
+const CASES: [Case; 2] = [
+    Case {
+        scenario: "sparse-series",
+        build: build_sparse,
+        horizon_secs: 60,
+    },
+    Case {
+        scenario: "consolidated",
+        build: consolidated::build,
+        horizon_secs: 30,
+    },
+];
+
+/// Median-of-`reps` wall milliseconds for one full run.
+fn measure(
+    build: fn(u64) -> Simulation,
+    executor: &Executor,
+    horizon_secs: u64,
+    poll: bool,
+) -> f64 {
+    let reps = 3;
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let mut sim = build(42);
+            sim.set_executor(executor.clone());
+            sim.set_always_poll(poll);
+            let start = Instant::now();
+            sim.run_until(SimTime::from_secs(horizon_secs));
+            std::hint::black_box(sim.active_operations());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[reps / 2]
+}
+
+fn main() {
+    let executors: [(&str, Executor); 3] = [
+        ("serial", Executor::serial()),
+        ("scatter-gather", Executor::scatter_gather(4)),
+        ("h-dispatch", Executor::hdispatch(4, 64)),
+    ];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_entries: Vec<String> = Vec::new();
+    for case in &CASES {
+        for (name, executor) in &executors {
+            let before = measure(case.build, executor, case.horizon_secs, true);
+            let after = measure(case.build, executor, case.horizon_secs, false);
+            let sim_s = case.horizon_secs as f64;
+            let before_rate = before / sim_s;
+            let after_rate = after / sim_s;
+            let speedup = before / after;
+            rows.push(vec![
+                case.scenario.to_string(),
+                name.to_string(),
+                format!("{before_rate:.3}"),
+                format!("{after_rate:.3}"),
+                format!("{speedup:.2}x"),
+            ]);
+            json_entries.push(format!(
+                concat!(
+                    "    {{\"scenario\": \"{}\", \"executor\": \"{}\", ",
+                    "\"sim_seconds\": {}, \"before_ms_per_sim_s\": {:.4}, ",
+                    "\"after_ms_per_sim_s\": {:.4}, \"speedup\": {:.3}}}"
+                ),
+                json_escape(case.scenario),
+                json_escape(name),
+                case.horizon_secs,
+                before_rate,
+                after_rate,
+                speedup,
+            ));
+        }
+    }
+
+    print_table(
+        "Step loop: polling (before) vs timer wheel (after), wall ms per sim s",
+        &["scenario", "executor", "before", "after", "speedup"],
+        &rows,
+    );
+    write_csv(
+        "BENCH_step_loop.csv",
+        &[
+            "scenario",
+            "executor",
+            "before_ms_per_sim_s",
+            "after_ms_per_sim_s",
+            "speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r[0].clone(),
+                    r[1].clone(),
+                    r[2].clone(),
+                    r[3].clone(),
+                    r[4].trim_end_matches('x').to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json(
+        "BENCH_step_loop.json",
+        &format!(
+            "{{\n  \"benchmark\": \"step_loop\",\n  \"unit\": \"wall_ms_per_sim_s\",\n  \"results\": [\n{}\n  ]\n}}\n",
+            json_entries.join(",\n")
+        ),
+    );
+}

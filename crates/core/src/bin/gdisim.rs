@@ -6,6 +6,7 @@
 //! gdisim multimaster  [--hours H] [--seed N]
 //! gdisim run --scenario <validation|faulted|consolidated|multimaster>
 //!            [--faults plan.json] [--minutes M] [--seed N]
+//!            [--bench-json timing.json]
 //! gdisim topology <spec.json>
 //! gdisim export <validation|faulted|consolidated|multimaster>
 //! ```
@@ -17,7 +18,8 @@
 //! executes any built-in scenario with an optional fault plan and prints
 //! the degradation summary (availability, failed/retried/abandoned
 //! operations, healthy vs. degraded response times) plus the trace drop
-//! counters; `topology` validates a JSON topology file and describes
+//! counters, and with `--bench-json` also writes machine-readable run
+//! timing; `topology` validates a JSON topology file and describes
 //! what it would build; `export` prints a built-in scenario's topology
 //! as JSON — the natural starting point for editing a custom
 //! infrastructure.
@@ -84,6 +86,7 @@ struct Args {
     seed: u64,
     scenario: Option<String>,
     faults: Option<String>,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, CliError> {
@@ -95,6 +98,7 @@ fn parse_args() -> Result<Args, CliError> {
         seed: 42,
         scenario: None,
         faults: None,
+        bench_json: None,
     };
     let mut it = std::env::args().skip(1);
     let usage = |e: String| CliError::Usage(e);
@@ -144,6 +148,12 @@ fn parse_args() -> Result<Args, CliError> {
                         .ok_or_else(|| usage("--faults needs a file path".into()))?,
                 );
             }
+            "--bench-json" => {
+                args.bench_json = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--bench-json needs a file path".into()))?,
+                );
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -162,7 +172,7 @@ fn print_usage() {
          gdisim consolidated [--hours H] [--seed N]\n  \
          gdisim multimaster  [--hours H] [--seed N]\n  \
          gdisim run --scenario <validation|faulted|consolidated|multimaster>\n              \
-         [--faults plan.json|demo] [--minutes M] [--seed N]\n  \
+         [--faults plan.json|demo] [--minutes M] [--seed N] [--bench-json timing.json]\n  \
          gdisim topology <spec.json>\n  \
          gdisim export <validation|faulted|consolidated|multimaster>"
     );
@@ -350,7 +360,31 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
     );
     let wall = std::time::Instant::now();
     sim.run_until(horizon);
-    println!("simulated {horizon} in {:?}", wall.elapsed());
+    let elapsed = wall.elapsed();
+    println!("simulated {horizon} in {elapsed:?}");
+    if let Some(path) = &args.bench_json {
+        // Machine-readable run timing for CI smoke checks and quick
+        // before/after comparisons. Every emitted string is a validated
+        // scenario name or a static executor name, so no escaping is
+        // needed.
+        let sim_s = horizon.as_secs_f64();
+        let wall_ms = elapsed.as_secs_f64() * 1e3;
+        let json = format!(
+            "{{\n  \"scenario\": \"{scenario}\",\n  \"executor\": \"{}\",\n  \
+             \"seed\": {},\n  \"sim_seconds\": {:.3},\n  \"wall_ms\": {:.3},\n  \
+             \"wall_ms_per_sim_s\": {:.4}\n}}\n",
+            sim.executor_name(),
+            args.seed,
+            sim_s,
+            wall_ms,
+            wall_ms / sim_s.max(f64::MIN_POSITIVE),
+        );
+        std::fs::write(path, json).map_err(|source| CliError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        println!("bench: wrote {path}");
+    }
     dashboard(sim.report(), &sites);
     degradation_summary(sim.report(), &sim);
     Ok(())

@@ -23,6 +23,7 @@ use crate::fault::{FaultAction, FaultPlan, FaultPlanError, FaultTarget, InFlight
 use crate::flight::{Chain, FlightTable, Instance, InstanceKind};
 use crate::report::{BackgroundRecord, Report};
 use crate::router::compile_with;
+use crate::wheel::{EventClass, TimerWheel};
 use gdisim_background::{BackgroundKind, BackgroundLaunch, BackgroundScheduler};
 use gdisim_infra::{ComponentKind, Infrastructure};
 use gdisim_metrics::ResponseKey;
@@ -197,6 +198,20 @@ pub struct Simulation {
     tick_all: bool,
     /// Reusable buffer for the per-step active-agent snapshot.
     active_scratch: Vec<u32>,
+    /// Reusable buffer for the phase-3 completion drain.
+    completed_scratch: Vec<(u32, u64)>,
+    /// When set, every phase-1 source is polled every step (the seed
+    /// loop); otherwise the timer wheel gates each source class and a
+    /// drain only runs when an event actually reached its tick. Results
+    /// are bit-for-bit identical either way.
+    always_poll: bool,
+    /// The phase-1 gate wheel; primed lazily at the first step (once
+    /// `dt` is final) unless [`Self::set_always_poll`] disabled it.
+    wheel: Option<TimerWheel>,
+    /// Traffic sources that must be visited every step regardless of the
+    /// wheel (diurnal Poisson draws, session population tracking). When
+    /// zero, the traffic scan itself sits behind the series gate.
+    polled_sources: usize,
 }
 
 impl Simulation {
@@ -237,6 +252,10 @@ impl Simulation {
             meter_epoch: SimTime::ZERO,
             tick_all: false,
             active_scratch: Vec::new(),
+            completed_scratch: Vec::new(),
+            always_poll: false,
+            wheel: None,
+            polled_sources: 0,
         }
     }
 
@@ -274,6 +293,7 @@ impl Simulation {
             workload,
             site_map,
         });
+        self.polled_sources += 1;
     }
 
     /// Adds a closed-loop session workload for a registered application:
@@ -305,6 +325,7 @@ impl Simulation {
             live: vec![0; n],
             retiring: vec![0; n],
         });
+        self.polled_sources += 1;
     }
 
     /// Schedules a WAN link failure (by `L from->to` label) at `at`.
@@ -318,6 +339,7 @@ impl Simulation {
                 fail: true,
             },
         ));
+        self.gate(EventClass::Health, at);
     }
 
     /// Schedules the restoration of a previously failed WAN link.
@@ -329,6 +351,7 @@ impl Simulation {
                 fail: false,
             },
         ));
+        self.gate(EventClass::Health, at);
     }
 
     /// Schedules a server failure: from `at` on, the server admits no new
@@ -351,6 +374,7 @@ impl Simulation {
                 fail: true,
             },
         ));
+        self.gate(EventClass::Health, at);
     }
 
     /// Schedules the restoration of a failed server.
@@ -371,6 +395,7 @@ impl Simulation {
                 fail: false,
             },
         ));
+        self.gate(EventClass::Health, at);
     }
 
     /// Installs a fault plan: a deterministic failure/recovery schedule
@@ -426,6 +451,9 @@ impl Simulation {
             .map(|(i, e)| (e.at(), i as u32, e.target.clone(), e.action))
             .collect();
         events.sort_by_key(|(t, i, _, _)| (*t, *i));
+        for &(t, ..) in &events {
+            self.gate(EventClass::Faults, t);
+        }
         self.faults = Some(FaultRuntime {
             events,
             cursor: 0,
@@ -498,6 +526,7 @@ impl Simulation {
             next: first_launch,
             stop_at,
         });
+        self.gate(EventClass::Series, first_launch);
     }
 
     /// Sets the master-binding policy.
@@ -517,7 +546,11 @@ impl Simulation {
 
     /// Installs the background-process scheduler.
     pub fn set_background(&mut self, scheduler: BackgroundScheduler) {
+        let next = scheduler.next_due();
         self.background = Some(scheduler);
+        if let Some(next) = next {
+            self.gate(EventClass::Background, next);
+        }
     }
 
     /// Switches the phase-execution strategy (serial / Scatter-Gather /
@@ -525,6 +558,12 @@ impl Simulation {
     /// time changes (Tables 4.1/4.2).
     pub fn set_executor(&mut self, executor: gdisim_ports::Executor) {
         self.config.executor = executor;
+    }
+
+    /// Short name of the current phase-execution strategy ("serial",
+    /// "scatter-gather", "h-dispatch") for reports and bench output.
+    pub fn executor_name(&self) -> &'static str {
+        self.config.executor.name()
     }
 
     /// Switches the tier load-balancing policy (§3.5.2).
@@ -548,6 +587,78 @@ impl Simulation {
     pub fn set_always_tick(&mut self, on: bool) {
         assert_eq!(self.now, SimTime::ZERO, "cannot switch tick policy mid-run");
         self.tick_all = on;
+    }
+
+    /// Forces per-step polling of every phase-1 source, disabling the
+    /// timer-wheel event index (see [`crate::wheel`]). Results are
+    /// bit-for-bit identical either way (the equivalence tests rely on
+    /// this switch); only wall time changes. Must be set before the run
+    /// starts — the wheel is primed from the pending schedules at the
+    /// first step and cannot be reconstructed mid-run.
+    pub fn set_always_poll(&mut self, on: bool) {
+        assert_eq!(
+            self.now,
+            SimTime::ZERO,
+            "cannot switch scheduling policy mid-run"
+        );
+        self.always_poll = on;
+        if on {
+            self.wheel = None;
+        }
+    }
+
+    /// Registers a phase-1 event with the wheel, when one is active.
+    fn gate(&mut self, class: EventClass, at: SimTime) {
+        if let Some(w) = &mut self.wheel {
+            w.schedule(class, at);
+        }
+    }
+
+    /// Consumes the class's due gate. Without a wheel (polling mode, or
+    /// the priming step itself) every drain runs, as in the seed loop.
+    fn take_gate(&mut self, class: EventClass) -> bool {
+        match &mut self.wheel {
+            Some(w) => w.take(class),
+            None => true,
+        }
+    }
+
+    /// Builds the wheel from everything already scheduled: fault plans,
+    /// health events, series launch times, pending session wakes,
+    /// retries and timeouts, and the background horizon. Runs at the
+    /// first step so `dt` (and every pre-run `schedule_*`/`set_*` call)
+    /// is final; later insertions go through [`Self::gate`] at the point
+    /// each event is created.
+    fn prime_wheel(&mut self) {
+        let mut w = TimerWheel::new(self.config.dt);
+        if let Some(f) = &self.faults {
+            for &(t, ..) in &f.events[f.cursor..] {
+                w.schedule(EventClass::Faults, t);
+            }
+            for r in &f.pending_retries {
+                w.schedule(EventClass::Retries, r.at);
+            }
+            for &std::cmp::Reverse((t_us, _)) in f.timeouts.iter() {
+                w.schedule_at_micros(EventClass::Timeouts, t_us);
+            }
+        }
+        for (t, _) in &self.link_events {
+            w.schedule(EventClass::Health, *t);
+        }
+        for &std::cmp::Reverse((t_us, _)) in self.session_wakes.iter() {
+            w.schedule_at_micros(EventClass::SessionWakes, t_us);
+        }
+        for source in &self.traffic {
+            if let TrafficSource::PeriodicSeries { next, stop_at, .. } = source {
+                if stop_at.is_none_or(|s| *next < s) {
+                    w.schedule(EventClass::Series, *next);
+                }
+            }
+        }
+        if let Some(next) = self.background.as_ref().and_then(|s| s.next_due()) {
+            w.schedule(EventClass::Background, next);
+        }
+        self.wheel = Some(w);
     }
 
     /// Current simulation time.
@@ -591,15 +702,45 @@ impl Simulation {
         // apply first so retries and fresh launches compile against the
         // post-fault routing tables; retries launch before timeouts are
         // reaped so a zero-backoff retry still waits one full tick.
-        if self.faults.is_some() {
-            self.apply_fault_events(now);
-            self.launch_due_retries(now);
-            self.reap_timeouts(now);
+        //
+        // On the event-indexed path each drain sits behind its wheel
+        // gate and only runs when an event reached its tick; a skipped
+        // drain is provably a no-op (and draws no randomness), so the
+        // gated loop is bit-for-bit identical to polling every source.
+        if !self.always_poll && self.wheel.is_none() {
+            self.prime_wheel();
         }
-        self.apply_link_events(now);
-        self.wake_sessions(now);
-        self.generate_arrivals(now);
-        self.poll_background(now);
+        if let Some(w) = &mut self.wheel {
+            w.advance_to(now.as_micros() / dt.as_micros());
+        }
+        if self.faults.is_some() {
+            if self.take_gate(EventClass::Faults) {
+                self.apply_fault_events(now);
+            }
+            if self.take_gate(EventClass::Retries) {
+                self.launch_due_retries(now);
+            }
+            if self.take_gate(EventClass::Timeouts) {
+                self.reap_timeouts(now);
+            }
+        }
+        if self.take_gate(EventClass::Health) {
+            self.apply_link_events(now);
+        }
+        if self.take_gate(EventClass::SessionWakes) {
+            self.wake_sessions(now);
+        }
+        // Diurnal and session sources are inherently per-step (Poisson
+        // draws and population-target checks share the arrival sampler's
+        // stream), so the traffic scan runs whenever any exist; a pure
+        // periodic-series workload is scanned only when a launch is due.
+        let series_due = self.take_gate(EventClass::Series);
+        if self.polled_sources > 0 || series_due {
+            self.generate_arrivals(now, series_due);
+        }
+        if self.take_gate(EventClass::Background) {
+            self.poll_background(now);
+        }
 
         // Phase 2: time increment (§4.3.4/4.3.5). The fast path ticks only
         // the agents currently holding work (in ascending index order);
@@ -627,7 +768,8 @@ impl Simulation {
         // the snapshot is ascending, so the drain order matches the
         // always-tick loop's full sweep exactly.
         let t_next = now + dt;
-        let mut completed: Vec<(u32, u64)> = Vec::new();
+        let mut completed = std::mem::take(&mut self.completed_scratch);
+        completed.clear();
         if self.tick_all {
             for (agent, slot) in self.infra.components_mut().iter_mut().enumerate() {
                 completed.extend(slot.outbox.drain(..).map(|t| (agent as u32, t.0)));
@@ -639,7 +781,7 @@ impl Simulation {
             }
         }
         self.active_scratch = active;
-        for (agent, token) in completed {
+        for (agent, token) in completed.drain(..) {
             if self.trace.is_some() {
                 let at = t_next;
                 if let Some(t) = &mut self.trace {
@@ -654,6 +796,7 @@ impl Simulation {
             }
             self.on_token_complete(token, t_next);
         }
+        self.completed_scratch = completed;
 
         // Retire sweep: agents that went (and stayed) empty leave the
         // active set with their idle clock starting at the upcoming tick
@@ -680,7 +823,7 @@ impl Simulation {
 
     // ----- launches ------------------------------------------------------
 
-    fn generate_arrivals(&mut self, now: SimTime) {
+    fn generate_arrivals(&mut self, now: SimTime, series_due: bool) {
         let dt_secs = self.config.dt.as_secs_f64();
         let mut traffic = std::mem::take(&mut self.traffic);
         for (source_idx, source) in traffic.iter_mut().enumerate() {
@@ -742,6 +885,7 @@ impl Simulation {
                                 let wake = now + gdisim_types::SimDuration::from_secs_f64(delay);
                                 self.session_wakes
                                     .push(std::cmp::Reverse((wake.as_micros(), id)));
+                                self.gate(EventClass::SessionWakes, wake);
                             }
                         } else if current > target {
                             retiring[w_site] += (current - target) as u32;
@@ -756,6 +900,12 @@ impl Simulation {
                     next,
                     stop_at,
                 } => {
+                    if !series_due {
+                        // No series reached its tick (wheel-gated); the
+                        // polling loop's `next <= now` would fail too.
+                        continue;
+                    }
+                    let armed_at = *next;
                     while *next <= now && stop_at.is_none_or(|s| *next < s) {
                         let binding = self.client_binding(*site);
                         let dc = self.site_dc[*site];
@@ -781,6 +931,15 @@ impl Simulation {
                             now,
                         );
                         *next += *interval;
+                    }
+                    // Re-arm the gate for this source's next launch —
+                    // but only when `next` advanced: a source that did
+                    // not fire still has its earlier gate registered,
+                    // and re-inserting it every due step would flood the
+                    // wheel with duplicates.
+                    if *next != armed_at && stop_at.is_none_or(|s| *next < s) {
+                        let at = *next;
+                        self.gate(EventClass::Series, at);
                     }
                 }
             }
@@ -813,6 +972,12 @@ impl Simulation {
             return;
         };
         let launches = scheduler.poll(now);
+        // Re-arm the gate for the post-poll horizon (the poll may have
+        // advanced sync schedules and accrued index backlog).
+        let next = scheduler.next_due();
+        if let Some(next) = next {
+            self.gate(EventClass::Background, next);
+        }
         for launch in launches {
             self.launch_background(launch, now);
         }
@@ -1085,14 +1250,16 @@ impl Simulation {
         }
         self.report.faults.failed_operations += 1;
         let mut will_retry = false;
+        let mut retry_at = None;
         if let Some(f) = &mut self.faults {
             f.interval_failed += 1;
             if inst.kind == InstanceKind::Client {
                 if let Some(policy) = f.retry {
                     if inst.attempt < policy.max_retries {
                         let delay = policy.backoff_secs(inst.attempt + 1);
+                        let at = now + gdisim_types::SimDuration::from_secs_f64(delay);
                         f.pending_retries.push(PendingRetry {
-                            at: now + gdisim_types::SimDuration::from_secs_f64(delay),
+                            at,
                             template: Arc::clone(&inst.template),
                             key: inst.key,
                             binding: inst.binding.clone(),
@@ -1102,9 +1269,13 @@ impl Simulation {
                             first_launched_at: inst.first_launched_at,
                         });
                         will_retry = true;
+                        retry_at = Some(at);
                     }
                 }
             }
+        }
+        if let Some(at) = retry_at {
+            self.gate(EventClass::Retries, at);
         }
         if will_retry {
             self.report.faults.retried_operations += 1;
@@ -1205,6 +1376,7 @@ impl Simulation {
         let wake = now + gdisim_types::SimDuration::from_secs_f64(delay);
         self.session_wakes
             .push(std::cmp::Reverse((wake.as_micros(), session)));
+        self.gate(EventClass::SessionWakes, wake);
     }
 
     fn launch_background(&mut self, launch: BackgroundLaunch, now: SimTime) {
@@ -1310,13 +1482,15 @@ impl Simulation {
         });
         // Arm the per-attempt client timeout when a retry policy is set.
         if kind == InstanceKind::Client {
-            if let Some(f) = &mut self.faults {
-                if let Some(policy) = f.retry {
-                    let deadline =
-                        now + gdisim_types::SimDuration::from_secs_f64(policy.timeout_secs);
-                    f.timeouts
-                        .push(std::cmp::Reverse((deadline.as_micros(), id)));
-                }
+            let deadline = self.faults.as_mut().and_then(|f| {
+                let policy = f.retry?;
+                let deadline = now + gdisim_types::SimDuration::from_secs_f64(policy.timeout_secs);
+                f.timeouts
+                    .push(std::cmp::Reverse((deadline.as_micros(), id)));
+                Some(deadline)
+            });
+            if let Some(deadline) = deadline {
+                self.gate(EventClass::Timeouts, deadline);
             }
         }
         self.start_stage(id, now);
@@ -1522,8 +1696,14 @@ impl Simulation {
                     volume_bytes: inst.volume_bytes,
                 });
                 if kind == BackgroundKind::IndexBuild {
-                    if let Some(s) = &mut self.background {
+                    let next = self.background.as_mut().and_then(|s| {
                         s.on_indexbuild_complete(master_site, now);
+                        s.next_due()
+                    });
+                    // A completion opens the next build's gap gate, which
+                    // can pull the background horizon closer — re-arm.
+                    if let Some(next) = next {
+                        self.gate(EventClass::Background, next);
                     }
                 }
             }

@@ -23,9 +23,11 @@ pub mod report;
 pub mod router;
 pub mod scenarios;
 pub mod trace;
+pub mod wheel;
 
 pub use config::{MasterPolicy, SimulationConfig};
 pub use engine::{Simulation, TrafficSource};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanError, FaultTarget, InFlightPolicy};
 pub use report::{BackgroundRecord, FaultStats, Report, TierKey};
 pub use trace::{DroppedCounts, TraceEvent, TraceLog};
+pub use wheel::{EventClass, TimerWheel};

@@ -1,0 +1,310 @@
+//! Hierarchical timer wheel gating the phase-1 event sources.
+//!
+//! The discrete loop of §4.3 polls every phase-1 source every step:
+//! fault schedules, retry backoffs, operation timeouts, health events,
+//! session think-timers, periodic series and background daemons are all
+//! asked "anything due?" each tick even when their next event is minutes
+//! away. [`TimerWheel`] turns those polls into an *event index*: each
+//! source class registers the tick of its next event through one
+//! `schedule` API, and the engine only runs a class's drain when the
+//! wheel says something is due (`take`). The legacy containers — the
+//! retry vector, the timeout and session-wake min-heaps, the fault
+//! cursor — remain the canonical stores and keep their exact drain
+//! orders; the wheel is a pure *gate* in front of them. Because every
+//! drain is a no-op (and draws no randomness) when nothing is due, and
+//! because a gate is never late (an event at time `a` maps to the first
+//! step boundary `t ≥ a`, exactly the step at which the polling loop's
+//! `a <= now` check first passes), gated runs are bit-for-bit identical
+//! to polled runs.
+//!
+//! Structure: a two-level wheel plus an overflow list, all keyed on
+//! *tick indices* (step counts, `tick = ceil(at / dt)`):
+//!
+//! * **L0** — 256 one-tick slots holding a due-class bitmask each;
+//!   covers the next 256 ticks exactly.
+//! * **L1** — 64 slots of 256 ticks each; an entry keeps its exact
+//!   target tick so no resolution is lost. When the current tick enters
+//!   a new 256-tick window, that window's L1 slot *cascades*: its
+//!   entries are re-inserted and land in L0 (or fire immediately).
+//! * **Overflow** — events beyond the 16384-tick L1 frame (163 s at the
+//!   10 ms case-study step). At each frame boundary the overflow list
+//!   *rotates*: entries now inside the frame re-insert into L1/L0.
+//!
+//! Scheduling an event at or before the current tick sets its due bit
+//! immediately; the bit then persists until taken, so an event armed
+//! *after* its class's drain already ran this step is seen at the next
+//! step — exactly when the polling loop would first see it too.
+
+use gdisim_types::{SimDuration, SimTime};
+
+/// One-tick slots in the innermost wheel level.
+const L0_SLOTS: u64 = 256;
+/// Slots in the second level (each spanning [`L0_SLOTS`] ticks).
+const L1_SLOTS: u64 = 64;
+/// Ticks covered by L0 + L1 before events fall into the overflow list.
+const FRAME: u64 = L0_SLOTS * L1_SLOTS;
+
+/// The phase-1 event classes the engine gates through the wheel.
+///
+/// Each class fronts one legacy drain in [`crate::Simulation::step`]'s
+/// phase 1, in the order they run there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// Fault-plan events (`apply_fault_events`).
+    Faults,
+    /// Client retry backoffs (`launch_due_retries`).
+    Retries,
+    /// Per-attempt operation timeouts (`reap_timeouts`).
+    Timeouts,
+    /// Scheduled link/server health events (`apply_link_events`).
+    Health,
+    /// Session think-timer expiries (`wake_sessions`).
+    SessionWakes,
+    /// Periodic series launches (the `PeriodicSeries` traffic arm).
+    Series,
+    /// Background daemon schedules (`poll_background`).
+    Background,
+}
+
+impl EventClass {
+    fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// The gate wheel: per-class due bits indexed by tick boundary.
+#[derive(Clone)]
+pub struct TimerWheel {
+    /// Tick length in microseconds (the engine's `dt`).
+    dt_us: u64,
+    /// The tick the wheel has advanced to (== `now / dt` in the engine).
+    tick: u64,
+    /// Classes due at or before `tick` and not yet taken.
+    due: u16,
+    /// Class bitmask per one-tick slot, indexed by `tick % 256`.
+    l0: [u16; L0_SLOTS as usize],
+    /// Exact `(tick, mask)` entries per 256-tick window, indexed by
+    /// `(tick / 256) % 64`.
+    l1: Vec<Vec<(u64, u16)>>,
+    /// Entries at least a full frame ahead, rotated in lazily.
+    overflow: Vec<(u64, u16)>,
+}
+
+impl TimerWheel {
+    /// Creates a wheel over step length `dt`, positioned at tick 0.
+    ///
+    /// # Panics
+    /// Panics if `dt` is zero.
+    pub fn new(dt: SimDuration) -> Self {
+        assert!(!dt.is_zero(), "time step must be positive");
+        TimerWheel {
+            dt_us: dt.as_micros(),
+            tick: 0,
+            due: 0,
+            l0: [0; L0_SLOTS as usize],
+            l1: vec![Vec::new(); L1_SLOTS as usize],
+            overflow: Vec::new(),
+        }
+    }
+
+    /// Registers an event of `class` at simulation time `at`: the due
+    /// bit fires at the first step boundary `>= at` — the step at which
+    /// the polling loop's `at <= now` check would first pass.
+    pub fn schedule(&mut self, class: EventClass, at: SimTime) {
+        self.schedule_at_micros(class, at.as_micros());
+    }
+
+    /// [`Self::schedule`] for a raw microsecond timestamp (the engine's
+    /// heaps store `u64` micros).
+    pub fn schedule_at_micros(&mut self, class: EventClass, at_us: u64) {
+        self.insert(at_us.div_ceil(self.dt_us), class.bit());
+    }
+
+    fn insert(&mut self, tick: u64, mask: u16) {
+        if tick <= self.tick {
+            // Already due. The bit persists until taken, so a class that
+            // drained earlier this same step sees it next step — matching
+            // the polling loop, which also notices one step later.
+            self.due |= mask;
+        } else if tick - self.tick < L0_SLOTS {
+            self.l0[(tick % L0_SLOTS) as usize] |= mask;
+        } else if tick - self.tick < FRAME {
+            self.l1[((tick / L0_SLOTS) % L1_SLOTS) as usize].push((tick, mask));
+        } else {
+            self.overflow.push((tick, mask));
+        }
+    }
+
+    /// Advances the wheel to `tick` (== `now / dt`), accumulating every
+    /// slot passed over into the due mask and cascading L1/overflow at
+    /// window and frame boundaries. The engine calls this once per step
+    /// with consecutive ticks; arbitrary forward jumps are handled too.
+    pub fn advance_to(&mut self, tick: u64) {
+        while self.tick < tick {
+            self.tick += 1;
+            let t = self.tick;
+            if t.is_multiple_of(FRAME) {
+                // Frame rotation: overflow entries now inside the frame
+                // re-insert into L1 (or L0/due for near ones).
+                let overflow = std::mem::take(&mut self.overflow);
+                for (et, mask) in overflow {
+                    self.insert(et, mask);
+                }
+            }
+            if t.is_multiple_of(L0_SLOTS) {
+                // Window cascade: this window's L1 slot spills into L0.
+                let slot = ((t / L0_SLOTS) % L1_SLOTS) as usize;
+                let entries = std::mem::take(&mut self.l1[slot]);
+                for (et, mask) in entries {
+                    self.insert(et, mask);
+                }
+            }
+            let slot = (t % L0_SLOTS) as usize;
+            self.due |= self.l0[slot];
+            self.l0[slot] = 0;
+        }
+    }
+
+    /// Consumes and returns the class's due bit: `true` means at least
+    /// one event of the class reached its tick since the last take, and
+    /// the corresponding drain must run this step.
+    pub fn take(&mut self, class: EventClass) -> bool {
+        let bit = class.bit();
+        let due = self.due & bit != 0;
+        self.due &= !bit;
+        due
+    }
+
+    /// The tick the wheel is positioned at.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: SimDuration = SimDuration::from_millis(10);
+
+    fn at(ticks: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(10 * ticks)
+    }
+
+    #[test]
+    fn event_fires_at_its_tick_and_only_once() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Series, at(3));
+        for t in 1..=2 {
+            w.advance_to(t);
+            assert!(!w.take(EventClass::Series), "early at tick {t}");
+        }
+        w.advance_to(3);
+        assert!(w.take(EventClass::Series));
+        assert!(!w.take(EventClass::Series), "take consumes the bit");
+        w.advance_to(4);
+        assert!(!w.take(EventClass::Series), "no re-fire");
+    }
+
+    #[test]
+    fn off_boundary_times_round_up_to_the_next_tick() {
+        let mut w = TimerWheel::new(DT);
+        // 25 ms with a 10 ms step: the polling loop first sees it at
+        // now = 30 ms (tick 3).
+        w.schedule(EventClass::Timeouts, SimTime::from_millis(25));
+        w.advance_to(2);
+        assert!(!w.take(EventClass::Timeouts));
+        w.advance_to(3);
+        assert!(w.take(EventClass::Timeouts));
+    }
+
+    #[test]
+    fn past_and_present_events_are_due_immediately() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Faults, SimTime::ZERO);
+        assert!(w.take(EventClass::Faults));
+        w.advance_to(10);
+        w.schedule(EventClass::Retries, at(4));
+        assert!(w.take(EventClass::Retries), "past event due at once");
+    }
+
+    #[test]
+    fn due_bit_persists_across_steps_until_taken() {
+        let mut w = TimerWheel::new(DT);
+        w.advance_to(5);
+        // Armed after this step's drain already ran: the bit must
+        // survive into the next step.
+        w.schedule(EventClass::Retries, at(5));
+        w.advance_to(6);
+        assert!(w.take(EventClass::Retries));
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Health, at(2));
+        w.schedule(EventClass::Background, at(2));
+        w.advance_to(2);
+        assert!(w.take(EventClass::Health));
+        assert!(w.take(EventClass::Background));
+        assert!(!w.take(EventClass::SessionWakes));
+    }
+
+    #[test]
+    fn l1_window_cascade_keeps_exact_ticks() {
+        let mut w = TimerWheel::new(DT);
+        // Beyond L0 (256 ticks) but inside the frame: lands in L1, must
+        // fire at exactly tick 300 after the cascade at tick 256.
+        w.schedule(EventClass::Series, at(300));
+        w.advance_to(299);
+        assert!(!w.take(EventClass::Series));
+        w.advance_to(300);
+        assert!(w.take(EventClass::Series));
+    }
+
+    #[test]
+    fn overflow_rotation_delivers_far_events() {
+        let mut w = TimerWheel::new(DT);
+        // Beyond the 16384-tick frame: overflow, rotated in at the frame
+        // boundary, cascaded through L1 and L0, firing exactly on time.
+        let far = FRAME + 1000;
+        w.schedule(EventClass::Background, at(far));
+        w.advance_to(far - 1);
+        assert!(!w.take(EventClass::Background));
+        w.advance_to(far);
+        assert!(w.take(EventClass::Background));
+    }
+
+    #[test]
+    fn far_event_survives_multiple_frame_rotations() {
+        let mut w = TimerWheel::new(DT);
+        let far = 3 * FRAME + 7;
+        w.schedule(EventClass::Health, at(far));
+        w.advance_to(far - 1);
+        assert!(!w.take(EventClass::Health));
+        w.advance_to(far);
+        assert!(w.take(EventClass::Health));
+    }
+
+    #[test]
+    fn dense_schedule_fires_every_tick() {
+        let mut w = TimerWheel::new(DT);
+        for t in 1..=600 {
+            w.schedule(EventClass::SessionWakes, at(t));
+        }
+        for t in 1..=600 {
+            w.advance_to(t);
+            assert!(w.take(EventClass::SessionWakes), "missed tick {t}");
+        }
+    }
+
+    #[test]
+    fn forward_jump_collects_everything_in_between() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Series, at(10));
+        w.schedule(EventClass::Health, at(500));
+        w.advance_to(1000);
+        assert!(w.take(EventClass::Series));
+        assert!(w.take(EventClass::Health));
+    }
+}

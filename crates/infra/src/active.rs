@@ -8,10 +8,19 @@
 //! `Station::account_idle`). [`ActiveSet`] tracks which agents currently
 //! hold work and since when the idle ones have been empty.
 //!
+//! The member list is kept **incrementally sorted**: activation
+//! binary-inserts (with an O(1) append fast path for the common
+//! ascending-activation case) and the retire sweep compacts in one
+//! order-preserving pass, so a snapshot is a plain copy — no per-step
+//! `sort_unstable`.
+//!
 //! Invariants maintained together with the engine:
 //!
 //! * an agent is a member iff its `in_system() > 0` *or* it received a
 //!   token since the last retire sweep;
+//! * `members` is strictly ascending at all times (each agent appears at
+//!   most once) — phase 2's non-aliasing argument and phase 3's
+//!   deterministic drain order both rest on this;
 //! * `idle_from[i]` is meaningful only for non-members and records the
 //!   tick boundary at which agent `i` last went (or started) empty;
 //! * non-members always have empty outboxes — an active agent's outbox is
@@ -20,13 +29,13 @@
 
 use gdisim_types::{SimDuration, SimTime};
 
-/// Dense membership bookkeeping: a flag per agent plus a member list.
+/// Dense membership bookkeeping: a flag per agent plus a member list
+/// kept in strictly ascending agent order.
 #[derive(Clone)]
 pub struct ActiveSet {
     flags: Vec<bool>,
     members: Vec<u32>,
     idle_from: Vec<SimTime>,
-    sorted: bool,
 }
 
 impl ActiveSet {
@@ -36,7 +45,6 @@ impl ActiveSet {
             flags: vec![false; n],
             members: Vec::new(),
             idle_from: vec![SimTime::ZERO; n],
-            sorted: true,
         }
     }
 
@@ -58,49 +66,51 @@ impl ActiveSet {
     /// Marks the agent active, returning `Some(idle_since)` when this
     /// call changed the membership (the caller must then credit the idle
     /// span ending now) and `None` when the agent was already a member.
+    ///
+    /// Insertion keeps `members` sorted: an agent above the current
+    /// maximum is appended (routing visits agents in ascending order, so
+    /// this is the common case); anything else binary-searches its slot.
     pub fn activate(&mut self, agent: usize) -> Option<SimTime> {
         if self.flags[agent] {
             return None;
         }
         self.flags[agent] = true;
-        self.members.push(agent as u32);
-        self.sorted = false;
+        let a = agent as u32;
+        match self.members.last() {
+            Some(&last) if last > a => {
+                let pos = self.members.partition_point(|&m| m < a);
+                self.members.insert(pos, a);
+            }
+            _ => self.members.push(a),
+        }
         Some(self.idle_from[agent])
-    }
-
-    /// Marks the agent idle as of `t` (a tick boundary). Used by the
-    /// retire sweep after completions are routed.
-    fn deactivate(&mut self, agent: usize, t: SimTime) {
-        self.flags[agent] = false;
-        self.idle_from[agent] = t;
     }
 
     /// The members in strictly ascending agent order, copied into `buf`.
     /// Ascending order is what keeps phase-2 iteration and the phase-3
     /// outbox drain deterministic regardless of activation order.
-    pub fn snapshot_into(&mut self, buf: &mut Vec<u32>) {
-        if !self.sorted {
-            self.members.sort_unstable();
-            self.sorted = true;
-        }
+    pub fn snapshot_into(&self, buf: &mut Vec<u32>) {
         buf.clear();
         buf.extend_from_slice(&self.members);
     }
 
     /// Drops every member for which `is_idle` returns true, stamping its
-    /// idle start at `t`. `is_idle` receives the agent index.
+    /// idle start at `t`. `is_idle` receives the agent index. One
+    /// order-preserving compaction pass, so the ascending invariant
+    /// survives without a re-sort.
     pub fn retire<F: FnMut(usize) -> bool>(&mut self, t: SimTime, mut is_idle: F) {
-        let mut i = 0;
-        while i < self.members.len() {
-            let agent = self.members[i] as usize;
+        let flags = &mut self.flags;
+        let idle_from = &mut self.idle_from;
+        self.members.retain(|&m| {
+            let agent = m as usize;
             if is_idle(agent) {
-                self.members.swap_remove(i);
-                self.deactivate(agent, t);
-                self.sorted = false;
+                flags[agent] = false;
+                idle_from[agent] = t;
+                false
             } else {
-                i += 1;
+                true
             }
-        }
+        });
     }
 
     /// Calls `credit(agent, ticks)` for every non-member whose idle span
@@ -168,6 +178,25 @@ mod tests {
         let mut buf = Vec::new();
         s.snapshot_into(&mut buf);
         assert_eq!(buf, vec![0, 1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn members_stay_sorted_after_every_single_operation() {
+        // The list must be ascending *between* operations, not just at
+        // snapshot time — phase 2 reads it without a sorting step.
+        let mut s = ActiveSet::new(16);
+        let mut buf = Vec::new();
+        for agent in [9, 2, 11, 2, 0, 15, 7, 9, 3] {
+            s.activate(agent);
+            s.snapshot_into(&mut buf);
+            let mut sorted = buf.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(buf, sorted, "unsorted after activating {agent}");
+        }
+        s.retire(SimTime::from_millis(10), |a| a % 2 == 1);
+        s.snapshot_into(&mut buf);
+        assert_eq!(buf, vec![0, 2]);
     }
 
     #[test]

@@ -651,7 +651,7 @@ impl Infrastructure {
     }
 
     /// Copies the active agents, in strictly ascending order, into `buf`.
-    pub fn active_snapshot_into(&mut self, buf: &mut Vec<u32>) {
+    pub fn active_snapshot_into(&self, buf: &mut Vec<u32>) {
         self.active.snapshot_into(buf);
     }
 

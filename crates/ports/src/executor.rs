@@ -76,9 +76,9 @@ impl Executor {
 
     /// Applies `f` to the agents selected by `indices` (strictly
     /// ascending) under this strategy — the engine's active-agent fast
-    /// path, which ticks only agents that hold work. A dense view of
-    /// mutable references is carved out of `agents` with repeated
-    /// `split_at_mut`, so the existing pools run unchanged over the view.
+    /// path, which ticks only agents that hold work. No per-step view is
+    /// materialized: each strategy addresses the selected agents in
+    /// place, so the hot loop allocates nothing.
     ///
     /// # Panics
     /// Panics if `indices` is not strictly ascending or out of range.
@@ -87,21 +87,36 @@ impl Executor {
         A: Send,
         F: Fn(&mut A) + Sync,
     {
-        let mut view: Vec<&mut A> = Vec::with_capacity(indices.len());
-        let mut rest = agents;
-        let mut offset = 0usize;
-        for &i in indices {
-            let i = i as usize;
-            assert!(i >= offset, "active-set indices must be strictly ascending");
-            let tail = rest.split_at_mut(i - offset).1;
-            let (item, tail) = tail
-                .split_first_mut()
-                .expect("active-set index out of range");
-            view.push(item);
-            rest = tail;
-            offset = i + 1;
+        match self {
+            Executor::Serial => {
+                validate_indices(indices, agents.len());
+                for &i in indices {
+                    f(&mut agents[i as usize]);
+                }
+            }
+            Executor::ScatterGather(pool) => pool.run_phase_indexed(agents, indices, &f),
+            Executor::HDispatch(pool) => pool.run_phase_indexed(agents, indices, &f),
         }
-        self.run_phase(&mut view, |a: &mut &mut A| f(a));
+    }
+}
+
+/// Checks that `indices` is strictly ascending and within `len`. The
+/// indexed phase runners rely on this: strictly ascending implies every
+/// index is distinct, which is what makes handing out one `&mut` per
+/// selected agent across worker threads sound.
+///
+/// # Panics
+/// Panics (with the messages the engine's callers pin in tests) when the
+/// order or range contract is violated.
+pub(crate) fn validate_indices(indices: &[u32], len: usize) {
+    let mut prev: Option<u32> = None;
+    for &i in indices {
+        assert!(
+            prev.is_none_or(|p| p < i),
+            "active-set indices must be strictly ascending"
+        );
+        assert!((i as usize) < len, "active-set index out of range");
+        prev = Some(i);
     }
 }
 
@@ -146,10 +161,46 @@ mod tests {
     }
 
     #[test]
+    fn indexed_phase_is_identical_across_strategies() {
+        let work = |a: &mut u64| *a = a.wrapping_mul(2654435761).rotate_left(7) + 1;
+        // Every third agent of 1000 — large enough that both pools take
+        // their parallel paths (SG: > 1 item; HD: > agent_set).
+        let indices: Vec<u32> = (0..1000u32).filter(|i| i % 3 == 0).collect();
+        let make = || (0..1000u64).collect::<Vec<_>>();
+
+        let mut serial = make();
+        Executor::serial().run_phase_indexed(&mut serial, &indices, work);
+
+        let mut sg = make();
+        Executor::scatter_gather(4).run_phase_indexed(&mut sg, &indices, work);
+
+        let mut hd = make();
+        Executor::hdispatch(4, 16).run_phase_indexed(&mut hd, &indices, work);
+
+        assert_eq!(serial, sg);
+        assert_eq!(serial, hd);
+    }
+
+    #[test]
     #[should_panic(expected = "strictly ascending")]
     fn indexed_phase_rejects_unsorted_indices() {
         let mut agents = vec![0u64; 8];
         Executor::serial().run_phase_indexed(&mut agents, &[3, 1], |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn indexed_phase_rejects_duplicate_indices() {
+        // Duplicates would alias two `&mut` to one agent under the pools.
+        let mut agents = vec![0u64; 8];
+        Executor::scatter_gather(2).run_phase_indexed(&mut agents, &[2, 2, 5], |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexed_phase_rejects_out_of_range_indices() {
+        let mut agents = vec![0u64; 8];
+        Executor::hdispatch(2, 4).run_phase_indexed(&mut agents, &[1, 9], |_| {});
     }
 
     #[test]

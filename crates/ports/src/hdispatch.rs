@@ -88,6 +88,45 @@ impl HDispatchPool {
             }
         });
     }
+
+    /// Applies `f` to the agents selected by `indices` (strictly
+    /// ascending): the *index list* is cut into agent sets and workers
+    /// pull sets from the global cursor. Nothing is allocated — each set
+    /// walks its index-list chunk and dereferences agents in place.
+    ///
+    /// # Panics
+    /// Panics if `indices` is not strictly ascending or out of range.
+    pub fn run_phase_indexed<A, F>(&self, agents: &mut [A], indices: &[u32], f: &F)
+    where
+        A: Send,
+        F: Fn(&mut A) + Sync,
+    {
+        crate::executor::validate_indices(indices, agents.len());
+        if self.threads() == 1 || indices.len() <= self.agent_set {
+            for &i in indices {
+                f(&mut agents[i as usize]);
+            }
+            return;
+        }
+        let base = agents.as_mut_ptr() as usize;
+        let set = self.agent_set;
+        let units = indices.len().div_ceil(set);
+        self.pool.run(units, &|u| {
+            let start = u * set;
+            let end = (start + set).min(indices.len());
+            for &i in &indices[start..end] {
+                // SAFETY: agent sets are disjoint chunks of the index
+                // list, and `validate_indices` proved the indices
+                // strictly ascending (hence pairwise distinct) and in
+                // range, so no two sets — and no two iterations — touch
+                // the same agent; the phase call blocks until all sets
+                // are processed, bounding the borrows by the `&mut [A]`
+                // we hold.
+                let agent = unsafe { &mut *(base as *mut A).add(i as usize) };
+                f(agent);
+            }
+        });
+    }
 }
 
 impl Default for HDispatchPool {

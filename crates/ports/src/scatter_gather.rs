@@ -116,6 +116,37 @@ impl ScatterGatherPool {
             f(agent);
         });
     }
+
+    /// Applies `f` to the agents selected by `indices` (strictly
+    /// ascending), one work item per selected agent. Nothing is
+    /// allocated: work item `u` dereferences `agents[indices[u]]` in
+    /// place.
+    ///
+    /// # Panics
+    /// Panics if `indices` is not strictly ascending or out of range.
+    pub fn run_phase_indexed<A, F>(&self, agents: &mut [A], indices: &[u32], f: &F)
+    where
+        A: Send,
+        F: Fn(&mut A) + Sync,
+    {
+        crate::executor::validate_indices(indices, agents.len());
+        if self.threads() == 1 || indices.len() <= 1 {
+            for &i in indices {
+                f(&mut agents[i as usize]);
+            }
+            return;
+        }
+        let base = agents.as_mut_ptr() as usize;
+        self.pool.run(indices.len(), &|u| {
+            // SAFETY: `validate_indices` proved the indices strictly
+            // ascending (hence pairwise distinct) and in range, so each
+            // work item dereferences a different agent; the phase call
+            // blocks until all units are done, bounding the borrows by
+            // the `&mut [A]` we hold.
+            let agent = unsafe { &mut *(base as *mut A).add(indices[u] as usize) };
+            f(agent);
+        });
+    }
 }
 
 #[cfg(test)]
