@@ -75,6 +75,41 @@ const CASES: [Case; 2] = [
     },
 ];
 
+/// Wheel-gating profile of one run: how phase 1 actually spent its
+/// drain opportunities, plus mean active-set occupancy. Collected from
+/// a dedicated profiled run (serial, un-timed) so the timed reps stay
+/// instrumentation-free; drain counts are executor-independent because
+/// the step sequence is bit-identical across strategies.
+struct Gating {
+    skipped: u64,
+    gated: u64,
+    polled: u64,
+    noop: u64,
+    active_mean: f64,
+}
+
+fn gating_stats(build: fn(u64) -> Simulation, horizon_secs: u64, poll: bool) -> Gating {
+    let mut sim = build(42);
+    sim.set_always_poll(poll);
+    sim.enable_profiler(0);
+    sim.run_until(SimTime::from_secs(horizon_secs));
+    let p = sim.step_profile().expect("profiler was enabled");
+    let mut g = Gating {
+        skipped: 0,
+        gated: 0,
+        polled: 0,
+        noop: 0,
+        active_mean: p.occupancy_mean,
+    };
+    for (_, d) in &p.drains {
+        g.skipped += d.skipped;
+        g.gated += d.gated;
+        g.polled += d.polled;
+        g.noop += d.noop;
+    }
+    g
+}
+
 /// Median-of-`reps` wall milliseconds for one full run.
 fn measure(
     build: fn(u64) -> Simulation,
@@ -106,8 +141,18 @@ fn main() {
     ];
 
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut gating_rows: Vec<Vec<String>> = Vec::new();
     let mut json_entries: Vec<String> = Vec::new();
     for case in &CASES {
+        let gate = gating_stats(case.build, case.horizon_secs, false);
+        gating_rows.push(vec![
+            case.scenario.to_string(),
+            gate.skipped.to_string(),
+            gate.gated.to_string(),
+            gate.polled.to_string(),
+            gate.noop.to_string(),
+            format!("{:.1}", gate.active_mean),
+        ]);
         for (name, executor) in &executors {
             let before = measure(case.build, executor, case.horizon_secs, true);
             let after = measure(case.build, executor, case.horizon_secs, false);
@@ -126,7 +171,10 @@ fn main() {
                 concat!(
                     "    {{\"scenario\": \"{}\", \"executor\": \"{}\", ",
                     "\"sim_seconds\": {}, \"before_ms_per_sim_s\": {:.4}, ",
-                    "\"after_ms_per_sim_s\": {:.4}, \"speedup\": {:.3}}}"
+                    "\"after_ms_per_sim_s\": {:.4}, \"speedup\": {:.3}, ",
+                    "\"skipped_drains\": {}, \"gated_drains\": {}, ",
+                    "\"polled_drains\": {}, \"noop_drains\": {}, ",
+                    "\"active_set_mean\": {:.3}}}"
                 ),
                 json_escape(case.scenario),
                 json_escape(name),
@@ -134,6 +182,11 @@ fn main() {
                 before_rate,
                 after_rate,
                 speedup,
+                gate.skipped,
+                gate.gated,
+                gate.polled,
+                gate.noop,
+                gate.active_mean,
             ));
         }
     }
@@ -143,6 +196,18 @@ fn main() {
         &["scenario", "executor", "before", "after", "speedup"],
         &rows,
     );
+    print_table(
+        "Wheel gating (wheel mode): drain opportunities by outcome",
+        &[
+            "scenario",
+            "skipped",
+            "gated",
+            "polled",
+            "noop",
+            "active-mean",
+        ],
+        &gating_rows,
+    );
     write_csv(
         "BENCH_step_loop.csv",
         &[
@@ -151,16 +216,30 @@ fn main() {
             "before_ms_per_sim_s",
             "after_ms_per_sim_s",
             "speedup",
+            "skipped_drains",
+            "gated_drains",
+            "polled_drains",
+            "noop_drains",
+            "active_set_mean",
         ],
         &rows
             .iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(i, r)| {
+                // Three executor rows per case; gating stats are
+                // executor-independent, so each case's row repeats.
+                let g = &gating_rows[i / executors.len()];
                 vec![
                     r[0].clone(),
                     r[1].clone(),
                     r[2].clone(),
                     r[3].clone(),
                     r[4].trim_end_matches('x').to_string(),
+                    g[1].clone(),
+                    g[2].clone(),
+                    g[3].clone(),
+                    g[4].clone(),
+                    g[5].clone(),
                 ]
             })
             .collect::<Vec<_>>(),

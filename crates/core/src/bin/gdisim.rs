@@ -6,7 +6,9 @@
 //! gdisim multimaster  [--hours H] [--seed N]
 //! gdisim run --scenario <validation|faulted|consolidated|multimaster>
 //!            [--faults plan.json] [--minutes M] [--seed N]
-//!            [--bench-json timing.json]
+//!            [--bench-json timing.json] [--profile-json p.json]
+//!            [--trace-perfetto t.json] [--trace-jsonl e.jsonl]
+//!            [--progress secs] [--response-hist]
 //! gdisim topology <spec.json>
 //! gdisim export <validation|faulted|consolidated|multimaster>
 //! ```
@@ -19,7 +21,11 @@
 //! the degradation summary (availability, failed/retried/abandoned
 //! operations, healthy vs. degraded response times) plus the trace drop
 //! counters, and with `--bench-json` also writes machine-readable run
-//! timing; `topology` validates a JSON topology file and describes
+//! timing; the observability flags export a step-loop profile
+//! (`--profile-json`), a Chrome/Perfetto trace of per-step phase spans
+//! (`--trace-perfetto`), the simulation trace as JSON Lines
+//! (`--trace-jsonl`), and a stderr heartbeat (`--progress`);
+//! `topology` validates a JSON topology file and describes
 //! what it would build; `export` prints a built-in scenario's topology
 //! as JSON — the natural starting point for editing a custom
 //! infrastructure.
@@ -87,6 +93,11 @@ struct Args {
     scenario: Option<String>,
     faults: Option<String>,
     bench_json: Option<String>,
+    profile_json: Option<String>,
+    trace_perfetto: Option<String>,
+    trace_jsonl: Option<String>,
+    progress: Option<u64>,
+    response_hist: bool,
 }
 
 fn parse_args() -> Result<Args, CliError> {
@@ -99,6 +110,11 @@ fn parse_args() -> Result<Args, CliError> {
         scenario: None,
         faults: None,
         bench_json: None,
+        profile_json: None,
+        trace_perfetto: None,
+        trace_jsonl: None,
+        progress: None,
+        response_hist: false,
     };
     let mut it = std::env::args().skip(1);
     let usage = |e: String| CliError::Usage(e);
@@ -154,6 +170,38 @@ fn parse_args() -> Result<Args, CliError> {
                         .ok_or_else(|| usage("--bench-json needs a file path".into()))?,
                 );
             }
+            "--profile-json" => {
+                args.profile_json = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--profile-json needs a file path".into()))?,
+                );
+            }
+            "--trace-perfetto" => {
+                args.trace_perfetto = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--trace-perfetto needs a file path".into()))?,
+                );
+            }
+            "--trace-jsonl" => {
+                args.trace_jsonl = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--trace-jsonl needs a file path".into()))?,
+                );
+            }
+            "--progress" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or_else(|| usage("--progress needs a number of seconds".into()))?
+                    .parse()
+                    .map_err(|e| usage(format!("--progress: {e}")))?;
+                if secs == 0 {
+                    return Err(usage("--progress must be at least 1 second".into()));
+                }
+                args.progress = Some(secs);
+            }
+            "--response-hist" => {
+                args.response_hist = true;
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -172,9 +220,17 @@ fn print_usage() {
          gdisim consolidated [--hours H] [--seed N]\n  \
          gdisim multimaster  [--hours H] [--seed N]\n  \
          gdisim run --scenario <validation|faulted|consolidated|multimaster>\n              \
-         [--faults plan.json|demo] [--minutes M] [--seed N] [--bench-json timing.json]\n  \
+         [--faults plan.json|demo] [--minutes M] [--seed N] [--bench-json timing.json]\n              \
+         [--profile-json p.json] [--trace-perfetto t.json] [--trace-jsonl e.jsonl]\n              \
+         [--progress SECS] [--response-hist]\n  \
          gdisim topology <spec.json>\n  \
-         gdisim export <validation|faulted|consolidated|multimaster>"
+         gdisim export <validation|faulted|consolidated|multimaster>\n\n\
+         OBSERVABILITY (run subcommand):\n  \
+         --profile-json PATH   step-loop profile + metrics registry snapshot (JSON)\n  \
+         --trace-perfetto PATH per-step phase spans as a Chrome/Perfetto trace\n  \
+         --trace-jsonl PATH    simulation trace events as JSON Lines + drop trailer\n  \
+         --progress SECS       heartbeat to stderr every SECS wall seconds\n  \
+         --response-hist       aggregate response times in log histograms"
     );
 }
 
@@ -342,6 +398,24 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
             other => return Err(CliError::UnknownScenario(other.into())),
         };
     sim.enable_trace(100_000);
+    // The profiler is pay-for-what-you-ask: any flag that reads its
+    // counters turns it on, and span recording (the only part that
+    // grows with run length) only when a Perfetto trace was requested.
+    let want_profiler = args.profile_json.is_some()
+        || args.trace_perfetto.is_some()
+        || args.bench_json.is_some()
+        || args.progress.is_some();
+    if want_profiler {
+        let span_cap = if args.trace_perfetto.is_some() {
+            200_000
+        } else {
+            0
+        };
+        sim.enable_profiler(span_cap);
+    }
+    if args.response_hist {
+        sim.enable_response_histograms();
+    }
     if let Some(plan) = plan {
         sim.set_fault_plan(plan)?;
     }
@@ -359,20 +433,43 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         }
     );
     let wall = std::time::Instant::now();
-    sim.run_until(horizon);
+    match args.progress {
+        Some(secs) => run_with_progress(&mut sim, horizon, secs),
+        None => sim.run_until(horizon),
+    }
     let elapsed = wall.elapsed();
     println!("simulated {horizon} in {elapsed:?}");
     if let Some(path) = &args.bench_json {
         // Machine-readable run timing for CI smoke checks and quick
         // before/after comparisons. Every emitted string is a validated
         // scenario name or a static executor name, so no escaping is
-        // needed.
+        // needed. With the profiler on (always the case here), the
+        // wheel-gating stats ride along so a bench row also answers
+        // "how much work did the timer wheel actually skip".
         let sim_s = horizon.as_secs_f64();
         let wall_ms = elapsed.as_secs_f64() * 1e3;
+        let gating = sim
+            .step_profile()
+            .map(|p| {
+                let (mut skipped, mut gated, mut polled, mut noop) = (0u64, 0u64, 0u64, 0u64);
+                for (_, d) in &p.drains {
+                    skipped += d.skipped;
+                    gated += d.gated;
+                    polled += d.polled;
+                    noop += d.noop;
+                }
+                format!(
+                    ",\n  \"steps\": {},\n  \"skipped_drains\": {skipped},\n  \
+                     \"gated_drains\": {gated},\n  \"polled_drains\": {polled},\n  \
+                     \"noop_drains\": {noop},\n  \"active_set_mean\": {:.3}",
+                    p.steps, p.occupancy_mean,
+                )
+            })
+            .unwrap_or_default();
         let json = format!(
             "{{\n  \"scenario\": \"{scenario}\",\n  \"executor\": \"{}\",\n  \
              \"seed\": {},\n  \"sim_seconds\": {:.3},\n  \"wall_ms\": {:.3},\n  \
-             \"wall_ms_per_sim_s\": {:.4}\n}}\n",
+             \"wall_ms_per_sim_s\": {:.4}{gating}\n}}\n",
             sim.executor_name(),
             args.seed,
             sim_s,
@@ -385,8 +482,94 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         })?;
         println!("bench: wrote {path}");
     }
+    write_obs_exports(args, &sim)?;
     dashboard(sim.report(), &sites);
     degradation_summary(sim.report(), &sim);
+    Ok(())
+}
+
+/// Runs the simulation to `horizon`, printing a heartbeat line to
+/// stderr every `every_secs` wall seconds: current simulation time,
+/// simulated-seconds-per-wall-second rate, active agent count and the
+/// number of queued events drained since the previous heartbeat. The
+/// wall clock is consulted once per step batch, keeping the check off
+/// the hot path; the step sequence is identical to `run_until`.
+fn run_with_progress(sim: &mut Simulation, horizon: SimTime, every_secs: u64) {
+    let every = std::time::Duration::from_secs(every_secs);
+    let mut last_wall = std::time::Instant::now();
+    let mut last_sim = sim.now();
+    let mut last_events = drained_events(sim);
+    while sim.now() + sim.dt() <= horizon {
+        for _ in 0..512 {
+            if sim.now() + sim.dt() > horizon {
+                break;
+            }
+            sim.step();
+        }
+        if last_wall.elapsed() >= every {
+            let now_wall = std::time::Instant::now();
+            let wall_s = (now_wall - last_wall).as_secs_f64();
+            let sim_s = sim.now().since(last_sim).as_secs_f64();
+            let events = drained_events(sim);
+            eprintln!(
+                "progress: sim {} | {:.0} sim-s/s | {} active agents | {} events drained",
+                sim.now(),
+                sim_s / wall_s.max(f64::MIN_POSITIVE),
+                sim.active_agent_count(),
+                events - last_events,
+            );
+            last_wall = now_wall;
+            last_sim = sim.now();
+            last_events = events;
+        }
+    }
+}
+
+/// Total events drained across all event classes so far (0 when the
+/// profiler is off).
+fn drained_events(sim: &Simulation) -> u64 {
+    sim.profiler()
+        .map(|p| {
+            (0..gdisim_obs::NUM_CLASSES)
+                .map(|c| p.drain_stats(c).events)
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Writes whichever observability exports were requested: the profile
+/// JSON (step-loop profile plus a metrics-registry snapshot), the
+/// Perfetto trace (per-step phase spans in Chrome trace-event format)
+/// and the trace JSONL (one simulation event per line plus a
+/// `dropped_by_kind` trailer).
+fn write_obs_exports(args: &Args, sim: &Simulation) -> Result<(), CliError> {
+    let io_err = |path: &String| {
+        let path = path.clone();
+        move |source| CliError::Io { path, source }
+    };
+    if let Some(path) = &args.profile_json {
+        let profile = sim
+            .step_profile()
+            .ok_or_else(|| CliError::Internal("profiler was not enabled for this run".into()))?;
+        let json = gdisim_obs::export::profile_json(&profile, Some(&sim.metrics_snapshot()));
+        std::fs::write(path, json).map_err(io_err(path))?;
+        println!("profile: wrote {path}");
+    }
+    if let Some(path) = &args.trace_perfetto {
+        let spans = sim.profiler().map(|p| p.spans()).unwrap_or(&[]);
+        std::fs::write(path, gdisim_obs::perfetto::render_trace(spans)).map_err(io_err(path))?;
+        println!("perfetto: wrote {path} ({} spans)", spans.len());
+    }
+    if let Some(path) = &args.trace_jsonl {
+        let trace = sim
+            .trace()
+            .ok_or_else(|| CliError::Internal("trace log was not enabled for this run".into()))?;
+        let file = std::fs::File::create(path).map_err(io_err(path))?;
+        trace
+            .write_jsonl(std::io::BufWriter::new(file))
+            .map_err(io_err(path))?;
+        println!("trace: wrote {path} ({} events)", trace.events().len());
+    }
     Ok(())
 }
 

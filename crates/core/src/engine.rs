@@ -26,7 +26,10 @@ use crate::router::compile_with;
 use crate::wheel::{EventClass, TimerWheel};
 use gdisim_background::{BackgroundKind, BackgroundLaunch, BackgroundScheduler};
 use gdisim_infra::{ComponentKind, Infrastructure};
-use gdisim_metrics::ResponseKey;
+use gdisim_metrics::{MetricsRegistry, ResponseKey};
+use gdisim_obs::{
+    StepProfile, StepProfiler, PHASE_ADVANCE, PHASE_COLLECT, PHASE_DRAIN, PHASE_ROUTE,
+};
 use gdisim_queueing::{JobToken, SplitMix64, Station};
 use gdisim_types::{AppId, DcId, OpTypeId, SimTime};
 use gdisim_workload::{
@@ -212,6 +215,11 @@ pub struct Simulation {
     /// wheel (diurnal Poisson draws, session population tracking). When
     /// zero, the traffic scan itself sits behind the series gate.
     polled_sources: usize,
+    /// Optional step-loop profiler (see [`gdisim_obs`]). Strictly
+    /// observational: it only reads the wall clock and counters, never
+    /// simulation state or randomness, so enabling it cannot change
+    /// results.
+    profiler: Option<StepProfiler>,
 }
 
 impl Simulation {
@@ -256,6 +264,7 @@ impl Simulation {
             always_poll: false,
             wheel: None,
             polled_sources: 0,
+            profiler: None,
         }
     }
 
@@ -503,6 +512,92 @@ impl Simulation {
         self.trace.as_ref()
     }
 
+    /// Enables the step-loop profiler. `span_capacity` bounds the number
+    /// of wall-clock phase spans retained for Perfetto export (0 keeps
+    /// aggregates only). Purely observational — the profiler reads the
+    /// monotonic clock and counters, never simulation state or
+    /// randomness, so results are bit-identical with it on or off (the
+    /// observability equivalence tests pin this).
+    pub fn enable_profiler(&mut self, span_capacity: usize) {
+        self.profiler = Some(StepProfiler::with_span_capacity(span_capacity));
+    }
+
+    /// The live profiler, if enabled (spans for Perfetto export).
+    pub fn profiler(&self) -> Option<&StepProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Aggregated step profile so far, if the profiler is enabled, with
+    /// drain slots labeled by [`EventClass::label`].
+    pub fn step_profile(&self) -> Option<StepProfile> {
+        let labels = EventClass::ALL.map(EventClass::label);
+        self.profiler.as_ref().map(|p| p.profile(&labels))
+    }
+
+    /// Switches full-run response-time retention to log-bucketed
+    /// histograms (fixed footprint for day-scale runs). Interval
+    /// aggregates — and therefore the report — stay bit-identical; only
+    /// the post-hoc exact history is traded for ~3%-error quantiles.
+    pub fn enable_response_histograms(&mut self) {
+        self.report.responses.enable_histograms();
+    }
+
+    /// Number of agents currently in the active set (holding work).
+    pub fn active_agent_count(&self) -> usize {
+        self.infra.active_count()
+    }
+
+    /// The discrete time step.
+    pub fn dt(&self) -> gdisim_types::SimDuration {
+        self.config.dt
+    }
+
+    /// Snapshots engine counters, gauges and (in histogram mode) per-key
+    /// response histograms into a [`MetricsRegistry`] — the `"registry"`
+    /// section of `--profile-json`.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.set_counter("responses.recorded", self.report.responses.total_recorded());
+        r.set_counter(
+            "faults.failed_operations",
+            self.report.faults.failed_operations,
+        );
+        r.set_counter(
+            "faults.retried_operations",
+            self.report.faults.retried_operations,
+        );
+        r.set_counter(
+            "faults.abandoned_operations",
+            self.report.faults.abandoned_operations,
+        );
+        r.set_counter(
+            "faults.dropped_messages",
+            self.report.faults.dropped_messages,
+        );
+        r.set_counter("faults.skipped_events", self.report.faults.skipped_events);
+        if let Some(t) = &self.trace {
+            r.set_counter("trace.recorded", t.events().len() as u64);
+            r.set_counter("trace.dropped", t.dropped());
+        }
+        if let Some(s) = self.config.executor.stats() {
+            r.set_counter("executor.phases", s.phases);
+            r.set_counter("executor.items", s.items);
+        }
+        r.set_gauge("sim.time_secs", self.now.as_secs_f64());
+        r.set_gauge("sessions.logged_in", self.sessions.len() as f64);
+        r.set_gauge("operations.active", self.flight.live_instances() as f64);
+        r.set_gauge("agents.active", self.infra.active_count() as f64);
+        for key in self.report.responses.histogram_keys() {
+            if let Some(h) = self.report.responses.histogram(key) {
+                r.insert_histogram(
+                    &format!("response_us.app{}.op{}.dc{}", key.app.0, key.op.0, key.dc.0),
+                    h.clone(),
+                );
+            }
+        }
+        r
+    }
+
     /// Adds a periodic series source (validation driver).
     pub fn add_series_source(
         &mut self,
@@ -693,10 +788,24 @@ impl Simulation {
         }
     }
 
+    /// Accounts one phase-1 drain with the profiler, when one is active.
+    /// `ran` says whether the drain executed, `gated` whether the wheel
+    /// (as opposed to unconditional polling) let it through, `processed`
+    /// how many events it handled. A no-op when profiling is off.
+    #[inline]
+    fn note_drain(&mut self, class: EventClass, ran: bool, gated: bool, processed: u64) {
+        if let Some(p) = &mut self.profiler {
+            p.note_drain(class.index(), ran, gated, processed);
+        }
+    }
+
     /// Advances one time step.
     pub fn step(&mut self) {
         let now = self.now;
         let dt = self.config.dt;
+        if let Some(p) = &mut self.profiler {
+            p.begin_step(now.as_micros());
+        }
 
         // Phase 1: scheduled events, arrivals and daemons. Fault events
         // apply first so retries and fresh launches compile against the
@@ -713,33 +822,48 @@ impl Simulation {
         if let Some(w) = &mut self.wheel {
             w.advance_to(now.as_micros() / dt.as_micros());
         }
+        // Whether a drain that runs this step runs because its gate
+        // fired (wheel active) or because every source is polled.
+        let gated_mode = self.wheel.is_some();
         if self.faults.is_some() {
-            if self.take_gate(EventClass::Faults) {
-                self.apply_fault_events(now);
-            }
-            if self.take_gate(EventClass::Retries) {
-                self.launch_due_retries(now);
-            }
-            if self.take_gate(EventClass::Timeouts) {
-                self.reap_timeouts(now);
-            }
+            let ran = self.take_gate(EventClass::Faults);
+            let n = if ran { self.apply_fault_events(now) } else { 0 };
+            self.note_drain(EventClass::Faults, ran, gated_mode, n);
+            let ran = self.take_gate(EventClass::Retries);
+            let n = if ran { self.launch_due_retries(now) } else { 0 };
+            self.note_drain(EventClass::Retries, ran, gated_mode, n);
+            let ran = self.take_gate(EventClass::Timeouts);
+            let n = if ran { self.reap_timeouts(now) } else { 0 };
+            self.note_drain(EventClass::Timeouts, ran, gated_mode, n);
         }
-        if self.take_gate(EventClass::Health) {
-            self.apply_link_events(now);
-        }
-        if self.take_gate(EventClass::SessionWakes) {
-            self.wake_sessions(now);
-        }
+        let ran = self.take_gate(EventClass::Health);
+        let n = if ran { self.apply_link_events(now) } else { 0 };
+        self.note_drain(EventClass::Health, ran, gated_mode, n);
+        let ran = self.take_gate(EventClass::SessionWakes);
+        let n = if ran { self.wake_sessions(now) } else { 0 };
+        self.note_drain(EventClass::SessionWakes, ran, gated_mode, n);
         // Diurnal and session sources are inherently per-step (Poisson
         // draws and population-target checks share the arrival sampler's
         // stream), so the traffic scan runs whenever any exist; a pure
         // periodic-series workload is scanned only when a launch is due.
         let series_due = self.take_gate(EventClass::Series);
-        if self.polled_sources > 0 || series_due {
-            self.generate_arrivals(now, series_due);
-        }
-        if self.take_gate(EventClass::Background) {
-            self.poll_background(now);
+        let scan = self.polled_sources > 0 || series_due;
+        let n = if scan {
+            self.generate_arrivals(now, series_due)
+        } else {
+            0
+        };
+        self.note_drain(
+            EventClass::Series,
+            scan,
+            gated_mode && self.polled_sources == 0,
+            n,
+        );
+        let ran = self.take_gate(EventClass::Background);
+        let n = if ran { self.poll_background(now) } else { 0 };
+        self.note_drain(EventClass::Background, ran, gated_mode, n);
+        if let Some(p) = &mut self.profiler {
+            p.mark_phase(PHASE_DRAIN);
         }
 
         // Phase 2: time increment (§4.3.4/4.3.5). The fast path ticks only
@@ -760,6 +884,9 @@ impl Simulation {
         }
         for m in self.infra.memories_mut() {
             m.advance(dt);
+        }
+        if let Some(p) = &mut self.profiler {
+            p.mark_phase(PHASE_ADVANCE);
         }
 
         // Phase 3: interactions — route completions, stamped at the next
@@ -804,6 +931,15 @@ impl Simulation {
         if !self.tick_all {
             self.infra.retire_idle(t_next);
         }
+        // Agents ticked this step — the active-set occupancy.
+        let ticked = if self.tick_all {
+            self.infra.agent_count() as u64
+        } else {
+            self.active_scratch.len() as u64
+        };
+        if let Some(p) = &mut self.profiler {
+            p.mark_phase(PHASE_ROUTE);
+        }
 
         // Phase 4: periodic measurement collection. Skipped agents get
         // their idle span credited first so every meter covers the full
@@ -816,6 +952,13 @@ impl Simulation {
             self.collect(t_next);
             self.meter_epoch = t_next;
             self.next_collect += self.config.collect_interval;
+            if let Some(p) = &mut self.profiler {
+                p.sample_occupancy(t_next.as_secs_f64(), ticked as f64);
+            }
+        }
+        if let Some(p) = &mut self.profiler {
+            p.mark_phase(PHASE_COLLECT);
+            p.end_step(ticked);
         }
 
         self.now = t_next;
@@ -823,8 +966,14 @@ impl Simulation {
 
     // ----- launches ------------------------------------------------------
 
-    fn generate_arrivals(&mut self, now: SimTime, series_due: bool) {
+    /// Scans the traffic sources. Returns the number of arrivals the
+    /// scan produced — operation launches from diurnal and
+    /// periodic-series sources plus sessions logged in — so the
+    /// profiler's [`EventClass::Series`] drain stats reflect whether a
+    /// polled scan actually did anything.
+    fn generate_arrivals(&mut self, now: SimTime, series_due: bool) -> u64 {
         let dt_secs = self.config.dt.as_secs_f64();
+        let mut produced = 0u64;
         let mut traffic = std::mem::take(&mut self.traffic);
         for (source_idx, source) in traffic.iter_mut().enumerate() {
             match source {
@@ -836,6 +985,7 @@ impl Simulation {
                     for (w_site, &site) in site_map.iter().enumerate() {
                         let lambda = workload.arrival_rate(w_site, now) * dt_secs;
                         let n = self.sampler.poisson(lambda);
+                        produced += u64::from(n);
                         for _ in 0..n {
                             let (op_idx, key, template) = {
                                 let app = &self.apps[*app_idx];
@@ -877,6 +1027,7 @@ impl Simulation {
                             // Log new sessions in; their first operation
                             // fires after a staggered initial think.
                             for _ in 0..(target - current) {
+                                produced += 1;
                                 let id = self.next_session;
                                 self.next_session += 1;
                                 self.sessions.insert(id, (source_idx, w_site));
@@ -930,6 +1081,7 @@ impl Simulation {
                             0.0,
                             now,
                         );
+                        produced += 1;
                         *next += *interval;
                     }
                     // Re-arm the gate for this source's next launch —
@@ -945,6 +1097,7 @@ impl Simulation {
             }
         }
         self.traffic = traffic;
+        produced
     }
 
     fn client_binding(&mut self, site: usize) -> SiteBinding {
@@ -967,9 +1120,10 @@ impl Simulation {
         }
     }
 
-    fn poll_background(&mut self, now: SimTime) {
+    /// Returns the number of background operations launched.
+    fn poll_background(&mut self, now: SimTime) -> u64 {
         let Some(scheduler) = &mut self.background else {
-            return;
+            return 0;
         };
         let launches = scheduler.poll(now);
         // Re-arm the gate for the post-poll horizon (the poll may have
@@ -978,15 +1132,18 @@ impl Simulation {
         if let Some(next) = next {
             self.gate(EventClass::Background, next);
         }
+        let n = launches.len() as u64;
         for launch in launches {
             self.launch_background(launch, now);
         }
+        n
     }
 
     /// Applies scheduled WAN failures/restores due at or before `now`.
-    fn apply_link_events(&mut self, now: SimTime) {
+    /// Returns the number applied.
+    fn apply_link_events(&mut self, now: SimTime) -> u64 {
         if self.link_events.is_empty() {
-            return;
+            return 0;
         }
         let due: Vec<(SimTime, HealthEvent)> = {
             let (due, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.link_events)
@@ -995,6 +1152,7 @@ impl Simulation {
             self.link_events = rest;
             due
         };
+        let n = due.len() as u64;
         for (_, event) in due {
             let result = match event {
                 HealthEvent::Link { label, fail: true } => self.infra.fail_wan_link(&label),
@@ -1014,13 +1172,16 @@ impl Simulation {
             };
             result.unwrap_or_else(|e| panic!("scheduled health event failed: {e}"));
         }
+        n
     }
 
     // ----- fault injection ------------------------------------------------
 
     /// Applies fault-plan events due at or before `now`, in `(time,
     /// declaration order)` order.
-    fn apply_fault_events(&mut self, now: SimTime) {
+    /// Returns the number of fault events applied (including skipped
+    /// ones — the cursor advanced either way).
+    fn apply_fault_events(&mut self, now: SimTime) -> u64 {
         let due: Vec<(u32, FaultTarget, FaultAction)> = {
             let f = self.faults.as_mut().expect("fault runtime installed");
             let mut due = Vec::new();
@@ -1031,9 +1192,11 @@ impl Simulation {
             }
             due
         };
+        let n = due.len() as u64;
         for (idx, target, action) in due {
             self.apply_fault(idx, target, action, now);
         }
+        n
     }
 
     /// Applies one fault event: flips the target's health, re-routes
@@ -1175,12 +1338,13 @@ impl Simulation {
         }
     }
 
-    /// Launches pending retries whose backoff has elapsed.
-    fn launch_due_retries(&mut self, now: SimTime) {
+    /// Launches pending retries whose backoff has elapsed. Returns the
+    /// number launched.
+    fn launch_due_retries(&mut self, now: SimTime) -> u64 {
         let due: Vec<PendingRetry> = {
             let f = self.faults.as_mut().expect("fault runtime installed");
             if f.pending_retries.is_empty() {
-                return;
+                return 0;
             }
             let (due, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut f.pending_retries)
                 .into_iter()
@@ -1188,6 +1352,7 @@ impl Simulation {
             f.pending_retries = rest;
             due
         };
+        let n = due.len() as u64;
         for r in due {
             self.launch_attempt(
                 r.template,
@@ -1202,13 +1367,17 @@ impl Simulation {
                 r.first_launched_at,
             );
         }
+        n
     }
 
     /// Fails operations whose per-attempt timeout has expired. Entries
     /// for operations that already completed (or already failed) are
     /// stale and skipped — instance ids are never reused, so liveness in
-    /// the flight table is a sufficient check.
-    fn reap_timeouts(&mut self, now: SimTime) {
+    /// the flight table is a sufficient check. Returns the number of
+    /// operations actually reaped: a gate that fired only for stale
+    /// entries counts as a no-op drain in the profiler, which is exactly
+    /// the "stale gates" quantity the ROADMAP asks for.
+    fn reap_timeouts(&mut self, now: SimTime) -> u64 {
         let now_us = now.as_micros();
         let mut due: Vec<u64> = Vec::new();
         {
@@ -1223,9 +1392,11 @@ impl Simulation {
                 }
             }
         }
+        let n = due.len() as u64;
         for id in due {
             self.fail_instance(id, now);
         }
+        n
     }
 
     /// Fails a live operation: severs its in-flight messages (their jobs
@@ -1297,9 +1468,11 @@ impl Simulation {
     }
 
     /// Wakes sessions whose think time has elapsed: retiring sessions log
-    /// out, the rest launch their next operation.
-    fn wake_sessions(&mut self, now: SimTime) {
+    /// out, the rest launch their next operation. Returns the number of
+    /// sessions woken (retired or relaunched).
+    fn wake_sessions(&mut self, now: SimTime) -> u64 {
         let now_us = now.as_micros();
+        let mut woken = 0u64;
         let mut launches: Vec<(u64, usize, usize)> = Vec::new(); // (session, source, w_site)
         while let Some(std::cmp::Reverse((t, id))) = self.session_wakes.peek().copied() {
             if t > now_us {
@@ -1309,6 +1482,7 @@ impl Simulation {
             let Some(&(source, w_site)) = self.sessions.get(&id) else {
                 continue;
             };
+            woken += 1;
             // Retire if the population curve shrank.
             let retired = match &mut self.traffic[source] {
                 TrafficSource::Sessions { live, retiring, .. } => {
@@ -1359,6 +1533,7 @@ impl Simulation {
                 now,
             );
         }
+        woken
     }
 
     /// Puts a session back to sleep after its operation completed.

@@ -77,6 +77,80 @@ impl TraceEvent {
             TraceEvent::OperationFailed { .. } => 5,
         }
     }
+
+    /// Stable snake_case kind name, shared by the per-kind drop labels
+    /// and the JSONL `"event"` field.
+    fn kind_label(&self) -> &'static str {
+        KIND_LABELS[self.kind_index()]
+    }
+
+    /// Renders the event as one JSONL line body (without the timestamp,
+    /// which [`TraceLog::write_jsonl`] prepends).
+    fn jsonl_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            TraceEvent::Launch { instance, key } => {
+                let _ = write!(
+                    out,
+                    r#""instance":{},"app":{},"op":{},"dc":{}"#,
+                    instance, key.app.0, key.op.0, key.dc.0
+                );
+            }
+            TraceEvent::Hop { token, agent } => {
+                let _ = write!(out, r#""token":{},"agent":{}"#, token, agent.0);
+            }
+            TraceEvent::MessageDone { token, instance } => {
+                let _ = write!(out, r#""token":{},"instance":{}"#, token, instance);
+            }
+            TraceEvent::OperationDone {
+                instance,
+                response_secs,
+            } => {
+                let _ = write!(
+                    out,
+                    r#""instance":{},"response_secs":{}"#,
+                    instance,
+                    fmt_f64(*response_secs)
+                );
+            }
+            TraceEvent::Fault { event, fail } => {
+                let _ = write!(out, r#""event":{},"fail":{}"#, event, fail);
+            }
+            TraceEvent::OperationFailed {
+                instance,
+                will_retry,
+            } => {
+                let _ = write!(
+                    out,
+                    r#""instance":{},"will_retry":{}"#,
+                    instance, will_retry
+                );
+            }
+        }
+    }
+}
+
+/// Snake_case kind names indexed by [`TraceEvent::kind_index`].
+const KIND_LABELS: [&str; 6] = [
+    "launch",
+    "hop",
+    "message_done",
+    "operation_done",
+    "fault",
+    "operation_failed",
+];
+
+/// Formats an `f64` the way the workspace's JSON writer does: integral
+/// values keep a `.0`, non-finite values become `null`.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
 }
 
 /// Events dropped after the capacity was reached, broken down by kind —
@@ -130,6 +204,9 @@ pub struct TraceLog {
     capacity: usize,
     /// Drop counters indexed by [`TraceEvent::kind_index`].
     dropped: [u64; 6],
+    /// Timestamp of the first drop per kind — *when* the microscope went
+    /// dark for that kind, not just how much it missed.
+    first_dropped: [Option<SimTime>; 6],
 }
 
 impl TraceLog {
@@ -139,6 +216,7 @@ impl TraceLog {
             events: Vec::with_capacity(capacity.min(1 << 20)),
             capacity,
             dropped: [0; 6],
+            first_dropped: [None; 6],
         }
     }
 
@@ -147,7 +225,9 @@ impl TraceLog {
         if self.events.len() < self.capacity {
             self.events.push((at, event));
         } else {
-            self.dropped[event.kind_index()] += 1;
+            let kind = event.kind_index();
+            self.dropped[kind] += 1;
+            self.first_dropped[kind].get_or_insert(at);
         }
     }
 
@@ -171,6 +251,57 @@ impl TraceLog {
             faults: self.dropped[4],
             operations_failed: self.dropped[5],
         }
+    }
+
+    /// Timestamp of the first dropped event of each kind, `(label,
+    /// time)` in kind order; `None` when no event of the kind was ever
+    /// dropped.
+    pub fn first_dropped_by_kind(&self) -> [(&'static str, Option<SimTime>); 6] {
+        [
+            ("launch", self.first_dropped[0]),
+            ("hop", self.first_dropped[1]),
+            ("message_done", self.first_dropped[2]),
+            ("operation_done", self.first_dropped[3]),
+            ("fault", self.first_dropped[4]),
+            ("operation_failed", self.first_dropped[5]),
+        ]
+    }
+
+    /// Streams the log as JSON Lines: one object per recorded event
+    /// (`t_us`, `event`, then the event's own fields) followed by one
+    /// `dropped_by_kind` trailer object carrying the per-kind drop
+    /// counts and first-drop timestamps.
+    pub fn write_jsonl<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        let mut line = String::with_capacity(128);
+        for (at, event) in &self.events {
+            line.clear();
+            use std::fmt::Write;
+            let _ = write!(
+                line,
+                r#"{{"t_us":{},"event":"{}","#,
+                at.as_micros(),
+                event.kind_label()
+            );
+            event.jsonl_fields(&mut line);
+            line.push('}');
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
+        }
+        line.clear();
+        line.push_str(r#"{"dropped_by_kind":{"#);
+        for (i, (label, first)) in self.first_dropped_by_kind().iter().enumerate() {
+            use std::fmt::Write;
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, r#""{label}":{{"count":{}"#, self.dropped[i]);
+            if let Some(t) = first {
+                let _ = write!(line, r#","first_dropped_us":{}"#, t.as_micros());
+            }
+            line.push('}');
+        }
+        line.push_str("}}\n");
+        w.write_all(line.as_bytes())
     }
 
     /// All events of one instance, in order (launch → hops via its
@@ -294,6 +425,94 @@ mod tests {
         assert_eq!(log.dropped(), by_kind.total());
         let printed: u64 = by_kind.by_kind().iter().map(|(_, n)| n).sum();
         assert_eq!(printed, by_kind.total());
+    }
+
+    #[test]
+    fn first_drop_timestamp_is_recorded_per_kind() {
+        let mut log = TraceLog::new(1);
+        log.record(
+            SimTime::ZERO,
+            TraceEvent::Launch {
+                instance: 0,
+                key: key(),
+            },
+        );
+        // First hop drop at t=2s, second at t=3s: only the first sticks.
+        log.record(
+            SimTime::from_secs(2),
+            TraceEvent::Hop {
+                token: 0,
+                agent: AgentId(0),
+            },
+        );
+        log.record(
+            SimTime::from_secs(3),
+            TraceEvent::Hop {
+                token: 1,
+                agent: AgentId(0),
+            },
+        );
+        log.record(
+            SimTime::from_secs(5),
+            TraceEvent::Launch {
+                instance: 1,
+                key: key(),
+            },
+        );
+        let first = log.first_dropped_by_kind();
+        assert_eq!(first[1], ("hop", Some(SimTime::from_secs(2))));
+        assert_eq!(first[0], ("launch", Some(SimTime::from_secs(5))));
+        assert_eq!(first[4], ("fault", None), "never dropped");
+    }
+
+    #[test]
+    fn jsonl_golden_line_and_trailer() {
+        let mut log = TraceLog::new(1);
+        log.record(
+            SimTime::from_secs(3),
+            TraceEvent::OperationDone {
+                instance: 42,
+                response_secs: 1.5,
+            },
+        );
+        log.record(
+            SimTime::from_secs(4),
+            TraceEvent::Hop {
+                token: 9,
+                agent: AgentId(2),
+            },
+        );
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one event line + trailer");
+        assert_eq!(
+            lines[0],
+            r#"{"t_us":3000000,"event":"operation_done","instance":42,"response_secs":1.5}"#
+        );
+        // Trailer parses and carries the hop drop with its timestamp.
+        let trailer = serde_json::parse_value(lines[1]).expect("valid JSON trailer");
+        let hop = trailer
+            .get("dropped_by_kind")
+            .and_then(|d| d.get("hop"))
+            .expect("hop entry");
+        assert_eq!(hop.get("count").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            hop.get("first_dropped_us").and_then(|v| v.as_u64()),
+            Some(4_000_000)
+        );
+        // Kinds that dropped nothing have a count and no timestamp.
+        let launch = trailer
+            .get("dropped_by_kind")
+            .and_then(|d| d.get("launch"))
+            .expect("launch entry");
+        assert_eq!(launch.get("count").and_then(|v| v.as_u64()), Some(0));
+        assert!(launch.get("first_dropped_us").is_none());
+        // Every event line parses as JSON.
+        for line in &lines[..lines.len() - 1] {
+            serde_json::parse_value(line).expect("valid JSONL line");
+        }
     }
 
     #[test]

@@ -67,6 +67,35 @@ pub enum EventClass {
 }
 
 impl EventClass {
+    /// All classes, in phase-1 drain order.
+    pub const ALL: [EventClass; 7] = [
+        EventClass::Faults,
+        EventClass::Retries,
+        EventClass::Timeouts,
+        EventClass::Health,
+        EventClass::SessionWakes,
+        EventClass::Series,
+        EventClass::Background,
+    ];
+
+    /// Dense index (`0..ALL.len()`), usable as a profiler slot.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name for export artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventClass::Faults => "faults",
+            EventClass::Retries => "retries",
+            EventClass::Timeouts => "timeouts",
+            EventClass::Health => "health",
+            EventClass::SessionWakes => "session_wakes",
+            EventClass::Series => "series",
+            EventClass::Background => "background",
+        }
+    }
+
     fn bit(self) -> u16 {
         1 << (self as u16)
     }
@@ -189,6 +218,23 @@ mod tests {
 
     fn at(ticks: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_millis(10 * ticks)
+    }
+
+    #[test]
+    fn class_count_matches_profiler_slots() {
+        // The obs profiler is EventClass-agnostic; its drain-slot count
+        // must track this enum.
+        assert_eq!(EventClass::ALL.len(), gdisim_obs::NUM_CLASSES);
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_labels_unique() {
+        for (i, c) in EventClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let labels: std::collections::BTreeSet<_> =
+            EventClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), EventClass::ALL.len());
     }
 
     #[test]

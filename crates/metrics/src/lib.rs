@@ -12,11 +12,13 @@
 
 #![warn(missing_docs)]
 
+pub mod instruments;
 pub mod registry;
 pub mod sampler;
 pub mod series;
 pub mod summary;
 
+pub use instruments::{Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsRegistry};
 pub use registry::{ResponseKey, ResponseStats, ResponseTimeRegistry};
 pub use sampler::{GaugeMeter, UtilizationMeter};
 pub use series::TimeSeries;

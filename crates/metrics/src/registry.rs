@@ -7,6 +7,7 @@
 //! recorded under an `(application, operation, data center)` key and
 //! drained into per-key statistics at each collection.
 
+use crate::instruments::LogHistogram;
 use gdisim_types::{AppId, DcId, OpTypeId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -48,6 +49,12 @@ pub struct ResponseTimeRegistry {
     /// the validation experiments.
     history: BTreeMap<ResponseKey, Vec<(SimTime, f64)>>,
     keep_history: bool,
+    /// Full-run retention as log-bucketed histograms of duration micros:
+    /// fixed footprint for day-scale runs, ~3% quantile error.
+    hist: BTreeMap<ResponseKey, LogHistogram>,
+    use_histograms: bool,
+    /// Completions ever recorded (both modes; survives `collect`).
+    total_recorded: u64,
 }
 
 impl ResponseTimeRegistry {
@@ -65,6 +72,21 @@ impl ResponseTimeRegistry {
         }
     }
 
+    /// Switches full-run retention from exact per-completion vectors to
+    /// log-bucketed [`LogHistogram`]s of duration microseconds. The
+    /// interval aggregates drained by [`Self::collect`] are computed from
+    /// the exact durations either way, so collected snapshots — and
+    /// everything downstream of them — are bit-identical across modes.
+    pub fn enable_histograms(&mut self) {
+        self.keep_history = false;
+        self.use_histograms = true;
+    }
+
+    /// Whether histogram retention is active.
+    pub fn histograms_enabled(&self) -> bool {
+        self.use_histograms
+    }
+
     /// Records one completed operation.
     pub fn record(&mut self, key: ResponseKey, finished_at: SimTime, duration: SimDuration) {
         let secs = duration.as_secs_f64();
@@ -72,11 +94,18 @@ impl ResponseTimeRegistry {
         acc.count += 1;
         acc.total_secs += secs;
         acc.max_secs = acc.max_secs.max(secs);
+        self.total_recorded += 1;
         if self.keep_history {
             self.history
                 .entry(key)
                 .or_default()
                 .push((finished_at, secs));
+        }
+        if self.use_histograms {
+            self.hist
+                .entry(key)
+                .or_default()
+                .record(duration.as_micros());
         }
     }
 
@@ -115,6 +144,21 @@ impl ResponseTimeRegistry {
             return None;
         }
         Some(h.iter().map(|(_, s)| s).sum::<f64>() / h.len() as f64)
+    }
+
+    /// The duration histogram for `key` (histogram mode only).
+    pub fn histogram(&self, key: ResponseKey) -> Option<&LogHistogram> {
+        self.hist.get(&key)
+    }
+
+    /// All keys with a histogram (histogram mode only).
+    pub fn histogram_keys(&self) -> impl Iterator<Item = ResponseKey> + '_ {
+        self.hist.keys().copied()
+    }
+
+    /// Completions ever recorded, across all keys and intervals.
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
     }
 }
 
@@ -165,5 +209,27 @@ mod tests {
         let mut r = ResponseTimeRegistry::new();
         r.record(key(0), SimTime::ZERO, SimDuration::from_secs(1));
         assert!(r.history(key(0)).is_empty());
+    }
+
+    #[test]
+    fn histogram_mode_replaces_history_but_not_intervals() {
+        let mut r = ResponseTimeRegistry::with_history();
+        r.enable_histograms();
+        assert!(r.histograms_enabled());
+        r.record(key(0), SimTime::from_secs(1), SimDuration::from_secs(2));
+        r.record(key(0), SimTime::from_secs(2), SimDuration::from_secs(4));
+        // No exact vectors grow...
+        assert!(r.history(key(0)).is_empty());
+        // ...but the histogram saw both durations (in micros)...
+        let h = r.histogram(key(0)).expect("histogram for key");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 4_000_000);
+        assert_eq!(r.histogram_keys().collect::<Vec<_>>(), vec![key(0)]);
+        // ...and the interval snapshot is exact, same as vector mode.
+        let snap = r.collect();
+        let s0 = snap[&key(0)];
+        assert_eq!(s0.completed, 2);
+        assert!((s0.mean_secs - 3.0).abs() < 1e-12);
+        assert_eq!(r.total_recorded(), 2);
     }
 }

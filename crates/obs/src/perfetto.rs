@@ -1,0 +1,86 @@
+//! Chrome trace-event rendering of recorded phase spans.
+//!
+//! The output is the JSON object form of the trace-event format
+//! (`{"traceEvents": [...]}`), loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. Each recorded
+//! phase span becomes one complete (`"ph": "X"`) event; timestamps and
+//! durations are in integer microseconds as the format requires, and
+//! the owning step's simulation time rides along in `args.sim_us` so a
+//! wall-clock hotspot can be mapped back to the simulated moment that
+//! caused it.
+
+use crate::profiler::{Span, PHASE_NAMES};
+use serde::Value;
+
+/// Renders one span as a trace-event object.
+pub fn span_to_value(span: &Span) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::Str(PHASE_NAMES[span.phase].into())),
+        ("cat".into(), Value::Str("step".into())),
+        ("ph".into(), Value::Str("X".into())),
+        ("ts".into(), Value::U64(span.start_ns / 1_000)),
+        ("dur".into(), Value::U64(span.dur_ns / 1_000)),
+        ("pid".into(), Value::U64(1)),
+        ("tid".into(), Value::U64(1)),
+        (
+            "args".into(),
+            Value::Object(vec![("sim_us".into(), Value::U64(span.sim_us))]),
+        ),
+    ])
+}
+
+/// Renders a full trace document from recorded spans.
+pub fn render_trace(spans: &[Span]) -> String {
+    let events: Vec<Value> = spans.iter().map(span_to_value).collect();
+    let doc = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ]);
+    serde_json::to_string(&doc).expect("value serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_span_record() {
+        let span = Span {
+            phase: 1,
+            start_ns: 2_500,
+            dur_ns: 1_500,
+            sim_us: 10_000,
+        };
+        let json = serde_json::to_string(&span_to_value(&span)).unwrap();
+        assert_eq!(
+            json,
+            r#"{"name":"advance","cat":"step","ph":"X","ts":2,"dur":1,"pid":1,"tid":1,"args":{"sim_us":10000}}"#
+        );
+    }
+
+    #[test]
+    fn trace_document_parses_back() {
+        let spans = [
+            Span {
+                phase: 0,
+                start_ns: 0,
+                dur_ns: 4_000,
+                sim_us: 0,
+            },
+            Span {
+                phase: 3,
+                start_ns: 4_000,
+                dur_ns: 2_000,
+                sim_us: 0,
+            },
+        ];
+        let doc = serde_json::parse_value(&render_trace(&spans)).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("name").and_then(Value::as_str), Some("drain"));
+        assert_eq!(events[1].get("ts").and_then(Value::as_u64), Some(4));
+    }
+}

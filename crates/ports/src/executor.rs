@@ -8,6 +8,47 @@
 
 use crate::hdispatch::HDispatchPool;
 use crate::scatter_gather::ScatterGatherPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of a pooled executor's dispatch activity since creation.
+///
+/// `items` counts what the pool actually pushed through its shared
+/// cursor: one per *agent* under Scatter-Gather, one per *agent set*
+/// under H-Dispatch. `items / phases` is therefore the mean dispatch
+/// batch count per phase — the quantity behind the ROADMAP question of
+/// whether SG should batch index ranges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Phase invocations dispatched.
+    pub phases: u64,
+    /// Work items dispatched across all phases.
+    pub items: u64,
+}
+
+/// Shared atomic counters behind [`ExecutorStats`]. Cloned pools (the
+/// engine clones its executor every step) share one instance through an
+/// `Arc`, so stats aggregate per pool, not per clone.
+#[derive(Debug, Default)]
+pub(crate) struct DispatchCounters {
+    phases: AtomicU64,
+    items: AtomicU64,
+}
+
+impl DispatchCounters {
+    /// Accounts one phase dispatch of `items` work items.
+    pub(crate) fn note_phase(&self, items: u64) {
+        self.phases.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Reads the counters.
+    pub(crate) fn snapshot(&self) -> ExecutorStats {
+        ExecutorStats {
+            phases: self.phases.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// How per-agent phase work is executed.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +93,16 @@ impl Executor {
             Executor::Serial => 1,
             Executor::ScatterGather(p) => p.threads(),
             Executor::HDispatch(p) => p.threads(),
+        }
+    }
+
+    /// Dispatch stats accumulated by the pooled strategies since pool
+    /// creation (`None` for serial, which has no dispatch machinery).
+    pub fn stats(&self) -> Option<ExecutorStats> {
+        match self {
+            Executor::Serial => None,
+            Executor::ScatterGather(p) => Some(p.stats()),
+            Executor::HDispatch(p) => Some(p.stats()),
         }
     }
 
@@ -201,6 +252,32 @@ mod tests {
     fn indexed_phase_rejects_out_of_range_indices() {
         let mut agents = vec![0u64; 8];
         Executor::hdispatch(2, 4).run_phase_indexed(&mut agents, &[1, 9], |_| {});
+    }
+
+    #[test]
+    fn stats_count_phases_and_items() {
+        assert_eq!(Executor::serial().stats(), None);
+
+        let sg = Executor::scatter_gather(2);
+        let mut agents = vec![0u64; 100];
+        sg.run_phase(&mut agents, |a| *a += 1);
+        sg.run_phase_indexed(&mut agents, &[0, 5, 9], |a| *a += 1);
+        let s = sg.stats().unwrap();
+        assert_eq!(s.phases, 2);
+        assert_eq!(s.items, 103, "one item per agent under SG");
+
+        let hd = Executor::hdispatch(2, 16);
+        hd.run_phase(&mut agents, |a| *a += 1); // 100/16 -> 7 sets
+        let indices: Vec<u32> = (0..33).collect();
+        hd.run_phase_indexed(&mut agents, &indices, |a| *a += 1); // 3 sets
+        let s = hd.stats().unwrap();
+        assert_eq!(s.phases, 2);
+        assert_eq!(s.items, 10, "one item per agent set under HD");
+
+        // Clones share the same counters (the engine clones per step).
+        let clone = sg.clone();
+        clone.run_phase(&mut agents, |a| *a += 1);
+        assert_eq!(sg.stats().unwrap().phases, 3);
     }
 
     #[test]

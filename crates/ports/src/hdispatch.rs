@@ -13,6 +13,7 @@
 //!   across items (in the original C# implementation this also starved
 //!   the garbage collector of work).
 
+use crate::executor::{DispatchCounters, ExecutorStats};
 use crate::pool::PhasePool;
 use std::sync::Arc;
 
@@ -25,6 +26,7 @@ pub const DEFAULT_AGENT_SET: usize = 64;
 pub struct HDispatchPool {
     pool: Arc<PhasePool>,
     agent_set: usize,
+    stats: Arc<DispatchCounters>,
 }
 
 impl std::fmt::Debug for HDispatchPool {
@@ -47,7 +49,16 @@ impl HDispatchPool {
         HDispatchPool {
             pool: Arc::new(PhasePool::new(threads)),
             agent_set,
+            stats: Arc::new(DispatchCounters::default()),
         }
+    }
+
+    /// Dispatch stats since pool creation (shared across clones). One
+    /// item per *agent set* per phase, counted on the serial fallback
+    /// too — the item count reflects the strategy's granularity, not
+    /// which path executed it.
+    pub fn stats(&self) -> ExecutorStats {
+        self.stats.snapshot()
     }
 
     /// Number of worker threads.
@@ -67,6 +78,8 @@ impl HDispatchPool {
         A: Send,
         F: Fn(&mut A) + Sync,
     {
+        self.stats
+            .note_phase(agents.len().div_ceil(self.agent_set) as u64);
         if self.threads() == 1 || agents.len() <= self.agent_set {
             for a in agents.iter_mut() {
                 f(a);
@@ -102,6 +115,8 @@ impl HDispatchPool {
         F: Fn(&mut A) + Sync,
     {
         crate::executor::validate_indices(indices, agents.len());
+        self.stats
+            .note_phase(indices.len().div_ceil(self.agent_set) as u64);
         if self.threads() == 1 || indices.len() <= self.agent_set {
             for &i in indices {
                 f(&mut agents[i as usize]);

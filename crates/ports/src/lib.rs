@@ -32,7 +32,7 @@ pub mod scatter_gather;
 
 pub use coordination::{Choice, Either, Interleave, JoinReceiver, MultipleItemReceiver};
 pub use dispatch::Dispatcher;
-pub use executor::Executor;
+pub use executor::{Executor, ExecutorStats};
 pub use hdispatch::HDispatchPool;
 pub use pool::PhasePool;
 pub use port::Port;

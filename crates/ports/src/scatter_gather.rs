@@ -19,6 +19,7 @@
 
 use crate::coordination::MultipleItemReceiver;
 use crate::dispatch::Dispatcher;
+use crate::executor::{DispatchCounters, ExecutorStats};
 use crate::pool::PhasePool;
 use crate::port::Port;
 use crossbeam::channel;
@@ -70,6 +71,7 @@ where
 #[derive(Clone)]
 pub struct ScatterGatherPool {
     pool: Arc<PhasePool>,
+    stats: Arc<DispatchCounters>,
 }
 
 impl std::fmt::Debug for ScatterGatherPool {
@@ -86,6 +88,7 @@ impl ScatterGatherPool {
         assert!(threads > 0, "scatter-gather needs at least one thread");
         ScatterGatherPool {
             pool: Arc::new(PhasePool::new(threads)),
+            stats: Arc::new(DispatchCounters::default()),
         }
     }
 
@@ -94,12 +97,21 @@ impl ScatterGatherPool {
         self.pool.threads()
     }
 
+    /// Dispatch stats since pool creation (shared across clones). One
+    /// item per agent per phase, counted on the serial fallback too —
+    /// the item count reflects the strategy's granularity, not which
+    /// path executed it.
+    pub fn stats(&self) -> ExecutorStats {
+        self.stats.snapshot()
+    }
+
     /// Applies `f` to every agent, each agent being its own work item.
     pub fn run_phase<A, F>(&self, agents: &mut [A], f: &F)
     where
         A: Send,
         F: Fn(&mut A) + Sync,
     {
+        self.stats.note_phase(agents.len() as u64);
         if self.threads() == 1 || agents.len() <= 1 {
             for a in agents.iter_mut() {
                 f(a);
@@ -130,6 +142,7 @@ impl ScatterGatherPool {
         F: Fn(&mut A) + Sync,
     {
         crate::executor::validate_indices(indices, agents.len());
+        self.stats.note_phase(indices.len() as u64);
         if self.threads() == 1 || indices.len() <= 1 {
             for &i in indices {
                 f(&mut agents[i as usize]);

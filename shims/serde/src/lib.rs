@@ -138,6 +138,18 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Reconstructs a value from the [`Value`] tree.
 pub trait Deserialize: Sized {
     /// Parses from a value.
