@@ -1,6 +1,6 @@
 //! Event-indexed step loop: timer-wheel gating vs. per-step polling.
 //!
-//! Two workload shapes bracket the wheel's effect:
+//! Three workload shapes bracket the wheel's effect:
 //!
 //! * **sparse-series** — an idle-heavy lab: hundreds of periodic series
 //!   sources with multi-second intervals on the downscaled validation
@@ -11,25 +11,47 @@
 //!   Poisson samplers must draw every step regardless (their RNG stream
 //!   is part of the result), so the wheel can only gate the remaining
 //!   classes and must at worst break even.
+//! * **faulted-churn** — the faulted topology under repeated link flaps
+//!   with short-timeout retries and `InFlightPolicy::Drop`: the
+//!   cancellation-heavy "normal failure" load where every completion or
+//!   failure retires the attempt's timeout gate. Its `cancelled` column
+//!   is the generation-counter protocol's visible footprint.
 //!
-//! Both modes are bit-for-bit identical simulations (pinned by
-//! tests/wheel_equivalence.rs), so this is a pure cost comparison.
-//! Alongside the table and CSV, a machine-readable
-//! `results/BENCH_step_loop.json` records wall-ms per simulated second
-//! before (polling) and after (wheel) for each scenario × executor.
+//! All modes are bit-for-bit identical simulations (pinned by
+//! tests/wheel_equivalence.rs and tests/wheel_cancellation.rs), so this
+//! is a pure cost comparison. *Before* is the seed's dense loop — every
+//! source polled, every agent ticked, every step (`always_poll` +
+//! `always_tick`); *after* is the event-indexed default (wheel-gated
+//! drains over the active set). Alongside the table and CSV, a
+//! machine-readable `results/BENCH_step_loop.json` records wall-ms per
+//! simulated second for both loops per scenario × executor.
+//!
+//! `--check` runs the CI smoke assertions instead of the timed
+//! benchmark: stale-gate no-op drains on the consolidated run must stay
+//! within 10% of their pre-cancellation baseline, Scatter-Gather's
+//! indexed dispatch must stay range-batched (not one item per agent),
+//! and the churn scenario must actually cancel gates.
 
 use gdisim_bench::{json_escape, print_table, write_csv, write_json};
-use gdisim_core::scenarios::{consolidated, rates, validation};
-use gdisim_core::{MasterPolicy, Simulation, SimulationConfig};
+use gdisim_core::scenarios::{consolidated, faulted, rates, validation};
+use gdisim_core::{
+    FaultAction, FaultEvent, FaultPlan, FaultTarget, InFlightPolicy, MasterPolicy, Simulation,
+    SimulationConfig,
+};
 use gdisim_infra::Infrastructure;
 use gdisim_ports::Executor;
 use gdisim_types::{AppId, SimDuration, SimTime};
-use gdisim_workload::{Catalog, SeriesKind};
+use gdisim_workload::{Catalog, RetryPolicy, SeriesKind};
 use std::time::Instant;
 
 /// Periodic sources in the idle-heavy scenario. Enough that the polling
 /// loop's per-step source sweep is the dominant phase-1 cost.
 const SPARSE_SOURCES: u64 = 1024;
+
+/// CI budget for stale-gate no-op drains on the consolidated 30 sim-s
+/// run: 10% of the pre-cancellation baseline of 2902 (the PR 5
+/// measurement that motivated generation-counter cancellation).
+const NOOP_BUDGET: u64 = 290;
 
 /// An idle-heavy lab: many long-interval series on the small validation
 /// topology. With 30–90 s intervals against a 10 ms step, far fewer
@@ -56,13 +78,52 @@ fn build_sparse(seed: u64) -> Simulation {
     sim
 }
 
+/// The faulted scenario under cancellation churn: six fail/recover
+/// cycles of the primary link, short per-attempt timeouts, retries, and
+/// silently dropped in-flight work (see tests/wheel_cancellation.rs for
+/// the equivalence pin of this exact shape).
+fn build_churn(seed: u64) -> Simulation {
+    let link = || FaultTarget::WanLink {
+        label: faulted::PRIMARY_LINK.into(),
+    };
+    let mut events = Vec::new();
+    for cycle in 0..6u32 {
+        let base = 10.0 + 13.0 * f64::from(cycle);
+        events.push(FaultEvent {
+            at_secs: base,
+            target: link(),
+            action: FaultAction::Fail,
+        });
+        events.push(FaultEvent {
+            at_secs: base + 6.0,
+            target: link(),
+            action: FaultAction::Recover,
+        });
+    }
+    let plan = FaultPlan {
+        events,
+        in_flight: InFlightPolicy::Drop,
+        retry: Some(RetryPolicy {
+            timeout_secs: 8.0,
+            max_retries: 3,
+            backoff_base_secs: 1.0,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 10.0,
+        }),
+    };
+    let mut sim = faulted::build(seed);
+    sim.set_fault_plan(plan)
+        .expect("churn plan matches topology");
+    sim
+}
+
 struct Case {
     scenario: &'static str,
     build: fn(u64) -> Simulation,
     horizon_secs: u64,
 }
 
-const CASES: [Case; 2] = [
+const CASES: [Case; 3] = [
     Case {
         scenario: "sparse-series",
         build: build_sparse,
@@ -72,6 +133,11 @@ const CASES: [Case; 2] = [
         scenario: "consolidated",
         build: consolidated::build,
         horizon_secs: 30,
+    },
+    Case {
+        scenario: "faulted-churn",
+        build: build_churn,
+        horizon_secs: 90,
     },
 ];
 
@@ -85,6 +151,7 @@ struct Gating {
     gated: u64,
     polled: u64,
     noop: u64,
+    cancelled: u64,
     active_mean: f64,
 }
 
@@ -99,6 +166,7 @@ fn gating_stats(build: fn(u64) -> Simulation, horizon_secs: u64, poll: bool) -> 
         gated: 0,
         polled: 0,
         noop: 0,
+        cancelled: 0,
         active_mean: p.occupancy_mean,
     };
     for (_, d) in &p.drains {
@@ -106,34 +174,96 @@ fn gating_stats(build: fn(u64) -> Simulation, horizon_secs: u64, poll: bool) -> 
         g.gated += d.gated;
         g.polled += d.polled;
         g.noop += d.noop;
+        g.cancelled += d.cancelled;
     }
     g
 }
 
-/// Median-of-`reps` wall milliseconds for one full run.
+/// Best-of-`reps` wall milliseconds for one full run. The runs are
+/// short (tens of milliseconds), so the minimum — the least-interfered
+/// sample — is a far stabler estimator than the median under scheduler
+/// noise, and both sides of every before/after ratio use it.
+///
+/// `dense` selects the *before* loop: every phase-1 source polled and
+/// every agent ticked every step (`always_poll` + `always_tick`, the
+/// seed loop all the event-indexed machinery replaced). The *after*
+/// loop is the default: wheel-gated drains over the active set.
 fn measure(
     build: fn(u64) -> Simulation,
     executor: &Executor,
     horizon_secs: u64,
-    poll: bool,
+    dense: bool,
 ) -> f64 {
-    let reps = 3;
-    let mut samples: Vec<f64> = (0..reps)
+    let reps = 5;
+    (0..reps)
         .map(|_| {
             let mut sim = build(42);
             sim.set_executor(executor.clone());
-            sim.set_always_poll(poll);
+            if dense {
+                sim.set_always_poll(true);
+                sim.set_always_tick(true);
+            }
             let start = Instant::now();
             sim.run_until(SimTime::from_secs(horizon_secs));
             std::hint::black_box(sim.active_operations());
             start.elapsed().as_secs_f64() * 1e3
         })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[reps / 2]
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// CI smoke assertions (`--check`): fast, deterministic, no timing.
+fn check() {
+    // 1. Stale-gate no-op drains on the consolidated run must stay
+    //    ≤ 10% of the pre-cancellation baseline (2902). Polled site
+    //    visits count as work units, so what remains in `noop` is
+    //    genuinely stale gates — the quantity cancellation eliminates.
+    let g = gating_stats(consolidated::build, 30, false);
+    println!(
+        "check: consolidated 30 sim-s: noop={} (budget {NOOP_BUDGET}), cancelled={}",
+        g.noop, g.cancelled
+    );
+    assert!(
+        g.noop <= NOOP_BUDGET,
+        "no-op drains regressed: {} > {NOOP_BUDGET} (10% of the pre-fix 2902)",
+        g.noop
+    );
+
+    // 2. Scatter-Gather's indexed dispatch must stay range-batched: the
+    //    mean items-per-phase over a wheel-gated sparse run tracks the
+    //    number of index *ranges*, not the number of active agents
+    //    (mean active set ≈ 4.5 would show through as ≈ 4.5 items per
+    //    phase under per-agent dispatch).
+    let executor = Executor::scatter_gather(4);
+    let mut sim = build_sparse(42);
+    sim.set_executor(executor.clone());
+    sim.run_until(SimTime::from_secs(10));
+    let stats = executor.stats().expect("pooled executor has stats");
+    let per_phase = stats.items as f64 / stats.phases.max(1) as f64;
+    println!(
+        "check: SG indexed dispatch: {} items / {} phases = {per_phase:.2} per phase",
+        stats.items, stats.phases
+    );
+    assert!(
+        per_phase < 2.0,
+        "SG indexed dispatch regressed toward one item per agent: {per_phase:.2} items/phase"
+    );
+
+    // 3. The churn scenario must exercise the cancellation protocol —
+    //    otherwise the noop budget above is checking a vacuum.
+    let g = gating_stats(build_churn, 90, false);
+    println!(
+        "check: faulted-churn 90 sim-s: cancelled={}, noop={}",
+        g.cancelled, g.noop
+    );
+    assert!(g.cancelled > 0, "churn run cancelled no gates");
+    println!("check: OK");
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check();
+        return;
+    }
     let executors: [(&str, Executor); 3] = [
         ("serial", Executor::serial()),
         ("scatter-gather", Executor::scatter_gather(4)),
@@ -151,6 +281,7 @@ fn main() {
             gate.gated.to_string(),
             gate.polled.to_string(),
             gate.noop.to_string(),
+            gate.cancelled.to_string(),
             format!("{:.1}", gate.active_mean),
         ]);
         for (name, executor) in &executors {
@@ -174,7 +305,7 @@ fn main() {
                     "\"after_ms_per_sim_s\": {:.4}, \"speedup\": {:.3}, ",
                     "\"skipped_drains\": {}, \"gated_drains\": {}, ",
                     "\"polled_drains\": {}, \"noop_drains\": {}, ",
-                    "\"active_set_mean\": {:.3}}}"
+                    "\"cancelled_gates\": {}, \"active_set_mean\": {:.3}}}"
                 ),
                 json_escape(case.scenario),
                 json_escape(name),
@@ -186,13 +317,14 @@ fn main() {
                 gate.gated,
                 gate.polled,
                 gate.noop,
+                gate.cancelled,
                 gate.active_mean,
             ));
         }
     }
 
     print_table(
-        "Step loop: polling (before) vs timer wheel (after), wall ms per sim s",
+        "Step loop: dense poll+tick (before) vs wheel+active-set (after), wall ms per sim s",
         &["scenario", "executor", "before", "after", "speedup"],
         &rows,
     );
@@ -204,6 +336,7 @@ fn main() {
             "gated",
             "polled",
             "noop",
+            "cancelled",
             "active-mean",
         ],
         &gating_rows,
@@ -220,6 +353,7 @@ fn main() {
             "gated_drains",
             "polled_drains",
             "noop_drains",
+            "cancelled_gates",
             "active_set_mean",
         ],
         &rows
@@ -240,6 +374,7 @@ fn main() {
                     g[3].clone(),
                     g[4].clone(),
                     g[5].clone(),
+                    g[6].clone(),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -451,17 +451,20 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         let gating = sim
             .step_profile()
             .map(|p| {
-                let (mut skipped, mut gated, mut polled, mut noop) = (0u64, 0u64, 0u64, 0u64);
+                let (mut skipped, mut gated, mut polled, mut noop, mut cancelled) =
+                    (0u64, 0u64, 0u64, 0u64, 0u64);
                 for (_, d) in &p.drains {
                     skipped += d.skipped;
                     gated += d.gated;
                     polled += d.polled;
                     noop += d.noop;
+                    cancelled += d.cancelled;
                 }
                 format!(
                     ",\n  \"steps\": {},\n  \"skipped_drains\": {skipped},\n  \
                      \"gated_drains\": {gated},\n  \"polled_drains\": {polled},\n  \
-                     \"noop_drains\": {noop},\n  \"active_set_mean\": {:.3}",
+                     \"noop_drains\": {noop},\n  \"cancelled_gates\": {cancelled},\n  \
+                     \"active_set_mean\": {:.3}",
                     p.steps, p.occupancy_mean,
                 )
             })

@@ -220,6 +220,9 @@ pub struct Simulation {
     /// simulation state or randomness, so enabling it cannot change
     /// results.
     profiler: Option<StepProfiler>,
+    /// Last-seen snapshot of the wheel's monotone per-class cancellation
+    /// counters; the profiler is fed the per-step deltas.
+    cancelled_seen: [u64; 7],
 }
 
 impl Simulation {
@@ -265,6 +268,7 @@ impl Simulation {
             wheel: None,
             polled_sources: 0,
             profiler: None,
+            cancelled_seen: [0; 7],
         }
     }
 
@@ -718,6 +722,50 @@ impl Simulation {
         }
     }
 
+    /// Invalidates every outstanding gate of `class` when its canonical
+    /// container just went empty. No re-arm is needed: with nothing left
+    /// to drain, every outstanding gate is provably stale (its drain
+    /// would be a no-op), and future events register fresh gates through
+    /// [`Self::gate`] at creation. A no-op in polling mode.
+    fn cancel_empty_class(&mut self, class: EventClass) {
+        if let Some(w) = &mut self.wheel {
+            w.cancel_class(class);
+        }
+    }
+
+    /// Retires stale [`EventClass::Timeouts`] gates after an instance
+    /// left the flight table (completion or failure): pops the timeout
+    /// heap's dead prefix — entries [`Self::reap_timeouts`] would skip —
+    /// bumps the class generation so the dead entries' gates never fire,
+    /// and re-arms at the surviving head.
+    ///
+    /// Bit-identity is preserved by an inductive invariant: *a valid
+    /// Timeouts gate always exists at or before the earliest live
+    /// deadline's tick.* Every launch arms its own deadline
+    /// ([`Self::launch_attempt`]), and every call here — made from both
+    /// [`Self::complete_instance`] and [`Self::fail_instance`], the only
+    /// two ways a client instance leaves the table — re-arms at the
+    /// post-removal heap head, which is at or before every live
+    /// deadline. Gates therefore still fire early-or-on-time, never
+    /// late; the cancelled ones would only have woken no-op reaps.
+    fn cancel_stale_timeout_gates(&mut self) {
+        let Some(w) = &mut self.wheel else { return };
+        let Some(f) = &mut self.faults else { return };
+        if f.retry.is_none() {
+            return;
+        }
+        while let Some(&std::cmp::Reverse((_, id))) = f.timeouts.peek() {
+            if self.flight.instances.contains_key(&id) {
+                break;
+            }
+            f.timeouts.pop();
+        }
+        w.cancel_class(EventClass::Timeouts);
+        if let Some(&std::cmp::Reverse((t_us, _))) = f.timeouts.peek() {
+            w.schedule_at_micros(EventClass::Timeouts, t_us);
+        }
+    }
+
     /// Builds the wheel from everything already scheduled: fault plans,
     /// health events, series launch times, pending session wakes,
     /// retries and timeouts, and the background horizon. Runs at the
@@ -821,6 +869,20 @@ impl Simulation {
         }
         if let Some(w) = &mut self.wheel {
             w.advance_to(now.as_micros() / dt.as_micros());
+        }
+        // Report newly observed gate cancellations (generation-retired
+        // stale bits, counted monotonically by the wheel) as per-class
+        // deltas. Lags the cancellation itself by at most one step, and
+        // cancellations after the final step's snapshot go unreported —
+        // an observational counter, not simulation state.
+        if let (Some(w), Some(p)) = (&self.wheel, &mut self.profiler) {
+            for (class, &count) in w.cancelled_counts().iter().enumerate() {
+                let seen = &mut self.cancelled_seen[class];
+                if count > *seen {
+                    p.note_cancelled(class, count - *seen);
+                    *seen = count;
+                }
+            }
         }
         // Whether a drain that runs this step runs because its gate
         // fired (wheel active) or because every source is polled.
@@ -966,11 +1028,15 @@ impl Simulation {
 
     // ----- launches ------------------------------------------------------
 
-    /// Scans the traffic sources. Returns the number of arrivals the
-    /// scan produced — operation launches from diurnal and
-    /// periodic-series sources plus sessions logged in — so the
-    /// profiler's [`EventClass::Series`] drain stats reflect whether a
-    /// polled scan actually did anything.
+    /// Scans the traffic sources. Returns the number of work units the
+    /// scan performed: operation launches (diurnal, periodic-series,
+    /// sessions logged in) *plus one unit per polled site visit* — a
+    /// diurnal site's Poisson draw and a session site's population check
+    /// consume sampler state and do real work even when they produce no
+    /// arrival. Counting the visits keeps a polled scan from ever
+    /// registering as a no-op drain, so the profiler's `noop` column
+    /// isolates what it is meant to measure: *stale gates*, drains woken
+    /// by the wheel for events that no longer exist.
     fn generate_arrivals(&mut self, now: SimTime, series_due: bool) -> u64 {
         let dt_secs = self.config.dt.as_secs_f64();
         let mut produced = 0u64;
@@ -985,7 +1051,7 @@ impl Simulation {
                     for (w_site, &site) in site_map.iter().enumerate() {
                         let lambda = workload.arrival_rate(w_site, now) * dt_secs;
                         let n = self.sampler.poisson(lambda);
-                        produced += u64::from(n);
+                        produced += 1 + u64::from(n);
                         for _ in 0..n {
                             let (op_idx, key, template) = {
                                 let app = &self.apps[*app_idx];
@@ -1021,6 +1087,7 @@ impl Simulation {
                     retiring,
                 } => {
                     for w_site in 0..site_map.len() {
+                        produced += 1; // the population-target check itself
                         let target = workload.sites[w_site].curve.population(now).round() as i64;
                         let current = live[w_site] as i64 - retiring[w_site] as i64;
                         if current < target {
@@ -1143,6 +1210,9 @@ impl Simulation {
     /// Returns the number applied.
     fn apply_link_events(&mut self, now: SimTime) -> u64 {
         if self.link_events.is_empty() {
+            // Queue already empty: this drain ran on a stale gate (or a
+            // poll); retire whatever gates remain outstanding.
+            self.cancel_empty_class(EventClass::Health);
             return 0;
         }
         let due: Vec<(SimTime, HealthEvent)> = {
@@ -1172,6 +1242,11 @@ impl Simulation {
             };
             result.unwrap_or_else(|e| panic!("scheduled health event failed: {e}"));
         }
+        if self.link_events.is_empty() {
+            // The drain consumed the last scheduled health event; any
+            // outstanding gates of the class are stale.
+            self.cancel_empty_class(EventClass::Health);
+        }
         n
     }
 
@@ -1195,6 +1270,15 @@ impl Simulation {
         let n = due.len() as u64;
         for (idx, target, action) in due {
             self.apply_fault(idx, target, action, now);
+        }
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.cursor == f.events.len())
+        {
+            // Plan exhausted: no fault event will ever be due again, so
+            // any outstanding gate of the class is stale.
+            self.cancel_empty_class(EventClass::Faults);
         }
         n
     }
@@ -1341,11 +1425,20 @@ impl Simulation {
     /// Launches pending retries whose backoff has elapsed. Returns the
     /// number launched.
     fn launch_due_retries(&mut self, now: SimTime) -> u64 {
+        if self
+            .faults
+            .as_ref()
+            .expect("fault runtime installed")
+            .pending_retries
+            .is_empty()
+        {
+            // Nothing pending: this drain ran on a stale gate (or a
+            // poll); retire whatever retry gates remain outstanding.
+            self.cancel_empty_class(EventClass::Retries);
+            return 0;
+        }
         let due: Vec<PendingRetry> = {
             let f = self.faults.as_mut().expect("fault runtime installed");
-            if f.pending_retries.is_empty() {
-                return 0;
-            }
             let (due, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut f.pending_retries)
                 .into_iter()
                 .partition(|r| r.at <= now);
@@ -1366,6 +1459,15 @@ impl Simulation {
                 r.attempt,
                 r.first_launched_at,
             );
+        }
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.pending_retries.is_empty())
+        {
+            // Every pending retry launched (and launching queued no new
+            // ones), so the gates of the launched batch are now stale.
+            self.cancel_empty_class(EventClass::Retries);
         }
         n
     }
@@ -1447,6 +1549,12 @@ impl Simulation {
         }
         if let Some(at) = retry_at {
             self.gate(EventClass::Retries, at);
+        }
+        if inst.kind == InstanceKind::Client {
+            // The failed attempt's timeout entry is dead (whether it
+            // expired or the instance was evicted before its deadline);
+            // retire stale gates and re-arm at the surviving head.
+            self.cancel_stale_timeout_gates();
         }
         if will_retry {
             self.report.faults.retried_operations += 1;
@@ -1838,6 +1946,10 @@ impl Simulation {
         }
         match inst.kind {
             InstanceKind::Client => {
+                // The completed attempt's timeout entry is now dead;
+                // retire its gate (and any other stale ones) before the
+                // chain's next operation arms a fresh deadline.
+                self.cancel_stale_timeout_gates();
                 let mut continued = false;
                 if let Some(mut chain) = inst.chain {
                     if !chain.remaining.is_empty() {

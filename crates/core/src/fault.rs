@@ -15,6 +15,16 @@
 //! canonical order, so two runs of the same plan are bit-identical — and
 //! a run with an *empty* plan is bit-identical to a run with no plan at
 //! all.
+//!
+//! Timer-wheel interplay: the engine arms a wheel gate per fault event,
+//! per pending retry batch and per client timeout deadline, and retires
+//! those gates through the wheel's generation counters the moment their
+//! canonical source empties — the plan cursor reaching the end, the
+//! retry queue draining, or an attempt leaving the flight table before
+//! its deadline. Cancellation is a pure scheduling optimization: the
+//! canonical containers here (event list, retry heap, timeout heap)
+//! remain the source of truth, so a cancelled-then-re-armed gate drains
+//! exactly what a polled run would.
 
 use gdisim_types::{SimTime, TierKind};
 use gdisim_workload::RetryPolicy;
@@ -94,7 +104,10 @@ pub enum InFlightPolicy {
     Drain,
     /// Queued jobs are evicted and silently lost; the owning operations
     /// only notice at their client timeout (or immediately, when no
-    /// retry policy is configured).
+    /// retry policy is configured). This is the policy that exercises
+    /// the *real* timeout path: the attempt's timeout gate stays armed
+    /// until the reaper fires it, rather than being cancelled at
+    /// completion.
     Drop,
     /// Queued jobs are evicted and bounce back as failure responses; the
     /// owning operations fail immediately and retry per policy.

@@ -21,7 +21,8 @@
 //! *tick indices* (step counts, `tick = ceil(at / dt)`):
 //!
 //! * **L0** — 256 one-tick slots holding a due-class bitmask each;
-//!   covers the next 256 ticks exactly.
+//!   covers the next 256 ticks exactly. An occupancy bitmap (one bit per
+//!   slot) lets forward jumps skip straight between occupied slots.
 //! * **L1** — 64 slots of 256 ticks each; an entry keeps its exact
 //!   target tick so no resolution is lost. When the current tick enters
 //!   a new 256-tick window, that window's L1 slot *cascades*: its
@@ -34,6 +35,23 @@
 //! immediately; the bit then persists until taken, so an event armed
 //! *after* its class's drain already ran this step is seen at the next
 //! step — exactly when the polling loop would first see it too.
+//!
+//! # Cancellation (generation counters)
+//!
+//! A schedule cannot be deleted from the middle of L1 or the overflow
+//! list cheaply, so cancellation is *generational*: every class carries
+//! a generation counter, every stored entry (and every L0 slot bit) is
+//! stamped with the generation it was inserted under, and
+//! [`cancel_class`](TimerWheel::cancel_class) simply bumps the class's
+//! counter. Stale entries are dropped lazily — at slot collection, at
+//! window cascade and at frame rotation — and counted per class in
+//! [`cancelled_counts`](TimerWheel::cancelled_counts). A bump also
+//! clears the class's pending due bit, so a gate whose event the engine
+//! just invalidated (a timeout whose operation completed, a retry that
+//! already launched) no longer wakes a provably no-op drain. The engine
+//! re-arms the class from its canonical container's new head after every
+//! bump, which keeps the never-late invariant intact: a valid gate
+//! always exists at or before the earliest live event's tick.
 
 use gdisim_types::{SimDuration, SimTime};
 
@@ -43,6 +61,8 @@ const L0_SLOTS: u64 = 256;
 const L1_SLOTS: u64 = 64;
 /// Ticks covered by L0 + L1 before events fall into the overflow list.
 const FRAME: u64 = L0_SLOTS * L1_SLOTS;
+/// Number of event classes (mirrored by `gdisim_obs::NUM_CLASSES`).
+const CLASSES: usize = EventClass::ALL.len();
 
 /// The phase-1 event classes the engine gates through the wheel.
 ///
@@ -101,6 +121,17 @@ impl EventClass {
     }
 }
 
+/// An exact-tick entry in L1 or the overflow list: target tick, class
+/// index, and the class generation it was scheduled under. An entry
+/// whose generation no longer matches the class counter was cancelled
+/// and is dropped (and counted) the next time it is touched.
+#[derive(Clone, Copy)]
+struct Entry {
+    tick: u64,
+    class: u8,
+    gen: u64,
+}
+
 /// The gate wheel: per-class due bits indexed by tick boundary.
 #[derive(Clone)]
 pub struct TimerWheel {
@@ -112,11 +143,24 @@ pub struct TimerWheel {
     due: u16,
     /// Class bitmask per one-tick slot, indexed by `tick % 256`.
     l0: [u16; L0_SLOTS as usize],
-    /// Exact `(tick, mask)` entries per 256-tick window, indexed by
-    /// `(tick / 256) % 64`.
-    l1: Vec<Vec<(u64, u16)>>,
+    /// Generation stamp per L0 slot per class: slot bit `c` is live iff
+    /// `l0_gen[slot][c] == gen[c]`. Re-arming the same slot/class after
+    /// a cancel overwrites the stamp (the bit is a gate, so the stale
+    /// and fresh arming coalesce into one valid gate).
+    l0_gen: Vec<[u64; CLASSES]>,
+    /// Occupancy bitmap over the 256 L0 slots (bit set ⇔ slot mask
+    /// non-zero) — lets `advance_to` jump between occupied slots
+    /// instead of walking every intermediate tick.
+    l0_occ: [u64; (L0_SLOTS / 64) as usize],
+    /// Exact entries per 256-tick window, indexed by `(tick / 256) % 64`.
+    l1: Vec<Vec<Entry>>,
     /// Entries at least a full frame ahead, rotated in lazily.
-    overflow: Vec<(u64, u16)>,
+    overflow: Vec<Entry>,
+    /// Current generation per class; bumped by `cancel_class`.
+    gen: [u64; CLASSES],
+    /// Stale gates dropped per class (due-bit clears at cancel, stale
+    /// slot bits at collection, stale entries at cascade/rotation).
+    cancelled: [u64; CLASSES],
 }
 
 impl TimerWheel {
@@ -131,8 +175,12 @@ impl TimerWheel {
             tick: 0,
             due: 0,
             l0: [0; L0_SLOTS as usize],
+            l0_gen: vec![[0; CLASSES]; L0_SLOTS as usize],
+            l0_occ: [0; (L0_SLOTS / 64) as usize],
             l1: vec![Vec::new(); L1_SLOTS as usize],
             overflow: Vec::new(),
+            gen: [0; CLASSES],
+            cancelled: [0; CLASSES],
         }
     }
 
@@ -146,51 +194,152 @@ impl TimerWheel {
     /// [`Self::schedule`] for a raw microsecond timestamp (the engine's
     /// heaps store `u64` micros).
     pub fn schedule_at_micros(&mut self, class: EventClass, at_us: u64) {
-        self.insert(at_us.div_ceil(self.dt_us), class.bit());
+        self.insert(at_us.div_ceil(self.dt_us), class.index());
     }
 
-    fn insert(&mut self, tick: u64, mask: u16) {
+    /// Invalidates every outstanding schedule of `class`: the class's
+    /// generation is bumped (stale entries are dropped lazily where they
+    /// sit) and a pending due bit is cleared. The caller must re-arm the
+    /// class from its canonical container's earliest *live* event, or
+    /// the gate for that event would be lost and its drain would run
+    /// late — see the engine's cancellation sites.
+    pub fn cancel_class(&mut self, class: EventClass) {
+        let c = class.index();
+        self.gen[c] += 1;
+        let bit = class.bit();
+        if self.due & bit != 0 {
+            self.due &= !bit;
+            self.cancelled[c] += 1;
+        }
+    }
+
+    /// Stale gates dropped so far, per class index (monotone counters —
+    /// the profiler diffs consecutive snapshots).
+    pub fn cancelled_counts(&self) -> [u64; CLASSES] {
+        self.cancelled
+    }
+
+    fn insert(&mut self, tick: u64, class: usize) {
         if tick <= self.tick {
             // Already due. The bit persists until taken, so a class that
             // drained earlier this same step sees it next step — matching
             // the polling loop, which also notices one step later.
-            self.due |= mask;
+            self.due |= 1 << class;
         } else if tick - self.tick < L0_SLOTS {
-            self.l0[(tick % L0_SLOTS) as usize] |= mask;
+            let slot = (tick % L0_SLOTS) as usize;
+            self.l0[slot] |= 1 << class;
+            self.l0_gen[slot][class] = self.gen[class];
+            self.l0_occ[slot / 64] |= 1 << (slot % 64);
         } else if tick - self.tick < FRAME {
-            self.l1[((tick / L0_SLOTS) % L1_SLOTS) as usize].push((tick, mask));
+            self.l1[((tick / L0_SLOTS) % L1_SLOTS) as usize].push(Entry {
+                tick,
+                class: class as u8,
+                gen: self.gen[class],
+            });
         } else {
-            self.overflow.push((tick, mask));
+            self.overflow.push(Entry {
+                tick,
+                class: class as u8,
+                gen: self.gen[class],
+            });
+        }
+    }
+
+    /// Re-files an entry coming off L1 or the overflow list, dropping it
+    /// (and counting the cancellation) when its generation went stale.
+    fn reinsert(&mut self, e: Entry) {
+        let class = e.class as usize;
+        if e.gen == self.gen[class] {
+            self.insert(e.tick, class);
+        } else {
+            self.cancelled[class] += 1;
+        }
+    }
+
+    /// Folds one L0 slot into the due mask: live bits (generation still
+    /// current) fire, stale bits count as cancelled. Clears the slot and
+    /// its occupancy bit.
+    fn collect_slot(&mut self, slot: usize) {
+        let mut mask = self.l0[slot];
+        if mask == 0 {
+            return;
+        }
+        self.l0[slot] = 0;
+        self.l0_occ[slot / 64] &= !(1 << (slot % 64));
+        while mask != 0 {
+            let class = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.l0_gen[slot][class] == self.gen[class] {
+                self.due |= 1 << class;
+            } else {
+                self.cancelled[class] += 1;
+            }
+        }
+    }
+
+    /// Folds the occupied L0 slots in `lo..=hi` (no window wrap — the
+    /// caller guarantees the range lies inside one 256-tick window) into
+    /// the due mask, touching only slots whose occupancy bit is set.
+    fn collect_l0_range(&mut self, lo: usize, hi: usize) {
+        let (w_lo, w_hi) = (lo / 64, hi / 64);
+        for w in w_lo..=w_hi {
+            let mut bits = self.l0_occ[w];
+            if w == w_lo {
+                bits &= !0u64 << (lo % 64);
+            }
+            if w == w_hi && hi % 64 < 63 {
+                bits &= (1u64 << (hi % 64 + 1)) - 1;
+            }
+            while bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.collect_slot(slot);
+            }
         }
     }
 
     /// Advances the wheel to `tick` (== `now / dt`), accumulating every
     /// slot passed over into the due mask and cascading L1/overflow at
     /// window and frame boundaries. The engine calls this once per step
-    /// with consecutive ticks; arbitrary forward jumps are handled too.
+    /// with consecutive ticks; arbitrary forward jumps are handled too —
+    /// within a 256-tick window the jump visits only *occupied* L0 slots
+    /// (via the occupancy bitmap), so an idle gap costs one bitmap scan
+    /// per window rather than one iteration per tick.
     pub fn advance_to(&mut self, tick: u64) {
         while self.tick < tick {
-            self.tick += 1;
-            let t = self.tick;
-            if t.is_multiple_of(FRAME) {
-                // Frame rotation: overflow entries now inside the frame
-                // re-insert into L1 (or L0/due for near ones).
-                let overflow = std::mem::take(&mut self.overflow);
-                for (et, mask) in overflow {
-                    self.insert(et, mask);
-                }
+            // Stretch to the end of the current window: no cascade or
+            // rotation can happen strictly before the next multiple of
+            // L0_SLOTS, so every tick in between is a pure slot collect.
+            let window_end = (self.tick / L0_SLOTS + 1) * L0_SLOTS;
+            let target = tick.min(window_end - 1);
+            if target > self.tick {
+                let lo = ((self.tick + 1) % L0_SLOTS) as usize;
+                let hi = (target % L0_SLOTS) as usize;
+                self.collect_l0_range(lo, hi);
+                self.tick = target;
             }
-            if t.is_multiple_of(L0_SLOTS) {
-                // Window cascade: this window's L1 slot spills into L0.
+            if self.tick < tick {
+                // The boundary tick itself, in the exact legacy order:
+                // frame rotation, then window cascade, then its slot.
+                self.tick += 1;
+                let t = self.tick;
+                if t.is_multiple_of(FRAME) {
+                    // Frame rotation: overflow entries now inside the
+                    // frame re-insert into L1 (or L0/due for near ones).
+                    let overflow = std::mem::take(&mut self.overflow);
+                    for e in overflow {
+                        self.reinsert(e);
+                    }
+                }
+                // Window cascade (t is a multiple of L0_SLOTS by
+                // construction): this window's L1 slot spills into L0.
                 let slot = ((t / L0_SLOTS) % L1_SLOTS) as usize;
                 let entries = std::mem::take(&mut self.l1[slot]);
-                for (et, mask) in entries {
-                    self.insert(et, mask);
+                for e in entries {
+                    self.reinsert(e);
                 }
+                self.collect_slot((t % L0_SLOTS) as usize);
             }
-            let slot = (t % L0_SLOTS) as usize;
-            self.due |= self.l0[slot];
-            self.l0[slot] = 0;
         }
     }
 
@@ -352,5 +501,114 @@ mod tests {
         w.advance_to(1000);
         assert!(w.take(EventClass::Series));
         assert!(w.take(EventClass::Health));
+    }
+
+    #[test]
+    fn long_gap_jump_matches_per_tick_advance() {
+        // The slot-skipping fast path and a one-tick-at-a-time walk must
+        // observe the identical due sequence: sprinkle events across L0,
+        // L1 and overflow distances (plus a cancelled class), run one
+        // wheel with a single multi-frame jump and a clone tick by tick,
+        // and compare every class's outcome.
+        let build = || {
+            let mut w = TimerWheel::new(DT);
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for i in 0..400u64 {
+                // xorshift-ish spread over ~2.5 frames, all classes.
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let tick = 1 + x % (2 * FRAME + 5000);
+                let class = EventClass::ALL[(i % 7) as usize];
+                w.schedule(class, at(tick));
+            }
+            w.schedule(EventClass::Health, at(3)); // near event
+            w.cancel_class(EventClass::SessionWakes); // stale a whole class
+            w.schedule(EventClass::SessionWakes, at(7777)); // fresh again
+            w
+        };
+        let far = 2 * FRAME + 5001;
+        let mut jumped = build();
+        jumped.advance_to(far);
+        let mut stepped = build();
+        for t in 1..=far {
+            stepped.advance_to(t);
+        }
+        for class in EventClass::ALL {
+            assert_eq!(
+                jumped.take(class),
+                stepped.take(class),
+                "due bit diverged for {class:?}"
+            );
+        }
+        assert_eq!(jumped.cancelled_counts(), stepped.cancelled_counts());
+        assert_eq!(jumped.tick(), stepped.tick());
+    }
+
+    #[test]
+    fn cancelled_gate_does_not_fire() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Timeouts, at(5));
+        w.cancel_class(EventClass::Timeouts);
+        w.advance_to(10);
+        assert!(!w.take(EventClass::Timeouts), "cancelled gate fired");
+        assert_eq!(w.cancelled_counts()[EventClass::Timeouts.index()], 1);
+    }
+
+    #[test]
+    fn reschedule_after_cancel_fires_on_time() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Timeouts, at(5));
+        w.cancel_class(EventClass::Timeouts);
+        w.schedule(EventClass::Timeouts, at(8));
+        w.advance_to(7);
+        assert!(!w.take(EventClass::Timeouts));
+        w.advance_to(8);
+        assert!(w.take(EventClass::Timeouts), "re-armed gate lost");
+    }
+
+    #[test]
+    fn rearming_the_same_slot_after_cancel_revalidates_it() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Retries, at(5));
+        w.cancel_class(EventClass::Retries);
+        // Same class, same slot, new generation: the stale bit coalesces
+        // into one valid gate (and is not double-counted as cancelled).
+        w.schedule(EventClass::Retries, at(5));
+        w.advance_to(5);
+        assert!(w.take(EventClass::Retries));
+        assert_eq!(w.cancelled_counts()[EventClass::Retries.index()], 0);
+    }
+
+    #[test]
+    fn cancel_clears_an_already_due_bit() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Faults, at(2));
+        w.advance_to(2);
+        w.cancel_class(EventClass::Faults);
+        assert!(!w.take(EventClass::Faults), "cleared due bit fired");
+        assert_eq!(w.cancelled_counts()[EventClass::Faults.index()], 1);
+    }
+
+    #[test]
+    fn stale_l1_and_overflow_entries_are_dropped_in_place() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Background, at(300)); // L1
+        w.schedule(EventClass::Background, at(FRAME + 50)); // overflow
+        w.cancel_class(EventClass::Background);
+        w.advance_to(FRAME + 100);
+        assert!(!w.take(EventClass::Background));
+        assert_eq!(w.cancelled_counts()[EventClass::Background.index()], 2);
+    }
+
+    #[test]
+    fn cancellation_is_per_class() {
+        let mut w = TimerWheel::new(DT);
+        w.schedule(EventClass::Timeouts, at(4));
+        w.schedule(EventClass::Retries, at(4));
+        w.cancel_class(EventClass::Timeouts);
+        w.advance_to(4);
+        assert!(!w.take(EventClass::Timeouts));
+        assert!(w.take(EventClass::Retries), "other class affected");
     }
 }

@@ -10,7 +10,7 @@
 //!   "steps": 360000, "wall_ns": 1234567,
 //!   "phases": {"drain": {"wall_ns": ..., "share": ...}, ...},
 //!   "step_ns": {"count": ..., "p50": ..., "buckets": [[lo, hi, n], ...]},
-//!   "drains": {"faults": {"skipped": ..., "gated": ..., "noop": ...}, ...},
+//!   "drains": {"faults": {"skipped": ..., "gated": ..., "noop": ..., "cancelled": ...}, ...},
 //!   "active_set": {"mean": ..., "max": ..., "series": [[t_secs, n], ...]},
 //!   "spans": {"recorded": ..., "dropped": ...},
 //!   "registry": {"counters": {...}, "gauges": {...}, "histograms": {...}}
@@ -27,6 +27,7 @@ fn drain_to_value(d: &DrainStats) -> Value {
         ("gated".into(), Value::U64(d.gated)),
         ("polled".into(), Value::U64(d.polled)),
         ("noop".into(), Value::U64(d.noop)),
+        ("cancelled".into(), Value::U64(d.cancelled)),
         ("events".into(), Value::U64(d.events)),
     ])
 }
@@ -107,6 +108,7 @@ mod tests {
         prof.mark_phase(PHASE_ADVANCE);
         prof.end_step(2);
         prof.note_drain(0, true, true, 3);
+        prof.note_cancelled(0, 2);
         prof.sample_occupancy(1.0, 2.0);
         let mut reg = MetricsRegistry::new();
         reg.set_counter("ops.completed", 9);
@@ -132,6 +134,7 @@ mod tests {
         let drain_a = doc.get("drains").unwrap().get("a").unwrap();
         assert_eq!(drain_a.get("gated").and_then(Value::as_u64), Some(1));
         assert_eq!(drain_a.get("events").and_then(Value::as_u64), Some(3));
+        assert_eq!(drain_a.get("cancelled").and_then(Value::as_u64), Some(2));
         let reg = doc.get("registry").unwrap();
         assert_eq!(
             reg.get("counters")

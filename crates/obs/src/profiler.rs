@@ -40,7 +40,9 @@ pub const NUM_CLASSES: usize = 7;
 /// additionally a no-op — on the gated path that means a *stale gate*:
 /// the wheel said "due" but the canonical container had nothing (e.g. a
 /// timeout that completed before expiring). `noop` is the measured
-/// quantity behind the ROADMAP "stale gates" question.
+/// quantity behind the ROADMAP "stale gates" question; `cancelled`
+/// counts the stale gates the wheel's generation counters retired
+/// *before* they could wake a no-op drain.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DrainStats {
     /// Steps where the drain did not run (wheel gate closed).
@@ -53,6 +55,9 @@ pub struct DrainStats {
     pub noop: u64,
     /// Total events processed by the drain.
     pub events: u64,
+    /// Stale gates dropped by generation-counter cancellation instead
+    /// of firing (would have been `noop` runs without cancellation).
+    pub cancelled: u64,
 }
 
 impl DrainStats {
@@ -227,6 +232,14 @@ impl StepProfiler {
         d.events += processed;
     }
 
+    /// Accounts `n` cancelled (generation-retired) gates for a class.
+    /// The engine reports deltas of the wheel's monotone per-class
+    /// cancellation counters once per step.
+    #[inline]
+    pub fn note_cancelled(&mut self, class: usize, n: u64) {
+        self.drains[class].cancelled += n;
+    }
+
     /// Pushes an occupancy sample `(sim time secs, active agents)`.
     /// Called from the collection phase only, where allocation is
     /// already routine.
@@ -340,12 +353,14 @@ mod tests {
         p.note_drain(0, true, true, 0); // gated, stale (no-op)
         p.note_drain(0, true, false, 2); // polled, productive
         p.note_drain(0, true, false, 0); // polled no-op
+        p.note_cancelled(0, 3); // stale gates retired before firing
         let d = p.drain_stats(0);
         assert_eq!(d.skipped, 1);
         assert_eq!(d.gated, 2);
         assert_eq!(d.polled, 2);
         assert_eq!(d.noop, 2);
         assert_eq!(d.events, 7);
+        assert_eq!(d.cancelled, 3);
         assert_eq!(d.runs(), 4);
         // Other classes untouched.
         assert_eq!(p.drain_stats(1), DrainStats::default());

@@ -13,10 +13,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Snapshot of a pooled executor's dispatch activity since creation.
 ///
 /// `items` counts what the pool actually pushed through its shared
-/// cursor: one per *agent* under Scatter-Gather, one per *agent set*
-/// under H-Dispatch. `items / phases` is therefore the mean dispatch
-/// batch count per phase — the quantity behind the ROADMAP question of
-/// whether SG should batch index ranges.
+/// cursor: one per *agent* under Scatter-Gather's full phase, one per
+/// *index range* under its indexed phase, one per *agent set* under
+/// H-Dispatch. `items / phases` is therefore the mean dispatch batch
+/// count per phase — a value near the active-set size on the indexed
+/// path means range batching has regressed to per-agent dispatch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecutorStats {
     /// Phase invocations dispatched.
@@ -264,7 +265,9 @@ mod tests {
         sg.run_phase_indexed(&mut agents, &[0, 5, 9], |a| *a += 1);
         let s = sg.stats().unwrap();
         assert_eq!(s.phases, 2);
-        assert_eq!(s.items, 103, "one item per agent under SG");
+        // 100 per-agent items for the full phase + 1 batched range item
+        // for the 3-index phase.
+        assert_eq!(s.items, 101, "full phase per-agent, indexed batched");
 
         let hd = Executor::hdispatch(2, 16);
         hd.run_phase(&mut agents, |a| *a += 1); // 100/16 -> 7 sets

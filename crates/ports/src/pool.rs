@@ -99,7 +99,9 @@ impl PhasePool {
         if units == 0 {
             return;
         }
-        if self.inner.n_workers == 0 {
+        // A single unit cannot be parallelized: run it inline instead of
+        // waking every parked worker just to watch the caller take it.
+        if self.inner.n_workers == 0 || units == 1 {
             for i in 0..units {
                 f(i);
             }

@@ -15,7 +15,11 @@
 //!   signal**. The per-item dispatch overhead (a shared-cursor round
 //!   trip and an indirect call for every agent) is exactly why Table 4.1
 //!   shows no speedup: the work inside each item is too small to
-//!   amortize it (§4.3.4).
+//!   amortize it (§4.3.4). The active-set *indexed* phase therefore
+//!   batches contiguous index ranges into each work item
+//!   ([`ScatterGatherPool::run_phase_indexed`]); only the
+//!   full-population phase keeps the paper's literal per-agent
+//!   granularity.
 
 use crate::coordination::MultipleItemReceiver;
 use crate::dispatch::Dispatcher;
@@ -27,6 +31,14 @@ use std::sync::Arc;
 
 /// Runs `work` over `inputs` via the port-based Scatter-Gather of
 /// Fig. 4-2 and returns the results (in arbitrary completion order).
+///
+/// A handler that panics posts an `Err` to the gather port instead of
+/// silently vanishing, and the master thread re-raises the failure once
+/// every handler has reported — so a failed scatter can never masquerade
+/// as a successful one with a short result vector.
+///
+/// # Panics
+/// Panics (with the failure count) if any handler panicked.
 pub fn scatter_gather_ports<T, R>(
     dispatcher: Arc<Dispatcher>,
     inputs: Vec<T>,
@@ -42,32 +54,56 @@ where
     let n = inputs.len();
     let (result_tx, result_rx) = channel::bounded(1);
     // Gather: port B with a multiple-item receiver invoking the master
-    // continuation.
+    // continuation. Err items are counted, not dropped — the receiver
+    // always sees exactly `n` reports, success or not.
     let gather = MultipleItemReceiver::<R, ()>::new(Arc::clone(&dispatcher), n, move |items| {
-        let results: Vec<R> = items.into_iter().filter_map(Result::ok).collect();
-        let _ = result_tx.send(results);
+        let mut results: Vec<R> = Vec::with_capacity(items.len());
+        let mut failed = 0usize;
+        for item in items {
+            match item {
+                Ok(r) => results.push(r),
+                Err(()) => failed += 1,
+            }
+        }
+        let report = if failed == 0 {
+            Ok(results)
+        } else {
+            Err(failed)
+        };
+        let _ = result_tx.send(report);
     });
     let gather_port = gather.port();
     let work = Arc::new(work);
 
     // Scatter: one port per agent, each registered with handler X, each
-    // receiving one message that carries a reference to port B.
+    // receiving one message that carries a reference to port B. The
+    // handler shields the dispatcher thread from a panicking work
+    // function and reports the failure through the gather port.
     for input in inputs {
         let port: Port<(T, Port<Result<R, ()>>)> = Port::new(Arc::clone(&dispatcher));
         let w = Arc::clone(&work);
         port.register(move |(payload, reply): (T, Port<Result<R, ()>>)| {
-            reply.post(Ok(w(payload)));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w(payload)))
+                .map_err(|_| ());
+            reply.post(result);
         });
         port.post((input, gather_port.clone()));
     }
 
-    result_rx
+    match result_rx
         .recv()
         .expect("gather receiver dropped without firing")
+    {
+        Ok(results) => results,
+        Err(failed) => panic!("scatter-gather: {failed} of {n} handlers panicked"),
+    }
 }
 
 /// Engine-facing Scatter-Gather phase executor: one work item per agent
-/// per signal, pulled by `threads` persistent workers.
+/// per signal (the Table 4.1 construction), pulled by `threads`
+/// persistent workers. The *indexed* phase over the active set batches
+/// contiguous index ranges instead — see
+/// [`ScatterGatherPool::run_phase_indexed`].
 #[derive(Clone)]
 pub struct ScatterGatherPool {
     pool: Arc<PhasePool>,
@@ -98,9 +134,10 @@ impl ScatterGatherPool {
     }
 
     /// Dispatch stats since pool creation (shared across clones). One
-    /// item per agent per phase, counted on the serial fallback too —
-    /// the item count reflects the strategy's granularity, not which
-    /// path executed it.
+    /// item per agent for full phases, one item per index *range* for
+    /// indexed phases, counted on the serial fallback too — the item
+    /// count reflects the strategy's granularity, not which path
+    /// executed it.
     pub fn stats(&self) -> ExecutorStats {
         self.stats.snapshot()
     }
@@ -130,8 +167,13 @@ impl ScatterGatherPool {
     }
 
     /// Applies `f` to the agents selected by `indices` (strictly
-    /// ascending), one work item per selected agent. Nothing is
-    /// allocated: work item `u` dereferences `agents[indices[u]]` in
+    /// ascending), the index list split into contiguous ranges of
+    /// [`Self::range_len`] indices each. One work item per *range* —
+    /// not per agent — so the shared-cursor round trip and indirect
+    /// call are amortized over the whole range, the same cure
+    /// H-Dispatch's agent sets apply to the full-population phase.
+    /// Nothing is allocated: work item `u` walks
+    /// `indices[u*range .. (u+1)*range]` and dereferences agents in
     /// place.
     ///
     /// # Panics
@@ -142,25 +184,45 @@ impl ScatterGatherPool {
         F: Fn(&mut A) + Sync,
     {
         crate::executor::validate_indices(indices, agents.len());
-        self.stats.note_phase(indices.len() as u64);
-        if self.threads() == 1 || indices.len() <= 1 {
+        let range = self.range_len(indices.len());
+        let units = indices.len().div_ceil(range.max(1));
+        self.stats.note_phase(units as u64);
+        if self.threads() == 1 || units <= 1 {
             for &i in indices {
                 f(&mut agents[i as usize]);
             }
             return;
         }
         let base = agents.as_mut_ptr() as usize;
-        self.pool.run(indices.len(), &|u| {
-            // SAFETY: `validate_indices` proved the indices strictly
-            // ascending (hence pairwise distinct) and in range, so each
-            // work item dereferences a different agent; the phase call
-            // blocks until all units are done, bounding the borrows by
-            // the `&mut [A]` we hold.
-            let agent = unsafe { &mut *(base as *mut A).add(indices[u] as usize) };
-            f(agent);
+        self.pool.run(units, &|u| {
+            let start = u * range;
+            let end = (start + range).min(indices.len());
+            for &i in &indices[start..end] {
+                // SAFETY: ranges are disjoint chunks of the index list,
+                // and `validate_indices` proved the indices strictly
+                // ascending (hence pairwise distinct) and in range, so
+                // no two units — and no two iterations — touch the same
+                // agent; the phase call blocks until all units are done,
+                // bounding the borrows by the `&mut [A]` we hold.
+                let agent = unsafe { &mut *(base as *mut A).add(i as usize) };
+                f(agent);
+            }
         });
     }
+
+    /// Indices per batched work item for an indexed phase over `len`
+    /// selected agents: `len / (threads * 4)` — four waves per worker,
+    /// enough slack for the shared cursor to load-balance uneven ranges
+    /// — floored at [`MIN_RANGE`] so tiny active sets collapse to one or
+    /// two items instead of paying per-agent dispatch.
+    fn range_len(&self, len: usize) -> usize {
+        (len / (self.threads() * 4)).max(MIN_RANGE)
+    }
 }
+
+/// Smallest index range worth dispatching as its own work item: below
+/// this the cursor round trip dwarfs the agent ticks themselves.
+pub const MIN_RANGE: usize = 16;
 
 #[cfg(test)]
 mod tests {
@@ -213,5 +275,58 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         ScatterGatherPool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 of 8 handlers panicked")]
+    fn handler_panic_is_propagated_not_swallowed() {
+        // Pre-fix, the gather dropped Err items and returned a short
+        // vector: 7 results from 8 inputs, no signal. The failure must
+        // surface on the master thread instead.
+        let d = Arc::new(Dispatcher::new(2));
+        let inputs: Vec<u64> = (0..8).collect();
+        let _ = scatter_gather_ports(d, inputs, |v| {
+            assert!(v != 3, "boom");
+            v * 2
+        });
+    }
+
+    #[test]
+    fn indexed_phase_touches_exactly_the_selected_agents() {
+        let pool = ScatterGatherPool::new(4);
+        let mut agents: Vec<u64> = vec![0; 2048];
+        // Enough indices for several batched ranges per worker.
+        let indices: Vec<u32> = (0..2048).step_by(3).collect();
+        pool.run_phase_indexed(&mut agents, &indices, &|a| *a += 1);
+        for (i, a) in agents.iter().enumerate() {
+            let expected = u64::from(i % 3 == 0);
+            assert_eq!(*a, expected, "agent {i}");
+        }
+    }
+
+    #[test]
+    fn indexed_phase_batches_ranges_not_agents() {
+        let pool = ScatterGatherPool::new(4);
+        let mut agents: Vec<u64> = vec![0; 4096];
+        let indices: Vec<u32> = (0..4096).collect();
+        pool.run_phase_indexed(&mut agents, &indices, &|a| *a += 1);
+        let s = pool.stats();
+        assert_eq!(s.phases, 1);
+        // 4096 indices / (4 threads * 4) = 256 per range -> 16 items,
+        // not 4096.
+        assert_eq!(s.items, 16, "indexed dispatch regressed to per-agent");
+        assert!(agents.iter().all(|a| *a == 1));
+    }
+
+    #[test]
+    fn tiny_indexed_phase_is_a_single_inline_item() {
+        let pool = ScatterGatherPool::new(4);
+        let mut agents: Vec<u64> = vec![0; 64];
+        let indices: Vec<u32> = vec![1, 7, 40];
+        pool.run_phase_indexed(&mut agents, &indices, &|a| *a += 1);
+        let s = pool.stats();
+        // 3 indices fit one MIN_RANGE batch: inline serial, one item.
+        assert_eq!((s.phases, s.items), (1, 1));
+        assert_eq!(agents.iter().sum::<u64>(), 3);
     }
 }

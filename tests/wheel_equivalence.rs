@@ -52,6 +52,41 @@ fn compressed_fault_plan() -> FaultPlan {
     }
 }
 
+/// Fast fail/recover cycles of the primary link with a short-timeout
+/// retry policy under `InFlightPolicy::Drop`: operations time out for
+/// real, retry, and complete in waves — a cancellation-heavy load that
+/// bumps the wheel's generation counters thousands of times per run.
+fn churn_fault_plan() -> FaultPlan {
+    let link = || FaultTarget::WanLink {
+        label: faulted::PRIMARY_LINK.into(),
+    };
+    let mut events = Vec::new();
+    for cycle in 0..6u32 {
+        let base = 10.0 + 13.0 * f64::from(cycle);
+        events.push(FaultEvent {
+            at_secs: base,
+            target: link(),
+            action: FaultAction::Fail,
+        });
+        events.push(FaultEvent {
+            at_secs: base + 6.0,
+            target: link(),
+            action: FaultAction::Recover,
+        });
+    }
+    FaultPlan {
+        events,
+        in_flight: gdisim_core::InFlightPolicy::Drop,
+        retry: Some(gdisim_workload::RetryPolicy {
+            timeout_secs: 8.0,
+            max_retries: 3,
+            backoff_base_secs: 1.0,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 10.0,
+        }),
+    }
+}
+
 fn build_scenario(scenario: usize, seed: u64) -> Simulation {
     match scenario {
         // Active fault plan: fault, retry, timeout and health gates.
@@ -63,6 +98,15 @@ fn build_scenario(scenario: usize, seed: u64) -> Simulation {
         }
         // Periodic series sources: the series gate.
         1 => validation::build(validation::EXPERIMENTS[0], seed),
+        // Cancellation churn: short timeouts + Drop policy + repeated
+        // link flaps, so timeout gates are armed, cancelled and re-armed
+        // continuously (the generation-counter protocol under load).
+        2 => {
+            let mut sim = faulted::build(seed);
+            sim.set_fault_plan(churn_fault_plan())
+                .expect("churn plan matches the faulted topology");
+            sim
+        }
         // Diurnal + session populations + background daemons: the
         // session-wake and background gates plus the ungated samplers.
         _ => consolidated::build(seed),
@@ -134,7 +178,7 @@ proptest! {
         seed in 0u64..1_000,
         horizon_secs in 90u64..150,
         executor in 0usize..3,
-        scenario in 0usize..3,
+        scenario in 0usize..4,
     ) {
         let wheel = run(scenario, seed, executor, horizon_secs, 0);
         let poll = run(scenario, seed, executor, horizon_secs, 1);
