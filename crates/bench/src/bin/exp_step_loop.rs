@@ -16,6 +16,11 @@
 //!   cancellation-heavy "normal failure" load where every completion or
 //!   failure retires the attempt's timeout gate. Its `cancelled` column
 //!   is the generation-counter protocol's visible footprint.
+//! * **churned** — the churned scenario under a hot stochastic churn
+//!   model (every server failing about every two minutes) with the full
+//!   resilience bundle (hedging, breakers, shedding): the worst case
+//!   for the two new event classes, with Churn and Hedges gates arming
+//!   and cancelling continuously.
 //!
 //! All modes are bit-for-bit identical simulations (pinned by
 //! tests/wheel_equivalence.rs and tests/wheel_cancellation.rs), so this
@@ -30,13 +35,15 @@
 //! benchmark: stale-gate no-op drains on the consolidated run must stay
 //! within 10% of their pre-cancellation baseline, Scatter-Gather's
 //! indexed dispatch must stay range-batched (not one item per agent),
-//! and the churn scenario must actually cancel gates.
+//! the fault-plan churn scenario must actually cancel gates, and the
+//! stochastic churn run must apply incidents while keeping its Churn
+//! drains wheel-gated.
 
 use gdisim_bench::{json_escape, print_table, write_csv, write_json};
-use gdisim_core::scenarios::{consolidated, faulted, rates, validation};
+use gdisim_core::scenarios::{churned, consolidated, faulted, rates, validation};
 use gdisim_core::{
-    FaultAction, FaultEvent, FaultPlan, FaultTarget, InFlightPolicy, MasterPolicy, Simulation,
-    SimulationConfig,
+    ChurnProcess, EventClass, FaultAction, FaultEvent, FaultPlan, FaultTarget, InFlightPolicy,
+    MasterPolicy, Simulation, SimulationConfig,
 };
 use gdisim_infra::Infrastructure;
 use gdisim_ports::Executor;
@@ -117,13 +124,43 @@ fn build_churn(seed: u64) -> Simulation {
     sim
 }
 
+/// The churned scenario under a hot stochastic churn model (MTBF scaled
+/// down so a two-minute horizon sees dozens of incidents) plus the full
+/// demo resilience bundle — the heaviest exercise of the Churn and
+/// Hedges event classes.
+fn build_churned(seed: u64) -> Simulation {
+    let hot = |mtbf: f64, mttr: f64| ChurnProcess {
+        mtbf_secs: mtbf,
+        mttr_secs: mttr,
+        fail_shape: Some(1.5),
+        repair_shape: None,
+    };
+    let mut model = churned::demo_churn_model();
+    model.servers = Some(hot(120.0, 20.0));
+    model.wan_links = Some(hot(240.0, 15.0));
+    model.domains.clear();
+    model.retry = Some(RetryPolicy {
+        timeout_secs: 30.0,
+        max_retries: 3,
+        backoff_base_secs: 1.0,
+        backoff_factor: 2.0,
+        backoff_cap_secs: 10.0,
+    });
+    let mut sim = churned::build(seed);
+    sim.set_churn_model(model)
+        .expect("hot model matches the churned topology");
+    sim.set_resilience(churned::demo_resilience())
+        .expect("demo resilience bundle is valid");
+    sim
+}
+
 struct Case {
     scenario: &'static str,
     build: fn(u64) -> Simulation,
     horizon_secs: u64,
 }
 
-const CASES: [Case; 3] = [
+const CASES: [Case; 4] = [
     Case {
         scenario: "sparse-series",
         build: build_sparse,
@@ -138,6 +175,11 @@ const CASES: [Case; 3] = [
         scenario: "faulted-churn",
         build: build_churn,
         horizon_secs: 90,
+    },
+    Case {
+        scenario: "churned",
+        build: build_churned,
+        horizon_secs: 120,
     },
 ];
 
@@ -256,6 +298,33 @@ fn check() {
         g.cancelled, g.noop
     );
     assert!(g.cancelled > 0, "churn run cancelled no gates");
+
+    // 4. The stochastic churn run must actually apply incidents, and
+    //    its Churn drain class must stay wheel-gated: far more steps
+    //    skip the class than drain it (the queue never drains dry, so
+    //    the wheel knows the next transition exactly).
+    let mut sim = build_churned(42);
+    sim.enable_profiler(0);
+    sim.run_until(SimTime::from_secs(120));
+    let c = &sim.report().churn;
+    println!(
+        "check: churned 120 sim-s: incidents={}, repairs={}, refused={}",
+        c.incidents, c.repairs, c.refused_incidents
+    );
+    assert!(c.incidents > 0, "stochastic churn applied no incidents");
+    let p = sim.profiler().expect("profiler enabled");
+    let d = p.drain_stats(EventClass::Churn.index());
+    println!(
+        "check: churned Churn class: skipped={}, gated={}, polled={}",
+        d.skipped, d.gated, d.polled
+    );
+    assert!(d.gated > 0, "no Churn drain was ever gated");
+    assert!(
+        d.skipped > d.gated,
+        "Churn class is not wheel-gated: {} skipped vs {} gated",
+        d.skipped,
+        d.gated
+    );
     println!("check: OK");
 }
 

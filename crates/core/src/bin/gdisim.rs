@@ -4,23 +4,27 @@
 //! gdisim validation [--experiment 1|2|3] [--seed N]
 //! gdisim consolidated [--hours H] [--seed N]
 //! gdisim multimaster  [--hours H] [--seed N]
-//! gdisim run --scenario <validation|faulted|consolidated|multimaster>
-//!            [--faults plan.json] [--minutes M] [--seed N]
+//! gdisim run --scenario <validation|faulted|churned|consolidated|multimaster>
+//!            [--faults plan.json] [--churn model.json] [--resilience policies.json]
+//!            [--minutes M] [--seed N]
 //!            [--bench-json timing.json] [--profile-json p.json]
 //!            [--trace-perfetto t.json] [--trace-jsonl e.jsonl]
 //!            [--progress secs] [--response-hist]
 //! gdisim topology <spec.json>
-//! gdisim export <validation|faulted|consolidated|multimaster>
+//! gdisim export <validation|faulted|churned|consolidated|multimaster>
 //! ```
 //!
 //! `validation` runs a Ch. 5 experiment and prints the steady-state
 //! tier statistics; `consolidated`/`multimaster` run the case studies
 //! for the requested number of simulated hours and print the operator
 //! dashboard (tier CPU, WAN occupancy, background windows); `run`
-//! executes any built-in scenario with an optional fault plan and prints
-//! the degradation summary (availability, failed/retried/abandoned
-//! operations, healthy vs. degraded response times) plus the trace drop
-//! counters, and with `--bench-json` also writes machine-readable run
+//! executes any built-in scenario with an optional fault plan, an
+//! optional stochastic churn model (`--churn`, `crate::churn`) and an
+//! optional resilience-policy bundle (`--resilience`: hedged requests,
+//! circuit breakers, load shedding) and prints the degradation summary
+//! (availability, failed/retried/abandoned operations, healthy vs.
+//! degraded response times, churn MTTF/MTTR, error-budget burn) plus
+//! the trace drop counters, and with `--bench-json` also writes machine-readable run
 //! timing; the observability flags export a step-loop profile
 //! (`--profile-json`), a Chrome/Perfetto trace of per-step phase spans
 //! (`--trace-perfetto`), the simulation trace as JSON Lines
@@ -31,11 +35,14 @@
 //! infrastructure.
 
 use gdisim_background::BackgroundKind;
-use gdisim_core::scenarios::{consolidated, faulted, multimaster, validation};
-use gdisim_core::{FaultPlan, FaultPlanError, Report, Simulation};
+use gdisim_core::scenarios::{churned, consolidated, faulted, multimaster, validation};
+use gdisim_core::{
+    ChurnModel, ChurnModelError, FaultPlan, FaultPlanError, Report, ResilienceStats, Simulation,
+};
 use gdisim_infra::{Infrastructure, TopologySpec};
 use gdisim_metrics::mean_stddev;
 use gdisim_types::{SimTime, TierKind};
+use gdisim_workload::ResiliencePolicies;
 use std::process::ExitCode;
 
 /// Everything that can go wrong on the CLI paths — each variant renders
@@ -55,6 +62,10 @@ enum CliError {
     BadTopology { path: String, reason: String },
     /// A fault plan failed to parse or validate.
     BadFaultPlan(FaultPlanError),
+    /// A churn model failed to parse or validate.
+    BadChurnModel(ChurnModelError),
+    /// A resilience-policy bundle failed to parse or validate.
+    BadResilience(String),
     /// A report series the command relies on is missing — an internal
     /// inconsistency, reported instead of unwrapped on.
     Internal(String),
@@ -67,12 +78,15 @@ impl std::fmt::Display for CliError {
             CliError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
             CliError::UnknownScenario(s) => write!(
                 f,
-                "unknown scenario '{s}' (try validation, faulted, consolidated or multimaster)"
+                "unknown scenario '{s}' \
+                 (try validation, faulted, churned, consolidated or multimaster)"
             ),
             CliError::BadTopology { path, reason } => {
                 write!(f, "{path} is not a valid topology: {reason}")
             }
             CliError::BadFaultPlan(e) => write!(f, "{e}"),
+            CliError::BadChurnModel(e) => write!(f, "{e}"),
+            CliError::BadResilience(e) => write!(f, "resilience policies: {e}"),
             CliError::Internal(e) => write!(f, "internal inconsistency: {e}"),
         }
     }
@@ -84,6 +98,12 @@ impl From<FaultPlanError> for CliError {
     }
 }
 
+impl From<ChurnModelError> for CliError {
+    fn from(e: ChurnModelError) -> Self {
+        CliError::BadChurnModel(e)
+    }
+}
+
 struct Args {
     positional: Vec<String>,
     experiment: usize,
@@ -92,6 +112,8 @@ struct Args {
     seed: u64,
     scenario: Option<String>,
     faults: Option<String>,
+    churn: Option<String>,
+    resilience: Option<String>,
     bench_json: Option<String>,
     profile_json: Option<String>,
     trace_perfetto: Option<String>,
@@ -109,6 +131,8 @@ fn parse_args() -> Result<Args, CliError> {
         seed: 42,
         scenario: None,
         faults: None,
+        churn: None,
+        resilience: None,
         bench_json: None,
         profile_json: None,
         trace_perfetto: None,
@@ -162,6 +186,18 @@ fn parse_args() -> Result<Args, CliError> {
                 args.faults = Some(
                     it.next()
                         .ok_or_else(|| usage("--faults needs a file path".into()))?,
+                );
+            }
+            "--churn" => {
+                args.churn = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--churn needs a file path or 'demo'".into()))?,
+                );
+            }
+            "--resilience" => {
+                args.resilience = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--resilience needs a file path or 'demo'".into()))?,
                 );
             }
             "--bench-json" => {
@@ -219,12 +255,18 @@ fn print_usage() {
          USAGE:\n  gdisim validation   [--experiment 1|2|3] [--seed N]\n  \
          gdisim consolidated [--hours H] [--seed N]\n  \
          gdisim multimaster  [--hours H] [--seed N]\n  \
-         gdisim run --scenario <validation|faulted|consolidated|multimaster>\n              \
-         [--faults plan.json|demo] [--minutes M] [--seed N] [--bench-json timing.json]\n              \
+         gdisim run --scenario <validation|faulted|churned|consolidated|multimaster>\n              \
+         [--faults plan.json|demo] [--churn model.json|demo] [--resilience policies.json|demo]\n              \
+         [--minutes M] [--seed N] [--bench-json timing.json]\n              \
          [--profile-json p.json] [--trace-perfetto t.json] [--trace-jsonl e.jsonl]\n              \
          [--progress SECS] [--response-hist]\n  \
          gdisim topology <spec.json>\n  \
-         gdisim export <validation|faulted|consolidated|multimaster>\n\n\
+         gdisim export <validation|faulted|churned|consolidated|multimaster>\n\n\
+         ROBUSTNESS (run subcommand):\n  \
+         --faults PATH|demo     timed fail/recover plan (JSON), or the staged WAN outage\n  \
+         --churn PATH|demo      stochastic MTBF/MTTR churn model (JSON), or the built-in demo\n  \
+         --resilience PATH|demo hedging + circuit breakers + load shedding (JSON)\n  \
+         (the churned scenario installs the demo churn model and policies by default)\n\n\
          OBSERVABILITY (run subcommand):\n  \
          --profile-json PATH   step-loop profile + metrics registry snapshot (JSON)\n  \
          --trace-perfetto PATH per-step phase spans as a Chrome/Perfetto trace\n  \
@@ -350,6 +392,68 @@ fn degradation_summary(report: &Report, sim: &Simulation) {
     }
 }
 
+/// Prints the churn/resilience summary of a run: incident counters,
+/// measured per-component MTTF/MTTR (worst offenders first), resilience
+/// policy counters and SLO error-budget burn. Silent when neither layer
+/// recorded anything.
+fn churn_summary(report: &Report) {
+    let c = &report.churn;
+    if c.incidents + c.repairs + c.refused_incidents > 0 || !c.components.is_empty() {
+        println!("\nchurn layer:");
+        println!(
+            "  incidents: {} applied, {} repaired, {} refused",
+            c.incidents, c.repairs, c.refused_incidents
+        );
+        let mut worst: Vec<_> = c.components.iter().filter(|r| r.failures > 0).collect();
+        worst.sort_by(|a, b| {
+            b.failures
+                .cmp(&a.failures)
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        println!(
+            "  components churned: {} of {} (measured MTTF/MTTR, worst first):",
+            worst.len(),
+            c.components.len()
+        );
+        let secs = |v: Option<f64>| v.map_or_else(|| "n/a".into(), |s| format!("{s:.0} s"));
+        for r in worst.iter().take(8) {
+            println!(
+                "    {}: {} failures, MTTF {}, MTTR {}",
+                r.label,
+                r.failures,
+                secs(r.mttf_secs()),
+                secs(r.mttr_secs()),
+            );
+        }
+        if worst.len() > 8 {
+            println!("    ... and {} more", worst.len() - 8);
+        }
+    }
+    let r = &report.resilience;
+    if *r != ResilienceStats::default() {
+        println!("\nresilience layer:");
+        println!(
+            "  hedges: {} launched, {} twin wins, {} losers cancelled ({} messages dropped)",
+            r.hedges_launched, r.hedge_wins, r.hedges_cancelled, r.hedge_cancelled_messages
+        );
+        println!(
+            "  breakers: {} trips, {} fast rejections",
+            r.breaker_trips, r.breaker_rejections
+        );
+        println!("  load shedding: {} operations bounced", r.shed_operations);
+    }
+    if let (Some(slo), Some(burn)) = (report.slo_target, report.total_error_budget_burn()) {
+        println!("\nSLO: target {slo}, mean error-budget burn {burn:.2}x");
+    }
+    if !report.health_errors.is_empty() {
+        println!(
+            "\nhealth events failed to apply: {} (first: {})",
+            report.health_errors.len(),
+            report.health_errors[0].reason
+        );
+    }
+}
+
 /// The `run` subcommand: any built-in scenario, optionally under a
 /// fault plan loaded from JSON.
 fn cmd_run(args: &Args) -> Result<(), CliError> {
@@ -370,6 +474,42 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         }
         None => None,
     };
+    // The churned scenario runs under the demo churn model and demo
+    // resilience bundle unless explicit `--churn`/`--resilience` flags
+    // substitute custom ones; other scenarios install them only when
+    // asked.
+    let churn_spec = args
+        .churn
+        .clone()
+        .or_else(|| (scenario == "churned").then(|| "demo".to_string()));
+    let churn = match churn_spec.as_deref() {
+        Some("demo") => Some(churned::demo_churn_model()),
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+                path: path.to_string(),
+                source,
+            })?;
+            Some(ChurnModel::from_json(&json)?)
+        }
+        None => None,
+    };
+    let resilience_spec = args
+        .resilience
+        .clone()
+        .or_else(|| (scenario == "churned").then(|| "demo".to_string()));
+    let resilience = match resilience_spec.as_deref() {
+        Some("demo") => Some(churned::demo_resilience()),
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+                path: path.to_string(),
+                source,
+            })?;
+            let policies: ResiliencePolicies =
+                serde_json::from_str(&json).map_err(|e| CliError::BadResilience(e.to_string()))?;
+            Some(policies)
+        }
+        None => None,
+    };
     let (mut sim, default_horizon, sites): (Simulation, SimTime, Vec<&str>) =
         match scenario.as_str() {
             "validation" => {
@@ -384,6 +524,11 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
                 faulted::build(args.seed),
                 SimTime::ZERO + faulted::HORIZON,
                 faulted::SITES.to_vec(),
+            ),
+            "churned" => (
+                churned::build(args.seed),
+                SimTime::ZERO + churned::HORIZON,
+                churned::SITES.to_vec(),
             ),
             "consolidated" => (
                 consolidated::build(args.seed),
@@ -419,17 +564,36 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
     if let Some(plan) = plan {
         sim.set_fault_plan(plan)?;
     }
+    let churn_installed = churn.is_some();
+    if let Some(model) = churn {
+        sim.set_churn_model(model)?;
+    }
+    let resilience_installed = resilience.is_some();
+    if let Some(policies) = resilience {
+        sim.set_resilience(policies)
+            .map_err(CliError::BadResilience)?;
+    }
     let horizon = match args.minutes {
         Some(m) => SimTime::from_secs(m * 60),
         None => default_horizon,
     };
+    let mut installed = Vec::new();
+    if args.faults.is_some() {
+        installed.push("fault plan");
+    }
+    if churn_installed {
+        installed.push("churn model");
+    }
+    if resilience_installed {
+        installed.push("resilience policies");
+    }
     println!(
         "run: scenario {scenario}, seed {}, horizon {horizon}{}",
         args.seed,
-        if args.faults.is_some() {
-            " (fault plan installed)"
+        if installed.is_empty() {
+            String::new()
         } else {
-            ""
+            format!(" ({} installed)", installed.join(" + "))
         }
     );
     let wall = std::time::Instant::now();
@@ -488,6 +652,7 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
     write_obs_exports(args, &sim)?;
     dashboard(sim.report(), &sites);
     degradation_summary(sim.report(), &sim);
+    churn_summary(sim.report());
     Ok(())
 }
 
@@ -633,6 +798,7 @@ fn run_cli(args: &Args) -> Result<(), CliError> {
             let spec = match which.as_str() {
                 "validation" => validation::downscaled_topology(),
                 "faulted" => faulted::topology(),
+                "churned" => churned::topology(),
                 "consolidated" => consolidated::topology(),
                 "multimaster" => multimaster::topology(),
                 other => return Err(CliError::UnknownScenario(other.into())),

@@ -18,10 +18,11 @@
 //! Periodically the **measurement-collection phase** (§4.3.2) snapshots
 //! every meter into the [`Report`].
 
+use crate::churn::{incident_stream, ChurnModel, ChurnModelError, ChurnProcess};
 use crate::config::{MasterPolicy, SimulationConfig};
 use crate::fault::{FaultAction, FaultPlan, FaultPlanError, FaultTarget, InFlightPolicy};
 use crate::flight::{Chain, FlightTable, Instance, InstanceKind};
-use crate::report::{BackgroundRecord, Report};
+use crate::report::{BackgroundRecord, ChurnComponentRecord, HealthEventError, Report};
 use crate::router::compile_with;
 use crate::wheel::{EventClass, TimerWheel};
 use gdisim_background::{BackgroundKind, BackgroundLaunch, BackgroundScheduler};
@@ -33,7 +34,8 @@ use gdisim_obs::{
 use gdisim_queueing::{JobToken, SplitMix64, Station};
 use gdisim_types::{AppId, DcId, OpTypeId, SimTime};
 use gdisim_workload::{
-    AppWorkload, Application, ArrivalSampler, OperationTemplate, RetryPolicy, SiteBinding,
+    AppWorkload, Application, ArrivalSampler, OperationTemplate, ResiliencePolicies, RetryPolicy,
+    SiteBinding,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -76,9 +78,6 @@ struct FaultRuntime {
     timeouts: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
     /// Failed operations waiting out their backoff before re-launch.
     pending_retries: Vec<PendingRetry>,
-    /// Tokens of failed operations whose jobs may still surface from a
-    /// station outbox; their completions are swallowed.
-    orphans: HashSet<u64>,
     /// Operations completed / failed in the current collection interval
     /// (the availability numerator and denominator).
     interval_ok: u64,
@@ -96,6 +95,118 @@ struct PendingRetry {
     session: Option<u64>,
     attempt: u32,
     first_launched_at: SimTime,
+}
+
+/// One churn-managed component: a WAN link, a single server, or a
+/// correlated failure domain whose member servers fail and recover
+/// atomically. The component's index in [`ChurnRuntime::components`]
+/// keys its RNG stream, so the expansion order is part of the model's
+/// deterministic contract.
+#[derive(Clone)]
+struct ChurnComponent {
+    /// Human-readable label for the per-component report record.
+    label: String,
+    /// Fault targets flipped together when the component fails/repairs.
+    targets: Vec<FaultTarget>,
+    /// The component's failure/repair renewal process.
+    process: ChurnProcess,
+    /// Whether the component is currently down.
+    down: bool,
+    /// Incident counter — with the component index, keys the dedicated
+    /// per-incident RNG stream.
+    incidents: u64,
+    /// Targets the current incident actually took down (the infra can
+    /// refuse individual members, e.g. a tier's last healthy server).
+    applied: Vec<FaultTarget>,
+    /// The current incident's generator: re-seeded from
+    /// [`incident_stream`] at each incident, so the number of draws one
+    /// incident consumes can never shift another's.
+    rng: SplitMix64,
+    /// When the current up/down span started.
+    span_start: SimTime,
+    /// Closed up/down span totals, accumulated at each transition.
+    up_us: u64,
+    down_us: u64,
+    failures: u64,
+    repairs: u64,
+}
+
+impl ChurnComponent {
+    fn new(label: String, targets: Vec<FaultTarget>, process: ChurnProcess) -> Self {
+        ChurnComponent {
+            label,
+            targets,
+            process,
+            down: false,
+            incidents: 0,
+            applied: Vec::new(),
+            rng: SplitMix64::new(0), // re-seeded per incident
+            span_start: SimTime::ZERO,
+            up_us: 0,
+            down_us: 0,
+            failures: 0,
+            repairs: 0,
+        }
+    }
+}
+
+/// Runtime state of an installed [`ChurnModel`].
+///
+/// Only present when a non-empty model was installed — every churn hook
+/// checks `churn.is_some()` first, so a run without a model (or with an
+/// empty one) executes exactly the seed code path.
+#[derive(Clone)]
+struct ChurnRuntime {
+    components: Vec<ChurnComponent>,
+    /// Pending transitions `(time µs, component index)` — a failure when
+    /// the component is up, a repair when it is down. Never drains dry:
+    /// every transition schedules the component's next one.
+    queue: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    /// The model's dedicated churn seed.
+    seed: u64,
+}
+
+/// Per-route circuit-breaker state (see
+/// [`gdisim_workload::BreakerPolicy`] for the transition rules).
+#[derive(Clone, Copy)]
+enum BreakerState {
+    /// Healthy: counts consecutive failures toward the trip threshold.
+    Closed { consecutive: u32 },
+    /// Tripped: every launch on the route fails fast until `until_us`.
+    Open { until_us: u64 },
+    /// Cooldown elapsed: up to the probe budget of launches is admitted;
+    /// a success closes the breaker, a failure re-opens it.
+    HalfOpen { probes_left: u32 },
+}
+
+/// Runtime state of the installed [`ResiliencePolicies`].
+///
+/// Only present when at least one policy is enabled — every resilience
+/// hook checks `resilience.is_some()` (and the specific policy) first,
+/// so a run with no policies (or all-disabled ones) executes exactly
+/// the seed code path.
+#[derive(Clone)]
+struct ResilienceRuntime {
+    policies: ResiliencePolicies,
+    /// Breaker state per (client DC, master DC) route.
+    breakers: HashMap<(DcId, DcId), BreakerState>,
+    /// Armed hedge timers `(fire µs, primary instance id)`, lazily
+    /// invalidated: entries whose instance already settled are skipped
+    /// when popped.
+    hedges: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+}
+
+/// Why an operation instance failed — selects the counter the failure
+/// lands in. All causes share the settle machinery (retry, session
+/// wake, trace), only the accounting differs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FailCause {
+    /// A fault, timeout, eviction or unroutable stage.
+    Fault,
+    /// Server-side load shedding bounced it at admission.
+    Shed,
+    /// A per-route circuit breaker rejected it at launch.
+    Breaker,
 }
 
 /// Pseudo-application id under which background operations report.
@@ -222,7 +333,16 @@ pub struct Simulation {
     profiler: Option<StepProfiler>,
     /// Last-seen snapshot of the wheel's monotone per-class cancellation
     /// counters; the profiler is fed the per-step deltas.
-    cancelled_seen: [u64; 7],
+    cancelled_seen: [u64; EventClass::ALL.len()],
+    /// Stochastic churn runtime; `None` (or an empty model) leaves every
+    /// step bit-identical to a churn-free run.
+    churn: Option<ChurnRuntime>,
+    /// Resilience policy runtime (breakers / hedging / shedding); `None`
+    /// (or all-disabled policies) leaves runs bit-identical to seed.
+    resilience: Option<ResilienceRuntime>,
+    /// Tokens whose parent instance was failed/evicted/hedge-cancelled;
+    /// their completions are swallowed silently.
+    orphans: HashSet<u64>,
 }
 
 impl Simulation {
@@ -268,7 +388,10 @@ impl Simulation {
             wheel: None,
             polled_sources: 0,
             profiler: None,
-            cancelled_seen: [0; 7],
+            cancelled_seen: [0; EventClass::ALL.len()],
+            churn: None,
+            resilience: None,
+            orphans: HashSet::new(),
         }
     }
 
@@ -475,9 +598,175 @@ impl Simulation {
             down: Vec::new(),
             timeouts: std::collections::BinaryHeap::new(),
             pending_retries: Vec::new(),
-            orphans: HashSet::new(),
             interval_ok: 0,
             interval_failed: 0,
+        });
+        Ok(())
+    }
+
+    /// Installs a stochastic churn model (see [`crate::churn`]): expands
+    /// the per-class failure/repair processes over the built topology —
+    /// one renewal process per WAN link, per server and per declared
+    /// failure domain — draws every component's first time-to-failure
+    /// from its dedicated incident stream and arms the
+    /// [`EventClass::Churn`] gates.
+    ///
+    /// Installing an **empty** model is a no-op: the run stays
+    /// bit-identical to one with no model at all (churn draws come from
+    /// their own counter-based streams, so they can never perturb
+    /// traffic randomness). A non-empty model materializes the fault
+    /// runtime (with an empty event schedule) so the eviction / retry /
+    /// timeout / availability machinery is armed; the model's
+    /// `in_flight` and `retry` override an installed fault plan's
+    /// policies when present.
+    ///
+    /// # Errors
+    /// Returns a [`ChurnModelError`] when a process parameter, the SLO
+    /// target or the retry policy is invalid, or a domain member names
+    /// a server the topology does not contain.
+    pub fn set_churn_model(&mut self, model: ChurnModel) -> Result<(), ChurnModelError> {
+        model.validate()?;
+        for d in &model.domains {
+            for m in &d.members {
+                let reason = match self.infra.dc_by_name(&m.site) {
+                    None => Some(format!("no data center named '{}'", m.site)),
+                    Some(dc) => match self.infra.dc(dc).tier_index(m.tier) {
+                        None => Some(format!("no {} tier at data center '{}'", m.tier, m.site)),
+                        Some(ti) => {
+                            let n = self.infra.dc(dc).tiers[ti].servers.len();
+                            (m.server >= n).then(|| {
+                                format!(
+                                    "{} tier at '{}' has {n} servers, no #{}",
+                                    m.tier, m.site, m.server
+                                )
+                            })
+                        }
+                    },
+                };
+                if let Some(reason) = reason {
+                    return Err(ChurnModelError::UnknownMember {
+                        domain: d.name.clone(),
+                        reason,
+                    });
+                }
+            }
+        }
+        if model.is_empty() {
+            return Ok(());
+        }
+        // Expand the model over the topology in canonical order: WAN
+        // links in build order, then servers by (data center, tier,
+        // index), then domains in declaration order. The order fixes
+        // each component's RNG stream key.
+        let mut components: Vec<ChurnComponent> = Vec::new();
+        if let Some(p) = model.wan_links {
+            for (label, _) in self.infra.wan_links() {
+                components.push(ChurnComponent::new(
+                    format!("link {label}"),
+                    vec![FaultTarget::WanLink {
+                        label: label.clone(),
+                    }],
+                    p,
+                ));
+            }
+        }
+        if let Some(p) = model.servers {
+            for dc in self.infra.data_centers() {
+                for tier in &dc.tiers {
+                    for server in 0..tier.servers.len() {
+                        components.push(ChurnComponent::new(
+                            format!("{} {} #{server}", dc.name, tier.kind.label()),
+                            vec![FaultTarget::Server {
+                                site: dc.name.clone(),
+                                tier: tier.kind,
+                                server,
+                            }],
+                            p,
+                        ));
+                    }
+                }
+            }
+        }
+        for d in &model.domains {
+            components.push(ChurnComponent::new(
+                format!("domain {}", d.name),
+                d.members
+                    .iter()
+                    .map(|m| FaultTarget::Server {
+                        site: m.site.clone(),
+                        tier: m.tier,
+                        server: m.server,
+                    })
+                    .collect(),
+                d.process,
+            ));
+        }
+        // Draw every component's incident-0 time-to-failure and arm its
+        // gate.
+        let mut queue = std::collections::BinaryHeap::new();
+        let mut gates: Vec<SimTime> = Vec::new();
+        for (idx, comp) in components.iter_mut().enumerate() {
+            comp.rng = incident_stream(model.seed, idx as u32, 0);
+            let ttf = comp.process.sample_ttf(&mut comp.rng);
+            let at = self.now + gdisim_types::SimDuration::from_secs_f64(ttf);
+            comp.span_start = self.now;
+            queue.push(std::cmp::Reverse((at.as_micros(), idx as u32)));
+            gates.push(at);
+        }
+        for at in gates {
+            self.gate(EventClass::Churn, at);
+        }
+        // Arm the shared fault machinery (eviction, retries, timeouts,
+        // availability) when no plan installed it.
+        match &mut self.faults {
+            Some(f) => {
+                if let Some(p) = model.in_flight {
+                    f.in_flight = p;
+                }
+                if model.retry.is_some() {
+                    f.retry = model.retry;
+                }
+            }
+            None => {
+                self.faults = Some(FaultRuntime {
+                    events: Vec::new(),
+                    cursor: 0,
+                    in_flight: model.in_flight.unwrap_or(InFlightPolicy::Drain),
+                    retry: model.retry,
+                    down: Vec::new(),
+                    timeouts: std::collections::BinaryHeap::new(),
+                    pending_retries: Vec::new(),
+                    interval_ok: 0,
+                    interval_failed: 0,
+                });
+            }
+        }
+        self.report.slo_target = model.slo_target;
+        self.churn = Some(ChurnRuntime {
+            components,
+            queue,
+            seed: model.seed,
+        });
+        Ok(())
+    }
+
+    /// Installs resilience policies — per-route circuit breakers, hedged
+    /// requests and server-side load shedding (see
+    /// [`gdisim_workload::ResiliencePolicies`]). Installing an **empty**
+    /// bundle (every policy disabled) is a no-op: the run stays
+    /// bit-identical to one with no policies at all.
+    ///
+    /// # Errors
+    /// Returns a readable description of the first invalid parameter.
+    pub fn set_resilience(&mut self, policies: ResiliencePolicies) -> Result<(), String> {
+        policies.validate()?;
+        if policies.is_empty() {
+            return Ok(());
+        }
+        self.resilience = Some(ResilienceRuntime {
+            policies,
+            breakers: HashMap::new(),
+            hedges: std::collections::BinaryHeap::new(),
         });
         Ok(())
     }
@@ -579,6 +868,33 @@ impl Simulation {
             self.report.faults.dropped_messages,
         );
         r.set_counter("faults.skipped_events", self.report.faults.skipped_events);
+        r.set_counter("churn.incidents", self.report.churn.incidents);
+        r.set_counter("churn.repairs", self.report.churn.repairs);
+        r.set_counter(
+            "churn.refused_incidents",
+            self.report.churn.refused_incidents,
+        );
+        r.set_counter(
+            "resilience.hedges_launched",
+            self.report.resilience.hedges_launched,
+        );
+        r.set_counter("resilience.hedge_wins", self.report.resilience.hedge_wins);
+        r.set_counter(
+            "resilience.hedges_cancelled",
+            self.report.resilience.hedges_cancelled,
+        );
+        r.set_counter(
+            "resilience.breaker_trips",
+            self.report.resilience.breaker_trips,
+        );
+        r.set_counter(
+            "resilience.breaker_rejections",
+            self.report.resilience.breaker_rejections,
+        );
+        r.set_counter(
+            "resilience.shed_operations",
+            self.report.resilience.shed_operations,
+        );
         if let Some(t) = &self.trace {
             r.set_counter("trace.recorded", t.events().len() as u64);
             r.set_counter("trace.dropped", t.dropped());
@@ -774,6 +1090,16 @@ impl Simulation {
     /// each event is created.
     fn prime_wheel(&mut self) {
         let mut w = TimerWheel::new(self.config.dt);
+        if let Some(c) = &self.churn {
+            for &std::cmp::Reverse((t_us, _)) in c.queue.iter() {
+                w.schedule_at_micros(EventClass::Churn, t_us);
+            }
+        }
+        if let Some(r) = &self.resilience {
+            for &std::cmp::Reverse((t_us, _)) in r.hedges.iter() {
+                w.schedule_at_micros(EventClass::Hedges, t_us);
+            }
+        }
         if let Some(f) = &self.faults {
             for &(t, ..) in &f.events[f.cursor..] {
                 w.schedule(EventClass::Faults, t);
@@ -887,6 +1213,13 @@ impl Simulation {
         // Whether a drain that runs this step runs because its gate
         // fired (wheel active) or because every source is polled.
         let gated_mode = self.wheel.is_some();
+        // Churn transitions drain first so fault-plan events, retries
+        // and fresh launches all see the post-churn routing tables.
+        if self.churn.is_some() {
+            let ran = self.take_gate(EventClass::Churn);
+            let n = if ran { self.apply_churn_events(now) } else { 0 };
+            self.note_drain(EventClass::Churn, ran, gated_mode, n);
+        }
         if self.faults.is_some() {
             let ran = self.take_gate(EventClass::Faults);
             let n = if ran { self.apply_fault_events(now) } else { 0 };
@@ -894,6 +1227,20 @@ impl Simulation {
             let ran = self.take_gate(EventClass::Retries);
             let n = if ran { self.launch_due_retries(now) } else { 0 };
             self.note_drain(EventClass::Retries, ran, gated_mode, n);
+        }
+        // Hedge twins launch after retries (a fresh retry's hedge timer
+        // is never due the same tick it was armed) and before timeouts,
+        // so a twin gets its chance before the reaper settles the pair.
+        if self
+            .resilience
+            .as_ref()
+            .is_some_and(|r| r.policies.hedge.is_some())
+        {
+            let ran = self.take_gate(EventClass::Hedges);
+            let n = if ran { self.launch_due_hedges(now) } else { 0 };
+            self.note_drain(EventClass::Hedges, ran, gated_mode, n);
+        }
+        if self.faults.is_some() {
             let ran = self.take_gate(EventClass::Timeouts);
             let n = if ran { self.reap_timeouts(now) } else { 0 };
             self.note_drain(EventClass::Timeouts, ran, gated_mode, n);
@@ -1240,7 +1587,16 @@ impl Simulation {
                     fail: false,
                 } => self.infra.restore_server(self.site_dc[site], tier, server),
             };
-            result.unwrap_or_else(|e| panic!("scheduled health event failed: {e}"));
+            // A refused event (e.g. failing a tier's last healthy
+            // server, or a target already in the requested state) is
+            // surfaced through the report instead of panicking — the
+            // run keeps going and the caller can inspect what was
+            // skipped.
+            if let Err(reason) = result {
+                self.report
+                    .health_errors
+                    .push(HealthEventError { at: now, reason });
+            }
         }
         if self.link_events.is_empty() {
             // The drain consumed the last scheduled health event; any
@@ -1332,19 +1688,202 @@ impl Simulation {
                 },
             );
         }
-        let f = self.faults.as_mut().expect("fault runtime installed");
         if fail {
-            if f.down.is_empty() {
+            // Degraded windows track the union of fault-plan and churn
+            // outages: a window opens at the first thing down and
+            // closes when everything is back.
+            if self.total_down() == 0 {
                 self.report.degraded_since = Some(now);
             }
+            let f = self.faults.as_mut().expect("fault runtime installed");
             f.down.push(target.clone());
             let policy = f.in_flight;
             if policy != InFlightPolicy::Drain {
                 self.evict_target(&target, policy, now);
             }
         } else {
+            let f = self.faults.as_mut().expect("fault runtime installed");
             f.down.retain(|d| *d != target);
-            if f.down.is_empty() {
+            if self.total_down() == 0 {
+                if let Some(from) = self.report.degraded_since.take() {
+                    self.report.degraded_windows.push((from, now));
+                }
+            }
+        }
+    }
+
+    /// Everything currently down across the fault plan and the churn
+    /// model — drives the degraded-window bookkeeping. Equals the fault
+    /// plan's own count when no churn model is installed.
+    fn total_down(&self) -> usize {
+        self.faults.as_ref().map_or(0, |f| f.down.len())
+            + self
+                .churn
+                .as_ref()
+                .map_or(0, |c| c.components.iter().filter(|x| x.down).count())
+    }
+
+    // ----- stochastic churn ----------------------------------------------
+
+    /// Applies churn transitions due at or before `now`. Returns the
+    /// number applied. The queue never drains dry — every transition
+    /// schedules the component's next one — so no empty-class gate
+    /// retirement is needed here.
+    fn apply_churn_events(&mut self, now: SimTime) -> u64 {
+        let now_us = now.as_micros();
+        let mut due: Vec<u32> = Vec::new();
+        {
+            let c = self.churn.as_mut().expect("churn runtime installed");
+            while let Some(&std::cmp::Reverse((t, idx))) = c.queue.peek() {
+                if t > now_us {
+                    break;
+                }
+                c.queue.pop();
+                due.push(idx);
+            }
+        }
+        let n = due.len() as u64;
+        for idx in due {
+            self.apply_churn_transition(idx, now);
+        }
+        n
+    }
+
+    /// Applies one churn transition for component `idx`: a failure
+    /// incident when the component is up, a repair when it is down.
+    /// Every draw comes from the component's per-incident stream, so
+    /// churn randomness can never shift any other stream.
+    fn apply_churn_transition(&mut self, idx: u32, now: SimTime) {
+        let (down, targets, incident, seed) = {
+            let c = self.churn.as_ref().expect("churn runtime installed");
+            let comp = &c.components[idx as usize];
+            (comp.down, comp.targets.clone(), comp.incidents, c.seed)
+        };
+        if !down {
+            // Failure incident: take every member target down. The
+            // infrastructure can refuse individual members (a tier's
+            // last healthy server, a target a fault plan already took);
+            // refused members simply stay up.
+            let mut applied: Vec<FaultTarget> = Vec::new();
+            for target in targets {
+                let ok = match &target {
+                    FaultTarget::WanLink { label } => self.infra.fail_wan_link(label).is_ok(),
+                    FaultTarget::Server { site, tier, server } => self
+                        .infra
+                        .dc_by_name(site)
+                        .is_some_and(|dc| self.infra.fail_server(dc, *tier, *server).is_ok()),
+                    FaultTarget::DataCenter { site } => self.infra.fail_data_center(site).is_ok(),
+                };
+                if ok {
+                    applied.push(target);
+                }
+            }
+            if applied.is_empty() {
+                // The whole incident was refused: stay up and move on
+                // to the next incident's failure draw (the refused
+                // incident's unused repair draw vanishes with its
+                // stream — nothing shifts).
+                self.report.churn.refused_incidents += 1;
+                let at = {
+                    let c = self.churn.as_mut().expect("churn runtime installed");
+                    let comp = &mut c.components[idx as usize];
+                    comp.incidents += 1;
+                    comp.rng = incident_stream(seed, idx, comp.incidents);
+                    let ttf = comp.process.sample_ttf(&mut comp.rng);
+                    let at = now + gdisim_types::SimDuration::from_secs_f64(ttf);
+                    c.queue.push(std::cmp::Reverse((at.as_micros(), idx)));
+                    at
+                };
+                self.gate(EventClass::Churn, at);
+                return;
+            }
+            if let Some(t) = &mut self.trace {
+                t.record(
+                    now,
+                    crate::trace::TraceEvent::Churn {
+                        component: idx,
+                        incident,
+                        fail: true,
+                    },
+                );
+            }
+            self.report.churn.incidents += 1;
+            if self.total_down() == 0 {
+                self.report.degraded_since = Some(now);
+            }
+            let policy = self
+                .faults
+                .as_ref()
+                .expect("churn materializes the fault runtime")
+                .in_flight;
+            if policy != InFlightPolicy::Drain {
+                for target in &applied {
+                    self.evict_target(target, policy, now);
+                }
+            }
+            let at = {
+                let c = self.churn.as_mut().expect("churn runtime installed");
+                let comp = &mut c.components[idx as usize];
+                comp.up_us += (now - comp.span_start).as_micros();
+                comp.span_start = now;
+                comp.down = true;
+                comp.failures += 1;
+                comp.applied = applied;
+                // Time-to-repair continues the incident's own stream.
+                let ttr = comp.process.sample_ttr(&mut comp.rng);
+                let at = now + gdisim_types::SimDuration::from_secs_f64(ttr);
+                c.queue.push(std::cmp::Reverse((at.as_micros(), idx)));
+                at
+            };
+            self.gate(EventClass::Churn, at);
+        } else {
+            // Repair: restore exactly what the incident took down. A
+            // restore the infrastructure refuses (a cross-layer overlap,
+            // e.g. a fault plan downed the whole site meanwhile) is
+            // skipped — the plan's own recovery owns that target.
+            let applied = {
+                let c = self.churn.as_mut().expect("churn runtime installed");
+                std::mem::take(&mut c.components[idx as usize].applied)
+            };
+            for target in &applied {
+                let _ = match target {
+                    FaultTarget::WanLink { label } => self.infra.restore_wan_link(label),
+                    FaultTarget::Server { site, tier, server } => {
+                        match self.infra.dc_by_name(site) {
+                            Some(dc) => self.infra.restore_server(dc, *tier, *server),
+                            None => Err(String::new()),
+                        }
+                    }
+                    FaultTarget::DataCenter { site } => self.infra.restore_data_center(site),
+                };
+            }
+            if let Some(t) = &mut self.trace {
+                t.record(
+                    now,
+                    crate::trace::TraceEvent::Churn {
+                        component: idx,
+                        incident,
+                        fail: false,
+                    },
+                );
+            }
+            self.report.churn.repairs += 1;
+            let at = {
+                let c = self.churn.as_mut().expect("churn runtime installed");
+                let comp = &mut c.components[idx as usize];
+                comp.down_us += (now - comp.span_start).as_micros();
+                comp.span_start = now;
+                comp.down = false;
+                comp.repairs += 1;
+                comp.incidents += 1;
+                comp.rng = incident_stream(seed, idx, comp.incidents);
+                let ttf = comp.process.sample_ttf(&mut comp.rng);
+                let at = now + gdisim_types::SimDuration::from_secs_f64(ttf);
+                c.queue.push(std::cmp::Reverse((at.as_micros(), idx)));
+                at
+            };
+            self.gate(EventClass::Churn, at);
+            if self.total_down() == 0 {
                 if let Some(from) = self.report.degraded_since.take() {
                     self.report.degraded_windows.push((from, now));
                 }
@@ -1401,10 +1940,10 @@ impl Simulation {
                 }
                 self.report.faults.dropped_messages += 1;
                 affected.push(state.instance);
-            } else if let Some(f) = &mut self.faults {
+            } else {
                 // A job of an operation that already failed: the eviction
                 // itself settles its orphan entry.
-                f.orphans.remove(&token);
+                self.orphans.remove(&token);
             }
         }
         affected.sort_unstable();
@@ -1508,6 +2047,27 @@ impl Simulation {
     /// its client back to thinking; a chained series aborts; background
     /// operations never retry (their schedulers own the re-issue cycle).
     fn fail_instance(&mut self, inst_id: u64, now: SimTime) {
+        self.fail_instance_with(inst_id, FailCause::Fault, now);
+    }
+
+    /// [`Self::fail_instance`] with an explicit cause, which selects the
+    /// counter the failure lands in (faults vs. shed vs. breaker).
+    fn fail_instance_with(&mut self, inst_id: u64, cause: FailCause, now: SimTime) {
+        // A failing half of a live hedged pair is cancelled quietly —
+        // nothing is counted and no retry is scheduled; the surviving
+        // half owns the operation's outcome (and inherits the chain and
+        // session when the failing half was the primary).
+        let partner = self
+            .flight
+            .instances
+            .get(&inst_id)
+            .and_then(|i| i.hedge_partner);
+        if let Some(p) = partner {
+            self.cancel_hedge_loser(inst_id, p);
+            self.cancel_stale_timeout_gates();
+            self.cancel_stale_hedge_gates();
+            return;
+        }
         let Some(inst) = self.flight.instances.remove(&inst_id) else {
             return;
         };
@@ -1517,11 +2077,18 @@ impl Simulation {
                 self.infra.memories_mut()[mem_idx].release(bytes);
             }
             self.report.faults.dropped_messages += 1;
-            if let Some(f) = &mut self.faults {
-                f.orphans.insert(token);
-            }
+            self.orphans.insert(token);
         }
-        self.report.faults.failed_operations += 1;
+        match cause {
+            FailCause::Fault => self.report.faults.failed_operations += 1,
+            FailCause::Shed => self.report.resilience.shed_operations += 1,
+            FailCause::Breaker => self.report.resilience.breaker_rejections += 1,
+        }
+        // Real verdicts feed the route's breaker; its own rejections do
+        // not (that would hold it open forever).
+        if cause != FailCause::Breaker && inst.kind == InstanceKind::Client {
+            self.breaker_on_failure(inst.binding.client, inst.binding.master, now);
+        }
         let mut will_retry = false;
         let mut retry_at = None;
         if let Some(f) = &mut self.faults {
@@ -1553,8 +2120,10 @@ impl Simulation {
         if inst.kind == InstanceKind::Client {
             // The failed attempt's timeout entry is dead (whether it
             // expired or the instance was evicted before its deadline);
-            // retire stale gates and re-arm at the surviving head.
+            // retire stale gates and re-arm at the surviving head. Same
+            // for its hedge timer, when hedging is on.
             self.cancel_stale_timeout_gates();
+            self.cancel_stale_hedge_gates();
         }
         if will_retry {
             self.report.faults.retried_operations += 1;
@@ -1572,6 +2141,265 @@ impl Simulation {
                     will_retry,
                 },
             );
+        }
+    }
+
+    // ----- resilience policies -------------------------------------------
+
+    /// Issues hedge twins for client attempts whose hedge delay elapsed
+    /// without a settle. Returns the number of twins launched.
+    fn launch_due_hedges(&mut self, now: SimTime) -> u64 {
+        if self
+            .resilience
+            .as_ref()
+            .expect("resilience runtime installed")
+            .hedges
+            .is_empty()
+        {
+            // Nothing armed: this drain ran on a stale gate (or a
+            // poll); retire whatever hedge gates remain outstanding.
+            self.cancel_empty_class(EventClass::Hedges);
+            return 0;
+        }
+        let now_us = now.as_micros();
+        let mut due: Vec<u64> = Vec::new();
+        {
+            let r = self
+                .resilience
+                .as_mut()
+                .expect("resilience runtime installed");
+            while let Some(&std::cmp::Reverse((t, id))) = r.hedges.peek() {
+                if t > now_us {
+                    break;
+                }
+                r.hedges.pop();
+                if self.flight.instances.contains_key(&id) {
+                    due.push(id);
+                }
+            }
+        }
+        let n = due.len() as u64;
+        for id in due {
+            self.launch_hedge_twin(id, now);
+        }
+        if self
+            .resilience
+            .as_ref()
+            .is_some_and(|r| r.hedges.is_empty())
+        {
+            // Every armed hedge fired (and twins arm no timers of their
+            // own), so the gates of the fired batch are now stale.
+            self.cancel_empty_class(EventClass::Hedges);
+        }
+        n
+    }
+
+    /// Launches the hedge twin of a still-live attempt: a duplicate
+    /// along the same binding sharing the primary's reporting key and
+    /// first-launch timestamp. The twin carries no chain or session —
+    /// whichever half settles first owns those — but does arm its own
+    /// per-attempt timeout, so a twin whose messages are silently
+    /// dropped cannot hang forever.
+    fn launch_hedge_twin(&mut self, primary: u64, now: SimTime) {
+        let (key, template, binding, stages, attempt, first_launched_at) = {
+            let Some(inst) = self.flight.instances.get(&primary) else {
+                return;
+            };
+            if inst.hedge_partner.is_some() || inst.is_hedge_twin {
+                return;
+            }
+            (
+                inst.key,
+                Arc::clone(&inst.template),
+                inst.binding.clone(),
+                inst.stages.clone(),
+                inst.attempt,
+                inst.first_launched_at,
+            )
+        };
+        if let Some(t) = &mut self.trace {
+            t.record(
+                now,
+                crate::trace::TraceEvent::Launch {
+                    instance: self.flight.peek_next_instance(),
+                    key,
+                },
+            );
+        }
+        let twin = self.flight.add_instance(Instance {
+            key,
+            kind: InstanceKind::Client,
+            template,
+            binding,
+            stages,
+            stage_idx: 0,
+            outstanding: 0,
+            launched_at: now,
+            first_launched_at,
+            attempt,
+            chain: None,
+            session: None,
+            volume_bytes: 0.0,
+            hedge_partner: Some(primary),
+            is_hedge_twin: true,
+        });
+        self.flight
+            .instances
+            .get_mut(&primary)
+            .expect("primary checked live")
+            .hedge_partner = Some(twin);
+        self.report.resilience.hedges_launched += 1;
+        let deadline = self.faults.as_mut().and_then(|f| {
+            let policy = f.retry?;
+            let deadline = now + gdisim_types::SimDuration::from_secs_f64(policy.timeout_secs);
+            f.timeouts
+                .push(std::cmp::Reverse((deadline.as_micros(), twin)));
+            Some(deadline)
+        });
+        if let Some(deadline) = deadline {
+            self.gate(EventClass::Timeouts, deadline);
+        }
+        self.start_stage(twin, now);
+    }
+
+    /// Quietly cancels hedge-pair member `loser` in favour of
+    /// `survivor`: the loser leaves the flight table, its in-flight
+    /// messages become orphans, and nothing is counted against faults
+    /// or retries. A losing primary's chain and session migrate to the
+    /// survivor so follow-ups and session bookkeeping stay with the
+    /// operation.
+    fn cancel_hedge_loser(&mut self, loser_id: u64, survivor_id: u64) {
+        let Some(loser) = self.flight.instances.remove(&loser_id) else {
+            return;
+        };
+        let mut dropped = 0u64;
+        for token in self.flight.tokens_of(loser_id) {
+            let state = self.flight.tokens.remove(&token).expect("token listed");
+            if let Some((mem_idx, bytes)) = state.plan.mem_hold {
+                self.infra.memories_mut()[mem_idx].release(bytes);
+            }
+            self.orphans.insert(token);
+            dropped += 1;
+        }
+        self.report.resilience.hedges_cancelled += 1;
+        self.report.resilience.hedge_cancelled_messages += dropped;
+        if let Some(survivor) = self.flight.instances.get_mut(&survivor_id) {
+            survivor.hedge_partner = None;
+            if !loser.is_hedge_twin {
+                survivor.chain = loser.chain;
+                survivor.session = loser.session;
+            }
+        }
+    }
+
+    /// Retires stale [`EventClass::Hedges`] gates after an instance left
+    /// the flight table: pops the hedge heap's dead prefix, bumps the
+    /// class generation and re-arms at the surviving head — the exact
+    /// mirror of [`Self::cancel_stale_timeout_gates`], with the same
+    /// inductive invariant (every primary launch arms its own hedge
+    /// timer, so re-arming at the post-removal head keeps every live
+    /// timer covered by a gate at or before its tick).
+    fn cancel_stale_hedge_gates(&mut self) {
+        let Some(w) = &mut self.wheel else { return };
+        let Some(r) = &mut self.resilience else {
+            return;
+        };
+        if r.policies.hedge.is_none() {
+            return;
+        }
+        while let Some(&std::cmp::Reverse((_, id))) = r.hedges.peek() {
+            if self.flight.instances.contains_key(&id) {
+                break;
+            }
+            r.hedges.pop();
+        }
+        w.cancel_class(EventClass::Hedges);
+        if let Some(&std::cmp::Reverse((t_us, _))) = r.hedges.peek() {
+            w.schedule_at_micros(EventClass::Hedges, t_us);
+        }
+    }
+
+    /// Whether the route's breaker admits a launch right now. Consults
+    /// and advances the breaker state machine: an elapsed open window
+    /// moves to half-open and spends the first probe; half-open spends
+    /// probes until the budget is gone. Always true when no breaker
+    /// policy is installed.
+    fn breaker_admits(&mut self, client: DcId, master: DcId, now: SimTime) -> bool {
+        let Some(r) = &mut self.resilience else {
+            return true;
+        };
+        let Some(policy) = r.policies.breaker else {
+            return true;
+        };
+        let now_us = now.as_micros();
+        let state = r
+            .breakers
+            .entry((client, master))
+            .or_insert(BreakerState::Closed { consecutive: 0 });
+        match *state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until_us } if now_us < until_us => false,
+            BreakerState::Open { .. } => {
+                // Open window elapsed: this launch is the first probe.
+                *state = BreakerState::HalfOpen {
+                    probes_left: policy.probe_ops - 1,
+                };
+                true
+            }
+            BreakerState::HalfOpen { probes_left } if probes_left > 0 => {
+                *state = BreakerState::HalfOpen {
+                    probes_left: probes_left - 1,
+                };
+                true
+            }
+            BreakerState::HalfOpen { .. } => false,
+        }
+    }
+
+    /// Feeds a client-operation failure to the route's breaker: closed
+    /// counts toward the trip threshold, half-open re-opens immediately.
+    fn breaker_on_failure(&mut self, client: DcId, master: DcId, now: SimTime) {
+        let Some(r) = &mut self.resilience else {
+            return;
+        };
+        let Some(policy) = r.policies.breaker else {
+            return;
+        };
+        let state = r
+            .breakers
+            .entry((client, master))
+            .or_insert(BreakerState::Closed { consecutive: 0 });
+        let until_us =
+            (now + gdisim_types::SimDuration::from_secs_f64(policy.open_secs)).as_micros();
+        match *state {
+            BreakerState::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= policy.failure_threshold {
+                    *state = BreakerState::Open { until_us };
+                    self.report.resilience.breaker_trips += 1;
+                } else {
+                    *state = BreakerState::Closed { consecutive };
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                *state = BreakerState::Open { until_us };
+                self.report.resilience.breaker_trips += 1;
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Feeds a client-operation success to the route's breaker: any
+    /// success closes it and clears the consecutive-failure count.
+    fn breaker_on_success(&mut self, client: DcId, master: DcId) {
+        let Some(r) = &mut self.resilience else {
+            return;
+        };
+        if r.policies.breaker.is_none() {
+            return;
+        }
+        if let Some(state) = r.breakers.get_mut(&(client, master)) {
+            *state = BreakerState::Closed { consecutive: 0 };
         }
     }
 
@@ -1748,6 +2576,7 @@ impl Simulation {
                 },
             );
         }
+        let (route_client, route_master) = (binding.client, binding.master);
         let id = self.flight.add_instance(Instance {
             key,
             kind,
@@ -1762,7 +2591,17 @@ impl Simulation {
             chain,
             session,
             volume_bytes,
+            hedge_partner: None,
+            is_hedge_twin: false,
         });
+        // Per-route circuit breaker: an open breaker fails the launch
+        // fast (a local error response) before any message is compiled
+        // or any timer armed. The rejection settles through the normal
+        // fail path, so the retry policy still applies.
+        if kind == InstanceKind::Client && !self.breaker_admits(route_client, route_master, now) {
+            self.fail_instance_with(id, FailCause::Breaker, now);
+            return;
+        }
         // Arm the per-attempt client timeout when a retry policy is set.
         if kind == InstanceKind::Client {
             let deadline = self.faults.as_mut().and_then(|f| {
@@ -1775,6 +2614,17 @@ impl Simulation {
             if let Some(deadline) = deadline {
                 self.gate(EventClass::Timeouts, deadline);
             }
+            // Arm the hedge timer when hedging is on: the twin launches
+            // if this attempt has not settled by then.
+            let fire = self.resilience.as_mut().and_then(|r| {
+                let h = r.policies.hedge?;
+                let fire = now + gdisim_types::SimDuration::from_secs_f64(h.delay_secs);
+                r.hedges.push(std::cmp::Reverse((fire.as_micros(), id)));
+                Some(fire)
+            });
+            if let Some(fire) = fire {
+                self.gate(EventClass::Hedges, fire);
+            }
         }
         self.start_stage(id, now);
     }
@@ -1783,12 +2633,23 @@ impl Simulation {
     /// whose compiled plan is empty (all-zero demands) complete
     /// immediately, which may cascade into further stages.
     fn start_stage(&mut self, inst_id: u64, now: SimTime) {
-        let (range, template, binding) = {
+        let (range, template, binding, shed_depth) = {
             let inst = &self.flight.instances[&inst_id];
+            // Server-side load shedding guards admission: the check
+            // applies to a client operation's first stage only (later
+            // stages are work the system already accepted).
+            let shed_depth = if inst.kind == InstanceKind::Client && inst.stage_idx == 0 {
+                self.resilience
+                    .as_ref()
+                    .and_then(|r| r.policies.shed.map(|s| s.queue_depth))
+            } else {
+                None
+            };
             (
                 inst.stages[inst.stage_idx].clone(),
                 Arc::clone(&inst.template),
                 inst.binding.clone(),
+                shed_depth,
             )
         };
         let mut instant: Vec<u64> = Vec::new();
@@ -1802,6 +2663,32 @@ impl Simulation {
                 &mut self.cache_rng,
                 self.config.load_balancing,
             );
+            if let Some(depth) = shed_depth {
+                let over = plan
+                    .hops
+                    .front()
+                    .is_some_and(|hop| self.infra.component(hop.agent).in_system() > depth);
+                if over {
+                    // Bounced at admission: the first server is already
+                    // over the shed threshold. The compiled plan never
+                    // reaches a station, so release its memory hold and
+                    // settle like a broken stage — under the Shed
+                    // counter, not the fault counters.
+                    if let Some((mem_idx, bytes)) = plan.mem_hold {
+                        self.infra.memories_mut()[mem_idx].release(bytes);
+                    }
+                    for token in instant.drain(..) {
+                        if let Some(state) = self.flight.tokens.remove(&token) {
+                            if let Some((mem_idx, bytes)) = state.plan.mem_hold {
+                                self.infra.memories_mut()[mem_idx].release(bytes);
+                            }
+                            self.report.faults.dropped_messages += 1;
+                        }
+                    }
+                    self.fail_instance_with(inst_id, FailCause::Shed, now);
+                    return;
+                }
+            }
             if plan.broken.is_some() {
                 // Undeliverable stage (no route or no reachable server):
                 // the operation fails. Instant siblings never reached a
@@ -1867,11 +2754,7 @@ impl Simulation {
         } else {
             // A job of a failed operation finishing service: its result
             // is discarded (the work was wasted, which is the point).
-            if self
-                .faults
-                .as_mut()
-                .is_some_and(|f| f.orphans.remove(&token))
-            {
+            if self.orphans.remove(&token) {
                 return;
             }
             debug_assert!(false, "completion for unknown token {token}");
@@ -1922,11 +2805,25 @@ impl Simulation {
     }
 
     fn complete_instance(&mut self, inst_id: u64, now: SimTime) {
+        // Settle the hedged pair first: the completing half wins and
+        // the partner is cancelled quietly. A losing primary's chain
+        // and session migrate onto the winner before it settles.
+        let partner = self
+            .flight
+            .instances
+            .get(&inst_id)
+            .and_then(|i| i.hedge_partner);
+        if let Some(p) = partner {
+            self.cancel_hedge_loser(p, inst_id);
+        }
         let inst = self
             .flight
             .instances
             .remove(&inst_id)
             .expect("instance live");
+        if inst.is_hedge_twin {
+            self.report.resilience.hedge_wins += 1;
+        }
         // Response times are measured from the *first* attempt, so a
         // retried operation reports the full wait the client experienced
         // (identical to `launched_at` when no retry happened).
@@ -1946,10 +2843,13 @@ impl Simulation {
         }
         match inst.kind {
             InstanceKind::Client => {
-                // The completed attempt's timeout entry is now dead;
-                // retire its gate (and any other stale ones) before the
-                // chain's next operation arms a fresh deadline.
+                self.breaker_on_success(inst.binding.client, inst.binding.master);
+                // The completed attempt's timeout and hedge entries are
+                // now dead; retire their gates (and any other stale
+                // ones) before the chain's next operation arms fresh
+                // ones.
                 self.cancel_stale_timeout_gates();
+                self.cancel_stale_hedge_gates();
                 let mut continued = false;
                 if let Some(mut chain) = inst.chain {
                     if !chain.remaining.is_empty() {
@@ -2112,6 +3012,21 @@ impl Simulation {
             self.report.availability.push(t, avail);
             f.interval_ok = 0;
             f.interval_failed = 0;
+        }
+        // Per-component churn records (closed up/down spans only; the
+        // span in progress is credited at its next transition).
+        if let Some(c) = &self.churn {
+            self.report.churn.components = c
+                .components
+                .iter()
+                .map(|x| ChurnComponentRecord {
+                    label: x.label.clone(),
+                    failures: x.failures,
+                    repairs: x.repairs,
+                    up_us: x.up_us,
+                    down_us: x.down_us,
+                })
+                .collect();
         }
         // Interval aggregates are derivable from history; drain to keep
         // the current-interval map empty.

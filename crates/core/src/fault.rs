@@ -30,6 +30,11 @@ use gdisim_types::{SimTime, TierKind};
 use gdisim_workload::RetryPolicy;
 use serde::{Deserialize, Serialize};
 
+// The stochastic counterpart of a hand-written plan lives in
+// [`crate::churn`]; re-exported here so the fault vocabulary is one
+// import.
+pub use crate::churn::{ChurnModel, ChurnModelError, ChurnProcess, DomainMember, FailureDomain};
+
 /// What a fault event targets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FaultTarget {
@@ -150,6 +155,15 @@ pub enum FaultPlanError {
     },
     /// The retry policy's parameters are inconsistent.
     BadRetryPolicy(String),
+    /// An event's action contradicts its target's scheduled state: a
+    /// `Recover` of a target with no prior unmatched `Fail` in
+    /// `(time, declaration)` order.
+    BadOrdering {
+        /// Index of the offending event in the plan.
+        event: usize,
+        /// Readable description of the contradiction.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -163,6 +177,9 @@ impl std::fmt::Display for FaultPlanError {
                 write!(f, "fault event #{event}: invalid time {at_secs} s")
             }
             FaultPlanError::BadRetryPolicy(e) => write!(f, "retry policy: {e}"),
+            FaultPlanError::BadOrdering { event, reason } => {
+                write!(f, "fault event #{event}: {reason}")
+            }
         }
     }
 }
@@ -182,9 +199,10 @@ impl FaultPlan {
         serde_json::from_str(json).map_err(|e| FaultPlanError::Parse(e.to_string()))
     }
 
-    /// Structural validation that needs no topology: event times and the
-    /// retry policy. Target existence is checked by the engine against
-    /// its infrastructure when the plan is installed.
+    /// Structural validation that needs no topology: event times,
+    /// per-target action ordering and the retry policy. Target existence
+    /// is checked by the engine against its infrastructure when the plan
+    /// is installed.
     pub fn validate(&self) -> Result<(), FaultPlanError> {
         for (i, e) in self.events.iter().enumerate() {
             if !e.at_secs.is_finite() || e.at_secs < 0.0 {
@@ -192,6 +210,43 @@ impl FaultPlan {
                     event: i,
                     at_secs: e.at_secs,
                 });
+            }
+        }
+        // Per-target ordering: replay the events in the engine's firing
+        // order — (time, declaration index) — and reject a Recover of a
+        // target that is not down at that point. The engine would only
+        // skip such an event at runtime, but a plan containing one is
+        // almost always a typo (wrong time or wrong target), so it is
+        // rejected up front.
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.events[a]
+                .at_secs
+                .partial_cmp(&self.events[b].at_secs)
+                .expect("times are finite")
+                .then(a.cmp(&b))
+        });
+        let mut down: Vec<&FaultTarget> = Vec::new();
+        for idx in order {
+            let e = &self.events[idx];
+            match e.action {
+                FaultAction::Fail => {
+                    if !down.contains(&&e.target) {
+                        down.push(&e.target);
+                    }
+                }
+                FaultAction::Recover => {
+                    let Some(pos) = down.iter().position(|t| **t == e.target) else {
+                        return Err(FaultPlanError::BadOrdering {
+                            event: idx,
+                            reason: format!(
+                                "recovers {} at {} s, but no earlier event failed it",
+                                e.target, e.at_secs
+                            ),
+                        });
+                    };
+                    down.remove(pos);
+                }
             }
         }
         if let Some(retry) = &self.retry {
@@ -291,6 +346,149 @@ mod tests {
         assert!(matches!(
             plan.validate(),
             Err(FaultPlanError::BadRetryPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_recover_before_fail() {
+        // Plain recover of a never-failed target.
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_secs: 10.0,
+                target: FaultTarget::WanLink {
+                    label: "L A->B".into(),
+                },
+                action: FaultAction::Recover,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::BadOrdering { event: 0, .. })
+        ));
+        // Recover declared before the fail but *timed* after it is fine:
+        // ordering is by firing time, not declaration.
+        let target = FaultTarget::DataCenter { site: "EU".into() };
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at_secs: 20.0,
+                    target: target.clone(),
+                    action: FaultAction::Recover,
+                },
+                FaultEvent {
+                    at_secs: 10.0,
+                    target: target.clone(),
+                    action: FaultAction::Fail,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_ok());
+        // …but a recover timed before its fail is the typo this check
+        // exists for.
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at_secs: 10.0,
+                    target: target.clone(),
+                    action: FaultAction::Recover,
+                },
+                FaultEvent {
+                    at_secs: 20.0,
+                    target,
+                    action: FaultAction::Fail,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::BadOrdering { event: 0, .. })
+        ));
+        // A double recover after one fail: second recover has nothing
+        // left to match.
+        let target = FaultTarget::Server {
+            site: "NA".into(),
+            tier: TierKind::Db,
+            server: 1,
+        };
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at_secs: 1.0,
+                    target: target.clone(),
+                    action: FaultAction::Fail,
+                },
+                FaultEvent {
+                    at_secs: 2.0,
+                    target: target.clone(),
+                    action: FaultAction::Recover,
+                },
+                FaultEvent {
+                    at_secs: 3.0,
+                    target,
+                    action: FaultAction::Recover,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::BadOrdering { event: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_nan_and_negative_retry_parameters() {
+        let base = FaultPlan::outage(
+            FaultTarget::WanLink {
+                label: "L A->B".into(),
+            },
+            5.0,
+            10.0,
+        );
+        for bad in [
+            RetryPolicy {
+                timeout_secs: f64::NAN,
+                ..RetryPolicy::standard()
+            },
+            RetryPolicy {
+                timeout_secs: -3.0,
+                ..RetryPolicy::standard()
+            },
+            RetryPolicy {
+                backoff_base_secs: f64::NAN,
+                ..RetryPolicy::standard()
+            },
+            RetryPolicy {
+                backoff_base_secs: -1.0,
+                ..RetryPolicy::standard()
+            },
+            RetryPolicy {
+                backoff_factor: f64::NAN,
+                ..RetryPolicy::standard()
+            },
+            RetryPolicy {
+                backoff_cap_secs: f64::NEG_INFINITY,
+                ..RetryPolicy::standard()
+            },
+        ] {
+            let plan = FaultPlan {
+                retry: Some(bad),
+                ..base.clone()
+            };
+            assert!(
+                matches!(plan.validate(), Err(FaultPlanError::BadRetryPolicy(_))),
+                "accepted bad retry policy {bad:?}"
+            );
+        }
+        // NaN event times are BadTime, not an ordering artifact.
+        let mut plan = base;
+        plan.events[0].at_secs = f64::NAN;
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::BadTime { event: 0, .. })
         ));
     }
 

@@ -67,6 +67,13 @@ pub struct Instance {
     pub session: Option<u64>,
     /// Background volume (bytes) for reporting, zero for client ops.
     pub volume_bytes: f64,
+    /// The other half of a hedged pair, when one is live: the twin's id
+    /// on the primary, the primary's id on the twin. Whichever half
+    /// settles first quiet-cancels the partner through this link.
+    pub hedge_partner: Option<u64>,
+    /// Whether this instance is the re-issued copy (the hedge twin).
+    /// Twins never arm their own hedge timer.
+    pub is_hedge_twin: bool,
 }
 
 /// Per-token state: which instance a completed hop belongs to and what
@@ -187,6 +194,8 @@ mod tests {
             chain: None,
             session: None,
             volume_bytes: 0.0,
+            hedge_partner: None,
+            is_hedge_twin: false,
         };
         let a = ft.add_instance(inst);
         let tok = ft.add_token(a, MessagePlan::default());

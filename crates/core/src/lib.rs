@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -25,9 +26,10 @@ pub mod scenarios;
 pub mod trace;
 pub mod wheel;
 
+pub use churn::{ChurnModel, ChurnModelError, ChurnProcess, DomainMember, FailureDomain};
 pub use config::{MasterPolicy, SimulationConfig};
 pub use engine::{Simulation, TrafficSource};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanError, FaultTarget, InFlightPolicy};
-pub use report::{BackgroundRecord, FaultStats, Report, TierKey};
+pub use report::{BackgroundRecord, FaultStats, Report, ResilienceStats, TierKey};
 pub use trace::{DroppedCounts, TraceEvent, TraceLog};
 pub use wheel::{EventClass, TimerWheel};

@@ -54,6 +54,89 @@ pub struct FaultStats {
     pub skipped_events: u64,
 }
 
+/// Counters accumulated by the resilience policy layer (circuit
+/// breakers, hedged requests, load shedding). All-zero unless policies
+/// are installed. Sheds and breaker rejections are deliberately *not*
+/// folded into [`FaultStats::failed_operations`] — they are policy
+/// decisions, not infrastructure faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Hedge twins launched (an attempt outlived its hedge delay).
+    pub hedges_launched: u64,
+    /// Hedged operations whose *twin* answered first.
+    pub hedge_wins: u64,
+    /// Hedge losers cancelled quietly (either half, after the other
+    /// settled the operation).
+    pub hedges_cancelled: u64,
+    /// Messages orphaned by quiet hedge cancellation.
+    pub hedge_cancelled_messages: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_trips: u64,
+    /// Launches rejected fast by an open (or probe-exhausted half-open)
+    /// breaker.
+    pub breaker_rejections: u64,
+    /// Client operations bounced by server-side load shedding.
+    pub shed_operations: u64,
+}
+
+/// Per-churn-component availability bookkeeping: completed up/down
+/// spans, from which measured MTTF/MTTR are derived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnComponentRecord {
+    /// The component's label (`server App#0@NA`, `link 'L NA->EU'`,
+    /// `domain 'rack-0'`).
+    pub label: String,
+    /// Failure incidents actually applied to this component.
+    pub failures: u64,
+    /// Completed repairs.
+    pub repairs: u64,
+    /// Simulated microseconds spent up across *completed* up spans
+    /// (install/repair → next failure).
+    pub up_us: u64,
+    /// Simulated microseconds spent down across completed down spans
+    /// (failure → repair).
+    pub down_us: u64,
+}
+
+impl ChurnComponentRecord {
+    /// Measured mean time to failure in seconds (completed up spans
+    /// only), `None` before the first failure.
+    pub fn mttf_secs(&self) -> Option<f64> {
+        (self.failures > 0).then(|| self.up_us as f64 / 1e6 / self.failures as f64)
+    }
+
+    /// Measured mean time to repair in seconds (completed down spans
+    /// only), `None` before the first repair.
+    pub fn mttr_secs(&self) -> Option<f64> {
+        (self.repairs > 0).then(|| self.down_us as f64 / 1e6 / self.repairs as f64)
+    }
+}
+
+/// Aggregate churn-engine accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnStats {
+    /// Failure incidents applied (at least one target went down).
+    pub incidents: u64,
+    /// Completed repairs.
+    pub repairs: u64,
+    /// Incidents where every target refused to fail (e.g. the last
+    /// healthy server of a tier); the component stayed up.
+    pub refused_incidents: u64,
+    /// Per-component records, in the engine's canonical component
+    /// order (WAN links, then servers, then domains).
+    pub components: Vec<ChurnComponentRecord>,
+}
+
+/// A scheduled health event that could not be applied at runtime (e.g.
+/// its target disappeared); recorded instead of aborting the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEventError {
+    /// When the event fired.
+    pub at: SimTime,
+    /// The infrastructure layer's description of the failure.
+    pub reason: String,
+}
+
 /// The full simulation report.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -90,6 +173,18 @@ pub struct Report {
     pub degraded_windows: Vec<(SimTime, SimTime)>,
     /// Start of a degraded window still open when the run ended.
     pub degraded_since: Option<SimTime>,
+    /// Resilience policy counters. All-zero unless policies are
+    /// installed.
+    pub resilience: ResilienceStats,
+    /// Churn-engine accounting (measured MTTF/MTTR per component).
+    /// Empty unless a churn model is installed.
+    pub churn: ChurnStats,
+    /// Availability SLO target from the churn model, enabling
+    /// [`Report::error_budget_burn`].
+    pub slo_target: Option<f64>,
+    /// Scheduled health events that failed to apply (the run continues;
+    /// see `Simulation::schedule_health_event`).
+    pub health_errors: Vec<HealthEventError>,
 }
 
 impl Report {
@@ -147,6 +242,36 @@ impl Report {
             }
         }
         (healthy, degraded)
+    }
+
+    /// Error-budget burn per availability window: each sample of the
+    /// [`Report::availability`] series mapped to
+    /// `(1 - availability) / (1 - slo_target)` — burn 1.0 means the
+    /// window consumed exactly its share of the budget, > 1.0 means it
+    /// overdrew. `None` without an SLO target or availability series.
+    pub fn error_budget_burn(&self) -> Option<TimeSeries> {
+        let slo = self.slo_target?;
+        if self.availability.is_empty() {
+            return None;
+        }
+        let budget = 1.0 - slo;
+        let mut burn = TimeSeries::new();
+        for (&t, &a) in self
+            .availability
+            .times()
+            .iter()
+            .zip(self.availability.values().iter())
+        {
+            burn.push(t, (1.0 - a) / budget);
+        }
+        Some(burn)
+    }
+
+    /// Mean error-budget burn over the whole run (1.0 = exactly on
+    /// budget). `None` without an SLO target or availability series.
+    pub fn total_error_budget_burn(&self) -> Option<f64> {
+        let burn = self.error_budget_burn()?;
+        Some(burn.values().iter().sum::<f64>() / burn.len() as f64)
     }
 
     /// The response-time *series* of one operation key: completions
@@ -231,6 +356,46 @@ mod tests {
         let (healthy, degraded) = r.response_split(key);
         assert_eq!(healthy.len(), 1);
         assert_eq!(degraded.len(), 2);
+    }
+
+    #[test]
+    fn churn_component_derives_mttf_mttr() {
+        let rec = ChurnComponentRecord {
+            label: "link 'L NA->EU'".into(),
+            failures: 4,
+            repairs: 2,
+            up_us: 4_000_000_000,
+            down_us: 60_000_000,
+        };
+        assert_eq!(rec.mttf_secs(), Some(1000.0));
+        assert_eq!(rec.mttr_secs(), Some(30.0));
+        let fresh = ChurnComponentRecord {
+            label: "x".into(),
+            failures: 0,
+            repairs: 0,
+            up_us: 0,
+            down_us: 0,
+        };
+        assert_eq!(fresh.mttf_secs(), None);
+        assert_eq!(fresh.mttr_secs(), None);
+    }
+
+    #[test]
+    fn error_budget_burn_normalizes_availability() {
+        let mut r = Report::new();
+        assert!(r.error_budget_burn().is_none(), "no SLO target");
+        r.slo_target = Some(0.99);
+        assert!(r.error_budget_burn().is_none(), "no availability series");
+        r.availability.push(SimTime::from_secs(60), 1.0);
+        r.availability.push(SimTime::from_secs(120), 0.99);
+        r.availability.push(SimTime::from_secs(180), 0.97);
+        let burn = r.error_budget_burn().unwrap();
+        assert_eq!(burn.len(), 3);
+        assert!((burn.values()[0] - 0.0).abs() < 1e-9, "perfect window");
+        assert!((burn.values()[1] - 1.0).abs() < 1e-9, "exactly on budget");
+        assert!((burn.values()[2] - 3.0).abs() < 1e-9, "3x overdraw");
+        let total = r.total_error_budget_burn().unwrap();
+        assert!((total - 4.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

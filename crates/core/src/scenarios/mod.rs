@@ -10,6 +10,7 @@
 //! Every builder returns a fully wired [`crate::Simulation`]; the
 //! experiment binaries in `gdisim-bench` only run them and print tables.
 
+pub mod churned;
 pub mod consolidated;
 pub mod faulted;
 pub mod multimaster;

@@ -63,6 +63,15 @@ pub enum TraceEvent {
         /// when the operation was abandoned.
         will_retry: bool,
     },
+    /// A stochastic churn incident transitioned a component.
+    Churn {
+        /// Churn component index, in the engine's canonical order.
+        component: u32,
+        /// The component's incident counter at the transition.
+        incident: u64,
+        /// True for a failure, false for a repair.
+        fail: bool,
+    },
 }
 
 impl TraceEvent {
@@ -75,6 +84,7 @@ impl TraceEvent {
             TraceEvent::OperationDone { .. } => 3,
             TraceEvent::Fault { .. } => 4,
             TraceEvent::OperationFailed { .. } => 5,
+            TraceEvent::Churn { .. } => 6,
         }
     }
 
@@ -126,18 +136,30 @@ impl TraceEvent {
                     instance, will_retry
                 );
             }
+            TraceEvent::Churn {
+                component,
+                incident,
+                fail,
+            } => {
+                let _ = write!(
+                    out,
+                    r#""component":{},"incident":{},"fail":{}"#,
+                    component, incident, fail
+                );
+            }
         }
     }
 }
 
 /// Snake_case kind names indexed by [`TraceEvent::kind_index`].
-const KIND_LABELS: [&str; 6] = [
+const KIND_LABELS: [&str; 7] = [
     "launch",
     "hop",
     "message_done",
     "operation_done",
     "fault",
     "operation_failed",
+    "churn",
 ];
 
 /// Formats an `f64` the way the workspace's JSON writer does: integral
@@ -170,6 +192,8 @@ pub struct DroppedCounts {
     pub faults: u64,
     /// Dropped [`TraceEvent::OperationFailed`] events.
     pub operations_failed: u64,
+    /// Dropped [`TraceEvent::Churn`] events.
+    pub churn: u64,
 }
 
 impl DroppedCounts {
@@ -181,11 +205,12 @@ impl DroppedCounts {
             + self.operations_done
             + self.faults
             + self.operations_failed
+            + self.churn
     }
 
     /// `(label, count)` pairs for every kind, in declaration order —
     /// what the CLI summary prints.
-    pub fn by_kind(&self) -> [(&'static str, u64); 6] {
+    pub fn by_kind(&self) -> [(&'static str, u64); 7] {
         [
             ("launches", self.launches),
             ("hops", self.hops),
@@ -193,6 +218,7 @@ impl DroppedCounts {
             ("operations done", self.operations_done),
             ("faults", self.faults),
             ("operations failed", self.operations_failed),
+            ("churn", self.churn),
         ]
     }
 }
@@ -203,10 +229,10 @@ pub struct TraceLog {
     events: Vec<(SimTime, TraceEvent)>,
     capacity: usize,
     /// Drop counters indexed by [`TraceEvent::kind_index`].
-    dropped: [u64; 6],
+    dropped: [u64; 7],
     /// Timestamp of the first drop per kind — *when* the microscope went
     /// dark for that kind, not just how much it missed.
-    first_dropped: [Option<SimTime>; 6],
+    first_dropped: [Option<SimTime>; 7],
 }
 
 impl TraceLog {
@@ -215,8 +241,8 @@ impl TraceLog {
         TraceLog {
             events: Vec::with_capacity(capacity.min(1 << 20)),
             capacity,
-            dropped: [0; 6],
-            first_dropped: [None; 6],
+            dropped: [0; 7],
+            first_dropped: [None; 7],
         }
     }
 
@@ -250,13 +276,14 @@ impl TraceLog {
             operations_done: self.dropped[3],
             faults: self.dropped[4],
             operations_failed: self.dropped[5],
+            churn: self.dropped[6],
         }
     }
 
     /// Timestamp of the first dropped event of each kind, `(label,
     /// time)` in kind order; `None` when no event of the kind was ever
     /// dropped.
-    pub fn first_dropped_by_kind(&self) -> [(&'static str, Option<SimTime>); 6] {
+    pub fn first_dropped_by_kind(&self) -> [(&'static str, Option<SimTime>); 7] {
         [
             ("launch", self.first_dropped[0]),
             ("hop", self.first_dropped[1]),
@@ -264,6 +291,7 @@ impl TraceLog {
             ("operation_done", self.first_dropped[3]),
             ("fault", self.first_dropped[4]),
             ("operation_failed", self.first_dropped[5]),
+            ("churn", self.first_dropped[6]),
         ]
     }
 
@@ -314,7 +342,9 @@ impl TraceLog {
                 | TraceEvent::MessageDone { instance: i, .. }
                 | TraceEvent::OperationDone { instance: i, .. }
                 | TraceEvent::OperationFailed { instance: i, .. } => *i == instance,
-                TraceEvent::Hop { .. } | TraceEvent::Fault { .. } => false,
+                TraceEvent::Hop { .. } | TraceEvent::Fault { .. } | TraceEvent::Churn { .. } => {
+                    false
+                }
             })
             .copied()
             .collect()
@@ -413,6 +443,14 @@ mod tests {
                 will_retry: true,
             },
         );
+        log.record(
+            SimTime::from_secs(5),
+            TraceEvent::Churn {
+                component: 0,
+                incident: 0,
+                fail: true,
+            },
+        );
 
         let by_kind = log.dropped_by_kind();
         assert_eq!(by_kind.launches, 1);
@@ -421,7 +459,8 @@ mod tests {
         assert_eq!(by_kind.operations_done, 1);
         assert_eq!(by_kind.faults, 1);
         assert_eq!(by_kind.operations_failed, 1);
-        assert_eq!(by_kind.total(), 8);
+        assert_eq!(by_kind.churn, 1);
+        assert_eq!(by_kind.total(), 9);
         assert_eq!(log.dropped(), by_kind.total());
         let printed: u64 = by_kind.by_kind().iter().map(|(_, n)| n).sum();
         assert_eq!(printed, by_kind.total());

@@ -70,10 +70,14 @@ const CLASSES: usize = EventClass::ALL.len();
 /// phase 1, in the order they run there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventClass {
+    /// Stochastic churn incidents (`apply_churn_events`).
+    Churn,
     /// Fault-plan events (`apply_fault_events`).
     Faults,
     /// Client retry backoffs (`launch_due_retries`).
     Retries,
+    /// Hedge-delay expiries (`launch_due_hedges`).
+    Hedges,
     /// Per-attempt operation timeouts (`reap_timeouts`).
     Timeouts,
     /// Scheduled link/server health events (`apply_link_events`).
@@ -88,9 +92,11 @@ pub enum EventClass {
 
 impl EventClass {
     /// All classes, in phase-1 drain order.
-    pub const ALL: [EventClass; 7] = [
+    pub const ALL: [EventClass; 9] = [
+        EventClass::Churn,
         EventClass::Faults,
         EventClass::Retries,
+        EventClass::Hedges,
         EventClass::Timeouts,
         EventClass::Health,
         EventClass::SessionWakes,
@@ -106,8 +112,10 @@ impl EventClass {
     /// Stable snake_case name for export artifacts.
     pub fn label(self) -> &'static str {
         match self {
+            EventClass::Churn => "churn",
             EventClass::Faults => "faults",
             EventClass::Retries => "retries",
+            EventClass::Hedges => "hedges",
             EventClass::Timeouts => "timeouts",
             EventClass::Health => "health",
             EventClass::SessionWakes => "session_wakes",
@@ -519,7 +527,7 @@ mod tests {
                 x ^= x >> 7;
                 x ^= x << 17;
                 let tick = 1 + x % (2 * FRAME + 5000);
-                let class = EventClass::ALL[(i % 7) as usize];
+                let class = EventClass::ALL[(i as usize) % EventClass::ALL.len()];
                 w.schedule(class, at(tick));
             }
             w.schedule(EventClass::Health, at(3)); // near event

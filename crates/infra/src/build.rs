@@ -510,6 +510,12 @@ impl Infrastructure {
         &mut self.components[id.index()].component
     }
 
+    /// Read-only view of one component — e.g. queue-depth inspection
+    /// for load shedding, which must not disturb the agent's state.
+    pub fn component(&self, id: AgentId) -> &Component {
+        &self.components[id.index()].component
+    }
+
     /// Reporting metadata of one agent.
     pub fn meta(&self, id: AgentId) -> &ComponentMeta {
         &self.metas[id.index()]

@@ -98,7 +98,7 @@ mod tests {
     use super::*;
     use crate::profiler::{StepProfiler, NUM_CLASSES, PHASE_ADVANCE, PHASE_DRAIN};
 
-    const LABELS: [&str; NUM_CLASSES] = ["a", "b", "c", "d", "e", "f", "g"];
+    const LABELS: [&str; NUM_CLASSES] = ["a", "b", "c", "d", "e", "f", "g", "h", "i"];
 
     #[test]
     fn document_has_required_keys_and_parses() {

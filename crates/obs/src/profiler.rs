@@ -31,7 +31,7 @@ pub const PHASE_NAMES: [&str; NUM_PHASES] = ["drain", "advance", "route", "colle
 
 /// Number of phase-1 drain classes the profiler tracks. Must equal the
 /// engine's `EventClass::ALL.len()` (pinned by a test in `core`).
-pub const NUM_CLASSES: usize = 7;
+pub const NUM_CLASSES: usize = 9;
 
 /// Per-event-class drain accounting over a run.
 ///
@@ -317,7 +317,7 @@ mod tests {
     fn phases_sum_exactly_to_step_total() {
         let mut p = StepProfiler::new();
         run_steps(&mut p, 50);
-        let profile = p.profile(&["a", "b", "c", "d", "e", "f", "g"]);
+        let profile = p.profile(&["a", "b", "c", "d", "e", "f", "g", "h", "i"]);
         assert_eq!(profile.steps, 50);
         // The step histogram's exact sum equals the phase totals' sum:
         // marks are contiguous, so no wall time is unattributed.
@@ -333,7 +333,7 @@ mod tests {
         let mut p = StepProfiler::with_span_capacity(6);
         run_steps(&mut p, 3); // 12 spans attempted
         assert_eq!(p.spans().len(), 6);
-        let profile = p.profile(&["a", "b", "c", "d", "e", "f", "g"]);
+        let profile = p.profile(&["a", "b", "c", "d", "e", "f", "g", "h", "i"]);
         assert_eq!(profile.spans_recorded, 6);
         assert_eq!(profile.spans_dropped, 6);
         // Spans are ordered and contiguous within a step.
@@ -371,7 +371,7 @@ mod tests {
         let mut p = StepProfiler::new();
         p.sample_occupancy(1.0, 12.0);
         p.sample_occupancy(2.0, 15.0);
-        let profile = p.profile(&["a", "b", "c", "d", "e", "f", "g"]);
+        let profile = p.profile(&["a", "b", "c", "d", "e", "f", "g", "h", "i"]);
         assert_eq!(profile.occupancy_series, vec![(1.0, 12.0), (2.0, 15.0)]);
     }
 }

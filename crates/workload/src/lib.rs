@@ -20,7 +20,9 @@
 //! * [`ownership`] — access-pattern matrices and data ownership
 //!   (Tables 7.1/7.2, §7.2.1);
 //! * [`retry`] — client-side timeouts and exponential-backoff retry
-//!   policies for fault-injection runs.
+//!   policies for fault-injection runs;
+//! * [`resilience`] — circuit breakers, hedged requests and load
+//!   shedding for churn runs.
 
 #![warn(missing_docs)]
 
@@ -28,6 +30,7 @@ pub mod cascade;
 pub mod catalog;
 pub mod diurnal;
 pub mod ownership;
+pub mod resilience;
 pub mod retry;
 pub mod series;
 pub mod shape;
@@ -38,6 +41,7 @@ pub use diurnal::{
     AppWorkload, ArrivalSampler, DiurnalCurve, HourlyTable, PopulationCurve, SiteLoad,
 };
 pub use ownership::AccessPatternMatrix;
+pub use resilience::{BreakerPolicy, HedgePolicy, ResiliencePolicies, ShedPolicy};
 pub use retry::RetryPolicy;
 pub use series::{SeriesKind, CANONICAL_DURATIONS};
 pub use shape::{OperationShape, RateCard, StepShape};

@@ -1,0 +1,315 @@
+//! Churn-engine and resilience-layer equivalence tests.
+//!
+//! The churn engine draws every incident from its own counter-based RNG
+//! stream keyed by `(component, incident)` over a dedicated churn seed,
+//! so churn can never perturb the traffic streams. These tests pin the
+//! two guarantees that design buys:
+//!
+//! * **no-op installs are invisible** — a run with an *empty* churn
+//!   model and an *all-disabled* resilience bundle installed is
+//!   bit-identical to a run with neither, across all three executors,
+//!   down to the message-level hop trace;
+//! * **active churn is deterministic** — two runs with the same seeds
+//!   produce byte-identical reports and hop traces, and serial /
+//!   scatter-gather / hierarchical-dispatch executors all agree.
+//!
+//! A final set of activity tests keeps the suite honest (churn actually
+//! fails components; hedges, breakers and shedding actually engage).
+
+use gdisim_core::scenarios::churned;
+use gdisim_core::{ChurnModel, ChurnProcess};
+use gdisim_ports::Executor;
+use gdisim_types::SimTime;
+use gdisim_workload::{BreakerPolicy, HedgePolicy, ResiliencePolicies, RetryPolicy, ShedPolicy};
+use proptest::prelude::*;
+
+fn executor_for(choice: usize) -> Executor {
+    match choice {
+        0 => Executor::serial(),
+        1 => Executor::scatter_gather(4),
+        _ => Executor::hdispatch(4, 16),
+    }
+}
+
+/// A "hot" churn model scaled so a few simulated minutes see many
+/// incidents: every server fails about every two minutes and repairs in
+/// ~20 s, links a bit slower. `Drop` strands in-flight work until the
+/// 30 s timeout reaps it.
+fn hot_churn_model() -> ChurnModel {
+    ChurnModel {
+        seed: 11,
+        servers: Some(ChurnProcess {
+            mtbf_secs: 120.0,
+            mttr_secs: 20.0,
+            fail_shape: Some(1.5),
+            repair_shape: None,
+        }),
+        wan_links: Some(ChurnProcess {
+            mtbf_secs: 240.0,
+            mttr_secs: 15.0,
+            fail_shape: None,
+            repair_shape: None,
+        }),
+        domains: vec![],
+        in_flight: Some(gdisim_core::InFlightPolicy::Drop),
+        retry: Some(RetryPolicy {
+            timeout_secs: 30.0,
+            max_retries: 3,
+            backoff_base_secs: 1.0,
+            backoff_factor: 2.0,
+            backoff_cap_secs: 10.0,
+        }),
+        slo_target: Some(0.99),
+    }
+}
+
+/// The full resilience bundle, tuned to actually engage under
+/// [`hot_churn_model`] within a short horizon.
+fn hot_resilience() -> ResiliencePolicies {
+    ResiliencePolicies {
+        hedge: Some(HedgePolicy { delay_secs: 10.0 }),
+        breaker: Some(BreakerPolicy {
+            failure_threshold: 2,
+            open_secs: 20.0,
+            probe_ops: 1,
+        }),
+        shed: Some(ShedPolicy { queue_depth: 4 }),
+    }
+}
+
+/// Everything a run observes — response histories, utilization series,
+/// client series, fault + resilience + churn counters, and the rendered
+/// message-level trace with its drop counter.
+type Signature = (
+    Vec<(String, Vec<(SimTime, f64)>)>,
+    Vec<(String, Vec<f64>)>,
+    Vec<f64>,
+    Vec<u64>,
+    Vec<String>,
+    u64,
+);
+
+/// What to install on top of the bare `churned` scenario build.
+#[derive(Clone, Copy)]
+enum Install {
+    /// Neither a churn model nor resilience policies.
+    Nothing,
+    /// An empty model and an all-disabled bundle — must be a no-op.
+    EmptyNoOps,
+    /// The hot model and full bundle — active churn.
+    Hot,
+}
+
+fn run(seed: u64, executor: usize, horizon_secs: u64, install: Install) -> Signature {
+    let mut sim = churned::build(seed);
+    sim.set_executor(executor_for(executor));
+    sim.enable_trace(20_000);
+    match install {
+        Install::Nothing => {}
+        Install::EmptyNoOps => {
+            sim.set_churn_model(ChurnModel::default())
+                .expect("empty model always installs");
+            sim.set_resilience(ResiliencePolicies::default())
+                .expect("all-disabled bundle always installs");
+        }
+        Install::Hot => {
+            sim.set_churn_model(hot_churn_model())
+                .expect("hot model matches the churned topology");
+            sim.set_resilience(hot_resilience())
+                .expect("hot bundle is valid");
+        }
+    }
+    sim.run_until(SimTime::from_secs(horizon_secs));
+    let report = sim.report();
+    let responses: Vec<_> = report
+        .responses
+        .history_keys()
+        .map(|k| (format!("{k:?}"), report.responses.history(k).to_vec()))
+        .collect();
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for ((dc, tier), s) in &report.tier_cpu {
+        series.push((format!("cpu {dc}/{tier}"), s.values().to_vec()));
+    }
+    for ((dc, tier), s) in &report.tier_disk {
+        series.push((format!("disk {dc}/{tier}"), s.values().to_vec()));
+    }
+    for (label, s) in &report.wan_util {
+        series.push((format!("wan {label}"), s.values().to_vec()));
+    }
+    let trace = sim.trace().expect("trace enabled");
+    let hops: Vec<String> = trace
+        .events()
+        .iter()
+        .map(|(t, e)| format!("{t:?} {e:?}"))
+        .collect();
+    let dropped = trace.dropped();
+    let f = &report.faults;
+    let r = &report.resilience;
+    let c = &report.churn;
+    let counters = vec![
+        f.failed_operations,
+        f.retried_operations,
+        f.abandoned_operations,
+        f.dropped_messages,
+        f.skipped_events,
+        r.hedges_launched,
+        r.hedge_wins,
+        r.hedges_cancelled,
+        r.hedge_cancelled_messages,
+        r.breaker_trips,
+        r.breaker_rejections,
+        r.shed_operations,
+        c.incidents,
+        c.repairs,
+        c.refused_incidents,
+        c.components.len() as u64,
+    ];
+    (
+        responses,
+        series,
+        report.concurrent_clients.values().to_vec(),
+        counters,
+        hops,
+        dropped,
+    )
+}
+
+fn assert_signatures_match(a: &Signature, b: &Signature) {
+    assert_eq!(a.0, b.0, "responses diverged");
+    assert_eq!(a.1, b.1, "utilization diverged");
+    assert_eq!(a.2, b.2, "clients diverged");
+    assert_eq!(a.3, b.3, "counters diverged");
+    assert_eq!(a.4, b.4, "hop traces diverged");
+    assert_eq!(a.5, b.5, "trace drop counts diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Installing an empty churn model *and* an all-disabled resilience
+    /// bundle must be a pure no-op: for random seeds, horizons and
+    /// executors the run is bit-identical to one with neither installed,
+    /// down to the hop trace.
+    #[test]
+    fn empty_model_and_disabled_policies_are_bit_identical(
+        seed in 0u64..1_000,
+        horizon_secs in 60u64..120,
+        executor in 0usize..3,
+    ) {
+        let plain = run(seed, executor, horizon_secs, Install::Nothing);
+        let noop = run(seed, executor, horizon_secs, Install::EmptyNoOps);
+        prop_assert_eq!(&plain.0, &noop.0, "responses diverged");
+        prop_assert_eq!(&plain.1, &noop.1, "utilization diverged");
+        prop_assert_eq!(&plain.2, &noop.2, "clients diverged");
+        prop_assert_eq!(&plain.3, &noop.3, "counters diverged");
+        prop_assert_eq!(&plain.4, &noop.4, "hop traces diverged");
+        prop_assert_eq!(plain.5, noop.5, "trace drop counts diverged");
+    }
+
+    /// Active churn with the full resilience bundle is deterministic:
+    /// two runs with identical seeds produce byte-identical signatures,
+    /// for random seeds and executors.
+    #[test]
+    fn active_churn_same_seed_runs_are_byte_identical(
+        seed in 0u64..1_000,
+        executor in 0usize..3,
+    ) {
+        let first = run(seed, executor, 150, Install::Hot);
+        let second = run(seed, executor, 150, Install::Hot);
+        prop_assert_eq!(&first.0, &second.0, "responses diverged");
+        prop_assert_eq!(&first.1, &second.1, "utilization diverged");
+        prop_assert_eq!(&first.2, &second.2, "clients diverged");
+        prop_assert_eq!(&first.3, &second.3, "counters diverged");
+        prop_assert_eq!(&first.4, &second.4, "hop traces diverged");
+        prop_assert_eq!(first.5, second.5, "trace drop counts diverged");
+    }
+}
+
+/// Active churn agrees across executors: serial, scatter-gather and
+/// hierarchical dispatch produce the same signature for the same seeds.
+#[test]
+fn active_churn_agrees_across_executors() {
+    let serial = run(42, 0, 240, Install::Hot);
+    let sg = run(42, 1, 240, Install::Hot);
+    let hd = run(42, 2, 240, Install::Hot);
+    assert_signatures_match(&serial, &sg);
+    assert_signatures_match(&serial, &hd);
+}
+
+/// The determinism tests are not vacuous: the hot model actually churns
+/// within the test horizon.
+#[test]
+fn hot_model_actually_churns() {
+    let sig = run(42, 0, 240, Install::Hot);
+    let incidents = sig.3[12];
+    let repairs = sig.3[13];
+    assert!(incidents > 0, "no churn incidents within the horizon");
+    assert!(repairs > 0, "no churn repairs within the horizon");
+}
+
+/// Hedged requests actually engage under the hot model: twins are
+/// launched, losers are quietly cancelled, and at least one stranded
+/// primary is rescued by its twin.
+#[test]
+fn hedges_engage_under_hot_churn() {
+    let mut sim = churned::build(42);
+    sim.set_churn_model(hot_churn_model())
+        .expect("hot model installs");
+    sim.set_resilience(ResiliencePolicies {
+        hedge: Some(HedgePolicy { delay_secs: 10.0 }),
+        breaker: None,
+        shed: None,
+    })
+    .expect("hedge-only bundle installs");
+    sim.run_until(SimTime::from_secs(600));
+    let r = &sim.report().resilience;
+    assert!(r.hedges_launched > 0, "no hedge twins launched");
+    assert!(r.hedges_cancelled > 0, "no hedge losers cancelled");
+    assert!(
+        r.hedge_wins > 0,
+        "no twin ever rescued a stranded primary: {r:?}"
+    );
+}
+
+/// Circuit breakers actually engage: with a threshold of 1 every churn
+/// failure trips its route open, and launches during the open window
+/// are rejected fast.
+#[test]
+fn breakers_engage_under_hot_churn() {
+    let mut sim = churned::build(42);
+    sim.set_churn_model(hot_churn_model())
+        .expect("hot model installs");
+    sim.set_resilience(ResiliencePolicies {
+        hedge: None,
+        breaker: Some(BreakerPolicy {
+            failure_threshold: 1,
+            open_secs: 30.0,
+            probe_ops: 1,
+        }),
+        shed: None,
+    })
+    .expect("breaker-only bundle installs");
+    sim.run_until(SimTime::from_secs(600));
+    let r = &sim.report().resilience;
+    assert!(r.breaker_trips > 0, "no breaker ever tripped: {r:?}");
+    assert!(
+        r.breaker_rejections > 0,
+        "no launch was ever fast-rejected: {r:?}"
+    );
+}
+
+/// Load shedding actually engages: with a queue depth of 1 the first
+/// busy server bounces new work, counted separately from faults.
+#[test]
+fn shedding_engages_at_tiny_queue_depth() {
+    let mut sim = churned::build(42);
+    sim.set_resilience(ResiliencePolicies {
+        hedge: None,
+        breaker: None,
+        shed: Some(ShedPolicy { queue_depth: 1 }),
+    })
+    .expect("shed-only bundle installs");
+    sim.run_until(SimTime::from_secs(600));
+    let r = &sim.report().resilience;
+    assert!(r.shed_operations > 0, "no operation was ever shed: {r:?}");
+}

@@ -102,8 +102,10 @@ fn unknown_targets_are_rejected_at_install_time() {
     }
 }
 
-/// Redundant events — failing a component twice, recovering a healthy
-/// one — are counted as skipped, never applied and never panicked on.
+/// Redundant events that survive validation — failing a component twice
+/// — are counted as skipped, never applied and never panicked on.
+/// (Recovering a never-failed target no longer reaches the runtime: it
+/// is rejected up front as [`FaultPlanError::BadOrdering`].)
 #[test]
 fn redundant_events_are_skipped_not_applied() {
     let link = || FaultTarget::WanLink {
@@ -116,7 +118,6 @@ fn redundant_events_are_skipped_not_applied() {
     };
     let plan = FaultPlan {
         events: vec![
-            event(1.0, FaultAction::Recover), // recover a healthy link
             event(2.0, FaultAction::Fail),
             event(3.0, FaultAction::Fail), // double fail
             event(4.0, FaultAction::Recover),
@@ -127,7 +128,7 @@ fn redundant_events_are_skipped_not_applied() {
     sim.set_fault_plan(plan).expect("targets are valid");
     sim.run_until(SimTime::from_secs(6));
     let report = sim.report();
-    assert_eq!(report.faults.skipped_events, 2);
+    assert_eq!(report.faults.skipped_events, 1);
     assert_eq!(
         report.degraded_windows,
         vec![(SimTime::from_secs(2), SimTime::from_secs(4))]

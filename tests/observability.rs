@@ -292,7 +292,7 @@ fn jsonl_export_parses_line_by_line_with_drop_trailer() {
         .get("dropped_by_kind")
         .and_then(|d| d.as_object())
         .expect("dropped_by_kind object");
-    assert_eq!(by_kind.len(), 6, "all six event kinds reported");
+    assert_eq!(by_kind.len(), 7, "all seven event kinds reported");
     for (kind, entry) in by_kind {
         assert!(
             entry.get("count").is_some(),
