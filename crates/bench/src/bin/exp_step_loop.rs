@@ -31,19 +31,31 @@
 //! machine-readable `results/BENCH_step_loop.json` records wall-ms per
 //! simulated second for both loops per scenario × executor.
 //!
+//! A second table covers the **sharded engine** (one shard per DC with
+//! conservative WAN lookahead, DESIGN.md §4.6): serial wheel-mode vs
+//! `ShardedSimulation` at several shard × worker combinations, with the
+//! cross-shard mailbox volume alongside. Those rows land in the
+//! `"sharded"` key of `results/BENCH_step_loop.json` and in
+//! `results/BENCH_step_loop_sharded.csv`.
+//!
 //! `--check` runs the CI smoke assertions instead of the timed
 //! benchmark: stale-gate no-op drains on the consolidated run must stay
 //! within 10% of their pre-cancellation baseline, Scatter-Gather's
 //! indexed dispatch must stay range-batched (not one item per agent),
-//! the fault-plan churn scenario must actually cancel gates, and the
+//! the fault-plan churn scenario must actually cancel gates, the
 //! stochastic churn run must apply incidents while keeping its Churn
-//! drains wheel-gated.
+//! drains wheel-gated, and the sharded consolidated run must exchange
+//! mailbox traffic with **zero** ordering violations (sequence gaps).
+//! On hosts with at least 4 cores the sharded run must also beat the
+//! serial engine by ≥ 1.5×; on smaller hosts the measured ratio is
+//! printed but not asserted (barrier overhead without real parallelism
+//! is exactly what the lookahead math predicts).
 
 use gdisim_bench::{json_escape, print_table, write_csv, write_json};
 use gdisim_core::scenarios::{churned, consolidated, faulted, rates, validation};
 use gdisim_core::{
     ChurnProcess, EventClass, FaultAction, FaultEvent, FaultPlan, FaultTarget, InFlightPolicy,
-    MasterPolicy, Simulation, SimulationConfig,
+    MasterPolicy, ShardedSimulation, Simulation, SimulationConfig,
 };
 use gdisim_infra::Infrastructure;
 use gdisim_ports::Executor;
@@ -253,6 +265,57 @@ fn measure(
         .fold(f64::INFINITY, f64::min)
 }
 
+/// One sharded measurement: best-of-reps wall ms plus the (run-to-run
+/// deterministic) mailbox volume, window length and violation count.
+struct ShardedRun {
+    wall_ms: f64,
+    window_ticks: u64,
+    mail_sent: u64,
+    ordering_violations: u64,
+}
+
+fn measure_sharded(
+    build: fn(u64) -> Simulation,
+    horizon_secs: u64,
+    shards: usize,
+    workers: usize,
+) -> ShardedRun {
+    let reps = 5;
+    let mut best = ShardedRun {
+        wall_ms: f64::INFINITY,
+        window_ticks: 0,
+        mail_sent: 0,
+        ordering_violations: 0,
+    };
+    for _ in 0..reps {
+        let mut sim = ShardedSimulation::new(build(42), shards, None, Some(workers))
+            .expect("valid shard configuration");
+        let start = Instant::now();
+        sim.run_until(SimTime::from_secs(horizon_secs));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let stats = sim.stats();
+        // The mailbox traffic is byte-deterministic across reps; only
+        // the wall time varies.
+        best.window_ticks = sim.window_ticks();
+        best.mail_sent = stats.iter().map(|s| s.mail_sent).sum();
+        best.ordering_violations = stats.iter().map(|s| s.ordering_violations).sum();
+        best.wall_ms = best.wall_ms.min(wall_ms);
+    }
+    best
+}
+
+/// One sharded bench case: (label, builder, horizon secs, shards, workers).
+type ShardedCase = (&'static str, fn(u64) -> Simulation, u64, usize, usize);
+
+/// The sharded bench matrix: shard counts sized to each topology's DC
+/// count (consolidated has six DCs plus a relay; faulted/churned two).
+const SHARDED_CASES: [ShardedCase; 4] = [
+    ("consolidated", consolidated::build, 30, 4, 2),
+    ("consolidated", consolidated::build, 30, 4, 4),
+    ("faulted-churn", build_churn, 90, 2, 2),
+    ("churned", build_churned, 120, 2, 2),
+];
+
 /// CI smoke assertions (`--check`): fast, deterministic, no timing.
 fn check() {
     // 1. Stale-gate no-op drains on the consolidated run must stay
@@ -325,6 +388,41 @@ fn check() {
         d.skipped,
         d.gated
     );
+
+    // 5. The sharded engine must actually partition the consolidated
+    //    run — cross-shard flights flow through the window mailboxes —
+    //    and no receiver may ever observe a sequence gap: the mailbox
+    //    protocol's determinism rests on consecutive per-pair numbering.
+    let sharded = measure_sharded(consolidated::build, 30, 4, 2);
+    println!(
+        "check: sharded consolidated 30 sim-s: {} envelopes over {}-tick windows, {} violations",
+        sharded.mail_sent, sharded.window_ticks, sharded.ordering_violations
+    );
+    assert!(sharded.mail_sent > 0, "no cross-shard flight was exported");
+    assert_eq!(
+        sharded.ordering_violations, 0,
+        "cross-shard mailbox observed sequence gaps"
+    );
+
+    // 6. With real cores behind the pool, whole-window parallelism must
+    //    pay: ≥ 1.5× over the serial engine at 4 shards × 4 workers.
+    //    On smaller hosts the ratio is reported but not asserted —
+    //    barrier waits without parallel hardware measure only overhead.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let serial = measure(consolidated::build, &Executor::serial(), 30, false);
+    let par = measure_sharded(consolidated::build, 30, 4, 4);
+    let ratio = serial / par.wall_ms;
+    println!(
+        "check: sharded speedup on consolidated: {serial:.1} ms serial vs {:.1} ms sharded \
+         = {ratio:.2}x ({cores} cores)",
+        par.wall_ms
+    );
+    if cores >= 4 {
+        assert!(
+            ratio >= 1.5,
+            "sharded engine too slow: {ratio:.2}x < 1.5x on a {cores}-core host"
+        );
+    }
     println!("check: OK");
 }
 
@@ -392,10 +490,59 @@ fn main() {
         }
     }
 
+    // Sharded engine: serial wheel-mode vs whole-window parallelism.
+    // The serial baseline is re-measured here (not taken from the rows
+    // above) so both sides of each ratio come from the same machine
+    // state.
+    let mut sharded_rows: Vec<Vec<String>> = Vec::new();
+    let mut sharded_json: Vec<String> = Vec::new();
+    for &(scenario, build, horizon_secs, shards, workers) in &SHARDED_CASES {
+        let serial = measure(build, &Executor::serial(), horizon_secs, false);
+        let run = measure_sharded(build, horizon_secs, shards, workers);
+        let sim_s = horizon_secs as f64;
+        let speedup = serial / run.wall_ms;
+        sharded_rows.push(vec![
+            scenario.to_string(),
+            format!("{shards}x{workers}w"),
+            run.window_ticks.to_string(),
+            format!("{:.3}", serial / sim_s),
+            format!("{:.3}", run.wall_ms / sim_s),
+            format!("{speedup:.2}x"),
+            run.mail_sent.to_string(),
+            run.ordering_violations.to_string(),
+        ]);
+        sharded_json.push(format!(
+            concat!(
+                "    {{\"scenario\": \"{}\", \"shards\": {}, \"workers\": {}, ",
+                "\"window_ticks\": {}, \"sim_seconds\": {}, ",
+                "\"serial_ms_per_sim_s\": {:.4}, \"sharded_ms_per_sim_s\": {:.4}, ",
+                "\"speedup\": {:.3}, \"mailbox_sent\": {}, ",
+                "\"ordering_violations\": {}}}"
+            ),
+            json_escape(scenario),
+            shards,
+            workers,
+            run.window_ticks,
+            horizon_secs,
+            serial / sim_s,
+            run.wall_ms / sim_s,
+            speedup,
+            run.mail_sent,
+            run.ordering_violations,
+        ));
+    }
+
     print_table(
         "Step loop: dense poll+tick (before) vs wheel+active-set (after), wall ms per sim s",
         &["scenario", "executor", "before", "after", "speedup"],
         &rows,
+    );
+    print_table(
+        "Sharded engine: serial wheel-mode vs shard windows, wall ms per sim s",
+        &[
+            "scenario", "shards", "window", "serial", "sharded", "speedup", "mail", "seq-gaps",
+        ],
+        &sharded_rows,
     );
     print_table(
         "Wheel gating (wheel mode): drain opportunities by outcome",
@@ -448,11 +595,33 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
+    write_csv(
+        "BENCH_step_loop_sharded.csv",
+        &[
+            "scenario",
+            "shards",
+            "window_ticks",
+            "serial_ms_per_sim_s",
+            "sharded_ms_per_sim_s",
+            "speedup",
+            "mailbox_sent",
+            "ordering_violations",
+        ],
+        &sharded_rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r[5] = r[5].trim_end_matches('x').to_string();
+                r
+            })
+            .collect::<Vec<_>>(),
+    );
     write_json(
         "BENCH_step_loop.json",
         &format!(
-            "{{\n  \"benchmark\": \"step_loop\",\n  \"unit\": \"wall_ms_per_sim_s\",\n  \"results\": [\n{}\n  ]\n}}\n",
-            json_entries.join(",\n")
+            "{{\n  \"benchmark\": \"step_loop\",\n  \"unit\": \"wall_ms_per_sim_s\",\n  \"results\": [\n{}\n  ],\n  \"sharded\": [\n{}\n  ]\n}}\n",
+            json_entries.join(",\n"),
+            sharded_json.join(",\n")
         ),
     );
 }

@@ -37,7 +37,8 @@
 use gdisim_background::BackgroundKind;
 use gdisim_core::scenarios::{churned, consolidated, faulted, multimaster, validation};
 use gdisim_core::{
-    ChurnModel, ChurnModelError, FaultPlan, FaultPlanError, Report, ResilienceStats, Simulation,
+    ChurnModel, ChurnModelError, FaultPlan, FaultPlanError, Report, ResilienceStats,
+    ShardConfigError, ShardedSimulation, Simulation, TraceLog,
 };
 use gdisim_infra::{Infrastructure, TopologySpec};
 use gdisim_metrics::mean_stddev;
@@ -66,6 +67,9 @@ enum CliError {
     BadChurnModel(ChurnModelError),
     /// A resilience-policy bundle failed to parse or validate.
     BadResilience(String),
+    /// An invalid sharded-run configuration (`--shards` /
+    /// `--lookahead-ticks`).
+    BadShardConfig(ShardConfigError),
     /// A report series the command relies on is missing — an internal
     /// inconsistency, reported instead of unwrapped on.
     Internal(String),
@@ -87,6 +91,7 @@ impl std::fmt::Display for CliError {
             CliError::BadFaultPlan(e) => write!(f, "{e}"),
             CliError::BadChurnModel(e) => write!(f, "{e}"),
             CliError::BadResilience(e) => write!(f, "resilience policies: {e}"),
+            CliError::BadShardConfig(e) => write!(f, "sharded run: {e}"),
             CliError::Internal(e) => write!(f, "internal inconsistency: {e}"),
         }
     }
@@ -101,6 +106,12 @@ impl From<FaultPlanError> for CliError {
 impl From<ChurnModelError> for CliError {
     fn from(e: ChurnModelError) -> Self {
         CliError::BadChurnModel(e)
+    }
+}
+
+impl From<ShardConfigError> for CliError {
+    fn from(e: ShardConfigError) -> Self {
+        CliError::BadShardConfig(e)
     }
 }
 
@@ -120,6 +131,8 @@ struct Args {
     trace_jsonl: Option<String>,
     progress: Option<u64>,
     response_hist: bool,
+    shards: usize,
+    lookahead_ticks: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, CliError> {
@@ -139,6 +152,8 @@ fn parse_args() -> Result<Args, CliError> {
         trace_jsonl: None,
         progress: None,
         response_hist: false,
+        shards: 1,
+        lookahead_ticks: None,
     };
     let mut it = std::env::args().skip(1);
     let usage = |e: String| CliError::Usage(e);
@@ -238,6 +253,27 @@ fn parse_args() -> Result<Args, CliError> {
             "--response-hist" => {
                 args.response_hist = true;
             }
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .ok_or_else(|| usage("--shards needs a value".into()))?
+                    .parse()
+                    .map_err(|e| usage(format!("--shards: {e}")))?;
+                if args.shards == 0 {
+                    return Err(CliError::BadShardConfig(ShardConfigError::ZeroShards));
+                }
+            }
+            "--lookahead-ticks" => {
+                let ticks: u64 = it
+                    .next()
+                    .ok_or_else(|| usage("--lookahead-ticks needs a value".into()))?
+                    .parse()
+                    .map_err(|e| usage(format!("--lookahead-ticks: {e}")))?;
+                if ticks == 0 {
+                    return Err(CliError::BadShardConfig(ShardConfigError::ZeroLookahead));
+                }
+                args.lookahead_ticks = Some(ticks);
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -259,7 +295,8 @@ fn print_usage() {
          [--faults plan.json|demo] [--churn model.json|demo] [--resilience policies.json|demo]\n              \
          [--minutes M] [--seed N] [--bench-json timing.json]\n              \
          [--profile-json p.json] [--trace-perfetto t.json] [--trace-jsonl e.jsonl]\n              \
-         [--progress SECS] [--response-hist]\n  \
+         [--progress SECS] [--response-hist]\n              \
+         [--shards N] [--lookahead-ticks T]\n  \
          gdisim topology <spec.json>\n  \
          gdisim export <validation|faulted|churned|consolidated|multimaster>\n\n\
          ROBUSTNESS (run subcommand):\n  \
@@ -272,7 +309,13 @@ fn print_usage() {
          --trace-perfetto PATH per-step phase spans as a Chrome/Perfetto trace\n  \
          --trace-jsonl PATH    simulation trace events as JSON Lines + drop trailer\n  \
          --progress SECS       heartbeat to stderr every SECS wall seconds\n  \
-         --response-hist       aggregate response times in log histograms"
+         --response-hist       aggregate response times in log histograms\n\n\
+         PARALLELISM (run subcommand):\n  \
+         --shards N            partition the topology into N shards (one per data\n                        \
+                        center, clamped to the DC count) stepped in parallel;\n                        \
+                        --shards 1 (default) is bit-identical to the serial engine\n  \
+         --lookahead-ticks T   override the conservative window (default: derived\n                        \
+                        from the topology's minimum WAN latency / dt)"
     );
 }
 
@@ -325,8 +368,9 @@ fn run_case_study(mut sim: Simulation, hours: u64, sites: &[&str]) {
 
 /// Prints the degradation summary of a (possibly fault-injected) run:
 /// fault counters, availability, degraded windows, healthy vs. degraded
-/// response times and the trace drop breakdown.
-fn degradation_summary(report: &Report, sim: &Simulation) {
+/// response times and the trace drop breakdown. Sharded runs pass
+/// shard 0's trace (each shard records its own).
+fn degradation_summary(report: &Report, trace: Option<&TraceLog>) {
     let f = report.faults;
     println!("\nfault layer:");
     println!(
@@ -375,7 +419,7 @@ fn degradation_summary(report: &Report, sim: &Simulation) {
             degraded.len()
         );
     }
-    if let Some(trace) = sim.trace() {
+    if let Some(trace) = trace {
         let dropped = trace.dropped_by_kind();
         println!(
             "\ntrace: {} events recorded, {} dropped past capacity",
@@ -542,22 +586,6 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
             ),
             other => return Err(CliError::UnknownScenario(other.into())),
         };
-    sim.enable_trace(100_000);
-    // The profiler is pay-for-what-you-ask: any flag that reads its
-    // counters turns it on, and span recording (the only part that
-    // grows with run length) only when a Perfetto trace was requested.
-    let want_profiler = args.profile_json.is_some()
-        || args.trace_perfetto.is_some()
-        || args.bench_json.is_some()
-        || args.progress.is_some();
-    if want_profiler {
-        let span_cap = if args.trace_perfetto.is_some() {
-            200_000
-        } else {
-            0
-        };
-        sim.enable_profiler(span_cap);
-    }
     if args.response_hist {
         sim.enable_response_histograms();
     }
@@ -586,6 +614,25 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
     }
     if resilience_installed {
         installed.push("resilience policies");
+    }
+    if args.shards > 1 {
+        return run_sharded_cmd(args, sim, horizon, &scenario, &sites, &installed);
+    }
+    sim.enable_trace(100_000);
+    // The profiler is pay-for-what-you-ask: any flag that reads its
+    // counters turns it on, and span recording (the only part that
+    // grows with run length) only when a Perfetto trace was requested.
+    let want_profiler = args.profile_json.is_some()
+        || args.trace_perfetto.is_some()
+        || args.bench_json.is_some()
+        || args.progress.is_some();
+    if want_profiler {
+        let span_cap = if args.trace_perfetto.is_some() {
+            200_000
+        } else {
+            0
+        };
+        sim.enable_profiler(span_cap);
     }
     println!(
         "run: scenario {scenario}, seed {}, horizon {horizon}{}",
@@ -651,8 +698,109 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
     }
     write_obs_exports(args, &sim)?;
     dashboard(sim.report(), &sites);
-    degradation_summary(sim.report(), &sim);
+    degradation_summary(sim.report(), sim.trace());
     churn_summary(sim.report());
+    Ok(())
+}
+
+/// The `run` subcommand under `--shards N` (N > 1): partitions the
+/// built scenario into the sharded engine, runs it in lookahead
+/// windows, prints the per-shard window/barrier/mailbox summary on top
+/// of the usual dashboards, and serves `--bench-json`/`--profile-json`
+/// from the merged counters.
+fn run_sharded_cmd(
+    args: &Args,
+    sim: Simulation,
+    horizon: SimTime,
+    scenario: &str,
+    sites: &[&str],
+    installed: &[&str],
+) -> Result<(), CliError> {
+    if args.progress.is_some() {
+        return Err(CliError::Usage(
+            "--progress is not supported with --shards > 1".into(),
+        ));
+    }
+    if args.trace_perfetto.is_some() || args.trace_jsonl.is_some() {
+        return Err(CliError::Usage(
+            "--trace-perfetto/--trace-jsonl export a single engine's trace; \
+             run with --shards 1 to use them"
+                .into(),
+        ));
+    }
+    let mut sharded = ShardedSimulation::new(sim, args.shards, args.lookahead_ticks, None)?;
+    sharded.enable_trace(100_000);
+    if args.profile_json.is_some() || args.bench_json.is_some() {
+        sharded.enable_profiler(0);
+    }
+    println!(
+        "run: scenario {scenario}, seed {}, horizon {horizon}, \
+         {} shards x {}-tick windows{}",
+        args.seed,
+        sharded.shards(),
+        sharded.window_ticks(),
+        if installed.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} installed)", installed.join(" + "))
+        }
+    );
+    let wall = std::time::Instant::now();
+    sharded.run_until(horizon);
+    let elapsed = wall.elapsed();
+    println!("simulated {horizon} in {elapsed:?}");
+    let stats = sharded.stats();
+    let sent: u64 = stats.iter().map(|s| s.mail_sent).sum();
+    let violations: u64 = stats.iter().map(|s| s.ordering_violations).sum();
+    println!(
+        "shards: {} windows, {sent} cross-shard envelopes, {violations} ordering violations",
+        stats.first().map_or(0, |s| s.windows),
+    );
+    for (i, st) in stats.iter().enumerate() {
+        println!(
+            "  shard {i}: stepped {:.1} ms, waited {:.1} ms at barriers, \
+             {} sent / {} received",
+            st.window_wall_ns as f64 / 1e6,
+            st.barrier_wait_ns as f64 / 1e6,
+            st.mail_sent,
+            st.mail_received,
+        );
+    }
+    if let Some(path) = &args.bench_json {
+        let sim_s = horizon.as_secs_f64();
+        let wall_ms = elapsed.as_secs_f64() * 1e3;
+        let json = format!(
+            "{{\n  \"scenario\": \"{scenario}\",\n  \"executor\": \"sharded\",\n  \
+             \"shards\": {},\n  \"window_ticks\": {},\n  \"seed\": {},\n  \
+             \"sim_seconds\": {:.3},\n  \"wall_ms\": {:.3},\n  \
+             \"wall_ms_per_sim_s\": {:.4},\n  \"mailbox_sent\": {sent},\n  \
+             \"ordering_violations\": {violations}\n}}\n",
+            sharded.shards(),
+            sharded.window_ticks(),
+            args.seed,
+            sim_s,
+            wall_ms,
+            wall_ms / sim_s.max(f64::MIN_POSITIVE),
+        );
+        std::fs::write(path, json).map_err(|source| CliError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        println!("bench: wrote {path}");
+    }
+    if let Some(path) = &args.profile_json {
+        let json = serde_json::to_string_pretty(&sharded.profile_value())
+            .map_err(|e| CliError::Internal(format!("profile not serializable: {e}")))?;
+        std::fs::write(path, json).map_err(|source| CliError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        println!("profile: wrote {path}");
+    }
+    let report = sharded.report();
+    dashboard(&report, sites);
+    degradation_summary(&report, sharded.traces().first().copied().flatten());
+    churn_summary(&report);
     Ok(())
 }
 

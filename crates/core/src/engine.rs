@@ -343,6 +343,10 @@ pub struct Simulation {
     /// Tokens whose parent instance was failed/evicted/hedge-cancelled;
     /// their completions are swallowed silently.
     orphans: HashSet<u64>,
+    /// Shard identity, ownership table and mailboxes when this engine is
+    /// one shard of a [`crate::shard::ShardedSimulation`]; `None` on a
+    /// serial engine (no interception, zero overhead on the hot paths).
+    shard: Option<crate::shard::ShardCtx>,
 }
 
 impl Simulation {
@@ -392,6 +396,7 @@ impl Simulation {
             churn: None,
             resilience: None,
             orphans: HashSet::new(),
+            shard: None,
         }
     }
 
@@ -1938,6 +1943,17 @@ impl Simulation {
                 if let Some((mem_idx, bytes)) = state.plan.mem_hold {
                     self.infra.memories_mut()[mem_idx].release(bytes);
                 }
+                if let Some(ctx) = self.shard.as_mut() {
+                    if let Some((home_shard, home_token)) = ctx.foreign.remove(&token) {
+                        // Hosted for another shard: the home shard does
+                        // the fault accounting and policy handling.
+                        ctx.send(
+                            home_shard,
+                            crate::shard::ShardPayload::Failure { home_token },
+                        );
+                        continue;
+                    }
+                }
                 self.report.faults.dropped_messages += 1;
                 affected.push(state.instance);
             } else {
@@ -2735,12 +2751,261 @@ impl Simulation {
         demand: f64,
         now: SimTime,
     ) {
+        // Sharded runs intercept hops bound for queues another shard
+        // owns: the flight migrates through a mailbox instead of
+        // enqueueing locally. Serial engines skip this entirely.
+        if let Some(ctx) = &self.shard {
+            let owner = ctx.dc_owner[self.infra.meta(agent).dc.index()];
+            if owner != ctx.me {
+                self.export_flight(owner, agent, token, demand);
+                return;
+            }
+        }
         if self.tick_all {
             self.infra.component_mut(agent).enqueue(token, demand, now);
         } else {
             self.infra
                 .enqueue_job(agent, token, demand, now, self.meter_epoch, self.config.dt);
         }
+    }
+
+    /// Exports a hop bound for a queue `dst` owns: the remaining hops
+    /// (with the intercepted one restored at the front) and any memory
+    /// hold migrate into the mailbox. A native token stays parked here
+    /// (empty plan) awaiting the completion/failure mail; a hosted
+    /// foreign token being forwarded onward keeps its original home
+    /// identity and its local copy is dropped.
+    fn export_flight(
+        &mut self,
+        dst: u32,
+        agent: gdisim_types::AgentId,
+        JobToken(token): JobToken,
+        demand: f64,
+    ) {
+        let state = self
+            .flight
+            .tokens
+            .get_mut(&token)
+            .expect("exported token live");
+        let mut hops = std::mem::take(&mut state.plan.hops);
+        hops.push_front(crate::router::Hop { agent, demand });
+        let mem = state.plan.mem_hold.take();
+        if let Some((mem_idx, bytes)) = mem {
+            // The hold travels with the flight; release the local mirror.
+            self.infra.memories_mut()[mem_idx].release(bytes);
+        }
+        let forwarded = self
+            .shard
+            .as_mut()
+            .expect("shard ctx")
+            .foreign
+            .remove(&token);
+        let (home_shard, home_token) = match forwarded {
+            Some(pair) => {
+                self.flight.tokens.remove(&token);
+                pair
+            }
+            None => (self.shard.as_ref().expect("shard ctx").me, token),
+        };
+        self.shard.as_mut().expect("shard ctx").send(
+            dst,
+            crate::shard::ShardPayload::Flight {
+                home_shard,
+                home_token,
+                hops,
+                mem,
+            },
+        );
+    }
+
+    /// Home-side handling of a [`crate::shard::ShardPayload::Failure`]:
+    /// the flight was evicted abroad. Mirrors the local eviction path —
+    /// fault accounting here, then the installed in-flight policy
+    /// decides between a silent drop (client notices at its timeout)
+    /// and failing the operation now.
+    fn foreign_flight_failed(&mut self, token: u64, now: SimTime) {
+        if self.orphans.remove(&token) {
+            // The operation already failed for another reason while the
+            // flight was abroad; the eviction settles the orphan.
+            return;
+        }
+        let Some(state) = self.flight.tokens.remove(&token) else {
+            debug_assert!(false, "failure mail for unknown token {token}");
+            return;
+        };
+        if let Some((mem_idx, bytes)) = state.plan.mem_hold {
+            self.infra.memories_mut()[mem_idx].release(bytes);
+        }
+        self.report.faults.dropped_messages += 1;
+        let inst_id = state.instance;
+        let Some(inst) = self.flight.instances.get(&inst_id) else {
+            return;
+        };
+        let policy = self
+            .faults
+            .as_ref()
+            .map(|f| f.in_flight)
+            .unwrap_or(InFlightPolicy::Bounce);
+        let retry_armed = self.faults.as_ref().is_some_and(|f| f.retry.is_some());
+        if policy == InFlightPolicy::Drop && retry_armed && inst.kind == InstanceKind::Client {
+            // Silently lost: the client notices at its timeout.
+            return;
+        }
+        self.fail_instance(inst_id, now);
+    }
+
+    /// Delivers one source shard's window mail, in sequence order, at
+    /// the window barrier. Flights returning to their home shard resume
+    /// the parked native token in place; flights arriving abroad get a
+    /// hosted token under the [`crate::shard::FOREIGN_INSTANCE`]
+    /// sentinel.
+    pub(crate) fn deliver_shard_inbox(
+        &mut self,
+        src: u32,
+        mail: Vec<crate::shard::ShardEnvelope>,
+        now: SimTime,
+    ) {
+        for env in mail {
+            self.shard
+                .as_mut()
+                .expect("shard ctx")
+                .note_receive(src, env.seq);
+            match env.payload {
+                crate::shard::ShardPayload::Flight {
+                    home_shard,
+                    home_token,
+                    mut hops,
+                    mem,
+                } => {
+                    let first = hops.pop_front().expect("flight has at least one hop");
+                    if let Some((mem_idx, bytes)) = mem {
+                        // Mirror the hold: the bytes occupy whichever
+                        // shard currently hosts the flight.
+                        let _ = self.infra.memories_mut()[mem_idx].allocate(bytes);
+                    }
+                    let me = self.shard.as_ref().expect("shard ctx").me;
+                    let token = if home_shard == me {
+                        // Back home: resume the parked native token.
+                        if let Some(state) = self.flight.tokens.get_mut(&home_token) {
+                            state.plan.hops = hops;
+                            state.plan.mem_hold = mem;
+                            home_token
+                        } else {
+                            // Severed while abroad (the operation already
+                            // failed): undo the mirrored hold and settle
+                            // the orphan.
+                            if let Some((mem_idx, bytes)) = mem {
+                                self.infra.memories_mut()[mem_idx].release(bytes);
+                            }
+                            self.orphans.remove(&home_token);
+                            continue;
+                        }
+                    } else {
+                        let token = self.flight.add_token(
+                            crate::shard::FOREIGN_INSTANCE,
+                            crate::router::MessagePlan {
+                                hops,
+                                mem_hold: mem,
+                                broken: None,
+                            },
+                        );
+                        self.shard
+                            .as_mut()
+                            .expect("shard ctx")
+                            .foreign
+                            .insert(token, (home_shard, home_token));
+                        token
+                    };
+                    self.enqueue_agent(first.agent, JobToken(token), first.demand, now);
+                }
+                crate::shard::ShardPayload::Completion { home_token } => {
+                    self.on_token_complete(home_token, now);
+                }
+                crate::shard::ShardPayload::Failure { home_token } => {
+                    self.foreign_flight_failed(home_token, now);
+                }
+            }
+        }
+    }
+
+    /// Installs the shard context. Must run before the first step.
+    pub(crate) fn set_shard_ctx(&mut self, me: u32, dc_owner: Vec<u32>, shards: usize) {
+        debug_assert_eq!(self.now, SimTime::ZERO, "shard ctx installed mid-run");
+        self.shard = Some(crate::shard::ShardCtx::new(me, dc_owner, shards));
+    }
+
+    /// The shard context, when this engine is a shard.
+    pub(crate) fn shard_ctx(&self) -> Option<&crate::shard::ShardCtx> {
+        self.shard.as_ref()
+    }
+
+    /// Drains this shard's outgoing mailboxes (one `Vec` per
+    /// destination shard), called at each window barrier.
+    pub(crate) fn take_shard_outboxes(&mut self) -> Vec<Vec<crate::shard::ShardEnvelope>> {
+        self.shard.as_mut().expect("shard ctx").take_outboxes()
+    }
+
+    /// The infrastructure (read-only, for shard partitioning and report
+    /// merging).
+    pub(crate) fn infra_ref(&self) -> &Infrastructure {
+        &self.infra
+    }
+
+    /// The canonical site → data-center mapping.
+    pub(crate) fn site_dc_map(&self) -> &[DcId] {
+        &self.site_dc
+    }
+
+    /// Restricts traffic generation to the sites whose engine index is
+    /// flagged in `owned`, dropping sources left with no sites. Must run
+    /// before the first step (no sessions yet, wheel unprimed).
+    pub(crate) fn retain_sites(&mut self, owned: &[bool]) {
+        debug_assert!(
+            self.sessions.is_empty(),
+            "retain_sites after sessions spawned"
+        );
+        self.traffic.retain_mut(|src| match src {
+            TrafficSource::Diurnal {
+                workload, site_map, ..
+            } => {
+                let keep: Vec<bool> = site_map.iter().map(|&s| owned[s]).collect();
+                let mut it = keep.iter();
+                workload.sites.retain(|_| *it.next().unwrap());
+                let mut it = keep.iter();
+                site_map.retain(|_| *it.next().unwrap());
+                !site_map.is_empty()
+            }
+            TrafficSource::Sessions {
+                workload,
+                site_map,
+                live,
+                retiring,
+                ..
+            } => {
+                let keep: Vec<bool> = site_map.iter().map(|&s| owned[s]).collect();
+                let mut it = keep.iter();
+                workload.sites.retain(|_| *it.next().unwrap());
+                let mut it = keep.iter();
+                live.retain(|_| *it.next().unwrap());
+                let mut it = keep.iter();
+                retiring.retain(|_| *it.next().unwrap());
+                let mut it = keep.iter();
+                site_map.retain(|_| *it.next().unwrap());
+                !site_map.is_empty()
+            }
+            TrafficSource::PeriodicSeries { site, .. } => owned[*site],
+        });
+        self.polled_sources = self
+            .traffic
+            .iter()
+            .filter(|s| !matches!(s, TrafficSource::PeriodicSeries { .. }))
+            .count();
+    }
+
+    /// Removes the background scheduler (shards other than 0 in a
+    /// sharded run; the replicated scheduler would double-launch).
+    pub(crate) fn clear_background(&mut self) {
+        self.background = None;
     }
 
     fn on_token_complete(&mut self, token: u64, now: SimTime) {
@@ -2778,6 +3043,18 @@ impl Simulation {
                     instance: inst_id,
                 },
             );
+        }
+        // A flight hosted for another shard has no instance here: mail
+        // the completion home instead of advancing a local cascade.
+        if let Some(ctx) = self.shard.as_mut() {
+            if let Some((home_shard, home_token)) = ctx.foreign.remove(&token) {
+                debug_assert_eq!(inst_id, crate::shard::FOREIGN_INSTANCE);
+                ctx.send(
+                    home_shard,
+                    crate::shard::ShardPayload::Completion { home_token },
+                );
+                return;
+            }
         }
         let advance = {
             let inst = self
@@ -3010,6 +3287,9 @@ impl Simulation {
                 f.interval_ok as f64 / total as f64
             };
             self.report.availability.push(t, avail);
+            self.report
+                .availability_counts
+                .push((t, f.interval_ok, f.interval_failed));
             f.interval_ok = 0;
             f.interval_failed = 0;
         }

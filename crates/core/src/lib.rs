@@ -23,6 +23,7 @@ pub mod flight;
 pub mod report;
 pub mod router;
 pub mod scenarios;
+pub mod shard;
 pub mod trace;
 pub mod wheel;
 
@@ -31,5 +32,6 @@ pub use config::{MasterPolicy, SimulationConfig};
 pub use engine::{Simulation, TrafficSource};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanError, FaultTarget, InFlightPolicy};
 pub use report::{BackgroundRecord, FaultStats, Report, ResilienceStats, TierKey};
+pub use shard::{ShardConfigError, ShardStats, ShardedSimulation};
 pub use trace::{DroppedCounts, TraceEvent, TraceLog};
 pub use wheel::{EventClass, TimerWheel};

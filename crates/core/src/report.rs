@@ -168,6 +168,11 @@ pub struct Report {
     /// failed) operations over the interval, 1.0 when nothing finished.
     /// Only populated when a fault plan is installed.
     pub availability: TimeSeries,
+    /// The raw `(interval end, completed, failed)` counts behind each
+    /// [`Report::availability`] sample. Kept so per-shard reports can
+    /// be merged exactly: counts add across shards, then availability
+    /// is recomputed from the sums (ratios cannot be averaged).
+    pub availability_counts: Vec<(SimTime, u64, u64)>,
     /// Closed degraded windows `(from, until)`: spans during which at
     /// least one fault-plan target was down.
     pub degraded_windows: Vec<(SimTime, SimTime)>,

@@ -18,7 +18,10 @@
 //! to polled runs.
 //!
 //! Structure: a two-level wheel plus an overflow list, all keyed on
-//! *tick indices* (step counts, `tick = ceil(at / dt)`):
+//! *tick indices* (step counts, `tick = ceil(at / dt)`). Slot counts
+//! are derived from `dt` at construction so the levels cover the same
+//! wall-clock spans at any step length; at the default 10 ms step they
+//! come out to the historical geometry quoted below:
 //!
 //! * **L0** — 256 one-tick slots holding a due-class bitmask each;
 //!   covers the next 256 ticks exactly. An occupancy bitmap (one bit per
@@ -55,14 +58,28 @@
 
 use gdisim_types::{SimDuration, SimTime};
 
-/// One-tick slots in the innermost wheel level.
+/// One-tick slots in the innermost wheel level at the default 10 ms
+/// step. Geometry is dt-aware (see [`TimerWheel::new`]): these
+/// constants describe — and pin — the default-dt wheel only.
+#[cfg(test)]
 const L0_SLOTS: u64 = 256;
-/// Slots in the second level (each spanning [`L0_SLOTS`] ticks).
+/// Slots in the second level at the default step (each spanning
+/// `L0_SLOTS` ticks).
+#[cfg(test)]
 const L1_SLOTS: u64 = 64;
-/// Ticks covered by L0 + L1 before events fall into the overflow list.
+/// Ticks covered by L0 + L1 at the default step before events fall
+/// into the overflow list.
+#[cfg(test)]
 const FRAME: u64 = L0_SLOTS * L1_SLOTS;
 /// Number of event classes (mirrored by `gdisim_obs::NUM_CLASSES`).
 const CLASSES: usize = EventClass::ALL.len();
+
+/// Wall-clock span L0 should cover regardless of dt: 256 ticks at the
+/// 10 ms case-study step.
+const L0_TARGET_US: u64 = 2_560_000;
+/// Wall-clock span the whole L0+L1 frame should cover: 16384 ticks at
+/// the 10 ms step (~163 s).
+const FRAME_TARGET_US: u64 = 163_840_000;
 
 /// The phase-1 event classes the engine gates through the wheel.
 ///
@@ -145,22 +162,29 @@ struct Entry {
 pub struct TimerWheel {
     /// Tick length in microseconds (the engine's `dt`).
     dt_us: u64,
+    /// One-tick slots in L0 (a multiple of 64, derived from dt).
+    l0_slots: u64,
+    /// L1 slots, each spanning `l0_slots` ticks (derived from dt).
+    l1_slots: u64,
+    /// `l0_slots * l1_slots` — ticks covered before overflow.
+    frame: u64,
     /// The tick the wheel has advanced to (== `now / dt` in the engine).
     tick: u64,
     /// Classes due at or before `tick` and not yet taken.
     due: u16,
-    /// Class bitmask per one-tick slot, indexed by `tick % 256`.
-    l0: [u16; L0_SLOTS as usize],
+    /// Class bitmask per one-tick slot, indexed by `tick % l0_slots`.
+    l0: Vec<u16>,
     /// Generation stamp per L0 slot per class: slot bit `c` is live iff
     /// `l0_gen[slot][c] == gen[c]`. Re-arming the same slot/class after
     /// a cancel overwrites the stamp (the bit is a gate, so the stale
     /// and fresh arming coalesce into one valid gate).
     l0_gen: Vec<[u64; CLASSES]>,
-    /// Occupancy bitmap over the 256 L0 slots (bit set ⇔ slot mask
+    /// Occupancy bitmap over the L0 slots (bit set ⇔ slot mask
     /// non-zero) — lets `advance_to` jump between occupied slots
     /// instead of walking every intermediate tick.
-    l0_occ: [u64; (L0_SLOTS / 64) as usize],
-    /// Exact entries per 256-tick window, indexed by `(tick / 256) % 64`.
+    l0_occ: Vec<u64>,
+    /// Exact entries per `l0_slots`-tick window, indexed by
+    /// `(tick / l0_slots) % l1_slots`.
     l1: Vec<Vec<Entry>>,
     /// Entries at least a full frame ahead, rotated in lazily.
     overflow: Vec<Entry>,
@@ -174,22 +198,46 @@ pub struct TimerWheel {
 impl TimerWheel {
     /// Creates a wheel over step length `dt`, positioned at tick 0.
     ///
+    /// The geometry is derived from `dt` so the wheel levels cover the
+    /// same *wall-clock* spans regardless of step length: L0 spans
+    /// ~2.56 s of one-tick slots (rounded up to a power of two, at
+    /// least 64 so the occupancy bitmap stays word-aligned) and the
+    /// L0+L1 frame spans ~163 s. At the default 10 ms step this
+    /// reproduces exactly the historical 256 / 64 / 16384 geometry,
+    /// which the wheel-equivalence proptests pin.
+    ///
     /// # Panics
     /// Panics if `dt` is zero.
     pub fn new(dt: SimDuration) -> Self {
         assert!(!dt.is_zero(), "time step must be positive");
+        let dt_us = dt.as_micros();
+        let l0_slots = L0_TARGET_US
+            .div_ceil(dt_us)
+            .next_power_of_two()
+            .clamp(64, 65536);
+        let l1_slots = (FRAME_TARGET_US.div_ceil(dt_us) / l0_slots)
+            .next_power_of_two()
+            .clamp(16, 1024);
         TimerWheel {
-            dt_us: dt.as_micros(),
+            dt_us,
+            l0_slots,
+            l1_slots,
+            frame: l0_slots * l1_slots,
             tick: 0,
             due: 0,
-            l0: [0; L0_SLOTS as usize],
-            l0_gen: vec![[0; CLASSES]; L0_SLOTS as usize],
-            l0_occ: [0; (L0_SLOTS / 64) as usize],
-            l1: vec![Vec::new(); L1_SLOTS as usize],
+            l0: vec![0; l0_slots as usize],
+            l0_gen: vec![[0; CLASSES]; l0_slots as usize],
+            l0_occ: vec![0; (l0_slots / 64) as usize],
+            l1: vec![Vec::new(); l1_slots as usize],
             overflow: Vec::new(),
             gen: [0; CLASSES],
             cancelled: [0; CLASSES],
         }
+    }
+
+    /// The derived `(l0_slots, l1_slots, frame)` geometry.
+    pub fn geometry(&self) -> (u64, u64, u64) {
+        (self.l0_slots, self.l1_slots, self.frame)
     }
 
     /// Registers an event of `class` at simulation time `at`: the due
@@ -233,13 +281,13 @@ impl TimerWheel {
             // drained earlier this same step sees it next step — matching
             // the polling loop, which also notices one step later.
             self.due |= 1 << class;
-        } else if tick - self.tick < L0_SLOTS {
-            let slot = (tick % L0_SLOTS) as usize;
+        } else if tick - self.tick < self.l0_slots {
+            let slot = (tick % self.l0_slots) as usize;
             self.l0[slot] |= 1 << class;
             self.l0_gen[slot][class] = self.gen[class];
             self.l0_occ[slot / 64] |= 1 << (slot % 64);
-        } else if tick - self.tick < FRAME {
-            self.l1[((tick / L0_SLOTS) % L1_SLOTS) as usize].push(Entry {
+        } else if tick - self.tick < self.frame {
+            self.l1[((tick / self.l0_slots) % self.l1_slots) as usize].push(Entry {
                 tick,
                 class: class as u8,
                 gen: self.gen[class],
@@ -286,8 +334,8 @@ impl TimerWheel {
     }
 
     /// Folds the occupied L0 slots in `lo..=hi` (no window wrap — the
-    /// caller guarantees the range lies inside one 256-tick window) into
-    /// the due mask, touching only slots whose occupancy bit is set.
+    /// caller guarantees the range lies inside one L0 window) into the
+    /// due mask, touching only slots whose occupancy bit is set.
     fn collect_l0_range(&mut self, lo: usize, hi: usize) {
         let (w_lo, w_hi) = (lo / 64, hi / 64);
         for w in w_lo..=w_hi {
@@ -310,19 +358,19 @@ impl TimerWheel {
     /// slot passed over into the due mask and cascading L1/overflow at
     /// window and frame boundaries. The engine calls this once per step
     /// with consecutive ticks; arbitrary forward jumps are handled too —
-    /// within a 256-tick window the jump visits only *occupied* L0 slots
+    /// within an L0 window the jump visits only *occupied* L0 slots
     /// (via the occupancy bitmap), so an idle gap costs one bitmap scan
     /// per window rather than one iteration per tick.
     pub fn advance_to(&mut self, tick: u64) {
         while self.tick < tick {
             // Stretch to the end of the current window: no cascade or
             // rotation can happen strictly before the next multiple of
-            // L0_SLOTS, so every tick in between is a pure slot collect.
-            let window_end = (self.tick / L0_SLOTS + 1) * L0_SLOTS;
+            // l0_slots, so every tick in between is a pure slot collect.
+            let window_end = (self.tick / self.l0_slots + 1) * self.l0_slots;
             let target = tick.min(window_end - 1);
             if target > self.tick {
-                let lo = ((self.tick + 1) % L0_SLOTS) as usize;
-                let hi = (target % L0_SLOTS) as usize;
+                let lo = ((self.tick + 1) % self.l0_slots) as usize;
+                let hi = (target % self.l0_slots) as usize;
                 self.collect_l0_range(lo, hi);
                 self.tick = target;
             }
@@ -331,7 +379,7 @@ impl TimerWheel {
                 // frame rotation, then window cascade, then its slot.
                 self.tick += 1;
                 let t = self.tick;
-                if t.is_multiple_of(FRAME) {
+                if t.is_multiple_of(self.frame) {
                     // Frame rotation: overflow entries now inside the
                     // frame re-insert into L1 (or L0/due for near ones).
                     let overflow = std::mem::take(&mut self.overflow);
@@ -339,14 +387,14 @@ impl TimerWheel {
                         self.reinsert(e);
                     }
                 }
-                // Window cascade (t is a multiple of L0_SLOTS by
+                // Window cascade (t is a multiple of l0_slots by
                 // construction): this window's L1 slot spills into L0.
-                let slot = ((t / L0_SLOTS) % L1_SLOTS) as usize;
+                let slot = ((t / self.l0_slots) % self.l1_slots) as usize;
                 let entries = std::mem::take(&mut self.l1[slot]);
                 for e in entries {
                     self.reinsert(e);
                 }
-                self.collect_slot((t % L0_SLOTS) as usize);
+                self.collect_slot((t % self.l0_slots) as usize);
             }
         }
     }
@@ -375,6 +423,52 @@ mod tests {
 
     fn at(ticks: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_millis(10 * ticks)
+    }
+
+    #[test]
+    fn default_dt_reproduces_historical_geometry() {
+        // The dt-aware derivation must land exactly on the geometry the
+        // equivalence proptests were written against at the 10 ms step.
+        let w = TimerWheel::new(DT);
+        assert_eq!(w.geometry(), (L0_SLOTS, L1_SLOTS, FRAME));
+    }
+
+    #[test]
+    fn geometry_scales_with_dt() {
+        // A finer step grows the slot counts so the levels still cover
+        // the same wall-clock spans; a coarser step shrinks them down
+        // to the word-aligned floor.
+        let fine = TimerWheel::new(SimDuration::from_millis(1));
+        let (l0, l1, frame) = fine.geometry();
+        assert!(l0 >= 2560, "L0 must still cover ~2.56 s, got {l0} slots");
+        assert!(l0.is_multiple_of(64), "occupancy bitmap needs whole words");
+        assert_eq!(frame, l0 * l1);
+        let coarse = TimerWheel::new(SimDuration::from_secs(1));
+        assert_eq!(coarse.geometry().0, 64, "floor keeps the bitmap aligned");
+    }
+
+    #[test]
+    fn non_default_geometry_fires_exactly_like_default() {
+        // Same event pattern, 1 ms step (4096-slot L0): due sequence and
+        // cancellation accounting must match tick-for-tick semantics.
+        let dt = SimDuration::from_millis(1);
+        let mut w = TimerWheel::new(dt);
+        let (l0, _, frame) = w.geometry();
+        let targets = [3, l0 + 5, frame + 9, 3 * frame + 1];
+        for &t in &targets {
+            w.schedule(
+                EventClass::Series,
+                SimTime::ZERO + SimDuration::from_millis(t),
+            );
+        }
+        let mut fired = Vec::new();
+        for t in 1..=3 * frame + 2 {
+            w.advance_to(t);
+            if w.take(EventClass::Series) {
+                fired.push(t);
+            }
+        }
+        assert_eq!(fired, targets);
     }
 
     #[test]

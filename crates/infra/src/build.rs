@@ -551,6 +551,14 @@ impl Infrastructure {
         &self.wan_links
     }
 
+    /// The smallest propagation latency over *all* WAN links, backups
+    /// included (they carry traffic after a failover, so any
+    /// conservative-lookahead bound must honor them too). `None` for a
+    /// single-site topology with no WAN links.
+    pub fn min_wan_latency(&self) -> Option<gdisim_types::SimDuration> {
+        self.wan_specs.iter().map(|l| l.link.latency).min()
+    }
+
     /// The precomputed route between two data centers (empty when they are
     /// the same site). `None` means unreachable — no surviving path, or a
     /// downed endpoint.

@@ -163,6 +163,20 @@ impl LogHistogram {
         self.max = self.max.max(v);
     }
 
+    /// Folds another histogram into this one: bucket counts add
+    /// element-wise and the exact `count` / `sum` / `min` / `max`
+    /// bookkeeping combines losslessly — merging is equivalent to
+    /// having recorded both value streams into one histogram.
+    pub fn merge_from(&mut self, other: &LogHistogram) {
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count
@@ -400,6 +414,27 @@ mod tests {
             assert!(LogHistogram::bucket_lower(i) <= v);
             assert!(v < LogHistogram::bucket_upper(i));
         }
+    }
+
+    #[test]
+    fn merged_histogram_matches_single_stream() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in [3u64, 1000] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [7u64, 1 << 40] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a, whole);
+        // Merging an empty histogram is a no-op (min sentinel included).
+        let before = a.clone();
+        a.merge_from(&LogHistogram::new());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -160,6 +160,32 @@ impl ResponseTimeRegistry {
     pub fn total_recorded(&self) -> u64 {
         self.total_recorded
     }
+
+    /// Folds another registry into this one: undrained interval
+    /// accumulators merge per key, histories concatenate (each key's
+    /// completions stay time-ordered when the sources cover disjoint
+    /// key sets or interleaved times are re-sorted by the caller), and
+    /// histograms add bucket-wise. The sharded engine uses this to
+    /// stitch per-shard registries back into one report; shard key
+    /// sets are disjoint there (a key carries the client DC), so the
+    /// merge is a plain union.
+    pub fn merge_from(&mut self, other: &ResponseTimeRegistry) {
+        for (k, a) in &other.current {
+            let acc = self.current.entry(*k).or_default();
+            acc.count += a.count;
+            acc.total_secs += a.total_secs;
+            acc.max_secs = acc.max_secs.max(a.max_secs);
+        }
+        for (k, h) in &other.history {
+            let dst = self.history.entry(*k).or_default();
+            dst.extend_from_slice(h);
+            dst.sort_by_key(|e| e.0);
+        }
+        for (k, h) in &other.hist {
+            self.hist.entry(*k).or_default().merge_from(h);
+        }
+        self.total_recorded += other.total_recorded;
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +235,27 @@ mod tests {
         let mut r = ResponseTimeRegistry::new();
         r.record(key(0), SimTime::ZERO, SimDuration::from_secs(1));
         assert!(r.history(key(0)).is_empty());
+    }
+
+    #[test]
+    fn merge_from_is_equivalent_to_recording_into_one() {
+        let mut a = ResponseTimeRegistry::with_history();
+        let mut b = ResponseTimeRegistry::with_history();
+        let mut whole = ResponseTimeRegistry::with_history();
+        for (op, t, secs) in [(0u32, 1u64, 2u64), (1, 3, 4)] {
+            a.record(key(op), SimTime::from_secs(t), SimDuration::from_secs(secs));
+            whole.record(key(op), SimTime::from_secs(t), SimDuration::from_secs(secs));
+        }
+        for (op, t, secs) in [(2u32, 2u64, 6u64), (2, 5, 1)] {
+            b.record(key(op), SimTime::from_secs(t), SimDuration::from_secs(secs));
+            whole.record(key(op), SimTime::from_secs(t), SimDuration::from_secs(secs));
+        }
+        a.merge_from(&b);
+        assert_eq!(a.total_recorded(), whole.total_recorded());
+        for k in [key(0), key(1), key(2)] {
+            assert_eq!(a.history(k), whole.history(k), "history for {k:?}");
+        }
+        assert_eq!(a.collect(), whole.collect());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod hdispatch;
 pub mod pool;
 pub mod port;
 pub mod scatter_gather;
+pub mod sharded;
 
 pub use coordination::{Choice, Either, Interleave, JoinReceiver, MultipleItemReceiver};
 pub use dispatch::Dispatcher;
@@ -37,3 +38,4 @@ pub use hdispatch::HDispatchPool;
 pub use pool::PhasePool;
 pub use port::Port;
 pub use scatter_gather::ScatterGatherPool;
+pub use sharded::ShardedPool;

@@ -1,0 +1,129 @@
+//! A worker pool that runs whole *shard windows* per worker.
+//!
+//! The per-phase pools in this crate split one global step into index
+//! chunks — every worker touches every shard's agents. The sharded
+//! engine inverts that: each shard steps *independently* for a whole
+//! lookahead window, so the unit of parallelism is "one shard's entire
+//! window", not "one slice of one phase". [`ShardedPool`] hands each
+//! worker exclusive `&mut` access to one shard at a time and returns
+//! when every shard's window is complete — a barrier the conservative
+//! synchronization protocol needs anyway.
+//!
+//! Determinism note: which *thread* runs a shard's window is scheduling
+//! dependent, but each shard is a self-contained deterministic engine
+//! and cross-shard exchange happens only between `run` calls, so run
+//! results are independent of worker count and scheduling by
+//! construction.
+//!
+//! # Safety
+//! Shards are addressed through a base pointer plus the pulled index.
+//! [`crate::PhasePool`]'s cursor hands out each index exactly once per
+//! phase, so no two workers ever hold `&mut` to the same shard, and
+//! `run` blocks until all units finish, keeping the borrow live for the
+//! whole phase (the `std::thread::scope` argument).
+
+use crate::PhasePool;
+
+/// A persistent pool stepping disjoint shards in parallel, one whole
+/// window per work unit.
+pub struct ShardedPool {
+    pool: PhasePool,
+}
+
+impl ShardedPool {
+    /// Creates a pool contributing `threads` total execution streams
+    /// (the caller plus `threads - 1` parked workers).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        ShardedPool {
+            pool: PhasePool::new(threads),
+        }
+    }
+
+    /// Total execution streams (workers + caller).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Runs `f(i, &mut shards[i])` exactly once for every shard, from
+    /// the caller or a worker, returning when all shards are done — the
+    /// window barrier.
+    pub fn run<S, F>(&self, shards: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(usize, &mut S) + Sync,
+    {
+        let base = shards.as_mut_ptr() as usize;
+        self.pool.run(shards.len(), &|i| {
+            // SAFETY: the pool's cursor yields each index exactly once,
+            // so this `&mut` is exclusive; `shards` outlives the call
+            // because `run` blocks until every unit completes.
+            let shard = unsafe { &mut *(base as *mut S).add(i) };
+            f(i, shard);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn every_shard_steps_exactly_once_with_its_own_state() {
+        let pool = ShardedPool::new(4);
+        let mut shards: Vec<u64> = (0..32).collect();
+        pool.run(&mut shards, |i, s| {
+            assert_eq!(*s, i as u64, "shard {i} got someone else's state");
+            *s += 100;
+        });
+        assert!(shards.iter().enumerate().all(|(i, s)| *s == i as u64 + 100));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_windows() {
+        let pool = ShardedPool::new(3);
+        let mut shards = vec![0u64; 7];
+        for _ in 0..50 {
+            pool.run(&mut shards, |_, s| *s += 1);
+        }
+        assert!(shards.iter().all(|s| *s == 50));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ShardedPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut shards = vec![0u64; 3];
+        pool.run(&mut shards, |i, s| *s = i as u64 + 1);
+        assert_eq!(shards, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_shard_list_is_a_noop() {
+        let pool = ShardedPool::new(2);
+        let mut shards: Vec<u64> = Vec::new();
+        pool.run(&mut shards, |_, _| panic!("no shards to run"));
+    }
+
+    #[test]
+    fn results_are_independent_of_worker_count() {
+        let work = |threads: usize| {
+            let pool = ShardedPool::new(threads);
+            let mut shards: Vec<u64> = (0..16).map(|i| i * 7 + 3).collect();
+            let windows = AtomicU64::new(0);
+            for _ in 0..20 {
+                pool.run(&mut shards, |_, s| {
+                    // An LCG step per window: order within the window
+                    // must not matter, only that each shard advanced.
+                    *s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                });
+                windows.fetch_add(1, Ordering::Relaxed);
+            }
+            shards
+        };
+        assert_eq!(work(1), work(4));
+    }
+}
