@@ -143,3 +143,10 @@ mod tests {
         assert_eq!(g.site_count(), 2);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(GrowthCurve { site, curve });
+gdisim_snap::snap_struct!(DataGrowth {
+    sites,
+    avg_file_bytes,
+});

@@ -133,3 +133,12 @@ mod tests {
         );
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(IndexCosts {
+    control_cycles,
+    query_cycles,
+    cycles_per_byte,
+    index_size_fraction,
+    control_bytes,
+});

@@ -439,3 +439,30 @@ mod tests {
         assert!((total - 250.0e6).abs() < 1e4, "{total}");
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_enum!(BackgroundKind {
+    0 => SyncRep,
+    1 => IndexBuild,
+});
+gdisim_snap::snap_struct!(OwnershipSplit { masters, rows });
+gdisim_snap::snap_struct!(SchedulerConfig {
+    sync_interval,
+    ib_gap,
+    sync_costs,
+    index_costs,
+});
+gdisim_snap::snap_struct!(MasterState {
+    site,
+    last_sync,
+    next_sync,
+    ib_pending_bytes,
+    ib_running,
+    ib_next_allowed,
+});
+gdisim_snap::snap_struct!(BackgroundScheduler {
+    growth,
+    split,
+    config,
+    masters,
+});

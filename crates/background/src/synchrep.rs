@@ -185,3 +185,11 @@ mod tests {
         build_synchrep(&[1.0], &[1.0, 2.0], &SyncCosts::default());
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(SyncCosts {
+    control_cycles,
+    query_cycles,
+    db_cycles_per_byte,
+    control_bytes,
+});

@@ -38,6 +38,12 @@
 //! `"sharded"` key of `results/BENCH_step_loop.json` and in
 //! `results/BENCH_step_loop_sharded.csv`.
 //!
+//! A third table prices the **robustness features** (DESIGN.md §4.7):
+//! periodic atomic checkpoint writes and the `--paranoid` invariant
+//! auditor, each against the plain serial run. Those rows land in the
+//! `"robustness"` key of `results/BENCH_step_loop.json` and in
+//! `results/BENCH_step_loop_robustness.csv`.
+//!
 //! `--check` runs the CI smoke assertions instead of the timed
 //! benchmark: stale-gate no-op drains on the consolidated run must stay
 //! within 10% of their pre-cancellation baseline, Scatter-Gather's
@@ -49,13 +55,16 @@
 //! On hosts with at least 4 cores the sharded run must also beat the
 //! serial engine by ≥ 1.5×; on smaller hosts the measured ratio is
 //! printed but not asserted (barrier overhead without real parallelism
-//! is exactly what the lookahead math predicts).
+//! is exactly what the lookahead math predicts). Finally, the robust
+//! driver loop with checkpoints and paranoid both *off* must stay
+//! within 2% of the plain step loop — robustness must be free when
+//! unused.
 
 use gdisim_bench::{json_escape, print_table, write_csv, write_json};
 use gdisim_core::scenarios::{churned, consolidated, faulted, rates, validation};
 use gdisim_core::{
     ChurnProcess, EventClass, FaultAction, FaultEvent, FaultPlan, FaultTarget, InFlightPolicy,
-    MasterPolicy, ShardedSimulation, Simulation, SimulationConfig,
+    MasterPolicy, ShardedSimulation, Simulation, SimulationConfig, Snapshot,
 };
 use gdisim_infra::Infrastructure;
 use gdisim_ports::Executor;
@@ -265,6 +274,52 @@ fn measure(
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Best-of-reps wall ms for one serial wheel-mode run through the
+/// CLI's *robust driver loop*: chunked `run_until` under panic
+/// supervision, with the paranoid auditor and periodic atomic
+/// checkpoint writes individually toggled. With both features off this
+/// is exactly what every ordinary `gdisim run` now executes, so
+/// `measure_robust(b, h, false, None)` against `measure(...)` prices
+/// the supervision plumbing itself.
+fn measure_robust(
+    build: fn(u64) -> Simulation,
+    horizon_secs: u64,
+    paranoid: bool,
+    ckpt_every_secs: Option<u64>,
+) -> f64 {
+    let reps = 5;
+    let dir = std::env::temp_dir().join(format!("gdisim-bench-ckpt-{}", std::process::id()));
+    let horizon = SimTime::from_secs(horizon_secs);
+    let every = ckpt_every_secs.map(SimDuration::from_secs);
+    let best = (0..reps)
+        .map(|_| {
+            let mut sim = build(42);
+            sim.set_paranoid(paranoid);
+            let start = Instant::now();
+            let mut next = every.map(|e| SimTime::ZERO + e);
+            loop {
+                let target = match next {
+                    Some(n) if n < horizon => n,
+                    _ => horizon,
+                };
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run_until(target)))
+                    .expect("benchmark run must not panic");
+                if target >= horizon {
+                    break;
+                }
+                let path = gdisim_core::snapshot::checkpoint_path(&dir, "bench", sim.now());
+                Snapshot::write_serial(&path, "bench", 42, &sim)
+                    .expect("checkpoint write succeeds");
+                next = next.zip(every).map(|(n, e)| n + e);
+            }
+            std::hint::black_box(sim.active_operations());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min);
+    let _ = std::fs::remove_dir_all(&dir);
+    best
+}
+
 /// One sharded measurement: best-of-reps wall ms plus the (run-to-run
 /// deterministic) mailbox volume, window length and violation count.
 struct ShardedRun {
@@ -423,6 +478,24 @@ fn check() {
             "sharded engine too slow: {ratio:.2}x < 1.5x on a {cores}-core host"
         );
     }
+
+    // 7. The robust driver loop (panic supervision + checkpoint
+    //    plumbing) with every feature off is what ordinary runs now
+    //    execute; it must stay within 2% of the plain step loop (plus
+    //    1 ms of timer slack — these are ~100 ms runs measured at
+    //    millisecond granularity).
+    let plain = measure(consolidated::build, &Executor::serial(), 30, false);
+    let robust_off = measure_robust(consolidated::build, 30, false, None);
+    let overhead_pct = (robust_off / plain - 1.0) * 100.0;
+    println!(
+        "check: robust driver, features off: {plain:.1} ms plain vs {robust_off:.1} ms \
+         supervised = {overhead_pct:+.2}%"
+    );
+    assert!(
+        robust_off <= plain * 1.02 + 1.0,
+        "supervision plumbing with checkpoints and paranoid off costs {overhead_pct:.2}% \
+         (> 2% budget): {robust_off:.1} ms vs {plain:.1} ms"
+    );
     println!("check: OK");
 }
 
@@ -532,10 +605,64 @@ fn main() {
         ));
     }
 
+    // Robustness features: paranoid auditing and periodic checkpoint
+    // writes, each priced against the plain serial run. The checkpoint
+    // cadence is a quarter of the horizon — three mid-run writes, the
+    // shape a long campaign with `--checkpoint-every` actually has.
+    let mut robust_rows: Vec<Vec<String>> = Vec::new();
+    let mut robust_json: Vec<String> = Vec::new();
+    for case in &CASES {
+        let base = measure(case.build, &Executor::serial(), case.horizon_secs, false);
+        let every = (case.horizon_secs / 4).max(1);
+        let ckpt = measure_robust(case.build, case.horizon_secs, false, Some(every));
+        let paranoid = measure_robust(case.build, case.horizon_secs, true, None);
+        let sim_s = case.horizon_secs as f64;
+        let ckpt_pct = (ckpt / base - 1.0) * 100.0;
+        let paranoid_pct = (paranoid / base - 1.0) * 100.0;
+        robust_rows.push(vec![
+            case.scenario.to_string(),
+            format!("{:.3}", base / sim_s),
+            format!("{every}s"),
+            format!("{:.3}", ckpt / sim_s),
+            format!("{ckpt_pct:+.1}%"),
+            format!("{:.3}", paranoid / sim_s),
+            format!("{paranoid_pct:+.1}%"),
+        ]);
+        robust_json.push(format!(
+            concat!(
+                "    {{\"scenario\": \"{}\", \"sim_seconds\": {}, ",
+                "\"base_ms_per_sim_s\": {:.4}, \"checkpoint_every_secs\": {}, ",
+                "\"checkpoint_ms_per_sim_s\": {:.4}, \"checkpoint_overhead_pct\": {:.2}, ",
+                "\"paranoid_ms_per_sim_s\": {:.4}, \"paranoid_overhead_pct\": {:.2}}}"
+            ),
+            json_escape(case.scenario),
+            case.horizon_secs,
+            base / sim_s,
+            every,
+            ckpt / sim_s,
+            ckpt_pct,
+            paranoid / sim_s,
+            paranoid_pct,
+        ));
+    }
+
     print_table(
         "Step loop: dense poll+tick (before) vs wheel+active-set (after), wall ms per sim s",
         &["scenario", "executor", "before", "after", "speedup"],
         &rows,
+    );
+    print_table(
+        "Robustness: checkpoint writes and paranoid auditing vs plain serial run",
+        &[
+            "scenario",
+            "base",
+            "ckpt-every",
+            "ckpt",
+            "ckpt-ovh",
+            "paranoid",
+            "paranoid-ovh",
+        ],
+        &robust_rows,
     );
     print_table(
         "Sharded engine: serial wheel-mode vs shard windows, wall ms per sim s",
@@ -596,6 +723,32 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     write_csv(
+        "BENCH_step_loop_robustness.csv",
+        &[
+            "scenario",
+            "base_ms_per_sim_s",
+            "checkpoint_every_secs",
+            "checkpoint_ms_per_sim_s",
+            "checkpoint_overhead_pct",
+            "paranoid_ms_per_sim_s",
+            "paranoid_overhead_pct",
+        ],
+        &robust_rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r[2] = r[2].trim_end_matches('s').to_string();
+                for i in [4, 6] {
+                    r[i] = r[i]
+                        .trim_start_matches('+')
+                        .trim_end_matches('%')
+                        .to_string();
+                }
+                r
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_csv(
         "BENCH_step_loop_sharded.csv",
         &[
             "scenario",
@@ -619,9 +772,10 @@ fn main() {
     write_json(
         "BENCH_step_loop.json",
         &format!(
-            "{{\n  \"benchmark\": \"step_loop\",\n  \"unit\": \"wall_ms_per_sim_s\",\n  \"results\": [\n{}\n  ],\n  \"sharded\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"step_loop\",\n  \"unit\": \"wall_ms_per_sim_s\",\n  \"results\": [\n{}\n  ],\n  \"sharded\": [\n{}\n  ],\n  \"robustness\": [\n{}\n  ]\n}}\n",
             json_entries.join(",\n"),
-            sharded_json.join(",\n")
+            sharded_json.join(",\n"),
+            robust_json.join(",\n")
         ),
     );
 }

@@ -37,13 +37,15 @@
 use gdisim_background::BackgroundKind;
 use gdisim_core::scenarios::{churned, consolidated, faulted, multimaster, validation};
 use gdisim_core::{
-    ChurnModel, ChurnModelError, FaultPlan, FaultPlanError, Report, ResilienceStats,
-    ShardConfigError, ShardedSimulation, Simulation, TraceLog,
+    snapshot, ChurnModel, ChurnModelError, FaultPlan, FaultPlanError, Report, ResilienceStats,
+    ShardConfigError, ShardedSimulation, Simulation, Snapshot, SnapshotError, SnapshotPayload,
+    TraceLog,
 };
 use gdisim_infra::{Infrastructure, TopologySpec};
 use gdisim_metrics::mean_stddev;
-use gdisim_types::{SimTime, TierKind};
+use gdisim_types::{SimDuration, SimTime, TierKind};
 use gdisim_workload::ResiliencePolicies;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Everything that can go wrong on the CLI paths — each variant renders
@@ -70,6 +72,12 @@ enum CliError {
     /// An invalid sharded-run configuration (`--shards` /
     /// `--lookahead-ticks`).
     BadShardConfig(ShardConfigError),
+    /// A checkpoint could not be written or read back.
+    Checkpoint(SnapshotError),
+    /// The engine panicked mid-run; a CrashReport was already emitted.
+    Crashed(String),
+    /// The `--paranoid` auditor recorded invariant violations.
+    InvariantViolations(u64),
     /// A report series the command relies on is missing — an internal
     /// inconsistency, reported instead of unwrapped on.
     Internal(String),
@@ -92,8 +100,19 @@ impl std::fmt::Display for CliError {
             CliError::BadChurnModel(e) => write!(f, "{e}"),
             CliError::BadResilience(e) => write!(f, "resilience policies: {e}"),
             CliError::BadShardConfig(e) => write!(f, "sharded run: {e}"),
+            CliError::Checkpoint(e) => write!(f, "{e}"),
+            CliError::Crashed(e) => write!(f, "simulation crashed: {e}"),
+            CliError::InvariantViolations(n) => {
+                write!(f, "--paranoid recorded {n} invariant violations")
+            }
             CliError::Internal(e) => write!(f, "internal inconsistency: {e}"),
         }
+    }
+}
+
+impl From<SnapshotError> for CliError {
+    fn from(e: SnapshotError) -> Self {
+        CliError::Checkpoint(e)
     }
 }
 
@@ -133,6 +152,13 @@ struct Args {
     response_hist: bool,
     shards: usize,
     lookahead_ticks: Option<u64>,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: String,
+    resume: Option<String>,
+    paranoid: bool,
+    /// Supervision test hook (undocumented): `SHARD:SECS` makes that
+    /// shard panic at the given simulation time.
+    inject_panic: Option<(usize, u64)>,
 }
 
 fn parse_args() -> Result<Args, CliError> {
@@ -154,6 +180,11 @@ fn parse_args() -> Result<Args, CliError> {
         response_hist: false,
         shards: 1,
         lookahead_ticks: None,
+        checkpoint_every: None,
+        checkpoint_dir: "checkpoints".into(),
+        resume: None,
+        paranoid: false,
+        inject_panic: None,
     };
     let mut it = std::env::args().skip(1);
     let usage = |e: String| CliError::Usage(e);
@@ -274,6 +305,46 @@ fn parse_args() -> Result<Args, CliError> {
                 }
                 args.lookahead_ticks = Some(ticks);
             }
+            "--checkpoint-every" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or_else(|| {
+                        usage("--checkpoint-every needs a number of sim seconds".into())
+                    })?
+                    .parse()
+                    .map_err(|e| usage(format!("--checkpoint-every: {e}")))?;
+                if secs == 0 {
+                    return Err(usage(
+                        "--checkpoint-every must be at least 1 sim second".into(),
+                    ));
+                }
+                args.checkpoint_every = Some(secs);
+            }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = it
+                    .next()
+                    .ok_or_else(|| usage("--checkpoint-dir needs a directory path".into()))?;
+            }
+            "--resume" => {
+                args.resume = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--resume needs a checkpoint file path".into()))?,
+                );
+            }
+            "--paranoid" => {
+                args.paranoid = true;
+            }
+            "--inject-panic" => {
+                // Undocumented supervision test hook: SHARD:SECS.
+                let spec = it
+                    .next()
+                    .ok_or_else(|| usage("--inject-panic needs SHARD:SECS".into()))?;
+                let (shard, secs) = spec
+                    .split_once(':')
+                    .and_then(|(s, t)| Some((s.parse().ok()?, t.parse().ok()?)))
+                    .ok_or_else(|| usage(format!("--inject-panic: '{spec}' is not SHARD:SECS")))?;
+                args.inject_panic = Some((shard, secs));
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -296,14 +367,28 @@ fn print_usage() {
          [--minutes M] [--seed N] [--bench-json timing.json]\n              \
          [--profile-json p.json] [--trace-perfetto t.json] [--trace-jsonl e.jsonl]\n              \
          [--progress SECS] [--response-hist]\n              \
-         [--shards N] [--lookahead-ticks T]\n  \
+         [--shards N] [--lookahead-ticks T]\n              \
+         [--checkpoint-every SECS] [--checkpoint-dir DIR]\n              \
+         [--resume ckpt] [--paranoid]\n  \
          gdisim topology <spec.json>\n  \
          gdisim export <validation|faulted|churned|consolidated|multimaster>\n\n\
          ROBUSTNESS (run subcommand):\n  \
          --faults PATH|demo     timed fail/recover plan (JSON), or the staged WAN outage\n  \
          --churn PATH|demo      stochastic MTBF/MTTR churn model (JSON), or the built-in demo\n  \
          --resilience PATH|demo hedging + circuit breakers + load shedding (JSON)\n  \
-         (the churned scenario installs the demo churn model and policies by default)\n\n\
+         (the churned scenario installs the demo churn model and policies by default)\n  \
+         --checkpoint-every SECS write a deterministic checkpoint every SECS sim\n                          \
+         seconds (rounded up to whole lookahead windows under\n                          \
+         --shards); a resumed run is bit-identical to an\n                          \
+         uninterrupted one\n  \
+         --checkpoint-dir DIR   where checkpoints land (default: checkpoints/)\n  \
+         --resume CKPT          continue a run from a checkpoint file; scenario,\n                          \
+         seed and installed fault/churn/resilience state all\n                          \
+         come from the checkpoint\n  \
+         --paranoid             audit conservation invariants (token linkage,\n                          \
+         memory-hold balance, active-set completeness, wheel\n                          \
+         gates, mailbox ordering) at every measurement\n                          \
+         collection; violations exit non-zero\n\n\
          OBSERVABILITY (run subcommand):\n  \
          --profile-json PATH   step-loop profile + metrics registry snapshot (JSON)\n  \
          --trace-perfetto PATH per-step phase spans as a Chrome/Perfetto trace\n  \
@@ -501,6 +586,9 @@ fn churn_summary(report: &Report) {
 /// The `run` subcommand: any built-in scenario, optionally under a
 /// fault plan loaded from JSON.
 fn cmd_run(args: &Args) -> Result<(), CliError> {
+    if let Some(path) = args.resume.clone() {
+        return cmd_resume(args, &path);
+    }
     let scenario = args
         .scenario
         .clone()
@@ -615,10 +703,51 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
     if resilience_installed {
         installed.push("resilience policies");
     }
+    let header = format!(
+        "run: scenario {scenario}, seed {}, horizon {horizon}{}",
+        args.seed,
+        if installed.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} installed)", installed.join(" + "))
+        }
+    );
     if args.shards > 1 {
-        return run_sharded_cmd(args, sim, horizon, &scenario, &sites, &installed);
+        let dt = sim.dt();
+        let mut sharded = ShardedSimulation::new(sim, args.shards, args.lookahead_ticks, None)?;
+        sharded.enable_trace(100_000);
+        return run_sharded_cmd(
+            args, sharded, dt, horizon, &scenario, args.seed, &sites, header,
+        );
     }
     sim.enable_trace(100_000);
+    run_serial_cmd(args, sim, horizon, &scenario, args.seed, &sites, header)
+}
+
+/// Drives a serial engine to `horizon` and prints every requested
+/// output — shared by fresh runs and `--resume`. Handles periodic
+/// checkpoints, panic supervision (a crash emits a CrashReport and
+/// exits non-zero) and the `--paranoid` audit summary.
+fn run_serial_cmd(
+    args: &Args,
+    mut sim: Simulation,
+    horizon: SimTime,
+    scenario: &str,
+    seed: u64,
+    sites: &[&str],
+    header: String,
+) -> Result<(), CliError> {
+    if args.paranoid {
+        sim.set_paranoid(true);
+    }
+    if let Some((shard, secs)) = args.inject_panic {
+        if shard != 0 {
+            return Err(CliError::Usage(
+                "--inject-panic: a serial run has only shard 0".into(),
+            ));
+        }
+        sim.inject_panic_at(SimTime::from_secs(secs));
+    }
     // The profiler is pay-for-what-you-ask: any flag that reads its
     // counters turns it on, and span recording (the only part that
     // grows with run length) only when a Perfetto trace was requested.
@@ -634,19 +763,43 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         };
         sim.enable_profiler(span_cap);
     }
-    println!(
-        "run: scenario {scenario}, seed {}, horizon {horizon}{}",
-        args.seed,
-        if installed.is_empty() {
-            String::new()
-        } else {
-            format!(" ({} installed)", installed.join(" + "))
-        }
-    );
+    println!("{header}");
     let wall = std::time::Instant::now();
-    match args.progress {
-        Some(secs) => run_with_progress(&mut sim, horizon, secs),
-        None => sim.run_until(horizon),
+    // Chunk the run at checkpoint boundaries. The serial step loop is
+    // oblivious to where `run_until` calls split it, so the chunked
+    // run is bit-identical to an uninterrupted one.
+    let every = args.checkpoint_every.map(SimDuration::from_secs);
+    let mut next_ckpt = every.map(|e| sim.now() + e);
+    let mut last_ckpt: Option<PathBuf> = None;
+    loop {
+        let target = match next_ckpt {
+            Some(n) if n < horizon => n,
+            _ => horizon,
+        };
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match args.progress {
+            Some(secs) => run_with_progress(&mut sim, target, secs),
+            None => sim.run_until(target),
+        }));
+        if let Err(payload) = run {
+            let tick = sim.now().as_micros() / sim.dt().as_micros();
+            return Err(emit_crash_report(
+                scenario,
+                seed,
+                0,
+                sim.now(),
+                tick,
+                &gdisim_ports::panic_message(payload.as_ref()),
+                last_ckpt.as_deref(),
+            ));
+        }
+        if target >= horizon {
+            break;
+        }
+        let path = snapshot::checkpoint_path(Path::new(&args.checkpoint_dir), scenario, sim.now());
+        Snapshot::write_serial(&path, scenario, seed, &sim)?;
+        println!("checkpoint: wrote {}", path.display());
+        last_ckpt = Some(path);
+        next_ckpt = next_ckpt.zip(every).map(|(n, e)| n + e);
     }
     let elapsed = wall.elapsed();
     println!("simulated {horizon} in {elapsed:?}");
@@ -682,10 +835,9 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
             .unwrap_or_default();
         let json = format!(
             "{{\n  \"scenario\": \"{scenario}\",\n  \"executor\": \"{}\",\n  \
-             \"seed\": {},\n  \"sim_seconds\": {:.3},\n  \"wall_ms\": {:.3},\n  \
+             \"seed\": {seed},\n  \"sim_seconds\": {:.3},\n  \"wall_ms\": {:.3},\n  \
              \"wall_ms_per_sim_s\": {:.4}{gating}\n}}\n",
             sim.executor_name(),
-            args.seed,
             sim_s,
             wall_ms,
             wall_ms / sim_s.max(f64::MIN_POSITIVE),
@@ -697,24 +849,108 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         println!("bench: wrote {path}");
     }
     write_obs_exports(args, &sim)?;
-    dashboard(sim.report(), &sites);
+    dashboard(sim.report(), sites);
     degradation_summary(sim.report(), sim.trace());
     churn_summary(sim.report());
-    Ok(())
+    audit_summary(args, sim.audit_state().cloned())
 }
 
-/// The `run` subcommand under `--shards N` (N > 1): partitions the
-/// built scenario into the sharded engine, runs it in lookahead
-/// windows, prints the per-shard window/barrier/mailbox summary on top
-/// of the usual dashboards, and serves `--bench-json`/`--profile-json`
-/// from the merged counters.
+/// Prints the `--paranoid` auditor tallies (and the first recorded
+/// violations, if any); a non-empty violation count is an error so CI
+/// smoke runs fail loudly.
+fn audit_summary(args: &Args, audit: Option<gdisim_core::AuditState>) -> Result<(), CliError> {
+    if !args.paranoid {
+        return Ok(());
+    }
+    let audit = audit.ok_or_else(|| {
+        CliError::Internal("--paranoid was set but no audit state was recorded".into())
+    })?;
+    println!(
+        "\naudit: {} invariant checks, {} violations",
+        audit.checks, audit.violations
+    );
+    if audit.violations == 0 {
+        return Ok(());
+    }
+    for v in &audit.recorded {
+        println!("  {v}");
+    }
+    if audit.violations > audit.recorded.len() as u64 {
+        println!(
+            "  ... and {} more",
+            audit.violations - audit.recorded.len() as u64
+        );
+    }
+    Err(CliError::InvariantViolations(audit.violations))
+}
+
+/// Typed crash record emitted (as JSON on stdout) when a shard or the
+/// serial engine panics mid-run: everything needed to reproduce (the
+/// scenario and seed), locate (shard and tick) and recover (the last
+/// checkpoint) the crash.
+#[derive(serde::Serialize)]
+struct CrashReport {
+    schema: String,
+    scenario: String,
+    seed: u64,
+    shard: u32,
+    at_secs: f64,
+    tick: u64,
+    panic: String,
+    last_checkpoint: Option<String>,
+}
+
+/// Prints a [`CrashReport`] and folds it into the [`CliError`] that
+/// makes the process exit non-zero.
+fn emit_crash_report(
+    scenario: &str,
+    seed: u64,
+    shard: u32,
+    at: SimTime,
+    tick: u64,
+    message: &str,
+    last_checkpoint: Option<&Path>,
+) -> CliError {
+    let report = CrashReport {
+        schema: "gdisim.crash.v1".into(),
+        scenario: scenario.into(),
+        seed,
+        shard,
+        at_secs: at.as_secs_f64(),
+        tick,
+        panic: message.into(),
+        last_checkpoint: last_checkpoint.map(|p| p.display().to_string()),
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => println!("{json}"),
+        Err(e) => eprintln!("crash report not serializable: {e}"),
+    }
+    CliError::Crashed(format!(
+        "shard {shard} panicked at t={}s (tick {tick}): {message}{}",
+        at.as_secs_f64(),
+        last_checkpoint.map_or(String::new(), |p| format!("; resume from {}", p.display()))
+    ))
+}
+
+/// The `run` subcommand under `--shards N` (N > 1), shared by fresh
+/// runs and `--resume`: runs the sharded engine in lookahead windows,
+/// prints the per-shard window/barrier/mailbox summary on top of the
+/// usual dashboards, and serves `--bench-json`/`--profile-json` from
+/// the merged counters. Checkpoints land only on whole-window
+/// boundaries — the cadence is rounded *up* to a multiple of the
+/// lookahead window so a resumed run keeps the exact window grid (and
+/// therefore the exact mailbox delivery schedule) of an uninterrupted
+/// one.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded_cmd(
     args: &Args,
-    sim: Simulation,
+    mut sharded: ShardedSimulation,
+    dt: SimDuration,
     horizon: SimTime,
     scenario: &str,
+    seed: u64,
     sites: &[&str],
-    installed: &[&str],
+    header: String,
 ) -> Result<(), CliError> {
     if args.progress.is_some() {
         return Err(CliError::Usage(
@@ -728,25 +964,55 @@ fn run_sharded_cmd(
                 .into(),
         ));
     }
-    let mut sharded = ShardedSimulation::new(sim, args.shards, args.lookahead_ticks, None)?;
-    sharded.enable_trace(100_000);
+    if args.paranoid {
+        sharded.set_paranoid(true);
+    }
+    if let Some((shard, secs)) = args.inject_panic {
+        sharded.inject_panic_at(shard, SimTime::from_secs(secs));
+    }
     if args.profile_json.is_some() || args.bench_json.is_some() {
         sharded.enable_profiler(0);
     }
     println!(
-        "run: scenario {scenario}, seed {}, horizon {horizon}, \
-         {} shards x {}-tick windows{}",
-        args.seed,
+        "{header}, {} shards x {}-tick windows",
         sharded.shards(),
-        sharded.window_ticks(),
-        if installed.is_empty() {
-            String::new()
-        } else {
-            format!(" ({} installed)", installed.join(" + "))
-        }
+        sharded.window_ticks()
     );
     let wall = std::time::Instant::now();
-    sharded.run_until(horizon);
+    // Checkpoint cadence in whole windows (ceiling, at least one).
+    let window = dt * sharded.window_ticks();
+    let every = args.checkpoint_every.map(|secs| {
+        let wanted = SimDuration::from_secs(secs);
+        window * (wanted.as_micros().div_ceil(window.as_micros()).max(1))
+    });
+    let mut next_ckpt = every.map(|e| sharded.now() + e);
+    let mut last_ckpt: Option<PathBuf> = None;
+    loop {
+        let target = match next_ckpt {
+            Some(n) if n < horizon => n,
+            _ => horizon,
+        };
+        if let Err(crash) = sharded.try_run_until(target) {
+            return Err(emit_crash_report(
+                scenario,
+                seed,
+                crash.shard,
+                crash.at,
+                crash.tick,
+                &crash.message,
+                last_ckpt.as_deref(),
+            ));
+        }
+        if target >= horizon {
+            break;
+        }
+        let path =
+            snapshot::checkpoint_path(Path::new(&args.checkpoint_dir), scenario, sharded.now());
+        Snapshot::write_sharded(&path, scenario, seed, &sharded)?;
+        println!("checkpoint: wrote {}", path.display());
+        last_ckpt = Some(path);
+        next_ckpt = next_ckpt.zip(every).map(|(n, e)| n + e);
+    }
     let elapsed = wall.elapsed();
     println!("simulated {horizon} in {elapsed:?}");
     let stats = sharded.stats();
@@ -777,7 +1043,7 @@ fn run_sharded_cmd(
              \"ordering_violations\": {violations}\n}}\n",
             sharded.shards(),
             sharded.window_ticks(),
-            args.seed,
+            seed,
             sim_s,
             wall_ms,
             wall_ms / sim_s.max(f64::MIN_POSITIVE),
@@ -801,7 +1067,77 @@ fn run_sharded_cmd(
     dashboard(&report, sites);
     degradation_summary(&report, sharded.traces().first().copied().flatten());
     churn_summary(&report);
-    Ok(())
+    audit_summary(args, sharded.audit_state())
+}
+
+/// Site list and default horizon for a built-in scenario name — what a
+/// resumed run needs to print the right dashboards without rebuilding
+/// the simulation (the checkpoint carries all actual state).
+fn scenario_context(scenario: &str, hours: u64) -> Result<(Vec<&'static str>, SimTime), CliError> {
+    Ok(match scenario {
+        "validation" => (vec!["NA"], SimTime::ZERO + validation::HORIZON),
+        "faulted" => (faulted::SITES.to_vec(), SimTime::ZERO + faulted::HORIZON),
+        "churned" => (churned::SITES.to_vec(), SimTime::ZERO + churned::HORIZON),
+        "consolidated" => (consolidated::SITES.to_vec(), SimTime::from_hours(hours)),
+        "multimaster" => (multimaster::SITES.to_vec(), SimTime::from_hours(hours)),
+        other => return Err(CliError::UnknownScenario(other.into())),
+    })
+}
+
+/// The `--resume` path of the `run` subcommand: reads the checkpoint,
+/// restores whichever engine (serial or sharded) it holds and continues
+/// to the horizon. Scenario, seed and every installed layer come from
+/// the checkpoint; tracing continues from the serialized log (it is
+/// *not* re-enabled, which would truncate it), while the observational
+/// profiler and the `--paranoid` auditor are re-applied from the flags.
+fn cmd_resume(args: &Args, path: &str) -> Result<(), CliError> {
+    if args.faults.is_some() || args.churn.is_some() || args.resilience.is_some() {
+        return Err(CliError::Usage(
+            "--faults/--churn/--resilience are part of the checkpointed state; \
+             they cannot be changed on --resume"
+                .into(),
+        ));
+    }
+    let snap = Snapshot::read(Path::new(path))?;
+    let scenario = snap.meta.scenario.clone();
+    if let Some(requested) = &args.scenario {
+        if *requested != scenario {
+            return Err(CliError::Usage(format!(
+                "--scenario {requested} does not match the checkpoint's scenario '{scenario}'"
+            )));
+        }
+    }
+    let seed = snap.meta.seed;
+    let (sites, default_horizon) = scenario_context(&scenario, args.hours)?;
+    let horizon = match args.minutes {
+        Some(m) => SimTime::from_secs(m * 60),
+        None => default_horizon,
+    };
+    let header = format!(
+        "resume: scenario {scenario}, seed {seed}, from {} to {horizon}",
+        snap.meta.now
+    );
+    match snap.payload {
+        SnapshotPayload::Serial(sim) => {
+            if args.shards > 1 {
+                return Err(CliError::Usage(
+                    "the checkpoint holds a serial engine; drop --shards to resume it".into(),
+                ));
+            }
+            run_serial_cmd(args, *sim, horizon, &scenario, seed, &sites, header)
+        }
+        SnapshotPayload::Sharded(sharded) => {
+            if args.shards > 1 && args.shards != sharded.shards() {
+                return Err(CliError::Usage(format!(
+                    "the checkpoint holds {} shards; --shards {} cannot change that on resume",
+                    sharded.shards(),
+                    args.shards
+                )));
+            }
+            let dt = sharded.dt();
+            run_sharded_cmd(args, *sharded, dt, horizon, &scenario, seed, &sites, header)
+        }
+    }
 }
 
 /// Runs the simulation to `horizon`, printing a heartbeat line to

@@ -494,3 +494,11 @@ mod tests {
         }
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(ChurnProcess {
+    mtbf_secs,
+    mttr_secs,
+    fail_shape,
+    repair_shape,
+});

@@ -75,6 +75,57 @@ impl Default for SimulationConfig {
     }
 }
 
+// Checkpoint support. `ByOwnership` carries a tuple field, so the enum
+// is hand-rolled rather than macro-generated.
+impl gdisim_snap::Snap for MasterPolicy {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        match self {
+            MasterPolicy::Fixed(site) => {
+                w.put_u8(0);
+                gdisim_snap::Snap::save(site, w);
+            }
+            MasterPolicy::ByOwnership(apm) => {
+                w.put_u8(1);
+                gdisim_snap::Snap::save(apm, w);
+            }
+            MasterPolicy::Local => w.put_u8(2),
+        }
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        match r.take_u8()? {
+            0 => Ok(MasterPolicy::Fixed(gdisim_snap::Snap::load(r)?)),
+            1 => Ok(MasterPolicy::ByOwnership(gdisim_snap::Snap::load(r)?)),
+            2 => Ok(MasterPolicy::Local),
+            tag => Err(gdisim_snap::SnapError::BadTag {
+                ty: "MasterPolicy",
+                tag,
+            }),
+        }
+    }
+}
+
+// The executor is deliberately not serialized: thread pools cannot be
+// captured, and bit-identity does not depend on the execution strategy.
+// A restored config starts serial; the CLI re-applies its own executor
+// flags after loading.
+impl gdisim_snap::Snap for SimulationConfig {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        gdisim_snap::Snap::save(&self.dt, w);
+        gdisim_snap::Snap::save(&self.collect_interval, w);
+        gdisim_snap::Snap::save(&self.seed, w);
+        gdisim_snap::Snap::save(&self.load_balancing, w);
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(SimulationConfig {
+            dt: gdisim_snap::Snap::load(r)?,
+            collect_interval: gdisim_snap::Snap::load(r)?,
+            seed: gdisim_snap::Snap::load(r)?,
+            executor: Executor::Serial,
+            load_balancing: gdisim_snap::Snap::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -347,23 +347,77 @@ pub struct Simulation {
     /// one shard of a [`crate::shard::ShardedSimulation`]; `None` on a
     /// serial engine (no interception, zero overhead on the hot paths).
     shard: Option<crate::shard::ShardCtx>,
+    /// Invariant auditor (`--paranoid`); `None` costs nothing. Strictly
+    /// read-only over simulation state — see [`crate::audit`].
+    audit: Option<crate::audit::AuditState>,
+    /// Supervision test hook: the first step at or past this time
+    /// panics. Never serialized — a resumed run must not re-crash.
+    panic_at: Option<SimTime>,
 }
+
+/// Why a simulation (or one of its workloads) could not be built from
+/// user-supplied names: the site/application strings come from topology
+/// and workload files, so misspellings must surface as typed errors on
+/// the `try_*` constructors rather than panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A site name does not match any data center in the topology.
+    UnknownSite(String),
+    /// A workload references an application that was never registered.
+    UnknownApplication(String),
+    /// A workload references a site outside the engine's site list.
+    UnknownWorkloadSite(String),
+    /// A session workload's mean think time must be positive.
+    NonPositiveThinkTime(f64),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownSite(s) => {
+                write!(f, "site '{s}' is not a data center in the topology")
+            }
+            BuildError::UnknownApplication(a) => {
+                write!(f, "no application named '{a}' registered")
+            }
+            BuildError::UnknownWorkloadSite(s) => write!(f, "workload site '{s}' unknown"),
+            BuildError::NonPositiveThinkTime(t) => {
+                write!(f, "mean think time must be positive (got {t})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 impl Simulation {
     /// Creates a simulation over an infrastructure. `sites` fixes the
     /// canonical site order shared with workloads, growth curves and
     /// access-pattern matrices; every site must name a data center.
+    /// # Panics
+    /// Panics when a site does not name a data center; use
+    /// [`Self::try_new`] to get a typed error instead.
     pub fn new(infra: Infrastructure, sites: Vec<String>, config: SimulationConfig) -> Self {
+        Self::try_new(infra, sites, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::new`] with user-supplied site names validated into a
+    /// typed [`BuildError`] instead of a panic.
+    pub fn try_new(
+        infra: Infrastructure,
+        sites: Vec<String>,
+        config: SimulationConfig,
+    ) -> Result<Self, BuildError> {
         let site_dc = sites
             .iter()
             .map(|s| {
                 infra
                     .dc_by_name(s)
-                    .unwrap_or_else(|| panic!("site '{s}' is not a data center in the topology"))
+                    .ok_or_else(|| BuildError::UnknownSite(s.clone()))
             })
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
         let next_collect = SimTime::ZERO + config.collect_interval;
-        Simulation {
+        Ok(Simulation {
             infra,
             sites,
             site_dc,
@@ -397,7 +451,9 @@ impl Simulation {
             resilience: None,
             orphans: HashSet::new(),
             shard: None,
-        }
+            audit: None,
+            panic_at: None,
+        })
     }
 
     /// Registers a calibrated application and returns its registry index.
@@ -411,52 +467,78 @@ impl Simulation {
         self.apps.len() - 1
     }
 
-    /// Adds a diurnal workload for a previously registered application
-    /// (matched by name).
-    pub fn add_diurnal(&mut self, workload: AppWorkload) {
-        let app_idx = self
-            .apps
+    /// Resolves a workload's application name against the registry.
+    fn app_index(&self, name: &str) -> Result<usize, BuildError> {
+        self.apps
             .iter()
-            .position(|a| a.name == workload.app)
-            .unwrap_or_else(|| panic!("no application named '{}' registered", workload.app));
-        let site_map = workload
+            .position(|a| a.name == name)
+            .ok_or_else(|| BuildError::UnknownApplication(name.to_string()))
+    }
+
+    /// Resolves a workload's per-site names against the engine's site
+    /// order.
+    fn workload_site_map(&self, workload: &AppWorkload) -> Result<Vec<usize>, BuildError> {
+        workload
             .sites
             .iter()
             .map(|s| {
                 self.sites
                     .iter()
                     .position(|n| *n == s.site)
-                    .unwrap_or_else(|| panic!("workload site '{}' unknown", s.site))
+                    .ok_or_else(|| BuildError::UnknownWorkloadSite(s.site.clone()))
             })
-            .collect();
+            .collect()
+    }
+
+    /// Adds a diurnal workload for a previously registered application
+    /// (matched by name).
+    ///
+    /// # Panics
+    /// Panics on an unknown application or site name; use
+    /// [`Self::try_add_diurnal`] for a typed error.
+    pub fn add_diurnal(&mut self, workload: AppWorkload) {
+        self.try_add_diurnal(workload)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::add_diurnal`] with name lookups validated into a typed
+    /// [`BuildError`].
+    pub fn try_add_diurnal(&mut self, workload: AppWorkload) -> Result<(), BuildError> {
+        let app_idx = self.app_index(&workload.app)?;
+        let site_map = self.workload_site_map(&workload)?;
         self.traffic.push(TrafficSource::Diurnal {
             app_idx,
             workload,
             site_map,
         });
         self.polled_sources += 1;
+        Ok(())
     }
 
     /// Adds a closed-loop session workload for a registered application:
     /// the curves give the logged-in population, and each session thinks
     /// for `mean_think_secs` (exponential) between operations.
+    ///
+    /// # Panics
+    /// Panics on an unknown application/site name or a non-positive
+    /// think time; use [`Self::try_add_sessions`] for a typed error.
     pub fn add_sessions(&mut self, workload: AppWorkload, mean_think_secs: f64) {
-        assert!(mean_think_secs > 0.0, "think time must be positive");
-        let app_idx = self
-            .apps
-            .iter()
-            .position(|a| a.name == workload.app)
-            .unwrap_or_else(|| panic!("no application named '{}' registered", workload.app));
-        let site_map: Vec<usize> = workload
-            .sites
-            .iter()
-            .map(|s| {
-                self.sites
-                    .iter()
-                    .position(|n| *n == s.site)
-                    .unwrap_or_else(|| panic!("workload site '{}' unknown", s.site))
-            })
-            .collect();
+        self.try_add_sessions(workload, mean_think_secs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::add_sessions`] with name lookups and the think time
+    /// validated into a typed [`BuildError`].
+    pub fn try_add_sessions(
+        &mut self,
+        workload: AppWorkload,
+        mean_think_secs: f64,
+    ) -> Result<(), BuildError> {
+        if mean_think_secs <= 0.0 {
+            return Err(BuildError::NonPositiveThinkTime(mean_think_secs));
+        }
+        let app_idx = self.app_index(&workload.app)?;
+        let site_map = self.workload_site_map(&workload)?;
         let n = site_map.len();
         self.traffic.push(TrafficSource::Sessions {
             app_idx,
@@ -467,6 +549,7 @@ impl Simulation {
             retiring: vec![0; n],
         });
         self.polled_sources += 1;
+        Ok(())
     }
 
     /// Schedules a WAN link failure (by `L from->to` label) at `at`.
@@ -904,6 +987,10 @@ impl Simulation {
             r.set_counter("trace.recorded", t.events().len() as u64);
             r.set_counter("trace.dropped", t.dropped());
         }
+        if let Some(a) = &self.audit {
+            r.set_counter("audit.checks", a.checks);
+            r.set_counter("audit.violations", a.violations);
+        }
         if let Some(s) = self.config.executor.stats() {
             r.set_counter("executor.phases", s.phases);
             r.set_counter("executor.items", s.items);
@@ -924,6 +1011,11 @@ impl Simulation {
     }
 
     /// Adds a periodic series source (validation driver).
+    ///
+    /// # Panics
+    /// Panics on an unknown site name; use
+    /// [`Self::try_add_series_source`] for a typed error.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_series_source(
         &mut self,
         app: AppId,
@@ -933,11 +1025,27 @@ impl Simulation {
         first_launch: SimTime,
         stop_at: Option<SimTime>,
     ) {
+        self.try_add_series_source(app, templates, interval, site, first_launch, stop_at)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::add_series_source`] with the site lookup validated into
+    /// a typed [`BuildError`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_add_series_source(
+        &mut self,
+        app: AppId,
+        templates: Vec<OperationTemplate>,
+        interval: gdisim_types::SimDuration,
+        site: &str,
+        first_launch: SimTime,
+        stop_at: Option<SimTime>,
+    ) -> Result<(), BuildError> {
         let site = self
             .sites
             .iter()
             .position(|n| n == site)
-            .unwrap_or_else(|| panic!("series site '{site}' unknown"));
+            .ok_or_else(|| BuildError::UnknownWorkloadSite(site.to_string()))?;
         self.traffic.push(TrafficSource::PeriodicSeries {
             app,
             templates: templates.into_iter().map(Arc::new).collect(),
@@ -947,6 +1055,7 @@ impl Simulation {
             stop_at,
         });
         self.gate(EventClass::Series, first_launch);
+        Ok(())
     }
 
     /// Sets the master-binding policy.
@@ -1024,6 +1133,160 @@ impl Simulation {
         self.always_poll = on;
         if on {
             self.wheel = None;
+        }
+    }
+
+    /// Switches the runtime invariant auditor (see [`crate::audit`]) on
+    /// or off. The auditor re-derives the engine's conservation
+    /// invariants at every measurement collection; it is strictly
+    /// read-only, so results are bit-for-bit identical either way —
+    /// only wall time changes (each pass is O(state)).
+    pub fn set_paranoid(&mut self, on: bool) {
+        if on {
+            self.audit.get_or_insert_with(Default::default);
+        } else {
+            self.audit = None;
+        }
+    }
+
+    /// The auditor's tallies, when `--paranoid` is on.
+    pub fn audit_state(&self) -> Option<&crate::audit::AuditState> {
+        self.audit.as_ref()
+    }
+
+    /// Runs one audit pass over the current state, recording breaches
+    /// into `audit`. Read-only over simulation state by construction
+    /// (`&self`); called at each measurement collection.
+    fn run_audit(&self, at: SimTime, audit: &mut crate::audit::AuditState) {
+        use crate::audit::InvariantViolation as V;
+        audit.checks += 1;
+
+        // Token linkage and per-memory hold sums, in one flight pass.
+        let mut held: Vec<f64> = vec![0.0; self.infra.memories().len()];
+        for (&token, state) in &self.flight.tokens {
+            if let Some((mem_idx, bytes)) = state.plan.mem_hold {
+                if let Some(h) = held.get_mut(mem_idx) {
+                    *h += bytes;
+                }
+            }
+            let linked = self.flight.instances.contains_key(&state.instance)
+                || (state.instance == crate::shard::FOREIGN_INSTANCE
+                    && self
+                        .shard
+                        .as_ref()
+                        .is_some_and(|c| c.foreign.contains_key(&token)))
+                || self.orphans.contains(&token);
+            if !linked {
+                audit.record(V::TokenWithoutInstance {
+                    at,
+                    token,
+                    instance: state.instance,
+                });
+            }
+        }
+        for (memory, (model, &held_bytes)) in self.infra.memories().iter().zip(&held).enumerate() {
+            let metered = model.occupied_bytes() - model.spec().pool_bytes;
+            // The gauge accumulates f64 adds/subtracts in arrival order;
+            // allow the same slack the release debug-assert does.
+            if (held_bytes - metered).abs() > 1e-3 + held_bytes.abs() * 1e-9 {
+                audit.record(V::MemHoldImbalance {
+                    at,
+                    memory,
+                    held_bytes,
+                    metered_bytes: metered,
+                });
+            }
+        }
+
+        // Active-set completeness: an agent with work in system that the
+        // set dropped would never be ticked again. The always-tick loop
+        // visits everyone, so the set (and the invariant) is moot there.
+        if !self.tick_all {
+            for i in 0..self.infra.agent_count() {
+                let id = gdisim_types::AgentId::from_index(i);
+                if self.infra.component(id).in_system() > 0 && !self.infra.active_contains(i) {
+                    audit.record(V::InactiveAgentWithWork {
+                        at,
+                        agent: i as u32,
+                    });
+                }
+            }
+        }
+
+        // Wheel gates: every class with a pending canonical event must
+        // hold a live gate at or before that event's tick, or its drain
+        // would run late. Mirrors `prime_wheel`'s head enumeration.
+        if let Some(w) = &self.wheel {
+            let dt_us = self.config.dt.as_micros();
+            let check = |class: EventClass, head_us: u64, audit: &mut crate::audit::AuditState| {
+                let head_tick = head_us.div_ceil(dt_us);
+                if w.earliest_live(class).is_none_or(|g| g > head_tick) {
+                    audit.record(V::MissingWheelGate {
+                        at,
+                        class: class.label().to_string(),
+                        head_tick,
+                    });
+                }
+            };
+            if let Some(&std::cmp::Reverse((t_us, _))) =
+                self.churn.as_ref().and_then(|c| c.queue.peek())
+            {
+                check(EventClass::Churn, t_us, audit);
+            }
+            if let Some(&std::cmp::Reverse((t_us, _))) =
+                self.resilience.as_ref().and_then(|r| r.hedges.peek())
+            {
+                check(EventClass::Hedges, t_us, audit);
+            }
+            if let Some(f) = &self.faults {
+                if let Some(&(t, ..)) = f.events.get(f.cursor) {
+                    check(EventClass::Faults, t.as_micros(), audit);
+                }
+                if let Some(at_us) = f.pending_retries.iter().map(|r| r.at.as_micros()).min() {
+                    check(EventClass::Retries, at_us, audit);
+                }
+                if let Some(&std::cmp::Reverse((t_us, _))) = f.timeouts.peek() {
+                    check(EventClass::Timeouts, t_us, audit);
+                }
+            }
+            if let Some(at_us) = self.link_events.iter().map(|(t, _)| t.as_micros()).min() {
+                check(EventClass::Health, at_us, audit);
+            }
+            if let Some(&std::cmp::Reverse((t_us, _))) = self.session_wakes.peek() {
+                check(EventClass::SessionWakes, t_us, audit);
+            }
+            if self.polled_sources == 0 {
+                let head = self
+                    .traffic
+                    .iter()
+                    .filter_map(|s| match s {
+                        TrafficSource::PeriodicSeries { next, stop_at, .. }
+                            if stop_at.is_none_or(|stop| *next < stop) =>
+                        {
+                            Some(next.as_micros())
+                        }
+                        _ => None,
+                    })
+                    .min();
+                if let Some(at_us) = head {
+                    check(EventClass::Series, at_us, audit);
+                }
+            }
+            if let Some(next) = self.background.as_ref().and_then(|s| s.next_due()) {
+                check(EventClass::Background, next.as_micros(), audit);
+            }
+        }
+
+        // Mailbox continuity: sequence gaps already observed by this
+        // shard's inbox bookkeeping.
+        if let Some(ctx) = &self.shard {
+            if ctx.ordering_violations > 0 {
+                audit.record(V::MailboxSeqGap {
+                    at,
+                    shard: ctx.me,
+                    gaps: ctx.ordering_violations,
+                });
+            }
         }
     }
 
@@ -1178,10 +1441,22 @@ impl Simulation {
         }
     }
 
+    /// Supervision test hook: the first step at or past `at` panics
+    /// with a recognizable message, standing in for a genuine engine
+    /// bug so crash reporting and kill→resume can be exercised
+    /// end-to-end. Deliberately not serialized into checkpoints — a
+    /// resumed run must not re-crash.
+    pub fn inject_panic_at(&mut self, at: SimTime) {
+        self.panic_at = Some(at);
+    }
+
     /// Advances one time step.
     pub fn step(&mut self) {
         let now = self.now;
         let dt = self.config.dt;
+        if self.panic_at.is_some_and(|at| now >= at) {
+            panic!("injected panic at {now} (supervision test hook)");
+        }
         if let Some(p) = &mut self.profiler {
             p.begin_step(now.as_micros());
         }
@@ -2053,6 +2328,17 @@ impl Simulation {
         for id in due {
             self.fail_instance(id, now);
         }
+        // Re-arm at the surviving head. The popped batch may have been
+        // entirely dead entries (no `fail_instance` call re-arms then),
+        // and the survivors' insert-time gates may have been retired by
+        // an earlier generation cancel — without this, the head would
+        // only fire once some unrelated retirement re-armed the class
+        // (the invariant auditor's wheel-gate check pins this).
+        if let (Some(w), Some(f)) = (&mut self.wheel, &self.faults) {
+            if let Some(&std::cmp::Reverse((t_us, _))) = f.timeouts.peek() {
+                w.schedule_at_micros(EventClass::Timeouts, t_us);
+            }
+        }
         n
     }
 
@@ -2206,6 +2492,15 @@ impl Simulation {
             // Every armed hedge fired (and twins arm no timers of their
             // own), so the gates of the fired batch are now stale.
             self.cancel_empty_class(EventClass::Hedges);
+        } else if let (Some(w), Some(r)) = (&mut self.wheel, &self.resilience) {
+            // Survivors remain: re-arm at the head. Its insert-time gate
+            // may have been retired by an earlier generation cancel, and
+            // waiting for the next instance retirement to re-arm would
+            // leave the head uncovered (the invariant auditor's
+            // wheel-gate check pins this).
+            if let Some(&std::cmp::Reverse((t_us, _))) = r.hedges.peek() {
+                w.schedule_at_micros(EventClass::Hedges, t_us);
+            }
         }
         n
     }
@@ -3177,6 +3472,14 @@ impl Simulation {
     // ----- collection ------------------------------------------------------
 
     fn collect(&mut self, t: SimTime) {
+        // Paranoid invariant audit first, against the pre-collection
+        // state (collection resets the utilization meters; the audited
+        // quantities — flight table, holds, active set, gates — are
+        // untouched either way).
+        if let Some(mut audit) = self.audit.take() {
+            self.run_audit(t, &mut audit);
+            self.audit = Some(audit);
+        }
         // Group utilizations by (dc, tier, kind). Every agent is collected
         // exactly once so the meters reset cleanly.
         let mut cpu: HashMap<(String, &'static str), (f64, u32)> = HashMap::new();
@@ -3311,5 +3614,154 @@ impl Simulation {
         // Interval aggregates are derivable from history; drain to keep
         // the current-interval map empty.
         let _ = self.report.responses.collect();
+    }
+}
+
+// Checkpoint support. Impls live here because every runtime struct has
+// private fields. Three members are deliberately not serialized:
+//
+// * `wheel` — the timer wheel is a pure scheduling index over the
+//   canonical containers (fault schedule, retry/timeout/hedge/churn
+//   heaps, session wakes, series cursors, background horizon); a
+//   restored engine starts with `wheel = None` and re-primes it lazily
+//   at its next step, which drains exactly what a polled run would.
+// * `profiler` — wall-clock observation, never simulation state.
+// * `config.executor` — thread pools cannot cross a process boundary;
+//   the CLI re-applies its executor flags after restore.
+//
+// `panic_at` (the supervision test hook) is also skipped: a checkpoint
+// taken before an injected crash must resume past it, exactly like a
+// run whose real bug was fixed between kill and resume.
+gdisim_snap::snap_enum!(HealthEvent {
+    0 => Link { label, fail },
+    1 => Server { site, tier, server, fail },
+});
+gdisim_snap::snap_struct!(PendingRetry {
+    at,
+    template,
+    key,
+    binding,
+    chain,
+    session,
+    attempt,
+    first_launched_at,
+});
+gdisim_snap::snap_struct!(FaultRuntime {
+    events,
+    cursor,
+    in_flight,
+    retry,
+    down,
+    timeouts,
+    pending_retries,
+    interval_ok,
+    interval_failed,
+});
+gdisim_snap::snap_struct!(ChurnComponent {
+    label,
+    targets,
+    process,
+    down,
+    incidents,
+    applied,
+    rng,
+    span_start,
+    up_us,
+    down_us,
+    failures,
+    repairs,
+});
+gdisim_snap::snap_struct!(ChurnRuntime {
+    components,
+    queue,
+    seed,
+});
+gdisim_snap::snap_enum!(BreakerState {
+    0 => Closed { consecutive },
+    1 => Open { until_us },
+    2 => HalfOpen { probes_left },
+});
+gdisim_snap::snap_struct!(ResilienceRuntime {
+    policies,
+    breakers,
+    hedges,
+});
+gdisim_snap::snap_struct!(AppEntry { id, name, ops, mix });
+gdisim_snap::snap_enum!(TrafficSource {
+    0 => Diurnal { app_idx, workload, site_map },
+    1 => Sessions { app_idx, workload, site_map, mean_think_secs, live, retiring },
+    2 => PeriodicSeries { app, templates, interval, site, next, stop_at },
+});
+
+impl gdisim_snap::Snap for Simulation {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        gdisim_snap::Snap::save(&self.infra, w);
+        gdisim_snap::Snap::save(&self.sites, w);
+        gdisim_snap::Snap::save(&self.site_dc, w);
+        gdisim_snap::Snap::save(&self.config, w);
+        gdisim_snap::Snap::save(&self.apps, w);
+        gdisim_snap::Snap::save(&self.traffic, w);
+        gdisim_snap::Snap::save(&self.master_policy, w);
+        gdisim_snap::Snap::save(&self.background, w);
+        gdisim_snap::Snap::save(&self.sampler, w);
+        gdisim_snap::Snap::save(&self.cache_rng, w);
+        gdisim_snap::Snap::save(&self.flight, w);
+        gdisim_snap::Snap::save(&self.report, w);
+        gdisim_snap::Snap::save(&self.now, w);
+        gdisim_snap::Snap::save(&self.next_collect, w);
+        gdisim_snap::Snap::save(&self.link_events, w);
+        gdisim_snap::Snap::save(&self.faults, w);
+        gdisim_snap::Snap::save(&self.session_wakes, w);
+        gdisim_snap::Snap::save(&self.sessions, w);
+        gdisim_snap::Snap::save(&self.next_session, w);
+        gdisim_snap::Snap::save(&self.trace, w);
+        gdisim_snap::Snap::save(&self.meter_epoch, w);
+        gdisim_snap::Snap::save(&self.tick_all, w);
+        gdisim_snap::Snap::save(&self.always_poll, w);
+        gdisim_snap::Snap::save(&self.polled_sources, w);
+        gdisim_snap::Snap::save(&self.churn, w);
+        gdisim_snap::Snap::save(&self.resilience, w);
+        gdisim_snap::Snap::save(&self.orphans, w);
+        gdisim_snap::Snap::save(&self.shard, w);
+        gdisim_snap::Snap::save(&self.audit, w);
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(Simulation {
+            infra: gdisim_snap::Snap::load(r)?,
+            sites: gdisim_snap::Snap::load(r)?,
+            site_dc: gdisim_snap::Snap::load(r)?,
+            config: gdisim_snap::Snap::load(r)?,
+            apps: gdisim_snap::Snap::load(r)?,
+            traffic: gdisim_snap::Snap::load(r)?,
+            master_policy: gdisim_snap::Snap::load(r)?,
+            background: gdisim_snap::Snap::load(r)?,
+            sampler: gdisim_snap::Snap::load(r)?,
+            cache_rng: gdisim_snap::Snap::load(r)?,
+            flight: gdisim_snap::Snap::load(r)?,
+            report: gdisim_snap::Snap::load(r)?,
+            now: gdisim_snap::Snap::load(r)?,
+            next_collect: gdisim_snap::Snap::load(r)?,
+            link_events: gdisim_snap::Snap::load(r)?,
+            faults: gdisim_snap::Snap::load(r)?,
+            session_wakes: gdisim_snap::Snap::load(r)?,
+            sessions: gdisim_snap::Snap::load(r)?,
+            next_session: gdisim_snap::Snap::load(r)?,
+            trace: gdisim_snap::Snap::load(r)?,
+            meter_epoch: gdisim_snap::Snap::load(r)?,
+            tick_all: gdisim_snap::Snap::load(r)?,
+            active_scratch: Vec::new(),
+            completed_scratch: Vec::new(),
+            always_poll: gdisim_snap::Snap::load(r)?,
+            wheel: None,
+            polled_sources: gdisim_snap::Snap::load(r)?,
+            profiler: None,
+            cancelled_seen: [0; EventClass::ALL.len()],
+            churn: gdisim_snap::Snap::load(r)?,
+            resilience: gdisim_snap::Snap::load(r)?,
+            orphans: gdisim_snap::Snap::load(r)?,
+            shard: gdisim_snap::Snap::load(r)?,
+            audit: gdisim_snap::Snap::load(r)?,
+            panic_at: None,
+        })
     }
 }

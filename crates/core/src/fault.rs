@@ -502,3 +502,19 @@ mod tests {
         assert!(!plan.is_empty());
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_enum!(FaultTarget {
+    0 => WanLink { label },
+    1 => Server { site, tier, server },
+    2 => DataCenter { site },
+});
+gdisim_snap::snap_enum!(FaultAction {
+    0 => Fail,
+    1 => Recover,
+});
+gdisim_snap::snap_enum!(InFlightPolicy {
+    0 => Drain,
+    1 => Drop,
+    2 => Bounce,
+});

@@ -205,3 +205,56 @@ mod tests {
         assert_eq!(ft.tokens[&tok].instance, a);
     }
 }
+
+// Checkpoint support. `InstanceKind::Background` carries tuple fields,
+// which the declarative enum macro does not cover — hand-rolled.
+impl gdisim_snap::Snap for InstanceKind {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        match self {
+            InstanceKind::Client => w.put_u8(0),
+            InstanceKind::Background(kind, site) => {
+                w.put_u8(1);
+                gdisim_snap::Snap::save(kind, w);
+                gdisim_snap::Snap::save(site, w);
+            }
+        }
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        match r.take_u8()? {
+            0 => Ok(InstanceKind::Client),
+            1 => Ok(InstanceKind::Background(
+                gdisim_snap::Snap::load(r)?,
+                gdisim_snap::Snap::load(r)?,
+            )),
+            tag => Err(gdisim_snap::SnapError::BadTag {
+                ty: "InstanceKind",
+                tag,
+            }),
+        }
+    }
+}
+gdisim_snap::snap_struct!(Chain { remaining, keys });
+gdisim_snap::snap_struct!(Instance {
+    key,
+    kind,
+    template,
+    binding,
+    stages,
+    stage_idx,
+    outstanding,
+    launched_at,
+    first_launched_at,
+    attempt,
+    chain,
+    session,
+    volume_bytes,
+    hedge_partner,
+    is_hedge_twin,
+});
+gdisim_snap::snap_struct!(TokenState { instance, plan });
+gdisim_snap::snap_struct!(FlightTable {
+    next_token,
+    next_instance,
+    tokens,
+    instances,
+});

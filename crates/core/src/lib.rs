@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod churn;
 pub mod config;
 pub mod engine;
@@ -24,14 +25,17 @@ pub mod report;
 pub mod router;
 pub mod scenarios;
 pub mod shard;
+pub mod snapshot;
 pub mod trace;
 pub mod wheel;
 
+pub use audit::{AuditState, InvariantViolation};
 pub use churn::{ChurnModel, ChurnModelError, ChurnProcess, DomainMember, FailureDomain};
 pub use config::{MasterPolicy, SimulationConfig};
-pub use engine::{Simulation, TrafficSource};
+pub use engine::{BuildError, Simulation, TrafficSource};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanError, FaultTarget, InFlightPolicy};
 pub use report::{BackgroundRecord, FaultStats, Report, ResilienceStats, TierKey};
-pub use shard::{ShardConfigError, ShardStats, ShardedSimulation};
+pub use shard::{ShardConfigError, ShardCrash, ShardStats, ShardedSimulation};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotMeta, SnapshotPayload};
 pub use trace::{DroppedCounts, TraceEvent, TraceLog};
 pub use wheel::{EventClass, TimerWheel};

@@ -431,3 +431,120 @@ mod tests {
         assert!(none.is_empty());
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(BackgroundRecord {
+    kind,
+    master_site,
+    launched_at,
+    finished_at,
+    volume_bytes,
+});
+gdisim_snap::snap_struct!(FaultStats {
+    failed_operations,
+    retried_operations,
+    abandoned_operations,
+    dropped_messages,
+    skipped_events,
+});
+gdisim_snap::snap_struct!(ResilienceStats {
+    hedges_launched,
+    hedge_wins,
+    hedges_cancelled,
+    hedge_cancelled_messages,
+    breaker_trips,
+    breaker_rejections,
+    shed_operations,
+});
+gdisim_snap::snap_struct!(ChurnComponentRecord {
+    label,
+    failures,
+    repairs,
+    up_us,
+    down_us,
+});
+gdisim_snap::snap_struct!(ChurnStats {
+    incidents,
+    repairs,
+    refused_incidents,
+    components,
+});
+gdisim_snap::snap_struct!(HealthEventError { at, reason });
+
+/// [`TierKey`]'s second half is a `&'static str` borrowed from
+/// [`TierKind::label`], so tier-keyed maps serialize the label by value
+/// and intern it back through the fixed [`TierKind::ALL`] set on load.
+fn save_tier_map(m: &BTreeMap<TierKey, TimeSeries>, w: &mut gdisim_snap::SnapWriter) {
+    w.put_len(m.len());
+    for ((dc, label), series) in m {
+        gdisim_snap::Snap::save(dc, w);
+        gdisim_snap::Snap::save(&label.to_string(), w);
+        gdisim_snap::Snap::save(series, w);
+    }
+}
+
+fn load_tier_map(
+    r: &mut gdisim_snap::SnapReader<'_>,
+) -> Result<BTreeMap<TierKey, TimeSeries>, gdisim_snap::SnapError> {
+    let len = r.take_len()?;
+    let mut out = BTreeMap::new();
+    for _ in 0..len {
+        let dc = <String as gdisim_snap::Snap>::load(r)?;
+        let label = <String as gdisim_snap::Snap>::load(r)?;
+        let stat = TierKind::ALL
+            .iter()
+            .map(|k| k.label())
+            .find(|l| *l == label)
+            .ok_or(gdisim_snap::SnapError::Invalid("unknown tier label"))?;
+        let series = gdisim_snap::Snap::load(r)?;
+        out.insert((dc, stat), series);
+    }
+    Ok(out)
+}
+
+impl gdisim_snap::Snap for Report {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        save_tier_map(&self.tier_cpu, w);
+        save_tier_map(&self.tier_disk, w);
+        save_tier_map(&self.tier_memory, w);
+        gdisim_snap::Snap::save(&self.wan_util, w);
+        gdisim_snap::Snap::save(&self.client_link_util, w);
+        gdisim_snap::Snap::save(&self.responses, w);
+        gdisim_snap::Snap::save(&self.concurrent_clients, w);
+        gdisim_snap::Snap::save(&self.logged_in_clients, w);
+        gdisim_snap::Snap::save(&self.active_operations, w);
+        gdisim_snap::Snap::save(&self.background, w);
+        gdisim_snap::Snap::save(&self.faults, w);
+        gdisim_snap::Snap::save(&self.availability, w);
+        gdisim_snap::Snap::save(&self.availability_counts, w);
+        gdisim_snap::Snap::save(&self.degraded_windows, w);
+        gdisim_snap::Snap::save(&self.degraded_since, w);
+        gdisim_snap::Snap::save(&self.resilience, w);
+        gdisim_snap::Snap::save(&self.churn, w);
+        gdisim_snap::Snap::save(&self.slo_target, w);
+        gdisim_snap::Snap::save(&self.health_errors, w);
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(Report {
+            tier_cpu: load_tier_map(r)?,
+            tier_disk: load_tier_map(r)?,
+            tier_memory: load_tier_map(r)?,
+            wan_util: gdisim_snap::Snap::load(r)?,
+            client_link_util: gdisim_snap::Snap::load(r)?,
+            responses: gdisim_snap::Snap::load(r)?,
+            concurrent_clients: gdisim_snap::Snap::load(r)?,
+            logged_in_clients: gdisim_snap::Snap::load(r)?,
+            active_operations: gdisim_snap::Snap::load(r)?,
+            background: gdisim_snap::Snap::load(r)?,
+            faults: gdisim_snap::Snap::load(r)?,
+            availability: gdisim_snap::Snap::load(r)?,
+            availability_counts: gdisim_snap::Snap::load(r)?,
+            degraded_windows: gdisim_snap::Snap::load(r)?,
+            degraded_since: gdisim_snap::Snap::load(r)?,
+            resilience: gdisim_snap::Snap::load(r)?,
+            churn: gdisim_snap::Snap::load(r)?,
+            slo_target: gdisim_snap::Snap::load(r)?,
+            health_errors: gdisim_snap::Snap::load(r)?,
+        })
+    }
+}

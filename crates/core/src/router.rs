@@ -387,3 +387,15 @@ mod tests {
         assert_eq!(plan.hops[0].demand, 1e9);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(Hop { agent, demand });
+gdisim_snap::snap_enum!(BrokenPlan {
+    0 => NoRoute,
+    1 => NoServer,
+});
+gdisim_snap::snap_struct!(MessagePlan {
+    hops,
+    mem_hold,
+    broken,
+});

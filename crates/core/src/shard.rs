@@ -218,6 +218,45 @@ pub struct ShardStats {
     pub ordering_violations: u64,
 }
 
+/// A shard's escaped panic, surfaced by
+/// [`ShardedSimulation::try_run_until`] after every surviving shard
+/// reached the window barrier.
+pub struct ShardCrash {
+    /// Index of the shard whose window panicked.
+    pub shard: u32,
+    /// The window-start barrier time of the broken window.
+    pub at: SimTime,
+    /// The same barrier as a tick count (`at / dt`).
+    pub tick: u64,
+    /// Human-readable panic message (see [`gdisim_ports::panic_message`]).
+    pub message: String,
+    /// The original panic payload, for rethrow.
+    pub payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+impl std::fmt::Debug for ShardCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardCrash")
+            .field("shard", &self.shard)
+            .field("at", &self.at)
+            .field("tick", &self.tick)
+            .field("message", &self.message)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Display for ShardCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} panicked in the window starting at t={}s: {}",
+            self.shard,
+            self.at.as_secs_f64(),
+            self.message
+        )
+    }
+}
+
 /// One shard plus its last window's wall time (written inside the
 /// pool closure, read at the barrier).
 struct Slot {
@@ -347,6 +386,11 @@ impl ShardedSimulation {
         self.window_ticks
     }
 
+    /// The discrete time step shared by every shard.
+    pub fn dt(&self) -> SimDuration {
+        self.dt
+    }
+
     /// Current simulation time (the last window barrier).
     pub fn now(&self) -> SimTime {
         self.now
@@ -401,11 +445,60 @@ impl ShardedSimulation {
         self.shards.iter().map(|s| s.sim.step_profile()).collect()
     }
 
+    /// Switches the invariant auditor on or off in every shard (see
+    /// [`Simulation::set_paranoid`]). Each shard audits its own state
+    /// at its own measurement collections; the per-shard tallies merge
+    /// through [`Self::audit_state`].
+    pub fn set_paranoid(&mut self, on: bool) {
+        for slot in &mut self.shards {
+            slot.sim.set_paranoid(on);
+        }
+    }
+
+    /// Supervision test hook: shard `shard` panics at its first step at
+    /// or past `at` (see [`Simulation::inject_panic_at`]). Out-of-range
+    /// shard indices are ignored — the hook is best-effort by design.
+    pub fn inject_panic_at(&mut self, shard: usize, at: SimTime) {
+        if let Some(slot) = self.shards.get_mut(shard) {
+            slot.sim.inject_panic_at(at);
+        }
+    }
+
+    /// Merged auditor tallies across shards, when `--paranoid` is on.
+    pub fn audit_state(&self) -> Option<crate::audit::AuditState> {
+        let mut merged: Option<crate::audit::AuditState> = None;
+        for slot in &self.shards {
+            if let Some(a) = slot.sim.audit_state() {
+                merged.get_or_insert_with(Default::default).merge_from(a);
+            }
+        }
+        merged
+    }
+
     /// Runs the simulation up to `until` (exclusive of any partial
     /// step, matching [`Simulation::run_until`]'s floor semantics) in
     /// lookahead windows: deliver mailboxes, step every shard one
     /// window in parallel, exchange mailboxes at the barrier, repeat.
+    ///
+    /// A panic inside a shard's window is rethrown on the calling
+    /// thread after every surviving shard reached the barrier; use
+    /// [`Self::try_run_until`] to supervise it instead.
     pub fn run_until(&mut self, until: SimTime) {
+        if let Err(crash) = self.try_run_until(until) {
+            std::panic::resume_unwind(crash.payload);
+        }
+    }
+
+    /// [`Self::run_until`] under supervision: a shard's escaped panic
+    /// stops the run at the window barrier it broke and is returned as
+    /// a [`ShardCrash`] instead of unwinding the caller. Every
+    /// *surviving* shard has completed the window (the pool catches
+    /// the panic at the shard boundary, so the barrier wait cannot
+    /// wedge), letting the supervisor report the crash and exit
+    /// cleanly — typically pointing at the last checkpoint for a
+    /// kill→resume cycle. The crashed shard's state is torn mid-step;
+    /// the engine must not be stepped further.
+    pub fn try_run_until(&mut self, until: SimTime) -> Result<(), ShardCrash> {
         let n = self.shards.len();
         let dt_us = self.dt.as_micros();
         loop {
@@ -431,12 +524,25 @@ impl ShardedSimulation {
                     }
                 }
             }
-            // Step every shard one whole window in parallel.
-            self.pool.run(&mut self.shards, |_, slot| {
-                let t0 = std::time::Instant::now();
-                slot.sim.run_until(target);
-                slot.wall_ns = t0.elapsed().as_nanos() as u64;
-            });
+            // Step every shard one whole window in parallel. A panic is
+            // caught at the shard boundary: the others still finish.
+            let crashed = self
+                .pool
+                .run_caught(&mut self.shards, |_, slot| {
+                    let t0 = std::time::Instant::now();
+                    slot.sim.run_until(target);
+                    slot.wall_ns = t0.elapsed().as_nanos() as u64;
+                })
+                .err();
+            if let Some(p) = crashed {
+                return Err(ShardCrash {
+                    shard: p.shard as u32,
+                    at: self.now,
+                    tick: self.now.as_micros() / dt_us,
+                    message: gdisim_ports::panic_message(p.payload.as_ref()),
+                    payload: p.payload,
+                });
+            }
             // Window-end barrier: collect outboxes and stats.
             let slowest = self.shards.iter().map(|s| s.wall_ns).max().unwrap_or(0);
             for src in 0..n {
@@ -452,6 +558,7 @@ impl ShardedSimulation {
             }
             self.now = target;
         }
+        Ok(())
     }
 
     /// Stitches the per-shard reports into one global [`Report`].
@@ -603,6 +710,10 @@ impl ShardedSimulation {
             "resilience.shed_operations",
             report.resilience.shed_operations,
         );
+        if let Some(a) = self.audit_state() {
+            r.set_counter("audit.checks", a.checks);
+            r.set_counter("audit.violations", a.violations);
+        }
         r.set_gauge("sim.time_secs", self.now.as_secs_f64());
         r.set_counter("shards.count", self.shards.len() as u64);
         r.set_counter("shards.window_ticks", self.window_ticks);
@@ -704,4 +815,100 @@ fn sum_series<'a>(mut series: impl Iterator<Item = &'a TimeSeries>) -> TimeSerie
         }
     }
     times.into_iter().zip(values).collect()
+}
+
+// Checkpoint support.
+gdisim_snap::snap_enum!(ShardPayload {
+    0 => Flight { home_shard, home_token, hops, mem },
+    1 => Completion { home_token },
+    2 => Failure { home_token },
+});
+gdisim_snap::snap_struct!(ShardEnvelope { seq, payload });
+gdisim_snap::snap_struct!(Outbox { next_seq, mail });
+gdisim_snap::snap_struct!(ShardCtx {
+    me,
+    dc_owner,
+    outboxes,
+    foreign,
+    expected_seq,
+    sent,
+    received,
+    ordering_violations,
+});
+// Wall-clock diagnostics (`window_wall_ns`, `barrier_wait_ns`,
+// `Slot::wall_ns`) are deliberately not serialized: they measure the
+// host, not the simulation, and skipping them keeps checkpoint bytes a
+// deterministic function of simulation state — the same run always
+// writes the same checkpoint, which the resume-equivalence tests
+// compare byte-for-byte.
+impl gdisim_snap::Snap for ShardStats {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        gdisim_snap::Snap::save(&self.windows, w);
+        gdisim_snap::Snap::save(&self.mail_sent, w);
+        gdisim_snap::Snap::save(&self.mail_received, w);
+        gdisim_snap::Snap::save(&self.ordering_violations, w);
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(ShardStats {
+            windows: gdisim_snap::Snap::load(r)?,
+            window_wall_ns: 0,
+            barrier_wait_ns: 0,
+            mail_sent: gdisim_snap::Snap::load(r)?,
+            mail_received: gdisim_snap::Snap::load(r)?,
+            ordering_violations: gdisim_snap::Snap::load(r)?,
+        })
+    }
+}
+impl gdisim_snap::Snap for Slot {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        gdisim_snap::Snap::save(&self.sim, w);
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(Slot {
+            sim: gdisim_snap::Snap::load(r)?,
+            wall_ns: 0,
+        })
+    }
+}
+
+// The pool itself is threads, not state: only its width survives a
+// checkpoint, and a restored engine spins up a fresh pool of the same
+// width.
+impl gdisim_snap::Snap for ShardedSimulation {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        gdisim_snap::Snap::save(&self.shards, w);
+        gdisim_snap::Snap::save(&self.pool.threads(), w);
+        gdisim_snap::Snap::save(&self.window_ticks, w);
+        gdisim_snap::Snap::save(&self.dt, w);
+        gdisim_snap::Snap::save(&self.now, w);
+        gdisim_snap::Snap::save(&self.pending, w);
+        gdisim_snap::Snap::save(&self.stats, w);
+        gdisim_snap::Snap::save(&self.dc_shard, w);
+        gdisim_snap::Snap::save(&self.wan_shard, w);
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        let shards: Vec<Slot> = gdisim_snap::Snap::load(r)?;
+        let threads: usize = gdisim_snap::Snap::load(r)?;
+        if shards.is_empty() {
+            return Err(gdisim_snap::SnapError::Invalid(
+                "sharded snapshot holds no shards",
+            ));
+        }
+        if threads == 0 || threads > shards.len() {
+            return Err(gdisim_snap::SnapError::Invalid(
+                "sharded snapshot worker count out of range",
+            ));
+        }
+        Ok(ShardedSimulation {
+            shards,
+            pool: ShardedPool::new(threads),
+            window_ticks: gdisim_snap::Snap::load(r)?,
+            dt: gdisim_snap::Snap::load(r)?,
+            now: gdisim_snap::Snap::load(r)?,
+            pending: gdisim_snap::Snap::load(r)?,
+            stats: gdisim_snap::Snap::load(r)?,
+            dc_shard: gdisim_snap::Snap::load(r)?,
+            wan_shard: gdisim_snap::Snap::load(r)?,
+        })
+    }
 }

@@ -606,3 +606,20 @@ mod tests {
         assert_eq!(log.hops_at(AgentId(9)), 0);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_enum!(TraceEvent {
+    0 => Launch { instance, key },
+    1 => Hop { token, agent },
+    2 => MessageDone { token, instance },
+    3 => OperationDone { instance, response_secs },
+    4 => Fault { event, fail },
+    5 => OperationFailed { instance, will_retry },
+    6 => Churn { component, incident, fail },
+});
+gdisim_snap::snap_struct!(TraceLog {
+    events,
+    capacity,
+    dropped,
+    first_dropped,
+});

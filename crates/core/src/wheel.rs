@@ -413,6 +413,45 @@ impl TimerWheel {
     pub fn tick(&self) -> u64 {
         self.tick
     }
+
+    /// The earliest tick at which a *live* gate of `class` will fire:
+    /// the current tick when the class's due bit is pending, otherwise
+    /// the minimum over L0 slots, L1 buckets and the overflow list of
+    /// entries whose generation is still current. `None` means the
+    /// class has no live gate anywhere in the wheel.
+    ///
+    /// This is a full scan of the wheel — O(slots + entries) — intended
+    /// for the paranoid invariant auditor, not the step loop.
+    pub fn earliest_live(&self, class: EventClass) -> Option<u64> {
+        let c = class.index();
+        if self.due & class.bit() != 0 {
+            return Some(self.tick);
+        }
+        let mut best: Option<u64> = None;
+        // L0: slot `s` holds tick `base + s`, or one window later when
+        // that lands at or before the wheel's position.
+        let base = self.tick - self.tick % self.l0_slots;
+        for slot in 0..self.l0_slots as usize {
+            if self.l0[slot] & (1 << c) == 0 || self.l0_gen[slot][c] != self.gen[c] {
+                continue;
+            }
+            let mut t = base + slot as u64;
+            if t <= self.tick {
+                t += self.l0_slots;
+            }
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        let live = |e: &Entry| e.class as usize == c && e.gen == self.gen[c];
+        for bucket in &self.l1 {
+            for e in bucket.iter().filter(|e| live(e)) {
+                best = Some(best.map_or(e.tick, |b| b.min(e.tick)));
+            }
+        }
+        for e in self.overflow.iter().filter(|e| live(e)) {
+            best = Some(best.map_or(e.tick, |b| b.min(e.tick)));
+        }
+        best
+    }
 }
 
 #[cfg(test)]

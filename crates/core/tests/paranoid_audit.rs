@@ -1,0 +1,68 @@
+//! The invariant auditor must run clean on every shipped scenario:
+//! `--paranoid` is only useful as a tripwire if a healthy engine
+//! reports exactly zero violations.
+
+mod common;
+
+use gdisim_core::ShardedSimulation;
+use gdisim_types::SimTime;
+
+#[test]
+fn paranoid_serial_runs_clean_on_every_scenario() {
+    for scenario in common::SCENARIOS {
+        let mut sim = common::build(scenario, 7);
+        sim.set_paranoid(true);
+        sim.run_until(SimTime::from_secs(300));
+        let audit = sim.audit_state().expect("set_paranoid arms the auditor");
+        assert!(audit.checks > 0, "{scenario}: the auditor never ran");
+        assert_eq!(
+            audit.violations, 0,
+            "{scenario}: paranoid run found violations: {:#?}",
+            audit.recorded
+        );
+    }
+}
+
+#[test]
+fn paranoid_sharded_runs_clean() {
+    let mut sharded =
+        ShardedSimulation::new(common::build("churned", 7), 2, None, None).expect("2-way sharding");
+    sharded.set_paranoid(true);
+    sharded.run_until(SimTime::from_secs(300));
+    let audit = sharded
+        .audit_state()
+        .expect("set_paranoid arms every shard's auditor");
+    assert!(audit.checks > 0, "no shard ever audited");
+    assert_eq!(
+        audit.violations, 0,
+        "sharded paranoid run found violations: {:#?}",
+        audit.recorded
+    );
+}
+
+#[test]
+fn paranoid_survives_a_resume() {
+    // The audit tallies themselves are not checkpointed (they are
+    // diagnostics, not simulation state) — but a resumed engine with
+    // the auditor re-armed must still run clean.
+    use gdisim_core::{Snapshot, SnapshotPayload};
+    let (scenario, seed) = ("churned", 21);
+    let mut sim = common::build(scenario, seed);
+    sim.run_until(SimTime::from_secs(150));
+    let bytes = Snapshot::serial(scenario, seed, sim).to_bytes();
+    let SnapshotPayload::Serial(mut resumed) = Snapshot::from_bytes(&bytes)
+        .expect("checkpoint decodes")
+        .payload
+    else {
+        panic!("serial payload expected");
+    };
+    resumed.set_paranoid(true);
+    resumed.run_until(SimTime::from_secs(450));
+    let audit = resumed.audit_state().expect("auditor armed after resume");
+    assert!(audit.checks > 0);
+    assert_eq!(
+        audit.violations, 0,
+        "resumed paranoid run found violations: {:#?}",
+        audit.recorded
+    );
+}

@@ -1,0 +1,101 @@
+//! Shard supervision: a panicking shard must surface as a typed
+//! [`ShardCrash`] (not a poisoned pool or a torn-down process), the
+//! surviving shards must have drained to the window barrier, and the
+//! injected-panic test hook must never ride along in a checkpoint.
+
+mod common;
+
+use gdisim_core::{ShardedSimulation, Snapshot, SnapshotPayload};
+use gdisim_ports::panic_message;
+use gdisim_types::SimTime;
+
+#[test]
+fn shard_panic_surfaces_as_typed_crash() {
+    let mut sharded =
+        ShardedSimulation::new(common::build("churned", 3), 2, None, None).expect("2-way sharding");
+    let window = sharded.dt() * sharded.window_ticks();
+    let panic_at = SimTime::ZERO + window * (60_000_000u64.div_ceil(window.as_micros()));
+    let horizon = SimTime::from_secs(240);
+    sharded.inject_panic_at(1, panic_at);
+
+    let crash = sharded
+        .try_run_until(horizon)
+        .expect_err("the injected panic must abort the run");
+
+    assert_eq!(crash.shard, 1);
+    assert!(
+        crash.message.contains("injected panic"),
+        "message should carry the panic payload, got: {}",
+        crash.message
+    );
+    assert_eq!(
+        panic_message(crash.payload.as_ref()),
+        crash.message,
+        "payload and pre-rendered message must agree"
+    );
+    // The broken window starts at or before the injection instant and
+    // must contain it.
+    assert!(crash.at <= panic_at && panic_at < crash.at + window);
+    assert_eq!(
+        crash.tick,
+        crash.at.as_micros() / sharded.dt().as_micros(),
+        "tick must be the barrier time in dt units"
+    );
+    // The supervisor drained every surviving shard to the last
+    // completed barrier — the engine clock never runs past the crash.
+    assert!(sharded.now() <= crash.at);
+}
+
+#[test]
+fn serial_injected_panic_is_catchable() {
+    let mut sim = common::build("validation", 1);
+    sim.inject_panic_at(SimTime::from_secs(30));
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.run_until(SimTime::from_secs(60))
+    }))
+    .expect_err("the injected panic must fire");
+    assert!(panic_message(payload.as_ref()).contains("injected panic"));
+}
+
+#[test]
+fn out_of_range_shard_injection_is_ignored() {
+    let mut sharded =
+        ShardedSimulation::new(common::build("faulted", 2), 2, None, None).expect("2-way sharding");
+    sharded.inject_panic_at(99, SimTime::from_secs(10));
+    sharded
+        .try_run_until(SimTime::from_secs(30))
+        .expect("an injection aimed at a shard that does not exist is inert");
+}
+
+#[test]
+fn panic_hook_never_rides_in_a_checkpoint() {
+    // A run armed to panic at t=120s is checkpointed at t=60s. The
+    // restored run steps straight through t=120s: the hook is process
+    // state, not simulation state, so resuming after a crash must not
+    // re-crash at the same instant.
+    let (scenario, seed) = ("faulted", 9);
+    let horizon = SimTime::from_secs(240);
+
+    let mut armed = common::build(scenario, seed);
+    armed.enable_trace(100_000);
+    armed.inject_panic_at(SimTime::from_secs(120));
+    armed.run_until(SimTime::from_secs(60));
+    let bytes = Snapshot::serial(scenario, seed, armed).to_bytes();
+    let SnapshotPayload::Serial(mut resumed) = Snapshot::from_bytes(&bytes)
+        .expect("checkpoint decodes")
+        .payload
+    else {
+        panic!("serial payload expected");
+    };
+    resumed.run_until(horizon);
+
+    let mut clean = common::build(scenario, seed);
+    clean.enable_trace(100_000);
+    clean.run_until(horizon);
+
+    assert_eq!(
+        Snapshot::serial(scenario, seed, *resumed).to_bytes(),
+        Snapshot::serial(scenario, seed, clean).to_bytes(),
+        "a resume across the armed instant must match a clean run"
+    );
+}

@@ -256,3 +256,11 @@ mod tests {
         );
     }
 }
+
+// Checkpoint support: the set's membership and idle-from stamps are
+// load-bearing for the lazy idle-crediting fast path.
+gdisim_snap::snap_struct!(ActiveSet {
+    flags,
+    members,
+    idle_from,
+});

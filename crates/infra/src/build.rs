@@ -531,6 +531,12 @@ impl Infrastructure {
         &mut self.memories
     }
 
+    /// Read-only view of the memory models — e.g. occupancy checks by
+    /// the invariant auditor, which must not disturb metering state.
+    pub fn memories(&self) -> &[MemoryModel] {
+        &self.memories
+    }
+
     /// Data centers.
     pub fn data_centers(&self) -> &[DataCenter] {
         &self.dcs
@@ -672,6 +678,11 @@ impl Infrastructure {
     /// Number of currently active agents.
     pub fn active_count(&self) -> usize {
         self.active.len()
+    }
+
+    /// Whether `agent` is currently an active-set member.
+    pub fn active_contains(&self, agent: usize) -> bool {
+        self.active.contains(agent)
     }
 
     /// Drops every active agent that went empty, stamping its idle start
@@ -983,3 +994,46 @@ mod tests {
         );
     }
 }
+
+// Checkpoint support. The spec is not retained at runtime, so the whole
+// infrastructure state (including recomputable routes — cheaper to carry
+// than to re-derive and re-verify) roundtrips through the snapshot.
+gdisim_snap::snap_struct!(Server {
+    cpu,
+    nic,
+    lan,
+    storage,
+    memory,
+});
+gdisim_snap::snap_struct!(Tier {
+    kind,
+    servers,
+    down,
+    next,
+});
+gdisim_snap::snap_struct!(DataCenter {
+    id,
+    name,
+    switch,
+    client_link,
+    client_pool,
+    tiers,
+});
+gdisim_snap::snap_enum!(LoadBalancing {
+    0 => RoundRobin,
+    1 => LeastOutstanding,
+});
+gdisim_snap::snap_struct!(Infrastructure {
+    components,
+    metas,
+    memories,
+    dcs,
+    dc_by_name,
+    wan_links,
+    routes,
+    site_names,
+    wan_specs,
+    failed_links,
+    dc_down,
+    active,
+});

@@ -179,3 +179,75 @@ mod tests {
         assert_ne!(nic.kind(), ComponentKind::Switch);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_enum!(ComponentKind {
+    0 => Cpu,
+    1 => Nic,
+    2 => Switch,
+    3 => Link,
+    4 => Raid,
+    5 => San,
+    6 => ClientPool,
+});
+gdisim_snap::snap_struct!(ComponentMeta {
+    kind,
+    dc,
+    tier,
+    label,
+});
+
+impl gdisim_snap::Snap for Component {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        match self {
+            Component::Cpu(m) => {
+                w.put_u8(0);
+                m.save(w);
+            }
+            Component::Nic(m) => {
+                w.put_u8(1);
+                m.save(w);
+            }
+            Component::Switch(m) => {
+                w.put_u8(2);
+                m.save(w);
+            }
+            Component::Link(m) => {
+                w.put_u8(3);
+                m.save(w);
+            }
+            Component::Raid(m) => {
+                w.put_u8(4);
+                m.save(w);
+            }
+            Component::San(m) => {
+                w.put_u8(5);
+                m.save(w);
+            }
+            Component::ClientPool(m) => {
+                w.put_u8(6);
+                m.save(w);
+            }
+        }
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        use gdisim_snap::Snap;
+        Ok(match r.take_u8()? {
+            0 => Component::Cpu(Snap::load(r)?),
+            1 => Component::Nic(Snap::load(r)?),
+            2 => Component::Switch(Snap::load(r)?),
+            3 => Component::Link(Snap::load(r)?),
+            4 => Component::Raid(Snap::load(r)?),
+            5 => Component::San(Snap::load(r)?),
+            6 => Component::ClientPool(Snap::load(r)?),
+            tag => {
+                return Err(gdisim_snap::SnapError::BadTag {
+                    ty: "Component",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+gdisim_snap::snap_struct!(AgentSlot { component, outbox });

@@ -253,3 +253,11 @@ mod tests {
         assert_eq!(t, back);
     }
 }
+
+// Checkpoint support (retained at runtime for post-fault re-routing).
+gdisim_snap::snap_struct!(WanLinkSpec {
+    from,
+    to,
+    link,
+    backup,
+});

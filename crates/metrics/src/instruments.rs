@@ -524,3 +524,12 @@ mod tests {
         assert!(v.get("histograms").unwrap().get("step_ns").is_some());
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(LogHistogram {
+    counts,
+    count,
+    sum,
+    min,
+    max,
+});

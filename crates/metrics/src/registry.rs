@@ -280,3 +280,19 @@ mod tests {
         assert_eq!(r.total_recorded(), 2);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(ResponseKey { app, op, dc });
+gdisim_snap::snap_struct!(Accum {
+    count,
+    total_secs,
+    max_secs,
+});
+gdisim_snap::snap_struct!(ResponseTimeRegistry {
+    current,
+    history,
+    keep_history,
+    hist,
+    use_histograms,
+    total_recorded,
+});

@@ -224,3 +224,12 @@ mod tests {
         assert_eq!(per_tick.collect().to_bits(), bulk.collect().to_bits());
     }
 }
+
+// Checkpoint support: mid-interval meter accumulators must survive a
+// restore or the first post-resume collection would under-report.
+gdisim_snap::snap_struct!(UtilizationMeter { busy, elapsed });
+gdisim_snap::snap_struct!(GaugeMeter {
+    level,
+    weighted,
+    elapsed,
+});

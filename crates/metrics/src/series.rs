@@ -193,3 +193,7 @@ mod tests {
             .is_empty());
     }
 }
+
+// Checkpoint support: a series roundtrips exactly (times and raw f64
+// bits), so resumed reports match uninterrupted ones byte-for-byte.
+gdisim_snap::snap_struct!(TimeSeries { times, values });

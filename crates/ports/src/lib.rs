@@ -35,7 +35,7 @@ pub use coordination::{Choice, Either, Interleave, JoinReceiver, MultipleItemRec
 pub use dispatch::Dispatcher;
 pub use executor::{Executor, ExecutorStats};
 pub use hdispatch::HDispatchPool;
-pub use pool::PhasePool;
+pub use pool::{panic_message, PhasePool, UnitPanic};
 pub use port::Port;
 pub use scatter_gather::ScatterGatherPool;
-pub use sharded::ShardedPool;
+pub use sharded::{ShardPanic, ShardedPool};

@@ -54,6 +54,28 @@ pub struct PhasePool {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// A work unit's escaped panic, caught by the pool so the phase barrier
+/// still completes: the unit index plus the original panic payload.
+pub struct UnitPanic {
+    /// Index of the unit whose closure panicked (the first one observed;
+    /// later panics in the same phase are dropped).
+    pub unit: usize,
+    /// The payload `panic!` carried, for rethrow or display.
+    pub payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+/// Best-effort human-readable form of a panic payload: the `&str` or
+/// `String` message when the panic carried one, a placeholder otherwise.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl PhasePool {
     /// Creates a pool contributing `threads` total execution streams:
     /// the calling thread plus `threads - 1` parked workers.
@@ -94,8 +116,42 @@ impl PhasePool {
 
     /// Runs one phase of `units` work items; `f(i)` is called exactly
     /// once for every `i < units`, from the caller or a worker. Returns
-    /// when all units are complete.
+    /// when all units are complete. A panicking unit is caught at the
+    /// unit boundary (see [`Self::run_caught`]) and rethrown here after
+    /// the barrier — the phase protocol always completes, so a panic
+    /// can neither wedge the barrier wait nor leave a worker reading a
+    /// dead closure pointer.
     pub fn run(&self, units: usize, f: &(dyn Fn(usize) + Sync)) {
+        if let Err(p) = self.run_caught(units, f) {
+            std::panic::resume_unwind(p.payload);
+        }
+    }
+
+    /// [`Self::run`], but a unit's escaped panic is returned instead of
+    /// rethrown: every other unit still runs to completion and every
+    /// worker reaches the barrier, so the pool stays usable and the
+    /// caller can supervise — report the crash, checkpoint survivors,
+    /// exit cleanly. Only the first observed panic is kept.
+    pub fn run_caught(&self, units: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), UnitPanic> {
+        let first: Mutex<Option<UnitPanic>> = Mutex::new(None);
+        let guarded = |i: usize| {
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                let mut slot = first.lock();
+                if slot.is_none() {
+                    *slot = Some(UnitPanic { unit: i, payload });
+                }
+            }
+        };
+        self.run_protocol(units, &guarded);
+        match first.into_inner() {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
+    }
+
+    /// The raw phase protocol: publish, pull, barrier. `f` must not
+    /// panic (the public entry points wrap it in a catch).
+    fn run_protocol(&self, units: usize, f: &(dyn Fn(usize) + Sync)) {
         if units == 0 {
             return;
         }
@@ -227,6 +283,51 @@ mod tests {
     fn empty_phase_is_a_noop() {
         let pool = PhasePool::new(2);
         pool.run(0, &|_| panic!("no units to run"));
+    }
+
+    #[test]
+    fn panicking_unit_does_not_wedge_the_barrier() {
+        let pool = PhasePool::new(4);
+        let done = AtomicU64::new(0);
+        let err = pool
+            .run_caught(64, &|i| {
+                if i == 13 {
+                    panic!("unit 13 exploded");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect_err("panic must surface");
+        assert_eq!(err.unit, 13);
+        assert_eq!(panic_message(err.payload.as_ref()), "unit 13 exploded");
+        assert_eq!(done.load(Ordering::Relaxed), 63, "survivors all ran");
+        // The pool survives for the next phase.
+        let counter = AtomicU64::new(0);
+        pool.run(10, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn run_rethrows_the_unit_panic() {
+        let pool = PhasePool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        let payload = r.expect_err("panic must propagate");
+        assert_eq!(panic_message(payload.as_ref()), "boom");
+    }
+
+    #[test]
+    fn panic_message_handles_string_and_opaque_payloads() {
+        let owned: Box<dyn std::any::Any + Send> = Box::new("text".to_string());
+        assert_eq!(panic_message(owned.as_ref()), "text");
+        let opaque: Box<dyn std::any::Any + Send> = Box::new(42u64);
+        assert_eq!(panic_message(opaque.as_ref()), "non-string panic payload");
     }
 
     #[test]

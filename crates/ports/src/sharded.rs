@@ -30,6 +30,15 @@ pub struct ShardedPool {
     pool: PhasePool,
 }
 
+/// A shard's escaped panic, caught by [`ShardedPool::run_caught`] after
+/// every surviving shard reached the window barrier.
+pub struct ShardPanic {
+    /// Index of the shard whose window panicked.
+    pub shard: usize,
+    /// The payload `panic!` carried, for rethrow or display.
+    pub payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
 impl ShardedPool {
     /// Creates a pool contributing `threads` total execution streams
     /// (the caller plus `threads - 1` parked workers).
@@ -49,20 +58,41 @@ impl ShardedPool {
 
     /// Runs `f(i, &mut shards[i])` exactly once for every shard, from
     /// the caller or a worker, returning when all shards are done — the
-    /// window barrier.
+    /// window barrier. A panicking shard is rethrown after the barrier
+    /// (see [`Self::run_caught`]).
     pub fn run<S, F>(&self, shards: &mut [S], f: F)
     where
         S: Send,
         F: Fn(usize, &mut S) + Sync,
     {
+        if let Err(p) = self.run_caught(shards, f) {
+            std::panic::resume_unwind(p.payload);
+        }
+    }
+
+    /// [`Self::run`], but a shard's escaped panic is returned instead
+    /// of rethrown: every *surviving* shard still completes its whole
+    /// window and the barrier is reached, so a supervisor can report
+    /// the crash and checkpoint or drain the survivors instead of
+    /// hanging the barrier wait or aborting the process.
+    pub fn run_caught<S, F>(&self, shards: &mut [S], f: F) -> Result<(), ShardPanic>
+    where
+        S: Send,
+        F: Fn(usize, &mut S) + Sync,
+    {
         let base = shards.as_mut_ptr() as usize;
-        self.pool.run(shards.len(), &|i| {
-            // SAFETY: the pool's cursor yields each index exactly once,
-            // so this `&mut` is exclusive; `shards` outlives the call
-            // because `run` blocks until every unit completes.
-            let shard = unsafe { &mut *(base as *mut S).add(i) };
-            f(i, shard);
-        });
+        self.pool
+            .run_caught(shards.len(), &|i| {
+                // SAFETY: the pool's cursor yields each index exactly once,
+                // so this `&mut` is exclusive; `shards` outlives the call
+                // because `run_caught` blocks until every unit completes.
+                let shard = unsafe { &mut *(base as *mut S).add(i) };
+                f(i, shard);
+            })
+            .map_err(|p| ShardPanic {
+                shard: p.unit,
+                payload: p.payload,
+            })
     }
 }
 
@@ -106,6 +136,34 @@ mod tests {
         let pool = ShardedPool::new(2);
         let mut shards: Vec<u64> = Vec::new();
         pool.run(&mut shards, |_, _| panic!("no shards to run"));
+    }
+
+    #[test]
+    fn crashed_shard_reports_while_survivors_reach_the_barrier() {
+        let pool = ShardedPool::new(4);
+        let mut shards: Vec<u64> = vec![0; 8];
+        let err = pool
+            .run_caught(&mut shards, |i, s| {
+                if i == 5 {
+                    panic!("shard 5 died");
+                }
+                *s = 1;
+            })
+            .expect_err("panic must surface");
+        assert_eq!(err.shard, 5);
+        assert_eq!(
+            crate::pool::panic_message(err.payload.as_ref()),
+            "shard 5 died"
+        );
+        // Every surviving shard completed its window.
+        for (i, s) in shards.iter().enumerate() {
+            if i != 5 {
+                assert_eq!(*s, 1, "shard {i} never reached the barrier");
+            }
+        }
+        // The pool stays usable after the crash.
+        pool.run(&mut shards, |_, s| *s += 10);
+        assert!(shards.iter().all(|s| *s >= 10));
     }
 
     #[test]

@@ -187,3 +187,16 @@ mod tests {
         assert!((u - 0.5).abs() < 1e-9, "got {u}");
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(CpuSpec {
+    sockets,
+    cores_per_socket,
+    clock_hz,
+    hyperthreading,
+});
+gdisim_snap::snap_struct!(CpuModel {
+    spec,
+    sockets,
+    next_socket,
+});

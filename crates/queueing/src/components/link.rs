@@ -177,3 +177,15 @@ mod tests {
         assert!((link.collect_utilization() - 0.5).abs() < 1e-9);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(LinkSpec {
+    bandwidth_bytes_per_sec,
+    latency,
+    max_connections,
+});
+gdisim_snap::snap_struct!(LinkModel {
+    spec,
+    service,
+    propagation,
+});

@@ -213,3 +213,16 @@ mod tests {
         let _ = MemorySpec::new(gb(8.0), 0.0).with_pool(gb(9.0));
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(MemorySpec {
+    capacity_bytes,
+    hit_rate,
+    pool_bytes,
+});
+gdisim_snap::snap_struct!(MemoryModel {
+    spec,
+    occupancy,
+    rng,
+    overcommit_events,
+});

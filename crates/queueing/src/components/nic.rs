@@ -101,3 +101,7 @@ mod tests {
         assert_eq!(nic.in_system(), 1);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(NicSpec { rate_bytes_per_sec });
+gdisim_snap::snap_struct!(NicModel { spec, queue });

@@ -280,3 +280,25 @@ mod tests {
         assert_eq!(done, vec![JobToken(0), JobToken(1), JobToken(2)]);
     }
 }
+
+// Checkpoint support. `scratch` is a reusable allocation with no
+// cross-step meaning; it still roundtrips (cheaply empty between steps)
+// so the struct stays fully covered.
+gdisim_snap::snap_struct!(RaidSpec {
+    disks,
+    array_ctrl_rate,
+    array_cache_hit,
+    disk_ctrl_rate,
+    disk_cache_hit,
+    disk_rate,
+});
+gdisim_snap::snap_struct!(RaidModel {
+    spec,
+    dacc,
+    disk_ctrl,
+    disk_drive,
+    stripe_of,
+    outstanding,
+    rng,
+    scratch,
+});

@@ -332,3 +332,33 @@ mod tests {
         assert_eq!(done.len(), 100);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_enum!(FrontStage {
+    0 => Switch,
+    1 => ArrayCtrl,
+    2 => Loop,
+});
+gdisim_snap::snap_struct!(SanSpec {
+    disks,
+    fc_switch_rate,
+    array_ctrl_rate,
+    array_cache_hit,
+    fc_loop_rate,
+    disk_ctrl_rate,
+    disk_cache_hit,
+    disk_rate,
+});
+gdisim_snap::snap_struct!(SanModel {
+    spec,
+    fcsw,
+    dacc,
+    fcal,
+    disk_ctrl,
+    disk_drive,
+    front_stage,
+    demand_of,
+    outstanding,
+    rng,
+    scratch,
+});

@@ -88,3 +88,7 @@ mod tests {
         assert_eq!(done, vec![JobToken(1)]);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(SwitchSpec { rate_bytes_per_sec });
+gdisim_snap::snap_struct!(SwitchModel { spec, queue });

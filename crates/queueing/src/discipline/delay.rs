@@ -124,3 +124,10 @@ mod tests {
         assert_eq!(d.in_system(), 2);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(DelayLine {
+    delay,
+    in_flight,
+    gauge,
+});

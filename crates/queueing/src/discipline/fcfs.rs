@@ -215,3 +215,12 @@ mod tests {
         FcfsMulti::new(1, 0.0);
     }
 }
+
+// Checkpoint support: in-service slots, the waiting line and the
+// mid-interval meter all roundtrip exactly.
+gdisim_snap::snap_struct!(FcfsMulti {
+    servers,
+    waiting,
+    rate,
+    meter,
+});

@@ -120,3 +120,6 @@ mod tests {
         assert!((s.collect_utilization() - 2.0).abs() < 1e-9);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(InfiniteServer { jobs, rate, gauge });

@@ -224,3 +224,12 @@ mod tests {
         PsQueue::new(1.0, 0);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(PsQueue {
+    active,
+    waiting,
+    rate,
+    max_sharing,
+    meter,
+});

@@ -40,3 +40,19 @@ impl JobEntry {
         }
     }
 }
+
+// Checkpoint support.
+impl gdisim_snap::Snap for JobToken {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(JobToken(r.take_u64()?))
+    }
+}
+
+gdisim_snap::snap_struct!(JobEntry {
+    token,
+    remaining,
+    enqueued_at,
+});

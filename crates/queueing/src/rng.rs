@@ -127,3 +127,6 @@ mod tests {
         assert!(seen.iter().all(|s| *s), "all buckets should be hit");
     }
 }
+
+// Checkpoint support: the stream position is the whole state.
+gdisim_snap::snap_struct!(SplitMix64 { state });

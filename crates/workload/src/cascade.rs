@@ -365,3 +365,61 @@ mod tests {
         assert_eq!(l.resolve(Site::Master), DcId(3));
     }
 }
+
+// Checkpoint support.
+impl gdisim_snap::Snap for Holon {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        match self {
+            Holon::Client => w.put_u8(0),
+            Holon::Tier(kind) => {
+                w.put_u8(1);
+                gdisim_snap::Snap::save(kind, w);
+            }
+        }
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(match r.take_u8()? {
+            0 => Holon::Client,
+            1 => Holon::Tier(gdisim_snap::Snap::load(r)?),
+            tag => return Err(gdisim_snap::SnapError::BadTag { ty: "Holon", tag }),
+        })
+    }
+}
+
+impl gdisim_snap::Snap for Site {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        match self {
+            Site::Client => w.put_u8(0),
+            Site::Master => w.put_u8(1),
+            Site::FileHost => w.put_u8(2),
+            Site::Extra(i) => {
+                w.put_u8(3);
+                w.put_u8(*i);
+            }
+        }
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(match r.take_u8()? {
+            0 => Site::Client,
+            1 => Site::Master,
+            2 => Site::FileHost,
+            3 => Site::Extra(r.take_u8()?),
+            tag => return Err(gdisim_snap::SnapError::BadTag { ty: "Site", tag }),
+        })
+    }
+}
+
+gdisim_snap::snap_struct!(Endpoint { holon, site });
+gdisim_snap::snap_struct!(CascadeStep {
+    from,
+    to,
+    r,
+    concurrent_with_prev,
+});
+gdisim_snap::snap_struct!(OperationTemplate { name, steps });
+gdisim_snap::snap_struct!(SiteBinding {
+    client,
+    master,
+    file_host,
+    extras,
+});

@@ -417,3 +417,64 @@ mod tests {
         assert!((f1 - 0.6).abs() < 0.02, "got {f1}");
     }
 }
+
+// Checkpoint support. The sampler carries its raw generator state so
+// the post-resume draw sequence continues exactly where it stopped.
+gdisim_snap::snap_struct!(DiurnalCurve {
+    tz_offset_hours,
+    base,
+    peak,
+    ramp_up_start,
+    ramp_up_end,
+    ramp_down_start,
+    ramp_down_end,
+});
+gdisim_snap::snap_struct!(HourlyTable {
+    tz_offset_hours,
+    values,
+});
+
+impl gdisim_snap::Snap for PopulationCurve {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        match self {
+            PopulationCurve::Trapezoid(c) => {
+                w.put_u8(0);
+                gdisim_snap::Snap::save(c, w);
+            }
+            PopulationCurve::Hourly(h) => {
+                w.put_u8(1);
+                gdisim_snap::Snap::save(h, w);
+            }
+        }
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(match r.take_u8()? {
+            0 => PopulationCurve::Trapezoid(gdisim_snap::Snap::load(r)?),
+            1 => PopulationCurve::Hourly(gdisim_snap::Snap::load(r)?),
+            tag => {
+                return Err(gdisim_snap::SnapError::BadTag {
+                    ty: "PopulationCurve",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+gdisim_snap::snap_struct!(SiteLoad { site, curve });
+gdisim_snap::snap_struct!(AppWorkload {
+    app,
+    sites,
+    ops_per_client_per_hour,
+});
+
+impl gdisim_snap::Snap for ArrivalSampler {
+    fn save(&self, w: &mut gdisim_snap::SnapWriter) {
+        gdisim_snap::Snap::save(&self.rng.state(), w);
+    }
+    fn load(r: &mut gdisim_snap::SnapReader<'_>) -> Result<Self, gdisim_snap::SnapError> {
+        Ok(ArrivalSampler {
+            rng: StdRng::from_state(gdisim_snap::Snap::load(r)?),
+        })
+    }
+}

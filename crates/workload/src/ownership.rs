@@ -212,3 +212,6 @@ mod tests {
         AccessPatternMatrix::single_master(vec!["A".into()], "Z");
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(AccessPatternMatrix { sites, rows });

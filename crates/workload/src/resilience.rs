@@ -209,3 +209,17 @@ mod tests {
         assert_eq!(partial.shed, Some(ShedPolicy { queue_depth: 8 }));
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(HedgePolicy { delay_secs });
+gdisim_snap::snap_struct!(BreakerPolicy {
+    failure_threshold,
+    open_secs,
+    probe_ops,
+});
+gdisim_snap::snap_struct!(ShedPolicy { queue_depth });
+gdisim_snap::snap_struct!(ResiliencePolicies {
+    hedge,
+    breaker,
+    shed,
+});

@@ -135,3 +135,12 @@ mod tests {
         assert_eq!(p, back);
     }
 }
+
+// Checkpoint support.
+gdisim_snap::snap_struct!(RetryPolicy {
+    timeout_secs,
+    max_retries,
+    backoff_base_secs,
+    backoff_factor,
+    backoff_cap_secs,
+});
