@@ -44,6 +44,14 @@
 //! `"robustness"` key of `results/BENCH_step_loop.json` and in
 //! `results/BENCH_step_loop_robustness.csv`.
 //!
+//! A fourth table prices **causal operation tracing** (DESIGN.md §4.8):
+//! `--trace-ops` at the production sampling rate (1%) and at full rate
+//! against the untraced serial run. Sampling is decided once per
+//! operation at launch, so the 1% case measures what always-on tracing
+//! costs a deployment; those rows land in the `"optrace"` key of
+//! `results/BENCH_step_loop.json` and in
+//! `results/BENCH_step_loop_optrace.csv`.
+//!
 //! `--check` runs the CI smoke assertions instead of the timed
 //! benchmark: stale-gate no-op drains on the consolidated run must stay
 //! within 10% of their pre-cancellation baseline, Scatter-Gather's
@@ -55,10 +63,11 @@
 //! On hosts with at least 4 cores the sharded run must also beat the
 //! serial engine by ≥ 1.5×; on smaller hosts the measured ratio is
 //! printed but not asserted (barrier overhead without real parallelism
-//! is exactly what the lookahead math predicts). Finally, the robust
-//! driver loop with checkpoints and paranoid both *off* must stay
-//! within 2% of the plain step loop — robustness must be free when
-//! unused.
+//! is exactly what the lookahead math predicts). The robust driver
+//! loop with checkpoints and paranoid both *off* must stay within 2%
+//! of the plain step loop — robustness must be free when unused.
+//! Finally, operation tracing sampled at 1% must stay within 5% of the
+//! untraced run — observability at production rates must be near-free.
 
 use gdisim_bench::{json_escape, print_table, write_csv, write_json};
 use gdisim_core::scenarios::{churned, consolidated, faulted, rates, validation};
@@ -320,6 +329,28 @@ fn measure_robust(
     best
 }
 
+/// Best-of-reps wall ms for one serial wheel-mode run with causal
+/// operation tracing enabled at `rate` (`None` leaves it off — the
+/// untraced baseline). The sampler decides once per operation at
+/// launch, so a low rate skips the span bookkeeping for almost every
+/// operation; this prices exactly what `--trace-ops RATE` adds.
+fn measure_optrace(build: fn(u64) -> Simulation, horizon_secs: u64, rate: Option<f64>) -> f64 {
+    let reps = 5;
+    (0..reps)
+        .map(|_| {
+            let mut sim = build(42);
+            if let Some(rate) = rate {
+                sim.enable_optrace(rate);
+            }
+            let start = Instant::now();
+            sim.run_until(SimTime::from_secs(horizon_secs));
+            std::hint::black_box(sim.active_operations());
+            std::hint::black_box(sim.optrace().map_or(0, |r| r.counters().sampled));
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// One sharded measurement: best-of-reps wall ms plus the (run-to-run
 /// deterministic) mailbox volume, window length and violation count.
 struct ShardedRun {
@@ -496,6 +527,33 @@ fn check() {
         "supervision plumbing with checkpoints and paranoid off costs {overhead_pct:.2}% \
          (> 2% budget): {robust_off:.1} ms vs {plain:.1} ms"
     );
+
+    // 8. Operation tracing sampled at the 1% production rate must stay
+    //    within 5% of the untraced run (plus the same 1 ms timer slack)
+    //    on the saturated consolidated case — the per-operation launch
+    //    check is one hash, and 99% of operations take no other branch.
+    //    The sampler must also not be vacuous at this rate and horizon.
+    let untraced = measure_optrace(consolidated::build, 30, None);
+    let sampled = measure_optrace(consolidated::build, 30, Some(0.01));
+    let optrace_pct = (sampled / untraced - 1.0) * 100.0;
+    println!(
+        "check: optrace at 1%: {untraced:.1} ms untraced vs {sampled:.1} ms \
+         sampled = {optrace_pct:+.2}%"
+    );
+    let mut sim = consolidated::build(42);
+    sim.enable_optrace(0.01);
+    sim.run_until(SimTime::from_secs(30));
+    let counters = sim.optrace().expect("optrace enabled").counters();
+    println!(
+        "check: optrace at 1%: sampled={}, finished={}",
+        counters.sampled, counters.finished
+    );
+    assert!(counters.sampled > 0, "1% sampler admitted no operations");
+    assert!(
+        sampled <= untraced * 1.05 + 1.0,
+        "sampled operation tracing costs {optrace_pct:.2}% (> 5% budget): \
+         {sampled:.1} ms vs {untraced:.1} ms"
+    );
     println!("check: OK");
 }
 
@@ -646,6 +704,49 @@ fn main() {
         ));
     }
 
+    // Operation tracing: untraced vs 1% sampling vs full rate, each on
+    // the plain serial run. The sampled count comes from a dedicated
+    // profiling run (deterministic, so any rep would report the same).
+    let mut optrace_rows: Vec<Vec<String>> = Vec::new();
+    let mut optrace_json: Vec<String> = Vec::new();
+    for case in &CASES {
+        let base = measure_optrace(case.build, case.horizon_secs, None);
+        let sampled = measure_optrace(case.build, case.horizon_secs, Some(0.01));
+        let full = measure_optrace(case.build, case.horizon_secs, Some(1.0));
+        let mut sim = (case.build)(42);
+        sim.enable_optrace(1.0);
+        sim.run_until(SimTime::from_secs(case.horizon_secs));
+        let total_ops = sim.optrace().expect("optrace enabled").counters().sampled;
+        let sim_s = case.horizon_secs as f64;
+        let sampled_pct = (sampled / base - 1.0) * 100.0;
+        let full_pct = (full / base - 1.0) * 100.0;
+        optrace_rows.push(vec![
+            case.scenario.to_string(),
+            format!("{:.3}", base / sim_s),
+            format!("{:.3}", sampled / sim_s),
+            format!("{sampled_pct:+.1}%"),
+            format!("{:.3}", full / sim_s),
+            format!("{full_pct:+.1}%"),
+            total_ops.to_string(),
+        ]);
+        optrace_json.push(format!(
+            concat!(
+                "    {{\"scenario\": \"{}\", \"sim_seconds\": {}, ",
+                "\"base_ms_per_sim_s\": {:.4}, \"sampled_ms_per_sim_s\": {:.4}, ",
+                "\"sampled_overhead_pct\": {:.2}, \"full_ms_per_sim_s\": {:.4}, ",
+                "\"full_overhead_pct\": {:.2}, \"operations\": {}}}"
+            ),
+            json_escape(case.scenario),
+            case.horizon_secs,
+            base / sim_s,
+            sampled / sim_s,
+            sampled_pct,
+            full / sim_s,
+            full_pct,
+            total_ops,
+        ));
+    }
+
     print_table(
         "Step loop: dense poll+tick (before) vs wheel+active-set (after), wall ms per sim s",
         &["scenario", "executor", "before", "after", "speedup"],
@@ -663,6 +764,13 @@ fn main() {
             "paranoid-ovh",
         ],
         &robust_rows,
+    );
+    print_table(
+        "Operation tracing: untraced vs --trace-ops 0.01 vs 1.0, wall ms per sim s",
+        &[
+            "scenario", "base", "1%", "1%-ovh", "full", "full-ovh", "ops",
+        ],
+        &optrace_rows,
     );
     print_table(
         "Sharded engine: serial wheel-mode vs shard windows, wall ms per sim s",
@@ -749,6 +857,31 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     write_csv(
+        "BENCH_step_loop_optrace.csv",
+        &[
+            "scenario",
+            "base_ms_per_sim_s",
+            "sampled_ms_per_sim_s",
+            "sampled_overhead_pct",
+            "full_ms_per_sim_s",
+            "full_overhead_pct",
+            "operations",
+        ],
+        &optrace_rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                for i in [3, 5] {
+                    r[i] = r[i]
+                        .trim_start_matches('+')
+                        .trim_end_matches('%')
+                        .to_string();
+                }
+                r
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_csv(
         "BENCH_step_loop_sharded.csv",
         &[
             "scenario",
@@ -772,10 +905,11 @@ fn main() {
     write_json(
         "BENCH_step_loop.json",
         &format!(
-            "{{\n  \"benchmark\": \"step_loop\",\n  \"unit\": \"wall_ms_per_sim_s\",\n  \"results\": [\n{}\n  ],\n  \"sharded\": [\n{}\n  ],\n  \"robustness\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"benchmark\": \"step_loop\",\n  \"unit\": \"wall_ms_per_sim_s\",\n  \"results\": [\n{}\n  ],\n  \"sharded\": [\n{}\n  ],\n  \"robustness\": [\n{}\n  ],\n  \"optrace\": [\n{}\n  ]\n}}\n",
             json_entries.join(",\n"),
             sharded_json.join(",\n"),
-            robust_json.join(",\n")
+            robust_json.join(",\n"),
+            optrace_json.join(",\n")
         ),
     );
 }

@@ -148,6 +148,11 @@ struct Args {
     profile_json: Option<String>,
     trace_perfetto: Option<String>,
     trace_jsonl: Option<String>,
+    /// Sampling rate for causal operation tracing (`--trace-ops`);
+    /// implied 1.0 when only `--optrace-json` is given.
+    trace_ops: Option<f64>,
+    /// Span-tree + latency-attribution export path (`--optrace-json`).
+    optrace_json: Option<String>,
     progress: Option<u64>,
     response_hist: bool,
     shards: usize,
@@ -176,6 +181,8 @@ fn parse_args() -> Result<Args, CliError> {
         profile_json: None,
         trace_perfetto: None,
         trace_jsonl: None,
+        trace_ops: None,
+        optrace_json: None,
         progress: None,
         response_hist: false,
         shards: 1,
@@ -268,6 +275,23 @@ fn parse_args() -> Result<Args, CliError> {
                 args.trace_jsonl = Some(
                     it.next()
                         .ok_or_else(|| usage("--trace-jsonl needs a file path".into()))?,
+                );
+            }
+            "--trace-ops" => {
+                let rate: f64 = it
+                    .next()
+                    .ok_or_else(|| usage("--trace-ops needs a sampling rate in [0, 1]".into()))?
+                    .parse()
+                    .map_err(|e| usage(format!("--trace-ops: {e}")))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(usage("--trace-ops rate must be within [0, 1]".into()));
+                }
+                args.trace_ops = Some(rate);
+            }
+            "--optrace-json" => {
+                args.optrace_json = Some(
+                    it.next()
+                        .ok_or_else(|| usage("--optrace-json needs a file path".into()))?,
                 );
             }
             "--progress" => {
@@ -366,6 +390,7 @@ fn print_usage() {
          [--faults plan.json|demo] [--churn model.json|demo] [--resilience policies.json|demo]\n              \
          [--minutes M] [--seed N] [--bench-json timing.json]\n              \
          [--profile-json p.json] [--trace-perfetto t.json] [--trace-jsonl e.jsonl]\n              \
+         [--trace-ops RATE] [--optrace-json ops.json]\n              \
          [--progress SECS] [--response-hist]\n              \
          [--shards N] [--lookahead-ticks T]\n              \
          [--checkpoint-every SECS] [--checkpoint-dir DIR]\n              \
@@ -393,6 +418,14 @@ fn print_usage() {
          --profile-json PATH   step-loop profile + metrics registry snapshot (JSON)\n  \
          --trace-perfetto PATH per-step phase spans as a Chrome/Perfetto trace\n  \
          --trace-jsonl PATH    simulation trace events as JSON Lines + drop trailer\n  \
+         --trace-ops RATE      deterministic seed-stable sampled operation tracing:\n                        \
+                        each sampled operation becomes a span tree (attempt →\n                        \
+                        hedge half → message → hop) with queue/service/WAN\n                        \
+                        segments; bit-identical results at any rate\n  \
+         --optrace-json PATH   span trees + per-key latency attribution\n                        \
+                        (gdisim.optrace.v1 JSON; implies --trace-ops 1.0);\n                        \
+                        with --trace-perfetto, sampled operations also appear\n                        \
+                        as per-DC async span tracks\n  \
          --progress SECS       heartbeat to stderr every SECS wall seconds\n  \
          --response-hist       aggregate response times in log histograms\n\n\
          PARALLELISM (run subcommand):\n  \
@@ -716,12 +749,25 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         let dt = sim.dt();
         let mut sharded = ShardedSimulation::new(sim, args.shards, args.lookahead_ticks, None)?;
         sharded.enable_trace(100_000);
+        if let Some(rate) = optrace_rate(args) {
+            sharded.enable_optrace(rate);
+        }
         return run_sharded_cmd(
             args, sharded, dt, horizon, &scenario, args.seed, &sites, header,
         );
     }
     sim.enable_trace(100_000);
+    if let Some(rate) = optrace_rate(args) {
+        sim.enable_optrace(rate);
+    }
     run_serial_cmd(args, sim, horizon, &scenario, args.seed, &sites, header)
+}
+
+/// The effective operation-tracing sampling rate: `--trace-ops RATE`
+/// verbatim, or 1.0 when only `--optrace-json` asks for the export.
+fn optrace_rate(args: &Args) -> Option<f64> {
+    args.trace_ops
+        .or_else(|| args.optrace_json.is_some().then_some(1.0))
 }
 
 /// Drives a serial engine to `horizon` and prints every requested
@@ -781,6 +827,7 @@ fn run_serial_cmd(
             None => sim.run_until(target),
         }));
         if let Err(payload) = run {
+            flush_partial_obs(args, &sim);
             let tick = sim.now().as_micros() / sim.dt().as_micros();
             return Err(emit_crash_report(
                 scenario,
@@ -957,10 +1004,10 @@ fn run_sharded_cmd(
             "--progress is not supported with --shards > 1".into(),
         ));
     }
-    if args.trace_perfetto.is_some() || args.trace_jsonl.is_some() {
+    if args.trace_perfetto.is_some() {
         return Err(CliError::Usage(
-            "--trace-perfetto/--trace-jsonl export a single engine's trace; \
-             run with --shards 1 to use them"
+            "--trace-perfetto exports a single engine's step-phase spans; \
+             run with --shards 1 to use it"
                 .into(),
         ));
     }
@@ -993,6 +1040,7 @@ fn run_sharded_cmd(
             _ => horizon,
         };
         if let Err(crash) = sharded.try_run_until(target) {
+            flush_partial_obs_sharded(args, &sharded);
             return Err(emit_crash_report(
                 scenario,
                 seed,
@@ -1063,6 +1111,17 @@ fn run_sharded_cmd(
         })?;
         println!("profile: wrote {path}");
     }
+    if let Some(path) = &args.trace_jsonl {
+        write_sharded_trace_jsonl(path, &sharded)?;
+    }
+    if let Some(path) = &args.optrace_json {
+        let (json, n) = render_sharded_optrace_doc(&sharded)?;
+        std::fs::write(path, json).map_err(|source| CliError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        println!("optrace: wrote {path} ({n} ops)");
+    }
     let report = sharded.report();
     dashboard(&report, sites);
     degradation_summary(&report, sharded.traces().first().copied().flatten());
@@ -1089,7 +1148,10 @@ fn scenario_context(scenario: &str, hours: u64) -> Result<(Vec<&'static str>, Si
 /// to the horizon. Scenario, seed and every installed layer come from
 /// the checkpoint; tracing continues from the serialized log (it is
 /// *not* re-enabled, which would truncate it), while the observational
-/// profiler and the `--paranoid` auditor are re-applied from the flags.
+/// profiler, the `--paranoid` auditor and `--trace-ops` operation
+/// tracing are re-applied from the flags (the span recorder is never
+/// serialized, so a resumed export covers operations launched after
+/// the checkpoint).
 fn cmd_resume(args: &Args, path: &str) -> Result<(), CliError> {
     if args.faults.is_some() || args.churn.is_some() || args.resilience.is_some() {
         return Err(CliError::Usage(
@@ -1118,21 +1180,27 @@ fn cmd_resume(args: &Args, path: &str) -> Result<(), CliError> {
         snap.meta.now
     );
     match snap.payload {
-        SnapshotPayload::Serial(sim) => {
+        SnapshotPayload::Serial(mut sim) => {
             if args.shards > 1 {
                 return Err(CliError::Usage(
                     "the checkpoint holds a serial engine; drop --shards to resume it".into(),
                 ));
             }
+            if let Some(rate) = optrace_rate(args) {
+                sim.enable_optrace(rate);
+            }
             run_serial_cmd(args, *sim, horizon, &scenario, seed, &sites, header)
         }
-        SnapshotPayload::Sharded(sharded) => {
+        SnapshotPayload::Sharded(mut sharded) => {
             if args.shards > 1 && args.shards != sharded.shards() {
                 return Err(CliError::Usage(format!(
                     "the checkpoint holds {} shards; --shards {} cannot change that on resume",
                     sharded.shards(),
                     args.shards
                 )));
+            }
+            if let Some(rate) = optrace_rate(args) {
+                sharded.enable_optrace(rate);
             }
             let dt = sharded.dt();
             run_sharded_cmd(args, *sharded, dt, horizon, &scenario, seed, &sites, header)
@@ -1191,9 +1259,10 @@ fn drained_events(sim: &Simulation) -> u64 {
 
 /// Writes whichever observability exports were requested: the profile
 /// JSON (step-loop profile plus a metrics-registry snapshot), the
-/// Perfetto trace (per-step phase spans in Chrome trace-event format)
-/// and the trace JSONL (one simulation event per line plus a
-/// `dropped_by_kind` trailer).
+/// Perfetto trace (per-step phase spans, plus per-DC operation span
+/// tracks when `--trace-ops` is on), the trace JSONL (one simulation
+/// event per line plus a `dropped_by_kind` trailer) and the
+/// `gdisim.optrace.v1` operation-trace document.
 fn write_obs_exports(args: &Args, sim: &Simulation) -> Result<(), CliError> {
     let io_err = |path: &String| {
         let path = path.clone();
@@ -1209,7 +1278,9 @@ fn write_obs_exports(args: &Args, sim: &Simulation) -> Result<(), CliError> {
     }
     if let Some(path) = &args.trace_perfetto {
         let spans = sim.profiler().map(|p| p.spans()).unwrap_or(&[]);
-        std::fs::write(path, gdisim_obs::perfetto::render_trace(spans)).map_err(io_err(path))?;
+        let ops = optrace_perfetto_events(sim);
+        std::fs::write(path, gdisim_obs::perfetto::render_trace_with(spans, ops))
+            .map_err(io_err(path))?;
         println!("perfetto: wrote {path} ({} spans)", spans.len());
     }
     if let Some(path) = &args.trace_jsonl {
@@ -1222,7 +1293,174 @@ fn write_obs_exports(args: &Args, sim: &Simulation) -> Result<(), CliError> {
             .map_err(io_err(path))?;
         println!("trace: wrote {path} ({} events)", trace.events().len());
     }
+    if let Some(path) = &args.optrace_json {
+        let rec = sim.optrace().ok_or_else(|| {
+            CliError::Internal("operation tracing was not enabled for this run".into())
+        })?;
+        let (json, n) = render_optrace_doc(sim, &[(None, rec)])?;
+        std::fs::write(path, json).map_err(io_err(path))?;
+        println!("optrace: wrote {path} ({n} ops)");
+    }
     Ok(())
+}
+
+/// Perfetto async-span events for every sampled operation, grouped into
+/// one synthetic process per client data center (pids 100+dc, clear of
+/// the real step-phase pids). Empty when operation tracing is off.
+fn optrace_perfetto_events(sim: &Simulation) -> Vec<serde::Value> {
+    let Some(rec) = sim.optrace() else {
+        return Vec::new();
+    };
+    let entries: Vec<(Option<u32>, &gdisim_obs::OpRecord)> = rec
+        .export_records()
+        .into_iter()
+        .map(|r| (None, r))
+        .collect();
+    gdisim_obs::op_perfetto_events(
+        &entries,
+        &|k| sim.key_labels(k),
+        &|k| 100 + k.dc.index() as u64,
+        &|k| format!("clients@{}", sim.key_labels(k).2),
+    )
+}
+
+/// Renders the `gdisim.optrace.v1` document from one or more (shard,
+/// recorder) pairs — one pair for a serial run, one per shard for a
+/// sharded run, where counters and the attribution table merge and op
+/// entries carry their shard tag. Labels resolve against `label_sim`'s
+/// registry (every shard replicates the catalog and topology). Returns
+/// the pretty-printed JSON and the number of exported operations.
+fn render_optrace_doc(
+    label_sim: &Simulation,
+    recorders: &[(Option<u32>, &gdisim_core::OpTraceRecorder)],
+) -> Result<(String, usize), CliError> {
+    let key_labels = |k: &gdisim_metrics::ResponseKey| label_sim.key_labels(k);
+    let agent_label = |a: u32| label_sim.agent_label(a);
+    let mut counters = gdisim_obs::OptraceCounters::default();
+    let mut agg = gdisim_metrics::AttributionAggregator::new();
+    let mut ops = Vec::new();
+    let (mut seed, mut rate) = (0u64, 0.0f64);
+    for (shard, rec) in recorders {
+        seed = rec.seed();
+        rate = rec.rate();
+        let c = rec.counters();
+        counters.sampled += c.sampled;
+        counters.finished += c.finished;
+        counters.dropped += c.dropped;
+        agg.merge_from(rec.aggregator());
+        for r in rec.export_records() {
+            ops.push(gdisim_obs::op_to_value(
+                *shard,
+                r,
+                &key_labels,
+                &agent_label,
+            ));
+        }
+    }
+    let n = ops.len();
+    let doc = gdisim_obs::render_optrace(seed, rate, counters, agg.to_value(key_labels), ops);
+    let json = serde_json::to_string_pretty(&doc)
+        .map_err(|e| CliError::Internal(format!("optrace not serializable: {e}")))?;
+    Ok((json, n))
+}
+
+/// Best-effort flush of crash-relevant observability state — the
+/// `--trace-jsonl` event log and a partial `--optrace-json` document
+/// (live, unsettled operations included) — before the crash report goes
+/// out: the events and spans leading up to the panic are exactly what a
+/// post-mortem needs. Failures here print to stderr rather than masking
+/// the crash itself.
+fn flush_partial_obs(args: &Args, sim: &Simulation) {
+    if let Some(path) = &args.trace_jsonl {
+        if let Some(trace) = sim.trace() {
+            let res = std::fs::File::create(path)
+                .and_then(|f| trace.write_jsonl(std::io::BufWriter::new(f)));
+            match res {
+                Ok(()) => println!("trace: wrote {path} ({} events)", trace.events().len()),
+                Err(e) => eprintln!("trace: could not flush {path}: {e}"),
+            }
+        }
+    }
+    if let (Some(path), Some(rec)) = (&args.optrace_json, sim.optrace()) {
+        let res = render_optrace_doc(sim, &[(None, rec)]).and_then(|(json, n)| {
+            std::fs::write(path, json).map_err(|source| CliError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            Ok(n)
+        });
+        match res {
+            Ok(n) => println!("optrace: wrote {path} ({n} ops)"),
+            Err(e) => eprintln!("optrace: could not flush {path}: {e}"),
+        }
+    }
+}
+
+/// [`flush_partial_obs`] for a sharded run: every shard's trace log and
+/// the merged partial optrace document.
+fn flush_partial_obs_sharded(args: &Args, sharded: &ShardedSimulation) {
+    if let Some(path) = &args.trace_jsonl {
+        if let Err(e) = write_sharded_trace_jsonl(path, sharded) {
+            eprintln!("trace: could not flush {path}: {e}");
+        }
+    }
+    if let Some(path) = &args.optrace_json {
+        let res = render_sharded_optrace_doc(sharded).and_then(|(json, n)| {
+            std::fs::write(path, json).map_err(|source| CliError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            Ok(n)
+        });
+        match res {
+            Ok(n) => println!("optrace: wrote {path} ({n} ops)"),
+            Err(e) => eprintln!("optrace: could not flush {path}: {e}"),
+        }
+    }
+}
+
+/// Writes each shard's simulation trace as JSON Lines: shard 0 lands at
+/// `path` verbatim (so single-shard tooling keeps working), shard `i`
+/// at `path.shardN`.
+fn write_sharded_trace_jsonl(path: &str, sharded: &ShardedSimulation) -> Result<(), CliError> {
+    for (i, trace) in sharded.traces().into_iter().enumerate() {
+        let Some(trace) = trace else { continue };
+        let shard_path = if i == 0 {
+            path.to_string()
+        } else {
+            format!("{path}.shard{i}")
+        };
+        let io_err = |source| CliError::Io {
+            path: shard_path.clone(),
+            source,
+        };
+        let file = std::fs::File::create(&shard_path).map_err(io_err)?;
+        trace
+            .write_jsonl(std::io::BufWriter::new(file))
+            .map_err(io_err)?;
+        println!(
+            "trace: wrote {shard_path} ({} events)",
+            trace.events().len()
+        );
+    }
+    Ok(())
+}
+
+/// [`render_optrace_doc`] over every shard's recorder, with shard-tagged
+/// op entries and counters/attribution merged across shards.
+fn render_sharded_optrace_doc(sharded: &ShardedSimulation) -> Result<(String, usize), CliError> {
+    let recorders: Vec<(Option<u32>, &gdisim_core::OpTraceRecorder)> = sharded
+        .optraces()
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.map(|r| (Some(i as u32), r)))
+        .collect();
+    if recorders.is_empty() {
+        return Err(CliError::Internal(
+            "operation tracing was not enabled for this run".into(),
+        ));
+    }
+    render_optrace_doc(sharded.shard_sim(0), &recorders)
 }
 
 fn run_cli(args: &Args) -> Result<(), CliError> {

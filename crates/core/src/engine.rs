@@ -95,6 +95,9 @@ struct PendingRetry {
     session: Option<u64>,
     attempt: u32,
     first_launched_at: SimTime,
+    /// Sampled operation this retry belongs to, carrying span identity
+    /// across the backoff (`None` when the operation is untraced).
+    trace_root: Option<u64>,
 }
 
 /// One churn-managed component: a WAN link, a single server, or a
@@ -353,6 +356,12 @@ pub struct Simulation {
     /// Supervision test hook: the first step at or past this time
     /// panics. Never serialized — a resumed run must not re-crash.
     panic_at: Option<SimTime>,
+    /// Operation-trace recorder (`--trace-ops`); `None` costs nothing.
+    /// Strictly observational (no RNG draws, no state mutation), so
+    /// results are bit-identical with it on or off at any sample rate.
+    /// Never serialized: a resumed run restarts with an empty recorder
+    /// (in-flight traced operations are deliberately dropped).
+    optrace: Option<Box<crate::optrace::OpTraceRecorder>>,
 }
 
 /// Why a simulation (or one of its workloads) could not be built from
@@ -453,6 +462,7 @@ impl Simulation {
             shard: None,
             audit: None,
             panic_at: None,
+            optrace: None,
         })
     }
 
@@ -915,6 +925,74 @@ impl Simulation {
         self.profiler.as_ref().map(|p| p.profile(&labels))
     }
 
+    /// Enables causal operation tracing (`--trace-ops`): a deterministic
+    /// `(seed, instance)`-keyed fraction `rate` of client operations is
+    /// recorded as span trees (attempt → hedge half → message → hop)
+    /// and decomposed into queue/service/WAN/backoff/hedge-wait latency
+    /// components. Strictly observational — the recorder draws no
+    /// randomness and touches no simulation state, so results are
+    /// bit-identical with tracing on or off at any rate (the optrace
+    /// equivalence proptests pin this).
+    pub fn enable_optrace(&mut self, rate: f64) {
+        self.optrace = Some(Box::new(crate::optrace::OpTraceRecorder::new(
+            rate,
+            self.config.seed,
+            crate::optrace::DEFAULT_FINISHED_CAP,
+        )));
+    }
+
+    /// The operation-trace recorder, if enabled.
+    pub fn optrace(&self) -> Option<&crate::optrace::OpTraceRecorder> {
+        self.optrace.as_deref()
+    }
+
+    /// Resolves a response key into human-readable (application,
+    /// operation, client-data-center) labels for observability exports.
+    /// Unknown ids fall back to numeric placeholders so an export never
+    /// panics on a key minted by another shard's registry.
+    pub fn key_labels(&self, key: &gdisim_metrics::ResponseKey) -> (String, String, String) {
+        let (app, op) = if key.app == BG_APP {
+            let op = match key.op {
+                BG_OP_SYNCHREP => "SYNCHREP".to_string(),
+                BG_OP_INDEXBUILD => "INDEXBUILD".to_string(),
+                other => format!("op{}", other.index()),
+            };
+            ("background".to_string(), op)
+        } else if let Some(a) = self.apps.iter().find(|a| a.id == key.app) {
+            let op = a
+                .ops
+                .get(key.op.index())
+                .map_or_else(|| format!("op{}", key.op.index()), |o| o.name.clone());
+            (a.name.clone(), op)
+        } else {
+            (
+                format!("app{}", key.app.index()),
+                format!("op{}", key.op.index()),
+            )
+        };
+        let dc = if key.dc.index() < self.infra.data_centers().len() {
+            self.infra.dc(key.dc).name.clone()
+        } else {
+            format!("dc{}", key.dc.index())
+        };
+        (app, op, dc)
+    }
+
+    /// Human-readable label of a hardware agent by registry index
+    /// (`"cpu srv2 Tapp@NA"`, `"L NA->EU"`, …), with a numeric fallback
+    /// for out-of-range indices.
+    pub fn agent_label(&self, agent: u32) -> String {
+        let idx = agent as usize;
+        if idx < self.infra.agent_count() {
+            self.infra
+                .meta(gdisim_types::AgentId::from_index(idx))
+                .label
+                .clone()
+        } else {
+            format!("agent{idx}")
+        }
+    }
+
     /// Switches full-run response-time retention to log-bucketed
     /// histograms (fixed footprint for day-scale runs). Interval
     /// aggregates — and therefore the report — stay bit-identical; only
@@ -935,7 +1013,9 @@ impl Simulation {
 
     /// Snapshots engine counters, gauges and (in histogram mode) per-key
     /// response histograms into a [`MetricsRegistry`] — the `"registry"`
-    /// section of `--profile-json`.
+    /// section of `--profile-json`. The registry is `BTreeMap`-backed,
+    /// so keys render in stable sorted order and two snapshots of equal
+    /// state export byte-identically.
     pub fn metrics_snapshot(&self) -> MetricsRegistry {
         let mut r = MetricsRegistry::new();
         r.set_counter("responses.recorded", self.report.responses.total_recorded());
@@ -986,6 +1066,12 @@ impl Simulation {
         if let Some(t) = &self.trace {
             r.set_counter("trace.recorded", t.events().len() as u64);
             r.set_counter("trace.dropped", t.dropped());
+        }
+        if let Some(o) = &self.optrace {
+            let c = o.counters();
+            r.set_counter("optrace.sampled", c.sampled);
+            r.set_counter("optrace.finished", c.finished);
+            r.set_counter("optrace.dropped", c.dropped);
         }
         if let Some(a) = &self.audit {
             r.set_counter("audit.checks", a.checks);
@@ -1979,7 +2065,7 @@ impl Simulation {
             f.down.push(target.clone());
             let policy = f.in_flight;
             if policy != InFlightPolicy::Drain {
-                self.evict_target(&target, policy, now);
+                self.evict_target(&target, policy, "fault", now);
             }
         } else {
             let f = self.faults.as_mut().expect("fault runtime installed");
@@ -2098,7 +2184,7 @@ impl Simulation {
                 .in_flight;
             if policy != InFlightPolicy::Drain {
                 for target in &applied {
-                    self.evict_target(target, policy, now);
+                    self.evict_target(target, policy, "churn", now);
                 }
             }
             let at = {
@@ -2175,8 +2261,15 @@ impl Simulation {
     /// settles the owning operations per the in-flight policy: `Bounce`
     /// fails them immediately (a failure response made it back), `Drop`
     /// leaves client operations hanging until their timeout when a retry
-    /// policy is armed, and fails them on the spot otherwise.
-    fn evict_target(&mut self, target: &FaultTarget, policy: InFlightPolicy, now: SimTime) {
+    /// policy is armed, and fails them on the spot otherwise. `why`
+    /// labels the eviction's cause ("fault" / "churn") on traced spans.
+    fn evict_target(
+        &mut self,
+        target: &FaultTarget,
+        policy: InFlightPolicy,
+        why: &'static str,
+        now: SimTime,
+    ) {
         let mut evicted: Vec<JobToken> = Vec::new();
         match target {
             FaultTarget::WanLink { label } => {
@@ -2213,6 +2306,7 @@ impl Simulation {
         // eviction order is canonical per agent and agents are visited in
         // a fixed order, so this whole path is deterministic.
         let mut affected: Vec<u64> = Vec::new();
+        let now_us = now.as_micros();
         for JobToken(token) in evicted {
             if let Some(state) = self.flight.tokens.remove(&token) {
                 if let Some((mem_idx, bytes)) = state.plan.mem_hold {
@@ -2221,15 +2315,26 @@ impl Simulation {
                 if let Some(ctx) = self.shard.as_mut() {
                     if let Some((home_shard, home_token)) = ctx.foreign.remove(&token) {
                         // Hosted for another shard: the home shard does
-                        // the fault accounting and policy handling.
+                        // the fault accounting and policy handling. Any
+                        // trace context hosted for it rides home with
+                        // the failure mail (the severed hop folds into
+                        // queue wait — its service never finished).
+                        let segs = self
+                            .optrace
+                            .as_mut()
+                            .and_then(|o| o.take_foreign_segs(token, Some(now_us)))
+                            .unwrap_or_default();
                         ctx.send(
                             home_shard,
-                            crate::shard::ShardPayload::Failure { home_token },
+                            crate::shard::ShardPayload::Failure { home_token, segs },
                         );
                         continue;
                     }
                 }
                 self.report.faults.dropped_messages += 1;
+                if let Some(o) = self.optrace.as_mut() {
+                    o.abort_token(token, now_us);
+                }
                 affected.push(state.instance);
             } else {
                 // A job of an operation that already failed: the eviction
@@ -2248,7 +2353,7 @@ impl Simulation {
                 // Silently lost: the client notices at its timeout.
                 continue;
             }
-            self.fail_instance(inst_id, now);
+            self.fail_instance(inst_id, why, now);
         }
     }
 
@@ -2288,6 +2393,7 @@ impl Simulation {
                 now,
                 r.attempt,
                 r.first_launched_at,
+                r.trace_root,
             );
         }
         if self
@@ -2326,7 +2432,7 @@ impl Simulation {
         }
         let n = due.len() as u64;
         for id in due {
-            self.fail_instance(id, now);
+            self.fail_instance(id, "timeout", now);
         }
         // Re-arm at the surviving head. The popped batch may have been
         // entirely dead entries (no `fail_instance` call re-arms then),
@@ -2348,13 +2454,22 @@ impl Simulation {
     /// abandons the operation. An abandoned session operation releases
     /// its client back to thinking; a chained series aborts; background
     /// operations never retry (their schedulers own the re-issue cycle).
-    fn fail_instance(&mut self, inst_id: u64, now: SimTime) {
-        self.fail_instance_with(inst_id, FailCause::Fault, now);
+    /// `why` labels the failure's cause on traced spans ("timeout",
+    /// "fault", "churn", "unroutable", ...).
+    fn fail_instance(&mut self, inst_id: u64, why: &'static str, now: SimTime) {
+        self.fail_instance_with(inst_id, FailCause::Fault, why, now);
     }
 
     /// [`Self::fail_instance`] with an explicit cause, which selects the
     /// counter the failure lands in (faults vs. shed vs. breaker).
-    fn fail_instance_with(&mut self, inst_id: u64, cause: FailCause, now: SimTime) {
+    fn fail_instance_with(
+        &mut self,
+        inst_id: u64,
+        cause: FailCause,
+        why: &'static str,
+        now: SimTime,
+    ) {
+        let now_us = now.as_micros();
         // A failing half of a live hedged pair is cancelled quietly —
         // nothing is counted and no retry is scheduled; the surviving
         // half owns the operation's outcome (and inherits the chain and
@@ -2365,7 +2480,12 @@ impl Simulation {
             .get(&inst_id)
             .and_then(|i| i.hedge_partner);
         if let Some(p) = partner {
-            self.cancel_hedge_loser(inst_id, p);
+            // Annotate the failing half's cause first — the loser
+            // cancel's own hook then no-ops on the already-closed half.
+            if let Some(o) = self.optrace.as_mut() {
+                o.on_half_cancelled(inst_id, Some(why), now_us);
+            }
+            self.cancel_hedge_loser(inst_id, p, now);
             self.cancel_stale_timeout_gates();
             self.cancel_stale_hedge_gates();
             return;
@@ -2373,6 +2493,7 @@ impl Simulation {
         let Some(inst) = self.flight.instances.remove(&inst_id) else {
             return;
         };
+        let trace_root = self.optrace.as_ref().and_then(|o| o.root_of(inst_id));
         for token in self.flight.tokens_of(inst_id) {
             let state = self.flight.tokens.remove(&token).expect("token listed");
             if let Some((mem_idx, bytes)) = state.plan.mem_hold {
@@ -2380,6 +2501,9 @@ impl Simulation {
             }
             self.report.faults.dropped_messages += 1;
             self.orphans.insert(token);
+            if let Some(o) = self.optrace.as_mut() {
+                o.abort_token(token, now_us);
+            }
         }
         match cause {
             FailCause::Fault => self.report.faults.failed_operations += 1,
@@ -2409,6 +2533,7 @@ impl Simulation {
                             session: inst.session,
                             attempt: inst.attempt + 1,
                             first_launched_at: inst.first_launched_at,
+                            trace_root,
                         });
                         will_retry = true;
                         retry_at = Some(at);
@@ -2434,6 +2559,9 @@ impl Simulation {
             if let Some(sid) = inst.session {
                 self.schedule_session_think(sid, now);
             }
+        }
+        if let Some(o) = self.optrace.as_mut() {
+            o.on_instance_failed(inst_id, why, will_retry, now_us);
         }
         if let Some(t) = &mut self.trace {
             t.record(
@@ -2559,6 +2687,9 @@ impl Simulation {
             .get_mut(&primary)
             .expect("primary checked live")
             .hedge_partner = Some(twin);
+        if let Some(o) = self.optrace.as_mut() {
+            o.on_hedge_twin(primary, twin, now.as_micros());
+        }
         self.report.resilience.hedges_launched += 1;
         let deadline = self.faults.as_mut().and_then(|f| {
             let policy = f.retry?;
@@ -2579,10 +2710,11 @@ impl Simulation {
     /// or retries. A losing primary's chain and session migrate to the
     /// survivor so follow-ups and session bookkeeping stay with the
     /// operation.
-    fn cancel_hedge_loser(&mut self, loser_id: u64, survivor_id: u64) {
+    fn cancel_hedge_loser(&mut self, loser_id: u64, survivor_id: u64, now: SimTime) {
         let Some(loser) = self.flight.instances.remove(&loser_id) else {
             return;
         };
+        let now_us = now.as_micros();
         let mut dropped = 0u64;
         for token in self.flight.tokens_of(loser_id) {
             let state = self.flight.tokens.remove(&token).expect("token listed");
@@ -2590,7 +2722,15 @@ impl Simulation {
                 self.infra.memories_mut()[mem_idx].release(bytes);
             }
             self.orphans.insert(token);
+            if let Some(o) = self.optrace.as_mut() {
+                o.abort_token(token, now_us);
+            }
             dropped += 1;
+        }
+        // No-ops when the failing-half path already closed this half
+        // with its cause.
+        if let Some(o) = self.optrace.as_mut() {
+            o.on_half_cancelled(loser_id, None, now_us);
         }
         self.report.resilience.hedges_cancelled += 1;
         self.report.resilience.hedge_cancelled_messages += dropped;
@@ -2664,6 +2804,25 @@ impl Simulation {
                 true
             }
             BreakerState::HalfOpen { .. } => false,
+        }
+    }
+
+    /// Read-only label of the route's breaker state at `now`, for span
+    /// annotation. Unlike [`Self::breaker_admits`] this never advances
+    /// the state machine: an elapsed open window reads as "half-open"
+    /// (that is what the subsequent admit check will make it), but the
+    /// probe budget is untouched.
+    fn breaker_state_label(&self, client: DcId, master: DcId, now: SimTime) -> &'static str {
+        let Some(r) = &self.resilience else {
+            return "closed";
+        };
+        if r.policies.breaker.is_none() {
+            return "closed";
+        }
+        match r.breakers.get(&(client, master)) {
+            None | Some(BreakerState::Closed { .. }) => "closed",
+            Some(BreakerState::Open { until_us }) if now.as_micros() < *until_us => "open",
+            Some(BreakerState::Open { .. }) | Some(BreakerState::HalfOpen { .. }) => "half-open",
         }
     }
 
@@ -2857,12 +3016,15 @@ impl Simulation {
             now,
             0,
             now,
+            None,
         );
     }
 
     /// Launches one attempt of an operation. `attempt` is 0 for a fresh
     /// launch; fault-layer retries pass the attempt counter and the
-    /// original launch time so response times cover the full client wait.
+    /// original launch time so response times cover the full client
+    /// wait, plus the sampled span root (`trace_root`) that keeps the
+    /// retry's spans under the original operation.
     #[allow(clippy::too_many_arguments)]
     fn launch_attempt(
         &mut self,
@@ -2876,6 +3038,7 @@ impl Simulation {
         now: SimTime,
         attempt: u32,
         first_launched_at: SimTime,
+        trace_root: Option<u64>,
     ) {
         let stages = template.stages();
         if let Some(t) = &mut self.trace {
@@ -2905,12 +3068,37 @@ impl Simulation {
             hedge_partner: None,
             is_hedge_twin: false,
         });
+        if self.optrace.is_some() {
+            // Annotate with the breaker state as the client saw it at
+            // launch — read before `breaker_admits` advances the state
+            // machine below.
+            let breaker = if kind == InstanceKind::Client {
+                self.breaker_state_label(route_client, route_master, now)
+            } else {
+                "closed"
+            };
+            let kind_label = match kind {
+                InstanceKind::Client => "client",
+                InstanceKind::Background(..) => "background",
+            };
+            if let Some(o) = self.optrace.as_mut() {
+                o.on_launch(
+                    id,
+                    key,
+                    kind_label,
+                    attempt,
+                    breaker,
+                    trace_root,
+                    now.as_micros(),
+                );
+            }
+        }
         // Per-route circuit breaker: an open breaker fails the launch
         // fast (a local error response) before any message is compiled
         // or any timer armed. The rejection settles through the normal
         // fail path, so the retry policy still applies.
         if kind == InstanceKind::Client && !self.breaker_admits(route_client, route_master, now) {
-            self.fail_instance_with(id, FailCause::Breaker, now);
+            self.fail_instance_with(id, FailCause::Breaker, "breaker", now);
             return;
         }
         // Arm the per-attempt client timeout when a retry policy is set.
@@ -2944,7 +3132,7 @@ impl Simulation {
     /// whose compiled plan is empty (all-zero demands) complete
     /// immediately, which may cascade into further stages.
     fn start_stage(&mut self, inst_id: u64, now: SimTime) {
-        let (range, template, binding, shed_depth) = {
+        let (range, template, binding, shed_depth, stage_idx) = {
             let inst = &self.flight.instances[&inst_id];
             // Server-side load shedding guards admission: the check
             // applies to a client operation's first stage only (later
@@ -2961,8 +3149,10 @@ impl Simulation {
                 Arc::clone(&inst.template),
                 inst.binding.clone(),
                 shed_depth,
+                inst.stage_idx as u32,
             )
         };
+        let now_us = now.as_micros();
         let mut instant: Vec<u64> = Vec::new();
         let mut launched = 0u32;
         for si in range {
@@ -2994,9 +3184,12 @@ impl Simulation {
                                 self.infra.memories_mut()[mem_idx].release(bytes);
                             }
                             self.report.faults.dropped_messages += 1;
+                            if let Some(o) = self.optrace.as_mut() {
+                                o.abort_token(token, now_us);
+                            }
                         }
                     }
-                    self.fail_instance_with(inst_id, FailCause::Shed, now);
+                    self.fail_instance_with(inst_id, FailCause::Shed, "shed", now);
                     return;
                 }
             }
@@ -3011,13 +3204,19 @@ impl Simulation {
                             self.infra.memories_mut()[mem_idx].release(bytes);
                         }
                         self.report.faults.dropped_messages += 1;
+                        if let Some(o) = self.optrace.as_mut() {
+                            o.abort_token(token, now_us);
+                        }
                     }
                 }
-                self.fail_instance(inst_id, now);
+                self.fail_instance(inst_id, "unroutable", now);
                 return;
             }
             let first = plan.hops.pop_front();
             let token = self.flight.add_token(inst_id, plan);
+            if let Some(o) = self.optrace.as_mut() {
+                o.on_token_start(token, inst_id, stage_idx, now_us);
+            }
             match first {
                 Some(hop) => self.enqueue_agent(hop.agent, JobToken(token), hop.demand, now),
                 None => instant.push(token),
@@ -3055,6 +3254,9 @@ impl Simulation {
                 self.export_flight(owner, agent, token, demand);
                 return;
             }
+        }
+        if let Some(o) = self.optrace.as_mut() {
+            o.on_hop_enqueue(token.0, agent.index() as u32, demand, now.as_micros());
         }
         if self.tick_all {
             self.infra.component_mut(agent).enqueue(token, demand, now);
@@ -3095,6 +3297,18 @@ impl Simulation {
             .expect("shard ctx")
             .foreign
             .remove(&token);
+        // Span context travels with the flight: a hosted token being
+        // forwarded ships the segments accrued here; a native sampled
+        // token ships an empty context so the next host records for it.
+        let trace = if forwarded.is_some() {
+            self.optrace
+                .as_mut()
+                .and_then(|o| o.take_foreign_segs(token, None))
+        } else if self.optrace.as_mut().is_some_and(|o| o.mark_remote(token)) {
+            Some(Vec::new())
+        } else {
+            None
+        };
         let (home_shard, home_token) = match forwarded {
             Some(pair) => {
                 self.flight.tokens.remove(&token);
@@ -3109,6 +3323,7 @@ impl Simulation {
                 home_token,
                 hops,
                 mem,
+                trace,
             },
         );
     }
@@ -3118,7 +3333,16 @@ impl Simulation {
     /// fault accounting here, then the installed in-flight policy
     /// decides between a silent drop (client notices at its timeout)
     /// and failing the operation now.
-    fn foreign_flight_failed(&mut self, token: u64, now: SimTime) {
+    fn foreign_flight_failed(&mut self, token: u64, segs: Vec<gdisim_obs::HopSeg>, now: SimTime) {
+        // Stitch whatever the hosting shard recorded before the
+        // eviction, then close the message span — the hop in service
+        // abroad was already folded into the mailed segments.
+        if let Some(o) = self.optrace.as_mut() {
+            if !segs.is_empty() {
+                o.attach_remote_segs(token, segs);
+            }
+            o.abort_token(token, now.as_micros());
+        }
         if self.orphans.remove(&token) {
             // The operation already failed for another reason while the
             // flight was abroad; the eviction settles the orphan.
@@ -3146,7 +3370,7 @@ impl Simulation {
             // Silently lost: the client notices at its timeout.
             return;
         }
-        self.fail_instance(inst_id, now);
+        self.fail_instance(inst_id, "fault", now);
     }
 
     /// Delivers one source shard's window mail, in sequence order, at
@@ -3171,6 +3395,7 @@ impl Simulation {
                     home_token,
                     mut hops,
                     mem,
+                    trace,
                 } => {
                     let first = hops.pop_front().expect("flight has at least one hop");
                     if let Some((mem_idx, bytes)) = mem {
@@ -3180,10 +3405,17 @@ impl Simulation {
                     }
                     let me = self.shard.as_ref().expect("shard ctx").me;
                     let token = if home_shard == me {
-                        // Back home: resume the parked native token.
+                        // Back home: resume the parked native token and
+                        // stitch the segments recorded abroad into its
+                        // message span.
                         if let Some(state) = self.flight.tokens.get_mut(&home_token) {
                             state.plan.hops = hops;
                             state.plan.mem_hold = mem;
+                            if let Some(segs) = trace {
+                                if let Some(o) = self.optrace.as_mut() {
+                                    o.attach_remote_segs(home_token, segs);
+                                }
+                            }
                             home_token
                         } else {
                             // Severed while abroad (the operation already
@@ -3209,15 +3441,28 @@ impl Simulation {
                             .expect("shard ctx")
                             .foreign
                             .insert(token, (home_shard, home_token));
+                        // A trace context hosts the flight's span here:
+                        // hop segments recorded on this shard ride home
+                        // with the completion/failure mail.
+                        if let Some(segs) = trace {
+                            if let Some(o) = self.optrace.as_mut() {
+                                o.host_foreign(token, segs);
+                            }
+                        }
                         token
                     };
                     self.enqueue_agent(first.agent, JobToken(token), first.demand, now);
                 }
-                crate::shard::ShardPayload::Completion { home_token } => {
+                crate::shard::ShardPayload::Completion { home_token, segs } => {
+                    if !segs.is_empty() {
+                        if let Some(o) = self.optrace.as_mut() {
+                            o.attach_remote_segs(home_token, segs);
+                        }
+                    }
                     self.on_token_complete(home_token, now);
                 }
-                crate::shard::ShardPayload::Failure { home_token } => {
-                    self.foreign_flight_failed(home_token, now);
+                crate::shard::ShardPayload::Failure { home_token, segs } => {
+                    self.foreign_flight_failed(home_token, segs, now);
                 }
             }
         }
@@ -3304,6 +3549,21 @@ impl Simulation {
     }
 
     fn on_token_complete(&mut self, token: u64, now: SimTime) {
+        // Close the finished hop's span segment first (tracked tokens
+        // only): the residence is split into queue wait, service and WAN
+        // transit against the serving component's nominal rates.
+        if let Some(o) = self.optrace.as_mut() {
+            if let Some((agent, demand, enq_us)) = o.take_cur_hop(token) {
+                let (service, wan) = self
+                    .infra
+                    .component(gdisim_types::AgentId::from_index(agent as usize))
+                    .nominal_segments_secs(demand);
+                o.push_seg(
+                    token,
+                    gdisim_obs::HopSeg::from_nominal(agent, enq_us, now.as_micros(), service, wan),
+                );
+            }
+        }
         // Advance the message along its remaining hops.
         if let Some(state) = self.flight.tokens.get_mut(&token) {
             if let Some(hop) = state.plan.hops.pop_front() {
@@ -3344,12 +3604,20 @@ impl Simulation {
         if let Some(ctx) = self.shard.as_mut() {
             if let Some((home_shard, home_token)) = ctx.foreign.remove(&token) {
                 debug_assert_eq!(inst_id, crate::shard::FOREIGN_INSTANCE);
+                let segs = self
+                    .optrace
+                    .as_mut()
+                    .and_then(|o| o.take_foreign_segs(token, None))
+                    .unwrap_or_default();
                 ctx.send(
                     home_shard,
-                    crate::shard::ShardPayload::Completion { home_token },
+                    crate::shard::ShardPayload::Completion { home_token, segs },
                 );
                 return;
             }
+        }
+        if let Some(o) = self.optrace.as_mut() {
+            o.on_message_done(token, now.as_micros());
         }
         let advance = {
             let inst = self
@@ -3386,7 +3654,7 @@ impl Simulation {
             .get(&inst_id)
             .and_then(|i| i.hedge_partner);
         if let Some(p) = partner {
-            self.cancel_hedge_loser(p, inst_id);
+            self.cancel_hedge_loser(p, inst_id, now);
         }
         let inst = self
             .flight
@@ -3395,6 +3663,9 @@ impl Simulation {
             .expect("instance live");
         if inst.is_hedge_twin {
             self.report.resilience.hedge_wins += 1;
+        }
+        if let Some(o) = self.optrace.as_mut() {
+            o.on_instance_completed(inst_id, now.as_micros());
         }
         // Response times are measured from the *first* attempt, so a
         // retried operation reports the full wait the client experienced
@@ -3645,6 +3916,7 @@ gdisim_snap::snap_struct!(PendingRetry {
     session,
     attempt,
     first_launched_at,
+    trace_root,
 });
 gdisim_snap::snap_struct!(FaultRuntime {
     events,
@@ -3762,6 +4034,7 @@ impl gdisim_snap::Snap for Simulation {
             shard: gdisim_snap::Snap::load(r)?,
             audit: gdisim_snap::Snap::load(r)?,
             panic_at: None,
+            optrace: None,
         })
     }
 }

@@ -21,6 +21,7 @@ pub mod config;
 pub mod engine;
 pub mod fault;
 pub mod flight;
+pub mod optrace;
 pub mod report;
 pub mod router;
 pub mod scenarios;
@@ -34,6 +35,7 @@ pub use churn::{ChurnModel, ChurnModelError, ChurnProcess, DomainMember, Failure
 pub use config::{MasterPolicy, SimulationConfig};
 pub use engine::{BuildError, Simulation, TrafficSource};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanError, FaultTarget, InFlightPolicy};
+pub use optrace::OpTraceRecorder;
 pub use report::{BackgroundRecord, FaultStats, Report, ResilienceStats, TierKey};
 pub use shard::{ShardConfigError, ShardCrash, ShardStats, ShardedSimulation};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotMeta, SnapshotPayload};

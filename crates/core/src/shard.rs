@@ -75,16 +75,28 @@ pub(crate) enum ShardPayload {
         /// shard mirrors the allocation so its occupancy metering stays
         /// faithful.
         mem: Option<(usize, f64)>,
+        /// Span context for sampled operations (`--trace-ops`): `None`
+        /// for untraced flights, `Some` with the hop segments recorded
+        /// on previous shards otherwise (empty on first export). The
+        /// receiving shard hosts the context and records its own hop
+        /// segments into it.
+        trace: Option<Vec<gdisim_obs::HopSeg>>,
     },
     /// The flight ran its remaining hops to completion.
     Completion {
         /// Token id in the home shard's flight table.
         home_token: u64,
+        /// Hop segments recorded abroad for a sampled operation,
+        /// stitched into the home message span (empty when untraced).
+        segs: Vec<gdisim_obs::HopSeg>,
     },
     /// The flight was evicted by a fault/churn incident abroad.
     Failure {
         /// Token id in the home shard's flight table.
         home_token: u64,
+        /// Hop segments recorded abroad for a sampled operation,
+        /// stitched into the home message span (empty when untraced).
+        segs: Vec<gdisim_obs::HopSeg>,
     },
 }
 
@@ -440,6 +452,30 @@ impl ShardedSimulation {
         }
     }
 
+    /// Enables causal operation tracing on every shard (see
+    /// [`Simulation::enable_optrace`]). Each shard samples its own
+    /// launches with the same `(seed, instance)` hash; cross-shard
+    /// flights carry span context through the mailboxes and stitch at
+    /// the operation's home shard, so the merged export covers every
+    /// sampled operation exactly once.
+    pub fn enable_optrace(&mut self, rate: f64) {
+        for slot in &mut self.shards {
+            slot.sim.enable_optrace(rate);
+        }
+    }
+
+    /// Per-shard operation-trace recorders, if enabled.
+    pub fn optraces(&self) -> Vec<Option<&crate::optrace::OpTraceRecorder>> {
+        self.shards.iter().map(|s| s.sim.optrace()).collect()
+    }
+
+    /// Read-only view of one shard's engine. Merged observability
+    /// exports resolve labels against shard 0's registry (every shard
+    /// replicates the full catalog and topology).
+    pub fn shard_sim(&self, shard: usize) -> &Simulation {
+        &self.shards[shard].sim
+    }
+
     /// Per-shard aggregated step profiles, if profiling is enabled.
     pub fn step_profiles(&self) -> Vec<Option<StepProfile>> {
         self.shards.iter().map(|s| s.sim.step_profile()).collect()
@@ -714,6 +750,21 @@ impl ShardedSimulation {
             r.set_counter("audit.checks", a.checks);
             r.set_counter("audit.violations", a.violations);
         }
+        let optraced: Vec<_> = self.optraces().into_iter().flatten().collect();
+        if !optraced.is_empty() {
+            let mut sampled = 0u64;
+            let mut finished = 0u64;
+            let mut dropped = 0u64;
+            for o in optraced {
+                let c = o.counters();
+                sampled += c.sampled;
+                finished += c.finished;
+                dropped += c.dropped;
+            }
+            r.set_counter("optrace.sampled", sampled);
+            r.set_counter("optrace.finished", finished);
+            r.set_counter("optrace.dropped", dropped);
+        }
         r.set_gauge("sim.time_secs", self.now.as_secs_f64());
         r.set_counter("shards.count", self.shards.len() as u64);
         r.set_counter("shards.window_ticks", self.window_ticks);
@@ -819,9 +870,9 @@ fn sum_series<'a>(mut series: impl Iterator<Item = &'a TimeSeries>) -> TimeSerie
 
 // Checkpoint support.
 gdisim_snap::snap_enum!(ShardPayload {
-    0 => Flight { home_shard, home_token, hops, mem },
-    1 => Completion { home_token },
-    2 => Failure { home_token },
+    0 => Flight { home_shard, home_token, hops, mem, trace },
+    1 => Completion { home_token, segs },
+    2 => Failure { home_token, segs },
 });
 gdisim_snap::snap_struct!(ShardEnvelope { seq, payload });
 gdisim_snap::snap_struct!(Outbox { next_seq, mail });

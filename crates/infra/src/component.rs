@@ -84,6 +84,23 @@ impl Component {
         }
     }
 
+    /// Splits a hop's residence time baseline into `(service, wan)`
+    /// seconds for optrace attribution: the nominal zero-contention
+    /// service time for `demand` at this agent, plus the constant WAN
+    /// propagation a link adds. Whatever a hop's measured residence
+    /// exceeds this split by is attributed to queue wait.
+    pub fn nominal_segments_secs(&self, demand: f64) -> (f64, f64) {
+        match self {
+            Component::Cpu(m) => (m.nominal_service_secs(demand), 0.0),
+            Component::Nic(m) => (m.nominal_service_secs(demand), 0.0),
+            Component::Switch(m) => (m.nominal_service_secs(demand), 0.0),
+            Component::Link(m) => (m.nominal_service_secs(demand), m.propagation_secs()),
+            Component::Raid(m) => (m.nominal_service_secs(demand), 0.0),
+            Component::San(m) => (m.nominal_service_secs(demand), 0.0),
+            Component::ClientPool(m) => (demand / m.rate(), 0.0),
+        }
+    }
+
     fn station(&mut self) -> &mut dyn Station {
         match self {
             Component::Cpu(m) => m,

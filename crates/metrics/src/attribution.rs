@@ -1,0 +1,245 @@
+//! Critical-path latency attribution (ISSUE 10).
+//!
+//! The optrace layer decomposes every sampled operation's end-to-end
+//! response time into five additive components — queue wait, service,
+//! WAN transit, retry backoff and hedge wait — by walking the dominant
+//! message path of each attempt. This module holds the component record
+//! and the streaming aggregator that turns per-operation decompositions
+//! into per-`(app, op, client DC)` percentile summaries.
+//!
+//! All component fields are integer **microseconds** so the invariant
+//! `queue + service + wan + backoff + hedge_wait == response` holds
+//! exactly (no float drift); the optrace well-formedness tests assert
+//! it per sampled operation.
+
+use crate::instruments::LogHistogram;
+use crate::registry::ResponseKey;
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// One operation's response-time decomposition, in microseconds.
+///
+/// The five components are additive and exhaustive: they sum to
+/// `response_us` exactly (residual time that no dominant-path segment
+/// explains is folded into `queue_us`, or `wan_us` for cross-shard
+/// migration gaps, so nothing is lost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpComponents {
+    /// Time spent waiting in component queues on the dominant path.
+    pub queue_us: u64,
+    /// Nominal service time on the dominant path.
+    pub service_us: u64,
+    /// WAN propagation plus cross-shard migration gaps.
+    pub wan_us: u64,
+    /// Time between a failed attempt and the launch of its retry.
+    pub backoff_us: u64,
+    /// Time the winning hedge twin spent waiting to be launched.
+    pub hedge_wait_us: u64,
+    /// End-to-end response time (first launch to settle).
+    pub response_us: u64,
+}
+
+impl OpComponents {
+    /// Sum of the five attribution components.
+    pub fn component_sum_us(&self) -> u64 {
+        self.queue_us + self.service_us + self.wan_us + self.backoff_us + self.hedge_wait_us
+    }
+
+    /// Whether the components add up to the end-to-end response exactly.
+    pub fn is_exact(&self) -> bool {
+        self.component_sum_us() == self.response_us
+    }
+}
+
+/// Per-key component histograms (microsecond log-histograms).
+#[derive(Debug, Clone, Default)]
+struct ComponentHists {
+    n: u64,
+    queue: LogHistogram,
+    service: LogHistogram,
+    wan: LogHistogram,
+    backoff: LogHistogram,
+    hedge_wait: LogHistogram,
+    response: LogHistogram,
+}
+
+impl ComponentHists {
+    fn record(&mut self, c: &OpComponents) {
+        self.n += 1;
+        self.queue.record(c.queue_us);
+        self.service.record(c.service_us);
+        self.wan.record(c.wan_us);
+        self.backoff.record(c.backoff_us);
+        self.hedge_wait.record(c.hedge_wait_us);
+        self.response.record(c.response_us);
+    }
+
+    fn merge_from(&mut self, other: &ComponentHists) {
+        self.n += other.n;
+        self.queue.merge_from(&other.queue);
+        self.service.merge_from(&other.service);
+        self.wan.merge_from(&other.wan);
+        self.hedge_wait.merge_from(&other.hedge_wait);
+        self.backoff.merge_from(&other.backoff);
+        self.response.merge_from(&other.response);
+    }
+}
+
+/// Renders one component histogram as `{p50, p95, p99, mean_us, sum_us}`.
+fn hist_value(h: &LogHistogram) -> Value {
+    Value::Object(vec![
+        ("p50_us".to_string(), Value::U64(h.quantile(0.50))),
+        ("p95_us".to_string(), Value::U64(h.quantile(0.95))),
+        ("p99_us".to_string(), Value::U64(h.quantile(0.99))),
+        ("mean_us".to_string(), Value::F64(h.mean())),
+        ("sum_us".to_string(), Value::U64(h.sum())),
+    ])
+}
+
+/// Streaming per-`(app, op, client DC)` attribution aggregator.
+///
+/// `record` is called once per settled sampled operation; the aggregator
+/// keeps only log-histograms, so its footprint is bounded regardless of
+/// how many operations are sampled. Keys iterate in `ResponseKey` order
+/// (the map is a `BTreeMap`), keeping every export byte-stable.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionAggregator {
+    per_key: BTreeMap<ResponseKey, ComponentHists>,
+}
+
+impl AttributionAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one settled operation's decomposition into its key.
+    pub fn record(&mut self, key: ResponseKey, comps: &OpComponents) {
+        self.per_key.entry(key).or_default().record(comps);
+    }
+
+    /// Total operations recorded across all keys.
+    pub fn total_recorded(&self) -> u64 {
+        self.per_key.values().map(|h| h.n).sum()
+    }
+
+    /// Number of distinct `(app, op, client DC)` keys seen.
+    pub fn key_count(&self) -> usize {
+        self.per_key.len()
+    }
+
+    /// Merges another aggregator (shard merge at export time).
+    pub fn merge_from(&mut self, other: &AttributionAggregator) {
+        for (key, hists) in &other.per_key {
+            self.per_key.entry(*key).or_default().merge_from(hists);
+        }
+    }
+
+    /// Renders the aggregator as an array of per-key summaries, using
+    /// `labels` to resolve each key to `(app, op, dc)` display names.
+    /// Entries appear in `ResponseKey` order.
+    pub fn to_value(&self, labels: impl Fn(&ResponseKey) -> (String, String, String)) -> Value {
+        let rows: Vec<Value> = self
+            .per_key
+            .iter()
+            .map(|(key, h)| {
+                let (app, op, dc) = labels(key);
+                Value::Object(vec![
+                    ("app".to_string(), Value::Str(app)),
+                    ("op".to_string(), Value::Str(op)),
+                    ("client_dc".to_string(), Value::Str(dc)),
+                    ("n".to_string(), Value::U64(h.n)),
+                    ("queue".to_string(), hist_value(&h.queue)),
+                    ("service".to_string(), hist_value(&h.service)),
+                    ("wan".to_string(), hist_value(&h.wan)),
+                    ("backoff".to_string(), hist_value(&h.backoff)),
+                    ("hedge_wait".to_string(), hist_value(&h.hedge_wait)),
+                    ("response".to_string(), hist_value(&h.response)),
+                ])
+            })
+            .collect();
+        Value::Array(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdisim_types::{AppId, DcId, OpTypeId};
+
+    fn key(app: u32, dc: u32) -> ResponseKey {
+        ResponseKey {
+            app: AppId(app),
+            op: OpTypeId(0),
+            dc: DcId::from_index(dc as usize),
+        }
+    }
+
+    fn comps(queue: u64, service: u64, wan: u64) -> OpComponents {
+        OpComponents {
+            queue_us: queue,
+            service_us: service,
+            wan_us: wan,
+            backoff_us: 0,
+            hedge_wait_us: 0,
+            response_us: queue + service + wan,
+        }
+    }
+
+    #[test]
+    fn components_sum_exactly() {
+        let c = comps(10, 20, 30);
+        assert!(c.is_exact());
+        assert_eq!(c.component_sum_us(), 60);
+    }
+
+    #[test]
+    fn aggregator_records_and_merges() {
+        let mut a = AttributionAggregator::new();
+        a.record(key(0, 0), &comps(100, 200, 0));
+        a.record(key(0, 0), &comps(300, 400, 0));
+        let mut b = AttributionAggregator::new();
+        b.record(key(1, 1), &comps(1, 2, 3));
+        a.merge_from(&b);
+        assert_eq!(a.total_recorded(), 3);
+        assert_eq!(a.key_count(), 2);
+    }
+
+    #[test]
+    fn to_value_orders_keys_and_names_components() {
+        let mut a = AttributionAggregator::new();
+        a.record(key(1, 0), &comps(5, 5, 0));
+        a.record(key(0, 0), &comps(5, 5, 0));
+        let v = a.to_value(|k| {
+            (
+                format!("app{}", k.app.0),
+                "op".to_string(),
+                "dc".to_string(),
+            )
+        });
+        let Value::Array(rows) = v else {
+            panic!("expected array")
+        };
+        assert_eq!(rows.len(), 2);
+        let Value::Object(first) = &rows[0] else {
+            panic!("expected object")
+        };
+        assert_eq!(first[0].1, Value::Str("app0".to_string()));
+        let names: Vec<&str> = first.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "app",
+                "op",
+                "client_dc",
+                "n",
+                "queue",
+                "service",
+                "wan",
+                "backoff",
+                "hedge_wait",
+                "response"
+            ]
+        );
+    }
+}

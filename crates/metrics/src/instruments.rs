@@ -340,7 +340,10 @@ impl MetricsRegistry {
     }
 
     /// Renders the registry as a JSON value with `counters`, `gauges`
-    /// and `histograms` sections.
+    /// and `histograms` sections. Keys within each section emit in
+    /// sorted (`BTreeMap`) order regardless of insertion order, so two
+    /// registries holding the same values render byte-identically —
+    /// CI jobs and tests diff exports directly.
     pub fn to_value(&self) -> Value {
         let counters = self
             .counters
@@ -368,6 +371,45 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Registry exports must be byte-stable: keys emit in sorted order
+    /// no matter the order instruments were registered in.
+    #[test]
+    fn registry_keys_emit_in_sorted_order_regardless_of_insertion() {
+        let mut a = MetricsRegistry::new();
+        a.set_counter("zeta.last", 1);
+        a.set_counter("alpha.first", 2);
+        a.set_gauge("mid.gauge", 0.5);
+        a.set_gauge("aaa.gauge", 1.5);
+        let mut b = MetricsRegistry::new();
+        b.set_gauge("aaa.gauge", 1.5);
+        b.set_counter("alpha.first", 2);
+        b.set_gauge("mid.gauge", 0.5);
+        b.set_counter("zeta.last", 1);
+        let (va, vb) = (a.to_value(), b.to_value());
+        assert_eq!(format!("{va:?}"), format!("{vb:?}"));
+        let keys = |v: &Value, section: &str| -> Vec<String> {
+            match v {
+                Value::Object(fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == section)
+                    .map(|(_, s)| match s {
+                        Value::Object(inner) => inner.iter().map(|(k, _)| k.clone()).collect(),
+                        _ => panic!("section is not an object"),
+                    })
+                    .expect("section present"),
+                _ => panic!("registry value is not an object"),
+            }
+        };
+        let counters = keys(&va, "counters");
+        let mut sorted = counters.clone();
+        sorted.sort();
+        assert_eq!(counters, sorted, "counter keys not sorted");
+        let gauges = keys(&va, "gauges");
+        let mut sorted = gauges.clone();
+        sorted.sort();
+        assert_eq!(gauges, sorted, "gauge keys not sorted");
+    }
 
     #[test]
     fn counter_and_gauge_basics() {

@@ -12,12 +12,14 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod instruments;
 pub mod registry;
 pub mod sampler;
 pub mod series;
 pub mod summary;
 
+pub use attribution::{AttributionAggregator, OpComponents};
 pub use instruments::{Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsRegistry};
 pub use registry::{ResponseKey, ResponseStats, ResponseTimeRegistry};
 pub use sampler::{GaugeMeter, UtilizationMeter};

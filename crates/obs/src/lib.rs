@@ -18,6 +18,11 @@
 //! * [`export`] — renders a [`StepProfile`] (plus an optional
 //!   [`gdisim_metrics::MetricsRegistry`] snapshot) as the
 //!   `--profile-json` document.
+//! * [`optrace`] — causal operation tracing (ISSUE 10): per-operation
+//!   span trees (attempt → hedge half → message → hop segment) with
+//!   deterministic `(seed, instance)` sampling, critical-path latency
+//!   attribution into queue/service/WAN/backoff/hedge-wait components,
+//!   and the `gdisim.optrace.v1` / Perfetto async-span renderers.
 //!
 //! The profiler is event-class-agnostic: drain slots are indexed
 //! `0..NUM_CLASSES` and the engine supplies the class labels at export
@@ -26,9 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod optrace;
 pub mod perfetto;
 pub mod profiler;
 
+pub use optrace::{
+    attribute, op_perfetto_events, op_to_value, render_optrace, sample, AttemptSpan, HalfOutcome,
+    HalfSpan, HopSeg, MsgSpan, OpRecord, OpStatus, OptraceCounters,
+};
 pub use profiler::{
     DrainStats, Span, StepProfile, StepProfiler, NUM_CLASSES, NUM_PHASES, PHASE_ADVANCE,
     PHASE_COLLECT, PHASE_DRAIN, PHASE_NAMES, PHASE_ROUTE,

@@ -1,0 +1,977 @@
+//! Causal operation tracing: span trees with latency attribution
+//! (ISSUE 10).
+//!
+//! The engine's `--trace-jsonl` event log answers "what happened when";
+//! this module answers "*why was this operation slow*". Each sampled
+//! operation becomes a span tree: the operation root, one
+//! [`AttemptSpan`] per retry attempt (annotated with the route's
+//! circuit-breaker state at admission), one [`HalfSpan`] per hedge half
+//! (primary and, when a twin launched, the twin), one [`MsgSpan`] per
+//! cascade message and one [`HopSeg`] per component hop — each hop
+//! split into queue-wait, nominal service and WAN-propagation segments.
+//!
+//! Everything here is **engine-free**: the recorder in `gdisim-core`
+//! owns the bookkeeping and hands finished records to this module for
+//! attribution ([`attribute`]) and rendering ([`render_optrace`],
+//! [`op_perfetto_events`]). Cross-shard hops arrive as pre-split
+//! [`HopSeg`]s stitched onto the home record, so no component lookup is
+//! ever needed at render time.
+//!
+//! Sampling ([`sample`]) is counter-free and seed-stable: a splitmix64
+//! finalizer over `(seed, instance id)` — no RNG stream is consumed, so
+//! tracing on/off (at any rate) cannot perturb the simulation.
+
+use gdisim_metrics::{OpComponents, ResponseKey};
+use serde::Value;
+
+/// Sampling threshold scale: the top 53 bits of the hash, mapped to
+/// `[0, 1)` exactly the way the engine's own uniform sampler does.
+const SAMPLE_SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// Deterministic per-operation sampling decision.
+///
+/// Hashes `(seed, instance)` through a splitmix64 finalizer and accepts
+/// when the resulting uniform lies under `rate`. Stable across engines,
+/// shard counts and runs; monotone in `rate` (an operation sampled at
+/// 1% is also sampled at 10%). Draws nothing from any RNG stream.
+pub fn sample(seed: u64, instance: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let mut z = seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 11) as f64 * SAMPLE_SCALE) < rate
+}
+
+/// One finished component hop, pre-split into attribution segments.
+///
+/// The split is computed *when the hop closes*, on whichever shard ran
+/// it (the only place the component model is addressable), so the
+/// segment is self-contained: `done_us - enq_us` is the hop's measured
+/// residence, `service_us` its nominal zero-contention service time,
+/// `wan_us` the link-propagation floor, and whatever remains is queue
+/// wait by subtraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopSeg {
+    /// Agent index the hop ran on (engine `AgentId` index).
+    pub agent: u32,
+    /// When the job entered the agent's queue, in sim microseconds.
+    pub enq_us: u64,
+    /// When the agent completed the job, in sim microseconds.
+    pub done_us: u64,
+    /// Nominal service segment (capped at the measured residence).
+    pub service_us: u64,
+    /// WAN-propagation segment (capped at the measured residence).
+    pub wan_us: u64,
+}
+
+impl HopSeg {
+    /// Builds a segment from raw residence bounds and the nominal
+    /// `(service, wan)` split in seconds, capping each segment so that
+    /// `service + wan <= done - enq` always holds (propagation first:
+    /// it is a hard physical floor, service yields to it).
+    pub fn from_nominal(
+        agent: u32,
+        enq_us: u64,
+        done_us: u64,
+        service_secs: f64,
+        wan_secs: f64,
+    ) -> Self {
+        let total = done_us.saturating_sub(enq_us);
+        let wan = secs_to_us(wan_secs).min(total);
+        let service = secs_to_us(service_secs).min(total - wan);
+        HopSeg {
+            agent,
+            enq_us,
+            done_us,
+            service_us: service,
+            wan_us: wan,
+        }
+    }
+
+    /// The hop's measured residence time.
+    pub fn total_us(&self) -> u64 {
+        self.done_us.saturating_sub(self.enq_us)
+    }
+}
+
+fn secs_to_us(s: f64) -> u64 {
+    if s <= 0.0 || !s.is_finite() {
+        0
+    } else {
+        (s * 1e6).round() as u64
+    }
+}
+
+/// One cascade message of an attempt half: its hop segments plus the
+/// enqueue/done envelope. `remote` marks messages that migrated across
+/// shard boundaries; uncovered time inside a remote message (mailbox
+/// barrier waits) is attributed to WAN, not queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsgSpan {
+    /// Cascade stage index the message belongs to.
+    pub stage: u32,
+    /// When the message's first hop was enqueued, in sim microseconds.
+    pub enq_us: u64,
+    /// When the message finished (or was aborted); `None` while live.
+    pub done_us: Option<u64>,
+    /// Whether any hop ran on a foreign shard.
+    pub remote: bool,
+    /// Finished hop segments, in completion order.
+    pub segs: Vec<HopSeg>,
+}
+
+impl MsgSpan {
+    fn effective_done(&self) -> u64 {
+        self.done_us
+            .unwrap_or_else(|| self.segs.last().map_or(self.enq_us, |s| s.done_us))
+    }
+}
+
+/// Terminal state of one hedge half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HalfOutcome {
+    /// Still running when the run (or export) ended.
+    InFlight,
+    /// Delivered the operation's response.
+    Completed,
+    /// Cancelled quietly (hedge loser, or failing half of a live pair).
+    Cancelled,
+    /// Failed: timeout, fault eviction, shed, breaker rejection…
+    Failed,
+}
+
+impl HalfOutcome {
+    /// Stable lowercase label used in `gdisim.optrace.v1` exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            HalfOutcome::InFlight => "in-flight",
+            HalfOutcome::Completed => "completed",
+            HalfOutcome::Cancelled => "cancelled",
+            HalfOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// One hedge half of an attempt: the primary launch or its hedge twin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HalfSpan {
+    /// Engine instance id of this half.
+    pub instance: u64,
+    /// `"primary"` or `"twin"`.
+    pub role: &'static str,
+    /// Launch time, in sim microseconds.
+    pub launched_us: u64,
+    /// Settle time (complete, fail or cancel); `None` while live.
+    pub ended_us: Option<u64>,
+    /// How the half ended.
+    pub outcome: HalfOutcome,
+    /// Failure/cancel cause label (`"timeout"`, `"fault"`, `"churn"`,
+    /// `"shed"`, `"breaker"`, `"unroutable"`), when one applies.
+    pub cause: Option<&'static str>,
+    /// Cascade messages issued by this half, in launch order.
+    pub msgs: Vec<MsgSpan>,
+}
+
+impl HalfSpan {
+    /// Creates a fresh, in-flight half.
+    pub fn new(instance: u64, role: &'static str, launched_us: u64) -> Self {
+        HalfSpan {
+            instance,
+            role,
+            launched_us,
+            ended_us: None,
+            outcome: HalfOutcome::InFlight,
+            cause: None,
+            msgs: Vec::new(),
+        }
+    }
+}
+
+/// One retry attempt: the primary half, its optional hedge twin, and
+/// the circuit-breaker state its route was in at admission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptSpan {
+    /// Attempt number (0 = first launch).
+    pub attempt: u32,
+    /// Breaker state label at admission (`"closed"`, `"open"`,
+    /// `"half-open"`).
+    pub breaker: &'static str,
+    /// The original launch.
+    pub primary: HalfSpan,
+    /// The hedge twin, when one was issued.
+    pub twin: Option<HalfSpan>,
+}
+
+impl AttemptSpan {
+    /// Latest settle time across both halves, defaulting to the primary
+    /// launch when nothing has ended yet.
+    pub fn ended_us(&self) -> u64 {
+        let p = self.primary.ended_us.unwrap_or(self.primary.launched_us);
+        let t = self.twin.as_ref().and_then(|t| t.ended_us).unwrap_or(p);
+        p.max(t)
+    }
+}
+
+/// Terminal state of a sampled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpStatus {
+    /// Still running when the run (or export) ended.
+    InFlight,
+    /// Completed (a response reached the client).
+    Completed,
+    /// Every retry budget exhausted; the operation was abandoned.
+    Abandoned,
+}
+
+impl OpStatus {
+    /// Stable lowercase label used in `gdisim.optrace.v1` exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            OpStatus::InFlight => "in-flight",
+            OpStatus::Completed => "completed",
+            OpStatus::Abandoned => "abandoned",
+        }
+    }
+}
+
+/// One sampled operation's full span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRecord {
+    /// Root id: the engine instance id of attempt 0 (stable across
+    /// retries and hedges — all later spans stitch under it).
+    pub root: u64,
+    /// Reporting key (application, operation type, client data center).
+    pub key: ResponseKey,
+    /// `"client"` or `"background"`.
+    pub kind: &'static str,
+    /// First-attempt launch time, in sim microseconds.
+    pub started_us: u64,
+    /// Settle time (completion or abandonment); `None` while live.
+    pub settled_us: Option<u64>,
+    /// Terminal state.
+    pub status: OpStatus,
+    /// Attempts in launch order.
+    pub attempts: Vec<AttemptSpan>,
+}
+
+/// Decomposes a completed record's end-to-end response time into the
+/// five additive [`OpComponents`]. Returns `None` for in-flight or
+/// abandoned records (they have no client-visible response).
+///
+/// The walk covers the response interval exactly, with no gaps and no
+/// double counting:
+///
+/// * each attempt `i` contributes `[primary launch, attempt end]`
+///   (`attempt end` = settle time for the last attempt);
+/// * when the last attempt was won by its hedge twin, the slice up to
+///   the twin's launch is **hedge wait** and the dominant path is
+///   walked through the twin's messages instead of the primary's;
+/// * inside an attempt, the dominant message of each cascade stage
+///   (the one finishing last) donates its nominal service and WAN
+///   segments; remote messages additionally donate their uncovered
+///   migration time to WAN; whatever the segments do not explain is
+///   **queue** wait by subtraction;
+/// * the gap between an attempt's end and the next attempt's launch is
+///   retry **backoff**.
+///
+/// All arithmetic is in integer microseconds, so
+/// `queue + service + wan + backoff + hedge_wait == response` holds
+/// exactly (a final residue fold into queue guards even degenerate
+/// clock data).
+pub fn attribute(rec: &OpRecord) -> Option<OpComponents> {
+    if rec.status != OpStatus::Completed {
+        return None;
+    }
+    let settled = rec.settled_us?;
+    let response = settled.saturating_sub(rec.started_us);
+    let mut queue = 0u64;
+    let mut service = 0u64;
+    let mut wan = 0u64;
+    let mut backoff = 0u64;
+    let mut hedge_wait = 0u64;
+    let n = rec.attempts.len();
+    for (i, att) in rec.attempts.iter().enumerate() {
+        let last = i + 1 == n;
+        let end = if last { settled } else { att.ended_us() };
+        // The carrying half: for the final attempt, whichever half
+        // delivered the response; earlier (failed) attempts are walked
+        // through their primary.
+        let carrier = match &att.twin {
+            Some(t) if last && t.outcome == HalfOutcome::Completed => t,
+            _ => &att.primary,
+        };
+        if last {
+            hedge_wait += carrier.launched_us.saturating_sub(att.primary.launched_us);
+        }
+        let wall = end.saturating_sub(carrier.launched_us);
+        let (mut s, mut w) = dominant_segments(carrier);
+        if w > wall {
+            w = wall;
+            s = 0;
+        } else if s + w > wall {
+            s = wall - w;
+        }
+        queue += wall - s - w;
+        service += s;
+        wan += w;
+        if !last {
+            let next = rec.attempts[i + 1].primary.launched_us;
+            backoff += next.saturating_sub(end);
+        }
+    }
+    // Exactness guard: fold any residue (from saturating edges on
+    // malformed timestamps) into queue so the invariant always holds.
+    let sum = queue + service + wan + backoff + hedge_wait;
+    if response >= sum {
+        queue += response - sum;
+    } else {
+        let mut over = sum - response;
+        for slot in [
+            &mut queue,
+            &mut backoff,
+            &mut hedge_wait,
+            &mut wan,
+            &mut service,
+        ] {
+            let cut = over.min(*slot);
+            *slot -= cut;
+            over -= cut;
+            if over == 0 {
+                break;
+            }
+        }
+    }
+    Some(OpComponents {
+        queue_us: queue,
+        service_us: service,
+        wan_us: wan,
+        backoff_us: backoff,
+        hedge_wait_us: hedge_wait,
+        response_us: response,
+    })
+}
+
+/// Sums the dominant message's `(service, wan)` per cascade stage of
+/// one half. The dominant message of a stage is the one finishing last
+/// (the critical sibling — parallel siblings overlap it). A remote
+/// message's uncovered residence (its envelope minus its segments,
+/// i.e. mailbox-barrier time) counts as WAN.
+fn dominant_segments(half: &HalfSpan) -> (u64, u64) {
+    let mut service = 0u64;
+    let mut wan = 0u64;
+    let mut i = 0;
+    while i < half.msgs.len() {
+        let stage = half.msgs[i].stage;
+        let mut dom: &MsgSpan = &half.msgs[i];
+        let mut j = i + 1;
+        while j < half.msgs.len() && half.msgs[j].stage == stage {
+            if half.msgs[j].effective_done() > dom.effective_done() {
+                dom = &half.msgs[j];
+            }
+            j += 1;
+        }
+        let mut covered = 0u64;
+        for seg in &dom.segs {
+            service += seg.service_us;
+            wan += seg.wan_us;
+            covered += seg.total_us();
+        }
+        if dom.remote {
+            let span = dom.effective_done().saturating_sub(dom.enq_us);
+            wan += span.saturating_sub(covered);
+        }
+        i = j;
+    }
+    (service, wan)
+}
+
+// ----- gdisim.optrace.v1 rendering -----------------------------------
+
+fn opt_u64(v: Option<u64>) -> Value {
+    v.map_or(Value::Null, Value::U64)
+}
+
+fn opt_str(v: Option<&'static str>) -> Value {
+    v.map_or(Value::Null, |s| Value::Str(s.to_string()))
+}
+
+fn seg_to_value(seg: &HopSeg, agent_label: &dyn Fn(u32) -> String) -> Value {
+    Value::Object(vec![
+        ("agent".to_string(), Value::U64(u64::from(seg.agent))),
+        ("label".to_string(), Value::Str(agent_label(seg.agent))),
+        ("enq_us".to_string(), Value::U64(seg.enq_us)),
+        ("done_us".to_string(), Value::U64(seg.done_us)),
+        ("service_us".to_string(), Value::U64(seg.service_us)),
+        ("wan_us".to_string(), Value::U64(seg.wan_us)),
+        (
+            "queue_us".to_string(),
+            Value::U64(seg.total_us() - seg.service_us - seg.wan_us),
+        ),
+    ])
+}
+
+fn msg_to_value(msg: &MsgSpan, agent_label: &dyn Fn(u32) -> String) -> Value {
+    Value::Object(vec![
+        ("stage".to_string(), Value::U64(u64::from(msg.stage))),
+        ("enq_us".to_string(), Value::U64(msg.enq_us)),
+        ("done_us".to_string(), opt_u64(msg.done_us)),
+        ("remote".to_string(), Value::Bool(msg.remote)),
+        (
+            "hops".to_string(),
+            Value::Array(
+                msg.segs
+                    .iter()
+                    .map(|s| seg_to_value(s, agent_label))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn half_to_value(half: &HalfSpan, agent_label: &dyn Fn(u32) -> String) -> Value {
+    Value::Object(vec![
+        ("instance".to_string(), Value::U64(half.instance)),
+        ("role".to_string(), Value::Str(half.role.to_string())),
+        ("launched_us".to_string(), Value::U64(half.launched_us)),
+        ("ended_us".to_string(), opt_u64(half.ended_us)),
+        (
+            "outcome".to_string(),
+            Value::Str(half.outcome.label().to_string()),
+        ),
+        ("cause".to_string(), opt_str(half.cause)),
+        (
+            "msgs".to_string(),
+            Value::Array(msg_to_value_list(&half.msgs, agent_label)),
+        ),
+    ])
+}
+
+fn msg_to_value_list(msgs: &[MsgSpan], agent_label: &dyn Fn(u32) -> String) -> Vec<Value> {
+    msgs.iter().map(|m| msg_to_value(m, agent_label)).collect()
+}
+
+fn components_to_value(c: &OpComponents) -> Value {
+    Value::Object(vec![
+        ("queue_us".to_string(), Value::U64(c.queue_us)),
+        ("service_us".to_string(), Value::U64(c.service_us)),
+        ("wan_us".to_string(), Value::U64(c.wan_us)),
+        ("backoff_us".to_string(), Value::U64(c.backoff_us)),
+        ("hedge_wait_us".to_string(), Value::U64(c.hedge_wait_us)),
+        ("response_us".to_string(), Value::U64(c.response_us)),
+    ])
+}
+
+/// Renders one operation record as a `gdisim.optrace.v1` ops entry.
+///
+/// `shard` tags the owning shard in sharded runs (instance ids are
+/// per-shard and may collide across shards); `key_labels` resolves the
+/// reporting key to display names and `agent_label` resolves agent
+/// indices.
+pub fn op_to_value(
+    shard: Option<u32>,
+    rec: &OpRecord,
+    key_labels: &dyn Fn(&ResponseKey) -> (String, String, String),
+    agent_label: &dyn Fn(u32) -> String,
+) -> Value {
+    let (app, op, dc) = key_labels(&rec.key);
+    let mut fields = vec![("root".to_string(), Value::U64(rec.root))];
+    if let Some(s) = shard {
+        fields.push(("shard".to_string(), Value::U64(u64::from(s))));
+    }
+    fields.extend([
+        ("app".to_string(), Value::Str(app)),
+        ("op".to_string(), Value::Str(op)),
+        ("client_dc".to_string(), Value::Str(dc)),
+        ("kind".to_string(), Value::Str(rec.kind.to_string())),
+        (
+            "status".to_string(),
+            Value::Str(rec.status.label().to_string()),
+        ),
+        ("started_us".to_string(), Value::U64(rec.started_us)),
+        ("settled_us".to_string(), opt_u64(rec.settled_us)),
+    ]);
+    if let Some(c) = attribute(rec) {
+        fields.push(("components".to_string(), components_to_value(&c)));
+    }
+    fields.push((
+        "attempts".to_string(),
+        Value::Array(
+            rec.attempts
+                .iter()
+                .map(|a| {
+                    Value::Object(vec![
+                        ("attempt".to_string(), Value::U64(u64::from(a.attempt))),
+                        ("breaker".to_string(), Value::Str(a.breaker.to_string())),
+                        (
+                            "primary".to_string(),
+                            half_to_value(&a.primary, agent_label),
+                        ),
+                        (
+                            "twin".to_string(),
+                            a.twin
+                                .as_ref()
+                                .map_or(Value::Null, |t| half_to_value(t, agent_label)),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Value::Object(fields)
+}
+
+/// Summary counters for a `gdisim.optrace.v1` document.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptraceCounters {
+    /// Operations that passed the sampling decision.
+    pub sampled: u64,
+    /// Settled records retained for export.
+    pub finished: u64,
+    /// Settled records discarded once the retention cap filled.
+    pub dropped: u64,
+}
+
+/// Assembles the full `gdisim.optrace.v1` document from pre-rendered
+/// parts: the per-key attribution table (from
+/// [`gdisim_metrics::AttributionAggregator::to_value`]) and the
+/// individual op entries (from [`op_to_value`]).
+pub fn render_optrace(
+    seed: u64,
+    rate: f64,
+    counters: OptraceCounters,
+    attribution: Value,
+    ops: Vec<Value>,
+) -> Value {
+    Value::Object(vec![
+        (
+            "format".to_string(),
+            Value::Str("gdisim.optrace.v1".to_string()),
+        ),
+        ("seed".to_string(), Value::U64(seed)),
+        ("rate".to_string(), Value::F64(rate)),
+        (
+            "counters".to_string(),
+            Value::Object(vec![
+                ("sampled".to_string(), Value::U64(counters.sampled)),
+                ("finished".to_string(), Value::U64(counters.finished)),
+                ("dropped".to_string(), Value::U64(counters.dropped)),
+            ]),
+        ),
+        ("attribution".to_string(), attribution),
+        ("ops".to_string(), Value::Array(ops)),
+    ])
+}
+
+// ----- Perfetto rendering ---------------------------------------------
+
+/// Renders sampled operations as Perfetto async spans, one track group
+/// per client data center.
+///
+/// Each operation becomes a `"b"`/`"e"` async pair (category `"op"`,
+/// name `"app/op"`, id = root, qualified by shard when given) under a
+/// per-DC pid supplied by `dc_pid`; one `"M"` `process_name` metadata
+/// event is emitted per distinct pid, named by `dc_name`. In-flight
+/// records render their begin event only — Perfetto shows them as
+/// unterminated spans.
+pub fn op_perfetto_events(
+    entries: &[(Option<u32>, &OpRecord)],
+    key_labels: &dyn Fn(&ResponseKey) -> (String, String, String),
+    dc_pid: &dyn Fn(&ResponseKey) -> u64,
+    dc_name: &dyn Fn(&ResponseKey) -> String,
+) -> Vec<Value> {
+    let mut events = Vec::new();
+    let mut named_pids: Vec<u64> = Vec::new();
+    for (shard, rec) in entries {
+        let pid = dc_pid(&rec.key);
+        if !named_pids.contains(&pid) {
+            named_pids.push(pid);
+            events.push(Value::Object(vec![
+                ("name".to_string(), Value::Str("process_name".to_string())),
+                ("ph".to_string(), Value::Str("M".to_string())),
+                ("pid".to_string(), Value::U64(pid)),
+                ("tid".to_string(), Value::U64(1)),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![("name".to_string(), Value::Str(dc_name(&rec.key)))]),
+                ),
+            ]));
+        }
+        let (app, op, _) = key_labels(&rec.key);
+        let name = format!("{app}/{op}");
+        let id = match shard {
+            Some(s) => format!("{s}:{}", rec.root),
+            None => format!("{}", rec.root),
+        };
+        let base = |ph: &str, ts: u64| {
+            vec![
+                ("name".to_string(), Value::Str(name.clone())),
+                ("cat".to_string(), Value::Str("op".to_string())),
+                ("ph".to_string(), Value::Str(ph.to_string())),
+                ("id".to_string(), Value::Str(id.clone())),
+                ("ts".to_string(), Value::U64(ts)),
+                ("pid".to_string(), Value::U64(pid)),
+                ("tid".to_string(), Value::U64(1)),
+            ]
+        };
+        let mut begin = base("b", rec.started_us);
+        begin.push((
+            "args".to_string(),
+            Value::Object(vec![
+                (
+                    "status".to_string(),
+                    Value::Str(rec.status.label().to_string()),
+                ),
+                (
+                    "attempts".to_string(),
+                    Value::U64(rec.attempts.len() as u64),
+                ),
+                (
+                    "hedged".to_string(),
+                    Value::Bool(rec.attempts.iter().any(|a| a.twin.is_some())),
+                ),
+            ]),
+        ));
+        events.push(Value::Object(begin));
+        if let Some(settled) = rec.settled_us {
+            events.push(Value::Object(base("e", settled)));
+        }
+    }
+    events
+}
+
+// Checkpoint support: `HopSeg` rides inside the sharded engine's
+// mailbox payloads, which are part of checkpointed state.
+gdisim_snap::snap_struct!(HopSeg {
+    agent,
+    enq_us,
+    done_us,
+    service_us,
+    wan_us,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdisim_types::{AppId, DcId, OpTypeId};
+
+    fn key() -> ResponseKey {
+        ResponseKey {
+            app: AppId(1),
+            op: OpTypeId(2),
+            dc: DcId::from_index(0),
+        }
+    }
+
+    fn labels(_: &ResponseKey) -> (String, String, String) {
+        ("CAD".to_string(), "open".to_string(), "NA".to_string())
+    }
+
+    fn agent_label(a: u32) -> String {
+        format!("agent{a}")
+    }
+
+    fn msg(stage: u32, enq: u64, done: u64, segs: Vec<HopSeg>) -> MsgSpan {
+        MsgSpan {
+            stage,
+            enq_us: enq,
+            done_us: Some(done),
+            remote: false,
+            segs,
+        }
+    }
+
+    fn seg(enq: u64, done: u64, service: u64, wan: u64) -> HopSeg {
+        HopSeg {
+            agent: 0,
+            enq_us: enq,
+            done_us: done,
+            service_us: service,
+            wan_us: wan,
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_monotone_and_edge_stable() {
+        assert!(!sample(7, 42, 0.0));
+        assert!(sample(7, 42, 1.0));
+        let mut hits_low = 0u32;
+        let mut hits_high = 0u32;
+        for i in 0..10_000u64 {
+            let low = sample(99, i, 0.1);
+            let high = sample(99, i, 0.9);
+            assert_eq!(low, sample(99, i, 0.1), "decision must be stable");
+            if low {
+                assert!(high, "sampling must be monotone in rate");
+            }
+            hits_low += u32::from(low);
+            hits_high += u32::from(high);
+        }
+        // Loose concentration bounds: ~1000 and ~9000 expected.
+        assert!((700..1300).contains(&hits_low), "got {hits_low}");
+        assert!((8700..9300).contains(&hits_high), "got {hits_high}");
+    }
+
+    #[test]
+    fn hop_seg_caps_nominal_at_residence() {
+        let s = HopSeg::from_nominal(3, 100, 150, 40e-6, 30e-6);
+        assert_eq!(s.wan_us, 30);
+        assert_eq!(s.service_us, 20, "service yields to propagation");
+        let s = HopSeg::from_nominal(3, 100, 110, 4e-6, 100e-6);
+        assert_eq!(s.wan_us, 10);
+        assert_eq!(s.service_us, 0);
+    }
+
+    #[test]
+    fn attribute_simple_op_is_exact() {
+        let rec = OpRecord {
+            root: 1,
+            key: key(),
+            kind: "client",
+            started_us: 1000,
+            settled_us: Some(1500),
+            status: OpStatus::Completed,
+            attempts: vec![AttemptSpan {
+                attempt: 0,
+                breaker: "closed",
+                primary: HalfSpan {
+                    ended_us: Some(1500),
+                    outcome: HalfOutcome::Completed,
+                    msgs: vec![
+                        msg(0, 1000, 1200, vec![seg(1000, 1200, 120, 50)]),
+                        msg(1, 1200, 1500, vec![seg(1200, 1500, 200, 0)]),
+                    ],
+                    ..HalfSpan::new(1, "primary", 1000)
+                },
+                twin: None,
+            }],
+        };
+        let c = attribute(&rec).expect("completed record attributes");
+        assert!(c.is_exact());
+        assert_eq!(c.response_us, 500);
+        assert_eq!(c.service_us, 320);
+        assert_eq!(c.wan_us, 50);
+        assert_eq!(c.queue_us, 130);
+        assert_eq!(c.backoff_us, 0);
+        assert_eq!(c.hedge_wait_us, 0);
+    }
+
+    #[test]
+    fn attribute_retry_and_hedge_components() {
+        // Attempt 0 fails at 2000 (launched 1000); retry launches at
+        // 2600 (600us backoff); its twin launches at 2800 and wins at
+        // 3400.
+        let rec = OpRecord {
+            root: 5,
+            key: key(),
+            kind: "client",
+            started_us: 1000,
+            settled_us: Some(3400),
+            status: OpStatus::Completed,
+            attempts: vec![
+                AttemptSpan {
+                    attempt: 0,
+                    breaker: "closed",
+                    primary: HalfSpan {
+                        ended_us: Some(2000),
+                        outcome: HalfOutcome::Failed,
+                        cause: Some("timeout"),
+                        msgs: vec![msg(0, 1000, 2000, vec![seg(1000, 1400, 100, 0)])],
+                        ..HalfSpan::new(5, "primary", 1000)
+                    },
+                    twin: None,
+                },
+                AttemptSpan {
+                    attempt: 1,
+                    breaker: "half-open",
+                    primary: HalfSpan {
+                        ended_us: Some(3400),
+                        outcome: HalfOutcome::Cancelled,
+                        msgs: vec![],
+                        ..HalfSpan::new(6, "primary", 2600)
+                    },
+                    twin: Some(HalfSpan {
+                        ended_us: Some(3400),
+                        outcome: HalfOutcome::Completed,
+                        msgs: vec![msg(0, 2800, 3400, vec![seg(2800, 3400, 500, 40)])],
+                        ..HalfSpan::new(7, "twin", 2800)
+                    }),
+                },
+            ],
+        };
+        let c = attribute(&rec).expect("completed record attributes");
+        assert!(c.is_exact(), "{c:?}");
+        assert_eq!(c.response_us, 2400);
+        assert_eq!(c.backoff_us, 600);
+        assert_eq!(c.hedge_wait_us, 200);
+        // Attempt 0: wall 1000, service 100 → queue 900.
+        // Attempt 1 (twin): wall 600, service 500, wan 40 → queue 60.
+        assert_eq!(c.service_us, 600);
+        assert_eq!(c.wan_us, 40);
+        assert_eq!(c.queue_us, 960);
+    }
+
+    #[test]
+    fn remote_migration_gap_counts_as_wan() {
+        let mut m = msg(0, 1000, 2000, vec![seg(1200, 1500, 300, 0)]);
+        m.remote = true;
+        let rec = OpRecord {
+            root: 9,
+            key: key(),
+            kind: "client",
+            started_us: 1000,
+            settled_us: Some(2000),
+            status: OpStatus::Completed,
+            attempts: vec![AttemptSpan {
+                attempt: 0,
+                breaker: "closed",
+                primary: HalfSpan {
+                    ended_us: Some(2000),
+                    outcome: HalfOutcome::Completed,
+                    msgs: vec![m],
+                    ..HalfSpan::new(9, "primary", 1000)
+                },
+                twin: None,
+            }],
+        };
+        let c = attribute(&rec).expect("completed record attributes");
+        assert!(c.is_exact());
+        // Envelope 1000, covered 300 → 700 migration gap to WAN.
+        assert_eq!(c.wan_us, 700);
+        assert_eq!(c.service_us, 300);
+        assert_eq!(c.queue_us, 0);
+    }
+
+    #[test]
+    fn in_flight_and_abandoned_records_do_not_attribute() {
+        let mut rec = OpRecord {
+            root: 2,
+            key: key(),
+            kind: "client",
+            started_us: 0,
+            settled_us: None,
+            status: OpStatus::InFlight,
+            attempts: vec![],
+        };
+        assert!(attribute(&rec).is_none());
+        rec.status = OpStatus::Abandoned;
+        rec.settled_us = Some(10);
+        assert!(attribute(&rec).is_none());
+    }
+
+    #[test]
+    fn optrace_document_shape() {
+        let rec = OpRecord {
+            root: 3,
+            key: key(),
+            kind: "client",
+            started_us: 10,
+            settled_us: Some(30),
+            status: OpStatus::Completed,
+            attempts: vec![AttemptSpan {
+                attempt: 0,
+                breaker: "closed",
+                primary: HalfSpan {
+                    ended_us: Some(30),
+                    outcome: HalfOutcome::Completed,
+                    msgs: vec![msg(0, 10, 30, vec![seg(10, 30, 20, 0)])],
+                    ..HalfSpan::new(3, "primary", 10)
+                },
+                twin: None,
+            }],
+        };
+        let ops = vec![op_to_value(Some(2), &rec, &labels, &agent_label)];
+        let doc = render_optrace(
+            7,
+            0.5,
+            OptraceCounters {
+                sampled: 1,
+                finished: 1,
+                dropped: 0,
+            },
+            Value::Array(vec![]),
+            ops,
+        );
+        let text = serde_json::to_string(&doc).unwrap();
+        let back = serde_json::parse_value(&text).unwrap();
+        assert_eq!(
+            back.get("format").and_then(Value::as_str),
+            Some("gdisim.optrace.v1")
+        );
+        let ops = back.get("ops").and_then(Value::as_array).unwrap();
+        assert_eq!(ops.len(), 1);
+        let op = &ops[0];
+        assert_eq!(op.get("shard").and_then(Value::as_u64), Some(2));
+        assert_eq!(op.get("status").and_then(Value::as_str), Some("completed"));
+        assert!(
+            op.get("components").is_some(),
+            "completed op has components"
+        );
+        let attempts = op.get("attempts").and_then(Value::as_array).unwrap();
+        let primary = attempts[0].get("primary").unwrap();
+        let msgs = primary.get("msgs").and_then(Value::as_array).unwrap();
+        let hops = msgs[0].get("hops").and_then(Value::as_array).unwrap();
+        assert_eq!(hops[0].get("label").and_then(Value::as_str), Some("agent0"));
+        assert_eq!(hops[0].get("queue_us").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn perfetto_op_events_pair_and_name_tracks() {
+        let rec = OpRecord {
+            root: 11,
+            key: key(),
+            kind: "client",
+            started_us: 100,
+            settled_us: Some(400),
+            status: OpStatus::Completed,
+            attempts: vec![AttemptSpan {
+                attempt: 0,
+                breaker: "closed",
+                primary: HalfSpan {
+                    ended_us: Some(400),
+                    outcome: HalfOutcome::Completed,
+                    ..HalfSpan::new(11, "primary", 100)
+                },
+                twin: None,
+            }],
+        };
+        let live = OpRecord {
+            settled_us: None,
+            status: OpStatus::InFlight,
+            root: 12,
+            ..rec.clone()
+        };
+        let events = op_perfetto_events(&[(None, &rec), (None, &live)], &labels, &|_| 100, &|_| {
+            "dc:NA".to_string()
+        });
+        // One metadata event, two begins, one end.
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Value::as_str))
+            .collect();
+        assert_eq!(phases, ["M", "b", "e", "b"]);
+        assert_eq!(
+            events[1].get("name").and_then(Value::as_str),
+            Some("CAD/open")
+        );
+        assert_eq!(events[1].get("pid").and_then(Value::as_u64), Some(100));
+        assert_eq!(events[1].get("id").and_then(Value::as_str), Some("11"));
+    }
+
+    #[test]
+    fn hop_seg_snap_roundtrip() {
+        let s = seg(5, 25, 10, 3);
+        let mut w = gdisim_snap::SnapWriter::new();
+        gdisim_snap::Snap::save(&s, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = gdisim_snap::SnapReader::new(&bytes);
+        let back: HopSeg = gdisim_snap::Snap::load(&mut r).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -39,6 +39,20 @@ pub fn render_trace(spans: &[Span]) -> String {
     serde_json::to_string(&doc).expect("value serialization is infallible")
 }
 
+/// Renders a combined trace document: the profiler's step-phase spans
+/// (pid 1, exactly as [`render_trace`] emits them) plus extra
+/// pre-rendered events — typically the per-DC operation async spans
+/// from [`crate::optrace::op_perfetto_events`].
+pub fn render_trace_with(spans: &[Span], extra: Vec<Value>) -> String {
+    let mut events: Vec<Value> = spans.iter().map(span_to_value).collect();
+    events.extend(extra);
+    let doc = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ]);
+    serde_json::to_string(&doc).expect("value serialization is infallible")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -89,6 +89,14 @@ impl CpuModel {
     pub fn spec(&self) -> &CpuSpec {
         &self.spec
     }
+
+    /// Nominal zero-contention service time for `cycles` of demand: a
+    /// lone task runs on one core at the clock frequency, so anything a
+    /// real residence time exceeds this by is queue wait (optrace
+    /// attribution).
+    pub fn nominal_service_secs(&self, cycles: f64) -> f64 {
+        cycles / self.spec.clock_hz
+    }
 }
 
 impl Station for CpuModel {

@@ -71,6 +71,18 @@ impl LinkModel {
     pub fn active_transfers(&self) -> usize {
         self.service.active_len()
     }
+
+    /// Nominal zero-contention transfer time for `bytes` at full
+    /// bandwidth, excluding propagation (optrace attribution).
+    pub fn nominal_service_secs(&self, bytes: f64) -> f64 {
+        bytes / self.spec.bandwidth_bytes_per_sec
+    }
+
+    /// The constant propagation latency every transfer pays (optrace
+    /// counts it as WAN transit).
+    pub fn propagation_secs(&self) -> f64 {
+        self.spec.latency.as_secs_f64()
+    }
 }
 
 impl Station for LinkModel {

@@ -46,6 +46,12 @@ impl NicModel {
     pub fn spec(&self) -> &NicSpec {
         &self.spec
     }
+
+    /// Nominal zero-contention service time for `bytes` at line rate
+    /// (optrace attribution).
+    pub fn nominal_service_secs(&self, bytes: f64) -> f64 {
+        bytes / self.spec.rate_bytes_per_sec
+    }
 }
 
 impl Station for NicModel {

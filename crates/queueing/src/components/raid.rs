@@ -107,6 +107,18 @@ impl RaidModel {
             / n
     }
 
+    /// Nominal zero-contention service time for `bytes`: the expected
+    /// cache-weighted sum over the controller → disk-controller → drive
+    /// pipeline with `bytes / n` stripes (optrace attribution; an
+    /// expectation, since cache hits are drawn per request).
+    pub fn nominal_service_secs(&self, bytes: f64) -> f64 {
+        let stripe = bytes / self.spec.disks as f64;
+        let miss = 1.0 - self.spec.array_cache_hit;
+        let disk_miss = 1.0 - self.spec.disk_cache_hit;
+        bytes / self.spec.array_ctrl_rate
+            + miss * (stripe / self.spec.disk_ctrl_rate + disk_miss * stripe / self.spec.disk_rate)
+    }
+
     fn join_stripe(
         outstanding: &mut HashMap<JobToken, u32>,
         stripe_of: &mut HashMap<JobToken, f64>,

@@ -130,6 +130,23 @@ impl SanModel {
             / n
     }
 
+    /// Nominal zero-contention service time for `bytes`: the expected
+    /// cache-weighted sum over the switch → controller → loop →
+    /// disk-controller → drive pipeline with `bytes / n` stripes
+    /// (optrace attribution; an expectation, since cache hits are
+    /// drawn per request).
+    pub fn nominal_service_secs(&self, bytes: f64) -> f64 {
+        let stripe = bytes / self.spec.disks as f64;
+        let miss = 1.0 - self.spec.array_cache_hit;
+        let disk_miss = 1.0 - self.spec.disk_cache_hit;
+        bytes / self.spec.fc_switch_rate
+            + bytes / self.spec.array_ctrl_rate
+            + miss
+                * (bytes / self.spec.fc_loop_rate
+                    + stripe / self.spec.disk_ctrl_rate
+                    + disk_miss * stripe / self.spec.disk_rate)
+    }
+
     fn join_stripe(&mut self, token: JobToken, completed: &mut Vec<JobToken>) {
         let remaining = self
             .outstanding

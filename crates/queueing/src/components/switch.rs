@@ -45,6 +45,12 @@ impl SwitchModel {
     pub fn spec(&self) -> &SwitchSpec {
         &self.spec
     }
+
+    /// Nominal zero-contention service time for `bytes` at backplane
+    /// rate (optrace attribution).
+    pub fn nominal_service_secs(&self, bytes: f64) -> f64 {
+        bytes / self.spec.rate_bytes_per_sec
+    }
 }
 
 impl Station for SwitchModel {
